@@ -1,0 +1,57 @@
+//! Criterion bench: bulk evaluation/update and insert paths (the
+//! decoupled-match-logic extensions of Sec. 3.1).
+
+use ca_ram_core::index::RangeSelect;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::table::{CaRamTable, TableConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn build_table(records: u32) -> CaRamTable {
+    let layout = RecordLayout::new(32, false, 16);
+    let config = TableConfig::single_slice(10, 32 * layout.slot_bits(), layout);
+    let mut t = CaRamTable::new(config, Box::new(RangeSelect::new(0, 10))).expect("valid");
+    for i in 0..records {
+        t.insert(Record::new(
+            TernaryKey::binary(u128::from(i).wrapping_mul(2_654_435_761) & 0xFFFF_FFFF, 32),
+            u64::from(i & 0xFFFF),
+        ))
+        .expect("sized");
+    }
+    t
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    let table = build_table(20_000);
+    c.bench_function("bulk_scan_20k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let receipt = table.for_each_record(|_, _, r| acc = acc.wrapping_add(r.data));
+            black_box((acc, receipt))
+        });
+    });
+    let pattern = SearchKey::with_mask(0, 0xFFFF_FF00, 32);
+    c.bench_function("bulk_count_matching_20k", |b| {
+        b.iter(|| black_box(table.count_matching(&pattern)));
+    });
+
+    c.bench_function("insert_20k_records", |b| {
+        b.iter(|| black_box(build_table(20_000)));
+    });
+
+    let mut sorted = build_table(0);
+    let mut i = 0u32;
+    c.bench_function("insert_sorted_one", |b| {
+        b.iter(|| {
+            if sorted.record_count() > 30_000 {
+                sorted = build_table(0);
+            }
+            let key = u128::from(i).wrapping_mul(0x9E37_79B9) & 0xFFFF_FFFF;
+            i = i.wrapping_add(1);
+            black_box(sorted.insert_sorted(Record::new(TernaryKey::binary(key, 32), 0)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_bulk);
+criterion_main!(benches);

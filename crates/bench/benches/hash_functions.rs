@@ -1,0 +1,31 @@
+//! Criterion bench: index-generator throughput (bit selection is nearly
+//! free; DJB walks the key bytes — Sec. 3.1's "very little additional logic
+//! or delay" claim, in simulator terms).
+
+use ca_ram_core::index::{BitSelect, DjbHash, IndexGenerator, RangeSelect, XorFold};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let keys: Vec<u128> = (0..1024).map(|_| rng.gen::<u128>()).collect();
+    let generators: Vec<(&str, Box<dyn IndexGenerator>)> = vec![
+        ("range_select_11", Box::new(RangeSelect::ip_first16_last(11))),
+        ("bit_select_11", Box::new(BitSelect::new((16..27).collect()))),
+        ("xor_fold_14", Box::new(XorFold::new(14))),
+        ("djb_hash_16B", Box::new(DjbHash::new(32, 16))),
+    ];
+    for (name, g) in &generators {
+        let mut i = 0;
+        c.bench_function(&format!("index_{name}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(g.index(keys[i]))
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

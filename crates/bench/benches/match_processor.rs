@@ -1,0 +1,47 @@
+//! Criterion bench: the match-processor pipeline over one fetched bucket.
+
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::matchproc::MatchProcessorBank;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn full_row(layout: &RecordLayout, slots: u32) -> (Vec<u64>, u128) {
+    let bits = layout.slot_bits() * slots;
+    let mut row = vec![0u64; (bits as usize).div_ceil(64)];
+    let mut valid = 0u128;
+    for slot in 0..slots {
+        // Distinct keys that fit any width >= 16 bits.
+        let value = (u128::from(slot) << 8 | 0xA5) & ((1u128 << layout.key_bits()) - 1);
+        let rec = Record::new(TernaryKey::binary(value, layout.key_bits()), 0);
+        layout.encode_slot(&mut row, slot, &rec);
+        valid |= 1 << slot;
+    }
+    (row, valid)
+}
+
+fn bench_match_row(c: &mut Criterion) {
+    // The trigram configuration: 96 candidates of 128 bits (C = 12,288).
+    let layout = RecordLayout::new(128, false, 0);
+    let (row, valid) = full_row(&layout, 96);
+    let bank = MatchProcessorBank::new(layout);
+    let hit = SearchKey::new(95u128 << 8 | 0xA5, 128);
+    let miss = SearchKey::new(0xFFFF_FFFF, 128);
+    c.bench_function("match_row_96x128_hit_last", |b| {
+        b.iter(|| black_box(bank.match_row(&row, valid, 96, &hit)));
+    });
+    c.bench_function("match_row_96x128_miss", |b| {
+        b.iter(|| black_box(bank.match_row(&row, valid, 96, &miss)));
+    });
+
+    // The IP configuration: 64 ternary candidates of 32 bits (C = 4,096).
+    let layout = RecordLayout::new(32, true, 0);
+    let (row, valid) = full_row(&layout, 64);
+    let bank = MatchProcessorBank::new(layout);
+    let key = SearchKey::new(0xA5, 32);
+    c.bench_function("match_row_64x32t", |b| {
+        b.iter(|| black_box(bank.match_row(&row, valid, 64, &key)));
+    });
+}
+
+criterion_group!(benches, bench_match_row);
+criterion_main!(benches);

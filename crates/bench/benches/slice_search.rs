@@ -1,0 +1,54 @@
+//! Criterion bench: CA-RAM table search throughput (simulator host speed).
+
+use ca_ram_bench::designs::{build_ip_table, build_trigram_table, ip_designs, load_prefixes, load_trigrams, trigram_designs};
+use ca_ram_core::key::SearchKey;
+use ca_ram_workloads::bgp::{generate, BgpConfig};
+use ca_ram_workloads::trigram::{generate as gen_tri, pack_text_key, TrigramConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_ip_search(c: &mut Criterion) {
+    let prefixes = generate(&BgpConfig::scaled(20_000));
+    let mut table = build_ip_table(&ip_designs()[0]);
+    load_prefixes(&mut table, &prefixes, &vec![1.0; prefixes.len()]);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let keys: Vec<SearchKey> = (0..1024)
+        .map(|_| {
+            let p = prefixes[rng.gen_range(0..prefixes.len())];
+            SearchKey::new(u128::from(p.random_member(&mut rng)), 32)
+        })
+        .collect();
+    let mut i = 0;
+    c.bench_function("ip_lpm_search_20k", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(table.search(&keys[i]))
+        });
+    });
+}
+
+fn bench_trigram_search(c: &mut Criterion) {
+    let entries = gen_tri(&TrigramConfig {
+        entries: 20_000,
+        vocabulary: 5_000,
+        ..TrigramConfig::sphinx_like()
+    });
+    let mut table = build_trigram_table(&trigram_designs()[0]);
+    load_trigrams(&mut table, &entries);
+    let keys: Vec<SearchKey> = entries
+        .iter()
+        .take(1024)
+        .map(|s| SearchKey::new(pack_text_key(s), 128))
+        .collect();
+    let mut i = 0;
+    c.bench_function("trigram_exact_search_20k", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(table.search(&keys[i]))
+        });
+    });
+}
+
+criterion_group!(benches, bench_ip_search, bench_trigram_search);
+criterion_main!(benches);

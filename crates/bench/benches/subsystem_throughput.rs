@@ -1,0 +1,30 @@
+//! Criterion bench: the cycle-level controller simulation itself (cost of
+//! one simulated request end to end, across slice counts).
+
+use ca_ram_core::controller::{simulate, QueueModelConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_sim");
+    for slices in [1u32, 4, 16] {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trace: Vec<u32> = (0..10_000).map(|_| rng.gen_range(0..slices)).collect();
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(slices), &trace, |b, trace| {
+            let config = QueueModelConfig {
+                slices,
+                nmem: 6,
+                queue_depth: 64,
+                accepts_per_cycle: 4,
+                head_of_line: false,
+            };
+            b.iter(|| black_box(simulate(config, trace.iter().copied())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: TCAM search (the O(w·n) full scan the hardware does in
+//! parallel, serialized by the simulator) vs a CA-RAM lookup on the same
+//! routing table — the simulator-side analogue of the paper's comparison.
+
+use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
+use ca_ram_cam::{SortedTcam, Tcam, TcamEntry};
+use ca_ram_core::key::SearchKey;
+use ca_ram_workloads::bgp::{generate, BgpConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_tcam_vs_caram(c: &mut Criterion) {
+    let prefixes = generate(&BgpConfig::scaled(4_000));
+    let mut rng = SmallRng::seed_from_u64(2);
+    let keys: Vec<SearchKey> = (0..512)
+        .map(|_| {
+            let p = prefixes[rng.gen_range(0..prefixes.len())];
+            SearchKey::new(u128::from(p.random_member(&mut rng)), 32)
+        })
+        .collect();
+
+    let mut tcam = Tcam::new(prefixes.len(), 32);
+    for (i, p) in prefixes.iter().enumerate() {
+        tcam.write(i, TcamEntry { key: p.to_ternary_key(), data: u64::from(p.len()) });
+    }
+    let mut i = 0;
+    c.bench_function("tcam_search_4k", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(tcam.search(&keys[i]))
+        });
+    });
+
+    let mut caram = build_ip_table(&ip_designs()[3]);
+    load_prefixes(&mut caram, &prefixes, &vec![1.0; prefixes.len()]);
+    let mut j = 0;
+    c.bench_function("caram_search_4k", |b| {
+        b.iter(|| {
+            j = (j + 1) % keys.len();
+            black_box(caram.search(&keys[j]))
+        });
+    });
+
+    let mut sorted = SortedTcam::new(prefixes.len(), 32);
+    let mut k = 0;
+    c.bench_function("sorted_tcam_insert", |b| {
+        b.iter(|| {
+            if sorted.len() == prefixes.len() {
+                // Drain and start over outside the timing-sensitive path.
+                sorted = SortedTcam::new(prefixes.len(), 32);
+            }
+            let p = &prefixes[k % prefixes.len()];
+            k += 1;
+            black_box(sorted.insert(p.to_ternary_key(), 0))
+        });
+    });
+}
+
+criterion_group!(benches, bench_tcam_vs_caram);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Runs the entire reproduction suite in sequence: Tables 1–3, Figures
+//! 6–8, the bandwidth analysis, and the software baseline — each as a
+//! child process so their CLI flags keep working.
+//!
+//! Usage: `repro_all [--entries N] [--prefixes N]`
+//! (`--entries` scales the trigram experiments; the default is the paper's
+//! full 5,385,231.)
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[String]) {
+    println!("\n==================== {bin} ====================\n");
+    let exe = std::env::current_exe().expect("current executable path");
+    let dir = exe.parent().expect("executable directory");
+    let status = Command::new(dir.join(bin))
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} failed with {status}");
+}
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let tri_args: Vec<String> = passthrough
+        .windows(2)
+        .filter(|w| w[0] == "--entries" || w[0] == "--seed")
+        .flat_map(|w| w.to_vec())
+        .collect();
+    let ip_args: Vec<String> = passthrough
+        .windows(2)
+        .filter(|w| w[0] == "--prefixes" || w[0] == "--seed")
+        .flat_map(|w| w.to_vec())
+        .collect();
+
+    run("table1", &[]);
+    run("table2", &ip_args);
+    run("table3", &tri_args);
+    run("fig6", &[]);
+    run("fig7", &tri_args);
+    run("fig8", &[]);
+    run("bandwidth", &[]);
+    run("software_baseline", &[]);
+    run("ablation", &ip_args);
+    run("updates", &[]);
+    run("explore", &ip_args);
+    println!("\nAll reproduction targets completed.");
+}

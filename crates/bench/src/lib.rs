@@ -1,0 +1,56 @@
+//! # ca-ram-bench
+//!
+//! The reproduction harness for the CA-RAM paper's evaluation: shared
+//! experiment definitions (the Table 2 and Table 3 design points), builders
+//! that map the synthetic workloads onto `CaRamTable`s, and small CLI
+//! helpers. One binary per table/figure lives in `src/bin/`:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1` | match-processor synthesis (Table 1) |
+//! | `table2` | IP-lookup designs A–F (Table 2) |
+//! | `table3` | trigram designs A–D (Table 3) |
+//! | `fig6`   | cell-size and power comparison (Fig. 6) |
+//! | `fig7`   | trigram bucket-occupancy histogram (Fig. 7) |
+//! | `fig8`   | application-level area/power (Fig. 8) |
+//! | `bandwidth` | Sec. 3.4 bandwidth formula vs cycle simulation |
+//! | `software_baseline` | Sec. 4.1 software lookup cost |
+//! | `repro_all` | everything above in sequence |
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+
+pub mod designs;
+
+use std::env;
+
+/// Returns the value following `--name` on the command line, if present.
+#[must_use]
+pub fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = env::args().collect();
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--name <value>` as `T`, falling back to `default`.
+///
+/// # Panics
+///
+/// Panics (with a usage message) if the value is present but unparsable.
+#[must_use]
+pub fn arg_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg_value(name) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("--{name} expects a {} value", std::any::type_name::<T>())),
+    }
+}
+
+/// Prints a rule-of-dashes separator sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

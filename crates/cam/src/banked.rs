@@ -1,0 +1,239 @@
+//! Banked (bit-selected) TCAM — the `CoolCAMs` scheme of Zane et al. \[32\]
+//! (Sec. 5.2).
+//!
+//! A two-phase lookup: selected key bits pick one of `K` banks, and only
+//! that bank's searchlines and matchlines are activated, cutting search
+//! power roughly by `K×`. Prefixes with don't-care bits in the selector
+//! positions must be duplicated into every matching bank — the same
+//! trade-off CA-RAM's hashing makes, which is why the paper calls its hash
+//! function "a replacement for the more expensive first-phase lookup table".
+
+use ca_ram_core::index::{buckets_for_masked_search, IndexGenerator};
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_hwmodel::{CamGeometry, CellKind};
+
+use crate::tcam::{Tcam, TcamEntry, TcamMatch};
+
+/// Result of a banked search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankedMatch {
+    /// The winning match, if any.
+    pub hit: Option<TcamMatch>,
+    /// Bank the winner came from.
+    pub bank: Option<u32>,
+    /// Banks activated by this search (1 unless the search key has
+    /// don't-care bits in the selector positions).
+    pub banks_searched: u32,
+}
+
+/// A TCAM partitioned into selector-indexed banks.
+pub struct BankedTcam {
+    selector: Box<dyn IndexGenerator>,
+    banks: Vec<Tcam>,
+    key_bits: u32,
+}
+
+impl core::fmt::Debug for BankedTcam {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BankedTcam")
+            .field("banks", &self.banks.len())
+            .field("key_bits", &self.key_bits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BankedTcam {
+    /// Creates a banked TCAM: `2^selector.index_bits()` banks of
+    /// `bank_capacity` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selector produces more than 16 bank-index bits (65 536
+    /// banks) or under the [`Tcam::new`] conditions.
+    #[must_use]
+    pub fn new(
+        selector: Box<dyn IndexGenerator>,
+        bank_capacity: usize,
+        key_bits: u32,
+    ) -> Self {
+        let bits = selector.index_bits();
+        assert!(bits <= 16, "{bits} selector bits is too many banks");
+        let banks = (0..(1usize << bits))
+            .map(|_| Tcam::new(bank_capacity, key_bits))
+            .collect();
+        Self {
+            selector,
+            banks,
+            key_bits,
+        }
+    }
+
+    /// Number of banks (`K`).
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // internal expect: bank ids < 2^16
+    pub fn bank_count(&self) -> u32 {
+        u32::try_from(self.banks.len()).expect("bounded by 2^16")
+    }
+
+    /// Total entries stored across banks (including duplicates).
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // internal expect: bank ids < 2^16
+    pub fn len(&self) -> usize {
+        self.banks.iter().map(Tcam::len).sum()
+    }
+
+    /// Whether no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.banks.iter().all(Tcam::is_empty)
+    }
+
+    /// Inserts a prefix into every bank its selector image touches,
+    /// appending at the bank's first free slot (callers insert in
+    /// descending prefix-length order for LPM, as with the flat TCAM).
+    ///
+    /// Returns the number of banks written, or `None` if any target bank is
+    /// full (in which case nothing is written).
+    #[allow(clippy::missing_panics_doc)] // internal expect: bank ids < 2^16
+    pub fn insert(&mut self, key: TernaryKey, data: u64) -> Option<u32> {
+        let targets = buckets_for_masked_search(&key.to_search_key(), self.selector.as_ref());
+        // Pre-flight: all target banks need space.
+        let mut slots = Vec::with_capacity(targets.len());
+        for &b in &targets {
+            let bank = &self.banks[usize::try_from(b).expect("bounded by 2^16")];
+            let free = (0..bank.capacity()).find(|&i| bank.entry(i).is_none())?;
+            slots.push((b, free));
+        }
+        for (b, slot) in &slots {
+            self.banks[usize::try_from(*b).expect("bounded by 2^16")]
+                .write(*slot, TcamEntry { key, data });
+        }
+        Some(u32::try_from(slots.len()).expect("bounded by bank count"))
+    }
+
+    /// Two-phase search: the selector picks the bank(s); only those banks
+    /// are activated.
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // internal expect: bank ids < 2^16
+    pub fn search(&self, key: &SearchKey) -> BankedMatch {
+        let targets = buckets_for_masked_search(key, self.selector.as_ref());
+        let mut best: Option<(u32, TcamMatch)> = None;
+        for &b in &targets {
+            let bank = &self.banks[usize::try_from(b).expect("bounded by 2^16")];
+            if let Some(m) = bank.search(key) {
+                let better = match &best {
+                    None => true,
+                    Some((_, cur)) => {
+                        m.entry.key.care_count() > cur.entry.key.care_count()
+                    }
+                };
+                if better {
+                    best = Some((u32::try_from(b).expect("bounded by 2^16"), m));
+                }
+            }
+        }
+        BankedMatch {
+            banks_searched: u32::try_from(targets.len()).expect("bounded by bank count"),
+            bank: best.as_ref().map(|(b, _)| *b),
+            hit: best.map(|(_, m)| m),
+        }
+    }
+
+    /// Fraction of the array activated per single-bank search: the `CoolCAMs`
+    /// power-saving factor (`1/K`).
+    #[must_use]
+    pub fn activated_fraction(&self) -> f64 {
+        1.0 / f64::from(self.bank_count())
+    }
+
+    /// Geometry of one bank, for pricing the per-search power of the
+    /// activated partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a CAM cell.
+    #[must_use]
+    pub fn bank_geometry(&self, cell: CellKind) -> CamGeometry {
+        self.banks[0].geometry(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_ram_core::index::RangeSelect;
+
+    fn prefix(value: u128, len: u32) -> TernaryKey {
+        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        TernaryKey::ternary(value, dc, 32)
+    }
+
+    fn banked() -> BankedTcam {
+        // 4 banks selected by address bits 30..32 (top two bits).
+        BankedTcam::new(Box::new(RangeSelect::new(30, 2)), 8, 32)
+    }
+
+    #[test]
+    fn single_bank_activated_for_plain_search() {
+        let mut t = banked();
+        assert!(t.is_empty());
+        t.insert(prefix(0xC0A8_0000, 16), 7).unwrap();
+        let m = t.search(&SearchKey::new(0xC0A8_1234, 32));
+        assert_eq!(m.banks_searched, 1);
+        assert_eq!(m.bank, Some(0b11));
+        assert_eq!(m.hit.unwrap().entry.data, 7);
+        assert!((t.activated_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_crossing_selector_bits_is_duplicated() {
+        let mut t = banked();
+        // A /1 prefix leaves one selector bit don't-care -> 2 banks.
+        let written = t.insert(prefix(0x8000_0000, 1), 1).unwrap();
+        assert_eq!(written, 2);
+        assert_eq!(t.len(), 2);
+        for addr in [0x8000_0001u128, 0xC000_0001] {
+            let m = t.search(&SearchKey::new(addr, 32));
+            assert_eq!(m.hit.unwrap().entry.data, 1);
+            assert_eq!(m.banks_searched, 1);
+        }
+        // An address in the other half misses.
+        assert!(t.search(&SearchKey::new(0x4000_0000, 32)).hit.is_none());
+    }
+
+    #[test]
+    fn lpm_across_duplicated_and_local_prefixes() {
+        let mut t = banked();
+        // Insert longest-first, as with a flat TCAM.
+        t.insert(prefix(0xC0A8_0100, 24), 24).unwrap();
+        t.insert(prefix(0xC0A8_0000, 16), 16).unwrap();
+        t.insert(prefix(0x8000_0000, 1), 1).unwrap();
+        let m = t.search(&SearchKey::new(0xC0A8_0101, 32));
+        assert_eq!(m.hit.unwrap().entry.data, 24);
+        let m = t.search(&SearchKey::new(0xC0A8_FF00, 32));
+        assert_eq!(m.hit.unwrap().entry.data, 16);
+        let m = t.search(&SearchKey::new(0x9000_0000, 32));
+        assert_eq!(m.hit.unwrap().entry.data, 1);
+    }
+
+    #[test]
+    fn full_bank_rejects_insert_atomically() {
+        let mut t = BankedTcam::new(Box::new(RangeSelect::new(30, 2)), 1, 32);
+        t.insert(prefix(0x0000_0000, 2), 0).unwrap(); // bank 0 full
+        assert!(t.insert(prefix(0x1000_0000, 4), 0).is_none()); // bank 0 again
+        // A /1 covering banks 0 and 1 must fail without writing bank 1.
+        assert!(t.insert(prefix(0x0000_0000, 1), 0).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn masked_search_key_activates_multiple_banks() {
+        let mut t = banked();
+        t.insert(prefix(0x0000_0000, 8), 8).unwrap();
+        // Search with the top two bits don't-care probes all 4 banks.
+        let key = SearchKey::with_mask(0x0000_0001, 0xC000_0000, 32);
+        let m = t.search(&key);
+        assert_eq!(m.banks_searched, 4);
+        assert_eq!(m.hit.unwrap().entry.data, 8);
+    }
+}

@@ -1,0 +1,151 @@
+//! A functional binary CAM — exact-match only, as used for the trigram
+//! comparison (Sec. 4.3, the Yamagata et al. device).
+
+use ca_ram_core::key::SearchKey;
+use ca_ram_hwmodel::{CamGeometry, CellKind};
+
+/// A stored binary CAM entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcamEntry {
+    /// The stored key (no don't-care symbols).
+    pub key: u128,
+    /// Associated data.
+    pub data: u64,
+}
+
+/// A fixed-capacity binary CAM with index-ordered priority.
+#[derive(Debug, Clone)]
+pub struct BinaryCam {
+    key_bits: u32,
+    slots: Vec<Option<BcamEntry>>,
+}
+
+impl BinaryCam {
+    /// Creates an empty binary CAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `key_bits` is 0 or > 128.
+    #[must_use]
+    pub fn new(capacity: usize, key_bits: u32) -> Self {
+        assert!(capacity > 0, "a CAM needs at least one entry");
+        assert!(key_bits > 0 && key_bits <= 128, "key width must be 1..=128");
+        Self {
+            key_bits,
+            slots: vec![None; capacity],
+        }
+    }
+
+    /// Total entry slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the CAM holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Appends an entry at the first free slot, returning its index, or
+    /// `None` when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` has bits above `key_bits`.
+    pub fn push(&mut self, key: u128, data: u64) -> Option<usize> {
+        assert!(
+            self.key_bits == 128 || key < (1u128 << self.key_bits),
+            "key has bits above the device width {}",
+            self.key_bits
+        );
+        let free = self.slots.iter().position(Option::is_none)?;
+        self.slots[free] = Some(BcamEntry { key, data });
+        Some(free)
+    }
+
+    /// One exact-match search; lowest-index match wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch or a masked search key — binary CAMs
+    /// cannot implement don't-care search (Sec. 2.2 motivates TCAM for
+    /// that).
+    #[must_use]
+    pub fn search(&self, key: &SearchKey) -> Option<(usize, BcamEntry)> {
+        assert_eq!(key.bits(), self.key_bits, "search key width mismatch");
+        assert!(
+            !key.is_masked(),
+            "binary CAM cannot search with don't-care bits"
+        );
+        self.slots
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.filter(|e| e.key == key.value()).map(|e| (i, e)))
+    }
+
+    /// Device geometry for the cost models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a CAM cell.
+    #[must_use]
+    pub fn geometry(&self, cell: CellKind) -> CamGeometry {
+        CamGeometry::new(self.slots.len() as u64, self.key_bits, cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_search() {
+        let mut c = BinaryCam::new(4, 64);
+        assert!(c.is_empty());
+        assert_eq!(c.push(0xAAAA, 1), Some(0));
+        assert_eq!(c.push(0xBBBB, 2), Some(1));
+        assert_eq!(c.len(), 2);
+        let (i, e) = c.search(&SearchKey::new(0xBBBB, 64)).unwrap();
+        assert_eq!((i, e.data), (1, 2));
+        assert!(c.search(&SearchKey::new(0xCCCC, 64)).is_none());
+    }
+
+    #[test]
+    fn full_cam_rejects_push() {
+        let mut c = BinaryCam::new(2, 8);
+        assert!(c.push(1, 0).is_some());
+        assert!(c.push(2, 0).is_some());
+        assert_eq!(c.push(3, 0), None);
+    }
+
+    #[test]
+    fn duplicate_keys_resolved_by_priority() {
+        let mut c = BinaryCam::new(4, 16);
+        c.push(0x77, 1);
+        c.push(0x77, 2);
+        let (i, e) = c.search(&SearchKey::new(0x77, 16)).unwrap();
+        assert_eq!((i, e.data), (0, 1));
+    }
+
+    #[test]
+    fn geometry_uses_bits_as_symbols() {
+        let c = BinaryCam::new(1000, 128);
+        let g = c.geometry(CellKind::BinaryCamStacked);
+        assert_eq!(g.total_cells(), 128_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "don't-care")]
+    fn masked_search_rejected() {
+        let c = BinaryCam::new(2, 8);
+        let _ = c.search(&SearchKey::with_mask(0, 1, 8));
+    }
+}

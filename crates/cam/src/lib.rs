@@ -1,0 +1,49 @@
+//! # ca-ram-cam
+//!
+//! Functional CAM and TCAM baselines for the CA-RAM reproduction
+//! (Sec. 2.2 and 5 of the paper): a flat ternary CAM with priority
+//! encoding ([`Tcam`]), an exact-match binary CAM ([`BinaryCam`]),
+//! prefix-length-ordered update management ([`SortedTcam`], after Shah &
+//! Gupta), the bank-selected low-power TCAM of Zane et al. ([`BankedTcam`],
+//! `CoolCAMs`), the pre-classified CAM of Motomura / Schultz & Gulak
+//! ([`PreclassifiedCam`]), the popcount-precomputation CAM of Lin et al.
+//! ([`PrecomputedBcam`]), and entry-count reduction by prefix aggregation
+//! ([`aggregate()`]).
+//!
+//! These devices share key types with `ca-ram-core` and geometry/cost types
+//! with `ca-ram-hwmodel`, so a workload can be priced on CA-RAM and on a
+//! TCAM side by side — exactly the comparison of Figures 6 and 8.
+//!
+//! # Example
+//!
+//! ```
+//! use ca_ram_cam::{Tcam, TcamEntry};
+//! use ca_ram_core::key::{SearchKey, TernaryKey};
+//!
+//! let mut tcam = Tcam::new(1024, 32);
+//! // A /16 route, stored at priority slot 10.
+//! let route = TernaryKey::ternary(0xC0A8_0000, 0xFFFF, 32);
+//! tcam.write(10, TcamEntry { key: route, data: 42 });
+//! let hit = tcam.search(&SearchKey::new(0xC0A8_0001, 32)).expect("route matches");
+//! assert_eq!(hit.entry.data, 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+
+pub mod aggregate;
+pub mod banked;
+pub mod bcam;
+pub mod preclassified;
+pub mod precompute;
+pub mod tcam;
+pub mod update;
+
+pub use aggregate::{aggregate, Aggregated, PrefixEntry};
+pub use banked::{BankedMatch, BankedTcam};
+pub use preclassified::{PreclassifiedCam, PreclassifiedEntry, PreclassifiedMatch};
+pub use precompute::{PrecomputedBcam, PrecomputedEntry, PrecomputedMatch};
+pub use bcam::{BcamEntry, BinaryCam};
+pub use tcam::{Tcam, TcamEntry, TcamMatch};
+pub use update::{SortedTcam, UpdateReceipt};

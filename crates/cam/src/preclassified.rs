@@ -1,0 +1,272 @@
+//! Pre-classified CAM (Motomura et al. \[21\], Schultz & Gulak \[28\];
+//! Sec. 5.1).
+//!
+//! "Their CAM array is divided into 16 categories, and matching actions are
+//! confined to a single category given a search key. The target category is
+//! determined by first looking up in a control-code CAM (C2CAM), which
+//! stores indexes for the available categories. Their CAM structure
+//! achieves higher capacity by time-sharing a common match logic among the
+//! 16 categories."
+//!
+//! [`PreclassifiedCam`] models that organization: a small, fully
+//! associative control-code CAM maps a *control code* (a designated key
+//! field) to a category; only the selected category's entries are compared,
+//! by match logic time-shared across categories. The per-search activity —
+//! the figure of merit the scheme improves — is reported with every search.
+
+use ca_ram_core::bits::low_mask;
+use ca_ram_core::key::SearchKey;
+
+/// A stored entry: full key + data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreclassifiedEntry {
+    /// The stored key (exact match; the scheme targets dictionary lookup).
+    pub key: u128,
+    /// Associated data.
+    pub data: u64,
+}
+
+/// Result of a pre-classified search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreclassifiedMatch {
+    /// The winning entry, if any.
+    pub hit: Option<PreclassifiedEntry>,
+    /// Category the control-code CAM selected (`None` = unknown code,
+    /// instant miss without touching the main array).
+    pub category: Option<u32>,
+    /// Entries actually compared (the time-shared match-logic activity).
+    pub entries_compared: usize,
+}
+
+/// A CAM whose array is partitioned into categories selected by a
+/// control-code field of the key.
+#[derive(Debug)]
+pub struct PreclassifiedCam {
+    key_bits: u32,
+    code_low: u32,
+    code_bits: u32,
+    /// Control-code CAM: code -> category index.
+    c2cam: Vec<(u64, u32)>,
+    categories: Vec<Vec<PreclassifiedEntry>>,
+    category_capacity: usize,
+}
+
+impl PreclassifiedCam {
+    /// Creates a device with `categories` categories of `category_capacity`
+    /// entries; the control code is the key field `[code_low, code_low +
+    /// code_bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry or a code field outside the key.
+    #[must_use]
+    pub fn new(
+        categories: u32,
+        category_capacity: usize,
+        key_bits: u32,
+        code_low: u32,
+        code_bits: u32,
+    ) -> Self {
+        assert!(categories > 0, "need at least one category");
+        assert!(category_capacity > 0, "categories need capacity");
+        assert!(key_bits > 0 && key_bits <= 128, "key width must be 1..=128");
+        assert!(
+            code_bits > 0 && code_bits <= 32 && code_low + code_bits <= key_bits,
+            "control-code field out of range"
+        );
+        Self {
+            key_bits,
+            code_low,
+            code_bits,
+            c2cam: Vec::with_capacity(categories as usize),
+            categories: vec![Vec::new(); categories as usize],
+            category_capacity,
+        }
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// Total stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.categories.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the device is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.categories.iter().all(Vec::is_empty)
+    }
+
+    fn code_of(&self, key: u128) -> u64 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            ((key >> self.code_low) & low_mask(self.code_bits)) as u64
+        }
+    }
+
+    fn category_of(&self, code: u64) -> Option<u32> {
+        self.c2cam.iter().find(|(c, _)| *c == code).map(|(_, cat)| *cat)
+    }
+
+    /// Inserts an entry; the control-code CAM learns new codes on demand,
+    /// assigning them to the least-loaded category.
+    ///
+    /// Returns the category used, or `None` when the control-code CAM is
+    /// out of categories to assign or the category is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key has bits above the device width.
+    pub fn insert(&mut self, key: u128, data: u64) -> Option<u32> {
+        assert!(
+            self.key_bits == 128 || key < (1u128 << self.key_bits),
+            "key has bits above the device width"
+        );
+        let code = self.code_of(key);
+        let category = if let Some(c) = self.category_of(code) {
+            c
+        } else {
+            if self.c2cam.len() >= self.categories.len() {
+                return None;
+            }
+            // Assign the new code to the least-loaded category without a
+            // code yet; fall back to the least-loaded overall.
+            let used: Vec<u32> = self.c2cam.iter().map(|(_, c)| *c).collect();
+            #[allow(clippy::cast_possible_truncation)]
+            let cat = (0..self.categories.len() as u32)
+                .filter(|c| !used.contains(c))
+                .min_by_key(|&c| self.categories[c as usize].len())
+                .unwrap_or(0);
+            self.c2cam.push((code, cat));
+            cat
+        };
+        let bucket = &mut self.categories[category as usize];
+        if bucket.len() >= self.category_capacity {
+            return None;
+        }
+        bucket.push(PreclassifiedEntry { key, data });
+        Some(category)
+    }
+
+    /// Two-phase search: the C2CAM picks the category, then only that
+    /// category's entries are compared.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch or a masked search key (the scheme is an
+    /// exact-match dictionary CAM).
+    #[must_use]
+    pub fn search(&self, key: &SearchKey) -> PreclassifiedMatch {
+        assert_eq!(key.bits(), self.key_bits, "search key width mismatch");
+        assert!(!key.is_masked(), "pre-classified CAM is exact-match");
+        let code = self.code_of(key.value());
+        let Some(category) = self.category_of(code) else {
+            return PreclassifiedMatch {
+                hit: None,
+                category: None,
+                entries_compared: 0,
+            };
+        };
+        let entries = &self.categories[category as usize];
+        let hit = entries.iter().find(|e| e.key == key.value()).copied();
+        PreclassifiedMatch {
+            hit,
+            category: Some(category),
+            entries_compared: entries.len(),
+        }
+    }
+
+    /// Worst-case fraction of the array activated per search — the
+    /// capacity-efficiency figure of the scheme (1/categories when codes
+    /// spread evenly).
+    #[must_use]
+    pub fn worst_activated_fraction(&self) -> f64 {
+        let total = self.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let biggest = self.categories.iter().map(Vec::len).max().unwrap_or(0);
+        #[allow(clippy::cast_precision_loss)]
+        {
+            biggest as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> PreclassifiedCam {
+        // 16 categories, code = top 8 bits of a 32-bit key.
+        PreclassifiedCam::new(16, 64, 32, 24, 8)
+    }
+
+    #[test]
+    fn insert_and_search() {
+        let mut d = device();
+        assert!(d.is_empty());
+        d.insert(0xAA00_0001, 1).unwrap();
+        d.insert(0xAA00_0002, 2).unwrap();
+        d.insert(0xBB00_0001, 3).unwrap();
+        assert_eq!(d.len(), 3);
+        let m = d.search(&SearchKey::new(0xAA00_0002, 32));
+        assert_eq!(m.hit.unwrap().data, 2);
+        // Only the AA category was compared: 2 entries, not 3.
+        assert_eq!(m.entries_compared, 2);
+        assert!(m.category.is_some());
+    }
+
+    #[test]
+    fn unknown_code_misses_without_array_activity() {
+        let mut d = device();
+        d.insert(0xAA00_0001, 1).unwrap();
+        let m = d.search(&SearchKey::new(0xCC00_0001, 32));
+        assert_eq!(m.hit, None);
+        assert_eq!(m.category, None);
+        assert_eq!(m.entries_compared, 0, "the C2CAM filtered the miss");
+    }
+
+    #[test]
+    fn same_code_different_key_misses_in_category() {
+        let mut d = device();
+        d.insert(0xAA00_0001, 1).unwrap();
+        let m = d.search(&SearchKey::new(0xAA00_0009, 32));
+        assert_eq!(m.hit, None);
+        assert_eq!(m.entries_compared, 1, "the category was searched");
+    }
+
+    #[test]
+    fn category_capacity_and_code_exhaustion() {
+        let mut d = PreclassifiedCam::new(2, 2, 16, 12, 4);
+        assert!(d.insert(0x1000, 0).is_some());
+        assert!(d.insert(0x1001, 0).is_some());
+        assert!(d.insert(0x1002, 0).is_none(), "category full");
+        assert!(d.insert(0x2000, 0).is_some());
+        assert!(d.insert(0x3000, 0).is_none(), "out of categories");
+    }
+
+    #[test]
+    fn activity_fraction_drops_with_spread_codes() {
+        let mut d = device();
+        for code in 0..16u128 {
+            for i in 0..4u128 {
+                d.insert((code << 24) | i, 0).unwrap();
+            }
+        }
+        let f = d.worst_activated_fraction();
+        assert!((f - 1.0 / 16.0).abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exact-match")]
+    fn masked_search_rejected() {
+        let d = device();
+        let _ = d.search(&SearchKey::with_mask(0, 1, 32));
+    }
+}

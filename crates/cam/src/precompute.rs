@@ -1,0 +1,194 @@
+//! Precomputation-based low-power binary CAM (Lin, Chang & Liu \[16\];
+//! Sec. 5.2).
+//!
+//! "This approach also uses a two-phase lookup scheme, where the first
+//! lookup is to match the precomputed signature, such as the number of 1's
+//! in the search key. As a result of the initial lookup, the second search
+//! is performed on a limited number of entries in the main table. This
+//! scheme however is applicable to only binary CAMs."
+//!
+//! [`PrecomputedBcam`] stores each entry under its popcount signature; a
+//! search computes the key's popcount and compares only the matching
+//! signature group. The per-search *activated fraction* quantifies the
+//! power saving; for uniformly random `n`-bit keys the largest group is the
+//! central binomial bucket, ~`sqrt(2/(π n))` of the array.
+
+use ca_ram_core::key::SearchKey;
+
+/// A stored entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecomputedEntry {
+    /// The stored key.
+    pub key: u128,
+    /// Associated data.
+    pub data: u64,
+}
+
+/// Result of a precomputation-filtered search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecomputedMatch {
+    /// The winning entry, if any.
+    pub hit: Option<PrecomputedEntry>,
+    /// The popcount signature of the search key.
+    pub signature: u32,
+    /// Entries compared in the second phase.
+    pub entries_compared: usize,
+}
+
+/// A binary CAM with popcount precomputation.
+#[derive(Debug, Clone)]
+pub struct PrecomputedBcam {
+    key_bits: u32,
+    capacity: usize,
+    /// One group per possible popcount (`0..=key_bits`).
+    groups: Vec<Vec<PrecomputedEntry>>,
+}
+
+impl PrecomputedBcam {
+    /// Creates an empty device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `key_bits` is 0 or > 128.
+    #[must_use]
+    pub fn new(capacity: usize, key_bits: u32) -> Self {
+        assert!(capacity > 0, "a CAM needs at least one entry");
+        assert!(key_bits > 0 && key_bits <= 128, "key width must be 1..=128");
+        Self {
+            key_bits,
+            capacity,
+            groups: vec![Vec::new(); key_bits as usize + 1],
+        }
+    }
+
+    /// Stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the device is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.groups.iter().all(Vec::is_empty)
+    }
+
+    /// Inserts an entry under its signature; `None` when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key has bits above the device width.
+    pub fn insert(&mut self, key: u128, data: u64) -> Option<u32> {
+        assert!(
+            self.key_bits == 128 || key < (1u128 << self.key_bits),
+            "key has bits above the device width"
+        );
+        if self.len() >= self.capacity {
+            return None;
+        }
+        let sig = key.count_ones();
+        self.groups[sig as usize].push(PrecomputedEntry { key, data });
+        Some(sig)
+    }
+
+    /// Two-phase search: popcount, then compare only the signature group.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch or a masked key — don't-care bits make
+    /// the popcount ambiguous, which is exactly why "this scheme is
+    /// applicable to only binary CAMs".
+    #[must_use]
+    pub fn search(&self, key: &SearchKey) -> PrecomputedMatch {
+        assert_eq!(key.bits(), self.key_bits, "search key width mismatch");
+        assert!(
+            !key.is_masked(),
+            "precomputation requires fully specified (binary) keys"
+        );
+        let sig = key.value().count_ones();
+        let group = &self.groups[sig as usize];
+        PrecomputedMatch {
+            hit: group.iter().find(|e| e.key == key.value()).copied(),
+            signature: sig,
+            entries_compared: group.len(),
+        }
+    }
+
+    /// Worst-case activated fraction over the stored population.
+    #[must_use]
+    pub fn worst_activated_fraction(&self) -> f64 {
+        let total = self.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let biggest = self.groups.iter().map(Vec::len).max().unwrap_or(0);
+        #[allow(clippy::cast_precision_loss)]
+        {
+            biggest as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_match_through_signature_groups() {
+        let mut d = PrecomputedBcam::new(16, 16);
+        d.insert(0b0000_0000_0000_0111, 3).unwrap();
+        d.insert(0b0000_0000_1111_0000, 4).unwrap();
+        d.insert(0b0000_0000_0000_1011, 33).unwrap(); // also popcount 3
+        let m = d.search(&SearchKey::new(0b0111, 16));
+        assert_eq!(m.hit.unwrap().data, 3);
+        assert_eq!(m.signature, 3);
+        assert_eq!(m.entries_compared, 2, "only the popcount-3 group");
+        assert!(d.search(&SearchKey::new(0b0001, 16)).hit.is_none());
+    }
+
+    #[test]
+    fn different_signature_group_never_compared() {
+        let mut d = PrecomputedBcam::new(8, 8);
+        d.insert(0xFF, 0).unwrap(); // popcount 8
+        let m = d.search(&SearchKey::new(0x0F, 8)); // popcount 4
+        assert_eq!(m.entries_compared, 0);
+        assert!(m.hit.is_none());
+    }
+
+    #[test]
+    fn capacity_enforced_across_groups() {
+        let mut d = PrecomputedBcam::new(2, 8);
+        assert!(d.insert(0x01, 0).is_some());
+        assert!(d.insert(0x03, 0).is_some());
+        assert!(d.insert(0x07, 0).is_none());
+    }
+
+    #[test]
+    fn random_keys_activate_a_small_fraction() {
+        // For 64-bit random keys the central binomial group holds ~10% of
+        // entries — the power saving of the scheme.
+        let mut d = PrecomputedBcam::new(20_000, 64);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..20_000 {
+            if d.insert(u128::from(rng.gen::<u64>()), 0).is_none() {
+                break;
+            }
+        }
+        let f = d.worst_activated_fraction();
+        assert!(f < 0.15, "worst activated fraction {f:.3}");
+        // And searches agree with the fraction bound.
+        let m = d.search(&SearchKey::new(u128::from(rng.gen::<u64>()), 64));
+        #[allow(clippy::cast_precision_loss)]
+        let frac = m.entries_compared as f64 / d.len() as f64;
+        assert!(frac <= f + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn masked_key_rejected() {
+        let d = PrecomputedBcam::new(2, 8);
+        let _ = d.search(&SearchKey::with_mask(0, 1, 8));
+    }
+}

@@ -1,0 +1,271 @@
+//! A functional ternary CAM (Sec. 2.2, Fig. 2).
+//!
+//! "CAM searches its entire memory to match the input data with the set of
+//! stored data. When there are multiple entries that match the search key, a
+//! priority encoder will choose the highest-priority entry." Priority is the
+//! entry index: lower index wins. Each entry stores a ternary key and a data
+//! word (modelling the separate data RAM a CAM deployment pairs with the
+//! match array — here merged for convenience, the cost models account for
+//! the split).
+
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_hwmodel::{CamGeometry, CellKind};
+
+/// A stored TCAM entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcamEntry {
+    /// The ternary key.
+    pub key: TernaryKey,
+    /// Associated data (next hop, record id, …).
+    pub data: u64,
+}
+
+/// The result of a TCAM search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcamMatch {
+    /// Index (= priority; lower wins) of the winning entry.
+    pub index: usize,
+    /// The winning entry.
+    pub entry: TcamEntry,
+    /// Number of entries that matched (the priority encoder resolved them).
+    pub match_count: usize,
+}
+
+/// A fixed-capacity ternary CAM with index-ordered priority.
+#[derive(Debug, Clone)]
+pub struct Tcam {
+    key_bits: u32,
+    slots: Vec<Option<TcamEntry>>,
+}
+
+impl Tcam {
+    /// Creates an empty TCAM of `capacity` entries of `key_bits`-bit keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `key_bits` is 0 or > 128.
+    #[must_use]
+    pub fn new(capacity: usize, key_bits: u32) -> Self {
+        assert!(capacity > 0, "a CAM needs at least one entry");
+        assert!(key_bits > 0 && key_bits <= 128, "key width must be 1..=128");
+        Self {
+            key_bits,
+            slots: vec![None; capacity],
+        }
+    }
+
+    /// Total entry slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the TCAM holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Writes an entry at an explicit priority slot (hardware write port).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the key width mismatches.
+    pub fn write(&mut self, index: usize, entry: TcamEntry) {
+        assert!(index < self.slots.len(), "index {index} out of range");
+        assert_eq!(
+            entry.key.bits(),
+            self.key_bits,
+            "entry key width {} does not match the device width {}",
+            entry.key.bits(),
+            self.key_bits
+        );
+        self.slots[index] = Some(entry);
+    }
+
+    /// Invalidates the entry at `index`, returning it if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn erase(&mut self, index: usize) -> Option<TcamEntry> {
+        assert!(index < self.slots.len(), "index {index} out of range");
+        self.slots[index].take()
+    }
+
+    /// The entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn entry(&self, index: usize) -> Option<TcamEntry> {
+        self.slots[index]
+    }
+
+    /// One search: every entry compares in parallel; the priority encoder
+    /// returns the lowest-index match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search key width mismatches the device width.
+    #[must_use]
+    pub fn search(&self, key: &SearchKey) -> Option<TcamMatch> {
+        assert_eq!(
+            key.bits(),
+            self.key_bits,
+            "search key width {} does not match the device width {}",
+            key.bits(),
+            self.key_bits
+        );
+        let mut winner: Option<(usize, TcamEntry)> = None;
+        let mut match_count = 0usize;
+        for (index, slot) in self.slots.iter().enumerate() {
+            let Some(entry) = slot else { continue };
+            if entry.key.matches(key) {
+                match_count += 1;
+                if winner.is_none() {
+                    winner = Some((index, *entry));
+                }
+            }
+        }
+        winner.map(|(index, entry)| TcamMatch {
+            index,
+            entry,
+            match_count,
+        })
+    }
+
+    /// All matching entries in priority order (diagnostic; hardware exposes
+    /// only the encoder output).
+    #[must_use]
+    pub fn search_all(&self, key: &SearchKey) -> Vec<TcamMatch> {
+        let mut out = Vec::new();
+        for (index, slot) in self.slots.iter().enumerate() {
+            let Some(entry) = slot else { continue };
+            if entry.key.matches(key) {
+                out.push(TcamMatch {
+                    index,
+                    entry: *entry,
+                    match_count: 0,
+                });
+            }
+        }
+        let n = out.len();
+        for m in &mut out {
+            m.match_count = n;
+        }
+        out
+    }
+
+    /// The device geometry for the cost models: `capacity` entries of
+    /// `key_bits` ternary symbols built from `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a TCAM cell.
+    #[must_use]
+    pub fn geometry(&self, cell: CellKind) -> CamGeometry {
+        CamGeometry::new(self.slots.len() as u64, self.key_bits, cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix(value: u128, len: u32) -> TernaryKey {
+        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        TernaryKey::ternary(value, dc, 32)
+    }
+
+    #[test]
+    fn empty_tcam_misses() {
+        let t = Tcam::new(8, 32);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.search(&SearchKey::new(0, 32)).is_none());
+    }
+
+    #[test]
+    fn write_search_erase() {
+        let mut t = Tcam::new(8, 32);
+        t.write(3, TcamEntry { key: prefix(0x0A00_0000, 8), data: 99 });
+        assert_eq!(t.len(), 1);
+        let m = t.search(&SearchKey::new(0x0A01_0203, 32)).unwrap();
+        assert_eq!(m.index, 3);
+        assert_eq!(m.entry.data, 99);
+        assert_eq!(m.match_count, 1);
+        assert_eq!(t.erase(3).unwrap().data, 99);
+        assert!(t.search(&SearchKey::new(0x0A01_0203, 32)).is_none());
+        assert_eq!(t.erase(3), None);
+    }
+
+    #[test]
+    fn priority_encoder_lpm() {
+        // Sec. 4.1: LPM works when prefixes are sorted on prefix length.
+        let mut t = Tcam::new(8, 32);
+        t.write(0, TcamEntry { key: prefix(0x0A0B_0C00, 24), data: 24 });
+        t.write(1, TcamEntry { key: prefix(0x0A0B_0000, 16), data: 16 });
+        t.write(2, TcamEntry { key: prefix(0x0A00_0000, 8), data: 8 });
+        let m = t.search(&SearchKey::new(0x0A0B_0C0D, 32)).unwrap();
+        assert_eq!(m.entry.data, 24);
+        assert_eq!(m.match_count, 3);
+        let m = t.search(&SearchKey::new(0x0A0B_FF00, 32)).unwrap();
+        assert_eq!(m.entry.data, 16);
+        let m = t.search(&SearchKey::new(0x0AFF_0000, 32)).unwrap();
+        assert_eq!(m.entry.data, 8);
+        assert!(t.search(&SearchKey::new(0x0B00_0000, 32)).is_none());
+    }
+
+    #[test]
+    fn search_all_lists_every_match_in_priority_order() {
+        let mut t = Tcam::new(4, 32);
+        t.write(1, TcamEntry { key: prefix(0x0A0B_0000, 16), data: 16 });
+        t.write(2, TcamEntry { key: prefix(0x0A00_0000, 8), data: 8 });
+        let all = t.search_all(&SearchKey::new(0x0A0B_0001, 32));
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].index, 1);
+        assert_eq!(all[1].index, 2);
+        assert!(all.iter().all(|m| m.match_count == 2));
+    }
+
+    #[test]
+    fn masked_search_key() {
+        let mut t = Tcam::new(4, 16);
+        t.write(0, TcamEntry { key: TernaryKey::binary(0xAB00, 16), data: 0 });
+        t.write(1, TcamEntry { key: TernaryKey::binary(0xAB01, 16), data: 1 });
+        // Search ABXX (low byte don't-care) matches both; encoder picks 0.
+        let m = t
+            .search(&SearchKey::with_mask(0xAB00, 0x00FF, 16))
+            .unwrap();
+        assert_eq!(m.index, 0);
+        assert_eq!(m.match_count, 2);
+    }
+
+    #[test]
+    fn geometry_for_cost_models() {
+        let t = Tcam::new(186_760, 32);
+        let g = t.geometry(CellKind::TcamDynamic6T);
+        assert_eq!(g.total_cells(), 186_760 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the device width")]
+    fn wrong_width_rejected() {
+        let t = Tcam::new(4, 32);
+        let _ = t.search(&SearchKey::new(0, 16));
+    }
+}

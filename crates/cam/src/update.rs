@@ -1,0 +1,289 @@
+//! Prefix-length-ordered TCAM management (Shah & Gupta \[29\]).
+//!
+//! LPM via a TCAM's priority encoder requires entries sorted by descending
+//! prefix length (Sec. 2.2 / 4.1). Keeping that order under route updates
+//! costs entry *moves*; the classic PLO (prefix-length ordering) algorithm
+//! bounds an insert or delete to at most one move per distinct prefix
+//! length. [`SortedTcam`] wraps a [`Tcam`] and maintains the invariant,
+//! reporting the move count of every update — the currency of TCAM update
+//! algorithms.
+
+use ca_ram_core::key::{SearchKey, TernaryKey};
+
+use crate::tcam::{Tcam, TcamEntry, TcamMatch};
+
+/// A TCAM kept sorted by descending prefix length (care-bit count).
+///
+/// # Examples
+///
+/// ```
+/// use ca_ram_cam::SortedTcam;
+/// use ca_ram_core::key::{SearchKey, TernaryKey};
+///
+/// let mut tcam = SortedTcam::new(16, 32);
+/// // Announce routes shortest-first — the device restores priority order.
+/// tcam.insert(TernaryKey::ternary(0x0A00_0000, 0xFF_FFFF, 32), 8).expect("space");
+/// tcam.insert(TernaryKey::ternary(0x0A0B_0000, 0xFFFF, 32), 16).expect("space");
+/// let hit = tcam.search(&SearchKey::new(0x0A0B_0001, 32)).expect("covered");
+/// assert_eq!(hit.entry.data, 16);
+/// assert!(tcam.invariant_holds());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedTcam {
+    device: Tcam,
+    /// `bounds[i]` = first device index of the region holding prefixes of
+    /// length `key_bits - i` (regions ordered by descending length);
+    /// `bounds[key_bits+1]` = end of used space.
+    bounds: Vec<usize>,
+}
+
+/// The result of a sorted update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReceipt {
+    /// Device index the entry ended at (insert) or vacated (delete).
+    pub index: usize,
+    /// Entry moves performed to restore the ordering invariant.
+    pub moves: u32,
+}
+
+impl SortedTcam {
+    /// Creates an empty sorted TCAM of `capacity` entries of `key_bits`-bit
+    /// keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tcam::new`].
+    #[must_use]
+    pub fn new(capacity: usize, key_bits: u32) -> Self {
+        let device = Tcam::new(capacity, key_bits);
+        Self {
+            bounds: vec![0; key_bits as usize + 2],
+            device,
+        }
+    }
+
+    /// The underlying device (searches go straight to it).
+    #[must_use]
+    pub fn device(&self) -> &Tcam {
+        &self.device
+    }
+
+    /// Valid entries.
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // bounds vec is never empty
+    pub fn len(&self) -> usize {
+        *self.bounds.last().expect("bounds is non-empty")
+    }
+
+    /// Whether no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn region_of(&self, key: &TernaryKey) -> usize {
+        (self.device.key_bits() - key.care_count()) as usize
+    }
+
+    /// Longest-prefix search (delegates to the device).
+    #[must_use]
+    pub fn search(&self, key: &SearchKey) -> Option<TcamMatch> {
+        self.device.search(key)
+    }
+
+    /// Inserts a prefix, restoring descending-length order.
+    ///
+    /// Returns `None` when the device is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key width differs from the device width.
+    pub fn insert(&mut self, key: TernaryKey, data: u64) -> Option<UpdateReceipt> {
+        if self.len() >= self.device.capacity() {
+            return None;
+        }
+        let region = self.region_of(&key);
+        // Open a hole at the end of `region` by bubbling the hole at the end
+        // of used space upward: each intervening region donates its first
+        // entry to its own end (one move per region).
+        let mut gap = self.len();
+        let mut moves = 0u32;
+        for r in (region + 1..=self.device.key_bits() as usize).rev() {
+            let start = self.bounds[r];
+            let end = self.bounds[r + 1];
+            debug_assert!(start <= end && end <= gap + 1);
+            if start == end {
+                // Empty region: just slide its boundary past the hole later.
+                continue;
+            }
+            let shifted = self.device.erase(start).expect("region entries are valid");
+            self.device.write(gap, shifted);
+            moves += 1;
+            gap = start;
+        }
+        self.device.write(gap, TcamEntry { key, data });
+        // Shift the boundaries of every lower-priority region down by one.
+        for r in region + 1..self.bounds.len() {
+            self.bounds[r] += 1;
+        }
+        Some(UpdateReceipt { index: gap, moves })
+    }
+
+    /// Deletes the entry whose stored key equals `key` exactly. Returns the
+    /// receipt, or `None` if no such entry exists.
+    #[allow(clippy::missing_panics_doc)] // internal expects guarded by bounds
+    pub fn delete(&mut self, key: &TernaryKey) -> Option<UpdateReceipt> {
+        let region = self.region_of(key);
+        let start = self.bounds[region];
+        let end = self.bounds[region + 1];
+        let mut found = None;
+        for i in start..end {
+            if self.device.entry(i).is_some_and(|e| e.key == *key) {
+                found = Some(i);
+                break;
+            }
+        }
+        let vacated = found?;
+        // Fill the hole with the region's last entry, then bubble the gap
+        // down through lower regions to the end of used space.
+        let mut gap = vacated;
+        let mut moves = 0u32;
+        self.device.erase(gap);
+        for r in region..self.bounds.len() - 1 {
+            let last = self.bounds[r + 1] - 1;
+            if last != gap {
+                let shifted = self.device.erase(last).expect("region entries are valid");
+                self.device.write(gap, shifted);
+                moves += 1;
+            }
+            gap = last;
+        }
+        for r in region + 1..self.bounds.len() {
+            self.bounds[r] -= 1;
+        }
+        Some(UpdateReceipt {
+            index: vacated,
+            moves,
+        })
+    }
+
+    /// Verifies the descending-length invariant (test/diagnostic hook).
+    #[must_use]
+    pub fn invariant_holds(&self) -> bool {
+        let mut last_len = u32::MAX;
+        for i in 0..self.len() {
+            match self.device.entry(i) {
+                Some(e) => {
+                    let len = e.key.care_count();
+                    if len > last_len {
+                        return false;
+                    }
+                    last_len = len;
+                }
+                None => return false,
+            }
+        }
+        (self.len()..self.device.capacity()).all(|i| self.device.entry(i).is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix(value: u128, len: u32) -> TernaryKey {
+        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        TernaryKey::ternary(value, dc, 32)
+    }
+
+    #[test]
+    fn inserts_keep_descending_length_order() {
+        let mut t = SortedTcam::new(16, 32);
+        // Insert in ascending length order — worst case for sorting.
+        for (i, len) in [8u32, 16, 24, 12, 32, 20].iter().enumerate() {
+            let value = (u128::from(i as u32 + 1)) << (32 - len);
+            let value = value & 0xFFFF_FFFF;
+            t.insert(prefix(value, *len), u64::from(*len)).unwrap();
+            assert!(t.invariant_holds(), "after inserting /{len}");
+        }
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn lpm_correct_after_out_of_order_inserts() {
+        let mut t = SortedTcam::new(8, 32);
+        t.insert(prefix(0x0A00_0000, 8), 8).unwrap();
+        t.insert(prefix(0x0A0B_0C00, 24), 24).unwrap();
+        t.insert(prefix(0x0A0B_0000, 16), 16).unwrap();
+        assert!(t.invariant_holds());
+        let data = |addr: u128| t.search(&SearchKey::new(addr, 32)).unwrap().entry.data;
+        assert_eq!(data(0x0A0B_0C01), 24);
+        assert_eq!(data(0x0A0B_0001), 16);
+        assert_eq!(data(0x0A01_0001), 8);
+    }
+
+    #[test]
+    fn insert_move_count_bounded_by_region_count() {
+        let mut t = SortedTcam::new(64, 32);
+        for len in [32u32, 28, 24, 20, 16, 12, 8] {
+            t.insert(prefix(0xFFFF_FF00 & !((1 << (32 - len)) - 1), len), 0)
+                .unwrap();
+        }
+        // Inserting a /30 must move at most one entry per shorter length
+        // present (6 regions below /30 here).
+        let r = t.insert(prefix(0x0000_0004, 30), 0).unwrap();
+        assert!(r.moves <= 6, "moves = {}", r.moves);
+        assert!(t.invariant_holds());
+    }
+
+    #[test]
+    fn delete_restores_invariant() {
+        let mut t = SortedTcam::new(16, 32);
+        let p16 = prefix(0x0A0B_0000, 16);
+        t.insert(prefix(0x0A0B_0C00, 24), 24).unwrap();
+        t.insert(p16, 16).unwrap();
+        t.insert(prefix(0x0A00_0000, 8), 8).unwrap();
+        let r = t.delete(&p16).unwrap();
+        let _ = r;
+        assert!(t.invariant_holds());
+        assert_eq!(t.len(), 2);
+        let m = t.search(&SearchKey::new(0x0A0B_0001, 32)).unwrap();
+        assert_eq!(m.entry.data, 8);
+        // Deleting again finds nothing.
+        assert!(t.delete(&p16).is_none());
+    }
+
+    #[test]
+    fn full_device_rejects_insert() {
+        let mut t = SortedTcam::new(2, 32);
+        assert!(t.insert(prefix(0x0100_0000, 8), 0).is_some());
+        assert!(t.insert(prefix(0x0200_0000, 8), 0).is_some());
+        assert!(t.insert(prefix(0x0300_0000, 8), 0).is_none());
+    }
+
+    #[test]
+    fn randomized_updates_hold_the_invariant() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut t = SortedTcam::new(256, 32);
+        let mut live: Vec<TernaryKey> = Vec::new();
+        for _ in 0..600 {
+            if !live.is_empty() && rng.gen_bool(0.4) {
+                let i = rng.gen_range(0..live.len());
+                let key = live.swap_remove(i);
+                assert!(t.delete(&key).is_some());
+            } else if t.len() < 250 {
+                let len = rng.gen_range(8..=32u32);
+                let addr = u128::from(rng.gen::<u32>())
+                    & !(if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 });
+                let key = prefix(addr, len);
+                if t.insert(key, 0).is_some() {
+                    // Duplicates are allowed by the device; track one copy.
+                    live.push(key);
+                }
+            }
+            assert!(t.invariant_holds());
+        }
+    }
+}

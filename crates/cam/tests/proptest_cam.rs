@@ -1,0 +1,173 @@
+//! Property-based tests for the CAM baselines: every device must agree
+//! with a brute-force reference model, and the update/encoding schemes must
+//! preserve the lookup function they optimize.
+
+use ca_ram_cam::aggregate::{aggregate, PrefixEntry};
+use ca_ram_cam::{BankedTcam, BinaryCam, PrecomputedBcam, SortedTcam, Tcam, TcamEntry};
+use ca_ram_core::index::RangeSelect;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use proptest::prelude::*;
+
+fn prefix_strategy() -> impl Strategy<Value = (u32, u32, u64)> {
+    // (addr, len, data) with addr truncated to len.
+    (any::<u32>(), 4u32..=32, 0u64..8).prop_map(|(addr, len, data)| {
+        let mask = if len == 32 { u32::MAX } else { !((1u32 << (32 - len)) - 1) };
+        (addr & mask, len, data)
+    })
+}
+
+fn key_of(addr: u32, len: u32) -> TernaryKey {
+    let dc = if len == 32 { 0u128 } else { (1u128 << (32 - len)) - 1 };
+    TernaryKey::ternary(u128::from(addr), dc, 32)
+}
+
+/// Reference LPM over (addr, len, data) triples; ties broken by first
+/// occurrence (the priority-order convention).
+fn reference_lpm(routes: &[(u32, u32, u64)], probe: u32) -> Option<u64> {
+    routes
+        .iter()
+        .filter(|&&(addr, len, _)| {
+            let mask = if len == 32 { u32::MAX } else { !((1u32 << (32 - len)) - 1) };
+            probe & mask == addr
+        })
+        .max_by(|a, b| a.1.cmp(&b.1))
+        .map(|&(_, _, d)| d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sorted_tcam_computes_reference_lpm(
+        mut routes in prop::collection::vec(prefix_strategy(), 1..40),
+        probes in prop::collection::vec(any::<u32>(), 30),
+    ) {
+        // Dedup same (addr, len): keep the first (reference does the same
+        // only if data ties are impossible, so dedup is required).
+        routes.sort_by_key(|&(a, l, _)| (a, l));
+        routes.dedup_by_key(|&mut (a, l, _)| (a, l));
+        let mut t = SortedTcam::new(routes.len(), 32);
+        for &(addr, len, data) in &routes {
+            t.insert(key_of(addr, len), data).expect("capacity");
+        }
+        prop_assert!(t.invariant_holds());
+        for &p in &probes {
+            let got = t.search(&SearchKey::new(u128::from(p), 32)).map(|m| m.entry.data);
+            // Equal-length matches tie arbitrarily; accept any of them.
+            let max_len = routes
+                .iter()
+                .filter(|&&(a, l, _)| {
+                    let mask = if l == 32 { u32::MAX } else { !((1u32 << (32 - l)) - 1) };
+                    p & mask == a
+                })
+                .map(|&(_, l, _)| l)
+                .max();
+            match max_len {
+                None => prop_assert_eq!(got, None),
+                Some(ml) => {
+                    let candidates: Vec<u64> = routes
+                        .iter()
+                        .filter(|&&(a, l, _)| {
+                            let mask = if l == 32 { u32::MAX } else { !((1u32 << (32 - l)) - 1) };
+                            l == ml && p & mask == a
+                        })
+                        .map(|&(_, _, d)| d)
+                        .collect();
+                    prop_assert!(got.is_some_and(|d| candidates.contains(&d)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banked_tcam_agrees_with_flat_tcam(
+        mut routes in prop::collection::vec(prefix_strategy(), 1..30),
+        probes in prop::collection::vec(any::<u32>(), 30),
+    ) {
+        routes.sort_by(|a, b| b.1.cmp(&a.1)); // longest first
+        routes.dedup_by_key(|&mut (a, l, _)| (a, l));
+        let mut flat = Tcam::new(routes.len(), 32);
+        let mut banked = BankedTcam::new(
+            Box::new(RangeSelect::new(30, 2)),
+            routes.len(),
+            32,
+        );
+        for (i, &(addr, len, data)) in routes.iter().enumerate() {
+            flat.write(i, TcamEntry { key: key_of(addr, len), data });
+            banked.insert(key_of(addr, len), data).expect("capacity");
+        }
+        for &p in &probes {
+            let key = SearchKey::new(u128::from(p), 32);
+            let a = flat.search(&key).map(|m| m.entry.key.care_count());
+            let b = banked.search(&key).hit.map(|m| m.entry.key.care_count());
+            prop_assert_eq!(a, b, "probe {:#010x}", p);
+        }
+    }
+
+    #[test]
+    fn aggregation_preserves_lpm(
+        mut routes in prop::collection::vec(
+            // Narrow space to force merges.
+            (0u32..256, 22u32..=26, 0u64..2),
+            1..60
+        ),
+        probes in prop::collection::vec(0u32..65_536, 50),
+    ) {
+        let routes: Vec<(u32, u32, u64)> = {
+            let mapped: Vec<(u32, u32, u64)> = routes
+                .drain(..)
+                .map(|(a, l, d)| {
+                    let addr = a << 8;
+                    let mask = if l == 32 { u32::MAX } else { !((1u32 << (32 - l)) - 1) };
+                    (addr & mask, l, d)
+                })
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            mapped
+                .into_iter()
+                .filter(|&(a, l, _)| seen.insert((a, l)))
+                .collect()
+        };
+        let entries: Vec<PrefixEntry> = routes
+            .iter()
+            .map(|&(a, l, d)| PrefixEntry { key: key_of(a, l), data: d })
+            .collect();
+        let agg = aggregate(&entries);
+        prop_assert!(agg.entries.len() <= entries.len());
+        for &p in &probes {
+            let before = reference_lpm(&routes, p);
+            let after: Vec<(u32, u32, u64)> = agg
+                .entries
+                .iter()
+                .map(|e| {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let addr = e.key.value() as u32;
+                    (addr, e.key.care_count(), e.data)
+                })
+                .collect();
+            prop_assert_eq!(before, reference_lpm(&after, p), "probe {:#010x}", p);
+        }
+    }
+
+    #[test]
+    fn precomputed_bcam_agrees_with_plain_bcam(
+        keys in prop::collection::vec(any::<u64>(), 1..50),
+        probes in prop::collection::vec(any::<u64>(), 20),
+    ) {
+        let mut plain = BinaryCam::new(keys.len(), 64);
+        let mut pre = PrecomputedBcam::new(keys.len(), 64);
+        let mut deduped = keys.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        for (i, &k) in deduped.iter().enumerate() {
+            plain.push(u128::from(k), i as u64).expect("capacity");
+            pre.insert(u128::from(k), i as u64).expect("capacity");
+        }
+        for &p in probes.iter().chain(deduped.iter()) {
+            let key = SearchKey::new(u128::from(p), 64);
+            let a = plain.search(&key).map(|(_, e)| e.data);
+            let b = pre.search(&key).hit.map(|e| e.data);
+            prop_assert_eq!(a, b, "probe {:#018x}", p);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! CA-RAM space allocation — the class-library interface of Sec. 3.2.
+//!
+//! "Such operations include initializing an empty database,
+//! allocating/deallocating CA-RAM space (similar to `malloc()`/`free()`),
+//! defining slice membership and role (e.g., use a slice as an overflow
+//! area), defining the hash function, declaring a record type and its
+//! format, enabling ternary searching ..."
+//!
+//! [`SlicePool`] owns the physical slice inventory of a CA-RAM memory
+//! subsystem (identical slices of one geometry, as fabricated) and hands
+//! out [`CaRamTable`]s built over reserved slices. Freeing an allocation
+//! returns its slices to the pool. Roles (regular vs overflow/victim
+//! slices) are recorded per allocation, mirroring the paper's example of
+//! "five slices ... four used to extend the number of rows and the
+//! remaining one set aside for storing spilled records".
+
+use crate::error::{CaRamError, Result};
+use crate::index::IndexGenerator;
+use crate::layout::RecordLayout;
+use crate::probe::ProbePolicy;
+use crate::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+
+/// Handle to an allocation made from a [`SlicePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationId(u64);
+
+/// How the slices of an allocation are used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceRoles {
+    /// Slices holding regular records (the arrangement's slices).
+    pub regular: u32,
+    /// Slices set aside as a victim/overflow area.
+    pub overflow: u32,
+}
+
+/// A pool of identical physical CA-RAM slices.
+#[derive(Debug)]
+pub struct SlicePool {
+    rows_log2: u32,
+    row_bits: u32,
+    total: u32,
+    free: u32,
+    next_id: u64,
+    live: Vec<(AllocationId, SliceRoles)>,
+}
+
+impl SlicePool {
+    /// Creates a pool of `total` slices of `2^rows_log2 × row_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    #[must_use]
+    pub fn new(total: u32, rows_log2: u32, row_bits: u32) -> Self {
+        assert!(total > 0, "a pool needs at least one slice");
+        Self {
+            rows_log2,
+            row_bits,
+            total,
+            free: total,
+            next_id: 0,
+            live: Vec::new(),
+        }
+    }
+
+    /// Total slices fabricated.
+    #[must_use]
+    pub fn total_slices(&self) -> u32 {
+        self.total
+    }
+
+    /// Slices currently unallocated.
+    #[must_use]
+    pub fn free_slices(&self) -> u32 {
+        self.free
+    }
+
+    /// Rows per slice (log2).
+    #[must_use]
+    pub fn rows_log2(&self) -> u32 {
+        self.rows_log2
+    }
+
+    /// Bits per row.
+    #[must_use]
+    pub fn row_bits(&self) -> u32 {
+        self.row_bits
+    }
+
+    /// Allocates a table over `arrangement.slice_count()` regular slices
+    /// plus `overflow_slices` victim slices (0 or 1 supported), defining
+    /// the record format, hash function, and probing policy — the whole
+    /// Sec. 3.2 configuration bundle.
+    ///
+    /// # Errors
+    ///
+    /// * [`CaRamError::TableFull`]-free: allocation failures surface as
+    ///   [`CaRamError::BadConfig`] with the shortfall, like a `malloc`
+    ///   returning null;
+    /// * any error from [`CaRamTable::new`].
+    pub fn allocate(
+        &mut self,
+        layout: RecordLayout,
+        arrangement: Arrangement,
+        overflow_slices: u32,
+        probe: ProbePolicy,
+        index: Box<dyn IndexGenerator>,
+    ) -> Result<(AllocationId, CaRamTable)> {
+        let regular = arrangement.slice_count();
+        let wanted = regular + overflow_slices;
+        if wanted > self.free {
+            return Err(CaRamError::BadConfig(format!(
+                "allocation needs {wanted} slices but only {} are free",
+                self.free
+            )));
+        }
+        if overflow_slices > 1 {
+            return Err(CaRamError::BadConfig(
+                "at most one victim slice per allocation is supported".into(),
+            ));
+        }
+        let overflow = if overflow_slices == 1 {
+            OverflowPolicy::VictimSlice {
+                rows_log2: self.rows_log2,
+                row_bits: self.row_bits,
+            }
+        } else {
+            OverflowPolicy::Probe {
+                max_steps: 1u32 << self.rows_log2.min(16),
+            }
+        };
+        let config = TableConfig {
+            rows_log2: self.rows_log2,
+            row_bits: self.row_bits,
+            layout,
+            arrangement,
+            probe,
+            overflow,
+        };
+        let table = CaRamTable::new(config, index)?;
+        self.free -= wanted;
+        let id = AllocationId(self.next_id);
+        self.next_id += 1;
+        self.live.push((
+            id,
+            SliceRoles {
+                regular,
+                overflow: overflow_slices,
+            },
+        ));
+        Ok((id, table))
+    }
+
+    /// The roles of a live allocation.
+    #[must_use]
+    pub fn roles(&self, id: AllocationId) -> Option<SliceRoles> {
+        self.live.iter().find(|(i, _)| *i == id).map(|(_, r)| *r)
+    }
+
+    /// Frees an allocation, returning its slices to the pool (the caller
+    /// drops the table; in hardware this is a configuration-storage
+    /// update).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaRamError::BadConfig`] for an unknown or already-freed
+    /// handle (a double free).
+    pub fn free(&mut self, id: AllocationId) -> Result<()> {
+        let Some(pos) = self.live.iter().position(|(i, _)| *i == id) else {
+            return Err(CaRamError::BadConfig(format!(
+                "allocation {id:?} is not live (double free?)"
+            )));
+        };
+        let (_, roles) = self.live.swap_remove(pos);
+        self.free += roles.regular + roles.overflow;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::RangeSelect;
+    use crate::key::{SearchKey, TernaryKey};
+    use crate::layout::Record;
+
+    fn pool() -> SlicePool {
+        SlicePool::new(8, 4, 256) // 8 slices of 16 rows x 256 bits
+    }
+
+    fn layout() -> RecordLayout {
+        RecordLayout::new(16, false, 8)
+    }
+
+    #[test]
+    fn allocate_use_free_cycle() {
+        let mut pool = pool();
+        assert_eq!(pool.free_slices(), 8);
+        let (id, mut table) = pool
+            .allocate(
+                layout(),
+                Arrangement::Horizontal(2),
+                0,
+                ProbePolicy::Linear,
+                Box::new(RangeSelect::new(0, 4)),
+            )
+            .unwrap();
+        assert_eq!(pool.free_slices(), 6);
+        assert_eq!(
+            pool.roles(id),
+            Some(SliceRoles {
+                regular: 2,
+                overflow: 0
+            })
+        );
+        table
+            .insert(Record::new(TernaryKey::binary(0x42, 16), 1))
+            .unwrap();
+        assert!(table.search(&SearchKey::new(0x42, 16)).hit.is_some());
+        pool.free(id).unwrap();
+        assert_eq!(pool.free_slices(), 8);
+        assert_eq!(pool.roles(id), None);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_a_clean_failure() {
+        let mut pool = pool();
+        let (_a, _t1) = pool
+            .allocate(
+                layout(),
+                Arrangement::Horizontal(5),
+                0,
+                ProbePolicy::Linear,
+                Box::new(RangeSelect::new(0, 4)),
+            )
+            .unwrap();
+        let err = pool
+            .allocate(
+                layout(),
+                Arrangement::Horizontal(4),
+                0,
+                ProbePolicy::Linear,
+                Box::new(RangeSelect::new(0, 4)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CaRamError::BadConfig(_)));
+        assert_eq!(pool.free_slices(), 3, "failed allocation takes nothing");
+    }
+
+    #[test]
+    fn victim_slice_role_is_tracked_and_functional() {
+        let mut pool = pool();
+        // "five slices ... four to extend the rows and one for spills".
+        let (id, mut table) = pool
+            .allocate(
+                layout(),
+                Arrangement::Vertical(4),
+                1,
+                ProbePolicy::Linear,
+                Box::new(RangeSelect::new(0, 6)),
+            )
+            .unwrap();
+        assert_eq!(pool.free_slices(), 3);
+        assert_eq!(
+            pool.roles(id),
+            Some(SliceRoles {
+                regular: 4,
+                overflow: 1
+            })
+        );
+        // Overfill one bucket; the victim slice absorbs the spill.
+        let slots = table.slots_per_bucket();
+        for i in 0..=slots {
+            let key = (u128::from(i) << 8) | 0x05;
+            table
+                .insert(Record::new(TernaryKey::binary(key, 16), u64::from(i)))
+                .unwrap();
+        }
+        assert_eq!(table.overflow_count(), 1);
+        pool.free(id).unwrap();
+        assert_eq!(pool.free_slices(), 8);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut pool = pool();
+        let (id, _t) = pool
+            .allocate(
+                layout(),
+                Arrangement::Horizontal(1),
+                0,
+                ProbePolicy::Linear,
+                Box::new(RangeSelect::new(0, 4)),
+            )
+            .unwrap();
+        pool.free(id).unwrap();
+        assert!(pool.free(id).is_err());
+    }
+
+    #[test]
+    fn independent_allocations_coexist() {
+        let mut pool = pool();
+        let (_, mut a) = pool
+            .allocate(
+                layout(),
+                Arrangement::Horizontal(1),
+                0,
+                ProbePolicy::Linear,
+                Box::new(RangeSelect::new(0, 4)),
+            )
+            .unwrap();
+        let (_, mut b) = pool
+            .allocate(
+                RecordLayout::new(32, true, 0),
+                Arrangement::Horizontal(2),
+                0,
+                ProbePolicy::Linear,
+                Box::new(RangeSelect::new(0, 4)),
+            )
+            .unwrap();
+        a.insert(Record::new(TernaryKey::binary(1, 16), 0)).unwrap();
+        // Don't-care bits clear of the hash field (bits 0..4), so one copy.
+        b.insert(Record::new(TernaryKey::ternary(0, 0xFF00, 32), 0))
+            .unwrap();
+        assert_eq!(a.record_count(), 1);
+        assert_eq!(b.record_count(), 1);
+        assert_eq!(pool.free_slices(), 5);
+    }
+}

@@ -1,0 +1,197 @@
+//! The dense memory array of a CA-RAM slice (SRAM or DRAM).
+//!
+//! The array is a plain `2^R × C`-bit random access memory — completely
+//! decoupled from the match logic, which is the source of CA-RAM's density
+//! advantage (Sec. 3.1). Rows are exposed both as whole-row accesses (what a
+//! search performs) and as word-addressable RAM-mode accesses (Sec. 3.2).
+
+use crate::error::{CaRamError, Result};
+
+/// A `rows × row_bits` bit-accurate memory array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryArray {
+    rows: u64,
+    row_bits: u32,
+    row_words: u32,
+    data: Vec<u64>,
+}
+
+impl MemoryArray {
+    /// Allocates a zeroed array of `rows` rows of `row_bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: u64, row_bits: u32) -> Self {
+        assert!(rows > 0, "array needs at least one row");
+        assert!(row_bits > 0, "rows need at least one bit");
+        let row_words = row_bits.div_ceil(64);
+        let words = usize::try_from(rows * u64::from(row_words))
+            .expect("array size exceeds the address space");
+        Self {
+            rows,
+            row_bits,
+            row_words,
+            data: vec![0; words],
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Bits per row (`C`).
+    #[must_use]
+    pub fn row_bits(&self) -> u32 {
+        self.row_bits
+    }
+
+    /// 64-bit words per row.
+    #[must_use]
+    pub fn row_words(&self) -> u32 {
+        self.row_words
+    }
+
+    /// Total addressable words (RAM mode).
+    #[must_use]
+    pub fn total_words(&self) -> u64 {
+        self.rows * u64::from(self.row_words)
+    }
+
+    fn row_range(&self, row: u64) -> core::ops::Range<usize> {
+        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
+        let start = usize::try_from(row * u64::from(self.row_words)).expect("checked at new");
+        start..start + self.row_words as usize
+    }
+
+    /// The words of `row` — what one memory access fetches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn row(&self, row: u64) -> &[u64] {
+        let r = self.row_range(row);
+        &self.data[r]
+    }
+
+    /// Mutable access to the words of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_mut(&mut self, row: u64) -> &mut [u64] {
+        let r = self.row_range(row);
+        &mut self.data[r]
+    }
+
+    /// RAM-mode word read (Sec. 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaRamError::AddressOutOfRange`] for addresses past the end.
+    pub fn read_word(&self, address: u64) -> Result<u64> {
+        let idx = usize::try_from(address).map_err(|_| CaRamError::AddressOutOfRange {
+            address,
+            words: self.total_words(),
+        })?;
+        self.data
+            .get(idx)
+            .copied()
+            .ok_or(CaRamError::AddressOutOfRange {
+                address,
+                words: self.total_words(),
+            })
+    }
+
+    /// RAM-mode word write (Sec. 3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaRamError::AddressOutOfRange`] for addresses past the end.
+    pub fn write_word(&mut self, address: u64, value: u64) -> Result<()> {
+        let words = self.total_words();
+        let idx = usize::try_from(address)
+            .ok()
+            .filter(|&i| i < self.data.len())
+            .ok_or(CaRamError::AddressOutOfRange { address, words })?;
+        self.data[idx] = value;
+        Ok(())
+    }
+
+    /// Zeroes the whole array (a hardware-style bulk clear).
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let a = MemoryArray::new(2048, 2048);
+        assert_eq!(a.rows(), 2048);
+        assert_eq!(a.row_bits(), 2048);
+        assert_eq!(a.row_words(), 32);
+        assert_eq!(a.total_words(), 2048 * 32);
+    }
+
+    #[test]
+    fn row_width_rounds_up_to_words() {
+        let a = MemoryArray::new(4, 65);
+        assert_eq!(a.row_words(), 2);
+        assert_eq!(a.row(0).len(), 2);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let mut a = MemoryArray::new(4, 128);
+        a.row_mut(1)[0] = 0xAAAA;
+        a.row_mut(2)[1] = 0xBBBB;
+        assert_eq!(a.row(0), &[0, 0]);
+        assert_eq!(a.row(1), &[0xAAAA, 0]);
+        assert_eq!(a.row(2), &[0, 0xBBBB]);
+        assert_eq!(a.row(3), &[0, 0]);
+    }
+
+    #[test]
+    fn ram_mode_addresses_row_major() {
+        let mut a = MemoryArray::new(2, 128);
+        a.row_mut(1)[1] = 77;
+        assert_eq!(a.read_word(3).unwrap(), 77);
+        a.write_word(0, 11).unwrap();
+        assert_eq!(a.row(0)[0], 11);
+    }
+
+    #[test]
+    fn ram_mode_out_of_range() {
+        let mut a = MemoryArray::new(2, 64);
+        assert!(matches!(
+            a.read_word(2),
+            Err(CaRamError::AddressOutOfRange { address: 2, words: 2 })
+        ));
+        assert!(a.write_word(100, 0).is_err());
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut a = MemoryArray::new(2, 64);
+        a.write_word(0, 5).unwrap();
+        a.write_word(1, 6).unwrap();
+        a.clear();
+        assert_eq!(a.read_word(0).unwrap(), 0);
+        assert_eq!(a.read_word(1).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 9 out of range")]
+    fn row_out_of_range_panics() {
+        let a = MemoryArray::new(9, 64);
+        let _ = a.row(9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Bit-level helpers for packing records into memory rows.
+//!
+//! A CA-RAM row is `C` bits wide and holds multiple fixed-width record slots
+//! (Sec. 3.1). Rows are stored as little-endian sequences of `u64` words; a
+//! bit field of up to 128 bits can start at any bit offset and may straddle
+//! word boundaries.
+
+/// Returns a mask with the low `bits` bits set (`bits` ≤ 128).
+///
+/// # Panics
+///
+/// Panics if `bits > 128`.
+#[must_use]
+pub fn low_mask(bits: u32) -> u128 {
+    assert!(bits <= 128, "mask width {bits} exceeds 128 bits");
+    if bits == 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+/// Reads a `width`-bit field starting at bit `offset` from `words`.
+///
+/// # Panics
+///
+/// Panics if `width > 128` or the field extends past the end of `words`.
+#[must_use]
+#[allow(clippy::cast_possible_truncation)] // offset % 64 < 64; masked chunks
+pub fn read_bits(words: &[u64], offset: usize, width: u32) -> u128 {
+    assert!(width <= 128, "field width {width} exceeds 128 bits");
+    if width == 0 {
+        return 0;
+    }
+    let end = offset + width as usize;
+    assert!(
+        end <= words.len() * 64,
+        "field [{offset}, {end}) extends past the row ({} bits)",
+        words.len() * 64
+    );
+    let mut value: u128 = 0;
+    let mut got: u32 = 0;
+    let mut word_idx = offset / 64;
+    let mut bit_idx = (offset % 64) as u32;
+    while got < width {
+        let take = (64 - bit_idx).min(width - got);
+        let chunk = u128::from(words[word_idx] >> bit_idx) & low_mask(take);
+        value |= chunk << got;
+        got += take;
+        bit_idx = 0;
+        word_idx += 1;
+    }
+    value
+}
+
+/// Writes a `width`-bit field starting at bit `offset` into `words`.
+///
+/// Bits of `value` above `width` are ignored.
+///
+/// # Panics
+///
+/// Panics if `width > 128` or the field extends past the end of `words`.
+#[allow(clippy::cast_possible_truncation)] // offset % 64 < 64; masked chunks
+pub fn write_bits(words: &mut [u64], offset: usize, width: u32, value: u128) {
+    assert!(width <= 128, "field width {width} exceeds 128 bits");
+    if width == 0 {
+        return;
+    }
+    let end = offset + width as usize;
+    assert!(
+        end <= words.len() * 64,
+        "field [{offset}, {end}) extends past the row ({} bits)",
+        words.len() * 64
+    );
+    let value = value & low_mask(width);
+    let mut put: u32 = 0;
+    let mut word_idx = offset / 64;
+    let mut bit_idx = (offset % 64) as u32;
+    while put < width {
+        let take = (64 - bit_idx).min(width - put);
+        let chunk = ((value >> put) & low_mask(take)) as u64;
+        let clear = if take == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << take) - 1) << bit_idx
+        };
+        words[word_idx] = (words[word_idx] & !clear) | (chunk << bit_idx);
+        put += take;
+        bit_idx = 0;
+        word_idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(64), u128::from(u64::MAX));
+        assert_eq!(low_mask(128), u128::MAX);
+    }
+
+    #[test]
+    fn read_write_within_one_word() {
+        let mut row = vec![0u64; 2];
+        write_bits(&mut row, 3, 8, 0xAB);
+        assert_eq!(read_bits(&row, 3, 8), 0xAB);
+        assert_eq!(read_bits(&row, 0, 3), 0);
+        assert_eq!(read_bits(&row, 11, 8), 0);
+    }
+
+    #[test]
+    fn read_write_straddles_words() {
+        let mut row = vec![0u64; 3];
+        let v: u128 = 0xDEAD_BEEF_CAFE_F00D_1234_5678_9ABC_DEF0;
+        write_bits(&mut row, 60, 128, v);
+        assert_eq!(read_bits(&row, 60, 128), v);
+        // Neighbouring bits untouched.
+        assert_eq!(read_bits(&row, 0, 60), 0);
+    }
+
+    #[test]
+    fn overwrite_clears_old_bits() {
+        let mut row = vec![u64::MAX; 2];
+        write_bits(&mut row, 10, 16, 0);
+        assert_eq!(read_bits(&row, 10, 16), 0);
+        assert_eq!(read_bits(&row, 0, 10), low_mask(10));
+        assert_eq!(read_bits(&row, 26, 16), low_mask(16));
+    }
+
+    #[test]
+    fn value_truncated_to_width() {
+        let mut row = vec![0u64; 1];
+        write_bits(&mut row, 0, 4, 0xFF);
+        assert_eq!(read_bits(&row, 0, 8), 0x0F);
+    }
+
+    #[test]
+    fn zero_width_is_noop() {
+        let mut row = vec![0xFFFF_FFFF_FFFF_FFFFu64];
+        write_bits(&mut row, 5, 0, 0x123);
+        assert_eq!(read_bits(&row, 5, 0), 0);
+        assert_eq!(row[0], u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "extends past the row")]
+    fn out_of_bounds_read_rejected() {
+        let row = vec![0u64; 1];
+        let _ = read_bits(&row, 60, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 128 bits")]
+    fn oversized_width_rejected() {
+        let row = vec![0u64; 4];
+        let _ = read_bits(&row, 0, 129);
+    }
+}

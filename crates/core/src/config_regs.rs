@@ -1,0 +1,294 @@
+//! Memory-mapped control registers for runtime slice reconfiguration
+//! (Sec. 3.3).
+//!
+//! "Our design allows a configurable number of keys per bucket to increase
+//! the flexibility of use. ... we limited the key size to be 1, 2, 3, 4, 6,
+//! 8, 12, and 16 bytes. ... Control registers are provided in the form of
+//! memory-mapped peripheral registers to program various configuration
+//! options in our design."
+//!
+//! [`ReconfigurableSlice`] wraps a [`CaRamSlice`] behind a register file:
+//! software writes the key size, ternary enable, and data width, then
+//! writes the commit register, which re-instantiates the slice with the new
+//! record layout (destroying the stored contents, as a geometry change does
+//! in hardware).
+
+use crate::error::{CaRamError, Result};
+use crate::layout::RecordLayout;
+use crate::slice::CaRamSlice;
+
+/// Key sizes supported by the prototype, in bytes (Sec. 3.3).
+pub const SUPPORTED_KEY_BYTES: [u8; 8] = [1, 2, 3, 4, 6, 8, 12, 16];
+
+/// Register addresses within the peripheral's register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum ControlRegister {
+    /// Key size in bytes (one of [`SUPPORTED_KEY_BYTES`]).
+    KeyBytes = 0x0,
+    /// Non-zero enables ternary (don't-care) stored keys.
+    TernaryEnable = 0x1,
+    /// Data payload width in bits (0–64).
+    DataBits = 0x2,
+    /// Writing any value commits the staged configuration, rebuilding the
+    /// memory layout and clearing the array.
+    Commit = 0x3,
+}
+
+impl ControlRegister {
+    /// Decodes a register address.
+    #[must_use]
+    pub fn from_address(address: u64) -> Option<Self> {
+        match address {
+            0x0 => Some(Self::KeyBytes),
+            0x1 => Some(Self::TernaryEnable),
+            0x2 => Some(Self::DataBits),
+            0x3 => Some(Self::Commit),
+            _ => None,
+        }
+    }
+}
+
+/// A CA-RAM slice with a runtime-programmable record layout.
+#[derive(Debug, Clone)]
+pub struct ReconfigurableSlice {
+    rows_log2: u32,
+    row_bits: u32,
+    staged_key_bytes: u8,
+    staged_ternary: bool,
+    staged_data_bits: u8,
+    slice: CaRamSlice,
+}
+
+impl ReconfigurableSlice {
+    /// Creates a slice with an initial layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial layout does not fit the row geometry.
+    #[must_use]
+    pub fn new(rows_log2: u32, row_bits: u32, initial: RecordLayout) -> Self {
+        let slice = CaRamSlice::new(rows_log2, row_bits, initial);
+        Self {
+            rows_log2,
+            row_bits,
+            staged_key_bytes: u8::try_from(initial.key_bits() / 8).unwrap_or(16).max(1),
+            staged_ternary: initial.is_ternary(),
+            staged_data_bits: u8::try_from(initial.data_bits()).expect("<= 64"),
+            slice,
+        }
+    }
+
+    /// The live slice (searches, inserts, RAM mode).
+    #[must_use]
+    pub fn slice(&self) -> &CaRamSlice {
+        &self.slice
+    }
+
+    /// Mutable access to the live slice.
+    pub fn slice_mut(&mut self) -> &mut CaRamSlice {
+        &mut self.slice
+    }
+
+    /// Writes a control register ("store to the peripheral address").
+    ///
+    /// Configuration writes are *staged*; they take effect at the commit
+    /// write, which rebuilds the array with the new layout and clears it.
+    ///
+    /// # Errors
+    ///
+    /// * [`CaRamError::AddressOutOfRange`] — unknown register;
+    /// * [`CaRamError::BadConfig`] — unsupported key size, oversized data
+    ///   width, or a committed layout that does not fit one slot per row.
+    pub fn write_register(&mut self, address: u64, value: u64) -> Result<()> {
+        let reg = ControlRegister::from_address(address).ok_or(
+            CaRamError::AddressOutOfRange {
+                address,
+                words: 4,
+            },
+        )?;
+        match reg {
+            ControlRegister::KeyBytes => {
+                let bytes = u8::try_from(value).map_err(|_| {
+                    CaRamError::BadConfig(format!("key size {value} out of range"))
+                })?;
+                if !SUPPORTED_KEY_BYTES.contains(&bytes) {
+                    return Err(CaRamError::BadConfig(format!(
+                        "key size {bytes} bytes unsupported; pick one of {SUPPORTED_KEY_BYTES:?}"
+                    )));
+                }
+                self.staged_key_bytes = bytes;
+                Ok(())
+            }
+            ControlRegister::TernaryEnable => {
+                self.staged_ternary = value != 0;
+                Ok(())
+            }
+            ControlRegister::DataBits => {
+                let bits = u8::try_from(value).ok().filter(|&b| b <= 64).ok_or_else(|| {
+                    CaRamError::BadConfig(format!("data width {value} out of range"))
+                })?;
+                self.staged_data_bits = bits;
+                Ok(())
+            }
+            ControlRegister::Commit => self.commit(),
+        }
+    }
+
+    /// Reads a control register back (staged values; the commit register
+    /// reads as the current slot count, a convenient status word).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaRamError::AddressOutOfRange`] for an unknown register.
+    pub fn read_register(&self, address: u64) -> Result<u64> {
+        let reg = ControlRegister::from_address(address).ok_or(
+            CaRamError::AddressOutOfRange {
+                address,
+                words: 4,
+            },
+        )?;
+        Ok(match reg {
+            ControlRegister::KeyBytes => u64::from(self.staged_key_bytes),
+            ControlRegister::TernaryEnable => u64::from(self.staged_ternary),
+            ControlRegister::DataBits => u64::from(self.staged_data_bits),
+            ControlRegister::Commit => u64::from(self.slice.slots_per_row()),
+        })
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        let key_bits = u32::from(self.staged_key_bytes) * 8;
+        let layout = RecordLayout::new(key_bits, self.staged_ternary, u32::from(self.staged_data_bits));
+        if layout.slot_bits() > self.row_bits {
+            return Err(CaRamError::BadConfig(format!(
+                "a {}-bit slot does not fit the {}-bit row",
+                layout.slot_bits(),
+                self.row_bits
+            )));
+        }
+        let slots = self.row_bits / layout.slot_bits();
+        if slots > 128 {
+            return Err(CaRamError::BadConfig(format!(
+                "{slots} slots per row exceeds the simulator's 128-slot auxiliary bitmap"
+            )));
+        }
+        self.slice = CaRamSlice::new(self.rows_log2, self.row_bits, layout);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{SearchKey, TernaryKey};
+    use crate::layout::Record;
+
+    fn slice() -> ReconfigurableSlice {
+        // 1600-bit rows, as in the prototype.
+        ReconfigurableSlice::new(4, 1600, RecordLayout::new(32, false, 0))
+    }
+
+    /// 1024-bit rows keep even 1-byte keys within the simulator's 128-slot
+    /// auxiliary bitmap (the hardware prototype had no such cap).
+    fn narrow_slice() -> ReconfigurableSlice {
+        ReconfigurableSlice::new(4, 1024, RecordLayout::new(32, false, 0))
+    }
+
+    #[test]
+    fn reconfigure_key_size_changes_slot_count() {
+        let mut s = slice();
+        assert_eq!(s.slice().slots_per_row(), 50); // 1600 / 32
+        s.write_register(ControlRegister::KeyBytes as u64, 8).unwrap();
+        s.write_register(ControlRegister::Commit as u64, 1).unwrap();
+        assert_eq!(s.slice().slots_per_row(), 25); // 1600 / 64
+        assert_eq!(s.read_register(ControlRegister::Commit as u64).unwrap(), 25);
+    }
+
+    #[test]
+    fn staging_without_commit_changes_nothing() {
+        let mut s = slice();
+        s.write_register(ControlRegister::KeyBytes as u64, 16).unwrap();
+        s.write_register(ControlRegister::TernaryEnable as u64, 1).unwrap();
+        assert_eq!(s.slice().slots_per_row(), 50);
+        assert!(!s.slice().layout().is_ternary());
+        assert_eq!(s.read_register(ControlRegister::KeyBytes as u64).unwrap(), 16);
+    }
+
+    #[test]
+    fn commit_clears_contents() {
+        let mut s = slice();
+        s.slice_mut()
+            .append_record(0, &Record::new(TernaryKey::binary(7, 32), 0));
+        assert_eq!(s.slice().record_count(), 1);
+        s.write_register(ControlRegister::Commit as u64, 1).unwrap();
+        assert_eq!(s.slice().record_count(), 0);
+    }
+
+    #[test]
+    fn ternary_halves_slots_and_enables_masked_keys() {
+        let mut s = slice();
+        s.write_register(ControlRegister::TernaryEnable as u64, 1).unwrap();
+        s.write_register(ControlRegister::Commit as u64, 1).unwrap();
+        assert_eq!(s.slice().slots_per_row(), 25); // 64 stored bits per key
+        let key = TernaryKey::ternary(0xAB00_0000, 0xFF_FFFF, 32);
+        s.slice_mut().append_record(3, &Record::new(key, 0));
+        let hit = s
+            .slice()
+            .search_bucket(3, &SearchKey::new(0xAB12_3456, 32));
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn every_prototype_key_size_is_accepted() {
+        let mut s = narrow_slice();
+        for bytes in SUPPORTED_KEY_BYTES {
+            s.write_register(ControlRegister::KeyBytes as u64, u64::from(bytes))
+                .unwrap();
+            s.write_register(ControlRegister::Commit as u64, 1).unwrap();
+            assert_eq!(
+                s.slice().slots_per_row(),
+                1024 / (u32::from(bytes) * 8),
+                "{bytes} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_count_above_simulator_cap_rejected() {
+        let mut s = slice(); // 1600-bit rows: 1-byte keys would need 200 slots
+        s.write_register(ControlRegister::KeyBytes as u64, 1).unwrap();
+        let err = s.write_register(ControlRegister::Commit as u64, 1).unwrap_err();
+        assert!(matches!(err, CaRamError::BadConfig(_)));
+        assert_eq!(s.slice().slots_per_row(), 50, "old layout stays live");
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let mut s = slice();
+        // 5-byte keys are not in the supported set.
+        assert!(matches!(
+            s.write_register(ControlRegister::KeyBytes as u64, 5),
+            Err(CaRamError::BadConfig(_))
+        ));
+        // Unknown register.
+        assert!(s.write_register(0x99, 0).is_err());
+        assert!(s.read_register(0x99).is_err());
+        // Oversized data field.
+        assert!(matches!(
+            s.write_register(ControlRegister::DataBits as u64, 65),
+            Err(CaRamError::BadConfig(_))
+        ));
+        // A slot larger than the row: 16-byte ternary keys + 64-bit data
+        // in a narrow row.
+        let mut narrow = ReconfigurableSlice::new(2, 256, RecordLayout::new(32, false, 0));
+        narrow.write_register(ControlRegister::KeyBytes as u64, 16).unwrap();
+        narrow.write_register(ControlRegister::TernaryEnable as u64, 1).unwrap();
+        narrow.write_register(ControlRegister::DataBits as u64, 64).unwrap();
+        assert!(matches!(
+            narrow.write_register(ControlRegister::Commit as u64, 1),
+            Err(CaRamError::BadConfig(_))
+        ));
+        // The failed commit must leave the old layout live.
+        assert_eq!(narrow.slice().slots_per_row(), 8);
+    }
+}

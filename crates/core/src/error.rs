@@ -1,0 +1,101 @@
+//! Error types for CA-RAM operations.
+
+use core::fmt;
+
+/// Errors returned by CA-RAM data-management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CaRamError {
+    /// An insert could not find a free slot within the probe limit: the
+    /// record's home bucket and every bucket the probe sequence reaches are
+    /// full. The paper's remedies: a better hash, more capacity, or a
+    /// dedicated overflow area (Sec. 4 "Collision is a unique problem ...").
+    TableFull {
+        /// The record's home bucket.
+        home_bucket: u64,
+        /// Buckets examined before giving up.
+        buckets_probed: u32,
+    },
+    /// A key width did not match the table's record layout.
+    KeyWidthMismatch {
+        /// Width expected by the layout.
+        expected: u32,
+        /// Width supplied by the caller.
+        got: u32,
+    },
+    /// A ternary key was presented to a binary table.
+    TernaryNotEnabled,
+    /// A RAM-mode address fell outside the device.
+    AddressOutOfRange {
+        /// The offending word address.
+        address: u64,
+        /// Number of addressable words.
+        words: u64,
+    },
+    /// Inconsistent construction parameters.
+    BadConfig(String),
+}
+
+impl fmt::Display for CaRamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaRamError::TableFull {
+                home_bucket,
+                buckets_probed,
+            } => write!(
+                f,
+                "no free slot within {buckets_probed} bucket(s) of home bucket {home_bucket}"
+            ),
+            CaRamError::KeyWidthMismatch { expected, got } => {
+                write!(f, "key width {got} does not match the layout width {expected}")
+            }
+            CaRamError::TernaryNotEnabled => {
+                write!(f, "ternary key presented to a binary table")
+            }
+            CaRamError::AddressOutOfRange { address, words } => {
+                write!(f, "address {address} outside the device ({words} words)")
+            }
+            CaRamError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CaRamError {}
+
+/// Convenience alias for CA-RAM results.
+pub type Result<T> = core::result::Result<T, CaRamError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CaRamError::TableFull {
+            home_bucket: 17,
+            buckets_probed: 4,
+        };
+        assert!(e.to_string().contains("home bucket 17"));
+        let e = CaRamError::KeyWidthMismatch {
+            expected: 32,
+            got: 64,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(
+            CaRamError::AddressOutOfRange {
+                address: 100,
+                words: 10
+            }
+            .to_string()
+            .contains("100")
+        );
+        assert!(!CaRamError::TernaryNotEnabled.to_string().is_empty());
+        assert!(CaRamError::BadConfig("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &(dyn std::error::Error + Send + Sync)) {}
+        takes_err(&CaRamError::TernaryNotEnabled);
+    }
+}

@@ -1,0 +1,312 @@
+//! Search keys and stored (possibly ternary) record keys.
+//!
+//! CA-RAM supports three matching flavours (Sec. 3.1, Fig. 4(b)):
+//!
+//! * plain binary match;
+//! * *search-key masking* — don't-care bits in the search key (`Mi` input);
+//! * *ternary match* — don't-care bits in the stored key (`TMi` input), as
+//!   in a TCAM. A ternary symbol costs two stored bits.
+//!
+//! A bit position matches iff the stored bit is don't-care, or the search
+//! bit is don't-care, or the two values are equal.
+
+use crate::bits::low_mask;
+
+/// Maximum key width supported by this implementation.
+pub const MAX_KEY_BITS: u32 = 128;
+
+fn check_width(bits: u32) {
+    assert!(
+        bits > 0 && bits <= MAX_KEY_BITS,
+        "key width must be in 1..={MAX_KEY_BITS}, got {bits}"
+    );
+}
+
+/// A search key presented to a CA-RAM slice: a value plus an optional
+/// don't-care mask (a set bit in `dont_care` matches anything).
+///
+/// # Examples
+///
+/// ```
+/// use ca_ram_core::key::{SearchKey, TernaryKey};
+///
+/// // Search "0xAB??": the low byte is don't-care.
+/// let masked = SearchKey::with_mask(0xAB00, 0x00FF, 16);
+/// assert!(TernaryKey::binary(0xAB17, 16).matches(&masked));
+/// assert!(!TernaryKey::binary(0xAC17, 16).matches(&masked));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SearchKey {
+    value: u128,
+    dont_care: u128,
+    bits: u32,
+}
+
+impl SearchKey {
+    /// An exact-match search key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds [`MAX_KEY_BITS`], or if `value` has
+    /// bits set above `bits`.
+    #[must_use]
+    pub fn new(value: u128, bits: u32) -> Self {
+        Self::with_mask(value, 0, bits)
+    }
+
+    /// A search key with don't-care positions (`dont_care` bit set ⇒ that
+    /// position matches anything).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width or on value/mask bits above `bits`.
+    #[must_use]
+    pub fn with_mask(value: u128, dont_care: u128, bits: u32) -> Self {
+        check_width(bits);
+        assert!(
+            value & !low_mask(bits) == 0,
+            "value has bits set above the declared width {bits}"
+        );
+        assert!(
+            dont_care & !low_mask(bits) == 0,
+            "mask has bits set above the declared width {bits}"
+        );
+        // Canonicalize: force value bits at don't-care positions to zero so
+        // equal keys compare equal.
+        Self {
+            value: value & !dont_care,
+            dont_care,
+            bits,
+        }
+    }
+
+    /// The key value (don't-care positions are zero).
+    #[must_use]
+    pub fn value(&self) -> u128 {
+        self.value
+    }
+
+    /// The don't-care mask.
+    #[must_use]
+    pub fn dont_care(&self) -> u128 {
+        self.dont_care
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Whether any position is don't-care.
+    #[must_use]
+    pub fn is_masked(&self) -> bool {
+        self.dont_care != 0
+    }
+}
+
+/// A stored record key: a value plus a ternary don't-care mask. With an
+/// all-zero mask this is a plain binary key.
+///
+/// # Examples
+///
+/// An IPv4 `/16` prefix as 32 ternary symbols:
+///
+/// ```
+/// use ca_ram_core::key::{SearchKey, TernaryKey};
+///
+/// let prefix = TernaryKey::ternary(0xC0A8_0000, 0xFFFF, 32); // 192.168/16
+/// assert_eq!(prefix.care_count(), 16);
+/// assert!(prefix.matches(&SearchKey::new(0xC0A8_1234, 32)));
+/// assert!(!prefix.matches(&SearchKey::new(0xC0A9_0000, 32)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TernaryKey {
+    value: u128,
+    dont_care: u128,
+    bits: u32,
+}
+
+impl TernaryKey {
+    /// A binary (no don't-care) stored key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width or on value bits above `bits`.
+    #[must_use]
+    pub fn binary(value: u128, bits: u32) -> Self {
+        Self::ternary(value, 0, bits)
+    }
+
+    /// A ternary stored key; a set bit in `dont_care` is the `X` symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width or on value/mask bits above `bits`.
+    #[must_use]
+    pub fn ternary(value: u128, dont_care: u128, bits: u32) -> Self {
+        check_width(bits);
+        assert!(
+            value & !low_mask(bits) == 0,
+            "value has bits set above the declared width {bits}"
+        );
+        assert!(
+            dont_care & !low_mask(bits) == 0,
+            "mask has bits set above the declared width {bits}"
+        );
+        Self {
+            value: value & !dont_care,
+            dont_care,
+            bits,
+        }
+    }
+
+    /// The key value (don't-care positions are zero).
+    #[must_use]
+    pub fn value(&self) -> u128 {
+        self.value
+    }
+
+    /// The ternary don't-care mask.
+    #[must_use]
+    pub fn dont_care(&self) -> u128 {
+        self.dont_care
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of *care* (non-`X`) positions. For an IP prefix this is the
+    /// prefix length, which doubles as the LPM priority (Sec. 4.1).
+    #[must_use]
+    pub fn care_count(&self) -> u32 {
+        self.bits - self.dont_care.count_ones()
+    }
+
+    /// Single-bit-extended comparison of Fig. 4(b), vectorized: true iff
+    /// every position matches under the ternary + search-mask rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ — hardware compares aligned fields only.
+    #[must_use]
+    pub fn matches(&self, search: &SearchKey) -> bool {
+        assert_eq!(
+            self.bits, search.bits,
+            "stored key ({}) and search key ({}) widths differ",
+            self.bits, search.bits
+        );
+        let care = !(self.dont_care | search.dont_care) & low_mask(self.bits);
+        (self.value ^ search.value) & care == 0
+    }
+
+    /// The exact-match search key that finds this stored key (don't-care
+    /// positions zeroed).
+    #[must_use]
+    pub fn to_search_key(&self) -> SearchKey {
+        SearchKey::with_mask(self.value, self.dont_care, self.bits)
+    }
+}
+
+impl From<TernaryKey> for SearchKey {
+    fn from(key: TernaryKey) -> Self {
+        key.to_search_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        let stored = TernaryKey::binary(0b1011, 4);
+        assert!(stored.matches(&SearchKey::new(0b1011, 4)));
+        assert!(!stored.matches(&SearchKey::new(0b1010, 4)));
+    }
+
+    #[test]
+    fn ternary_stored_key_matches_paper_example() {
+        // Sec. 2.2: stored "110XX" matches search keys 11000..11011.
+        // Bits MSB-first "110XX" => value 0b11000, don't-care low 2 bits.
+        let stored = TernaryKey::ternary(0b11000, 0b00011, 5);
+        for low in 0..4u128 {
+            assert!(stored.matches(&SearchKey::new(0b11000 | low, 5)));
+        }
+        assert!(!stored.matches(&SearchKey::new(0b10000, 5)));
+        assert!(!stored.matches(&SearchKey::new(0b11100, 5)));
+    }
+
+    #[test]
+    fn search_key_masking() {
+        let stored = TernaryKey::binary(0b1010, 4);
+        // Search "1 0 X 0" (X at bit 1): matches 1010 and 1000.
+        let masked = SearchKey::with_mask(0b1000, 0b0010, 4);
+        assert!(stored.matches(&masked));
+        let other = TernaryKey::binary(0b1000, 4);
+        assert!(other.matches(&masked));
+        let non = TernaryKey::binary(0b0000, 4);
+        assert!(!non.matches(&masked));
+    }
+
+    #[test]
+    fn both_sides_masked() {
+        let stored = TernaryKey::ternary(0b1100, 0b0011, 4);
+        let search = SearchKey::with_mask(0b0000, 0b1100, 4);
+        // Every position is don't-care on one side or the other.
+        assert!(stored.matches(&search));
+    }
+
+    #[test]
+    fn care_count_is_prefix_length() {
+        // A /24 IPv4 prefix: 24 care bits, 8 don't-care bits.
+        let prefix = TernaryKey::ternary(0xC0A8_0100, 0xFF, 32);
+        assert_eq!(prefix.care_count(), 24);
+        assert_eq!(TernaryKey::binary(0, 32).care_count(), 32);
+    }
+
+    #[test]
+    fn canonical_value_at_dont_care_positions() {
+        let a = TernaryKey::ternary(0b1111, 0b0011, 4);
+        let b = TernaryKey::ternary(0b1100, 0b0011, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.value(), 0b1100);
+    }
+
+    #[test]
+    fn to_search_key_round_trip() {
+        let stored = TernaryKey::ternary(0b1010_0000, 0b0000_1111, 8);
+        assert!(stored.matches(&stored.to_search_key()));
+        let via_from: SearchKey = stored.into();
+        assert_eq!(via_from, stored.to_search_key());
+    }
+
+    #[test]
+    fn full_width_keys() {
+        let stored = TernaryKey::binary(u128::MAX, 128);
+        assert!(stored.matches(&SearchKey::new(u128::MAX, 128)));
+        assert!(!stored.matches(&SearchKey::new(u128::MAX - 1, 128)));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn width_mismatch_rejected() {
+        let stored = TernaryKey::binary(0, 8);
+        let _ = stored.matches(&SearchKey::new(0, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "key width must be in")]
+    fn zero_width_rejected() {
+        let _ = SearchKey::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above the declared width")]
+    fn oversized_value_rejected() {
+        let _ = TernaryKey::binary(0x100, 8);
+    }
+}

@@ -1,0 +1,346 @@
+//! Record formats and their placement within a memory row.
+//!
+//! A row (bucket) of `C` bits holds `⌊C / slot_bits⌋` record slots
+//! (Sec. 3.1). A slot serializes the stored key — two bits per symbol when
+//! ternary search is enabled — optionally followed by the record's data,
+//! which CA-RAM can store alongside the key to hide the data access that
+//! follows a CAM lookup (Sec. 3.2).
+
+use crate::key::{TernaryKey, MAX_KEY_BITS};
+
+/// Maximum data payload width per record.
+pub const MAX_DATA_BITS: u32 = 64;
+
+/// A searchable record: a (possibly ternary) key plus a data payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Record {
+    /// The stored key.
+    pub key: TernaryKey,
+    /// The data payload (interpreted by the application; e.g. next-hop id).
+    pub data: u64,
+}
+
+impl Record {
+    /// Creates a record.
+    #[must_use]
+    pub fn new(key: TernaryKey, data: u64) -> Self {
+        Self { key, data }
+    }
+}
+
+/// The serialized format of one record slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordLayout {
+    key_bits: u32,
+    ternary: bool,
+    data_bits: u32,
+}
+
+impl RecordLayout {
+    /// Creates a layout for `key_bits`-wide keys and `data_bits` of payload.
+    /// With `ternary` enabled every key position costs two stored bits
+    /// (value + don't-care), halving the records that fit in a bucket
+    /// (Sec. 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_bits` is 0 or exceeds [`MAX_KEY_BITS`], or if
+    /// `data_bits` exceeds [`MAX_DATA_BITS`].
+    #[must_use]
+    pub fn new(key_bits: u32, ternary: bool, data_bits: u32) -> Self {
+        assert!(
+            key_bits > 0 && key_bits <= MAX_KEY_BITS,
+            "key width must be in 1..={MAX_KEY_BITS}, got {key_bits}"
+        );
+        assert!(
+            data_bits <= MAX_DATA_BITS,
+            "data width must be at most {MAX_DATA_BITS}, got {data_bits}"
+        );
+        Self {
+            key_bits,
+            ternary,
+            data_bits,
+        }
+    }
+
+    /// A key-only binary layout (data lives in a separate RAM, as in a
+    /// conventional CAM deployment).
+    #[must_use]
+    pub fn binary_key_only(key_bits: u32) -> Self {
+        Self::new(key_bits, false, 0)
+    }
+
+    /// The IP-lookup layout of Sec. 4.1: 32 ternary key bits (64 stored
+    /// bits) plus a data payload (next-hop index).
+    #[must_use]
+    pub fn ipv4_prefix(data_bits: u32) -> Self {
+        Self::new(32, true, data_bits)
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// Whether stored keys may contain don't-care symbols.
+    #[must_use]
+    pub fn is_ternary(&self) -> bool {
+        self.ternary
+    }
+
+    /// Data payload width in bits.
+    #[must_use]
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Stored bits occupied by the key field (2× when ternary).
+    #[must_use]
+    pub fn stored_key_bits(&self) -> u32 {
+        if self.ternary {
+            self.key_bits * 2
+        } else {
+            self.key_bits
+        }
+    }
+
+    /// Total stored bits per record slot.
+    #[must_use]
+    pub fn slot_bits(&self) -> u32 {
+        self.stored_key_bits() + self.data_bits
+    }
+
+    /// Number of record slots in a row of `row_bits` bits:
+    /// `⌊C / slot_bits⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not even one slot fits.
+    #[must_use]
+    pub fn slots_per_row(&self, row_bits: u32) -> u32 {
+        let slots = row_bits / self.slot_bits();
+        assert!(
+            slots > 0,
+            "row of {row_bits} bits cannot hold a {}-bit record slot",
+            self.slot_bits()
+        );
+        slots
+    }
+
+    /// Bit offset of slot `slot` within its row.
+    #[must_use]
+    pub fn slot_offset(&self, slot: u32) -> usize {
+        slot as usize * self.slot_bits() as usize
+    }
+
+    /// Serializes `record` into the row `words` at slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's key width does not match the layout, if the
+    /// record has don't-care bits but the layout is binary, if the data
+    /// overflows `data_bits`, or if the slot lies outside the row.
+    pub fn encode_slot(&self, words: &mut [u64], slot: u32, record: &Record) {
+        assert_eq!(
+            record.key.bits(),
+            self.key_bits,
+            "record key width {} does not match layout key width {}",
+            record.key.bits(),
+            self.key_bits
+        );
+        assert!(
+            self.ternary || record.key.dont_care() == 0,
+            "binary layout cannot store a ternary key"
+        );
+        assert!(
+            self.data_bits == 64 || record.data < (1u64 << self.data_bits),
+            "data {:#x} overflows the {}-bit data field",
+            record.data,
+            self.data_bits
+        );
+        let base = self.slot_offset(slot);
+        crate::bits::write_bits(words, base, self.key_bits, record.key.value());
+        let mut cursor = base + self.key_bits as usize;
+        if self.ternary {
+            crate::bits::write_bits(words, cursor, self.key_bits, record.key.dont_care());
+            cursor += self.key_bits as usize;
+        }
+        if self.data_bits > 0 {
+            crate::bits::write_bits(words, cursor, self.data_bits, u128::from(record.data));
+        }
+    }
+
+    /// Deserializes the record at slot `slot` from the row `words`.
+    ///
+    /// The caller is responsible for knowing whether the slot is valid
+    /// (validity lives in the bucket's auxiliary field, not in the slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot lies outside the row.
+    #[must_use]
+    pub fn decode_slot(&self, words: &[u64], slot: u32) -> Record {
+        let base = self.slot_offset(slot);
+        let value = crate::bits::read_bits(words, base, self.key_bits);
+        let mut cursor = base + self.key_bits as usize;
+        let dont_care = if self.ternary {
+            let m = crate::bits::read_bits(words, cursor, self.key_bits);
+            cursor += self.key_bits as usize;
+            m
+        } else {
+            0
+        };
+        let data = if self.data_bits > 0 {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                crate::bits::read_bits(words, cursor, self.data_bits) as u64
+            }
+        } else {
+            0
+        };
+        Record {
+            key: TernaryKey::ternary(value, dont_care, self.key_bits),
+            data,
+        }
+    }
+
+    /// Zeroes the slot (used by delete; validity is cleared separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot lies outside the row.
+    pub fn clear_slot(&self, words: &mut [u64], slot: u32) {
+        crate::bits::write_bits(words, self.slot_offset(slot), self.slot_bits(), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bits: u32) -> Vec<u64> {
+        vec![0u64; (bits as usize).div_ceil(64)]
+    }
+
+    #[test]
+    fn slot_geometry_matches_paper_designs() {
+        // Table 2: 64-bit stored ternary IPv4 keys, 32 or 64 per bucket.
+        let ip = RecordLayout::new(32, true, 0);
+        assert_eq!(ip.stored_key_bits(), 64);
+        assert_eq!(ip.slots_per_row(32 * 64), 32);
+        assert_eq!(ip.slots_per_row(64 * 64), 64);
+        // Table 3: 128-bit binary trigram keys, 96 per bucket.
+        let tri = RecordLayout::new(128, false, 0);
+        assert_eq!(tri.slots_per_row(128 * 96), 96);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_binary() {
+        let layout = RecordLayout::new(24, false, 16);
+        let mut words = row(24 * 4 + 16 * 4);
+        for slot in 0..4 {
+            let rec = Record::new(
+                TernaryKey::binary(u128::from(0xABCD00 + slot), 24),
+                u64::from(0x1000 + slot),
+            );
+            layout.encode_slot(&mut words, slot, &rec);
+        }
+        for slot in 0..4 {
+            let rec = layout.decode_slot(&words, slot);
+            assert_eq!(rec.key.value(), u128::from(0xABCD00 + slot));
+            assert_eq!(rec.data, u64::from(0x1000 + slot));
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_ternary() {
+        let layout = RecordLayout::ipv4_prefix(16);
+        let mut words = row(layout.slot_bits() * 2);
+        let rec = Record::new(TernaryKey::ternary(0xC0A8_0000, 0xFFFF, 32), 42);
+        layout.encode_slot(&mut words, 1, &rec);
+        let back = layout.decode_slot(&words, 1);
+        assert_eq!(back, rec);
+        assert_eq!(back.key.care_count(), 16);
+    }
+
+    #[test]
+    fn neighbouring_slots_do_not_interfere() {
+        let layout = RecordLayout::new(13, false, 3);
+        let mut words = row(layout.slot_bits() * 5);
+        let recs: Vec<Record> = (0..5u32)
+            .map(|i| {
+                Record::new(TernaryKey::binary(u128::from(i * 1000 + 7), 13), u64::from(i % 8))
+            })
+            .collect();
+        for (i, r) in recs.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            layout.encode_slot(&mut words, i as u32, r);
+        }
+        for (i, r) in recs.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            let got = layout.decode_slot(&words, i as u32);
+            assert_eq!(got, *r);
+        }
+    }
+
+    #[test]
+    fn clear_slot_zeroes_exactly_one_slot() {
+        let layout = RecordLayout::new(16, false, 8);
+        let mut words = row(layout.slot_bits() * 3);
+        for slot in 0..3 {
+            let rec = Record::new(TernaryKey::binary(0xAAAA, 16), 0xBB);
+            layout.encode_slot(&mut words, slot, &rec);
+        }
+        layout.clear_slot(&mut words, 1);
+        assert_eq!(layout.decode_slot(&words, 0).key.value(), 0xAAAA);
+        assert_eq!(layout.decode_slot(&words, 1).key.value(), 0);
+        assert_eq!(layout.decode_slot(&words, 1).data, 0);
+        assert_eq!(layout.decode_slot(&words, 2).key.value(), 0xAAAA);
+    }
+
+    #[test]
+    fn ternary_halves_capacity() {
+        // Sec. 3.1: "the number of records that can fit ... will be halved
+        // when the ternary search capability is enabled".
+        let bin = RecordLayout::new(32, false, 0);
+        let ter = RecordLayout::new(32, true, 0);
+        assert_eq!(bin.slots_per_row(2048), 2 * ter.slots_per_row(2048));
+    }
+
+    #[test]
+    fn full_width_data() {
+        let layout = RecordLayout::new(8, false, 64);
+        let mut words = row(layout.slot_bits());
+        let rec = Record::new(TernaryKey::binary(0x5A, 8), u64::MAX);
+        layout.encode_slot(&mut words, 0, &rec);
+        assert_eq!(layout.decode_slot(&words, 0).data, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary layout cannot store a ternary key")]
+    fn ternary_key_in_binary_layout_rejected() {
+        let layout = RecordLayout::new(8, false, 0);
+        let mut words = row(8);
+        layout.encode_slot(
+            &mut words,
+            0,
+            &Record::new(TernaryKey::ternary(0, 1, 8), 0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the")]
+    fn oversized_data_rejected() {
+        let layout = RecordLayout::new(8, false, 4);
+        let mut words = row(12);
+        layout.encode_slot(&mut words, 0, &Record::new(TernaryKey::binary(0, 8), 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn row_too_narrow_rejected() {
+        let layout = RecordLayout::new(128, true, 0);
+        let _ = layout.slots_per_row(255);
+    }
+}

@@ -1,0 +1,361 @@
+//! The match processors: parallel candidate-key comparison (Sec. 3.1, 3.3).
+//!
+//! One memory access fetches a whole bucket; the match processors then
+//! compare every candidate key in the row against the search key in
+//! parallel. The functional model mirrors the prototype's four steps:
+//!
+//! 1. *expand search key* — align the search key to each slot (implicit in
+//!    the slot-indexed loop below);
+//! 2. *calculate match vector* — one bit per slot;
+//! 3. *decode match vector* — priority-encode: the lowest-numbered matching
+//!    slot wins, which implements longest-prefix match when records are
+//!    placed in descending priority order (Sec. 4.1);
+//! 4. *extract result* — return the winning slot's record.
+//!
+//! The intermediate match vector is part of the public result so tests and
+//! the multi-match diagnostics of Sec. 3.3 ("conditions where multiple
+//! matching records ... are identified") can observe it.
+
+use crate::key::SearchKey;
+use crate::layout::{Record, RecordLayout};
+
+/// Outcome of matching one fetched row against a search key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMatch {
+    /// Step 2 output: bit `i` set iff valid slot `i` matched.
+    pub match_vector: u128,
+    /// Step 3 output: the highest-priority (lowest-numbered) matching slot.
+    pub first_match: Option<u32>,
+    /// Diagnostic from step 3: more than one slot matched.
+    pub multiple_matches: bool,
+}
+
+impl RowMatch {
+    /// Number of matching slots.
+    #[must_use]
+    pub fn match_count(&self) -> u32 {
+        self.match_vector.count_ones()
+    }
+}
+
+/// A bank of match processors for one record layout.
+///
+/// The bank is stateless; it prices nothing and owns nothing — it is the
+/// combinational logic between the sense amplifiers and the result queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchProcessorBank {
+    layout: RecordLayout,
+}
+
+impl MatchProcessorBank {
+    /// Creates a bank for the given record layout.
+    #[must_use]
+    pub fn new(layout: RecordLayout) -> Self {
+        Self { layout }
+    }
+
+    /// The record layout the bank decodes.
+    #[must_use]
+    pub fn layout(&self) -> &RecordLayout {
+        &self.layout
+    }
+
+    /// Steps 1–3: computes the match vector over the valid slots of `row`
+    /// and priority-encodes it.
+    ///
+    /// `valid` is the bucket's occupancy bitmap (from the auxiliary field);
+    /// bit `i` set means slot `i` holds a record. `slots` is the number of
+    /// slots the row holds (`⌊C / slot_bits⌋`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search key width differs from the layout's key width
+    /// or if `slots` exceeds 128.
+    #[must_use]
+    pub fn match_row(&self, row: &[u64], valid: u128, slots: u32, search: &SearchKey) -> RowMatch {
+        assert_eq!(
+            search.bits(),
+            self.layout.key_bits(),
+            "search key width {} does not match layout width {}",
+            search.bits(),
+            self.layout.key_bits()
+        );
+        assert!(slots <= 128, "at most 128 slots per physical row");
+        let mut vector: u128 = 0;
+        for slot in 0..slots {
+            if valid >> slot & 1 == 0 {
+                continue;
+            }
+            let record = self.layout.decode_slot(row, slot);
+            if record.key.matches(search) {
+                vector |= 1 << slot;
+            }
+        }
+        let first_match = if vector == 0 {
+            None
+        } else {
+            Some(vector.trailing_zeros())
+        };
+        RowMatch {
+            match_vector: vector,
+            first_match,
+            multiple_matches: vector.count_ones() > 1,
+        }
+    }
+
+    /// Steps 1–3 with a limited processor bank: when a bucket holds more
+    /// candidates than there are match processors (`⌈C/N⌉ > P`), "necessary
+    /// matching actions can be divided into a few pipelined actions"
+    /// (Sec. 3.1). Candidates are compared in slot order, `processors` per
+    /// pass; the pass containing the first match terminates the pipeline
+    /// (lower slots = higher priority, so later passes cannot win).
+    ///
+    /// Returns the match result and the number of passes executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors` is zero, or under the same conditions as
+    /// [`MatchProcessorBank::match_row`].
+    #[must_use]
+    pub fn match_row_pipelined(
+        &self,
+        row: &[u64],
+        valid: u128,
+        slots: u32,
+        search: &SearchKey,
+        processors: u32,
+    ) -> (RowMatch, u32) {
+        assert!(processors > 0, "need at least one match processor");
+        assert!(slots <= 128, "at most 128 slots per physical row");
+        let mut passes = 0u32;
+        let mut vector: u128 = 0;
+        let mut first_match = None;
+        let mut start = 0u32;
+        while start < slots {
+            let end = (start + processors).min(slots);
+            passes += 1;
+            let window = crate::bits::low_mask(end) & !crate::bits::low_mask(start);
+            let partial = self.match_row(row, valid & window, slots, search);
+            vector |= partial.match_vector;
+            if partial.first_match.is_some() {
+                first_match = partial.first_match;
+                break;
+            }
+            start = end;
+        }
+        (
+            RowMatch {
+                match_vector: vector,
+                first_match,
+                multiple_matches: vector.count_ones() > 1,
+            },
+            passes,
+        )
+    }
+
+    /// Step 4: extracts the record at the winning slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot lies outside the row.
+    #[must_use]
+    pub fn extract(&self, row: &[u64], slot: u32) -> Record {
+        self.layout.decode_slot(row, slot)
+    }
+
+    /// Convenience: full pipeline over one row, returning the winning
+    /// record and its slot.
+    #[must_use]
+    pub fn search_row(
+        &self,
+        row: &[u64],
+        valid: u128,
+        slots: u32,
+        search: &SearchKey,
+    ) -> Option<(u32, Record)> {
+        let m = self.match_row(row, valid, slots, search);
+        m.first_match.map(|slot| (slot, self.extract(row, slot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::TernaryKey;
+
+    fn build_row(layout: &RecordLayout, slots: u32, records: &[(u32, Record)]) -> (Vec<u64>, u128) {
+        let bits = layout.slot_bits() * slots;
+        let mut row = vec![0u64; (bits as usize).div_ceil(64)];
+        let mut valid: u128 = 0;
+        for (slot, rec) in records {
+            layout.encode_slot(&mut row, *slot, rec);
+            valid |= 1 << slot;
+        }
+        (row, valid)
+    }
+
+    #[test]
+    fn single_match_found() {
+        let layout = RecordLayout::new(16, false, 8);
+        let recs = [
+            (0, Record::new(TernaryKey::binary(0x1111, 16), 1)),
+            (1, Record::new(TernaryKey::binary(0x2222, 16), 2)),
+            (3, Record::new(TernaryKey::binary(0x3333, 16), 3)),
+        ];
+        let (row, valid) = build_row(&layout, 4, &recs);
+        let bank = MatchProcessorBank::new(layout);
+        let m = bank.match_row(&row, valid, 4, &SearchKey::new(0x2222, 16));
+        assert_eq!(m.first_match, Some(1));
+        assert_eq!(m.match_vector, 0b10);
+        assert!(!m.multiple_matches);
+        let (slot, rec) = bank
+            .search_row(&row, valid, 4, &SearchKey::new(0x3333, 16))
+            .unwrap();
+        assert_eq!(slot, 3);
+        assert_eq!(rec.data, 3);
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let layout = RecordLayout::new(16, false, 0);
+        let (row, valid) = build_row(
+            &layout,
+            4,
+            &[(0, Record::new(TernaryKey::binary(0xAAAA, 16), 0))],
+        );
+        let bank = MatchProcessorBank::new(layout);
+        assert!(bank.search_row(&row, valid, 4, &SearchKey::new(0xBBBB, 16)).is_none());
+    }
+
+    #[test]
+    fn invalid_slots_never_match() {
+        // A stale key left in an invalidated slot must not match.
+        let layout = RecordLayout::new(16, false, 0);
+        let (row, _) = build_row(
+            &layout,
+            2,
+            &[(0, Record::new(TernaryKey::binary(0xCCCC, 16), 0))],
+        );
+        let bank = MatchProcessorBank::new(layout);
+        let m = bank.match_row(&row, 0, 2, &SearchKey::new(0xCCCC, 16));
+        assert_eq!(m.first_match, None);
+        // Slot 1 is zeroed but also invalid: a zero search key must miss.
+        let m = bank.match_row(&row, 0b01, 2, &SearchKey::new(0, 16));
+        assert_eq!(m.first_match, None);
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest_slot() {
+        // Two entries match (a /16 placed before a /8 in priority order);
+        // the encoder must pick the lower slot, implementing LPM.
+        let layout = RecordLayout::new(32, true, 8);
+        let p16 = Record::new(TernaryKey::ternary(0xC0A8_0000, 0xFFFF, 32), 16);
+        let p8 = Record::new(TernaryKey::ternary(0xC000_0000, 0x00FF_FFFF, 32), 8);
+        let (row, valid) = build_row(&layout, 4, &[(0, p16), (1, p8)]);
+        let bank = MatchProcessorBank::new(layout);
+        let m = bank.match_row(&row, valid, 4, &SearchKey::new(0xC0A8_1234, 32));
+        assert_eq!(m.first_match, Some(0));
+        assert!(m.multiple_matches);
+        assert_eq!(m.match_count(), 2);
+        // A key matching only the /8 falls through to slot 1.
+        let m = bank.match_row(&row, valid, 4, &SearchKey::new(0xC001_0000, 32));
+        assert_eq!(m.first_match, Some(1));
+        assert!(!m.multiple_matches);
+    }
+
+    #[test]
+    fn masked_search_key_matches_multiple() {
+        let layout = RecordLayout::new(8, false, 0);
+        let recs = [
+            (0, Record::new(TernaryKey::binary(0b0000_0000, 8), 0)),
+            (1, Record::new(TernaryKey::binary(0b0000_0001, 8), 0)),
+            (2, Record::new(TernaryKey::binary(0b1000_0001, 8), 0)),
+        ];
+        let (row, valid) = build_row(&layout, 3, &recs);
+        let bank = MatchProcessorBank::new(layout);
+        // Search 0000000X matches slots 0 and 1.
+        let m = bank.match_row(&row, valid, 3, &SearchKey::with_mask(0, 1, 8));
+        assert_eq!(m.match_vector, 0b011);
+        assert_eq!(m.first_match, Some(0));
+    }
+
+    #[test]
+    fn full_row_of_96_slots() {
+        // The trigram configuration: 96 keys of 128 bits per bucket.
+        let layout = RecordLayout::new(128, false, 0);
+        let records: Vec<(u32, Record)> = (0..96)
+            .map(|i| (i, Record::new(TernaryKey::binary(u128::from(i) << 64 | 7, 128), 0)))
+            .collect();
+        let (row, valid) = build_row(&layout, 96, &records);
+        let bank = MatchProcessorBank::new(layout);
+        for i in [0u32, 47, 95] {
+            let key = SearchKey::new(u128::from(i) << 64 | 7, 128);
+            let m = bank.match_row(&row, valid, 96, &key);
+            assert_eq!(m.first_match, Some(i));
+            assert!(!m.multiple_matches);
+        }
+        assert!(bank
+            .match_row(&row, valid, 96, &SearchKey::new(96u128 << 64 | 7, 128))
+            .first_match
+            .is_none());
+    }
+
+    #[test]
+    fn pipelined_match_agrees_with_full_bank() {
+        let layout = RecordLayout::new(16, false, 0);
+        let records: Vec<(u32, Record)> = (0..12)
+            .map(|i| (i, Record::new(TernaryKey::binary(u128::from(0x500 + i), 16), 0)))
+            .collect();
+        let (row, valid) = build_row(&layout, 12, &records);
+        let bank = MatchProcessorBank::new(layout);
+        for target in [0u32, 5, 11] {
+            let key = SearchKey::new(u128::from(0x500 + target), 16);
+            let full = bank.match_row(&row, valid, 12, &key);
+            for p in [1u32, 4, 5, 12, 64] {
+                let (pipelined, passes) = bank.match_row_pipelined(&row, valid, 12, &key, p);
+                assert_eq!(pipelined.first_match, full.first_match, "P={p}");
+                // The winning pass is the one containing the target slot.
+                assert_eq!(passes, target / p + 1, "P={p} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_miss_runs_all_passes() {
+        let layout = RecordLayout::new(16, false, 0);
+        let records: Vec<(u32, Record)> = (0..8)
+            .map(|i| (i, Record::new(TernaryKey::binary(u128::from(i), 16), 0)))
+            .collect();
+        let (row, valid) = build_row(&layout, 8, &records);
+        let bank = MatchProcessorBank::new(layout);
+        let (m, passes) = bank.match_row_pipelined(&row, valid, 8, &SearchKey::new(0xFFFF, 16), 3);
+        assert_eq!(m.first_match, None);
+        assert_eq!(passes, 3); // ceil(8/3)
+    }
+
+    #[test]
+    fn pipelined_priority_stops_at_first_matching_pass() {
+        // Two matches in different passes: the earlier pass wins and the
+        // pipeline stops, leaving the later match unobserved in the vector.
+        let layout = RecordLayout::new(8, false, 0);
+        let records = [
+            (1, Record::new(TernaryKey::binary(0x7, 8), 0)),
+            (6, Record::new(TernaryKey::binary(0x7, 8), 0)),
+        ];
+        let (row, valid) = build_row(&layout, 8, &records);
+        let bank = MatchProcessorBank::new(layout);
+        let (m, passes) = bank.match_row_pipelined(&row, valid, 8, &SearchKey::new(0x7, 8), 4);
+        assert_eq!(m.first_match, Some(1));
+        assert_eq!(passes, 1);
+        assert!(!m.multiple_matches, "the second match was never evaluated");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match layout width")]
+    fn wrong_search_width_rejected() {
+        let layout = RecordLayout::new(16, false, 0);
+        let bank = MatchProcessorBank::new(layout);
+        let row = vec![0u64; 1];
+        let _ = bank.match_row(&row, 0, 1, &SearchKey::new(0, 8));
+    }
+}

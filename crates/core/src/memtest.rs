@@ -1,0 +1,387 @@
+//! RAM-mode memory tests (Sec. 3.2).
+//!
+//! "Lastly, various hardware- and software-based memory tests will be
+//! performed on CA-RAM using this RAM mode." This module implements the
+//! classical pattern tests — walking ones/zeros, checkerboard,
+//! address-in-address, and a March C- style sequence — over any
+//! word-addressable RAM view ([`RamAccess`]), which [`MemoryArray`]
+//! implements directly. Tests return the faults they detect, so fault
+//! injection (in tests or via a wrapper) can validate coverage.
+
+use crate::array::MemoryArray;
+use crate::error::Result;
+
+/// A word-addressable RAM view the tests can drive. [`MemoryArray`]
+/// implements it; test harnesses wrap it to inject faults.
+pub trait RamAccess {
+    /// Number of addressable words.
+    fn words(&self) -> u64;
+    /// Reads the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error for out-of-range addresses.
+    fn read(&mut self, address: u64) -> Result<u64>;
+    /// Writes the word at `address`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error for out-of-range addresses.
+    fn write(&mut self, address: u64, value: u64) -> Result<()>;
+}
+
+impl RamAccess for MemoryArray {
+    fn words(&self) -> u64 {
+        self.total_words()
+    }
+
+    fn read(&mut self, address: u64) -> Result<u64> {
+        self.read_word(address)
+    }
+
+    fn write(&mut self, address: u64, value: u64) -> Result<()> {
+        self.write_word(address, value)
+    }
+}
+
+/// A fault detected by a memory test.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFault {
+    /// Word address of the mismatch.
+    pub address: u64,
+    /// The value written.
+    pub expected: u64,
+    /// The value read back.
+    pub observed: u64,
+}
+
+/// Report of one memory-test run.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemTestReport {
+    /// Test name.
+    pub test: &'static str,
+    /// Words covered.
+    pub words: u64,
+    /// Faults detected (empty = pass). Capped at 64 entries.
+    pub faults: Vec<MemoryFault>,
+}
+
+impl MemTestReport {
+    /// Whether the array passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+const FAULT_CAP: usize = 64;
+
+fn record_fault(report: &mut MemTestReport, address: u64, expected: u64, observed: u64) {
+    if report.faults.len() < FAULT_CAP {
+        report.faults.push(MemoryFault {
+            address,
+            expected,
+            observed,
+        });
+    }
+}
+
+/// Walking-ones: for each word, walk a single set bit through all 64
+/// positions, verifying each step. Detects stuck-at-0 cells and many
+/// coupling faults within a word.
+///
+/// # Errors
+///
+/// Propagates RAM-access errors (which indicate harness bugs, not faults).
+pub fn walking_ones(ram: &mut dyn RamAccess) -> Result<MemTestReport> {
+    let mut report = MemTestReport {
+        test: "walking-ones",
+        words: ram.words(),
+        faults: Vec::new(),
+    };
+    for addr in 0..ram.words() {
+        for bit in 0..64u32 {
+            let pattern = 1u64 << bit;
+            ram.write(addr, pattern)?;
+            let got = ram.read(addr)?;
+            if got != pattern {
+                record_fault(&mut report, addr, pattern, got);
+                break; // one fault per word is enough detail
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Checkerboard: alternating 0xAA…/0x55… by address parity, two passes
+/// with the phases swapped. Detects inter-cell shorts and stuck bits.
+///
+/// # Errors
+///
+/// Propagates RAM-access errors.
+pub fn checkerboard(ram: &mut dyn RamAccess) -> Result<MemTestReport> {
+    let mut report = MemTestReport {
+        test: "checkerboard",
+        words: ram.words(),
+        faults: Vec::new(),
+    };
+    for phase in 0..2u64 {
+        let val = |addr: u64| -> u64 {
+            if (addr + phase).is_multiple_of(2) {
+                0xAAAA_AAAA_AAAA_AAAA
+            } else {
+                0x5555_5555_5555_5555
+            }
+        };
+        for addr in 0..ram.words() {
+            ram.write(addr, val(addr))?;
+        }
+        for addr in 0..ram.words() {
+            let got = ram.read(addr)?;
+            if got != val(addr) {
+                record_fault(&mut report, addr, val(addr), got);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Address-in-address: writes each word's own address (mixed to cover the
+/// high bits), then verifies. Detects address-decoder faults — two
+/// addresses selecting one cell read back the same value.
+///
+/// # Errors
+///
+/// Propagates RAM-access errors.
+pub fn address_in_address(ram: &mut dyn RamAccess) -> Result<MemTestReport> {
+    let mut report = MemTestReport {
+        test: "address-in-address",
+        words: ram.words(),
+        faults: Vec::new(),
+    };
+    let mix = |addr: u64| addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ addr;
+    for addr in 0..ram.words() {
+        ram.write(addr, mix(addr))?;
+    }
+    for addr in 0..ram.words() {
+        let got = ram.read(addr)?;
+        if got != mix(addr) {
+            record_fault(&mut report, addr, mix(addr), got);
+        }
+    }
+    Ok(report)
+}
+
+/// March C- (word-granular): ⇑(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0);
+/// ⇑(r0). Detects stuck-at, transition, and unlinked coupling faults.
+///
+/// # Errors
+///
+/// Propagates RAM-access errors.
+#[allow(clippy::many_single_char_names)]
+pub fn march_c(ram: &mut dyn RamAccess) -> Result<MemTestReport> {
+    let mut report = MemTestReport {
+        test: "march-c-",
+        words: ram.words(),
+        faults: Vec::new(),
+    };
+    let n = ram.words();
+    let zero = 0u64;
+    let one = u64::MAX;
+    // ⇑(w0)
+    for a in 0..n {
+        ram.write(a, zero)?;
+    }
+    // ⇑(r0, w1)
+    for a in 0..n {
+        let got = ram.read(a)?;
+        if got != zero {
+            record_fault(&mut report, a, zero, got);
+        }
+        ram.write(a, one)?;
+    }
+    // ⇑(r1, w0)
+    for a in 0..n {
+        let got = ram.read(a)?;
+        if got != one {
+            record_fault(&mut report, a, one, got);
+        }
+        ram.write(a, zero)?;
+    }
+    // ⇓(r0, w1)
+    for a in (0..n).rev() {
+        let got = ram.read(a)?;
+        if got != zero {
+            record_fault(&mut report, a, zero, got);
+        }
+        ram.write(a, one)?;
+    }
+    // ⇓(r1, w0)
+    for a in (0..n).rev() {
+        let got = ram.read(a)?;
+        if got != one {
+            record_fault(&mut report, a, one, got);
+        }
+        ram.write(a, zero)?;
+    }
+    // ⇑(r0)
+    for a in 0..n {
+        let got = ram.read(a)?;
+        if got != zero {
+            record_fault(&mut report, a, zero, got);
+        }
+    }
+    Ok(report)
+}
+
+/// Runs the full battery in order, stopping early only on harness errors.
+///
+/// # Errors
+///
+/// Propagates RAM-access errors.
+pub fn full_battery(ram: &mut dyn RamAccess) -> Result<Vec<MemTestReport>> {
+    Ok(vec![
+        walking_ones(ram)?,
+        checkerboard(ram)?,
+        address_in_address(ram)?,
+        march_c(ram)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CaRamError;
+
+    /// A RAM wrapper injecting classic fault models.
+    struct FaultyRam {
+        inner: MemoryArray,
+        stuck_at_zero: Option<(u64, u32)>, // (address, bit)
+        aliased: Option<(u64, u64)>,       // address b decodes to address a
+    }
+
+    impl FaultyRam {
+        fn clean(words_rows: u64) -> Self {
+            Self {
+                inner: MemoryArray::new(words_rows, 64),
+                stuck_at_zero: None,
+                aliased: None,
+            }
+        }
+
+        fn resolve(&self, address: u64) -> u64 {
+            match self.aliased {
+                Some((target, alias)) if address == alias => target,
+                _ => address,
+            }
+        }
+    }
+
+    impl RamAccess for FaultyRam {
+        fn words(&self) -> u64 {
+            self.inner.total_words()
+        }
+
+        fn read(&mut self, address: u64) -> crate::error::Result<u64> {
+            let physical = self.resolve(address);
+            let mut v = self.inner.read_word(physical)?;
+            if let Some((a, bit)) = self.stuck_at_zero {
+                if physical == a {
+                    v &= !(1u64 << bit);
+                }
+            }
+            Ok(v)
+        }
+
+        fn write(&mut self, address: u64, value: u64) -> crate::error::Result<()> {
+            let physical = self.resolve(address);
+            self.inner.write_word(physical, value)
+        }
+    }
+
+    #[test]
+    fn clean_array_passes_the_battery() {
+        let mut ram = MemoryArray::new(32, 128);
+        for report in full_battery(&mut ram).unwrap() {
+            assert!(report.passed(), "{} failed: {:?}", report.test, report.faults);
+            assert_eq!(report.words, 64);
+        }
+    }
+
+    #[test]
+    fn stuck_at_zero_bit_is_caught_by_every_test() {
+        for test in [walking_ones, checkerboard, address_in_address, march_c] {
+            let mut ram = FaultyRam::clean(16);
+            ram.stuck_at_zero = Some((7, 33));
+            let report = test(&mut ram).unwrap();
+            assert!(!report.passed(), "{} missed the stuck bit", report.test);
+            assert!(report.faults.iter().any(|f| f.address == 7));
+        }
+    }
+
+    #[test]
+    fn address_aliasing_is_caught_by_address_test() {
+        let mut ram = FaultyRam::clean(16);
+        ram.aliased = Some((3, 11)); // address 11 decodes onto address 3
+        let report = address_in_address(&mut ram).unwrap();
+        assert!(!report.passed());
+        // The fault surfaces at the aliased pair.
+        assert!(report.faults.iter().any(|f| f.address == 3 || f.address == 11));
+        // A pure data-pattern test with identical patterns at both cells
+        // can miss aliasing; March C- catches it through its ordered
+        // read-write sequence.
+        let mut ram = FaultyRam::clean(16);
+        ram.aliased = Some((3, 11));
+        let march = march_c(&mut ram).unwrap();
+        assert!(!march.passed(), "March C- must catch decoder aliasing");
+    }
+
+    #[test]
+    fn fault_reports_include_observed_values() {
+        let mut ram = FaultyRam::clean(8);
+        ram.stuck_at_zero = Some((2, 0));
+        let report = march_c(&mut ram).unwrap();
+        let fault = report.faults.iter().find(|f| f.address == 2).unwrap();
+        assert_eq!(fault.expected & 1, 1);
+        assert_eq!(fault.observed & 1, 0);
+    }
+
+    #[test]
+    fn fault_list_is_capped() {
+        // Every word faulty: the report must not balloon.
+        struct AllBroken;
+        impl RamAccess for AllBroken {
+            fn words(&self) -> u64 {
+                1_000
+            }
+            fn read(&mut self, _a: u64) -> crate::error::Result<u64> {
+                Ok(0xDEAD)
+            }
+            fn write(&mut self, _a: u64, _v: u64) -> crate::error::Result<()> {
+                Ok(())
+            }
+        }
+        let report = march_c(&mut AllBroken).unwrap();
+        assert!(!report.passed());
+        assert!(report.faults.len() <= 64);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        struct Tiny;
+        impl RamAccess for Tiny {
+            fn words(&self) -> u64 {
+                4
+            }
+            fn read(&mut self, a: u64) -> crate::error::Result<u64> {
+                Err(CaRamError::AddressOutOfRange { address: a, words: 4 })
+            }
+            fn write(&mut self, _a: u64, _v: u64) -> crate::error::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(walking_ones(&mut Tiny).is_err());
+    }
+}

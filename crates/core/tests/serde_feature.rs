@@ -1,0 +1,42 @@
+//! Round-trip tests for the optional `serde` feature (report types are
+//! data-interchange structures per C-SERDE).
+#![cfg(feature = "serde")]
+
+use ca_ram_core::memtest::{MemTestReport, MemoryFault};
+use ca_ram_core::stats::LoadReport;
+
+#[test]
+fn load_report_round_trips_through_json() {
+    let report = LoadReport {
+        buckets: 2048,
+        slots_per_bucket: 192,
+        original_records: 186_760,
+        duplicate_records: 13_846,
+        spilled_records: 29_105,
+        overflowing_buckets: 338,
+        amal_uniform: 1.295,
+        amal_weighted: 1.156,
+    };
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: LoadReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, report);
+    assert!((back.load_factor() - report.load_factor()).abs() < 1e-12);
+}
+
+#[test]
+fn memtest_report_round_trips_through_json() {
+    let report = MemTestReport {
+        test: "march-c-",
+        words: 64,
+        faults: vec![MemoryFault {
+            address: 7,
+            expected: u64::MAX,
+            observed: 0,
+        }],
+    };
+    let json = serde_json::to_string(&report).expect("serializes");
+    // `test` is &'static str; deserialize into an owned shadow via serde_json::Value.
+    let value: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+    assert_eq!(value["words"], 64);
+    assert_eq!(value["faults"][0]["address"], 7);
+}

@@ -1,0 +1,156 @@
+//! Area model (Sec. 3.4 "Area" and Figures 6(a) and 8).
+//!
+//! CA-RAM decouples the dense memory array from the match logic, so its area
+//! is the RAM array area plus a small match-processor overhead — the paper
+//! derives a ~7% overhead by scaling the Table 1 prototype to 130 nm and
+//! amortizing it over 16 slices of 64 K cells each. CAM/TCAM area is simply
+//! cells × published cell size.
+
+use crate::cells::{CellKind, CellLibrary};
+use crate::geometry::{CaRamGeometry, CamGeometry};
+use crate::units::SquareMicrons;
+
+/// Fractional area overhead of the match processors relative to the memory
+/// array, derived from the prototype in Sec. 3.3 scaled to 130 nm (Sec. 3.4).
+pub const MATCH_PROCESSOR_OVERHEAD: f64 = 0.07;
+
+/// The area model: prices device geometries using published cell datapoints.
+#[derive(Debug, Clone, Default)]
+pub struct AreaModel {
+    library: CellLibrary,
+    mp_overhead: f64,
+}
+
+impl AreaModel {
+    /// Model using the standard 130 nm cell library and the paper's 7%
+    /// match-processor overhead.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            library: CellLibrary::standard(),
+            mp_overhead: MATCH_PROCESSOR_OVERHEAD,
+        }
+    }
+
+    /// Model with a custom library and overhead (for sensitivity studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mp_overhead` is negative or not finite.
+    #[must_use]
+    pub fn with_library(library: CellLibrary, mp_overhead: f64) -> Self {
+        assert!(
+            mp_overhead.is_finite() && mp_overhead >= 0.0,
+            "overhead must be finite and non-negative"
+        );
+        Self {
+            library,
+            mp_overhead,
+        }
+    }
+
+    /// The cell library in use.
+    #[must_use]
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Effective area of one *stored symbol* in a CA-RAM built from `storage`
+    /// cells, including the amortized match-processor overhead.
+    ///
+    /// A binary symbol costs one RAM bit; a ternary symbol (one of {0, 1, X})
+    /// costs two RAM bits (Sec. 3.1). This is the "DRAM-based ternary CA-RAM"
+    /// bar of Figure 6(a).
+    #[must_use]
+    pub fn caram_cell_area(&self, storage: CellKind, ternary: bool) -> SquareMicrons {
+        let bits_per_symbol = if ternary { 2.0 } else { 1.0 };
+        self.library.get(storage).area() * bits_per_symbol * (1.0 + self.mp_overhead)
+    }
+
+    /// Published area of one CAM/TCAM cell (one symbol).
+    #[must_use]
+    pub fn cam_cell_area(&self, cell: CellKind) -> SquareMicrons {
+        self.library.get(cell).area()
+    }
+
+    /// Total area of a CA-RAM device: array cells plus match-processor
+    /// overhead. Empty slots still cost area — the load factor α trades this
+    /// area against lookup latency (Sec. 2.1, Sec. 4.3).
+    #[must_use]
+    pub fn caram_device_area(&self, geometry: &CaRamGeometry) -> SquareMicrons {
+        let cell = self.library.get(geometry.storage).area();
+        #[allow(clippy::cast_precision_loss)]
+        let bits = geometry.total_bits() as f64;
+        cell * bits * (1.0 + self.mp_overhead)
+    }
+
+    /// Total area of a CAM/TCAM device.
+    #[must_use]
+    pub fn cam_device_area(&self, geometry: &CamGeometry) -> SquareMicrons {
+        #[allow(clippy::cast_precision_loss)]
+        let cells = geometry.total_cells() as f64;
+        self.library.get(geometry.cell).area() * cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6a_cell_size_ratios() {
+        // Fig. 6(a): CA-RAM ternary cell is >12x smaller than the 16T
+        // SRAM-based TCAM cell and ~4.8x smaller than the 6T dynamic TCAM.
+        let m = AreaModel::new();
+        let caram = m.caram_cell_area(CellKind::EmbeddedDram, true);
+        let t16 = m.cam_cell_area(CellKind::TcamSram16T);
+        let t6 = m.cam_cell_area(CellKind::TcamDynamic6T);
+        assert!(t16.ratio_to(caram) > 12.0, "got {}", t16.ratio_to(caram));
+        let r6 = t6.ratio_to(caram);
+        assert!((4.5..5.1).contains(&r6), "got {r6}");
+    }
+
+    #[test]
+    fn binary_caram_cell_is_half_the_ternary_cell() {
+        let m = AreaModel::new();
+        let bin = m.caram_cell_area(CellKind::EmbeddedDram, false);
+        let ter = m.caram_cell_area(CellKind::EmbeddedDram, true);
+        assert!((ter.ratio_to(bin) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_area_scales_with_bits() {
+        let m = AreaModel::new();
+        let small = CaRamGeometry::new(1, 1024, 2048, CellKind::EmbeddedDram, 32);
+        let big = CaRamGeometry::new(2, 1024, 2048, CellKind::EmbeddedDram, 32);
+        let a_small = m.caram_device_area(&small);
+        let a_big = m.caram_device_area(&big);
+        assert!((a_big.ratio_to(a_small) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_applied_to_caram_only() {
+        let m = AreaModel::new();
+        let g = CaRamGeometry::new(1, 1, 1, CellKind::EmbeddedDram, 1);
+        let raw = m.library().get(CellKind::EmbeddedDram).area();
+        let priced = m.caram_device_area(&g);
+        assert!((priced.ratio_to(raw) - 1.07).abs() < 1e-9);
+
+        let cam = CamGeometry::new(1, 1, CellKind::TcamDynamic6T);
+        let cam_raw = m.library().get(CellKind::TcamDynamic6T).area();
+        assert!((m.cam_device_area(&cam).ratio_to(cam_raw) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_overhead() {
+        let m = AreaModel::with_library(CellLibrary::standard(), 0.0);
+        let bin = m.caram_cell_area(CellKind::EmbeddedDram, false);
+        assert!((bin.value() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_overhead_rejected() {
+        let _ = AreaModel::with_library(CellLibrary::standard(), -0.1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Device geometries shared by the area, power, and timing models.
+//!
+//! A [`CaRamGeometry`] describes a CA-RAM built from one or more identical
+//! slices (Sec. 3.2); a [`CamGeometry`] describes a monolithic CAM/TCAM array
+//! of `entries` rows × `symbols_per_entry` cells. The cost models consume
+//! these descriptions so that the same geometry can be priced for area,
+//! power, and timing consistently.
+
+use crate::cells::CellKind;
+
+/// Geometry of a CA-RAM device (Sec. 3.1–3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CaRamGeometry {
+    /// Number of independently accessible slices (`Nslice` in Sec. 3.4).
+    pub slices: u32,
+    /// Rows (buckets) per slice; `2^R` in the paper's notation.
+    pub rows_per_slice: u64,
+    /// Bits per row (`C` in the paper's notation).
+    pub row_bits: u32,
+    /// Storage cell the memory array is built from (must be a RAM cell).
+    pub storage: CellKind,
+    /// Number of match processors per slice (`P`).
+    pub match_processors: u32,
+}
+
+impl CaRamGeometry {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or if `storage` embeds match logic
+    /// (a CA-RAM array must use a plain RAM cell; Sec. 3.1).
+    #[must_use]
+    pub fn new(
+        slices: u32,
+        rows_per_slice: u64,
+        row_bits: u32,
+        storage: CellKind,
+        match_processors: u32,
+    ) -> Self {
+        assert!(slices > 0, "a CA-RAM needs at least one slice");
+        assert!(rows_per_slice > 0, "a slice needs at least one row");
+        assert!(row_bits > 0, "a row needs at least one bit");
+        assert!(match_processors > 0, "a slice needs at least one match processor");
+        assert!(
+            !storage.has_embedded_match_logic(),
+            "CA-RAM decouples storage from match logic; use a RAM cell, not {storage}"
+        );
+        Self {
+            slices,
+            rows_per_slice,
+            row_bits,
+            storage,
+            match_processors,
+        }
+    }
+
+    /// Total storage bits across all slices.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        u64::from(self.slices) * self.rows_per_slice * u64::from(self.row_bits)
+    }
+
+    /// Total rows across all slices.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        u64::from(self.slices) * self.rows_per_slice
+    }
+}
+
+/// Geometry of a conventional CAM or TCAM array (Sec. 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CamGeometry {
+    /// Number of stored entries (`w` in the Sec. 3.4 power equations).
+    pub entries: u64,
+    /// Cells per entry: ternary symbols for a TCAM, bits for a binary CAM
+    /// (`n` in the Sec. 3.4 power equations).
+    pub symbols_per_entry: u32,
+    /// CAM cell circuit the array is built from.
+    pub cell: CellKind,
+}
+
+impl CamGeometry {
+    /// Creates a CAM geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `cell` does not embed match logic.
+    #[must_use]
+    pub fn new(entries: u64, symbols_per_entry: u32, cell: CellKind) -> Self {
+        assert!(entries > 0, "a CAM needs at least one entry");
+        assert!(symbols_per_entry > 0, "an entry needs at least one symbol");
+        assert!(
+            cell.has_embedded_match_logic(),
+            "a CAM array must use a CAM/TCAM cell, not {cell}"
+        );
+        Self {
+            entries,
+            symbols_per_entry,
+            cell,
+        }
+    }
+
+    /// Total cells in the array.
+    #[must_use]
+    pub fn total_cells(&self) -> u64 {
+        self.entries * u64::from(self.symbols_per_entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caram_totals() {
+        let g = CaRamGeometry::new(6, 2048, 2048, CellKind::EmbeddedDram, 32);
+        assert_eq!(g.total_bits(), 6 * 2048 * 2048);
+        assert_eq!(g.total_rows(), 6 * 2048);
+    }
+
+    #[test]
+    fn cam_totals() {
+        let g = CamGeometry::new(186_760, 32, CellKind::TcamDynamic6T);
+        assert_eq!(g.total_cells(), 186_760 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "use a RAM cell")]
+    fn caram_rejects_cam_cells() {
+        let _ = CaRamGeometry::new(1, 1, 1, CellKind::TcamDynamic6T, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must use a CAM/TCAM cell")]
+    fn cam_rejects_ram_cells() {
+        let _ = CamGeometry::new(1, 1, CellKind::EmbeddedDram);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_slices_rejected() {
+        let _ = CaRamGeometry::new(0, 1, 1, CellKind::EmbeddedDram, 1);
+    }
+}

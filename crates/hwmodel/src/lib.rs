@@ -1,0 +1,56 @@
+//! Hardware cost models for CA-RAM and its CAM/TCAM comparison targets.
+//!
+//! This crate implements the analytical area, power, timing, and synthesis
+//! models from Sections 3.3–3.4 of *CA-RAM: A High-Performance Memory
+//! Substrate for Search-Intensive Applications* (Cho et al., ISPASS 2007).
+//! The models are anchored to the published 130 nm silicon datapoints the
+//! paper itself cites (Noda '03/'05 TCAMs, Morishita '05 embedded DRAM,
+//! Yamagata '92 CAM) and to the paper's own 0.16 µm match-processor
+//! synthesis (Table 1).
+//!
+//! # Example
+//!
+//! Price a DRAM-based ternary CA-RAM against a 6T dynamic TCAM of the same
+//! capacity:
+//!
+//! ```
+//! use ca_ram_hwmodel::{
+//!     AreaModel, CamGeometry, CaRamGeometry, CellKind, Megahertz, PowerModel,
+//! };
+//!
+//! let caram = CaRamGeometry::new(16, 256, 512, CellKind::EmbeddedDram, 8);
+//! let tcam = CamGeometry::new(16_384, 64, CellKind::TcamDynamic6T);
+//!
+//! let area = AreaModel::new();
+//! assert!(area.cam_device_area(&tcam).value() > area.caram_device_area(&caram).value());
+//!
+//! let power = PowerModel::new();
+//! let p_caram = power.caram_search_power(&caram, Megahertz::new(200.0));
+//! let p_tcam = power.cam_search_power(&tcam, Megahertz::new(143.0));
+//! assert!(p_tcam.value() / p_caram.value() > 7.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+
+pub mod area;
+pub mod cells;
+pub mod geometry;
+pub mod power;
+pub mod synth;
+pub mod technology;
+pub mod timing;
+pub mod units;
+
+pub use area::{AreaModel, MATCH_PROCESSOR_OVERHEAD};
+pub use cells::{CellDatapoint, CellKind, CellLibrary};
+pub use geometry::{CaRamGeometry, CamGeometry};
+pub use power::{CaRamSearchEnergy, CamSearchEnergy, PowerModel};
+pub use synth::{MatchProcessorParams, MatchStage, StageResult, SynthesisModel, SynthesisReport};
+pub use technology::ProcessNode;
+pub use timing::{CamTiming, CaRamTiming};
+pub use units::{
+    Femtojoules, Megahertz, MegaSearchesPerSecond, Milliwatts, Nanoseconds, Picojoules,
+    SquareMicrons, SquareMillimeters,
+};

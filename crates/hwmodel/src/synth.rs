@@ -1,0 +1,503 @@
+//! Analytical standard-cell synthesis model of the match processor
+//! (Sec. 3.3, Table 1).
+//!
+//! The paper implemented a prototype CA-RAM slice in Verilog and synthesized
+//! the match processor with a 0.16 µm standard-cell library, reporting cell
+//! count, area, and delay for the four pipeline-able steps:
+//!
+//! 1. **Expand search key** — replicate/align the search key to every stored
+//!    key position (latency hidden behind the memory access);
+//! 2. **Calculate match vector** — bit-by-bit ternary comparison of all
+//!    candidates in parallel;
+//! 3. **Decode match vector** — priority-encode the (possibly multiple)
+//!    matches; serial, on the critical path;
+//! 4. **Extract result** — mux the matched record's data out of the row.
+//!
+//! We model each stage with gate counts parameterized by the bucket width
+//! `C`, the set of supported key widths, and the minimum key width (which
+//! bounds the slot count the encoder must arbitrate). The constants are
+//! calibrated so the paper's prototype configuration (`C = 1600`, key widths
+//! 1–16 bytes) reproduces Table 1; the model then extrapolates to the
+//! application-specific configurations of Sec. 4 (where "much of this
+//! complexity will be removed" for fixed-width keys).
+
+use crate::technology::ProcessNode;
+use crate::units::{Milliwatts, Nanoseconds, SquareMicrons};
+
+/// The four match-processing steps of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchStage {
+    /// Step 1: expand/align the search key (overlapped with memory access).
+    ExpandSearchKey,
+    /// Step 2: compute the per-candidate match vector.
+    CalculateMatchVector,
+    /// Step 3: priority-decode the match vector.
+    DecodeMatchVector,
+    /// Step 4: extract the matched data item.
+    ExtractResult,
+}
+
+impl MatchStage {
+    /// All stages in pipeline order.
+    #[must_use]
+    pub fn all() -> &'static [MatchStage] {
+        &[
+            MatchStage::ExpandSearchKey,
+            MatchStage::CalculateMatchVector,
+            MatchStage::DecodeMatchVector,
+            MatchStage::ExtractResult,
+        ]
+    }
+
+    /// Whether this stage's latency is hidden behind the memory access
+    /// (Table 1 reports the expand delay in parentheses and excludes it from
+    /// the critical path).
+    #[must_use]
+    pub fn is_hidden(self) -> bool {
+        matches!(self, MatchStage::ExpandSearchKey)
+    }
+}
+
+impl core::fmt::Display for MatchStage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            MatchStage::ExpandSearchKey => "Expand search key",
+            MatchStage::CalculateMatchVector => "Calculate match vector",
+            MatchStage::DecodeMatchVector => "Decode match vector",
+            MatchStage::ExtractResult => "Extract result",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of the match processor being synthesized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchProcessorParams {
+    /// Bucket (row) width `C` in bits.
+    pub bucket_bits: u32,
+    /// Supported key widths in bits. A single entry models an
+    /// application-specific fixed-width design; the prototype supported
+    /// {8, 16, 24, 32, 48, 64, 96, 128} (1–16 bytes, Sec. 3.3).
+    pub key_widths: Vec<u32>,
+    /// Whether don't-care matching (search-key and stored-key masks) is
+    /// supported, as in the prototype.
+    pub ternary: bool,
+}
+
+impl MatchProcessorParams {
+    /// The prototype configuration of Sec. 3.3: `C = 1600`, key widths of
+    /// 1, 2, 3, 4, 6, 8, 12, and 16 bytes, with don't-care support.
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self {
+            bucket_bits: 1600,
+            key_widths: vec![8, 16, 24, 32, 48, 64, 96, 128],
+            ternary: true,
+        }
+    }
+
+    /// An application-specific configuration with one fixed key width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_bits` is zero or exceeds `bucket_bits`.
+    #[must_use]
+    pub fn fixed_width(bucket_bits: u32, key_bits: u32, ternary: bool) -> Self {
+        assert!(key_bits > 0, "key width must be positive");
+        assert!(
+            key_bits <= bucket_bits,
+            "key ({key_bits} bits) cannot exceed the bucket ({bucket_bits} bits)"
+        );
+        Self {
+            bucket_bits,
+            key_widths: vec![key_bits],
+            ternary,
+        }
+    }
+
+    /// The smallest supported key width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key-width list is empty.
+    #[must_use]
+    pub fn min_key_bits(&self) -> u32 {
+        *self
+            .key_widths
+            .iter()
+            .min()
+            .expect("at least one key width is required")
+    }
+
+    /// The largest supported key width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key-width list is empty.
+    #[must_use]
+    pub fn max_key_bits(&self) -> u32 {
+        *self
+            .key_widths
+            .iter()
+            .max()
+            .expect("at least one key width is required")
+    }
+
+    /// Maximum number of key slots the priority encoder must arbitrate:
+    /// `floor(C / min_key_width)`.
+    #[must_use]
+    pub fn max_slots(&self) -> u32 {
+        self.bucket_bits / self.min_key_bits()
+    }
+}
+
+/// Synthesis result for one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageResult {
+    /// Which stage this row describes.
+    pub stage: MatchStage,
+    /// Standard-cell instance count.
+    pub cells: u64,
+    /// Placed area.
+    pub area: SquareMicrons,
+    /// Combinational delay.
+    pub delay: Nanoseconds,
+}
+
+/// Full synthesis report (the reproduction of Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    stages: Vec<StageResult>,
+    node: ProcessNode,
+}
+
+impl SynthesisReport {
+    /// Per-stage results in pipeline order.
+    #[must_use]
+    pub fn stages(&self) -> &[StageResult] {
+        &self.stages
+    }
+
+    /// Process node the report is expressed at.
+    #[must_use]
+    pub fn node(&self) -> ProcessNode {
+        self.node
+    }
+
+    /// Total cell count.
+    #[must_use]
+    pub fn total_cells(&self) -> u64 {
+        self.stages.iter().map(|s| s.cells).sum()
+    }
+
+    /// Total area.
+    #[must_use]
+    pub fn total_area(&self) -> SquareMicrons {
+        self.stages.iter().map(|s| s.area).sum()
+    }
+
+    /// Critical-path delay: the sum of the non-hidden stages, as in Table 1
+    /// (the expand stage overlaps the memory access).
+    #[must_use]
+    pub fn critical_path(&self) -> Nanoseconds {
+        self.stages
+            .iter()
+            .filter(|s| !s.stage.is_hidden())
+            .map(|s| s.delay)
+            .sum()
+    }
+
+    /// Maximum single-cycle (non-pipelined) operating frequency.
+    #[must_use]
+    pub fn max_clock(&self) -> crate::units::Megahertz {
+        self.critical_path().to_frequency()
+    }
+
+    /// Worst-case dynamic power at the given supply, switching activity, and
+    /// clock period, following the prototype's Synopsys report format
+    /// (60.8 mW at VDD = 1.8 V, activity 0.5, Tclk = 6 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is non-positive.
+    #[must_use]
+    pub fn dynamic_power(&self, vdd: f64, activity: f64, tclk: Nanoseconds) -> Milliwatts {
+        // Calibrated so the prototype (15 992 cells) reports 60.8 mW at
+        // 1.8 V / 0.5 / 6 ns: p = P*Tclk / (cells*act*V^2).
+        const POWER_PER_CELL_NS: f64 = 60.8 * 6.0 / (15_992.0 * 0.5 * 1.8 * 1.8);
+        assert!(vdd > 0.0, "supply voltage must be positive");
+        assert!(activity > 0.0, "switching activity must be positive");
+        assert!(tclk.value() > 0.0, "clock period must be positive");
+        #[allow(clippy::cast_precision_loss)]
+        let cells = self.total_cells() as f64;
+        Milliwatts::new(POWER_PER_CELL_NS * cells * activity * vdd * vdd / tclk.value())
+    }
+
+    /// The report re-expressed at another process node (area ×s², delay ×s).
+    #[must_use]
+    pub fn scaled_to(&self, target: ProcessNode) -> SynthesisReport {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| StageResult {
+                stage: s.stage,
+                cells: s.cells,
+                area: self.node.scale_area_to(s.area, target),
+                delay: self.node.scale_delay_to(s.delay, target),
+            })
+            .collect();
+        SynthesisReport {
+            stages,
+            node: target,
+        }
+    }
+}
+
+/// The synthesis model: gate-count formulas calibrated against Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use ca_ram_hwmodel::synth::{MatchProcessorParams, SynthesisModel};
+///
+/// let report = SynthesisModel::new().synthesize(&MatchProcessorParams::prototype());
+/// assert_eq!(report.total_cells(), 15_992); // Table 1 total
+/// assert!(report.max_clock().value() > 200.0); // "over 200 MHz"
+/// ```
+///
+/// All constants below are per-stage calibration values at the 0.16 µm node.
+/// They reproduce the paper's prototype exactly and extrapolate smoothly in
+/// `C`, the number of supported key widths, and the slot count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthesisModel {
+    _private: (),
+}
+
+// -- Calibration constants (0.16 µm standard-cell library) -------------------
+// Cells per row bit for the expand stage: a base alignment register plus one
+// mux level per supported-width doubling.
+const EXPAND_CELLS_BASE_PER_BIT: f64 = 0.25;
+const EXPAND_CELLS_PER_BIT_PER_WIDTH_LEVEL: f64 = 0.709_25;
+// Cells per row bit for the comparison: XNOR + search-key mask, the stored
+// don't-care extension (Fig. 4(b)), and the AND-reduction tree share.
+const MATCH_CELLS_XNOR_PER_BIT: f64 = 2.0;
+const MATCH_CELLS_TERNARY_PER_BIT: f64 = 1.0;
+const MATCH_CELLS_REDUCTION_PER_BIT: f64 = 0.2825;
+// Priority encoder: cells per arbitrated slot.
+const DECODE_CELLS_PER_SLOT: f64 = 4.495;
+// Extract: base pass-through per bit plus mux levels for variable widths.
+const EXTRACT_CELLS_BASE_PER_BIT: f64 = 1.0;
+const EXTRACT_CELLS_PER_BIT_PER_WIDTH_LEVEL: f64 = 0.924_4;
+// Average placed area per cell, by stage (µm² at 0.16 µm). The expand stage
+// is register- and routing-heavy, hence its large per-cell footprint.
+const AREA_PER_CELL_EXPAND: f64 = 17.410;
+const AREA_PER_CELL_MATCH: f64 = 2.016_5;
+const AREA_PER_CELL_DECODE: f64 = 2.191_3;
+const AREA_PER_CELL_EXTRACT: f64 = 3.606_9;
+// Delay model constants (ns at 0.16 µm).
+const EXPAND_DELAY_BASE: f64 = 0.29;
+const EXPAND_DELAY_PER_WIDTH_LEVEL: f64 = 0.20;
+const MATCH_DELAY_XNOR: f64 = 0.35;
+const MATCH_DELAY_PER_REDUCTION_LEVEL: f64 = 0.085_7;
+const DECODE_DELAY_BASE: f64 = 0.31;
+const DECODE_DELAY_PER_SLOT: f64 = 0.008;
+const EXTRACT_DELAY_BASE: f64 = 0.415;
+const EXTRACT_DELAY_PER_SLOT_LEVEL: f64 = 0.206;
+
+impl SynthesisModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Synthesizes a match processor at the prototype's 0.16 µm node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` has an empty key-width list or a zero bucket width.
+    #[must_use]
+    #[allow(clippy::items_after_statements)]
+    pub fn synthesize(&self, params: &MatchProcessorParams) -> SynthesisReport {
+        assert!(params.bucket_bits > 0, "bucket width must be positive");
+        assert!(
+            !params.key_widths.is_empty(),
+            "at least one key width is required"
+        );
+        let c = f64::from(params.bucket_bits);
+        #[allow(clippy::cast_precision_loss)]
+        let width_levels = (params.key_widths.len() as f64).log2();
+        let slots = f64::from(params.max_slots());
+        let reduction_levels = f64::from(params.max_key_bits()).log2();
+
+        let expand_cells =
+            c * (EXPAND_CELLS_BASE_PER_BIT + EXPAND_CELLS_PER_BIT_PER_WIDTH_LEVEL * width_levels);
+        let ternary_cells = if params.ternary {
+            MATCH_CELLS_TERNARY_PER_BIT
+        } else {
+            0.0
+        };
+        let match_cells =
+            c * (MATCH_CELLS_XNOR_PER_BIT + ternary_cells + MATCH_CELLS_REDUCTION_PER_BIT);
+        let decode_cells = slots * DECODE_CELLS_PER_SLOT;
+        let extract_cells = c
+            * (EXTRACT_CELLS_BASE_PER_BIT + EXTRACT_CELLS_PER_BIT_PER_WIDTH_LEVEL * width_levels);
+
+        let stage = |stage: MatchStage, cells: f64, per_cell: f64, delay: f64| StageResult {
+            stage,
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            cells: cells.round() as u64,
+            area: SquareMicrons::new(cells.round() * per_cell),
+            delay: Nanoseconds::new(delay),
+        };
+
+        let stages = vec![
+            stage(
+                MatchStage::ExpandSearchKey,
+                expand_cells,
+                AREA_PER_CELL_EXPAND,
+                EXPAND_DELAY_BASE + EXPAND_DELAY_PER_WIDTH_LEVEL * width_levels,
+            ),
+            stage(
+                MatchStage::CalculateMatchVector,
+                match_cells,
+                AREA_PER_CELL_MATCH,
+                MATCH_DELAY_XNOR + MATCH_DELAY_PER_REDUCTION_LEVEL * reduction_levels,
+            ),
+            stage(
+                MatchStage::DecodeMatchVector,
+                decode_cells,
+                AREA_PER_CELL_DECODE,
+                DECODE_DELAY_BASE + DECODE_DELAY_PER_SLOT * slots,
+            ),
+            stage(
+                MatchStage::ExtractResult,
+                extract_cells,
+                AREA_PER_CELL_EXTRACT,
+                EXTRACT_DELAY_BASE + EXTRACT_DELAY_PER_SLOT_LEVEL * slots.log2(),
+            ),
+        ];
+
+        SynthesisReport {
+            stages,
+            node: ProcessNode::N160,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prototype_report() -> SynthesisReport {
+        SynthesisModel::new().synthesize(&MatchProcessorParams::prototype())
+    }
+
+    #[test]
+    fn table1_cell_counts() {
+        let r = prototype_report();
+        let cells: Vec<u64> = r.stages().iter().map(|s| s.cells).collect();
+        // Paper: 3 804 / 5 252 / 899 / 6 037, total 15 992 (±0.5% tolerance
+        // for the calibrated analytic formulas).
+        let expected = [3_804_u64, 5_252, 899, 6_037];
+        for (got, want) in cells.iter().zip(expected.iter()) {
+            let err = (*got as f64 - *want as f64).abs() / *want as f64;
+            assert!(err < 0.005, "stage cells {got} vs paper {want}");
+        }
+        let total_err = (r.total_cells() as f64 - 15_992.0).abs() / 15_992.0;
+        assert!(total_err < 0.005, "total cells {}", r.total_cells());
+    }
+
+    #[test]
+    fn table1_areas() {
+        let r = prototype_report();
+        let expected = [66_228.0, 10_591.0, 1_970.0, 21_775.0];
+        for (s, want) in r.stages().iter().zip(expected.iter()) {
+            let err = (s.area.value() - want).abs() / want;
+            assert!(err < 0.01, "{}: {} vs paper {want}", s.stage, s.area);
+        }
+        let total_err = (r.total_area().value() - 100_564.0).abs() / 100_564.0;
+        assert!(total_err < 0.01, "total area {}", r.total_area());
+    }
+
+    #[test]
+    fn table1_delays_and_critical_path() {
+        let r = prototype_report();
+        let expected = [0.89, 0.95, 1.91, 1.99];
+        for (s, want) in r.stages().iter().zip(expected.iter()) {
+            assert!(
+                (s.delay.value() - want).abs() < 0.02,
+                "{}: {} vs paper {want}",
+                s.stage,
+                s.delay
+            );
+        }
+        // Total 4.85 ns, excluding the hidden expand stage.
+        assert!((r.critical_path().value() - 4.85).abs() < 0.05);
+        // "a latency that will fit in a single cycle at over 200 MHz"
+        assert!(r.max_clock().value() > 200.0);
+    }
+
+    #[test]
+    fn prototype_dynamic_power_matches_synopsys_report() {
+        let r = prototype_report();
+        let p = r.dynamic_power(1.8, 0.5, Nanoseconds::new(6.0));
+        assert!((p.value() - 60.8).abs() < 0.5, "got {p}");
+    }
+
+    #[test]
+    fn fixed_width_design_is_much_smaller() {
+        // Sec. 3.3: "in an application-specific CA-RAM design (i.e., key
+        // length is fixed), much of this complexity will be removed".
+        let model = SynthesisModel::new();
+        let proto = model.synthesize(&MatchProcessorParams::prototype());
+        let fixed = model.synthesize(&MatchProcessorParams::fixed_width(1600, 64, true));
+        assert!(fixed.total_cells() < proto.total_cells() / 2);
+        assert!(fixed.total_area().value() < proto.total_area().value() / 2.0);
+        assert!(fixed.critical_path().value() < proto.critical_path().value());
+    }
+
+    #[test]
+    fn binary_match_cheaper_than_ternary() {
+        let model = SynthesisModel::new();
+        let ternary = model.synthesize(&MatchProcessorParams::fixed_width(1600, 64, true));
+        let binary = model.synthesize(&MatchProcessorParams::fixed_width(1600, 64, false));
+        assert!(binary.total_cells() < ternary.total_cells());
+    }
+
+    #[test]
+    fn area_scales_to_130nm() {
+        let r = prototype_report().scaled_to(ProcessNode::N130);
+        let expect = 100_564.0 * (130.0 / 160.0) * (130.0 / 160.0);
+        assert!((r.total_area().value() - expect).abs() / expect < 0.01);
+        assert_eq!(r.node(), ProcessNode::N130);
+        // Cell count is node-independent.
+        assert_eq!(r.total_cells(), prototype_report().total_cells());
+    }
+
+    #[test]
+    fn decode_dominates_critical_path_via_serial_encoding() {
+        // "The decoding of the match vector and the multiplexing of the
+        // output results form the critical path as all of its operations are
+        // serial in nature."
+        let r = prototype_report();
+        let decode = r.stages()[2].delay;
+        let match_v = r.stages()[1].delay;
+        assert!(decode.value() > match_v.value());
+    }
+
+    #[test]
+    fn wider_buckets_cost_more_cells() {
+        let model = SynthesisModel::new();
+        let narrow = model.synthesize(&MatchProcessorParams::fixed_width(2048, 64, true));
+        let wide = model.synthesize(&MatchProcessorParams::fixed_width(4096, 64, true));
+        assert!(wide.total_cells() > narrow.total_cells());
+        assert!(wide.critical_path().value() > narrow.critical_path().value());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the bucket")]
+    fn key_wider_than_bucket_rejected() {
+        let _ = MatchProcessorParams::fixed_width(64, 128, false);
+    }
+}

@@ -1,0 +1,113 @@
+//! Process technology nodes and first-order scaling rules.
+//!
+//! The paper compares devices published at different feature sizes — the
+//! match-processor prototype was synthesized with a 0.16 µm standard-cell
+//! library while the cell-size and power comparisons use 130 nm silicon
+//! results. [`ProcessNode`] captures a feature size and provides the
+//! classical constant-field ("Dennard") scaling rules the paper applies when
+//! it performs "optimistic scaling" of published datapoints.
+
+use crate::units::{Nanoseconds, SquareMicrons};
+
+/// A CMOS process node identified by its drawn feature size in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessNode {
+    feature_nm: u32,
+}
+
+impl ProcessNode {
+    /// The 0.16 µm node used for the match-processor prototype (Table 1).
+    pub const N160: Self = Self { feature_nm: 160 };
+    /// The 130 nm node of the published TCAM/eDRAM silicon (Figs. 6 and 8).
+    pub const N130: Self = Self { feature_nm: 130 };
+    /// 250 nm, the node of the Yamagata et al. stacked-capacitor CAM.
+    pub const N250: Self = Self { feature_nm: 250 };
+
+    /// Creates a node with the given drawn feature size in nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_nm` is zero.
+    #[must_use]
+    pub fn new(feature_nm: u32) -> Self {
+        assert!(feature_nm > 0, "feature size must be positive");
+        Self { feature_nm }
+    }
+
+    /// The drawn feature size in nanometres.
+    #[must_use]
+    pub fn feature_nm(self) -> u32 {
+        self.feature_nm
+    }
+
+    /// Linear shrink factor from `self` to `target` (< 1 when scaling down).
+    #[must_use]
+    pub fn linear_scale_to(self, target: ProcessNode) -> f64 {
+        f64::from(target.feature_nm) / f64::from(self.feature_nm)
+    }
+
+    /// Scales an area published at this node to `target`, assuming ideal
+    /// quadratic shrink — the "optimistic scaling" the paper applies to the
+    /// Yamagata et al. CAM (Sec. 4.3).
+    #[must_use]
+    pub fn scale_area_to(self, area: SquareMicrons, target: ProcessNode) -> SquareMicrons {
+        let s = self.linear_scale_to(target);
+        area * (s * s)
+    }
+
+    /// Scales a gate/wire delay published at this node to `target`, assuming
+    /// delay tracks the linear feature size (first-order constant-field
+    /// scaling; wire-dominated paths scale worse, so this is optimistic for
+    /// the scaled design).
+    #[must_use]
+    pub fn scale_delay_to(self, delay: Nanoseconds, target: ProcessNode) -> Nanoseconds {
+        delay * self.linear_scale_to(target)
+    }
+}
+
+impl core::fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} nm", self.feature_nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_nodes() {
+        assert_eq!(ProcessNode::N160.feature_nm(), 160);
+        assert_eq!(ProcessNode::N130.feature_nm(), 130);
+        assert_eq!(format!("{}", ProcessNode::N130), "130 nm");
+    }
+
+    #[test]
+    fn area_scales_quadratically() {
+        let a = SquareMicrons::new(100.0);
+        let scaled = ProcessNode::N250.scale_area_to(a, ProcessNode::N130);
+        let expect = 100.0 * (130.0 / 250.0) * (130.0 / 250.0);
+        assert!((scaled.value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_scales_linearly() {
+        let d = Nanoseconds::new(4.85);
+        let scaled = ProcessNode::N160.scale_delay_to(d, ProcessNode::N130);
+        assert!((scaled.value() - 4.85 * 130.0 / 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_to_same_node_is_identity() {
+        let a = SquareMicrons::new(42.0);
+        let same = ProcessNode::N130.scale_area_to(a, ProcessNode::N130);
+        assert!((same.value() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upscaling_grows_area() {
+        let a = SquareMicrons::new(1.0);
+        let up = ProcessNode::N130.scale_area_to(a, ProcessNode::N250);
+        assert!(up.value() > 1.0);
+    }
+}

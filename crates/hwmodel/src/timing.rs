@@ -1,0 +1,308 @@
+//! Latency and bandwidth model (Sec. 3.4 "Performance").
+//!
+//! The paper's two closed-form results:
+//!
+//! ```text
+//! B_CA-RAM = (Nslice / nmem) × fclk        (conservative, non-pipelined memory)
+//! B_CAM    = fCAM_clk / cycles_per_search
+//! ```
+//!
+//! and the latency decomposition `T_CA-RAM = Tmem + Tmatch`, where the match
+//! step is normally pipelined with the next memory access so only `Tmem`
+//! limits throughput. The cycle-level controller in `ca-ram-core` cross-checks
+//! these formulas by simulation.
+
+use crate::units::{Megahertz, MegaSearchesPerSecond, Nanoseconds};
+
+/// Timing parameters of a CA-RAM device.
+///
+/// # Examples
+///
+/// The paper's headline bandwidth formula:
+///
+/// ```
+/// use ca_ram_hwmodel::CaRamTiming;
+///
+/// let dram = CaRamTiming::dram_200mhz();
+/// // B = Nslice/nmem x fclk = 8/6 x 200 MHz.
+/// let b = dram.search_bandwidth(8, 1.0);
+/// assert!((b.value() - 8.0 / 6.0 * 200.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaRamTiming {
+    clock: Megahertz,
+    access_cycles: u32,
+    min_access_interval: u32,
+    match_latency: Nanoseconds,
+    match_pipelined: bool,
+}
+
+impl CaRamTiming {
+    /// Creates a timing description.
+    ///
+    /// * `clock` — operating frequency (`fclk`).
+    /// * `access_cycles` — cycles from row-address to data-out (latency).
+    /// * `min_access_interval` — minimum cycles between two back-to-back
+    ///   accesses to the same slice (`nmem`); ≥ `1`, and for DRAM usually
+    ///   equals `access_cycles` when the array is not internally pipelined.
+    /// * `match_latency` — combinational delay of the match processors
+    ///   (Table 1 critical path).
+    /// * `match_pipelined` — whether matching overlaps the next memory
+    ///   access (the paper assumes it does when computing bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `access_cycles` or `min_access_interval` is zero.
+    #[must_use]
+    pub fn new(
+        clock: Megahertz,
+        access_cycles: u32,
+        min_access_interval: u32,
+        match_latency: Nanoseconds,
+        match_pipelined: bool,
+    ) -> Self {
+        assert!(access_cycles > 0, "memory access takes at least one cycle");
+        assert!(min_access_interval > 0, "nmem must be at least one cycle");
+        Self {
+            clock,
+            access_cycles,
+            min_access_interval,
+            match_latency,
+            match_pipelined,
+        }
+    }
+
+    /// The paper's DRAM-based configuration for Fig. 8: 200 MHz clock and a
+    /// memory access latency of at least 6 cycles.
+    #[must_use]
+    pub fn dram_200mhz() -> Self {
+        Self::new(
+            Megahertz::new(200.0),
+            6,
+            6,
+            Nanoseconds::new(4.85),
+            true,
+        )
+    }
+
+    /// An SRAM-based configuration: single-cycle array at 500 MHz.
+    #[must_use]
+    pub fn sram_500mhz() -> Self {
+        Self::new(
+            Megahertz::new(500.0),
+            1,
+            1,
+            Nanoseconds::new(2.0),
+            true,
+        )
+    }
+
+    /// Operating frequency.
+    #[must_use]
+    pub fn clock(&self) -> Megahertz {
+        self.clock
+    }
+
+    /// `nmem`: minimum cycles between back-to-back accesses to one slice.
+    #[must_use]
+    pub fn min_access_interval(&self) -> u32 {
+        self.min_access_interval
+    }
+
+    /// Memory access latency in cycles.
+    #[must_use]
+    pub fn access_cycles(&self) -> u32 {
+        self.access_cycles
+    }
+
+    /// `Tmem`: one memory access, in nanoseconds.
+    #[must_use]
+    pub fn memory_latency(&self) -> Nanoseconds {
+        self.clock.period() * f64::from(self.access_cycles)
+    }
+
+    /// `T_CA-RAM` for a lookup that accesses `buckets_probed` buckets
+    /// (AMAL ≥ 1): serialized probes plus one match stage at the end (the
+    /// intermediate match stages overlap the following probes when
+    /// pipelined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets_probed` is zero — every lookup touches at least
+    /// one bucket.
+    #[must_use]
+    pub fn search_latency(&self, buckets_probed: u32) -> Nanoseconds {
+        assert!(buckets_probed > 0, "a lookup accesses at least one bucket");
+        let mem = self.memory_latency() * f64::from(buckets_probed);
+        if self.match_pipelined {
+            mem + self.match_latency
+        } else {
+            mem + self.match_latency * f64::from(buckets_probed)
+        }
+    }
+
+    /// `B_CA-RAM = (Nslice / nmem) × fclk`, in million searches per second.
+    ///
+    /// `amal` (average memory accesses per lookup, ≥ 1.0) derates the
+    /// bandwidth for probing overflow buckets; pass `1.0` for the paper's
+    /// headline formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero or `amal < 1.0`.
+    #[must_use]
+    pub fn search_bandwidth(&self, slices: u32, amal: f64) -> MegaSearchesPerSecond {
+        assert!(slices > 0, "bandwidth of a zero-slice device is undefined");
+        assert!(amal >= 1.0, "AMAL is at least one access per lookup");
+        let per_slice = self.clock.value() / f64::from(self.min_access_interval);
+        MegaSearchesPerSecond::new(per_slice * f64::from(slices) / amal)
+    }
+}
+
+/// Timing parameters of a CAM/TCAM device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamTiming {
+    clock: Megahertz,
+    cycles_per_search: u32,
+    data_access: Option<Nanoseconds>,
+}
+
+impl CamTiming {
+    /// Creates a CAM timing description.
+    ///
+    /// `cycles_per_search` models the multi-cycle lookups of recent
+    /// energy-saving CAM devices (Sec. 3.4: "many recent CAM devices require
+    /// multiple cycles to finish a lookup"). `data_access` is the latency of
+    /// the separate RAM read that follows a CAM lookup to fetch the record's
+    /// data — fully exposed in a CAM, hidden in CA-RAM (Sec. 3.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_search` is zero.
+    #[must_use]
+    pub fn new(clock: Megahertz, cycles_per_search: u32, data_access: Option<Nanoseconds>) -> Self {
+        assert!(cycles_per_search > 0, "a search takes at least one cycle");
+        Self {
+            clock,
+            cycles_per_search,
+            data_access,
+        }
+    }
+
+    /// The paper's Fig. 8 TCAM reference: 143 MHz, pipelined (1 search/cycle),
+    /// followed by a 30 ns external data-RAM access.
+    #[must_use]
+    pub fn tcam_143mhz() -> Self {
+        Self::new(Megahertz::new(143.0), 1, Some(Nanoseconds::new(30.0)))
+    }
+
+    /// Operating frequency.
+    #[must_use]
+    pub fn clock(&self) -> Megahertz {
+        self.clock
+    }
+
+    /// Search latency including the exposed data access, if configured.
+    #[must_use]
+    pub fn search_latency(&self) -> Nanoseconds {
+        let t = self.clock.period() * f64::from(self.cycles_per_search);
+        match self.data_access {
+            Some(d) => t + d,
+            None => t,
+        }
+    }
+
+    /// `B_CAM = fCAM_clk / cycles_per_search`.
+    #[must_use]
+    pub fn search_bandwidth(&self) -> MegaSearchesPerSecond {
+        MegaSearchesPerSecond::new(self.clock.value() / f64::from(self.cycles_per_search))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_formula_matches_paper() {
+        // B = Nslice/nmem × fclk: 8 slices, 6-cycle DRAM, 200 MHz
+        // → 8/6 × 200 = 266.7 Msearch/s.
+        let t = CaRamTiming::dram_200mhz();
+        let b = t.search_bandwidth(8, 1.0);
+        assert!((b.value() - 8.0 / 6.0 * 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amal_derates_bandwidth() {
+        let t = CaRamTiming::dram_200mhz();
+        let ideal = t.search_bandwidth(8, 1.0);
+        let real = t.search_bandwidth(8, 1.159); // Table 2 design D AMALu
+        assert!(real.value() < ideal.value());
+        assert!((real.value() * 1.159 - ideal.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caram_beats_tcam_bandwidth_with_enough_slices() {
+        // Sec. 3.4: increasing Nslice is straightforward in CA-RAM and makes
+        // it bandwidth-competitive with CAM.
+        let caram = CaRamTiming::dram_200mhz();
+        let tcam = CamTiming::tcam_143mhz();
+        assert!(caram.search_bandwidth(1, 1.0).value() < tcam.search_bandwidth().value());
+        assert!(caram.search_bandwidth(8, 1.0).value() > tcam.search_bandwidth().value());
+    }
+
+    #[test]
+    fn latency_single_probe() {
+        let t = CaRamTiming::dram_200mhz();
+        // 6 cycles at 5 ns + 4.85 ns match = 34.85 ns.
+        assert!((t.search_latency(1).value() - 34.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_grows_with_probes() {
+        let t = CaRamTiming::dram_200mhz();
+        let one = t.search_latency(1);
+        let two = t.search_latency(2);
+        assert!((two.value() - one.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unpipelined_match_pays_per_probe() {
+        let t = CaRamTiming::new(
+            Megahertz::new(200.0),
+            6,
+            6,
+            Nanoseconds::new(4.85),
+            false,
+        );
+        assert!((t.search_latency(2).value() - (60.0 + 2.0 * 4.85)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caram_latency_with_data_hidden_beats_cam_plus_data_ram() {
+        // Sec. 3.4: once the data access following a CAM lookup is counted,
+        // CA-RAM latency is comparable or shorter, because CA-RAM stores data
+        // with keys and the data arrives with the row.
+        let caram = CaRamTiming::dram_200mhz();
+        let cam = CamTiming::tcam_143mhz();
+        assert!(caram.search_latency(1).value() < cam.search_latency().value());
+    }
+
+    #[test]
+    fn cam_bandwidth_divides_by_cycles() {
+        let multi = CamTiming::new(Megahertz::new(143.0), 2, None);
+        assert!((multi.search_bandwidth().value() - 71.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_probe_latency_rejected() {
+        let _ = CaRamTiming::dram_200mhz().search_latency(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "AMAL is at least one")]
+    fn sub_one_amal_rejected() {
+        let _ = CaRamTiming::dram_200mhz().search_bandwidth(1, 0.5);
+    }
+}

@@ -1,0 +1,289 @@
+//! Newtype units for physical quantities used by the cost models.
+//!
+//! Every model in this crate returns values in explicit units so that callers
+//! cannot accidentally mix, say, µm² with mm² ([C-NEWTYPE]). All units are
+//! thin wrappers around `f64` with the arithmetic that is physically
+//! meaningful for them (adding two areas is fine; adding an area to a power
+//! is a compile error).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! unit {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a new quantity from a raw value in this unit.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is negative or not finite; all quantities in
+            /// this crate are physical magnitudes.
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                assert!(
+                    value.is_finite() && value >= 0.0,
+                    concat!(stringify!($name), " must be finite and non-negative, got {}"),
+                    value
+                );
+                Self(value)
+            }
+
+            /// Returns the raw value in this unit.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// The zero quantity.
+            #[must_use]
+            pub fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the ratio `self / other` as a dimensionless number.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `other` is zero.
+            #[must_use]
+            pub fn ratio_to(self, other: Self) -> f64 {
+                assert!(other.0 != 0.0, "division by a zero quantity");
+                self.0 / other.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self::new(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self::new(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self::new(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::zero(), Add::add)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// An area in square micrometres (µm²).
+    ///
+    /// This is the natural unit for memory cells; convert to [`SquareMillimeters`]
+    /// with [`Area::to_square_millimeters`](SquareMicrons::to_square_millimeters)
+    /// for whole-device figures.
+    SquareMicrons, "um^2"
+);
+unit!(
+    /// An area in square millimetres (mm²), used for whole devices.
+    SquareMillimeters, "mm^2"
+);
+unit!(
+    /// A time duration in nanoseconds.
+    Nanoseconds, "ns"
+);
+unit!(
+    /// A clock frequency in megahertz.
+    Megahertz, "MHz"
+);
+unit!(
+    /// A power in milliwatts.
+    Milliwatts, "mW"
+);
+unit!(
+    /// An energy in femtojoules — the natural unit of per-cell search energy.
+    Femtojoules, "fJ"
+);
+unit!(
+    /// An energy in picojoules — the natural unit of per-access energy.
+    Picojoules, "pJ"
+);
+unit!(
+    /// A search throughput in million searches per second.
+    MegaSearchesPerSecond, "Msearch/s"
+);
+
+impl SquareMicrons {
+    /// Converts to square millimetres.
+    #[must_use]
+    pub fn to_square_millimeters(self) -> SquareMillimeters {
+        SquareMillimeters::new(self.value() / 1.0e6)
+    }
+}
+
+impl SquareMillimeters {
+    /// Converts to square micrometres.
+    #[must_use]
+    pub fn to_square_microns(self) -> SquareMicrons {
+        SquareMicrons::new(self.value() * 1.0e6)
+    }
+}
+
+impl Femtojoules {
+    /// Converts to picojoules.
+    #[must_use]
+    pub fn to_picojoules(self) -> Picojoules {
+        Picojoules::new(self.value() / 1.0e3)
+    }
+}
+
+impl Picojoules {
+    /// Converts to femtojoules.
+    #[must_use]
+    pub fn to_femtojoules(self) -> Femtojoules {
+        Femtojoules::new(self.value() * 1.0e3)
+    }
+
+    /// Average power dissipated when this energy is spent once per cycle of
+    /// `clock`: `P = E × f`.
+    #[must_use]
+    pub fn at_rate(self, clock: Megahertz) -> Milliwatts {
+        // pJ × MHz = 1e-12 J × 1e6 1/s = 1e-6 W = 1e-3 mW.
+        Milliwatts::new(self.value() * clock.value() * 1.0e-3)
+    }
+}
+
+impl Megahertz {
+    /// The period of one clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[must_use]
+    pub fn period(self) -> Nanoseconds {
+        assert!(self.value() > 0.0, "cannot take the period of a 0 MHz clock");
+        Nanoseconds::new(1.0e3 / self.value())
+    }
+}
+
+impl Nanoseconds {
+    /// The frequency whose period is this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    #[must_use]
+    pub fn to_frequency(self) -> Megahertz {
+        assert!(self.value() > 0.0, "cannot invert a 0 ns period");
+        Megahertz::new(1.0e3 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_round_trip() {
+        let a = SquareMicrons::new(2.5e6);
+        assert!((a.to_square_millimeters().value() - 2.5).abs() < 1e-12);
+        assert!((a.to_square_millimeters().to_square_microns().value() - 2.5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn energy_round_trip() {
+        let e = Femtojoules::new(1500.0);
+        assert!((e.to_picojoules().value() - 1.5).abs() < 1e-12);
+        assert!((e.to_picojoules().to_femtojoules().value() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_from_energy_rate() {
+        // 100 pJ per search at 200 MHz = 20 mW.
+        let p = Picojoules::new(100.0).at_rate(Megahertz::new(200.0));
+        assert!((p.value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_inverts_frequency() {
+        let f = Megahertz::new(200.0);
+        assert!((f.period().value() - 5.0).abs() < 1e-12);
+        assert!((f.period().to_frequency().value() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: SquareMicrons = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&v| SquareMicrons::new(v))
+            .sum();
+        assert!((total.value() - 6.0).abs() < 1e-12);
+        assert!((total * 2.0).value() > total.value());
+        assert!((total / 2.0).value() < total.value());
+        let diff = total - SquareMicrons::new(1.0);
+        assert!((diff.value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let a = SquareMicrons::new(9.0);
+        let b = SquareMicrons::new(0.75);
+        assert!((a.ratio_to(b) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn negative_quantity_rejected() {
+        let _ = Nanoseconds::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn subtraction_below_zero_rejected() {
+        let _ = SquareMicrons::new(1.0) - SquareMicrons::new(2.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.1}", Milliwatts::new(60.84)), "60.8 mW");
+        assert_eq!(format!("{}", SquareMicrons::new(2.0)), "2 um^2");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the cost models: physical quantities must obey
+//! monotonicity and scaling laws regardless of the geometry.
+
+use ca_ram_hwmodel::synth::MatchProcessorParams;
+use ca_ram_hwmodel::{
+    AreaModel, CamGeometry, CaRamGeometry, CaRamTiming, CellKind, Megahertz, Nanoseconds,
+    PowerModel, ProcessNode, SynthesisModel,
+};
+use proptest::prelude::*;
+
+fn caram_geometry() -> impl Strategy<Value = CaRamGeometry> {
+    (1u32..32, 1u64..8192, 64u32..16_384, 1u32..128).prop_map(|(s, r, c, p)| {
+        CaRamGeometry::new(s, r, c, CellKind::EmbeddedDram, p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn area_is_linear_in_slices(g in caram_geometry()) {
+        let model = AreaModel::new();
+        let one = model.caram_device_area(&g);
+        let double = CaRamGeometry::new(
+            g.slices * 2, g.rows_per_slice, g.row_bits, g.storage, g.match_processors,
+        );
+        let two = model.caram_device_area(&double);
+        prop_assert!((two.value() / one.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caram_power_monotone_in_row_bits(g in caram_geometry()) {
+        let model = PowerModel::new();
+        let wider = CaRamGeometry::new(
+            g.slices, g.rows_per_slice, g.row_bits + 64, g.storage, g.match_processors,
+        );
+        let e1 = model.caram_search_energy(&g).total();
+        let e2 = model.caram_search_energy(&wider).total();
+        prop_assert!(e2.value() > e1.value());
+    }
+
+    #[test]
+    fn parallel_activation_scales_memory_energy(
+        g in caram_geometry(),
+        k in 1u32..8,
+    ) {
+        prop_assume!(k <= g.slices);
+        let model = PowerModel::new();
+        let one = model.caram_search_energy(&g);
+        let par = model.caram_search_energy_parallel(&g, k);
+        prop_assert!((par.memory.value() / one.memory.value() - f64::from(k)).abs() < 1e-9);
+        prop_assert_eq!(par.hash, one.hash);
+    }
+
+    #[test]
+    fn cam_energy_linear_in_cells(
+        entries in 1u64..1_000_000,
+        width in 1u32..256,
+    ) {
+        let model = PowerModel::new();
+        let g1 = CamGeometry::new(entries, width, CellKind::TcamDynamic6T);
+        let g2 = CamGeometry::new(entries * 3, width, CellKind::TcamDynamic6T);
+        let e1 = model.cam_search_energy(&g1).total();
+        let e2 = model.cam_search_energy(&g2).total();
+        prop_assert!((e2.value() / e1.value() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandwidth_linear_in_slices_and_inverse_in_nmem(
+        slices in 1u32..64,
+        nmem in 1u32..16,
+        clock in 50.0f64..1000.0,
+    ) {
+        let t = CaRamTiming::new(
+            Megahertz::new(clock), nmem, nmem, Nanoseconds::new(2.0), true,
+        );
+        let b = t.search_bandwidth(slices, 1.0);
+        let expected = clock * f64::from(slices) / f64::from(nmem);
+        prop_assert!((b.value() - expected).abs() / expected < 1e-12);
+        // Latency is monotone in probes.
+        prop_assert!(t.search_latency(2).value() > t.search_latency(1).value());
+    }
+
+    #[test]
+    fn synthesis_monotone_in_bucket_width(
+        c1 in 256u32..4096,
+        extra in 64u32..4096,
+        key in prop::sample::select(vec![8u32, 16, 32, 64, 128]),
+    ) {
+        prop_assume!(key <= c1);
+        let model = SynthesisModel::new();
+        let small = model.synthesize(&MatchProcessorParams::fixed_width(c1, key, true));
+        let large = model.synthesize(&MatchProcessorParams::fixed_width(c1 + extra, key, true));
+        prop_assert!(large.total_cells() >= small.total_cells());
+        prop_assert!(large.total_area().value() >= small.total_area().value());
+        prop_assert!(large.critical_path().value() >= small.critical_path().value());
+    }
+
+    #[test]
+    fn node_scaling_round_trips(
+        area_value in 0.1f64..1e9,
+        from in prop::sample::select(vec![250u32, 160, 130, 90, 65]),
+        to in prop::sample::select(vec![250u32, 160, 130, 90, 65]),
+    ) {
+        let a = ca_ram_hwmodel::SquareMicrons::new(area_value);
+        let from = ProcessNode::new(from);
+        let to = ProcessNode::new(to);
+        let round = to.scale_area_to(from.scale_area_to(a, to), from);
+        prop_assert!((round.value() - area_value).abs() / area_value < 1e-9);
+    }
+
+    #[test]
+    fn synthesis_power_scales_with_frequency(
+        tclk in 2.0f64..40.0,
+    ) {
+        let report = SynthesisModel::new().synthesize(&MatchProcessorParams::prototype());
+        let slow = report.dynamic_power(1.8, 0.5, Nanoseconds::new(tclk * 2.0));
+        let fast = report.dynamic_power(1.8, 0.5, Nanoseconds::new(tclk));
+        prop_assert!((fast.value() / slow.value() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! A two-level set-associative cache hierarchy simulator.
+//!
+//! The paper motivates CA-RAM with the memory behaviour of software search:
+//! "the large amount of data to search against and the random access
+//! patterns in searching result in poor memory performance even with a
+//! large L2 cache" (Sec. 4.2), and software IP lookup "requires at least 4
+//! to 6 memory accesses for forwarding one packet" (Sec. 4.1). This
+//! simulator lets the software baselines in this crate report exactly those
+//! numbers: where each load hits and what it costs.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (a power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// A typical 32 KiB, 4-way, 64 B-line L1 data cache.
+    #[must_use]
+    pub fn l1_32k() -> Self {
+        Self {
+            size_bytes: 32 << 10,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// A typical 2 MiB, 8-way, 64 B-line L2 cache ("even with a large L2").
+    #[must_use]
+    pub fn l2_2m() -> Self {
+        Self {
+            size_bytes: 2 << 20,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// One LRU set-associative cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: tags, most-recently-used first.
+    sets: Vec<Vec<u64>>,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size or set count).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            config.line_bytes.is_power_of_two() && config.line_bytes >= 8,
+            "line size must be a power of two of at least 8 bytes"
+        );
+        assert!(config.ways > 0, "need at least one way");
+        let sets = config.sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count {sets} must be a positive power of two"
+        );
+        Self {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            set_mask: (sets - 1) as u64,
+            line_shift: config.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// Accesses the byte address; returns `true` on hit. Misses fill the
+    /// line (evicting LRU).
+    #[allow(clippy::missing_panics_doc)] // internal expect: set index < sets
+    pub fn access(&mut self, address: u64) -> bool {
+        let line = address >> self.line_shift;
+        let set = usize::try_from(line & self.set_mask).expect("set count fits usize");
+        let tag = line >> self.set_mask.count_ones();
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            if ways.len() == self.config.ways {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            false
+        }
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// Which level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the L2 cache.
+    L2,
+    /// Went to main memory.
+    Memory,
+}
+
+/// Access counters for a hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Total accesses issued.
+    pub accesses: u64,
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses served by L2.
+    pub l2_hits: u64,
+    /// Accesses that reached main memory.
+    pub memory_accesses: u64,
+}
+
+impl AccessStats {
+    /// Average access latency in cycles under a simple 2/15/200-cycle
+    /// L1/L2/memory model.
+    #[must_use]
+    pub fn avg_latency_cycles(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let total = 2.0 * self.l1_hits as f64
+            + 15.0 * self.l2_hits as f64
+            + 200.0 * self.memory_accesses as f64;
+        #[allow(clippy::cast_precision_loss)]
+        {
+            total / self.accesses as f64
+        }
+    }
+}
+
+/// An L1 + L2 hierarchy backed by main memory.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    /// Running counters.
+    pub stats: AccessStats,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy with explicit level geometries.
+    #[must_use]
+    pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
+        Self {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The default desktop-like hierarchy (32 KiB L1, 2 MiB L2).
+    #[must_use]
+    pub fn typical() -> Self {
+        Self::new(CacheConfig::l1_32k(), CacheConfig::l2_2m())
+    }
+
+    /// One load at the byte address.
+    pub fn access(&mut self, address: u64) -> HitLevel {
+        self.stats.accesses += 1;
+        if self.l1.access(address) {
+            self.stats.l1_hits += 1;
+            HitLevel::L1
+        } else if self.l2.access(address) {
+            self.stats.l2_hits += 1;
+            HitLevel::L2
+        } else {
+            self.stats.memory_accesses += 1;
+            HitLevel::Memory
+        }
+    }
+
+    /// Flushes both levels and zeroes the counters.
+    pub fn reset(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        // L1: 4 sets x 2 ways x 64 B = 512 B. L2: 16 sets x 4 ways = 4 KiB.
+        Hierarchy::new(
+            CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 4096,
+                ways: 4,
+                line_bytes: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut h = tiny();
+        assert_eq!(h.access(0x1000), HitLevel::Memory);
+        assert_eq!(h.access(0x1000), HitLevel::L1);
+        assert_eq!(h.access(0x1008), HitLevel::L1, "same line");
+        assert_eq!(h.access(0x1040), HitLevel::Memory, "next line");
+        assert_eq!(h.stats.accesses, 4);
+        assert_eq!(h.stats.memory_accesses, 2);
+        assert_eq!(h.stats.l1_hits, 2);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = tiny();
+        // Three lines mapping to the same L1 set (4 sets -> stride 256).
+        let a = 0x0;
+        let b = 0x100;
+        let c = 0x200;
+        h.access(a);
+        h.access(b);
+        h.access(c); // evicts `a` from the 2-way L1 set
+        assert_eq!(h.access(a), HitLevel::L2, "a still lives in L2");
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_line() {
+        let mut h = tiny();
+        let a = 0x0;
+        let b = 0x100;
+        let c = 0x200;
+        h.access(a);
+        h.access(b);
+        h.access(a); // a is MRU now
+        h.access(c); // evicts b, not a
+        assert_eq!(h.access(a), HitLevel::L1);
+    }
+
+    #[test]
+    fn random_big_working_set_mostly_misses() {
+        // The paper's premise: random access over a large database defeats
+        // the caches.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut h = Hierarchy::typical();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50_000 {
+            let addr = u64::from(rng.gen::<u32>()) % (256 << 20); // 256 MiB set
+            h.access(addr);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let miss_rate = h.stats.memory_accesses as f64 / h.stats.accesses as f64;
+        assert!(miss_rate > 0.9, "miss rate {miss_rate:.3}");
+        assert!(h.stats.avg_latency_cycles() > 150.0);
+    }
+
+    #[test]
+    fn small_working_set_fits_in_l1() {
+        let mut h = Hierarchy::typical();
+        for round in 0..10 {
+            for addr in (0..4096u64).step_by(64) {
+                let level = h.access(addr);
+                if round > 0 {
+                    assert_eq!(level, HitLevel::L1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = tiny();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.stats, AccessStats::default());
+        assert_eq!(h.access(0), HitLevel::Memory);
+    }
+
+    #[test]
+    fn stats_latency_model() {
+        let s = AccessStats {
+            accesses: 4,
+            l1_hits: 2,
+            l2_hits: 1,
+            memory_accesses: 1,
+        };
+        assert!((s.avg_latency_cycles() - (4.0 + 15.0 + 200.0) / 4.0).abs() < 1e-12);
+        assert_eq!(AccessStats::default().avg_latency_cycles(), 0.0);
+    }
+}

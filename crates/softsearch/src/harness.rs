@@ -1,0 +1,147 @@
+//! Measurement harness: runs a lookup workload over a software index and a
+//! simulated cache hierarchy and reports the paper's motivating numbers —
+//! loads per lookup, where they hit, and what they cost.
+
+use crate::cache::Hierarchy;
+use crate::structures::SoftIndex;
+
+/// Measured cost of a software search workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCostReport {
+    /// Name of the structure measured.
+    pub structure: &'static str,
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Mean loads (pointer dereferences / element reads) per lookup.
+    pub avg_loads: f64,
+    /// Mean *main-memory* accesses per lookup — the number the paper
+    /// contrasts with CA-RAM's ≈1 (Sec. 4.1: software needs "at least 4 to
+    /// 6 memory accesses").
+    pub avg_memory_accesses: f64,
+    /// L1 hit rate over the workload.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate over the workload.
+    pub l2_hit_rate: f64,
+    /// Mean load latency in cycles (2/15/200 model).
+    pub avg_latency_cycles: f64,
+}
+
+/// Runs `trace` (indices into `keys`) against `index`, with a warm-up pass
+/// so the caches reach steady state before measurement.
+///
+/// # Panics
+///
+/// Panics if the trace references a key index out of range or a lookup
+/// misses (the harness measures successful-search cost, as the paper does).
+pub fn measure(
+    index: &dyn SoftIndex,
+    keys: &[u64],
+    trace: &[usize],
+    mem: &mut Hierarchy,
+) -> SearchCostReport {
+    assert!(!trace.is_empty(), "empty trace");
+    // Warm-up: one pass of the trace (capped) to populate the caches.
+    for &i in trace.iter().take(10_000) {
+        let _ = index.lookup(keys[i], mem);
+    }
+    mem.stats = crate::cache::AccessStats::default();
+
+    let mut total_loads: u64 = 0;
+    for &i in trace {
+        let got = index.lookup(keys[i], mem);
+        assert!(got.value.is_some(), "trace key {i} not found");
+        total_loads += u64::from(got.loads);
+    }
+    let s = mem.stats;
+    #[allow(clippy::cast_precision_loss)]
+    let n = trace.len() as f64;
+    #[allow(clippy::cast_precision_loss)]
+    SearchCostReport {
+        structure: index.name(),
+        lookups: trace.len() as u64,
+        avg_loads: total_loads as f64 / n,
+        avg_memory_accesses: s.memory_accesses as f64 / n,
+        l1_hit_rate: s.l1_hits as f64 / s.accesses as f64,
+        l2_hit_rate: s.l2_hits as f64 / s.accesses as f64,
+        avg_latency_cycles: s.avg_latency_cycles(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::{Arena, BinarySearchTree, ChainedHash, SortedArray};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn workload(n: usize) -> (Vec<u64>, Vec<(u64, u64)>, Vec<usize>) {
+        use rand::seq::SliceRandom;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 1)).collect();
+        // Shuffle the build order: inserting sorted keys degenerates the
+        // unbalanced BST into a list (O(n) lookups, O(n^2) build).
+        pairs.shuffle(&mut rng);
+        let trace: Vec<usize> = (0..20_000).map(|_| rng.gen_range(0..keys.len())).collect();
+        (keys, pairs, trace)
+    }
+
+    #[test]
+    fn large_chained_hash_needs_multiple_memory_accesses() {
+        // The motivating claim: software hashing over a big table costs
+        // several DRAM accesses per lookup once the caches stop helping.
+        let (keys, pairs, trace) = workload(2_000_000);
+        let mut arena = Arena::new(0);
+        let table = ChainedHash::build(&pairs, 19, &mut arena); // ~4/chain
+        let mut mem = Hierarchy::typical();
+        let r = measure(&table, &keys, &trace, &mut mem);
+        assert!(
+            r.avg_memory_accesses > 1.5,
+            "avg memory accesses {:.2}",
+            r.avg_memory_accesses
+        );
+        assert!(r.avg_loads > 2.0);
+        assert!(r.avg_latency_cycles > 50.0);
+    }
+
+    #[test]
+    fn tree_costs_more_memory_accesses_than_hash() {
+        let (keys, pairs, trace) = workload(500_000);
+        let mut arena = Arena::new(0);
+        let hash = ChainedHash::build(&pairs, 18, &mut arena);
+        let tree = BinarySearchTree::build(&pairs, &mut arena);
+        let mut mem = Hierarchy::typical();
+        let rh = measure(&hash, &keys, &trace, &mut mem);
+        mem.reset();
+        let rt = measure(&tree, &keys, &trace, &mut mem);
+        assert!(rt.avg_memory_accesses > rh.avg_memory_accesses);
+        assert!(rt.avg_loads > rh.avg_loads);
+    }
+
+    #[test]
+    fn small_table_stays_in_cache() {
+        let (keys, pairs, trace) = workload(1_000);
+        let mut arena = Arena::new(0);
+        let table = SortedArray::build(&pairs, &mut arena);
+        let mut mem = Hierarchy::typical();
+        let r = measure(&table, &keys, &trace, &mut mem);
+        assert!(r.avg_memory_accesses < 0.1, "{:.3}", r.avg_memory_accesses);
+        assert!(r.l1_hit_rate + r.l2_hit_rate > 0.95);
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let (keys, pairs, trace) = workload(10_000);
+        let mut arena = Arena::new(0);
+        let table = ChainedHash::build(&pairs, 12, &mut arena);
+        let mut mem = Hierarchy::typical();
+        let r = measure(&table, &keys, &trace, &mut mem);
+        assert_eq!(r.lookups, trace.len() as u64);
+        let rates = r.l1_hit_rate + r.l2_hit_rate;
+        assert!((0.0..=1.0 + 1e-9).contains(&rates));
+        assert!(r.avg_loads >= 1.0);
+        assert_eq!(r.structure, "chained hash");
+    }
+}

@@ -1,0 +1,47 @@
+//! # ca-ram-softsearch
+//!
+//! Software search baselines over a simulated cache hierarchy, supporting
+//! the CA-RAM paper's motivation (Sec. 1–2, 4.1): software lookups cost
+//! multiple main-memory accesses per search — "at least 4 to 6 memory
+//! accesses for forwarding one packet" — because large search structures
+//! defeat the caches and traversals chase pointers.
+//!
+//! * [`cache`] — a two-level LRU set-associative cache simulator;
+//! * [`structures`] — chained hash, open addressing, sorted array, and BST,
+//!   all laid out at explicit simulated addresses;
+//! * [`trie`] — a multibit trie, the software LPM structure behind the
+//!   paper's "4 to 6 memory accesses" figure;
+//! * [`harness`] — workload runner producing per-lookup cost reports.
+//!
+//! # Example
+//!
+//! ```
+//! use ca_ram_softsearch::cache::Hierarchy;
+//! use ca_ram_softsearch::harness::measure;
+//! use ca_ram_softsearch::structures::{Arena, ChainedHash};
+//!
+//! let pairs: Vec<(u64, u64)> = (0..1_000u64).map(|i| (i * 2654435761, i)).collect();
+//! let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+//! let mut arena = Arena::new(0);
+//! let table = ChainedHash::build(&pairs, 8, &mut arena);
+//! let trace: Vec<usize> = (0..keys.len()).collect();
+//! let mut mem = Hierarchy::typical();
+//! let report = measure(&table, &keys, &trace, &mut mem);
+//! assert!(report.avg_loads >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+
+pub mod cache;
+pub mod harness;
+pub mod structures;
+pub mod trie;
+
+pub use cache::{AccessStats, Cache, CacheConfig, Hierarchy, HitLevel};
+pub use harness::{measure, SearchCostReport};
+pub use structures::{
+    Arena, BinarySearchTree, ChainedHash, Lookup, OpenAddressing, SoftIndex, SortedArray,
+};
+pub use trie::MultibitTrie;

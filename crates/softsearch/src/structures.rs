@@ -1,0 +1,459 @@
+//! Software search structures laid out in a simulated address space.
+//!
+//! Each structure places its nodes at explicit byte addresses and performs
+//! lookups through a [`Hierarchy`], so every pointer dereference is a
+//! simulated load. This reproduces the memory-access counts the paper
+//! attributes to software searching (Sec. 2.1, 4.1): list/tree traversal
+//! and hashing are pointer-chasing patterns that are "difficult to fully
+//! optimize" \[12\].
+
+use crate::cache::Hierarchy;
+
+/// A bump allocator handing out addresses in a simulated flat memory.
+#[derive(Debug, Clone)]
+pub struct Arena {
+    next: u64,
+}
+
+impl Arena {
+    /// Creates an arena starting at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        Self { next: base }
+    }
+
+    /// Allocates `bytes` aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        self.next = addr + bytes;
+        addr
+    }
+}
+
+/// Outcome of one software lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// The value found, if any.
+    pub value: Option<u64>,
+    /// Loads issued (pointer dereferences / element reads).
+    pub loads: u32,
+}
+
+/// A software search index over `u64 -> u64`.
+pub trait SoftIndex {
+    /// Looks `key` up, issuing loads through `mem`.
+    fn lookup(&self, key: u64, mem: &mut Hierarchy) -> Lookup;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+
+/// A chained (separate-chaining) hash table: bucket-head array + linked
+/// nodes, the textbook layout of Sec. 2.1 ("arranged ... chained in a
+/// linked list").
+#[derive(Debug, Clone)]
+pub struct ChainedHash {
+    mask: u64,
+    heads_base: u64,
+    heads: Vec<Option<u32>>,
+    nodes: Vec<(u64, u64, Option<u32>)>, // (key, value, next)
+    nodes_base: u64,
+}
+
+const NODE_BYTES: u64 = 24; // key + value + next pointer
+
+impl ChainedHash {
+    /// Builds the table with `2^buckets_log2` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets_log2` ≥ 32.
+    #[must_use]
+    pub fn build(pairs: &[(u64, u64)], buckets_log2: u32, arena: &mut Arena) -> Self {
+        assert!(buckets_log2 < 32, "bucket count out of range");
+        let buckets = 1usize << buckets_log2;
+        let heads_base = arena.alloc(8 * buckets as u64, 64);
+        let nodes_base = arena.alloc(NODE_BYTES * pairs.len() as u64, 64);
+        let mask = (buckets - 1) as u64;
+        let mut heads: Vec<Option<u32>> = vec![None; buckets];
+        let mut nodes = Vec::with_capacity(pairs.len());
+        for &(key, value) in pairs {
+            let b = usize::try_from(Self::hash(key) & mask).expect("fits");
+            let idx = u32::try_from(nodes.len()).expect("< 2^32 nodes");
+            nodes.push((key, value, heads[b]));
+            heads[b] = Some(idx);
+        }
+        Self {
+            mask,
+            heads_base,
+            heads,
+            nodes,
+            nodes_base,
+        }
+    }
+
+    fn hash(key: u64) -> u64 {
+        // Fibonacci hashing: cheap and well-spread, as a software hash
+        // function would be.
+        key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13
+    }
+
+    fn node_addr(&self, idx: u32) -> u64 {
+        self.nodes_base + u64::from(idx) * NODE_BYTES
+    }
+}
+
+impl SoftIndex for ChainedHash {
+    fn lookup(&self, key: u64, mem: &mut Hierarchy) -> Lookup {
+        let b = Self::hash(key) & self.mask;
+        // Load the bucket head pointer.
+        mem.access(self.heads_base + b * 8);
+        let mut loads = 1u32;
+        let mut cursor = self.heads[usize::try_from(b).expect("fits")];
+        while let Some(idx) = cursor {
+            // Load the node (key + next fit in one 24-byte record).
+            mem.access(self.node_addr(idx));
+            loads += 1;
+            let (k, v, next) = self.nodes[idx as usize];
+            if k == key {
+                return Lookup {
+                    value: Some(v),
+                    loads,
+                };
+            }
+            cursor = next;
+        }
+        Lookup { value: None, loads }
+    }
+
+    fn name(&self) -> &'static str {
+        "chained hash"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// An open-addressing (linear-probing) hash table of 16-byte slots — the
+/// software analogue of CA-RAM's own layout.
+#[derive(Debug, Clone)]
+pub struct OpenAddressing {
+    mask: u64,
+    base: u64,
+    slots: Vec<Option<(u64, u64)>>,
+}
+
+const SLOT_BYTES: u64 = 16;
+
+impl OpenAddressing {
+    /// Builds the table with `2^slots_log2` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table cannot hold the pairs or `slots_log2` ≥ 32.
+    #[must_use]
+    pub fn build(pairs: &[(u64, u64)], slots_log2: u32, arena: &mut Arena) -> Self {
+        assert!(slots_log2 < 32, "slot count out of range");
+        let n = 1usize << slots_log2;
+        assert!(pairs.len() < n, "open table must have a free slot");
+        let base = arena.alloc(SLOT_BYTES * n as u64, 64);
+        let mask = (n - 1) as u64;
+        let mut slots: Vec<Option<(u64, u64)>> = vec![None; n];
+        for &(key, value) in pairs {
+            let mut i = ChainedHash::hash(key) & mask;
+            while slots[usize::try_from(i).expect("fits")].is_some() {
+                i = (i + 1) & mask;
+            }
+            slots[usize::try_from(i).expect("fits")] = Some((key, value));
+        }
+        Self { mask, base, slots }
+    }
+}
+
+impl SoftIndex for OpenAddressing {
+    fn lookup(&self, key: u64, mem: &mut Hierarchy) -> Lookup {
+        let mut i = ChainedHash::hash(key) & self.mask;
+        let mut loads = 0u32;
+        loop {
+            mem.access(self.base + i * SLOT_BYTES);
+            loads += 1;
+            match self.slots[usize::try_from(i).expect("fits")] {
+                Some((k, v)) if k == key => {
+                    return Lookup {
+                        value: Some(v),
+                        loads,
+                    }
+                }
+                Some(_) => i = (i + 1) & self.mask,
+                None => return Lookup { value: None, loads },
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "open addressing"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// A sorted array searched by binary search ("ordered table searching",
+/// Sec. 2.1) — `O(log N)` loads, each a cache-hostile random jump.
+#[derive(Debug, Clone)]
+pub struct SortedArray {
+    base: u64,
+    entries: Vec<(u64, u64)>,
+}
+
+impl SortedArray {
+    /// Builds the array (sorts a copy of `pairs` by key).
+    #[must_use]
+    pub fn build(pairs: &[(u64, u64)], arena: &mut Arena) -> Self {
+        let mut entries = pairs.to_vec();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let base = arena.alloc(SLOT_BYTES * entries.len() as u64, 64);
+        Self { base, entries }
+    }
+}
+
+impl SoftIndex for SortedArray {
+    fn lookup(&self, key: u64, mem: &mut Hierarchy) -> Lookup {
+        let mut lo = 0usize;
+        let mut hi = self.entries.len();
+        let mut loads = 0u32;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            mem.access(self.base + mid as u64 * SLOT_BYTES);
+            loads += 1;
+            let (k, v) = self.entries[mid];
+            match key.cmp(&k) {
+                core::cmp::Ordering::Equal => {
+                    return Lookup {
+                        value: Some(v),
+                        loads,
+                    }
+                }
+                core::cmp::Ordering::Less => hi = mid,
+                core::cmp::Ordering::Greater => lo = mid + 1,
+            }
+        }
+        Lookup { value: None, loads }
+    }
+
+    fn name(&self) -> &'static str {
+        "binary search"
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// A binary search tree with nodes at allocation-order addresses — the
+/// pointer-chasing pattern of \[12\].
+#[derive(Debug, Clone)]
+pub struct BinarySearchTree {
+    nodes: Vec<BstNode>,
+    base: u64,
+    root: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BstNode {
+    key: u64,
+    value: u64,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+const BST_NODE_BYTES: u64 = 32;
+
+impl BinarySearchTree {
+    /// Builds the tree by inserting `pairs` in the given order (callers
+    /// shuffle for balance, or not — degeneracy is part of the story).
+    #[must_use]
+    pub fn build(pairs: &[(u64, u64)], arena: &mut Arena) -> Self {
+        let base = arena.alloc(BST_NODE_BYTES * pairs.len() as u64, 64);
+        let mut t = Self {
+            nodes: Vec::with_capacity(pairs.len()),
+            base,
+            root: None,
+        };
+        for &(key, value) in pairs {
+            t.insert(key, value);
+        }
+        t
+    }
+
+    fn insert(&mut self, key: u64, value: u64) {
+        let new = u32::try_from(self.nodes.len()).expect("< 2^32 nodes");
+        self.nodes.push(BstNode {
+            key,
+            value,
+            left: None,
+            right: None,
+        });
+        let Some(mut cur) = self.root else {
+            self.root = Some(new);
+            return;
+        };
+        loop {
+            let node = self.nodes[cur as usize];
+            if key < node.key {
+                if let Some(l) = node.left {
+                    cur = l;
+                } else {
+                    self.nodes[cur as usize].left = Some(new);
+                    return;
+                }
+            } else if let Some(r) = node.right {
+                cur = r;
+            } else {
+                self.nodes[cur as usize].right = Some(new);
+                return;
+            }
+        }
+    }
+}
+
+impl SoftIndex for BinarySearchTree {
+    fn lookup(&self, key: u64, mem: &mut Hierarchy) -> Lookup {
+        let mut loads = 0u32;
+        let mut cursor = self.root;
+        while let Some(idx) = cursor {
+            mem.access(self.base + u64::from(idx) * BST_NODE_BYTES);
+            loads += 1;
+            let node = self.nodes[idx as usize];
+            match key.cmp(&node.key) {
+                core::cmp::Ordering::Equal => {
+                    return Lookup {
+                        value: Some(node.value),
+                        loads,
+                    }
+                }
+                core::cmp::Ordering::Less => cursor = node.left,
+                core::cmp::Ordering::Greater => cursor = node.right,
+            }
+        }
+        Lookup { value: None, loads }
+    }
+
+    fn name(&self) -> &'static str {
+        "binary search tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut out: Vec<(u64, u64)> = (0..n).map(|i| (rng.gen::<u64>(), i)).collect();
+        out.sort_unstable();
+        out.dedup_by_key(|p| p.0);
+        out.shuffle(&mut rng);
+        out
+    }
+
+    fn check_all<T: SoftIndex>(index: &T, pairs: &[(u64, u64)]) {
+        let mut mem = Hierarchy::typical();
+        for &(k, v) in pairs {
+            let got = index.lookup(k, &mut mem);
+            assert_eq!(got.value, Some(v), "{} key {k:#x}", index.name());
+            assert!(got.loads >= 1);
+        }
+        // A key guaranteed absent.
+        let miss = index.lookup(u64::MAX, &mut mem);
+        assert_eq!(miss.value, None);
+    }
+
+    #[test]
+    fn arena_aligns() {
+        let mut a = Arena::new(100);
+        assert_eq!(a.alloc(10, 64), 128);
+        assert_eq!(a.alloc(8, 8), 144);
+    }
+
+    #[test]
+    fn chained_hash_finds_everything() {
+        let p = pairs(2_000);
+        let mut arena = Arena::new(0);
+        let t = ChainedHash::build(&p, 9, &mut arena); // 512 buckets, ~4/chain
+        check_all(&t, &p);
+    }
+
+    #[test]
+    fn chained_hash_load_count_tracks_chain_length() {
+        let p = pairs(4_096);
+        let mut arena = Arena::new(0);
+        let sparse = ChainedHash::build(&p, 13, &mut arena); // ~0.5/bucket
+        let dense = ChainedHash::build(&p, 8, &mut arena); // ~16/bucket
+        let mut mem = Hierarchy::typical();
+        let avg = |t: &ChainedHash, mem: &mut Hierarchy| {
+            let total: u32 = p.iter().map(|&(k, _)| t.lookup(k, mem).loads).sum();
+            f64::from(total) / p.len() as f64
+        };
+        assert!(avg(&dense, &mut mem) > avg(&sparse, &mut mem) + 3.0);
+    }
+
+    #[test]
+    fn open_addressing_finds_everything() {
+        let p = pairs(3_000);
+        let mut arena = Arena::new(0);
+        let t = OpenAddressing::build(&p, 12, &mut arena);
+        check_all(&t, &p);
+    }
+
+    #[test]
+    fn sorted_array_is_logarithmic() {
+        let p = pairs(4_096);
+        let mut arena = Arena::new(0);
+        let t = SortedArray::build(&p, &mut arena);
+        check_all(&t, &p);
+        let mut mem = Hierarchy::typical();
+        let worst = p
+            .iter()
+            .map(|&(k, _)| t.lookup(k, &mut mem).loads)
+            .max()
+            .unwrap();
+        assert!(worst <= 13, "log2(4096) + 1 = 13, got {worst}");
+    }
+
+    #[test]
+    fn bst_finds_everything_and_chases_pointers() {
+        let p = pairs(2_000);
+        let mut arena = Arena::new(0);
+        let t = BinarySearchTree::build(&p, &mut arena);
+        check_all(&t, &p);
+        let mut mem = Hierarchy::typical();
+        let avg: f64 = p
+            .iter()
+            .map(|&(k, _)| f64::from(t.lookup(k, &mut mem).loads))
+            .sum::<f64>()
+            / p.len() as f64;
+        // Random insertion: ~1.39 log2(n) expected depth.
+        assert!(avg > 10.0 && avg < 25.0, "avg depth {avg:.1}");
+    }
+
+    #[test]
+    fn structures_disagree_only_in_cost_not_in_answers() {
+        let p = pairs(1_000);
+        let mut arena = Arena::new(0);
+        let a = ChainedHash::build(&p, 8, &mut arena);
+        let b = OpenAddressing::build(&p, 11, &mut arena);
+        let c = SortedArray::build(&p, &mut arena);
+        let d = BinarySearchTree::build(&p, &mut arena);
+        let mut mem = Hierarchy::typical();
+        for &(k, v) in p.iter().take(200) {
+            for idx in [&a as &dyn SoftIndex, &b, &c, &d] {
+                assert_eq!(idx.lookup(k, &mut mem).value, Some(v));
+            }
+        }
+    }
+}

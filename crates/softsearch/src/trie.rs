@@ -1,0 +1,314 @@
+//! A multibit trie for software longest-prefix match — the data structure
+//! behind the paper's motivating number (Sec. 4.1: "software-based
+//! approaches usually require at least 4 to 6 memory accesses for
+//! forwarding one packet").
+//!
+//! The trie consumes the address in fixed strides; each step loads one node
+//! from the simulated memory, so a 32-bit lookup with an 8-bit stride costs
+//! up to 4 dependent loads (plus a result load), exactly the 4–6 band. This
+//! gives the software side of the Table 2 comparison an LPM-capable
+//! structure rather than an exact-match stand-in.
+
+use crate::cache::Hierarchy;
+use crate::structures::{Arena, Lookup};
+
+/// One trie level: `2^stride` children, each either a next-node index or a
+/// leaf result, with the best prefix seen so far pushed down (leaf pushing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    /// Best match so far (pushed prefix data).
+    Leaf(u64),
+    /// Index of the child node (which may carry its own pushed leaf data).
+    Node(u32),
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode {
+    slots: Vec<Slot>,
+}
+
+/// A fixed-stride multibit trie over 32-bit keys, laid out in simulated
+/// memory so lookups report their true load count.
+#[derive(Debug, Clone)]
+pub struct MultibitTrie {
+    stride: u32,
+    nodes: Vec<TrieNode>,
+    base: u64,
+    node_bytes: u64,
+}
+
+impl MultibitTrie {
+    /// Builds a trie with the given stride (bits consumed per level; a
+    /// divisor of 32) from `(addr, len, data)` prefixes.
+    ///
+    /// Prefixes must be unique per `(addr, len)`; later duplicates are
+    /// ignored. Longest-prefix semantics follow from insertion with leaf
+    /// pushing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is 0, over 16, or does not divide 32, or if a
+    /// prefix has host bits set.
+    #[must_use]
+    pub fn build(prefixes: &[(u32, u8, u64)], stride: u32, arena: &mut Arena) -> Self {
+        assert!(
+            stride > 0 && stride <= 16 && 32 % stride == 0,
+            "stride must divide 32 and be 1..=16"
+        );
+        let fanout = 1usize << stride;
+        let mut trie = Self {
+            stride,
+            nodes: vec![TrieNode {
+                slots: vec![Slot::Empty; fanout],
+            }],
+            base: 0,
+            node_bytes: (fanout as u64) * 8,
+        };
+        // Insert shortest-first so longer prefixes overwrite (leaf pushing).
+        let mut sorted: Vec<&(u32, u8, u64)> = prefixes.iter().collect();
+        sorted.sort_by_key(|&&(_, len, _)| len);
+        for &&(addr, len, data) in &sorted {
+            assert!(len <= 32, "prefix length {len} exceeds 32");
+            if len > 0 && len < 32 {
+                assert!(
+                    addr & ((1u32 << (32 - len)) - 1) == 0,
+                    "prefix {addr:#010x}/{len} has host bits set"
+                );
+            }
+            trie.insert(addr, u32::from(len), data);
+        }
+        trie.base = arena.alloc(trie.nodes.len() as u64 * trie.node_bytes, 64);
+        trie
+    }
+
+    fn insert(&mut self, addr: u32, len: u32, data: u64) {
+        self.spread(0, addr, len, data, 32);
+    }
+
+    /// Recursively spreads `data` over every slot the prefix covers at this
+    /// node, descending when the prefix is longer than the level.
+    fn spread(&mut self, node: usize, addr: u32, len: u32, data: u64, bits_left: u32) {
+        let stride = self.stride;
+        let shift = bits_left - stride;
+        let fanout = 1u32 << stride;
+        let index = |a: u32| (a >> shift) & (fanout - 1);
+        if len <= stride {
+            // The prefix covers 2^(stride-len) slots at this level.
+            let lo = index(addr);
+            let span = 1u32 << (stride - len);
+            for i in lo..lo + span {
+                let slot = self.nodes[node].slots[i as usize];
+                match slot {
+                    Slot::Empty | Slot::Leaf(_) => {
+                        self.nodes[node].slots[i as usize] = Slot::Leaf(data);
+                    }
+                    Slot::Node(child) => {
+                        // Push the shorter prefix into the child (it only
+                        // overwrites slots not already claimed deeper —
+                        // guaranteed by shortest-first insertion order for
+                        // equal coverage, and harmless otherwise because
+                        // longer prefixes are inserted later).
+                        self.spread(child as usize, addr << stride, 0, data, bits_left);
+                        let _ = i;
+                    }
+                }
+            }
+            // len == 0 spread into a child means "fill empties only".
+            if len == 0 {
+                for i in 0..fanout {
+                    if self.nodes[node].slots[i as usize] == Slot::Empty {
+                        self.nodes[node].slots[i as usize] = Slot::Leaf(data);
+                    }
+                }
+            }
+        } else {
+            let i = index(addr) as usize;
+            let child = match self.nodes[node].slots[i] {
+                Slot::Node(c) => c as usize,
+                Slot::Empty => {
+                    let c = self.new_child(None);
+                    self.nodes[node].slots[i] = Slot::Node(u32::try_from(c).expect("< 2^32"));
+                    c
+                }
+                Slot::Leaf(old) => {
+                    // Split: push the existing leaf down into a new child.
+                    let c = self.new_child(Some(old));
+                    self.nodes[node].slots[i] = Slot::Node(u32::try_from(c).expect("< 2^32"));
+                    c
+                }
+            };
+            self.spread(child, addr << stride, len - stride, data, bits_left);
+        }
+    }
+
+    fn new_child(&mut self, fill: Option<u64>) -> usize {
+        let fanout = 1usize << self.stride;
+        let slot = fill.map_or(Slot::Empty, Slot::Leaf);
+        self.nodes.push(TrieNode {
+            slots: vec![slot; fanout],
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of trie nodes (memory footprint indicator).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Longest-prefix lookup through the simulated memory: one dependent
+    /// load per level.
+    pub fn lookup(&self, addr: u32, mem: &mut Hierarchy) -> Lookup {
+        let mut node = 0usize;
+        let mut best: Option<u64> = None;
+        let mut loads = 0u32;
+        let mut bits_left = 32u32;
+        loop {
+            let shift = bits_left - self.stride;
+            let i = ((addr >> shift) & ((1u32 << self.stride) - 1)) as usize;
+            // One load: the slot word of this node.
+            mem.access(self.base + node as u64 * self.node_bytes + i as u64 * 8);
+            loads += 1;
+            match self.nodes[node].slots[i] {
+                Slot::Empty => break,
+                Slot::Leaf(d) => {
+                    best = Some(d);
+                    break;
+                }
+                Slot::Node(child) => {
+                    // The child may still have pushed leaves; keep walking.
+                    node = child as usize;
+                    bits_left -= self.stride;
+                    if bits_left == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        Lookup { value: best, loads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_lpm(prefixes: &[(u32, u8, u64)], addr: u32) -> Option<u64> {
+        prefixes
+            .iter()
+            .filter(|&&(a, l, _)| {
+                let mask = if l == 0 {
+                    0
+                } else if l == 32 {
+                    u32::MAX
+                } else {
+                    !((1u32 << (32 - l)) - 1)
+                };
+                addr & mask == a
+            })
+            .max_by_key(|&&(_, l, _)| l)
+            .map(|&(_, _, d)| d)
+    }
+
+    fn sample_prefixes() -> Vec<(u32, u8, u64)> {
+        vec![
+            (0x0A00_0000, 8, 8),
+            (0x0A0B_0000, 16, 16),
+            (0x0A0B_0C00, 24, 24),
+            (0x0A0B_0C0D, 32, 32),
+            (0xC000_0000, 2, 2),
+        ]
+    }
+
+    #[test]
+    fn lpm_matches_reference_for_all_strides() {
+        let prefixes = sample_prefixes();
+        for stride in [1u32, 2, 4, 8, 16] {
+            let mut arena = Arena::new(0);
+            let trie = MultibitTrie::build(&prefixes, stride, &mut arena);
+            let mut mem = Hierarchy::typical();
+            for addr in [
+                0x0A0B_0C0Du32,
+                0x0A0B_0C0E,
+                0x0A0B_FF00,
+                0x0A33_0000,
+                0xC123_4567,
+                0x7F00_0001,
+            ] {
+                assert_eq!(
+                    trie.lookup(addr, &mut mem).value,
+                    reference_lpm(&prefixes, addr),
+                    "stride {stride}, addr {addr:#010x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_lpm_equivalence() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut prefixes = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let len = rng.gen_range(4..=28u8);
+            let addr = rng.gen::<u32>() & !((1u32 << (32 - len)) - 1);
+            if seen.insert((addr, len)) {
+                prefixes.push((addr, len, u64::from(len)));
+            }
+        }
+        let mut arena = Arena::new(0);
+        let trie = MultibitTrie::build(&prefixes, 8, &mut arena);
+        let mut mem = Hierarchy::typical();
+        for _ in 0..3_000 {
+            let addr = rng.gen::<u32>();
+            assert_eq!(
+                trie.lookup(addr, &mut mem).value,
+                reference_lpm(&prefixes, addr),
+                "addr {addr:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_count_bounded_by_levels() {
+        let prefixes = sample_prefixes();
+        let mut arena = Arena::new(0);
+        let trie = MultibitTrie::build(&prefixes, 8, &mut arena);
+        let mut mem = Hierarchy::typical();
+        for addr in [0x0A0B_0C0Du32, 0x0000_0000, 0xFFFF_FFFF] {
+            let got = trie.lookup(addr, &mut mem);
+            assert!(got.loads >= 1 && got.loads <= 4, "loads {}", got.loads);
+        }
+        // A /32 must walk all four levels.
+        assert_eq!(trie.lookup(0x0A0B_0C0D, &mut mem).loads, 4);
+    }
+
+    #[test]
+    fn smaller_stride_more_nodes_fewer_bytes_per_node() {
+        let prefixes = sample_prefixes();
+        let mut arena = Arena::new(0);
+        let fine = MultibitTrie::build(&prefixes, 4, &mut arena);
+        let coarse = MultibitTrie::build(&prefixes, 16, &mut arena);
+        assert!(fine.node_count() > coarse.node_count());
+    }
+
+    #[test]
+    fn default_route_fills_gaps_without_hiding_specifics() {
+        let prefixes = vec![(0u32, 0u8, 99u64), (0x0A00_0000, 8, 8)];
+        let mut arena = Arena::new(0);
+        let trie = MultibitTrie::build(&prefixes, 8, &mut arena);
+        let mut mem = Hierarchy::typical();
+        assert_eq!(trie.lookup(0x0A01_0000, &mut mem).value, Some(8));
+        assert_eq!(trie.lookup(0x0B00_0000, &mut mem).value, Some(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "host bits set")]
+    fn host_bits_rejected() {
+        let mut arena = Arena::new(0);
+        let _ = MultibitTrie::build(&[(0x0A00_0001, 8, 0)], 8, &mut arena);
+    }
+}

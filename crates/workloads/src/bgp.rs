@@ -1,0 +1,389 @@
+//! Synthetic BGP routing tables (Sec. 4.1 substitution).
+//!
+//! The paper maps the RIPE RIS routing table of AS1103 (186,760 prefixes,
+//! rrc00, 2006) onto CA-RAM. That dump is not redistributable here, so this
+//! module generates synthetic tables that preserve the three properties the
+//! experiments exercise:
+//!
+//! 1. the **prefix-length distribution** (Huston \[10\]: ≥98% of prefixes are
+//!    at least 16 bits long, the mode is /24, the minimum is /8; short
+//!    prefixes are rare in absolute terms but each duplicates into
+//!    `2^min(R, 16-len)` buckets under bit-selection hashing — the source
+//!    of the paper's ~6.4% duplicate count);
+//! 2. the **deaggregation structure**: per-/16-block prefix counts are
+//!    strongly dispersed (a few blocks are deaggregated into hundreds of
+//!    /17–/24 more-specifics while most hold a handful). Under the paper's
+//!    hash — bits taken from the first 16 address bits — a block lands
+//!    whole in one bucket, so bucket loads inherit this dispersion. We
+//!    model block sizes as lognormal with coefficient of variation
+//!    [`BgpConfig::block_size_cv`]; the paper's own Table 2 overflow
+//!    column pins the aggregate variance-to-mean ratio at ≈ 80 (see
+//!    `EXPERIMENTS.md`), which CV ≈ 2 reproduces across all six designs.
+//!
+//! Real data can be substituted at any time via [`parse_table`].
+
+use std::collections::HashSet;
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::prefix::Ipv4Prefix;
+
+/// Approximate prefix-length distribution of a 2006 core routing table for
+/// lengths ≥ 16 (fractions; normalized at use). Source: Huston \[10\] and
+/// contemporary RIS snapshots.
+const LONG_LENGTH_WEIGHTS: [(u8, f64); 17] = [
+    (16, 0.065),
+    (17, 0.025),
+    (18, 0.040),
+    (19, 0.050),
+    (20, 0.055),
+    (21, 0.045),
+    (22, 0.065),
+    (23, 0.060),
+    (24, 0.520),
+    (25, 0.004),
+    (26, 0.004),
+    (27, 0.003),
+    (28, 0.003),
+    (29, 0.003),
+    (30, 0.002),
+    (31, 0.0005),
+    (32, 0.0005),
+];
+
+/// Absolute count model for short prefixes (8 ≤ len < 16) in a 186 K-entry
+/// table, scaled linearly with table size.
+const SHORT_LENGTH_COUNTS: [(u8, f64); 8] = [
+    (8, 19.0),
+    (9, 4.0),
+    (10, 9.0),
+    (11, 28.0),
+    (12, 56.0),
+    (13, 112.0),
+    (14, 243.0),
+    (15, 448.0),
+];
+
+/// Reference table size the short-prefix counts are calibrated at.
+const REFERENCE_PREFIXES: f64 = 186_760.0;
+
+/// Configuration of the synthetic BGP table generator.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BgpConfig {
+    /// Number of unique prefixes to generate (the paper's table: 186,760).
+    pub prefixes: usize,
+    /// Number of distinct populated /16 blocks.
+    pub blocks: usize,
+    /// Coefficient of variation (σ/µ) of per-block prefix counts
+    /// (lognormal). Larger = more deaggregation skew = more bucket
+    /// overflow.
+    pub block_size_cv: f64,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for BgpConfig {
+    fn default() -> Self {
+        Self::as1103_like()
+    }
+}
+
+impl BgpConfig {
+    /// The calibrated AS1103-like configuration used by the Table 2
+    /// reproduction (see `EXPERIMENTS.md` for the calibration run).
+    #[must_use]
+    pub fn as1103_like() -> Self {
+        Self {
+            prefixes: 186_760,
+            blocks: 8_000,
+            block_size_cv: 1.80,
+            seed: 0x1103,
+        }
+    }
+
+    /// The same shape at a reduced scale (for tests and quick runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefixes` is zero.
+    #[must_use]
+    pub fn scaled(prefixes: usize) -> Self {
+        assert!(prefixes > 0, "need at least one prefix");
+        let full = Self::as1103_like();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let blocks = ((full.blocks as f64) * (prefixes as f64 / full.prefixes as f64))
+            .ceil()
+            .max(16.0) as usize;
+        Self {
+            prefixes,
+            blocks,
+            ..full
+        }
+    }
+}
+
+/// Generates a synthetic routing table: unique prefixes, sorted by
+/// (descending length, ascending address) — the LPM build order of Sec. 4.1.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero prefixes/blocks,
+/// non-positive shape parameters, or a combination that cannot produce
+/// enough unique prefixes).
+#[must_use]
+pub fn generate(config: &BgpConfig) -> Vec<Ipv4Prefix> {
+    assert!(config.prefixes > 0, "need at least one prefix");
+    assert!(config.blocks > 0, "need at least one block");
+    assert!(
+        config.block_size_cv > 0.0 && config.block_size_cv.is_finite(),
+        "block-size CV must be positive"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // --- the populated /16 blocks and their target sizes -------------------
+    let blocks: Vec<u16> = sample_distinct_u16(&mut rng, config.blocks);
+
+    #[allow(clippy::cast_precision_loss)]
+    let scale = config.prefixes as f64 / REFERENCE_PREFIXES;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let short_total: usize = SHORT_LENGTH_COUNTS
+        .iter()
+        .map(|&(_, c)| (c * scale).round() as usize)
+        .sum();
+    let long_total = config.prefixes.saturating_sub(short_total);
+
+    // Block sizes: lognormal with the configured CV, scaled to the total.
+    let sigma = (1.0 + config.block_size_cv * config.block_size_cv).ln().sqrt();
+    let raw: Vec<f64> = (0..config.blocks)
+        .map(|_| (sigma * gaussian(&mut rng) - sigma * sigma / 2.0).exp())
+        .collect();
+    let raw_sum: f64 = raw.iter().sum();
+    #[allow(clippy::cast_precision_loss)]
+    let long_total_f = long_total.max(config.blocks) as f64;
+    let sizes: Vec<usize> = raw
+        .into_iter()
+        .map(|r| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                (r / raw_sum * long_total_f).round().max(1.0) as usize
+            }
+        })
+        .collect();
+
+    // --- generate long prefixes per block -----------------------------------
+    let lengths: Vec<u8> = LONG_LENGTH_WEIGHTS.iter().map(|&(l, _)| l).collect();
+    let length_picker = WeightedIndex::new(LONG_LENGTH_WEIGHTS.iter().map(|&(_, w)| w))
+        .expect("weights are positive");
+    let mut seen: HashSet<(u32, u8)> = HashSet::with_capacity(config.prefixes * 2);
+    let mut out: Vec<Ipv4Prefix> = Vec::with_capacity(config.prefixes);
+    for (block, &size) in blocks.iter().zip(&sizes) {
+        let base = u32::from(*block) << 16;
+        let mut placed = 0usize;
+        let mut attempts = 0u64;
+        while placed < size {
+            attempts += 1;
+            if attempts > 40 * size as u64 + 1024 {
+                break; // block space exhausted (tiny hot block overlap)
+            }
+            let len = lengths[length_picker.sample(&mut rng)];
+            let addr = base | (rng.gen::<u32>() & 0xFFFF);
+            let p = Ipv4Prefix::truncating(addr, len);
+            if seen.insert((p.addr(), p.len())) {
+                out.push(p);
+                placed += 1;
+            }
+        }
+    }
+
+    // --- short prefixes: aggregates of popular blocks ------------------------
+    for &(len, count) in &SHORT_LENGTH_COUNTS {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let want = (count * scale).round() as usize;
+        let mut placed = 0usize;
+        let mut attempts = 0u64;
+        while placed < want {
+            attempts += 1;
+            if attempts > 200 * want as u64 + 1024 {
+                break; // the space of /8s etc. is simply exhausted
+            }
+            let block = blocks[rng.gen_range(0..blocks.len())];
+            let p = Ipv4Prefix::truncating(u32::from(block) << 16, len);
+            if seen.insert((p.addr(), p.len())) {
+                out.push(p);
+                placed += 1;
+            }
+        }
+    }
+
+    // --- trim or top up to the exact requested count -------------------------
+    while out.len() > config.prefixes {
+        out.pop();
+    }
+    let mut attempts = 0u64;
+    while out.len() < config.prefixes {
+        attempts += 1;
+        assert!(
+            attempts < (config.prefixes as u64).saturating_mul(200).max(1 << 20),
+            "generator cannot find enough unique prefixes; config too tight"
+        );
+        let block = blocks[rng.gen_range(0..blocks.len())];
+        let len = lengths[length_picker.sample(&mut rng)];
+        let addr = (u32::from(block) << 16) | (rng.gen::<u32>() & 0xFFFF);
+        let p = Ipv4Prefix::truncating(addr, len);
+        if seen.insert((p.addr(), p.len())) {
+            out.push(p);
+        }
+    }
+
+    // Descending prefix length, then address: the LPM insertion order.
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.addr().cmp(&b.addr())));
+    out
+}
+
+/// Parses a routing table from text: one `a.b.c.d/len` per line, blank
+/// lines and `#` comments ignored. Use this to run the experiments on a
+/// real RIS/route-views dump.
+///
+/// # Errors
+///
+/// Returns the first offending line on parse failure.
+pub fn parse_table(text: &str) -> Result<Vec<Ipv4Prefix>, crate::prefix::ParsePrefixError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(line.parse()?);
+    }
+    Ok(out)
+}
+
+fn sample_distinct_u16(rng: &mut SmallRng, n: usize) -> Vec<u16> {
+    assert!(n <= 65_536, "at most 65,536 distinct /16 blocks exist");
+    // Partial Fisher-Yates over the 16-bit space.
+    let mut all: Vec<u16> = (0..=u16::MAX).collect();
+    for i in 0..n {
+        let j = rng.gen_range(i..all.len());
+        all.swap(i, j);
+    }
+    all.truncate(n);
+    all
+}
+
+/// A standard normal sample (Box-Muller).
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::length_histogram;
+
+    fn small() -> Vec<Ipv4Prefix> {
+        generate(&BgpConfig::scaled(20_000))
+    }
+
+    #[test]
+    fn generates_requested_unique_count() {
+        let table = small();
+        assert_eq!(table.len(), 20_000);
+        let mut set: Vec<(u32, u8)> = table.iter().map(|p| (p.addr(), p.len())).collect();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 20_000, "prefixes must be unique");
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(&BgpConfig::scaled(5_000));
+        let b = generate(&BgpConfig::scaled(5_000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn length_distribution_matches_huston() {
+        let table = small();
+        let h = length_histogram(&table);
+        let total: u64 = h.iter().sum();
+        // "over 98% of the prefixes ... are at least 16 bits long" [10].
+        let ge16: u64 = h[16..].iter().sum();
+        #[allow(clippy::cast_precision_loss)]
+        let frac = ge16 as f64 / total as f64;
+        assert!(frac > 0.98, "got {frac:.3}");
+        // The minimum length is 8 (Sec. 4.1) and /24 dominates.
+        assert_eq!(h[..8].iter().sum::<u64>(), 0);
+        let max_len = (0..33).max_by_key(|&l| h[l]).unwrap();
+        assert_eq!(max_len, 24);
+    }
+
+    #[test]
+    fn sorted_for_lpm_build() {
+        let table = small();
+        for w in table.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn deaggregated_blocks_exist() {
+        // The calibrated mixture must produce a population of hot /16
+        // blocks holding >=100 more-specifics — the hot buckets of Table 2.
+        let table = generate(&BgpConfig::as1103_like());
+        let mut per_block = std::collections::HashMap::new();
+        for p in &table {
+            if p.len() >= 16 {
+                *per_block.entry(p.addr() >> 16).or_insert(0u64) += 1;
+            }
+        }
+        let hot = per_block.values().filter(|&&c| c >= 130).count();
+        assert!(
+            (100..800).contains(&hot),
+            "expected a few hundred deaggregated blocks, got {hot}"
+        );
+        // And a heavy-tailed cold background.
+        let max_cold = per_block.values().copied().max().unwrap_or(0);
+        assert!(max_cold > 200);
+    }
+
+    #[test]
+    fn duplicate_rate_matches_paper_band() {
+        // Short prefixes (< /16) drive duplication: paper reports ~6.4%
+        // additional entries under an 11-bit hash at positions 16..27.
+        let table = generate(&BgpConfig::as1103_like());
+        let r = 11u32;
+        let dups: u64 = table
+            .iter()
+            .filter(|p| p.len() < 16)
+            .map(|p| {
+                let dc_hash_bits = (16 - u32::from(p.len())).min(r);
+                (1u64 << dc_hash_bits) - 1
+            })
+            .sum();
+        #[allow(clippy::cast_precision_loss)]
+        let pct = 100.0 * dups as f64 / table.len() as f64;
+        assert!((3.0..12.0).contains(&pct), "duplicate rate {pct:.1}%");
+    }
+
+    #[test]
+    fn parse_table_round_trip() {
+        let text = "# comment\n10.0.0.0/8\n\n192.168.0.0/16\n";
+        let t = parse_table(text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].to_string(), "192.168.0.0/16");
+        assert!(parse_table("bogus/99").is_err());
+    }
+
+    #[test]
+    fn scaled_config_shrinks_blocks() {
+        let c = BgpConfig::scaled(1_000);
+        assert!(c.blocks < BgpConfig::as1103_like().blocks);
+        assert!(c.blocks >= 16);
+    }
+}

@@ -1,0 +1,287 @@
+//! ACT-R-style declarative-memory chunks (the paper's future-work
+//! application, Sec. 6).
+//!
+//! "A large-scale system implementing a cognitive model such as ACT-R will
+//! benefit from employing CA-RAM, as it requires much search and data
+//! evaluation capabilities." An ACT-R *chunk* is a typed record with a
+//! small set of slot values; a *retrieval* presents a partial pattern (the
+//! cue: the type plus any subset of slots) and asks for a matching chunk —
+//! exactly CA-RAM's masked search.
+//!
+//! A chunk packs into a 128-bit key:
+//!
+//! ```text
+//! [ type: 8 bits | slot3: 30 | slot2: 30 | slot1: 30 | slot0: 30 ]
+//!   bits 120..128   90..120     60..90      30..60      0..30
+//! ```
+//!
+//! Retrieval cues leave unspecified slots don't-care. Hash functions should
+//! select bits from the type field and `slot0` (cues conventionally bind
+//! the first slot); cues that leave `slot0` open hash to several buckets —
+//! the multi-bucket masked-search cost of Sec. 4 surfaces naturally.
+
+use ca_ram_core::key::SearchKey;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of value slots in a chunk.
+pub const SLOTS: usize = 4;
+/// Bits per slot value.
+pub const SLOT_BITS: u32 = 30;
+/// Bits for the chunk type.
+pub const TYPE_BITS: u32 = 8;
+/// Bit position of the type field.
+#[allow(clippy::cast_possible_truncation)] // SLOTS = 4
+pub const TYPE_LOW: u32 = SLOT_BITS * SLOTS as u32;
+
+/// A declarative-memory chunk: a type and [`SLOTS`] slot values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chunk {
+    /// Chunk type (e.g. `addition-fact`), 8 bits.
+    pub ctype: u8,
+    /// Slot values (symbol ids), 30 bits each.
+    pub slots: [u32; SLOTS],
+}
+
+impl Chunk {
+    /// Creates a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot value exceeds [`SLOT_BITS`] bits.
+    #[must_use]
+    pub fn new(ctype: u8, slots: [u32; SLOTS]) -> Self {
+        for (i, &v) in slots.iter().enumerate() {
+            assert!(v < (1 << SLOT_BITS), "slot {i} value {v} exceeds {SLOT_BITS} bits");
+        }
+        Self { ctype, slots }
+    }
+
+    /// Packs the chunk into its 128-bit stored key.
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // internal expect: 4 slots
+    pub fn to_key(&self) -> u128 {
+        let mut key = u128::from(self.ctype) << TYPE_LOW;
+        for (i, &v) in self.slots.iter().enumerate() {
+            key |= u128::from(v) << (SLOT_BITS * u32::try_from(i).expect("few slots"));
+        }
+        key
+    }
+
+    /// Unpacks a stored key back into a chunk.
+    #[must_use]
+    pub fn from_key(key: u128) -> Self {
+        let mut slots = [0u32; SLOTS];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                *slot = ((key >> (SLOT_BITS * i as u32)) & ((1 << SLOT_BITS) - 1)) as u32;
+            }
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let ctype = ((key >> TYPE_LOW) & 0xFF) as u8;
+        Self { ctype, slots }
+    }
+}
+
+/// A retrieval cue: a chunk type plus any subset of bound slots.
+///
+/// # Examples
+///
+/// ```
+/// use ca_ram_workloads::chunks::{Chunk, Cue};
+///
+/// let fact = Chunk::new(3, [4, 7, 11, 0]); // e.g. 4 + 7 = 11
+/// let cue = Cue::of_type(3).bind(0, 4).bind(1, 7); // "what is 4 + 7?"
+/// assert!(cue.matches(&fact));
+/// // The cue compiles to a masked CA-RAM search key.
+/// let key = cue.to_search_key();
+/// assert!(key.is_masked());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cue {
+    /// Required chunk type.
+    pub ctype: u8,
+    /// Per-slot binding: `Some(v)` constrains the slot, `None` is open.
+    pub bindings: [Option<u32>; SLOTS],
+}
+
+impl Cue {
+    /// A cue for `ctype` with all slots open.
+    #[must_use]
+    pub fn of_type(ctype: u8) -> Self {
+        Self {
+            ctype,
+            bindings: [None; SLOTS],
+        }
+    }
+
+    /// Returns the cue with slot `i` bound to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `v` exceeds [`SLOT_BITS`] bits.
+    #[must_use]
+    pub fn bind(mut self, i: usize, v: u32) -> Self {
+        assert!(i < SLOTS, "slot {i} out of range");
+        assert!(v < (1 << SLOT_BITS), "slot value {v} exceeds {SLOT_BITS} bits");
+        self.bindings[i] = Some(v);
+        self
+    }
+
+    /// The masked search key implementing this cue: the type and bound
+    /// slots are care bits; open slots are don't-care.
+    #[must_use]
+    #[allow(clippy::missing_panics_doc)] // internal expect: 4 slots
+    pub fn to_search_key(&self) -> SearchKey {
+        let mut value = u128::from(self.ctype) << TYPE_LOW;
+        let mut dont_care: u128 = 0;
+        for (i, binding) in self.bindings.iter().enumerate() {
+            let low = SLOT_BITS * u32::try_from(i).expect("few slots");
+            match binding {
+                Some(v) => value |= u128::from(*v) << low,
+                None => dont_care |= (((1u128) << SLOT_BITS) - 1) << low,
+            }
+        }
+        SearchKey::with_mask(value, dont_care, 128)
+    }
+
+    /// Whether `chunk` satisfies the cue.
+    #[must_use]
+    pub fn matches(&self, chunk: &Chunk) -> bool {
+        self.ctype == chunk.ctype
+            && self
+                .bindings
+                .iter()
+                .zip(&chunk.slots)
+                .all(|(b, &s)| b.is_none_or(|v| v == s))
+    }
+}
+
+/// Configuration of the synthetic declarative-memory generator.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkConfig {
+    /// Unique chunks to generate.
+    pub chunks: usize,
+    /// Number of distinct chunk types.
+    pub types: u8,
+    /// Symbol-space size per slot.
+    pub symbols: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        Self {
+            chunks: 100_000,
+            types: 12,
+            symbols: 5_000,
+            seed: 0xAC7,
+        }
+    }
+}
+
+/// Generates a deterministic set of unique chunks.
+///
+/// # Panics
+///
+/// Panics if the configuration cannot produce enough unique chunks.
+#[must_use]
+pub fn generate(config: &ChunkConfig) -> Vec<Chunk> {
+    assert!(config.chunks > 0, "need at least one chunk");
+    assert!(config.types > 0, "need at least one type");
+    assert!(config.symbols > 0, "need at least one symbol");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut seen = std::collections::HashSet::with_capacity(config.chunks * 2);
+    let mut out = Vec::with_capacity(config.chunks);
+    let mut attempts: u64 = 0;
+    while out.len() < config.chunks {
+        attempts += 1;
+        assert!(
+            attempts < (config.chunks as u64) * 100 + 1024,
+            "symbol space too small for the requested chunk count"
+        );
+        let chunk = Chunk::new(
+            rng.gen_range(0..config.types),
+            [
+                rng.gen_range(0..config.symbols),
+                rng.gen_range(0..config.symbols),
+                rng.gen_range(0..config.symbols),
+                rng.gen_range(0..config.symbols),
+            ],
+        );
+        if seen.insert(chunk.to_key()) {
+            out.push(chunk);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trip() {
+        let c = Chunk::new(7, [1, 2, 3, (1 << SLOT_BITS) - 1]);
+        assert_eq!(Chunk::from_key(c.to_key()), c);
+    }
+
+    #[test]
+    fn cue_matches_bound_slots_only() {
+        let c = Chunk::new(3, [10, 20, 30, 40]);
+        assert!(Cue::of_type(3).matches(&c));
+        assert!(Cue::of_type(3).bind(0, 10).bind(2, 30).matches(&c));
+        assert!(!Cue::of_type(3).bind(0, 11).matches(&c));
+        assert!(!Cue::of_type(4).matches(&c));
+    }
+
+    #[test]
+    fn search_key_agrees_with_cue_semantics() {
+        let chunks = generate(&ChunkConfig {
+            chunks: 500,
+            types: 4,
+            symbols: 30,
+            seed: 5,
+        });
+        let cue = Cue::of_type(2).bind(1, chunks[0].slots[1] % 30);
+        let key = cue.to_search_key();
+        for c in &chunks {
+            let stored = ca_ram_core::key::TernaryKey::binary(c.to_key(), 128);
+            assert_eq!(stored.matches(&key), cue.matches(c), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn fully_bound_cue_is_exact() {
+        let c = Chunk::new(1, [5, 6, 7, 8]);
+        let cue = Cue::of_type(1).bind(0, 5).bind(1, 6).bind(2, 7).bind(3, 8);
+        let key = cue.to_search_key();
+        assert!(!key.is_masked());
+        assert_eq!(key.value(), c.to_key());
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_unique() {
+        let config = ChunkConfig {
+            chunks: 2_000,
+            ..ChunkConfig::default()
+        };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a, b);
+        let mut keys: Vec<u128> = a.iter().map(Chunk::to_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 2_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 30 bits")]
+    fn oversized_slot_rejected() {
+        let _ = Chunk::new(0, [1 << SLOT_BITS, 0, 0, 0]);
+    }
+}

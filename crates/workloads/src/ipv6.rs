@@ -1,0 +1,279 @@
+//! IPv6 prefixes and synthetic IPv6 routing tables (Sec. 4.1: "The size of
+//! a routing table will even quadruple as we adopt IPv6").
+//!
+//! A 128-bit ternary key fits CA-RAM's key width exactly, but costs four
+//! times the stored bits of an IPv4 prefix — the capacity pressure the
+//! paper warns TCAMs about applies to CA-RAM too, at 4.8× less area per
+//! symbol. The generator follows the global-unicast structure of early
+//! IPv6 tables: allocations under `2000::/3`, lengths clustered at /32,
+//! /40, /44, and /48 with a /64 tail.
+
+use core::fmt;
+
+use ca_ram_core::key::TernaryKey;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An IPv6 prefix: a 128-bit address with all host bits zero and a length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv6Prefix {
+    addr: u128,
+    len: u8,
+}
+
+impl Ipv6Prefix {
+    /// Creates a prefix; host bits of `addr` below `len` must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 128` or a host bit is set.
+    #[must_use]
+    pub fn new(addr: u128, len: u8) -> Self {
+        assert!(len <= 128, "prefix length {len} exceeds 128");
+        assert!(
+            addr & Self::host_mask(len) == 0,
+            "address has host bits set below /{len}"
+        );
+        Self { addr, len }
+    }
+
+    /// Creates a prefix, zeroing any host bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 128`.
+    #[must_use]
+    pub fn truncating(addr: u128, len: u8) -> Self {
+        assert!(len <= 128, "prefix length {len} exceeds 128");
+        Self {
+            addr: addr & !Self::host_mask(len),
+            len,
+        }
+    }
+
+    fn host_mask(len: u8) -> u128 {
+        if len == 0 {
+            u128::MAX
+        } else if len == 128 {
+            0
+        } else {
+            (1u128 << (128 - len)) - 1
+        }
+    }
+
+    /// The network address.
+    #[must_use]
+    pub fn addr(&self) -> u128 {
+        self.addr
+    }
+
+    /// The prefix length.
+    #[must_use]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the default route `::/0`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    #[must_use]
+    pub fn contains(&self, addr: u128) -> bool {
+        addr & !Self::host_mask(self.len) == self.addr
+    }
+
+    /// The 128-symbol ternary stored key.
+    #[must_use]
+    pub fn to_ternary_key(&self) -> TernaryKey {
+        TernaryKey::ternary(self.addr, Self::host_mask(self.len), 128)
+    }
+
+    /// A uniformly random address covered by this prefix.
+    #[must_use]
+    pub fn random_member(&self, rng: &mut impl rand::Rng) -> u128 {
+        self.addr | (rng.gen::<u128>() & Self::host_mask(self.len))
+    }
+}
+
+impl fmt::Display for Ipv6Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Grouped hex without zero-run compression (diagnostic format).
+        let a = self.addr;
+        for i in 0..8 {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{:x}", (a >> (112 - 16 * i)) & 0xFFFF)?;
+        }
+        write!(f, "/{}", self.len)
+    }
+}
+
+/// Length distribution of an early-adoption IPv6 table (fractions).
+const LENGTH_WEIGHTS: [(u8, f64); 8] = [
+    (32, 0.28),
+    (35, 0.03),
+    (40, 0.08),
+    (44, 0.06),
+    (48, 0.42),
+    (56, 0.04),
+    (64, 0.08),
+    (20, 0.01),
+];
+
+/// Configuration of the synthetic IPv6 table generator.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ipv6Config {
+    /// Unique prefixes to generate.
+    pub prefixes: usize,
+    /// Distinct /32 allocation blocks (registry allocations).
+    pub allocations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Ipv6Config {
+    fn default() -> Self {
+        Self {
+            prefixes: 46_690, // a quarter of the IPv4 table: same stored bits
+            allocations: 4_000,
+            seed: 0x6666,
+        }
+    }
+}
+
+/// Generates a synthetic IPv6 table sorted longest-prefix-first.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration.
+#[must_use]
+pub fn generate(config: &Ipv6Config) -> Vec<Ipv6Prefix> {
+    assert!(config.prefixes > 0, "need at least one prefix");
+    assert!(config.allocations > 0, "need at least one allocation");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    // Registry allocations: /32 blocks under 2000::/3.
+    let allocations: Vec<u128> = (0..config.allocations)
+        .map(|_| {
+            // Top 3 bits fixed to 001 (global unicast); bits 96..125 are
+            // the registry-assigned /32 block.
+            let block = u128::from(rng.gen::<u32>() & 0x1FFF_FFFF);
+            (0b001u128 << 125) | (block << 96)
+        })
+        .collect();
+    let lengths: Vec<u8> = LENGTH_WEIGHTS.iter().map(|&(l, _)| l).collect();
+    let picker =
+        WeightedIndex::new(LENGTH_WEIGHTS.iter().map(|&(_, w)| w)).expect("weights are positive");
+    let mut seen = std::collections::HashSet::with_capacity(config.prefixes * 2);
+    let mut out = Vec::with_capacity(config.prefixes);
+    let mut attempts: u64 = 0;
+    while out.len() < config.prefixes {
+        attempts += 1;
+        assert!(
+            attempts < (config.prefixes as u64) * 200 + 1024,
+            "cannot generate enough unique IPv6 prefixes"
+        );
+        let len = lengths[picker.sample(&mut rng)];
+        let alloc = allocations[rng.gen_range(0..allocations.len())];
+        let addr = if len <= 32 {
+            alloc
+        } else {
+            alloc | (rng.gen::<u128>() & ((1u128 << 96) - 1))
+        };
+        let p = Ipv6Prefix::truncating(addr, len);
+        if seen.insert((p.addr(), p.len())) {
+            out.push(p);
+        }
+    }
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a.addr().cmp(&b.addr())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_ram_core::key::SearchKey;
+
+    #[test]
+    fn prefix_basics() {
+        let p = Ipv6Prefix::new(0x2001_0db8u128 << 96, 32);
+        assert_eq!(p.len(), 32);
+        assert!(!p.is_empty());
+        assert!(p.contains((0x2001_0db8u128 << 96) | 0xFFFF));
+        assert!(!p.contains(0x2001_0db9u128 << 96));
+        assert_eq!(p.to_ternary_key().care_count(), 32);
+        assert!(Ipv6Prefix::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn truncating_zeroes_host_bits() {
+        let p = Ipv6Prefix::truncating(u128::MAX, 48);
+        assert_eq!(p.addr() & ((1u128 << 80) - 1), 0);
+        assert_eq!(p.len(), 48);
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Ipv6Prefix::new(0x2001_0db8u128 << 96, 32);
+        assert_eq!(p.to_string(), "2001:db8:0:0:0:0:0:0/32");
+    }
+
+    #[test]
+    fn ternary_key_matches_members() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = Ipv6Prefix::truncating(0x2400_1234_5678u128 << 80, 48);
+        let k = p.to_ternary_key();
+        for _ in 0..50 {
+            let member = p.random_member(&mut rng);
+            assert!(k.matches(&SearchKey::new(member, 128)));
+        }
+        assert!(!k.matches(&SearchKey::new(0x2600u128 << 112, 128)));
+    }
+
+    #[test]
+    fn generator_counts_and_structure() {
+        let table = generate(&Ipv6Config {
+            prefixes: 5_000,
+            allocations: 500,
+            seed: 1,
+        });
+        assert_eq!(table.len(), 5_000);
+        // Unique, sorted longest-first, all under 2000::/3.
+        let mut set: Vec<(u128, u8)> = table.iter().map(|p| (p.addr(), p.len())).collect();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 5_000);
+        assert!(table.windows(2).all(|w| w[0].len() >= w[1].len()));
+        assert!(table.iter().all(|p| p.addr() >> 125 == 0b001));
+        // /48 is the mode.
+        let mut hist = std::collections::HashMap::new();
+        for p in &table {
+            *hist.entry(p.len()).or_insert(0u32) += 1;
+        }
+        let mode = hist.iter().max_by_key(|(_, &c)| c).map(|(&l, _)| l);
+        assert_eq!(mode, Some(48));
+    }
+
+    #[test]
+    fn quadrupled_storage_versus_ipv4() {
+        // The paper's claim, in stored bits: one IPv6 ternary key costs
+        // 4x an IPv4 ternary key.
+        use ca_ram_core::layout::RecordLayout;
+        let v4 = RecordLayout::new(32, true, 0);
+        let v6 = RecordLayout::new(128, true, 0);
+        assert_eq!(v6.stored_key_bits(), 4 * v4.stored_key_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "host bits set")]
+    fn host_bits_rejected() {
+        let _ = Ipv6Prefix::new(1, 64);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ca-ram-workloads
+//!
+//! Synthetic data sets and traffic models for the CA-RAM reproduction
+//! (Sec. 4 of the paper):
+//!
+//! * [`prefix`], [`ipv6`] — IPv4/IPv6 prefixes and their ternary-key
+//!   encodings, plus a synthetic IPv6 table generator (the Sec. 4.1
+//!   quadrupling concern);
+//! * [`bgp`] — calibrated synthetic BGP routing tables standing in for the
+//!   RIPE AS1103 dump (plus a parser for real dumps);
+//! * [`trace`] — uniform and Zipf lookup-traffic models (`AMALu`/`AMALs`);
+//! * [`trigram`] — synthetic Sphinx-like trigram databases (13–16 char
+//!   string keys packed into 128 bits);
+//! * [`zane`] — the greedy hash-bit-selection algorithm of Zane et al.;
+//! * [`chunks`] — ACT-R-style declarative-memory chunks and partial-cue
+//!   retrievals (the paper's future-work application, Sec. 6);
+//! * [`ngram`] — a unigram/bigram/trigram back-off language model (the
+//!   Sec. 4.2 N-gram memory's workload).
+//!
+//! Every generator is deterministic given its config (seeded RNG), so the
+//! experiment binaries are reproducible run to run.
+//!
+//! # Example
+//!
+//! ```
+//! use ca_ram_workloads::bgp::{generate, BgpConfig};
+//!
+//! let table = generate(&BgpConfig::scaled(1_000));
+//! assert_eq!(table.len(), 1_000);
+//! // Sorted longest-prefix-first, ready for LPM insertion into a CA-RAM.
+//! assert!(table.windows(2).all(|w| w[0].len() >= w[1].len()));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+
+pub mod bgp;
+pub mod chunks;
+pub mod ipv6;
+pub mod ngram;
+pub mod prefix;
+pub mod trace;
+pub mod trigram;
+pub mod zane;
+
+pub use bgp::BgpConfig;
+pub use chunks::{Chunk, ChunkConfig, Cue};
+pub use ipv6::{Ipv6Config, Ipv6Prefix};
+pub use ngram::{BackoffLm, NgramConfig};
+pub use prefix::Ipv4Prefix;
+pub use trace::AccessPattern;
+pub use trigram::{pack_text_key, TrigramConfig};
+pub use zane::BitSelection;

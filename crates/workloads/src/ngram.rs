@@ -1,0 +1,337 @@
+//! A back-off N-gram language model (Sec. 4.2).
+//!
+//! "Sphinx uses a conventional unigram, bigram, and trigram back-off
+//! model. The accuracy and speed of acoustic and language models rely
+//! heavily on searching a large database." This module generates a
+//! synthetic back-off model over word *ids* and provides the reference
+//! scoring rule, so a decoder can be driven against CA-RAM-resident N-gram
+//! stores and validated exactly:
+//!
+//! ```text
+//! P(w3 | w1 w2) = trigram(w1 w2 w3)                        if present
+//!               = backoff(w1 w2) + bigram(w2 w3)           else if present
+//!               = backoff(w1 w2) + backoff(w2) + unigram(w3)  otherwise
+//! ```
+//!
+//! (log-domain; back-off weights are added). Scores are stored as
+//! fixed-point negative log-probabilities in the data field, which fits
+//! CA-RAM's store-data-with-key layout (Sec. 3.2).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bits per word id in packed N-gram keys (vocabulary ≤ 2^20).
+pub const WORD_BITS: u32 = 20;
+
+/// Packs up to three word ids into an N-gram key (later words in lower
+/// bits; order tagged by the key width at the table level).
+///
+/// # Panics
+///
+/// Panics if a word id exceeds [`WORD_BITS`] bits.
+#[must_use]
+pub fn pack_ngram(words: &[u32]) -> u128 {
+    assert!(
+        (1..=3).contains(&words.len()),
+        "N-grams of order 1..=3 only"
+    );
+    let mut key = 0u128;
+    for &w in words {
+        assert!(w < (1 << WORD_BITS), "word id {w} exceeds {WORD_BITS} bits");
+        key = (key << WORD_BITS) | u128::from(w);
+    }
+    key
+}
+
+/// A fixed-point score: negative log-probability × 1000, as a table payload.
+pub type Score = u32;
+
+/// A synthetic back-off LM.
+#[derive(Debug, Clone)]
+pub struct BackoffLm {
+    vocabulary: u32,
+    unigrams: HashMap<u32, (Score, Score)>, // word -> (score, backoff)
+    bigrams: HashMap<u64, (Score, Score)>,  // (w1,w2) -> (score, backoff)
+    trigrams: HashMap<u128, Score>,         // (w1,w2,w3) -> score
+}
+
+/// Configuration for the synthetic LM generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NgramConfig {
+    /// Vocabulary size (the paper's system: ~60,000 words).
+    pub vocabulary: u32,
+    /// Bigram entries.
+    pub bigrams: usize,
+    /// Trigram entries.
+    pub trigrams: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NgramConfig {
+    fn default() -> Self {
+        Self {
+            vocabulary: 5_000,
+            bigrams: 40_000,
+            trigrams: 120_000,
+            seed: 0x1264,
+        }
+    }
+}
+
+impl BackoffLm {
+    /// Generates a deterministic synthetic model. Every trigram's bigram
+    /// suffix context exists as a bigram (as real ARPA models guarantee).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration.
+    #[must_use]
+    pub fn generate(config: &NgramConfig) -> Self {
+        assert!(config.vocabulary > 2, "vocabulary too small");
+        assert!(
+            config.vocabulary < (1 << WORD_BITS),
+            "vocabulary exceeds the word-id width"
+        );
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut score = |hi: u32| rng.gen_range(500..hi);
+
+        let unigrams: HashMap<u32, (Score, Score)> = (0..config.vocabulary)
+            .map(|w| (w, (score(12_000), score(4_000))))
+            .collect();
+
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xB16);
+        let mut bigrams = HashMap::with_capacity(config.bigrams * 2);
+        let mut seen = HashSet::new();
+        while bigrams.len() < config.bigrams {
+            let w1 = rng.gen_range(0..config.vocabulary);
+            let w2 = rng.gen_range(0..config.vocabulary);
+            let k = (u64::from(w1) << WORD_BITS) | u64::from(w2);
+            if seen.insert(k) {
+                bigrams.insert(k, (rng.gen_range(500..9_000), rng.gen_range(500..3_000)));
+            }
+        }
+        // Trigrams extend existing bigram contexts.
+        let contexts: Vec<u64> = bigrams.keys().copied().collect();
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x741);
+        let mut trigrams = HashMap::with_capacity(config.trigrams * 2);
+        let mut seen = HashSet::new();
+        let mut attempts = 0u64;
+        while trigrams.len() < config.trigrams {
+            attempts += 1;
+            assert!(
+                attempts < config.trigrams as u64 * 100 + 1024,
+                "cannot generate enough unique trigrams"
+            );
+            let ctx = contexts[rng.gen_range(0..contexts.len())];
+            let w3 = rng.gen_range(0..config.vocabulary);
+            let k = (u128::from(ctx) << WORD_BITS) | u128::from(w3);
+            if seen.insert(k) {
+                trigrams.insert(k, rng.gen_range(500..6_000));
+            }
+        }
+        Self {
+            vocabulary: config.vocabulary,
+            unigrams,
+            bigrams,
+            trigrams,
+        }
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocabulary(&self) -> u32 {
+        self.vocabulary
+    }
+
+    /// Unigram entries as `(packed key, score, backoff)`.
+    pub fn unigram_entries(&self) -> impl Iterator<Item = (u128, Score, Score)> + '_ {
+        self.unigrams
+            .iter()
+            .map(|(&w, &(s, b))| (u128::from(w), s, b))
+    }
+
+    /// Bigram entries as `(packed key, score, backoff)`.
+    pub fn bigram_entries(&self) -> impl Iterator<Item = (u128, Score, Score)> + '_ {
+        self.bigrams
+            .iter()
+            .map(|(&k, &(s, b))| (u128::from(k), s, b))
+    }
+
+    /// Trigram entries as `(packed key, score)`.
+    pub fn trigram_entries(&self) -> impl Iterator<Item = (u128, Score)> + '_ {
+        self.trigrams.iter().map(|(&k, &s)| (k, s))
+    }
+
+    /// Number of entries per order `(unigrams, bigrams, trigrams)`.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.unigrams.len(), self.bigrams.len(), self.trigrams.len())
+    }
+
+    /// Words with a trigram continuing the context `(w1, w2)` — what a
+    /// decoder's lexicon pruning would propose first.
+    #[must_use]
+    pub fn continuations(&self, w1: u32, w2: u32) -> Vec<u32> {
+        let ctx = (u128::from(w1) << (2 * WORD_BITS)) | (u128::from(w2) << WORD_BITS);
+        let mask = !((1u128 << WORD_BITS) - 1);
+        let mut out: Vec<u32> = self
+            .trigrams
+            .keys()
+            .filter(|&&k| k & mask == ctx)
+            .map(|&k| {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    (k & ((1 << WORD_BITS) - 1)) as u32
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Words with a bigram continuing `w2` — the coarser pruning tier.
+    #[must_use]
+    pub fn bigram_continuations(&self, w2: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .bigrams
+            .keys()
+            .filter(|&&k| (k >> WORD_BITS) == u64::from(w2))
+            .map(|&k| {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    (k & ((1 << WORD_BITS) - 1)) as u32
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The reference back-off score of `w3` after context `(w1, w2)`, plus
+    /// the number of N-gram lookups the back-off chain performed — the
+    /// search traffic a decoder generates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word id is outside the vocabulary.
+    #[must_use]
+    pub fn score(&self, w1: u32, w2: u32, w3: u32) -> (Score, u32) {
+        for w in [w1, w2, w3] {
+            assert!(w < self.vocabulary, "word id {w} outside the vocabulary");
+        }
+        let tri_key =
+            (u128::from(w1) << (2 * WORD_BITS)) | (u128::from(w2) << WORD_BITS) | u128::from(w3);
+        if let Some(&s) = self.trigrams.get(&tri_key) {
+            return (s, 1);
+        }
+        let ctx12 = (u64::from(w1) << WORD_BITS) | u64::from(w2);
+        let ctx_backoff = self.bigrams.get(&ctx12).map_or(0, |&(_, b)| b);
+        let bi_key = (u64::from(w2) << WORD_BITS) | u64::from(w3);
+        if let Some(&(s, _)) = self.bigrams.get(&bi_key) {
+            // Lookups: trigram miss, bigram(ctx) for backoff, bigram hit.
+            return (ctx_backoff + s, 3);
+        }
+        let word_backoff = self.unigrams.get(&w2).map_or(0, |&(_, b)| b);
+        let (uni, _) = self.unigrams[&w3];
+        // Lookups: trigram miss, bigram(ctx), bigram miss, unigram(w2),
+        // unigram(w3).
+        (ctx_backoff + word_backoff + uni, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm() -> BackoffLm {
+        BackoffLm::generate(&NgramConfig {
+            vocabulary: 300,
+            bigrams: 2_000,
+            trigrams: 5_000,
+            ..NgramConfig::default()
+        })
+    }
+
+    #[test]
+    fn generation_counts_and_determinism() {
+        let a = lm();
+        assert_eq!(a.counts(), (300, 2_000, 5_000));
+        let b = lm();
+        assert_eq!(a.counts(), b.counts());
+        let (s1, _) = a.score(1, 2, 3);
+        let (s2, _) = b.score(1, 2, 3);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn trigram_hit_takes_one_lookup() {
+        let m = lm();
+        let (&key, &score) = m.trigrams.iter().next().expect("non-empty");
+        #[allow(clippy::cast_possible_truncation)]
+        let (w1, w2, w3) = (
+            ((key >> (2 * WORD_BITS)) & 0xF_FFFF) as u32,
+            ((key >> WORD_BITS) & 0xF_FFFF) as u32,
+            (key & 0xF_FFFF) as u32,
+        );
+        let (s, lookups) = m.score(w1, w2, w3);
+        assert_eq!(s, score);
+        assert_eq!(lookups, 1);
+    }
+
+    #[test]
+    fn backoff_chain_lengths() {
+        let m = lm();
+        // Exhaustively classify a sample of contexts: lookups must be
+        // exactly 1 (trigram), 3 (bigram), or 5 (unigram).
+        let mut seen = std::collections::HashSet::new();
+        for w1 in 0..20 {
+            for w2 in 0..20 {
+                for w3 in 0..5 {
+                    let (_, lookups) = m.score(w1, w2, w3);
+                    assert!(matches!(lookups, 1 | 3 | 5));
+                    seen.insert(lookups);
+                }
+            }
+        }
+        assert!(seen.contains(&5), "unigram fallback must occur");
+    }
+
+    #[test]
+    fn backoff_weights_accumulate() {
+        let m = lm();
+        // Find a (w1,w2) context WITH a bigram entry and a w3 such that
+        // neither trigram nor bigram(w2,w3) exists: the score must be
+        // backoff(w1,w2) + backoff(w2) + unigram(w3).
+        let (&ctx, &(_, b12)) = m.bigrams.iter().next().expect("non-empty");
+        #[allow(clippy::cast_possible_truncation)]
+        let (w1, w2) = ((ctx >> WORD_BITS) as u32, (ctx & 0xF_FFFF) as u32);
+        let w3 = (0..m.vocabulary())
+            .find(|&w| {
+                let tri = (u128::from(ctx) << WORD_BITS) | u128::from(w);
+                let bi = (u64::from(w2) << WORD_BITS) | u64::from(w);
+                !m.trigrams.contains_key(&tri) && !m.bigrams.contains_key(&bi)
+            })
+            .expect("sparse model has gaps");
+        let (s, lookups) = m.score(w1, w2, w3);
+        let (uni, _) = m.unigrams[&w3];
+        let (_, b2) = m.unigrams[&w2];
+        assert_eq!(s, b12 + b2 + uni);
+        assert_eq!(lookups, 5);
+    }
+
+    #[test]
+    fn pack_orders() {
+        assert_eq!(pack_ngram(&[7]), 7);
+        assert_eq!(pack_ngram(&[1, 2]), (1 << 20) | 2);
+        assert_eq!(pack_ngram(&[1, 2, 3]), (1u128 << 40) | (2 << 20) | 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 20 bits")]
+    fn oversized_word_rejected() {
+        let _ = pack_ngram(&[1 << 20]);
+    }
+}

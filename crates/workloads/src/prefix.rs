@@ -1,0 +1,263 @@
+//! IPv4 prefixes — the records of the routing-table study (Sec. 4.1).
+
+use core::fmt;
+use core::str::FromStr;
+
+use ca_ram_core::key::TernaryKey;
+
+/// An IPv4 prefix: an address and a prefix length, with all host bits zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+/// Error parsing an [`Ipv4Prefix`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError {
+    input: String,
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 prefix syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl Ipv4Prefix {
+    /// Creates a prefix; host bits of `addr` below `len` must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32` or a host bit is set.
+    #[must_use]
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} exceeds 32");
+        assert!(
+            addr & Self::host_mask(len) == 0,
+            "address {addr:#010x} has host bits set below /{len}"
+        );
+        Self { addr, len }
+    }
+
+    /// Creates a prefix, zeroing any host bits of `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    #[must_use]
+    pub fn truncating(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} exceeds 32");
+        Self {
+            addr: addr & !Self::host_mask(len),
+            len,
+        }
+    }
+
+    fn host_mask(len: u8) -> u32 {
+        if len == 0 {
+            u32::MAX
+        } else if len == 32 {
+            0
+        } else {
+            (1u32 << (32 - len)) - 1
+        }
+    }
+
+    /// The network address.
+    #[must_use]
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix length.
+    #[must_use]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the default route `0.0.0.0/0`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    #[must_use]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr & !Self::host_mask(self.len) == self.addr
+    }
+
+    /// Whether `other` is equal to or more specific than this prefix.
+    #[must_use]
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The ternary stored key for a CA-RAM or TCAM: 32 symbols, the host
+    /// bits don't-care (Sec. 4.1: "a prefix consists of 32 ternary bits").
+    #[must_use]
+    pub fn to_ternary_key(&self) -> TernaryKey {
+        TernaryKey::ternary(
+            u128::from(self.addr),
+            u128::from(Self::host_mask(self.len)),
+            32,
+        )
+    }
+
+    /// A uniformly random address covered by this prefix.
+    #[must_use]
+    pub fn random_member(&self, rng: &mut impl rand::Rng) -> u32 {
+        self.addr | (rng.gen::<u32>() & Self::host_mask(self.len))
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.addr;
+        write!(
+            f,
+            "{}.{}.{}.{}/{}",
+            a >> 24,
+            (a >> 16) & 0xFF,
+            (a >> 8) & 0xFF,
+            a & 0xFF,
+            self.len
+        )
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError { input: s.into() };
+        let (addr_part, len_part) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len_part.parse().map_err(|_| err())?;
+        if len > 32 {
+            return Err(err());
+        }
+        let mut octets = addr_part.split('.');
+        let mut addr: u32 = 0;
+        for _ in 0..4 {
+            let o: u8 = octets.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            addr = (addr << 8) | u32::from(o);
+        }
+        if octets.next().is_some() {
+            return Err(err());
+        }
+        if addr & Self::host_mask(len) != 0 {
+            return Err(err());
+        }
+        Ok(Self { addr, len })
+    }
+}
+
+/// Histogram of prefix lengths (0..=32) in a table.
+#[must_use]
+pub fn length_histogram(prefixes: &[Ipv4Prefix]) -> [u64; 33] {
+    let mut h = [0u64; 33];
+    for p in prefixes {
+        h[p.len() as usize] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = Ipv4Prefix::new(0xC0A8_0000, 16);
+        assert_eq!(p.addr(), 0xC0A8_0000);
+        assert_eq!(p.len(), 16);
+        assert!(!p.is_empty());
+        assert!(Ipv4Prefix::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn truncating_zeroes_host_bits() {
+        let p = Ipv4Prefix::truncating(0xC0A8_1234, 16);
+        assert_eq!(p.addr(), 0xC0A8_0000);
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let p16 = Ipv4Prefix::new(0xC0A8_0000, 16);
+        let p24 = Ipv4Prefix::new(0xC0A8_0100, 24);
+        assert!(p16.contains(0xC0A8_FFFF));
+        assert!(!p16.contains(0xC0A9_0000));
+        assert!(p16.covers(&p24));
+        assert!(!p24.covers(&p16));
+        assert!(p16.covers(&p16));
+        let all = Ipv4Prefix::new(0, 0);
+        assert!(all.contains(u32::MAX));
+        assert!(all.covers(&p24));
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["192.168.0.0/16", "10.0.0.0/8", "0.0.0.0/0", "1.2.3.4/32"] {
+            let p: Ipv4Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for s in [
+            "192.168.0.0",      // no length
+            "192.168.0.0/33",   // length too long
+            "192.168.0.1/16",   // host bits set
+            "1.2.3/8",          // missing octet
+            "1.2.3.4.5/8",      // too many octets
+            "a.b.c.d/8",        // not numbers
+            "300.0.0.0/8",      // octet overflow
+        ] {
+            assert!(s.parse::<Ipv4Prefix>().is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn ternary_key_matches_members_only() {
+        use ca_ram_core::key::SearchKey;
+        let p = Ipv4Prefix::new(0x0A0B_0000, 16);
+        let k = p.to_ternary_key();
+        assert_eq!(k.care_count(), 16);
+        assert!(k.matches(&SearchKey::new(0x0A0B_1234, 32)));
+        assert!(!k.matches(&SearchKey::new(0x0A0C_0000, 32)));
+    }
+
+    #[test]
+    fn random_member_is_contained() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let p = Ipv4Prefix::new(0xAC10_0000, 12);
+        for _ in 0..100 {
+            assert!(p.contains(p.random_member(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn histogram_counts_lengths() {
+        let ps = vec![
+            Ipv4Prefix::new(0, 8),
+            Ipv4Prefix::new(0x0100_0000, 8),
+            Ipv4Prefix::new(0, 24),
+        ];
+        let h = length_histogram(&ps);
+        assert_eq!(h[8], 2);
+        assert_eq!(h[24], 1);
+        assert_eq!(h.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "host bits set")]
+    fn host_bits_rejected() {
+        let _ = Ipv4Prefix::new(0xC0A8_0001, 16);
+    }
+}

@@ -1,0 +1,121 @@
+//! Lookup-traffic models (Sec. 4.1).
+//!
+//! The paper had no IP traces of core routers, so it evaluates a *uniform*
+//! access pattern and a *skewed* one (citing the performance model of
+//! Narlikar & Zane \[22\]). We model the skewed pattern as a Zipf popularity
+//! law over records: frequency of the rank-`r` record ∝ `1/r^s`.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An access-frequency model over `n` records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Every record equally likely (`AMALu`).
+    Uniform,
+    /// Zipf with exponent `s`, ranks assigned randomly to records
+    /// (`AMALs`).
+    Zipf {
+        /// The Zipf exponent (1.0 is the classical law).
+        s: f64,
+    },
+}
+
+/// Per-record access frequencies (normalized to sum to 1) for `n` records
+/// under `pattern`. Rank-to-record assignment is randomized by `seed` so
+/// popularity is uncorrelated with key values.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or a Zipf exponent is not finite and positive.
+#[must_use]
+pub fn frequencies(n: usize, pattern: AccessPattern, seed: u64) -> Vec<f64> {
+    assert!(n > 0, "need at least one record");
+    match pattern {
+        AccessPattern::Uniform => {
+            #[allow(clippy::cast_precision_loss)]
+            let f = 1.0 / n as f64;
+            vec![f; n]
+        }
+        AccessPattern::Zipf { s } => {
+            assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Zipf weights by rank.
+            #[allow(clippy::cast_precision_loss)]
+            let mut w: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-s)).collect();
+            let total: f64 = w.iter().sum();
+            for x in &mut w {
+                *x /= total;
+            }
+            // Randomly assign ranks to record indices (Fisher-Yates).
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                w.swap(i, j);
+            }
+            w
+        }
+    }
+}
+
+/// Samples `count` record indices according to `frequencies` — a synthetic
+/// lookup trace for throughput simulations.
+///
+/// # Panics
+///
+/// Panics if `frequencies` is empty or contains a negative weight.
+#[must_use]
+pub fn sample_trace(frequencies: &[f64], count: usize, seed: u64) -> Vec<usize> {
+    let picker = WeightedIndex::new(frequencies).expect("frequencies must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count).map(|_| picker.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_frequencies_are_flat_and_normalized() {
+        let f = frequencies(100, AccessPattern::Uniform, 0);
+        assert_eq!(f.len(), 100);
+        assert!(f.iter().all(|&x| (x - 0.01).abs() < 1e-12));
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_frequencies_are_skewed_and_normalized() {
+        let f = frequencies(1000, AccessPattern::Zipf { s: 1.0 }, 42);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut sorted = f.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top-10 records carry a disproportionate share.
+        let top10: f64 = sorted[..10].iter().sum();
+        assert!(top10 > 0.3, "top-10 share {top10:.3}");
+        // Randomized assignment: the hottest record is rarely index 0.
+        let f2 = frequencies(1000, AccessPattern::Zipf { s: 1.0 }, 43);
+        assert_ne!(f, f2);
+    }
+
+    #[test]
+    fn trace_sampling_respects_weights() {
+        let f = vec![0.9, 0.05, 0.05];
+        let t = sample_trace(&f, 10_000, 7);
+        let zeros = t.iter().filter(|&&i| i == 0).count();
+        assert!(zeros > 8_500, "got {zeros}");
+        assert!(t.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn trace_deterministic_by_seed() {
+        let f = frequencies(50, AccessPattern::Zipf { s: 1.2 }, 1);
+        assert_eq!(sample_trace(&f, 100, 9), sample_trace(&f, 100, 9));
+        assert_ne!(sample_trace(&f, 100, 9), sample_trace(&f, 100, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_frequencies_rejected() {
+        let _ = frequencies(0, AccessPattern::Uniform, 0);
+    }
+}

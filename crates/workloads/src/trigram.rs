@@ -1,0 +1,241 @@
+//! Synthetic trigram databases (Sec. 4.2 substitution).
+//!
+//! The paper maps the CMU-Sphinx III trigram language model onto CA-RAM,
+//! focusing on the partition of entries with 13–16 characters: 5,385,231
+//! entries (40% of the 13.5 M total), 128-bit keys, DJB-hashed. The Sphinx
+//! model file is not redistributable here, so this module generates
+//! English-like word trigrams with the same count and key geometry. What
+//! the experiment measures — the bucket-load distribution of a good string
+//! hash at α = 0.86 — depends only on those two properties (the paper's own
+//! Fig. 7 shows the loads are essentially Poisson).
+
+use std::collections::HashSet;
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic trigram generator.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrigramConfig {
+    /// Unique entries to generate (the paper's partition: 5,385,231).
+    pub entries: usize,
+    /// Minimum entry length in characters (inclusive).
+    pub min_chars: usize,
+    /// Maximum entry length in characters (inclusive; ≤ 16 so an entry
+    /// packs into a 128-bit key).
+    pub max_chars: usize,
+    /// Vocabulary size ("a ~60,000-word vocabulary", Sec. 4.2).
+    pub vocabulary: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrigramConfig {
+    fn default() -> Self {
+        Self::sphinx_like()
+    }
+}
+
+impl TrigramConfig {
+    /// The full-size Sphinx-III-like configuration of Table 3.
+    #[must_use]
+    pub fn sphinx_like() -> Self {
+        Self {
+            entries: 5_385_231,
+            min_chars: 13,
+            max_chars: 16,
+            vocabulary: 60_000,
+            seed: 0x5F19,
+        }
+    }
+
+    /// The same shape at a reduced scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn scaled(entries: usize) -> Self {
+        assert!(entries > 0, "need at least one entry");
+        Self {
+            entries,
+            ..Self::sphinx_like()
+        }
+    }
+}
+
+/// Packs a string of at most 16 bytes into a 128-bit key,
+/// least-significant byte first — the byte order
+/// [`ca_ram_core::index::DjbHash`] consumes.
+///
+/// # Panics
+///
+/// Panics if `text` exceeds 16 bytes.
+#[must_use]
+pub fn pack_text_key(text: &str) -> u128 {
+    let bytes = text.as_bytes();
+    assert!(bytes.len() <= 16, "key {text:?} exceeds 16 bytes");
+    let mut key: u128 = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        key |= u128::from(b) << (8 * i);
+    }
+    key
+}
+
+/// English letter frequencies (approximate, for realistic-looking words;
+/// the hash statistics do not depend on them).
+const LETTER_WEIGHTS: [f64; 26] = [
+    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4, 6.7, 7.5, 1.9, 0.095,
+    6.0, 6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074,
+];
+
+/// Word-length weights for lengths 2..=8.
+const WORD_LENGTH_WEIGHTS: [f64; 7] = [8.0, 20.0, 24.0, 20.0, 13.0, 9.0, 6.0];
+
+fn build_vocabulary(rng: &mut SmallRng, size: usize) -> Vec<String> {
+    let letters = WeightedIndex::new(LETTER_WEIGHTS).expect("weights are positive");
+    let lengths = WeightedIndex::new(WORD_LENGTH_WEIGHTS).expect("weights are positive");
+    let mut seen = HashSet::with_capacity(size * 2);
+    let mut vocab = Vec::with_capacity(size);
+    while vocab.len() < size {
+        let len = 2 + lengths.sample(rng);
+        let word: String = (0..len)
+            .map(|_| {
+                let i = letters.sample(rng);
+                char::from(b'a' + u8::try_from(i).expect("26 letters"))
+            })
+            .collect();
+        if seen.insert(word.clone()) {
+            vocab.push(word);
+        }
+    }
+    vocab
+}
+
+/// Generates unique trigram entries: three vocabulary words joined by
+/// spaces, filtered to the configured character range.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (`max_chars > 16`,
+/// `min_chars > max_chars`, vocabulary or entry count of zero, or a
+/// combination that cannot produce enough unique entries).
+#[must_use]
+pub fn generate(config: &TrigramConfig) -> Vec<String> {
+    assert!(config.entries > 0, "need at least one entry");
+    assert!(config.vocabulary > 2, "vocabulary too small");
+    assert!(
+        config.min_chars <= config.max_chars && config.max_chars <= 16,
+        "character range must fit in a 128-bit key"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let vocab = build_vocabulary(&mut rng, config.vocabulary);
+    let mut seen: HashSet<u128> = HashSet::with_capacity(config.entries * 2);
+    let mut out = Vec::with_capacity(config.entries);
+    let mut attempts: u64 = 0;
+    while out.len() < config.entries {
+        attempts += 1;
+        assert!(
+            attempts < (config.entries as u64).saturating_mul(400).max(1 << 20),
+            "generator cannot find enough unique trigrams; config too tight"
+        );
+        let a = &vocab[rng.gen_range(0..vocab.len())];
+        let b = &vocab[rng.gen_range(0..vocab.len())];
+        let c = &vocab[rng.gen_range(0..vocab.len())];
+        let total = a.len() + b.len() + c.len() + 2;
+        if total < config.min_chars || total > config.max_chars {
+            continue;
+        }
+        let tri = format!("{a} {b} {c}");
+        if seen.insert(pack_text_key(&tri)) {
+            out.push(tri);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Vec<String> {
+        generate(&TrigramConfig {
+            entries: 5_000,
+            vocabulary: 2_000,
+            ..TrigramConfig::sphinx_like()
+        })
+    }
+
+    #[test]
+    fn entries_are_unique_and_in_range() {
+        let t = small();
+        assert_eq!(t.len(), 5_000);
+        let mut keys: Vec<u128> = t.iter().map(|s| pack_text_key(s)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 5_000);
+        for s in &t {
+            assert!((13..=16).contains(&s.len()), "{s:?}");
+            assert_eq!(s.split(' ').count(), 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(&TrigramConfig::scaled(500));
+        let b = generate(&TrigramConfig::scaled(500));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pack_is_little_endian_and_injective_on_short_strings() {
+        assert_eq!(pack_text_key(""), 0);
+        assert_eq!(pack_text_key("a"), 0x61);
+        assert_eq!(pack_text_key("ab"), 0x61 | (0x62 << 8));
+        assert_ne!(pack_text_key("ab c"), pack_text_key("a bc"));
+        // 16-byte maximum round-trips.
+        let s = "abcdefghijklmnop";
+        let k = pack_text_key(s);
+        assert_eq!(k >> 120, 0x70); // 'p'
+    }
+
+    #[test]
+    fn words_look_like_words() {
+        let t = small();
+        for s in t.iter().take(50) {
+            assert!(s.bytes().all(|b| b == b' ' || b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn djb_spreads_trigram_keys_evenly() {
+        // The property Table 3 depends on: bucket loads ~ Poisson.
+        use ca_ram_core::index::{DjbHash, IndexGenerator};
+        let t = generate(&TrigramConfig {
+            entries: 40_000,
+            vocabulary: 5_000,
+            ..TrigramConfig::sphinx_like()
+        });
+        let g = DjbHash::new(8, 16); // 256 buckets, mean load 156.25
+        let mut counts = vec![0u32; 256];
+        for s in &t {
+            counts[usize::try_from(g.index(pack_text_key(s))).unwrap()] += 1;
+        }
+        let mean = 40_000.0 / 256.0;
+        let var: f64 = counts
+            .iter()
+            .map(|&c| (f64::from(c) - mean).powi(2))
+            .sum::<f64>()
+            / 256.0;
+        // Poisson: variance ≈ mean. Allow a generous band.
+        assert!(var < 3.0 * mean, "variance {var:.1} vs mean {mean:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 16 bytes")]
+    fn oversized_key_rejected() {
+        let _ = pack_text_key("now this is far too long");
+    }
+}

@@ -1,0 +1,196 @@
+//! Greedy hash-bit selection (Zane et al. \[32\], used in Sec. 4.1).
+//!
+//! "Our hash function is based on the bit selection scheme by Zane et al.,
+//! which simply uses a selected set of bits from IP addresses. ... we apply
+//! the algorithm in \[32\] to find the best set of R bits which distributes
+//! the prefixes most evenly to buckets."
+//!
+//! The greedy algorithm repeatedly adds the candidate bit that minimizes
+//! the maximum bucket load. Candidates are restricted to the first 16
+//! address bits (bit positions 16..32, LSB-numbered) because ≥98% of
+//! prefixes are at least 16 bits long, so those bits are defined for almost
+//! every prefix.
+
+use crate::prefix::Ipv4Prefix;
+
+/// Result of a bit-selection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSelection {
+    /// Chosen bit positions (LSB-numbered within the 32-bit address),
+    /// sorted ascending. Bit `i` of the bucket index is the address bit at
+    /// `positions[i]`.
+    pub positions: Vec<u32>,
+    /// Maximum bucket load achieved over the evaluation set.
+    pub max_load: u32,
+}
+
+/// Greedily selects `r` hash bits from `candidates` minimizing the maximum
+/// bucket load over `prefixes`. Prefixes shorter than the highest candidate
+/// position cannot be bucketed by it and are skipped for evaluation (they
+/// are the duplicated minority).
+///
+/// # Panics
+///
+/// Panics if `r` is zero or larger than the candidate set, or if
+/// `prefixes` is empty.
+#[must_use]
+pub fn greedy_bit_selection(
+    prefixes: &[Ipv4Prefix],
+    r: u32,
+    candidates: &[u32],
+) -> BitSelection {
+    assert!(!prefixes.is_empty(), "need at least one prefix");
+    assert!(
+        r > 0 && (r as usize) <= candidates.len(),
+        "cannot pick {r} bits from {} candidates",
+        candidates.len()
+    );
+    // Evaluation set: prefixes for which every candidate bit is defined.
+    let needed_len = candidates
+        .iter()
+        .map(|&p| 32 - p)
+        .max()
+        .expect("candidates non-empty");
+    let addrs: Vec<u32> = prefixes
+        .iter()
+        .filter(|p| u32::from(p.len()) >= needed_len)
+        .map(Ipv4Prefix::addr)
+        .collect();
+    assert!(
+        !addrs.is_empty(),
+        "no prefix is long enough for the candidate bits"
+    );
+
+    let mut chosen: Vec<u32> = Vec::with_capacity(r as usize);
+    // Bucket id per address under the currently chosen bits.
+    let mut groups: Vec<u32> = vec![0; addrs.len()];
+    let mut best_max = u32::try_from(addrs.len()).expect("fits");
+    for _ in 0..r {
+        let mut best: Option<(u32, u32)> = None; // (bit, resulting max load)
+        for &bit in candidates {
+            if chosen.contains(&bit) {
+                continue;
+            }
+            let mut loads =
+                vec![0u32; 1usize << (chosen.len() + 1)];
+            for (i, &addr) in addrs.iter().enumerate() {
+                let g = (groups[i] << 1) | ((addr >> bit) & 1);
+                loads[g as usize] += 1;
+            }
+            let max = loads.into_iter().max().expect("non-empty");
+            if best.is_none_or(|(_, m)| max < m) {
+                best = Some((bit, max));
+            }
+        }
+        let (bit, max) = best.expect("candidates remain");
+        for (i, &addr) in addrs.iter().enumerate() {
+            groups[i] = (groups[i] << 1) | ((addr >> bit) & 1);
+        }
+        chosen.push(bit);
+        best_max = max;
+    }
+    chosen.sort_unstable();
+    BitSelection {
+        positions: chosen,
+        max_load: best_max,
+    }
+}
+
+/// The paper's final choice for comparison: the last `r` bits of the first
+/// 16 address bits, i.e. positions `16..16+r`.
+#[must_use]
+pub fn last_of_first16(r: u32) -> Vec<u32> {
+    (16..16 + r).collect()
+}
+
+/// Maximum bucket load of `prefixes` under an explicit set of hash bits
+/// (skipping prefixes too short for the bits, as in the greedy evaluator).
+///
+/// # Panics
+///
+/// Panics if `positions` is empty or no prefix is long enough.
+#[must_use]
+pub fn max_load(prefixes: &[Ipv4Prefix], positions: &[u32]) -> u32 {
+    assert!(!positions.is_empty(), "need at least one hash bit");
+    let needed_len = positions.iter().map(|&p| 32 - p).max().expect("non-empty");
+    let mut loads = vec![0u32; 1usize << positions.len()];
+    let mut any = false;
+    for p in prefixes {
+        if u32::from(p.len()) < needed_len {
+            continue;
+        }
+        any = true;
+        let mut g = 0u32;
+        for (i, &bit) in positions.iter().enumerate() {
+            g |= ((p.addr() >> bit) & 1) << i;
+        }
+        loads[g as usize] += 1;
+    }
+    assert!(any, "no prefix is long enough for the hash bits");
+    loads.into_iter().max().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::{generate, BgpConfig};
+
+    #[test]
+    fn greedy_beats_or_matches_naive_contiguous_selection() {
+        let table = generate(&BgpConfig::scaled(10_000));
+        let candidates: Vec<u32> = (16..32).collect();
+        let greedy = greedy_bit_selection(&table, 8, &candidates);
+        let naive = max_load(&table, &last_of_first16(8));
+        // Greedy is not globally optimal, so allow a small regression band;
+        // it must at least be competitive with the fixed contiguous choice.
+        #[allow(clippy::cast_precision_loss)]
+        let bound = (f64::from(naive) * 1.10).ceil() as u32;
+        assert!(
+            greedy.max_load <= bound,
+            "greedy {} vs naive {naive}",
+            greedy.max_load
+        );
+        assert_eq!(greedy.positions.len(), 8);
+        assert!(greedy.positions.iter().all(|&p| (16..32).contains(&p)));
+    }
+
+    #[test]
+    fn greedy_consistent_with_max_load_evaluator() {
+        let table = generate(&BgpConfig::scaled(5_000));
+        let candidates: Vec<u32> = (16..28).collect();
+        let sel = greedy_bit_selection(&table, 6, &candidates);
+        // Positions ≤ 25 ⇒ every /16+ prefix participates in both
+        // evaluations, but max_load also skips the same short prefixes —
+        // loads must agree when the needed length matches.
+        if sel.positions.iter().map(|&p| 32 - p).max() == Some(16) {
+            assert_eq!(max_load(&table, &sel.positions), sel.max_load);
+        }
+    }
+
+    #[test]
+    fn perfect_split_on_structured_input() {
+        // Addresses 0..64 shifted to the top: bits 26..32 split perfectly.
+        let table: Vec<Ipv4Prefix> = (0u32..64)
+            .map(|i| Ipv4Prefix::new(i << 26, 16))
+            .collect();
+        let candidates: Vec<u32> = (16..32).collect();
+        let sel = greedy_bit_selection(&table, 6, &candidates);
+        assert_eq!(sel.max_load, 1);
+    }
+
+    #[test]
+    fn more_bits_never_hurt() {
+        let table = generate(&BgpConfig::scaled(8_000));
+        let candidates: Vec<u32> = (16..32).collect();
+        let a = greedy_bit_selection(&table, 4, &candidates);
+        let b = greedy_bit_selection(&table, 8, &candidates);
+        assert!(b.max_load <= a.max_load);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn too_many_bits_rejected() {
+        let table = generate(&BgpConfig::scaled(100));
+        let _ = greedy_bit_selection(&table, 5, &[16, 17]);
+    }
+}

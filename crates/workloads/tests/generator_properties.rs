@@ -1,0 +1,122 @@
+//! Property-based tests for the workload generators: structural invariants
+//! must hold for arbitrary (small) configurations, not just the calibrated
+//! defaults.
+
+use ca_ram_workloads::bgp::{generate as gen_bgp, BgpConfig};
+use ca_ram_workloads::chunks::{generate as gen_chunks, Chunk, ChunkConfig, Cue};
+use ca_ram_workloads::ipv6::{generate as gen_v6, Ipv6Config};
+use ca_ram_workloads::prefix::Ipv4Prefix;
+use ca_ram_workloads::trace::{frequencies, AccessPattern};
+use ca_ram_workloads::trigram::{generate as gen_tri, pack_text_key, TrigramConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bgp_generator_invariants(
+        prefixes in 100usize..3_000,
+        seed in any::<u64>(),
+        cv in 0.5f64..3.0,
+    ) {
+        let mut config = BgpConfig::scaled(prefixes);
+        config.seed = seed;
+        config.block_size_cv = cv;
+        let table = gen_bgp(&config);
+        prop_assert_eq!(table.len(), prefixes);
+        // Unique, valid (host bits clear is enforced by the type), sorted
+        // longest-first, lengths within [8, 32].
+        let mut keys: Vec<(u32, u8)> = table.iter().map(|p| (p.addr(), p.len())).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), prefixes);
+        prop_assert!(table.windows(2).all(|w| w[0].len() >= w[1].len()));
+        prop_assert!(table.iter().all(|p| (8..=32).contains(&p.len())));
+    }
+
+    #[test]
+    fn trigram_generator_invariants(
+        entries in 50usize..2_000,
+        seed in any::<u64>(),
+    ) {
+        let config = TrigramConfig {
+            entries,
+            vocabulary: 1_500,
+            seed,
+            ..TrigramConfig::sphinx_like()
+        };
+        let data = gen_tri(&config);
+        prop_assert_eq!(data.len(), entries);
+        let mut keys: Vec<u128> = data.iter().map(|s| pack_text_key(s)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), entries);
+        prop_assert!(data.iter().all(|s| (13..=16).contains(&s.len())));
+    }
+
+    #[test]
+    fn ipv6_generator_invariants(
+        prefixes in 50usize..2_000,
+        seed in any::<u64>(),
+    ) {
+        let table = gen_v6(&Ipv6Config {
+            prefixes,
+            allocations: 300,
+            seed,
+        });
+        prop_assert_eq!(table.len(), prefixes);
+        prop_assert!(table.iter().all(|p| p.addr() >> 125 == 0b001));
+        prop_assert!(table.windows(2).all(|w| w[0].len() >= w[1].len()));
+    }
+
+    #[test]
+    fn zipf_frequencies_are_a_distribution(
+        n in 1usize..5_000,
+        s in 0.3f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let f = frequencies(n, AccessPattern::Zipf { s }, seed);
+        prop_assert_eq!(f.len(), n);
+        prop_assert!(f.iter().all(|&x| x > 0.0));
+        let total: f64 = f.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunk_cues_agree_with_key_matching(
+        seed in any::<u64>(),
+        bind_mask in 0u8..16,
+    ) {
+        let chunks = gen_chunks(&ChunkConfig {
+            chunks: 300,
+            types: 5,
+            symbols: 40,
+            seed,
+        });
+        let target = chunks[0];
+        let mut cue = Cue::of_type(target.ctype);
+        for i in 0..4 {
+            if bind_mask >> i & 1 == 1 {
+                cue = cue.bind(i, target.slots[i]);
+            }
+        }
+        let key = cue.to_search_key();
+        for c in &chunks {
+            let stored = ca_ram_core::key::TernaryKey::binary(c.to_key(), 128);
+            prop_assert_eq!(stored.matches(&key), cue.matches(c));
+        }
+        // Round trip.
+        prop_assert_eq!(Chunk::from_key(target.to_key()), target);
+    }
+
+    #[test]
+    fn prefix_type_round_trips_text(
+        addr in any::<u32>(),
+        len in 0u8..=32,
+    ) {
+        let p = Ipv4Prefix::truncating(addr, len);
+        let text = p.to_string();
+        let back: Ipv4Prefix = text.parse().expect("own Display output parses");
+        prop_assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,39 @@
+//! Round-trip tests for the optional `serde` feature: experiment configs
+//! are data-interchange structures (C-SERDE), so sweeps can be driven from
+//! JSON files.
+#![cfg(feature = "serde")]
+
+use ca_ram_workloads::bgp::BgpConfig;
+use ca_ram_workloads::chunks::ChunkConfig;
+use ca_ram_workloads::ipv6::Ipv6Config;
+use ca_ram_workloads::trigram::TrigramConfig;
+
+#[test]
+fn configs_round_trip_through_json() {
+    let bgp = BgpConfig::as1103_like();
+    let back: BgpConfig = serde_json::from_str(&serde_json::to_string(&bgp).unwrap()).unwrap();
+    assert_eq!(back, bgp);
+
+    let tri = TrigramConfig::sphinx_like();
+    let back: TrigramConfig =
+        serde_json::from_str(&serde_json::to_string(&tri).unwrap()).unwrap();
+    assert_eq!(back, tri);
+
+    let v6 = Ipv6Config::default();
+    let back: Ipv6Config = serde_json::from_str(&serde_json::to_string(&v6).unwrap()).unwrap();
+    assert_eq!(back, v6);
+
+    let ch = ChunkConfig::default();
+    let back: ChunkConfig = serde_json::from_str(&serde_json::to_string(&ch).unwrap()).unwrap();
+    assert_eq!(back, ch);
+}
+
+#[test]
+fn config_json_is_human_editable() {
+    // The driving use case: a sweep config written by hand.
+    let json = r#"{"prefixes": 1000, "blocks": 64, "block_size_cv": 1.5, "seed": 7}"#;
+    let config: BgpConfig = serde_json::from_str(json).unwrap();
+    assert_eq!(config.prefixes, 1000);
+    let table = ca_ram_workloads::bgp::generate(&config);
+    assert_eq!(table.len(), 1000);
+}

@@ -1,0 +1,120 @@
+//! Declarative-memory retrieval for a cognitive model (the paper's
+//! future-work application, Sec. 6: "a large-scale system implementing a
+//! cognitive model such as ACT-R will benefit from employing CA-RAM").
+//!
+//! Stores ACT-R-style chunks in a CA-RAM and serves *partial-cue*
+//! retrievals — masked searches where unbound slots are don't-care. Cues
+//! that leave the hash-covered slot open must probe several buckets, the
+//! Sec. 4 masked-search cost, which this example measures. Bulk evaluation
+//! (Sec. 3.1) then sweeps the whole memory for a type census.
+//!
+//! Run with: `cargo run --release --example cognitive_model`
+
+use ca_ram::core::index::BitSelect;
+use ca_ram::core::key::TernaryKey;
+use ca_ram::core::layout::{Record, RecordLayout};
+use ca_ram::core::probe::ProbePolicy;
+use ca_ram::core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use ca_ram::workloads::chunks::{generate, Chunk, ChunkConfig, Cue, SLOT_BITS, TYPE_LOW};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A declarative memory of 60,000 chunks.
+    let config = ChunkConfig {
+        chunks: 60_000,
+        types: 12,
+        symbols: 4_000,
+        seed: 0xAC7,
+    };
+    let chunks = generate(&config);
+    println!("declarative memory: {} chunks, {} types", chunks.len(), config.types);
+
+    // Hash on the type field (4 bits) and low bits of slot0 (6 bits):
+    // retrievals conventionally bind the first slot, and the type is always
+    // present in a cue.
+    let mut hash_bits: Vec<u32> = (TYPE_LOW..TYPE_LOW + 4).collect();
+    hash_bits.extend(0..6);
+    let layout = RecordLayout::new(128, false, 32); // data = chunk id
+    let table_config = TableConfig {
+        rows_log2: 10,
+        row_bits: 96 * layout.slot_bits(),
+        layout,
+        arrangement: Arrangement::Horizontal(1),
+        probe: ProbePolicy::Linear,
+        overflow: OverflowPolicy::Probe { max_steps: 1024 },
+    };
+    let mut memory = CaRamTable::new(table_config, Box::new(BitSelect::new(hash_bits)))?;
+    for (i, c) in chunks.iter().enumerate() {
+        memory.insert(Record::new(TernaryKey::binary(c.to_key(), 128), i as u64))?;
+    }
+    let report = memory.load_report();
+    println!(
+        "CA-RAM: {} buckets x {} slots, alpha {:.2}, AMALu {:.3}\n",
+        memory.logical_buckets(),
+        memory.slots_per_bucket(),
+        report.load_factor(),
+        report.amal_uniform
+    );
+
+    // --- retrieval with a fully grounded cue -------------------------------
+    let target = &chunks[4_321];
+    let cue = Cue::of_type(target.ctype)
+        .bind(0, target.slots[0])
+        .bind(1, target.slots[1])
+        .bind(2, target.slots[2])
+        .bind(3, target.slots[3]);
+    let got = memory.search(&cue.to_search_key());
+    println!(
+        "grounded retrieval: chunk id {:?} in {} memory access(es)",
+        got.hit.map(|h| h.record.data),
+        got.memory_accesses
+    );
+    assert_eq!(got.hit.unwrap().record.data, 4_321);
+
+    // --- partial cue binding slot0: single-bucket masked search -------------
+    let cue = Cue::of_type(target.ctype).bind(0, target.slots[0]);
+    let got = memory.search(&cue.to_search_key());
+    let hit = got.hit.expect("at least the target matches");
+    println!(
+        "partial cue (type + slot0): chunk id {} in {} access(es)",
+        hit.record.data, got.memory_accesses
+    );
+    assert!(cue.matches(&Chunk::from_key(hit.record.key.value())));
+
+    // --- partial cue leaving slot0 open: multi-bucket masked search ---------
+    let cue = Cue::of_type(target.ctype).bind(1, target.slots[1]).bind(2, target.slots[2]);
+    let got = memory.search(&cue.to_search_key());
+    let hit = got.hit.expect("the target matches");
+    println!(
+        "partial cue (slot0 open): chunk id {} in {} access(es) — 2^6 hash \
+         images probed (Sec. 4's masked-search cost)",
+        hit.record.data, got.memory_accesses
+    );
+    assert!(got.memory_accesses >= 64);
+
+    // --- massive data evaluation: census by type ----------------------------
+    let mut census = vec![0u64; 12];
+    let receipt = memory.for_each_record(|_, _, r| {
+        census[Chunk::from_key(r.key.value()).ctype as usize] += 1;
+    });
+    println!(
+        "\ntype census over {} records in {} row fetches:",
+        receipt.records_visited, receipt.rows_accessed
+    );
+    let expected_per_type = chunks.len() as u64 / 12;
+    for (t, n) in census.iter().enumerate() {
+        assert!(n.abs_diff(expected_per_type) < expected_per_type / 2);
+        print!("  type {t}: {n}");
+        if t % 4 == 3 {
+            println!();
+        }
+    }
+    println!();
+
+    // Count all chunks of one type via a hardware masked population count.
+    let type_only = Cue::of_type(7).to_search_key();
+    let (count, _) = memory.count_matching(&type_only);
+    assert_eq!(count, census[7]);
+    println!("masked population count for type 7: {count} (matches the census)");
+    let _ = SLOT_BITS;
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! IP router forwarding engine on CA-RAM (the Sec. 4.1 application).
+//!
+//! Builds a longest-prefix-match forwarding table from a synthetic BGP
+//! routing table, serves a stream of packet lookups, and compares the
+//! result and cost against a TCAM forwarding engine built from the same
+//! routes.
+//!
+//! Run with: `cargo run --release --example ip_router`
+
+use ca_ram::cam::{Tcam, TcamEntry};
+use ca_ram::core::index::RangeSelect;
+use ca_ram::core::key::SearchKey;
+use ca_ram::core::layout::{Record, RecordLayout};
+use ca_ram::core::probe::ProbePolicy;
+use ca_ram::core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use ca_ram::hwmodel::{AreaModel, CamGeometry, CaRamGeometry, CellKind, Megahertz, PowerModel};
+use ca_ram::workloads::bgp::{generate, BgpConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- build the routing table -----------------------------------------
+    let routes = generate(&BgpConfig::scaled(30_000));
+    println!("routing table: {} prefixes (synthetic, AS1103-like shape)", routes.len());
+
+    // Design D of Table 2 scaled to this table size: 64-key buckets, 2
+    // horizontal slices, 512 rows (alpha ~= 0.46). Next-hop ids live in the
+    // data field.
+    let layout = RecordLayout::new(32, true, 16);
+    let config = TableConfig {
+        rows_log2: 9,
+        row_bits: 64 * layout.slot_bits(),
+        layout,
+        arrangement: Arrangement::Horizontal(2),
+        probe: ProbePolicy::Linear,
+        overflow: OverflowPolicy::Probe { max_steps: 512 },
+    };
+    let mut caram = CaRamTable::new(config, Box::new(RangeSelect::ip_first16_last(9)))?;
+
+    let mut tcam = Tcam::new(routes.len(), 32);
+    // Routes arrive sorted longest-first: CA-RAM insertion order IS the
+    // match priority, and the TCAM gets the same discipline.
+    for (i, route) in routes.iter().enumerate() {
+        let next_hop = u64::from(route.len()) * 100 + u64::from(route.addr() & 0xF);
+        caram.insert(Record::new(route.to_ternary_key(), next_hop))?;
+        tcam.write(i, TcamEntry { key: route.to_ternary_key(), data: next_hop });
+    }
+    let report = caram.load_report();
+    println!(
+        "CA-RAM built: alpha {:.2}, {:.2}% buckets overflow, AMALu {:.3}\n",
+        report.load_factor(),
+        report.overflowing_buckets_pct(),
+        report.amal_uniform
+    );
+
+    // --- forward packets ---------------------------------------------------
+    let mut rng = SmallRng::seed_from_u64(42);
+    let packets: Vec<u32> = (0..20_000)
+        .map(|_| {
+            let r = routes[rng.gen_range(0..routes.len())];
+            r.random_member(&mut rng)
+        })
+        .collect();
+
+    let mut accesses: u64 = 0;
+    let mut hits: u64 = 0;
+    for &dst in &packets {
+        let key = SearchKey::new(u128::from(dst), 32);
+        let got = caram.search(&key);
+        accesses += u64::from(got.memory_accesses);
+        let caram_hop = got.hit.map(|h| h.record.data);
+        let tcam_hop = tcam.search(&key).map(|m| m.entry.data);
+        assert_eq!(caram_hop, tcam_hop, "LPM disagreement on {dst:#010x}");
+        hits += u64::from(caram_hop.is_some());
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let amal = accesses as f64 / packets.len() as f64;
+    println!(
+        "forwarded {} packets: {hits} matched, measured AMAL {amal:.3}",
+        packets.len()
+    );
+    println!("CA-RAM and TCAM agreed on every next hop (LPM equivalence).\n");
+
+    // --- price the two engines ----------------------------------------------
+    let area = AreaModel::new();
+    let power = PowerModel::new();
+    let caram_geom = CaRamGeometry::new(2, 512, 64 * 80, CellKind::EmbeddedDram, 64);
+    let tcam_geom = CamGeometry::new(routes.len() as u64, 32, CellKind::TcamDynamic6T);
+    let a_c = area.caram_device_area(&caram_geom).to_square_millimeters();
+    let a_t = area.cam_device_area(&tcam_geom).to_square_millimeters();
+    let p_c = power
+        .caram_search_energy_parallel(&caram_geom, 2)
+        .total()
+        .at_rate(Megahertz::new(200.0));
+    let p_t = power.cam_search_power(&tcam_geom, Megahertz::new(143.0));
+    println!("hardware cost (130 nm models):");
+    println!("  CA-RAM: {a_c:.2}, {p_c:.1}");
+    println!("  TCAM:   {a_t:.2}, {p_t:.1}");
+    println!(
+        "\nNote the crossover: TCAM search power grows with the table (O(w*n))\n\
+         while CA-RAM's is set by the bucket width; at this reduced 30 K-entry\n\
+         scale the TCAM still wins on power, but at the paper's 186,760 entries\n\
+         CA-RAM wins both (see `cargo run -p ca-ram-bench --bin fig8`)."
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # ca-ram
+//!
+//! A comprehensive reproduction of *CA-RAM: A High-Performance Memory
+//! Substrate for Search-Intensive Applications* (Cho, Martin, Xu, Hammoud &
+//! Melhem, ISPASS 2007): a bit-accurate functional simulator of the CA-RAM
+//! substrate, its hardware cost models, CAM/TCAM baselines, the paper's two
+//! application studies, and the harness regenerating every table and figure
+//! of the evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] (`ca-ram-core`) — slices, index generators, match processors,
+//!   tables, the multi-database subsystem;
+//! * [`hwmodel`] (`ca-ram-hwmodel`) — area / power / timing / synthesis
+//!   models anchored to the published 130 nm datapoints;
+//! * [`cam`] (`ca-ram-cam`) — TCAM, binary CAM, sorted update, banked TCAM;
+//! * [`workloads`] (`ca-ram-workloads`) — synthetic BGP tables, trigram
+//!   databases, traffic models, Zane bit selection;
+//! * [`softsearch`] (`ca-ram-softsearch`) — software search baselines over
+//!   a simulated cache hierarchy.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ca_ram::core::index::RangeSelect;
+//! use ca_ram::core::key::{SearchKey, TernaryKey};
+//! use ca_ram::core::layout::{Record, RecordLayout};
+//! use ca_ram::core::table::{CaRamTable, TableConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let layout = RecordLayout::new(32, false, 16);
+//! let config = TableConfig::single_slice(8, 8 * layout.slot_bits(), layout);
+//! let mut table = CaRamTable::new(config, Box::new(RangeSelect::new(0, 8)))?;
+//! table.insert(Record::new(TernaryKey::binary(0xC0FFEE, 32), 7))?;
+//! assert!(table.search(&SearchKey::new(0xC0FFEE, 32)).hit.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ca_ram_cam as cam;
+pub use ca_ram_core as core;
+pub use ca_ram_hwmodel as hwmodel;
+pub use ca_ram_softsearch as softsearch;
+pub use ca_ram_workloads as workloads;

@@ -1,0 +1,174 @@
+//! End-to-end construction of the paper's Fig. 5 memory subsystem: a pool
+//! of identical fabricated slices, partitioned into databases with
+//! different roles ("five slices can be allocated together with four slices
+//! used to extend the number of rows and the remaining one set aside for
+//! storing spilled records"), driven through the memory-mapped ports, with
+//! RAM-mode memory tests run on the idle capacity.
+
+use ca_ram::core::alloc::SlicePool;
+use ca_ram::core::index::{DjbHash, RangeSelect};
+use ca_ram::core::key::{SearchKey, TernaryKey};
+use ca_ram::core::layout::{Record, RecordLayout};
+use ca_ram::core::memtest;
+use ca_ram::core::probe::ProbePolicy;
+use ca_ram::core::subsystem::CaRamSubsystem;
+use ca_ram::core::table::Arrangement;
+use ca_ram::workloads::bgp::{generate as gen_bgp, BgpConfig};
+use ca_ram::workloads::trigram::{generate as gen_tri, pack_text_key, TrigramConfig};
+
+#[test]
+fn fig5_subsystem_from_a_slice_pool() {
+    // 16 fabricated slices: 2^8 rows x 2048 bits each.
+    let mut pool = SlicePool::new(16, 8, 2048);
+
+    // Database 1: IP routing — the paper's 4-vertical + 1-victim example.
+    let ip_layout = RecordLayout::new(32, true, 8);
+    let (ip_alloc, ip_table) = pool
+        .allocate(
+            ip_layout,
+            Arrangement::Vertical(4),
+            1,
+            ProbePolicy::Linear,
+            Box::new(RangeSelect::ip_first16_last(10)),
+        )
+        .expect("pool has capacity");
+    assert_eq!(pool.free_slices(), 11);
+    assert_eq!(pool.roles(ip_alloc).unwrap().overflow, 1);
+
+    // Database 2: trigram lookup on 4 horizontal slices.
+    let tri_layout = RecordLayout::new(128, false, 32);
+    let (_tri_alloc, tri_table) = pool
+        .allocate(
+            tri_layout,
+            Arrangement::Horizontal(4),
+            0,
+            ProbePolicy::Linear,
+            Box::new(DjbHash::new(32, 16)),
+        )
+        .expect("pool has capacity");
+    assert_eq!(pool.free_slices(), 7);
+
+    // Assemble the subsystem and populate both databases.
+    let mut sub = CaRamSubsystem::new();
+    let routing = sub.add_database("routing", ip_table);
+    let lm = sub.add_database("language-model", tri_table);
+
+    let routes = gen_bgp(&BgpConfig::scaled(6_000));
+    for r in &routes {
+        sub.table_mut(routing)
+            .insert(Record::new(r.to_ternary_key(), u64::from(r.len())))
+            .expect("victim slice absorbs overflow");
+    }
+    let trigrams = gen_tri(&TrigramConfig {
+        entries: 10_000,
+        vocabulary: 4_000,
+        ..TrigramConfig::sphinx_like()
+    });
+    for (i, s) in trigrams.iter().enumerate() {
+        sub.table_mut(lm)
+            .insert(Record::new(TernaryKey::binary(pack_text_key(s), 128), i as u64))
+            .expect("sized for the entries");
+    }
+
+    // The routing database keeps AMAL at 1 (victim slice in parallel).
+    let report = sub.table(routing).load_report();
+    assert!(
+        (report.amal_uniform - 1.0).abs() < 1e-9,
+        "victim slice keeps AMAL at 1, got {}",
+        report.amal_uniform
+    );
+
+    // Drive both through the MMIO ports.
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(55);
+    for _ in 0..200 {
+        let r = routes[rng.gen_range(0..routes.len())];
+        sub.store_request(
+            sub.request_port(routing),
+            SearchKey::new(u128::from(r.random_member(&mut rng)), 32),
+        )
+        .expect("mapped port");
+        let i = rng.gen_range(0..trigrams.len());
+        sub.store_request(
+            sub.request_port(lm),
+            SearchKey::new(pack_text_key(&trigrams[i]), 128),
+        )
+        .expect("mapped port");
+    }
+    assert_eq!(sub.pump(), 400);
+    let mut hits = 0;
+    while let Some(result) = sub.load_result(sub.result_port(routing)).expect("mapped") {
+        hits += i32::from(result.outcome.hit.is_some());
+        assert_eq!(result.outcome.memory_accesses, 1);
+    }
+    assert_eq!(hits, 200, "every routed packet matched some prefix");
+    while let Some(result) = sub.load_result(sub.result_port(lm)).expect("mapped") {
+        assert!(result.outcome.hit.is_some());
+    }
+
+    // RAM-mode memory tests on a third, freshly allocated scratch database
+    // (Sec. 3.2: "various hardware- and software-based memory tests will be
+    // performed on CA-RAM using this RAM mode").
+    let (scratch_alloc, mut scratch) = pool
+        .allocate(
+            RecordLayout::new(16, false, 0),
+            Arrangement::Horizontal(1),
+            0,
+            ProbePolicy::Linear,
+            Box::new(RangeSelect::new(0, 8)),
+        )
+        .expect("pool has capacity");
+    let reports =
+        memtest::full_battery(scratch.slices_mut()[0].array_mut()).expect("RAM access");
+    for r in &reports {
+        assert!(r.passed(), "{} failed: {:?}", r.test, r.faults);
+    }
+    pool.free(scratch_alloc).expect("live allocation");
+    assert_eq!(pool.free_slices(), 7);
+}
+
+#[test]
+fn reconfigurable_slice_serves_two_applications_in_sequence() {
+    use ca_ram::core::config_regs::{ControlRegister, ReconfigurableSlice};
+    // One physical slice, reprogrammed from IP keys to trigram keys — the
+    // Sec. 3.3 flexibility story.
+    let mut slice = ReconfigurableSlice::new(6, 2048, RecordLayout::new(32, true, 8));
+    assert_eq!(slice.slice().slots_per_row(), 2048 / 72);
+
+    // Phase 1: ternary IPv4 keys.
+    let prefix = TernaryKey::ternary(0x0A000000, 0xFF_FFFF, 32);
+    slice
+        .slice_mut()
+        .append_record(5, &Record::new(prefix, 8));
+    assert!(slice
+        .slice()
+        .search_bucket(5, &SearchKey::new(0x0A01_0203, 32))
+        .is_some());
+
+    // Reprogram: 16-byte binary keys, no data.
+    slice
+        .write_register(ControlRegister::KeyBytes as u64, 16)
+        .expect("supported size");
+    slice
+        .write_register(ControlRegister::TernaryEnable as u64, 0)
+        .expect("valid");
+    slice
+        .write_register(ControlRegister::DataBits as u64, 0)
+        .expect("valid");
+    slice
+        .write_register(ControlRegister::Commit as u64, 1)
+        .expect("fits the row");
+    assert_eq!(slice.slice().slots_per_row(), 16);
+    assert_eq!(slice.slice().record_count(), 0, "commit cleared the array");
+
+    // Phase 2: trigram keys.
+    let key = pack_text_key("hello there you");
+    slice
+        .slice_mut()
+        .append_record(3, &Record::new(TernaryKey::binary(key, 128), 0));
+    assert!(slice
+        .slice()
+        .search_bucket(3, &SearchKey::new(key, 128))
+        .is_some());
+}

@@ -1,0 +1,193 @@
+//! Cross-crate integration: CA-RAM, flat TCAM, sorted TCAM, and banked TCAM
+//! must implement the *same* longest-prefix-match function over the same
+//! routing table (Sec. 4.1 correctness).
+
+use ca_ram::cam::{BankedTcam, SortedTcam, Tcam, TcamEntry};
+use ca_ram::core::index::RangeSelect;
+use ca_ram::core::key::SearchKey;
+use ca_ram::core::layout::{Record, RecordLayout};
+use ca_ram::core::probe::ProbePolicy;
+use ca_ram::core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use ca_ram::workloads::bgp::{generate, BgpConfig};
+use ca_ram::workloads::prefix::Ipv4Prefix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference LPM: brute force over the prefix list.
+fn reference_lpm(routes: &[Ipv4Prefix], addr: u32) -> Option<u8> {
+    routes
+        .iter()
+        .filter(|p| p.contains(addr))
+        .map(Ipv4Prefix::len)
+        .max()
+}
+
+fn build_caram(routes: &[Ipv4Prefix], arrangement: Arrangement, rows_log2: u32) -> CaRamTable {
+    let layout = RecordLayout::new(32, true, 8);
+    let (_, vertical) = match arrangement {
+        Arrangement::Horizontal(k) => (k, 1),
+        Arrangement::Vertical(k) => (1, k),
+        Arrangement::Grid { horizontal, vertical } => (horizontal, vertical),
+    };
+    let index_bits = rows_log2 + vertical.next_power_of_two().trailing_zeros();
+    let config = TableConfig {
+        rows_log2,
+        row_bits: 32 * layout.slot_bits(),
+        layout,
+        arrangement,
+        probe: ProbePolicy::Linear,
+        overflow: OverflowPolicy::Probe { max_steps: 1 << rows_log2 },
+    };
+    let mut t = CaRamTable::new(config, Box::new(RangeSelect::ip_first16_last(index_bits)))
+        .expect("valid config");
+    for r in routes {
+        t.insert(Record::new(r.to_ternary_key(), u64::from(r.len())))
+            .expect("table sized for the routes");
+    }
+    t
+}
+
+#[test]
+fn four_engines_agree_on_lpm() {
+    let routes = generate(&BgpConfig::scaled(5_000));
+    // Routes are sorted longest-first: the shared priority discipline.
+    let caram = build_caram(&routes, Arrangement::Horizontal(2), 8);
+
+    let mut tcam = Tcam::new(routes.len(), 32);
+    let mut sorted = SortedTcam::new(routes.len(), 32);
+    let mut banked = BankedTcam::new(Box::new(RangeSelect::new(28, 2)), routes.len(), 32);
+    // Feed the sorted TCAM in a scrambled order — it must sort internally.
+    let mut scrambled = routes.clone();
+    let mut rng = SmallRng::seed_from_u64(17);
+    for i in (1..scrambled.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        scrambled.swap(i, j);
+    }
+    for (i, r) in routes.iter().enumerate() {
+        tcam.write(i, TcamEntry { key: r.to_ternary_key(), data: u64::from(r.len()) });
+        banked.insert(r.to_ternary_key(), u64::from(r.len())).expect("capacity");
+    }
+    for r in &scrambled {
+        sorted.insert(r.to_ternary_key(), u64::from(r.len())).expect("capacity");
+    }
+    assert!(sorted.invariant_holds());
+
+    let mut checked_hits = 0u32;
+    for trial in 0..3_000u32 {
+        // Mix of random addresses and members of random routes.
+        let addr = if trial % 2 == 0 {
+            rng.gen::<u32>()
+        } else {
+            routes[rng.gen_range(0..routes.len())].random_member(&mut rng)
+        };
+        let expect = reference_lpm(&routes, addr).map(u64::from);
+        let key = SearchKey::new(u128::from(addr), 32);
+        let got_caram = caram.search(&key).hit.map(|h| h.record.data);
+        let got_tcam = tcam.search(&key).map(|m| m.entry.data);
+        let got_sorted = sorted.search(&key).map(|m| m.entry.data);
+        let got_banked = banked.search(&key).hit.map(|m| m.entry.data);
+        assert_eq!(got_caram, expect, "CA-RAM vs reference on {addr:#010x}");
+        assert_eq!(got_tcam, expect, "TCAM vs reference on {addr:#010x}");
+        assert_eq!(got_sorted, expect, "sorted TCAM vs reference on {addr:#010x}");
+        assert_eq!(got_banked, expect, "banked TCAM vs reference on {addr:#010x}");
+        checked_hits += u32::from(expect.is_some());
+    }
+    assert!(checked_hits > 1_000, "the workload must actually exercise hits");
+}
+
+#[test]
+fn vertical_and_grid_arrangements_agree_with_horizontal() {
+    let routes = generate(&BgpConfig::scaled(3_000));
+    let h = build_caram(&routes, Arrangement::Horizontal(4), 8);
+    let v = build_caram(&routes, Arrangement::Vertical(4), 8);
+    let g = build_caram(&routes, Arrangement::Grid { horizontal: 2, vertical: 2 }, 8);
+    let mut rng = SmallRng::seed_from_u64(23);
+    for _ in 0..2_000 {
+        let addr = routes[rng.gen_range(0..routes.len())].random_member(&mut rng);
+        let key = SearchKey::new(u128::from(addr), 32);
+        let a = h.search(&key).hit.map(|x| x.record.data);
+        let b = v.search(&key).hit.map(|x| x.record.data);
+        let c = g.search(&key).hit.map(|x| x.record.data);
+        assert_eq!(a, b, "horizontal vs vertical on {addr:#010x}");
+        assert_eq!(a, c, "horizontal vs grid on {addr:#010x}");
+    }
+}
+
+#[test]
+fn ipv6_lpm_equivalence_with_tcam() {
+    // The Sec. 4.1 IPv6 concern: 128-bit ternary keys, 4x the storage.
+    use ca_ram::workloads::ipv6::{generate as gen6, Ipv6Config, Ipv6Prefix};
+    let routes = gen6(&Ipv6Config {
+        prefixes: 3_000,
+        allocations: 400,
+        seed: 3,
+    });
+    let layout = RecordLayout::new(128, true, 0);
+    let config = TableConfig {
+        rows_log2: 7,
+        row_bits: 32 * layout.slot_bits(),
+        layout,
+        arrangement: Arrangement::Horizontal(2),
+        probe: ProbePolicy::Linear,
+        overflow: OverflowPolicy::Probe { max_steps: 128 },
+    };
+    // Hash: last 7 bits of the first 32 address bits (bits 96..103).
+    let mut caram =
+        CaRamTable::new(config, Box::new(RangeSelect::new(96, 7))).expect("valid config");
+    let mut tcam = Tcam::new(routes.len(), 128);
+    for (i, r) in routes.iter().enumerate() {
+        caram
+            .insert(Record::new(r.to_ternary_key(), 0))
+            .expect("sized for the routes");
+        tcam.write(i, TcamEntry { key: r.to_ternary_key(), data: 0 });
+    }
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut hits = 0u32;
+    for _ in 0..2_000 {
+        let addr = if rng.gen_bool(0.7) {
+            routes[rng.gen_range(0..routes.len())].random_member(&mut rng)
+        } else {
+            rng.gen::<u128>()
+        };
+        let key = SearchKey::new(addr, 128);
+        let a = caram.search(&key).hit.map(|h| h.record.key.care_count());
+        let b = tcam.search(&key).map(|m| m.entry.key.care_count());
+        assert_eq!(a, b, "addr {addr:#034x}");
+        // Cross-check against brute force.
+        let brute = routes
+            .iter()
+            .filter(|p| p.contains(addr))
+            .map(Ipv6Prefix::len)
+            .max()
+            .map(u32::from);
+        assert_eq!(a, brute, "addr {addr:#034x}");
+        hits += u32::from(a.is_some());
+    }
+    assert!(hits > 1_000);
+}
+
+#[test]
+fn deletions_preserve_lpm_equivalence() {
+    let routes = generate(&BgpConfig::scaled(2_000));
+    let mut caram = build_caram(&routes, Arrangement::Horizontal(2), 8);
+    let mut sorted = SortedTcam::new(routes.len(), 32);
+    for r in &routes {
+        sorted.insert(r.to_ternary_key(), u64::from(r.len())).expect("capacity");
+    }
+    // Delete a third of the routes from both engines.
+    let mut rng = SmallRng::seed_from_u64(31);
+    let mut live = routes.clone();
+    for _ in 0..routes.len() / 3 {
+        let i = rng.gen_range(0..live.len());
+        let r = live.swap_remove(i);
+        assert!(caram.delete(&r.to_ternary_key()) >= 1, "{r}");
+        assert!(sorted.delete(&r.to_ternary_key()).is_some(), "{r}");
+    }
+    for _ in 0..2_000 {
+        let addr = rng.gen::<u32>();
+        let expect = reference_lpm(&live, addr).map(u64::from);
+        let key = SearchKey::new(u128::from(addr), 32);
+        assert_eq!(caram.search(&key).hit.map(|h| h.record.data), expect);
+        assert_eq!(sorted.search(&key).map(|m| m.entry.data), expect);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based integration tests: the CA-RAM table must behave as an
+//! associative map under arbitrary operation sequences, and the ternary
+//! match semantics must satisfy their algebraic laws.
+
+use std::collections::HashMap;
+
+use ca_ram::core::index::{RangeSelect, XorFold};
+use ca_ram::core::key::{SearchKey, TernaryKey};
+use ca_ram::core::layout::{Record, RecordLayout};
+use ca_ram::core::probe::ProbePolicy;
+use ca_ram::core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use proptest::prelude::*;
+
+fn small_table(probe: ProbePolicy, overflow: OverflowPolicy) -> CaRamTable {
+    let layout = RecordLayout::new(24, false, 16);
+    let config = TableConfig {
+        rows_log2: 5,
+        row_bits: 4 * layout.slot_bits(),
+        layout,
+        arrangement: Arrangement::Horizontal(2),
+        probe,
+        overflow,
+    };
+    CaRamTable::new(config, Box::new(XorFold::new(5))).expect("valid config")
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u16),
+    Delete(u32),
+    Search(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A narrow key space so operations actually interact.
+    let key = 0u32..400;
+    prop_oneof![
+        (key.clone(), any::<u16>()).prop_map(|(k, v)| Op::Insert(k & 0xFF_FFFF, v)),
+        key.clone().prop_map(|k| Op::Delete(k & 0xFF_FFFF)),
+        key.prop_map(|k| Op::Search(k & 0xFF_FFFF)),
+    ]
+}
+
+fn run_against_model(table: &mut CaRamTable, ops: &[Op]) {
+    let mut model: HashMap<u32, u16> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                if model.contains_key(&k) {
+                    continue; // the model disallows duplicate keys
+                }
+                let record = Record::new(TernaryKey::binary(u128::from(k), 24), u64::from(v));
+                match table.insert(record) {
+                    Ok(_) => {
+                        model.insert(k, v);
+                    }
+                    Err(ca_ram::core::error::CaRamError::TableFull { .. }) => {}
+                    Err(e) => panic!("unexpected insert error: {e}"),
+                }
+            }
+            Op::Delete(k) => {
+                let removed = table.delete(&TernaryKey::binary(u128::from(k), 24));
+                assert_eq!(removed > 0, model.remove(&k).is_some(), "delete({k})");
+            }
+            Op::Search(k) => {
+                let got = table
+                    .search(&SearchKey::new(u128::from(k), 24))
+                    .hit
+                    .map(|h| u16::try_from(h.record.data).expect("16-bit data"));
+                assert_eq!(got, model.get(&k).copied(), "search({k})");
+            }
+        }
+    }
+    // Final sweep: every model entry is present, with the right data.
+    for (&k, &v) in &model {
+        let got = table.search(&SearchKey::new(u128::from(k), 24));
+        assert_eq!(
+            got.hit.map(|h| h.record.data),
+            Some(u64::from(v)),
+            "final sweep key {k}"
+        );
+    }
+    assert_eq!(table.record_count() as usize + table.overflow_count(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn table_behaves_as_a_map_linear_probing(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let mut table = small_table(
+            ProbePolicy::Linear,
+            OverflowPolicy::Probe { max_steps: 32 },
+        );
+        run_against_model(&mut table, &ops);
+    }
+
+    #[test]
+    fn table_behaves_as_a_map_double_hashing(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let mut table = small_table(
+            ProbePolicy::SecondHash,
+            OverflowPolicy::Probe { max_steps: 32 },
+        );
+        run_against_model(&mut table, &ops);
+    }
+
+    #[test]
+    fn table_behaves_as_a_map_with_overflow_area(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let mut table = small_table(
+            ProbePolicy::Linear,
+            OverflowPolicy::ParallelArea { capacity: 64 },
+        );
+        run_against_model(&mut table, &ops);
+    }
+
+    #[test]
+    fn ternary_match_laws(value in any::<u64>(), mask in any::<u64>(), probe in any::<u64>()) {
+        let bits = 64u32;
+        let stored = TernaryKey::ternary(u128::from(value), u128::from(mask), bits);
+        // Law 1: a stored key always matches its own search-key image.
+        prop_assert!(stored.matches(&stored.to_search_key()));
+        // Law 2: any probe agreeing on the care bits matches.
+        let care_probe = (u128::from(value) & !u128::from(mask))
+            | (u128::from(probe) & u128::from(mask));
+        prop_assert!(stored.matches(&SearchKey::new(care_probe, bits)));
+        // Law 3: flipping one care bit breaks the match.
+        let care = !u128::from(mask) & ((1u128 << 64) - 1);
+        if care != 0 {
+            let bit = care.trailing_zeros();
+            let flipped = care_probe ^ (1u128 << bit);
+            prop_assert!(!stored.matches(&SearchKey::new(flipped, bits)));
+        }
+        // Law 4: widening the stored mask never un-matches a matching probe.
+        let wider = TernaryKey::ternary(
+            u128::from(value),
+            u128::from(mask) | (1u128 << (probe % 64) as u32),
+            bits,
+        );
+        prop_assert!(wider.matches(&SearchKey::new(care_probe, bits)));
+    }
+
+    #[test]
+    fn search_accesses_bounded_by_reach(keys in prop::collection::vec(0u32..200, 1..120)) {
+        let mut table = small_table(
+            ProbePolicy::Linear,
+            OverflowPolicy::Probe { max_steps: 32 },
+        );
+        let mut inserted = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            let key = u128::from(*k) | (u128::from(i as u32) << 9); // unique keys
+            let record = Record::new(TernaryKey::binary(key & 0xFF_FFFF, 24), 0);
+            if table.insert(record).is_ok() {
+                inserted.push(key & 0xFF_FFFF);
+            }
+        }
+        for key in inserted {
+            let got = table.search(&SearchKey::new(key, 24));
+            prop_assert!(got.hit.is_some());
+            // A lookup may not scan more buckets than the probe limit + 1.
+            prop_assert!(got.memory_accesses <= 33);
+        }
+    }
+}
