@@ -11,8 +11,14 @@ fn bench_generators(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(3);
     let keys: Vec<u128> = (0..1024).map(|_| rng.gen::<u128>()).collect();
     let generators: Vec<(&str, Box<dyn IndexGenerator>)> = vec![
-        ("range_select_11", Box::new(RangeSelect::ip_first16_last(11))),
-        ("bit_select_11", Box::new(BitSelect::new((16..27).collect()))),
+        (
+            "range_select_11",
+            Box::new(RangeSelect::ip_first16_last(11)),
+        ),
+        (
+            "bit_select_11",
+            Box::new(BitSelect::new((16..27).collect())),
+        ),
         ("xor_fold_14", Box::new(XorFold::new(14))),
         ("djb_hash_16B", Box::new(DjbHash::new(32, 16))),
     ];

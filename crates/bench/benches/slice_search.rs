@@ -1,6 +1,8 @@
 //! Criterion bench: CA-RAM table search throughput (simulator host speed).
 
-use ca_ram_bench::designs::{build_ip_table, build_trigram_table, ip_designs, load_prefixes, load_trigrams, trigram_designs};
+use ca_ram_bench::designs::{
+    build_ip_table, build_trigram_table, ip_designs, load_prefixes, load_trigrams, trigram_designs,
+};
 use ca_ram_core::key::SearchKey;
 use ca_ram_workloads::bgp::{generate, BgpConfig};
 use ca_ram_workloads::trigram::{generate as gen_tri, pack_text_key, TrigramConfig};

@@ -22,7 +22,13 @@ fn bench_tcam_vs_caram(c: &mut Criterion) {
 
     let mut tcam = Tcam::new(prefixes.len(), 32);
     for (i, p) in prefixes.iter().enumerate() {
-        tcam.write(i, TcamEntry { key: p.to_ternary_key(), data: u64::from(p.len()) });
+        tcam.write(
+            i,
+            TcamEntry {
+                key: p.to_ternary_key(),
+                data: u64::from(p.len()),
+            },
+        );
     }
     let mut i = 0;
     c.bench_function("tcam_search_4k", |b| {

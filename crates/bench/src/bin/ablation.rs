@@ -32,10 +32,15 @@ fn main() {
     };
     let table = generate(&config);
     let weights = vec![1.0; table.len()];
-    println!("Ablations over the synthetic BGP table ({} prefixes)\n", table.len());
+    println!(
+        "Ablations over the synthetic BGP table ({} prefixes)\n",
+        table.len()
+    );
 
     // ---- 1. bucket size vs bucket count at fixed capacity -----------------
-    println!("1. Bucket size S vs bucket count M at fixed capacity M x S = 393,216 (alpha = 0.47):");
+    println!(
+        "1. Bucket size S vs bucket count M at fixed capacity M x S = 393,216 (alpha = 0.47):"
+    );
     println!(
         "{:>6} {:>8} {:>12} {:>10} {:>8}",
         "S", "M", "Overflow(%)", "Spill(%)", "AMALu"
@@ -58,8 +63,8 @@ fn main() {
             probe: ProbePolicy::Linear,
             overflow: OverflowPolicy::Probe { max_steps: 1 << r },
         };
-        let mut t = CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(r)))
-            .expect("valid config");
+        let mut t =
+            CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(r))).expect("valid config");
         load_prefixes(&mut t, &table, &weights);
         let rep = t.load_report();
         println!(
@@ -92,8 +97,8 @@ fn main() {
             probe,
             overflow: OverflowPolicy::Probe { max_steps: 2048 },
         };
-        let mut t = CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(11)))
-            .expect("valid config");
+        let mut t =
+            CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(11))).expect("valid config");
         load_prefixes(&mut t, &table, &weights);
         let rep = t.load_report();
         println!(
@@ -146,11 +151,9 @@ fn main() {
             probe: ProbePolicy::Linear,
             overflow: OverflowPolicy::ParallelArea { capacity: 1 << 17 },
         };
-        let mut with_area = CaRamTable::new(
-            cfg,
-            Box::new(RangeSelect::ip_first16_last(d.rows_log2)),
-        )
-        .expect("valid config");
+        let mut with_area =
+            CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(d.rows_log2)))
+                .expect("valid config");
         load_prefixes(&mut with_area, &table, &weights);
         let rep = with_area.load_report();
         println!(

@@ -6,7 +6,7 @@
 
 use ca_ram_bench::{arg_parse, rule};
 use ca_ram_core::controller::{simulate, simulate_latency, QueueModelConfig};
-use ca_ram_hwmodel::{CamTiming, CaRamTiming};
+use ca_ram_hwmodel::{CaRamTiming, CamTiming};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -88,7 +88,10 @@ fn main() {
 
     // --- latency under load (transaction-level pipeline) -------------------
     println!("\nLatency under load (8 slices, 6-cycle DRAM, random traffic; cycles @200 MHz):");
-    println!("{:>12} {:>8} {:>8} {:>8} {:>8}", "utilization", "mean", "p50", "p99", "max");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8}",
+        "utilization", "mean", "p50", "p99", "max"
+    );
     {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
@@ -165,4 +168,29 @@ fn trace_driven(lookups: usize) {
     }
     println!("  (a good hash keeps even Zipf traffic near the ceiling: hot keys");
     println!("   are single buckets, not whole slices)");
+
+    // The same table, driven through the batch API the subsystem pump
+    // uses — simulator (host) throughput, not modelled hardware bandwidth.
+    let keys: Vec<ca_ram_core::key::SearchKey> = {
+        let freqs = frequencies(entries.len(), AccessPattern::Uniform, 42);
+        sample_trace(&freqs, lookups, 44)
+            .iter()
+            .map(|&i| ca_ram_core::key::SearchKey::new(pack_text_key(&entries[i]), 128))
+            .collect()
+    };
+    let start = std::time::Instant::now();
+    let serial = table.search_batch(&keys);
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = std::time::Instant::now();
+    let parallel = table.search_batch_parallel(&keys, 0);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "batch paths must agree");
+    #[allow(clippy::cast_precision_loss)]
+    let n = keys.len() as f64;
+    println!("\nSimulator throughput over the same table (host-side, not modelled hardware):");
+    println!("  search_batch           {:>10.0} keys/s", n / serial_secs);
+    println!(
+        "  search_batch_parallel  {:>10.0} keys/s",
+        n / parallel_secs
+    );
 }

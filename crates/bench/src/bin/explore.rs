@@ -17,9 +17,7 @@ use ca_ram_core::key::TernaryKey;
 use ca_ram_core::layout::{Record, RecordLayout};
 use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
-use ca_ram_hwmodel::{
-    AreaModel, CaRamGeometry, CaRamTiming, CellKind, PowerModel,
-};
+use ca_ram_hwmodel::{AreaModel, CaRamGeometry, CaRamTiming, CellKind, PowerModel};
 use ca_ram_workloads::bgp::{generate as gen_v4, BgpConfig};
 use ca_ram_workloads::ipv6::{generate as gen_v6, Ipv6Config};
 
@@ -54,7 +52,9 @@ fn evaluate(
         layout,
         arrangement: Arrangement::Horizontal(horizontal),
         probe: ProbePolicy::Linear,
-        overflow: OverflowPolicy::Probe { max_steps: 1 << rows_log2 },
+        overflow: OverflowPolicy::Probe {
+            max_steps: 1 << rows_log2,
+        },
     };
     let generator = RangeSelect::new(hash_low, rows_log2);
     let mut table = CaRamTable::new(config, Box::new(generator)).ok()?;
@@ -70,13 +70,7 @@ fn evaluate(
     let report = table.load_report();
     let amal = report.amal_uniform;
 
-    let geometry = CaRamGeometry::new(
-        horizontal,
-        1u64 << rows_log2,
-        row_bits,
-        cell,
-        keys_per_row,
-    );
+    let geometry = CaRamGeometry::new(horizontal, 1u64 << rows_log2, row_bits, cell, keys_per_row);
     let area = AreaModel::new()
         .caram_device_area(&geometry)
         .to_square_millimeters();
@@ -117,7 +111,11 @@ fn main() {
     let (keys, key_bits, hash_low): (Vec<(TernaryKey, u64)>, u32, u32) = match workload.as_str() {
         "ip" => {
             let n: usize = arg_parse("prefixes", 186_760);
-            let config = if n == 186_760 { BgpConfig::as1103_like() } else { BgpConfig::scaled(n) };
+            let config = if n == 186_760 {
+                BgpConfig::as1103_like()
+            } else {
+                BgpConfig::scaled(n)
+            };
             let table = gen_v4(&config);
             (
                 table
@@ -130,7 +128,10 @@ fn main() {
         }
         "ipv6" => {
             let n: usize = arg_parse("prefixes", 46_690);
-            let table = gen_v6(&Ipv6Config { prefixes: n, ..Ipv6Config::default() });
+            let table = gen_v6(&Ipv6Config {
+                prefixes: n,
+                ..Ipv6Config::default()
+            });
             (
                 table
                     .iter()
@@ -157,7 +158,13 @@ fn main() {
                         continue;
                     }
                     if let Some(c) = evaluate(
-                        &keys, key_bits, hash_low, cell, rows_log2, keys_per_row, horizontal,
+                        &keys,
+                        key_bits,
+                        hash_low,
+                        cell,
+                        rows_log2,
+                        keys_per_row,
+                        horizontal,
                     ) {
                         candidates.push(c);
                     }

@@ -7,9 +7,7 @@
 //! TCAMs at 143 MHz.
 
 use ca_ram_bench::rule;
-use ca_ram_hwmodel::{
-    AreaModel, CamGeometry, CaRamGeometry, CellKind, Megahertz, PowerModel,
-};
+use ca_ram_hwmodel::{AreaModel, CaRamGeometry, CamGeometry, CellKind, Megahertz, PowerModel};
 
 fn main() {
     let area = AreaModel::new();
@@ -31,7 +29,10 @@ fn main() {
             CellKind::TcamDynamic6T.to_string(),
             area.cam_cell_area(CellKind::TcamDynamic6T).value(),
         ),
-        ("DRAM ternary CA-RAM (2 bits + 7% MP)".into(), caram_cell.value()),
+        (
+            "DRAM ternary CA-RAM (2 bits + 7% MP)".into(),
+            caram_cell.value(),
+        ),
     ];
     println!("{:<40} {:>12} {:>10}", "Scheme", "um^2/symbol", "vs CA-RAM");
     rule(66);
@@ -85,7 +86,11 @@ fn main() {
     rule(54);
     for kind in schemes {
         let g = CamGeometry::new(tcam_entries, 64, kind);
-        println!("{:<40} {:>12.3}", kind.to_string(), power.cam_standby_power(&g).value());
+        println!(
+            "{:<40} {:>12.3}",
+            kind.to_string(),
+            power.cam_standby_power(&g).value()
+        );
     }
     println!(
         "{:<40} {:>12.3}",

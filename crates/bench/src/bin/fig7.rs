@@ -38,17 +38,32 @@ fn main() {
         binned[(records / bin_width) as usize] += buckets;
     }
     let peak = binned.iter().copied().max().unwrap_or(1).max(1);
-    println!("{:>9} {:>8}  histogram (each bin = {bin_width} record counts)", "records", "buckets");
+    println!(
+        "{:>9} {:>8}  histogram (each bin = {bin_width} record counts)",
+        "records", "buckets"
+    );
     rule(76);
     for (i, &count) in binned.iter().enumerate() {
         let lo = u32::try_from(i).expect("bin count fits") * bin_width;
         if count == 0 && (lo + bin_width < mean as u32 / 2 || lo > max_records) {
             continue;
         }
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+        #[allow(
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss,
+            clippy::cast_precision_loss
+        )]
         let bar = "#".repeat(((count as f64 / peak as f64) * 50.0).round() as usize);
-        let marker = if lo <= slots && slots < lo + bin_width { " <- bucket size S" } else { "" };
-        println!("{:>4}-{:<4} {count:>8}  {bar}{marker}", lo, lo + bin_width - 1);
+        let marker = if lo <= slots && slots < lo + bin_width {
+            " <- bucket size S"
+        } else {
+            ""
+        };
+        println!(
+            "{:>4}-{:<4} {count:>8}  {bar}{marker}",
+            lo,
+            lo + bin_width - 1
+        );
     }
     rule(76);
     println!("\nmean records/home bucket: {mean:.1} (paper: centred around 81)");

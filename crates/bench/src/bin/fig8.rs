@@ -13,8 +13,7 @@
 
 use ca_ram_bench::rule;
 use ca_ram_hwmodel::{
-    AreaModel, CamGeometry, CamTiming, CaRamGeometry, CaRamTiming, CellKind, Megahertz,
-    PowerModel,
+    AreaModel, CaRamGeometry, CaRamTiming, CamGeometry, CamTiming, CellKind, Megahertz, PowerModel,
 };
 
 fn main() {
@@ -94,7 +93,5 @@ fn main() {
         "\nCA-RAM area reduction: {:.1}x (paper: 5.9x).",
         a_cam.value() / a_caram_tri.value()
     );
-    println!(
-        "(No power comparison, as in the paper: the 1992 CAM lacks modern power reduction.)"
-    );
+    println!("(No power comparison, as in the paper: the 1992 CAM lacks modern power reduction.)");
 }

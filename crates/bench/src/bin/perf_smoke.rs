@@ -1,0 +1,171 @@
+//! Simulator-throughput smoke test for the batched search pipeline.
+//!
+//! Not a paper artifact: this measures the *simulator itself*. For each
+//! Table 2 IP design it loads a synthetic BGP table, replays an address
+//! trace three ways — the pre-optimization reference loop
+//! (`search_baseline`: per-lookup heap allocation, decode-every-slot), the
+//! allocation-free serial batch (`search_batch`), and the sharded parallel
+//! batch (`search_batch_parallel`) — and reports keys/sec for each plus the
+//! measured mean memory accesses per search. Results are written as JSON
+//! for tracking across revisions.
+//!
+//! Usage: `perf_smoke [--prefixes N] [--lookups N] [--seed S] [--threads T]
+//! [--out PATH]`
+
+use std::time::Instant;
+
+use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
+use ca_ram_bench::{arg_parse, arg_value, rule};
+use ca_ram_core::key::SearchKey;
+use ca_ram_core::table::{CaRamTable, SearchOutcome};
+use ca_ram_workloads::bgp::{generate, BgpConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+struct DesignResult {
+    name: &'static str,
+    baseline_kps: f64,
+    serial_kps: f64,
+    parallel_kps: f64,
+    mean_accesses: f64,
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn keys_per_sec(n: usize, secs: f64) -> f64 {
+    if secs > 0.0 {
+        n as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn run_baseline(table: &CaRamTable, keys: &[SearchKey]) -> (Vec<SearchOutcome>, f64) {
+    let start = Instant::now();
+    let outcomes: Vec<SearchOutcome> = keys.iter().map(|k| table.search_baseline(k)).collect();
+    (outcomes, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let prefixes_n: usize = arg_parse("prefixes", 20_000);
+    let lookups: usize = arg_parse("lookups", 100_000);
+    let seed: u64 = arg_parse("seed", 0x1103);
+    let threads: usize = arg_parse("threads", 0);
+    let out_path = arg_value("out").unwrap_or_else(|| "BENCH_search.json".into());
+    assert!(prefixes_n > 0, "--prefixes must be > 0");
+    assert!(
+        lookups > 0,
+        "--lookups must be > 0 (speedups are undefined on an empty trace)"
+    );
+
+    let mut config = BgpConfig::scaled(prefixes_n);
+    config.seed = seed;
+    let prefixes = generate(&config);
+    let weights = vec![1.0; prefixes.len()];
+
+    // Address trace: random member addresses of random prefixes, so every
+    // lookup hits (the paper measures successful-search cost).
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+    let keys: Vec<SearchKey> = (0..lookups)
+        .map(|i| {
+            let p = &prefixes[i % prefixes.len()];
+            SearchKey::new(u128::from(p.random_member(&mut rng)), 32)
+        })
+        .collect();
+
+    println!("Simulator search throughput ({prefixes_n} prefixes, {lookups} lookups)");
+    println!(
+        "{:^6} {:>14} {:>14} {:>14} {:>9} {:>9} {:>8}",
+        "Design", "base keys/s", "serial keys/s", "par keys/s", "ser x", "par x", "mem/srch"
+    );
+    rule(80);
+
+    let mut results: Vec<DesignResult> = Vec::new();
+    for d in ip_designs() {
+        let mut table = build_ip_table(&d);
+        load_prefixes(&mut table, &prefixes, &weights);
+
+        // Warm-up + correctness: all three paths must agree exactly.
+        let (base_outcomes, _) = run_baseline(&table, &keys);
+        let serial_outcomes = table.search_batch(&keys);
+        let parallel_outcomes = table.search_batch_parallel(&keys, threads);
+        assert_eq!(base_outcomes, serial_outcomes, "design {}", d.name);
+        assert_eq!(serial_outcomes, parallel_outcomes, "design {}", d.name);
+
+        let (_, base_secs) = run_baseline(&table, &keys);
+        let start = Instant::now();
+        let serial_outcomes = table.search_batch(&keys);
+        let serial_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let _ = table.search_batch_parallel(&keys, threads);
+        let parallel_secs = start.elapsed().as_secs_f64();
+
+        let total_accesses: u64 = serial_outcomes
+            .iter()
+            .map(|o| u64::from(o.memory_accesses))
+            .sum();
+        #[allow(clippy::cast_precision_loss)]
+        let mean_accesses = total_accesses as f64 / serial_outcomes.len() as f64;
+
+        let r = DesignResult {
+            name: d.name,
+            baseline_kps: keys_per_sec(keys.len(), base_secs),
+            serial_kps: keys_per_sec(keys.len(), serial_secs),
+            parallel_kps: keys_per_sec(keys.len(), parallel_secs),
+            mean_accesses,
+        };
+        println!(
+            "{:^6} {:>14.0} {:>14.0} {:>14.0} {:>8.2}x {:>8.2}x {:>8.3}",
+            r.name,
+            r.baseline_kps,
+            r.serial_kps,
+            r.parallel_kps,
+            r.serial_kps / r.baseline_kps,
+            r.parallel_kps / r.baseline_kps,
+            r.mean_accesses,
+        );
+        results.push(r);
+    }
+    rule(80);
+
+    let min_serial_speedup = results
+        .iter()
+        .map(|r| r.serial_kps / r.baseline_kps)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "minimum serial speedup over baseline loop: {min_serial_speedup:.2}x (target >= 2.00x) {}",
+        if min_serial_speedup >= 2.0 {
+            "PASS"
+        } else {
+            "MISS"
+        }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"search\",\n");
+    json.push_str(&format!("  \"prefixes\": {prefixes_n},\n"));
+    json.push_str(&format!("  \"lookups\": {lookups},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"min_serial_speedup\": {min_serial_speedup:.4},\n"
+    ));
+    json.push_str("  \"designs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_keys_per_sec\": {:.1}, \
+             \"serial_keys_per_sec\": {:.1}, \"parallel_keys_per_sec\": {:.1}, \
+             \"serial_speedup\": {:.4}, \"parallel_speedup\": {:.4}, \
+             \"mean_memory_accesses\": {:.4}}}{}\n",
+            r.name,
+            r.baseline_kps,
+            r.serial_kps,
+            r.parallel_kps,
+            r.serial_kps / r.baseline_kps,
+            r.parallel_kps / r.baseline_kps,
+            r.mean_accesses,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("writable --out path");
+    println!("(wrote {out_path})");
+}

@@ -43,5 +43,6 @@ fn main() {
     run("ablation", &ip_args);
     run("updates", &[]);
     run("explore", &ip_args);
+    run("perf_smoke", &ip_args);
     println!("\nAll reproduction targets completed.");
 }

@@ -50,12 +50,7 @@ fn main() {
     );
     rule(80);
     let mut mem = Hierarchy::typical();
-    for index in [
-        &chained as &dyn SoftIndex,
-        &open,
-        &sorted,
-        &bst,
-    ] {
+    for index in [&chained as &dyn SoftIndex, &open, &sorted, &bst] {
         mem.reset();
         let r = measure(index, &keys, &trace, &mut mem);
         println!(
@@ -109,9 +104,7 @@ fn main() {
             table.len(),
             trie.node_count()
         );
-        println!(
-            "  (3-4 dependent loads per lookup at 8-bit stride; finer strides and"
-        );
+        println!("  (3-4 dependent loads per lookup at 8-bit stride; finer strides and");
         println!("   trie variants reach the paper's 4-6; caches absorb the top levels)");
     }
 

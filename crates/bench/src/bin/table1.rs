@@ -14,7 +14,10 @@ use ca_ram_hwmodel::Nanoseconds;
 fn print_report(title: &str, params: &MatchProcessorParams) {
     let report = SynthesisModel::new().synthesize(params);
     println!("{title}");
-    println!("{:<26} {:>8} {:>12} {:>10}", "Step", "# cells", "Area, um^2", "Delay, ns");
+    println!(
+        "{:<26} {:>8} {:>12} {:>10}",
+        "Step", "# cells", "Area, um^2", "Delay, ns"
+    );
     rule(60);
     for s in report.stages() {
         let delay = if s.stage.is_hidden() {
@@ -51,9 +54,7 @@ fn main() {
         "Prototype (C = 1600, key sizes 1-16 bytes, ternary, 0.16 um):",
         &proto,
     );
-    println!(
-        "Paper: 3,804 / 5,252 / 899 / 6,037 cells; 66,228 / 10,591 / 1,970 / 21,775 um^2;"
-    );
+    println!("Paper: 3,804 / 5,252 / 899 / 6,037 cells; 66,228 / 10,591 / 1,970 / 21,775 um^2;");
     println!("(0.89) / 0.95 / 1.91 / 1.99 ns; totals 15,992 cells, 100,564 um^2, 4.85 ns.\n");
 
     let report = SynthesisModel::new().synthesize(&proto);

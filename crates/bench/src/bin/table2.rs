@@ -46,9 +46,8 @@ fn main() {
             .then(b.1.partial_cmp(&a.1).expect("weights are finite"))
     });
 
-    let mut csv = String::from(
-        "design,r,c,slices,arrangement,alpha,overflow_pct,spill_pct,amalu,amals\n",
-    );
+    let mut csv =
+        String::from("design,r,c,slices,arrangement,alpha,overflow_pct,spill_pct,amalu,amals\n");
     println!(
         "{:^6} {:>3} {:>7} {:>8} {:>11} {:>6} {:>11} {:>9} {:>7} {:>7}",
         "Design",

@@ -25,8 +25,7 @@ fn main() {
     );
     let data = generate(&config);
 
-    let mut csv =
-        String::from("design,r,c,slices,arrangement,alpha,overflow_pct,spill_pct,amal\n");
+    let mut csv = String::from("design,r,c,slices,arrangement,alpha,overflow_pct,spill_pct,amal\n");
     println!(
         "{:^6} {:>3} {:>8} {:>8} {:>11} {:>6} {:>11} {:>9} {:>7}",
         "Design", "R", "C", "#Slices", "Arrangement", "alpha", "Overflow(%)", "Spill(%)", "AMAL"
@@ -66,8 +65,8 @@ fn main() {
         println!("(wrote {path})");
     }
     rule(82);
+    println!("\nPaper (full scale): A: α=0.86, 5.99% overflow, 0.34% spilled, AMAL 1.003;");
     println!(
-        "\nPaper (full scale): A: α=0.86, 5.99% overflow, 0.34% spilled, AMAL 1.003;"
+        "B: α=0.68, 0.02%, 0.00%, 1.000; C: α=0.86, 0.15%, 0.00%, 1.000; D: α=0.68, 0, 0, 1.000."
     );
-    println!("B: α=0.68, 0.02%, 0.00%, 1.000; C: α=0.86, 0.15%, 0.00%, 1.000; D: α=0.68, 0, 0, 1.000.");
 }

@@ -48,7 +48,9 @@ fn main() {
         layout,
         arrangement: Arrangement::Horizontal(2),
         probe: ProbePolicy::Linear,
-        overflow: OverflowPolicy::Probe { max_steps: 1 << rows_log2 },
+        overflow: OverflowPolicy::Probe {
+            max_steps: 1 << rows_log2,
+        },
     };
     let mut caram = CaRamTable::new(
         table_config,
@@ -105,7 +107,9 @@ fn main() {
     rule(64);
     println!(
         "{:<34} {:>14} {:>14}",
-        "update events", announces + withdraws, announces + withdraws
+        "update events",
+        announces + withdraws,
+        announces + withdraws
     );
     #[allow(clippy::cast_precision_loss)]
     let ca = caram_probes as f64 / (announces + withdraws) as f64;
@@ -153,8 +157,6 @@ fn main() {
         }
         checked += u32::from(a.is_some());
     }
-    println!(
-        "\nequivalence audit: 10,000 lookups, {checked} hits, zero divergences."
-    );
+    println!("\nequivalence audit: 10,000 lookups, {checked} hits, zero divergences.");
     println!("(CA-RAM updates touch O(chain) buckets; TCAM updates move O(lengths) entries)");
 }

@@ -50,12 +50,48 @@ impl DesignPoint {
 #[must_use]
 pub fn ip_designs() -> Vec<DesignPoint> {
     vec![
-        DesignPoint { name: "A", rows_log2: 11, keys_per_row: 32, slices: 6, horizontal: true },
-        DesignPoint { name: "B", rows_log2: 11, keys_per_row: 32, slices: 7, horizontal: true },
-        DesignPoint { name: "C", rows_log2: 11, keys_per_row: 32, slices: 8, horizontal: true },
-        DesignPoint { name: "D", rows_log2: 12, keys_per_row: 64, slices: 2, horizontal: true },
-        DesignPoint { name: "E", rows_log2: 12, keys_per_row: 64, slices: 3, horizontal: true },
-        DesignPoint { name: "F", rows_log2: 12, keys_per_row: 64, slices: 2, horizontal: false },
+        DesignPoint {
+            name: "A",
+            rows_log2: 11,
+            keys_per_row: 32,
+            slices: 6,
+            horizontal: true,
+        },
+        DesignPoint {
+            name: "B",
+            rows_log2: 11,
+            keys_per_row: 32,
+            slices: 7,
+            horizontal: true,
+        },
+        DesignPoint {
+            name: "C",
+            rows_log2: 11,
+            keys_per_row: 32,
+            slices: 8,
+            horizontal: true,
+        },
+        DesignPoint {
+            name: "D",
+            rows_log2: 12,
+            keys_per_row: 64,
+            slices: 2,
+            horizontal: true,
+        },
+        DesignPoint {
+            name: "E",
+            rows_log2: 12,
+            keys_per_row: 64,
+            slices: 3,
+            horizontal: true,
+        },
+        DesignPoint {
+            name: "F",
+            rows_log2: 12,
+            keys_per_row: 64,
+            slices: 2,
+            horizontal: false,
+        },
     ]
 }
 
@@ -63,10 +99,34 @@ pub fn ip_designs() -> Vec<DesignPoint> {
 #[must_use]
 pub fn trigram_designs() -> Vec<DesignPoint> {
     vec![
-        DesignPoint { name: "A", rows_log2: 14, keys_per_row: 96, slices: 4, horizontal: false },
-        DesignPoint { name: "B", rows_log2: 14, keys_per_row: 96, slices: 5, horizontal: false },
-        DesignPoint { name: "C", rows_log2: 14, keys_per_row: 96, slices: 4, horizontal: true },
-        DesignPoint { name: "D", rows_log2: 14, keys_per_row: 96, slices: 5, horizontal: true },
+        DesignPoint {
+            name: "A",
+            rows_log2: 14,
+            keys_per_row: 96,
+            slices: 4,
+            horizontal: false,
+        },
+        DesignPoint {
+            name: "B",
+            rows_log2: 14,
+            keys_per_row: 96,
+            slices: 5,
+            horizontal: false,
+        },
+        DesignPoint {
+            name: "C",
+            rows_log2: 14,
+            keys_per_row: 96,
+            slices: 4,
+            horizontal: true,
+        },
+        DesignPoint {
+            name: "D",
+            rows_log2: 14,
+            keys_per_row: 96,
+            slices: 5,
+            horizontal: true,
+        },
     ]
 }
 
@@ -231,6 +291,8 @@ mod tests {
 
     #[test]
     fn ip_end_to_end_small_scale() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
         let prefixes = generate(&BgpConfig::scaled(3_000));
         let weights = vec![1.0; prefixes.len()];
         let mut t = build_ip_table(&ip_designs()[0]);
@@ -238,8 +300,6 @@ mod tests {
         let report = t.load_report();
         assert_eq!(report.original_records, 3_000);
         // Every prefix must be findable by one of its member addresses.
-        use rand::rngs::SmallRng;
-        use rand::SeedableRng;
         let mut rng = SmallRng::seed_from_u64(1);
         for p in prefixes.iter().take(300) {
             let addr = p.random_member(&mut rng);

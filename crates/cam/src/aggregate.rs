@@ -79,7 +79,8 @@ pub fn aggregate(entries: &[PrefixEntry]) -> Aggregated {
     for e in entries {
         if is_prefix_shaped(&e.key) {
             // First occurrence wins for duplicate keys.
-            live.entry((prefix_len(&e.key), e.key.value())).or_insert(e.data);
+            live.entry((prefix_len(&e.key), e.key.value()))
+                .or_insert(e.data);
         } else {
             passthrough.push(*e);
         }
@@ -98,7 +99,11 @@ pub fn aggregate(entries: &[PrefixEntry]) -> Aggregated {
         let sib_bit = 1u128 << (bits - len);
         let zero_side = value & !sib_bit;
         let sibling = zero_side | sib_bit;
-        let other = if value & sib_bit == 0 { sibling } else { zero_side };
+        let other = if value & sib_bit == 0 {
+            sibling
+        } else {
+            zero_side
+        };
         let Some(&other_data) = live.get(&(len, other)) else {
             continue;
         };
@@ -176,7 +181,11 @@ mod tests {
     use ca_ram_core::key::SearchKey;
 
     fn p(addr: u32, len: u32, data: u64) -> PrefixEntry {
-        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        let dc = if len == 32 {
+            0
+        } else {
+            (1u128 << (32 - len)) - 1
+        };
         PrefixEntry {
             key: TernaryKey::ternary(u128::from(addr) & !dc, dc, 32),
             data,

@@ -51,11 +51,7 @@ impl BankedTcam {
     /// Panics if the selector produces more than 16 bank-index bits (65 536
     /// banks) or under the [`Tcam::new`] conditions.
     #[must_use]
-    pub fn new(
-        selector: Box<dyn IndexGenerator>,
-        bank_capacity: usize,
-        key_bits: u32,
-    ) -> Self {
+    pub fn new(selector: Box<dyn IndexGenerator>, bank_capacity: usize, key_bits: u32) -> Self {
         let bits = selector.index_bits();
         assert!(bits <= 16, "{bits} selector bits is too many banks");
         let banks = (0..(1usize << bits))
@@ -123,9 +119,7 @@ impl BankedTcam {
             if let Some(m) = bank.search(key) {
                 let better = match &best {
                     None => true,
-                    Some((_, cur)) => {
-                        m.entry.key.care_count() > cur.entry.key.care_count()
-                    }
+                    Some((_, cur)) => m.entry.key.care_count() > cur.entry.key.care_count(),
                 };
                 if better {
                     best = Some((u32::try_from(b).expect("bounded by 2^16"), m));
@@ -164,7 +158,11 @@ mod tests {
     use ca_ram_core::index::RangeSelect;
 
     fn prefix(value: u128, len: u32) -> TernaryKey {
-        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        let dc = if len == 32 {
+            0
+        } else {
+            (1u128 << (32 - len)) - 1
+        };
         TernaryKey::ternary(value, dc, 32)
     }
 
@@ -221,7 +219,7 @@ mod tests {
         let mut t = BankedTcam::new(Box::new(RangeSelect::new(30, 2)), 1, 32);
         t.insert(prefix(0x0000_0000, 2), 0).unwrap(); // bank 0 full
         assert!(t.insert(prefix(0x1000_0000, 4), 0).is_none()); // bank 0 again
-        // A /1 covering banks 0 and 1 must fail without writing bank 1.
+                                                                // A /1 covering banks 0 and 1 must fail without writing bank 1.
         assert!(t.insert(prefix(0x0000_0000, 1), 0).is_none());
         assert_eq!(t.len(), 1);
     }

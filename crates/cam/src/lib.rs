@@ -42,8 +42,8 @@ pub mod update;
 
 pub use aggregate::{aggregate, Aggregated, PrefixEntry};
 pub use banked::{BankedMatch, BankedTcam};
+pub use bcam::{BcamEntry, BinaryCam};
 pub use preclassified::{PreclassifiedCam, PreclassifiedEntry, PreclassifiedMatch};
 pub use precompute::{PrecomputedBcam, PrecomputedEntry, PrecomputedMatch};
-pub use bcam::{BcamEntry, BinaryCam};
 pub use tcam::{Tcam, TcamEntry, TcamMatch};
 pub use update::{SortedTcam, UpdateReceipt};

@@ -110,7 +110,10 @@ impl PreclassifiedCam {
     }
 
     fn category_of(&self, code: u64) -> Option<u32> {
-        self.c2cam.iter().find(|(c, _)| *c == code).map(|(_, cat)| *cat)
+        self.c2cam
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map(|(_, cat)| *cat)
     }
 
     /// Inserts an entry; the control-code CAM learns new codes on demand,

@@ -187,7 +187,11 @@ mod tests {
     use super::*;
 
     fn prefix(value: u128, len: u32) -> TernaryKey {
-        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        let dc = if len == 32 {
+            0
+        } else {
+            (1u128 << (32 - len)) - 1
+        };
         TernaryKey::ternary(value, dc, 32)
     }
 
@@ -202,7 +206,13 @@ mod tests {
     #[test]
     fn write_search_erase() {
         let mut t = Tcam::new(8, 32);
-        t.write(3, TcamEntry { key: prefix(0x0A00_0000, 8), data: 99 });
+        t.write(
+            3,
+            TcamEntry {
+                key: prefix(0x0A00_0000, 8),
+                data: 99,
+            },
+        );
         assert_eq!(t.len(), 1);
         let m = t.search(&SearchKey::new(0x0A01_0203, 32)).unwrap();
         assert_eq!(m.index, 3);
@@ -217,9 +227,27 @@ mod tests {
     fn priority_encoder_lpm() {
         // Sec. 4.1: LPM works when prefixes are sorted on prefix length.
         let mut t = Tcam::new(8, 32);
-        t.write(0, TcamEntry { key: prefix(0x0A0B_0C00, 24), data: 24 });
-        t.write(1, TcamEntry { key: prefix(0x0A0B_0000, 16), data: 16 });
-        t.write(2, TcamEntry { key: prefix(0x0A00_0000, 8), data: 8 });
+        t.write(
+            0,
+            TcamEntry {
+                key: prefix(0x0A0B_0C00, 24),
+                data: 24,
+            },
+        );
+        t.write(
+            1,
+            TcamEntry {
+                key: prefix(0x0A0B_0000, 16),
+                data: 16,
+            },
+        );
+        t.write(
+            2,
+            TcamEntry {
+                key: prefix(0x0A00_0000, 8),
+                data: 8,
+            },
+        );
         let m = t.search(&SearchKey::new(0x0A0B_0C0D, 32)).unwrap();
         assert_eq!(m.entry.data, 24);
         assert_eq!(m.match_count, 3);
@@ -233,8 +261,20 @@ mod tests {
     #[test]
     fn search_all_lists_every_match_in_priority_order() {
         let mut t = Tcam::new(4, 32);
-        t.write(1, TcamEntry { key: prefix(0x0A0B_0000, 16), data: 16 });
-        t.write(2, TcamEntry { key: prefix(0x0A00_0000, 8), data: 8 });
+        t.write(
+            1,
+            TcamEntry {
+                key: prefix(0x0A0B_0000, 16),
+                data: 16,
+            },
+        );
+        t.write(
+            2,
+            TcamEntry {
+                key: prefix(0x0A00_0000, 8),
+                data: 8,
+            },
+        );
         let all = t.search_all(&SearchKey::new(0x0A0B_0001, 32));
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].index, 1);
@@ -245,12 +285,22 @@ mod tests {
     #[test]
     fn masked_search_key() {
         let mut t = Tcam::new(4, 16);
-        t.write(0, TcamEntry { key: TernaryKey::binary(0xAB00, 16), data: 0 });
-        t.write(1, TcamEntry { key: TernaryKey::binary(0xAB01, 16), data: 1 });
+        t.write(
+            0,
+            TcamEntry {
+                key: TernaryKey::binary(0xAB00, 16),
+                data: 0,
+            },
+        );
+        t.write(
+            1,
+            TcamEntry {
+                key: TernaryKey::binary(0xAB01, 16),
+                data: 1,
+            },
+        );
         // Search ABXX (low byte don't-care) matches both; encoder picks 0.
-        let m = t
-            .search(&SearchKey::with_mask(0xAB00, 0x00FF, 16))
-            .unwrap();
+        let m = t.search(&SearchKey::with_mask(0xAB00, 0x00FF, 16)).unwrap();
         assert_eq!(m.index, 0);
         assert_eq!(m.match_count, 2);
     }

@@ -192,7 +192,11 @@ mod tests {
     use super::*;
 
     fn prefix(value: u128, len: u32) -> TernaryKey {
-        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        let dc = if len == 32 {
+            0
+        } else {
+            (1u128 << (32 - len)) - 1
+        };
         TernaryKey::ternary(value, dc, 32)
     }
 
@@ -276,7 +280,11 @@ mod tests {
             } else if t.len() < 250 {
                 let len = rng.gen_range(8..=32u32);
                 let addr = u128::from(rng.gen::<u32>())
-                    & !(if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 });
+                    & !(if len == 32 {
+                        0
+                    } else {
+                        (1u128 << (32 - len)) - 1
+                    });
                 let key = prefix(addr, len);
                 if t.insert(key, 0).is_some() {
                     // Duplicates are allowed by the device; track one copy.

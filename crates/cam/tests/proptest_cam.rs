@@ -11,13 +11,21 @@ use proptest::prelude::*;
 fn prefix_strategy() -> impl Strategy<Value = (u32, u32, u64)> {
     // (addr, len, data) with addr truncated to len.
     (any::<u32>(), 4u32..=32, 0u64..8).prop_map(|(addr, len, data)| {
-        let mask = if len == 32 { u32::MAX } else { !((1u32 << (32 - len)) - 1) };
+        let mask = if len == 32 {
+            u32::MAX
+        } else {
+            !((1u32 << (32 - len)) - 1)
+        };
         (addr & mask, len, data)
     })
 }
 
 fn key_of(addr: u32, len: u32) -> TernaryKey {
-    let dc = if len == 32 { 0u128 } else { (1u128 << (32 - len)) - 1 };
+    let dc = if len == 32 {
+        0u128
+    } else {
+        (1u128 << (32 - len)) - 1
+    };
     TernaryKey::ternary(u128::from(addr), dc, 32)
 }
 
@@ -27,7 +35,11 @@ fn reference_lpm(routes: &[(u32, u32, u64)], probe: u32) -> Option<u64> {
     routes
         .iter()
         .filter(|&&(addr, len, _)| {
-            let mask = if len == 32 { u32::MAX } else { !((1u32 << (32 - len)) - 1) };
+            let mask = if len == 32 {
+                u32::MAX
+            } else {
+                !((1u32 << (32 - len)) - 1)
+            };
             probe & mask == addr
         })
         .max_by(|a, b| a.1.cmp(&b.1))

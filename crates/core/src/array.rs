@@ -62,7 +62,11 @@ impl MemoryArray {
     }
 
     fn row_range(&self, row: u64) -> core::ops::Range<usize> {
-        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
         let start = usize::try_from(row * u64::from(self.row_words)).expect("checked at new");
         start..start + self.row_words as usize
     }
@@ -173,7 +177,10 @@ mod tests {
         let mut a = MemoryArray::new(2, 64);
         assert!(matches!(
             a.read_word(2),
-            Err(CaRamError::AddressOutOfRange { address: 2, words: 2 })
+            Err(CaRamError::AddressOutOfRange {
+                address: 2,
+                words: 2
+            })
         ));
         assert!(a.write_word(100, 0).is_err());
     }

@@ -11,6 +11,7 @@
 ///
 /// Panics if `bits > 128`.
 #[must_use]
+#[inline]
 pub fn low_mask(bits: u32) -> u128 {
     assert!(bits <= 128, "mask width {bits} exceeds 128 bits");
     if bits == 128 {
@@ -26,6 +27,7 @@ pub fn low_mask(bits: u32) -> u128 {
 ///
 /// Panics if `width > 128` or the field extends past the end of `words`.
 #[must_use]
+#[inline]
 #[allow(clippy::cast_possible_truncation)] // offset % 64 < 64; masked chunks
 pub fn read_bits(words: &[u64], offset: usize, width: u32) -> u128 {
     assert!(width <= 128, "field width {width} exceeds 128 bits");
@@ -38,10 +40,16 @@ pub fn read_bits(words: &[u64], offset: usize, width: u32) -> u128 {
         "field [{offset}, {end}) extends past the row ({} bits)",
         words.len() * 64
     );
-    let mut value: u128 = 0;
-    let mut got: u32 = 0;
     let mut word_idx = offset / 64;
     let mut bit_idx = (offset % 64) as u32;
+    // Fast path: the field lives entirely in one word. Slot layouts are
+    // word-aligned in the common designs (e.g. 64-bit IP slots), so the
+    // search hot path takes this branch for every key/mask/data read.
+    if bit_idx + width <= 64 {
+        return u128::from(words[word_idx] >> bit_idx) & low_mask(width);
+    }
+    let mut value: u128 = 0;
+    let mut got: u32 = 0;
     while got < width {
         let take = (64 - bit_idx).min(width - got);
         let chunk = u128::from(words[word_idx] >> bit_idx) & low_mask(take);
@@ -73,9 +81,19 @@ pub fn write_bits(words: &mut [u64], offset: usize, width: u32, value: u128) {
         words.len() * 64
     );
     let value = value & low_mask(width);
-    let mut put: u32 = 0;
     let mut word_idx = offset / 64;
     let mut bit_idx = (offset % 64) as u32;
+    // Single-word fast path, mirroring `read_bits`.
+    if bit_idx + width <= 64 {
+        let clear = if width == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << bit_idx
+        };
+        words[word_idx] = (words[word_idx] & !clear) | ((value as u64) << bit_idx);
+        return;
+    }
+    let mut put: u32 = 0;
     while put < width {
         let take = (64 - bit_idx).min(width - put);
         let chunk = ((value >> put) & low_mask(take)) as u64;
@@ -144,6 +162,55 @@ mod tests {
         write_bits(&mut row, 5, 0, 0x123);
         assert_eq!(read_bits(&row, 5, 0), 0);
         assert_eq!(row[0], u64::MAX);
+    }
+
+    /// Bit-at-a-time reference for cross-checking both `read_bits` paths.
+    fn read_bits_reference(words: &[u64], offset: usize, width: u32) -> u128 {
+        let mut v = 0u128;
+        for i in 0..width as usize {
+            let bit = offset + i;
+            v |= u128::from(words[bit / 64] >> (bit % 64) & 1) << i;
+        }
+        v
+    }
+
+    #[test]
+    fn fast_and_general_paths_agree() {
+        // A fixed pseudo-random row; every (offset, width) combination with
+        // width <= 64 exercises either the single-word fast path or the
+        // straddling loop, and both must agree with the reference.
+        let row: Vec<u64> = (0..4u64)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i * 2 + 1))
+            .collect();
+        for offset in 0..192 {
+            for width in [1u32, 5, 17, 32, 33, 63, 64] {
+                if offset + width as usize > 256 {
+                    continue;
+                }
+                assert_eq!(
+                    read_bits(&row, offset, width),
+                    read_bits_reference(&row, offset, width),
+                    "offset {offset} width {width}"
+                );
+                // Round-trip through write_bits on a dirty row.
+                let mut scratch = vec![u64::MAX; 4];
+                let v = read_bits(&row, offset, width);
+                write_bits(&mut scratch, offset, width, v);
+                assert_eq!(read_bits(&scratch, offset, width), v);
+                // Neighbouring bits untouched.
+                if offset > 0 {
+                    assert_eq!(read_bits(&scratch, 0, 1), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_full_word_round_trip() {
+        let mut row = vec![0u64; 2];
+        write_bits(&mut row, 64, 64, u128::from(u64::MAX));
+        assert_eq!(row, vec![0, u64::MAX]);
+        assert_eq!(read_bits(&row, 64, 64), u128::from(u64::MAX));
     }
 
     #[test]

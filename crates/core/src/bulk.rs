@@ -16,10 +16,11 @@
 
 use crate::key::SearchKey;
 use crate::layout::Record;
-use crate::table::CaRamTable;
+use crate::table::{effective_threads, CaRamTable};
+use std::ops::Range;
 
 /// Outcome of a bulk operation: what it found/changed and what it cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BulkReceipt {
     /// Records visited (valid slots).
     pub records_visited: u64,
@@ -30,27 +31,84 @@ pub struct BulkReceipt {
     pub rows_accessed: u64,
 }
 
+impl BulkReceipt {
+    /// Folds another receipt in — partitioned scans sum their shards.
+    fn absorb(&mut self, other: &BulkReceipt) {
+        self.records_visited += other.records_visited;
+        self.records_affected += other.records_affected;
+        self.rows_accessed += other.rows_accessed;
+    }
+}
+
+/// Splits `0..buckets` into up to `threads` contiguous, disjoint ranges
+/// covering every bucket exactly once.
+fn bucket_partitions(buckets: u64, threads: usize) -> Vec<Range<u64>> {
+    let threads = effective_threads(threads, usize::try_from(buckets).unwrap_or(usize::MAX)) as u64;
+    let chunk = buckets.div_ceil(threads.max(1));
+    (0..threads)
+        .map(|i| (i * chunk).min(buckets)..((i + 1) * chunk).min(buckets))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
 impl CaRamTable {
-    /// Visits every stored record (main array, bucket-major, priority
-    /// order within buckets), calling `visit(bucket, slot, record)`.
-    /// Records in the parallel overflow area are *not* visited — they live
-    /// outside the scannable array, as in hardware.
-    pub fn for_each_record<F>(&self, mut visit: F) -> BulkReceipt
+    /// Scans one contiguous bucket range — the shard unit of the bulk ops.
+    fn scan_bucket_range<F>(&self, buckets: Range<u64>, mut visit: F) -> BulkReceipt
     where
         F: FnMut(u64, u32, &Record),
     {
-        let mut receipt = BulkReceipt {
-            records_visited: 0,
-            records_affected: 0,
-            rows_accessed: 0,
-        };
-        for bucket in 0..self.logical_buckets() {
+        let mut receipt = BulkReceipt::default();
+        for bucket in buckets {
             receipt.rows_accessed += 1;
             for (slot, record) in self.bucket_entries(bucket) {
                 receipt.records_visited += 1;
                 visit(bucket, slot, &record);
             }
         }
+        receipt
+    }
+
+    /// Visits every stored record (main array, bucket-major, priority
+    /// order within buckets), calling `visit(bucket, slot, record)`.
+    /// Records in the parallel overflow area are *not* visited — they live
+    /// outside the scannable array, as in hardware.
+    pub fn for_each_record<F>(&self, visit: F) -> BulkReceipt
+    where
+        F: FnMut(u64, u32, &Record),
+    {
+        self.scan_bucket_range(0..self.logical_buckets(), visit)
+    }
+
+    /// Parallel [`CaRamTable::for_each_record`]: shards the bucket space
+    /// into contiguous disjoint ranges across `threads` scoped workers
+    /// (`0` = one per available CPU). `visit` is shared, so it observes
+    /// records from different shards interleaved — within a shard the
+    /// order is still bucket-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (i.e. if `visit` does).
+    pub fn for_each_record_parallel<F>(&self, visit: F, threads: usize) -> BulkReceipt
+    where
+        F: Fn(u64, u32, &Record) + Sync,
+    {
+        let parts = bucket_partitions(self.logical_buckets(), threads);
+        if parts.len() <= 1 {
+            return self.for_each_record(&visit);
+        }
+        let mut receipt = BulkReceipt::default();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = parts
+                .into_iter()
+                .map(|range| {
+                    let visit = &visit;
+                    scope.spawn(move || self.scan_bucket_range(range, visit))
+                })
+                .collect();
+            for worker in workers {
+                receipt.absorb(&worker.join().expect("bulk scan worker panicked"));
+            }
+        });
         receipt
     }
 
@@ -76,6 +134,50 @@ impl CaRamTable {
         (count, receipt)
     }
 
+    /// Parallel [`CaRamTable::count_matching`]: each worker counts its own
+    /// bucket shard; the shard counts and receipts are summed, so the
+    /// result is identical to the serial count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the table's key width.
+    #[must_use]
+    pub fn count_matching_parallel(
+        &self,
+        pattern: &SearchKey,
+        threads: usize,
+    ) -> (u64, BulkReceipt) {
+        let parts = bucket_partitions(self.logical_buckets(), threads);
+        if parts.len() <= 1 {
+            return self.count_matching(pattern);
+        }
+        let mut count = 0u64;
+        let mut receipt = BulkReceipt::default();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = parts
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut shard_count = 0u64;
+                        let shard = self.scan_bucket_range(range, |_, _, record| {
+                            if record.key.matches(pattern) {
+                                shard_count += 1;
+                            }
+                        });
+                        (shard_count, shard)
+                    })
+                })
+                .collect();
+            for worker in workers {
+                let (shard_count, shard) = worker.join().expect("bulk count worker panicked");
+                count += shard_count;
+                receipt.absorb(&shard);
+            }
+        });
+        receipt.records_affected = count;
+        (count, receipt)
+    }
+
     /// Collects every record satisfying `predicate` (an arbitrary
     /// evaluation over key and data, beyond what hardware masking can
     /// express — the "more advanced functionality" of Sec. 3.1).
@@ -87,6 +189,49 @@ impl CaRamTable {
         let mut receipt = self.for_each_record(|_, _, record| {
             if predicate(record) {
                 out.push(*record);
+            }
+        });
+        receipt.records_affected = out.len() as u64;
+        (out, receipt)
+    }
+
+    /// Parallel [`CaRamTable::select`]: workers collect per-shard vectors
+    /// which are concatenated in partition order, so the returned records
+    /// appear in exactly the serial (bucket-major) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (i.e. if `predicate` does).
+    pub fn select_parallel<P>(&self, predicate: P, threads: usize) -> (Vec<Record>, BulkReceipt)
+    where
+        P: Fn(&Record) -> bool + Sync,
+    {
+        let parts = bucket_partitions(self.logical_buckets(), threads);
+        if parts.len() <= 1 {
+            return self.select(&predicate);
+        }
+        let mut out = Vec::new();
+        let mut receipt = BulkReceipt::default();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = parts
+                .into_iter()
+                .map(|range| {
+                    let predicate = &predicate;
+                    scope.spawn(move || {
+                        let mut shard_out = Vec::new();
+                        let shard = self.scan_bucket_range(range, |_, _, record| {
+                            if predicate(record) {
+                                shard_out.push(*record);
+                            }
+                        });
+                        (shard_out, shard)
+                    })
+                })
+                .collect();
+            for worker in workers {
+                let (shard_out, shard) = worker.join().expect("bulk select worker panicked");
+                out.extend(shard_out);
+                receipt.absorb(&shard);
             }
         });
         receipt.records_affected = out.len() as u64;
@@ -124,6 +269,66 @@ impl CaRamTable {
                     receipt.records_affected += 1;
                 }
             }
+        }
+        receipt
+    }
+
+    /// Parallel [`CaRamTable::update_matching`]: the scan (match + compute
+    /// new data) runs across sharded workers, mirroring the hardware where
+    /// evaluation happens in the per-slice match processors; the slot
+    /// rewrites are then applied serially, like the single write port of
+    /// the array. The result is identical to the serial update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the table's key width, or
+    /// if `update` produces data wider than the layout's data field.
+    pub fn update_matching_parallel<F>(
+        &mut self,
+        pattern: &SearchKey,
+        update: F,
+        threads: usize,
+    ) -> BulkReceipt
+    where
+        F: Fn(u64) -> u64 + Sync,
+    {
+        let parts = bucket_partitions(self.logical_buckets(), threads);
+        if parts.len() <= 1 {
+            return self.update_matching(pattern, &update);
+        }
+        let mut pending: Vec<(u64, u32, u64)> = Vec::new();
+        let mut receipt = BulkReceipt::default();
+        std::thread::scope(|scope| {
+            let table = &*self;
+            let workers: Vec<_> = parts
+                .into_iter()
+                .map(|range| {
+                    let update = &update;
+                    scope.spawn(move || {
+                        let mut shard_pending = Vec::new();
+                        let mut affected = 0u64;
+                        let mut shard = table.scan_bucket_range(range, |bucket, slot, record| {
+                            if record.key.matches(pattern) {
+                                affected += 1;
+                                let new_data = update(record.data);
+                                if new_data != record.data {
+                                    shard_pending.push((bucket, slot, new_data));
+                                }
+                            }
+                        });
+                        shard.records_affected = affected;
+                        (shard_pending, shard)
+                    })
+                })
+                .collect();
+            for worker in workers {
+                let (shard_pending, shard) = worker.join().expect("bulk update worker panicked");
+                pending.extend(shard_pending);
+                receipt.absorb(&shard);
+            }
+        });
+        for (bucket, slot, new_data) in pending {
+            self.rewrite_slot_data(bucket, slot, new_data);
         }
         receipt
     }
@@ -169,9 +374,7 @@ mod tests {
         // Mask: care bits = low 4 bits; everything else don't-care.
         let pattern = SearchKey::with_mask(0x3, !0xF & 0xFFFF, 16);
         let (count, receipt) = t.count_matching(&pattern);
-        let brute = (0u128..40)
-            .filter(|i| (i | 0x100) & 0xF == 0x3)
-            .count() as u64;
+        let brute = (0u128..40).filter(|i| (i | 0x100) & 0xF == 0x3).count() as u64;
         assert_eq!(count, brute);
         assert_eq!(receipt.records_affected, count);
         assert_eq!(receipt.rows_accessed, 16);
@@ -215,13 +418,69 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scan_matches_serial_receipt_and_coverage() {
+        let t = table();
+        let serial = t.for_each_record(|_, _, _| {});
+        for threads in [0, 1, 2, 3, 5] {
+            let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+            let receipt = t.for_each_record_parallel(
+                |_, _, r| {
+                    assert!(
+                        seen.lock().unwrap().insert(r.key.value()),
+                        "duplicate visit"
+                    );
+                },
+                threads,
+            );
+            assert_eq!(receipt, serial, "threads={threads}");
+            assert_eq!(seen.lock().unwrap().len(), 40);
+        }
+    }
+
+    #[test]
+    fn parallel_count_matches_serial() {
+        let t = table();
+        let pattern = SearchKey::with_mask(0x3, !0xF & 0xFFFF, 16);
+        let serial = t.count_matching(&pattern);
+        for threads in [0, 2, 7] {
+            assert_eq!(t.count_matching_parallel(&pattern, threads), serial);
+        }
+    }
+
+    #[test]
+    fn parallel_select_preserves_serial_order() {
+        let t = table();
+        let serial = t.select(|r| r.data % 30 == 0);
+        for threads in [0, 2, 3] {
+            let parallel = t.select_parallel(|r| r.data % 30 == 0, threads);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_update_matches_serial() {
+        let pattern = SearchKey::with_mask(0, !0xF & 0xFFFF, 16);
+        let mut serial_t = table();
+        let serial = serial_t.update_matching(&pattern, |d| d * 2 + 1);
+        for threads in [0, 2, 5] {
+            let mut t = table();
+            let receipt = t.update_matching_parallel(&pattern, |d| d * 2 + 1, threads);
+            assert_eq!(receipt, serial, "threads={threads}");
+            let (a, _) = t.select(|_| true);
+            let (b, _) = serial_t.select(|_| true);
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn bulk_scan_skips_parallel_overflow_area() {
         let layout = RecordLayout::new(16, false, 8);
         let mut config = TableConfig::single_slice(2, layout.slot_bits(), layout);
         config.overflow = OverflowPolicy::ParallelArea { capacity: 8 };
         let mut t = CaRamTable::new(config, Box::new(RangeSelect::new(0, 2))).unwrap();
         for i in 0..6u128 {
-            t.insert(Record::new(TernaryKey::binary(i << 4, 16), 0)).unwrap();
+            t.insert(Record::new(TernaryKey::binary(i << 4, 16), 0))
+                .unwrap();
         }
         assert!(t.overflow_count() > 0);
         let receipt = t.for_each_record(|_, _, _| {});

@@ -101,17 +101,12 @@ impl ReconfigurableSlice {
     /// * [`CaRamError::BadConfig`] — unsupported key size, oversized data
     ///   width, or a committed layout that does not fit one slot per row.
     pub fn write_register(&mut self, address: u64, value: u64) -> Result<()> {
-        let reg = ControlRegister::from_address(address).ok_or(
-            CaRamError::AddressOutOfRange {
-                address,
-                words: 4,
-            },
-        )?;
+        let reg = ControlRegister::from_address(address)
+            .ok_or(CaRamError::AddressOutOfRange { address, words: 4 })?;
         match reg {
             ControlRegister::KeyBytes => {
-                let bytes = u8::try_from(value).map_err(|_| {
-                    CaRamError::BadConfig(format!("key size {value} out of range"))
-                })?;
+                let bytes = u8::try_from(value)
+                    .map_err(|_| CaRamError::BadConfig(format!("key size {value} out of range")))?;
                 if !SUPPORTED_KEY_BYTES.contains(&bytes) {
                     return Err(CaRamError::BadConfig(format!(
                         "key size {bytes} bytes unsupported; pick one of {SUPPORTED_KEY_BYTES:?}"
@@ -125,9 +120,12 @@ impl ReconfigurableSlice {
                 Ok(())
             }
             ControlRegister::DataBits => {
-                let bits = u8::try_from(value).ok().filter(|&b| b <= 64).ok_or_else(|| {
-                    CaRamError::BadConfig(format!("data width {value} out of range"))
-                })?;
+                let bits = u8::try_from(value)
+                    .ok()
+                    .filter(|&b| b <= 64)
+                    .ok_or_else(|| {
+                        CaRamError::BadConfig(format!("data width {value} out of range"))
+                    })?;
                 self.staged_data_bits = bits;
                 Ok(())
             }
@@ -142,12 +140,8 @@ impl ReconfigurableSlice {
     ///
     /// Returns [`CaRamError::AddressOutOfRange`] for an unknown register.
     pub fn read_register(&self, address: u64) -> Result<u64> {
-        let reg = ControlRegister::from_address(address).ok_or(
-            CaRamError::AddressOutOfRange {
-                address,
-                words: 4,
-            },
-        )?;
+        let reg = ControlRegister::from_address(address)
+            .ok_or(CaRamError::AddressOutOfRange { address, words: 4 })?;
         Ok(match reg {
             ControlRegister::KeyBytes => u64::from(self.staged_key_bytes),
             ControlRegister::TernaryEnable => u64::from(self.staged_ternary),
@@ -158,7 +152,11 @@ impl ReconfigurableSlice {
 
     fn commit(&mut self) -> Result<()> {
         let key_bits = u32::from(self.staged_key_bytes) * 8;
-        let layout = RecordLayout::new(key_bits, self.staged_ternary, u32::from(self.staged_data_bits));
+        let layout = RecordLayout::new(
+            key_bits,
+            self.staged_ternary,
+            u32::from(self.staged_data_bits),
+        );
         if layout.slot_bits() > self.row_bits {
             return Err(CaRamError::BadConfig(format!(
                 "a {}-bit slot does not fit the {}-bit row",
@@ -198,7 +196,8 @@ mod tests {
     fn reconfigure_key_size_changes_slot_count() {
         let mut s = slice();
         assert_eq!(s.slice().slots_per_row(), 50); // 1600 / 32
-        s.write_register(ControlRegister::KeyBytes as u64, 8).unwrap();
+        s.write_register(ControlRegister::KeyBytes as u64, 8)
+            .unwrap();
         s.write_register(ControlRegister::Commit as u64, 1).unwrap();
         assert_eq!(s.slice().slots_per_row(), 25); // 1600 / 64
         assert_eq!(s.read_register(ControlRegister::Commit as u64).unwrap(), 25);
@@ -207,11 +206,16 @@ mod tests {
     #[test]
     fn staging_without_commit_changes_nothing() {
         let mut s = slice();
-        s.write_register(ControlRegister::KeyBytes as u64, 16).unwrap();
-        s.write_register(ControlRegister::TernaryEnable as u64, 1).unwrap();
+        s.write_register(ControlRegister::KeyBytes as u64, 16)
+            .unwrap();
+        s.write_register(ControlRegister::TernaryEnable as u64, 1)
+            .unwrap();
         assert_eq!(s.slice().slots_per_row(), 50);
         assert!(!s.slice().layout().is_ternary());
-        assert_eq!(s.read_register(ControlRegister::KeyBytes as u64).unwrap(), 16);
+        assert_eq!(
+            s.read_register(ControlRegister::KeyBytes as u64).unwrap(),
+            16
+        );
     }
 
     #[test]
@@ -227,14 +231,13 @@ mod tests {
     #[test]
     fn ternary_halves_slots_and_enables_masked_keys() {
         let mut s = slice();
-        s.write_register(ControlRegister::TernaryEnable as u64, 1).unwrap();
+        s.write_register(ControlRegister::TernaryEnable as u64, 1)
+            .unwrap();
         s.write_register(ControlRegister::Commit as u64, 1).unwrap();
         assert_eq!(s.slice().slots_per_row(), 25); // 64 stored bits per key
         let key = TernaryKey::ternary(0xAB00_0000, 0xFF_FFFF, 32);
         s.slice_mut().append_record(3, &Record::new(key, 0));
-        let hit = s
-            .slice()
-            .search_bucket(3, &SearchKey::new(0xAB12_3456, 32));
+        let hit = s.slice().search_bucket(3, &SearchKey::new(0xAB12_3456, 32));
         assert!(hit.is_some());
     }
 
@@ -256,8 +259,11 @@ mod tests {
     #[test]
     fn slot_count_above_simulator_cap_rejected() {
         let mut s = slice(); // 1600-bit rows: 1-byte keys would need 200 slots
-        s.write_register(ControlRegister::KeyBytes as u64, 1).unwrap();
-        let err = s.write_register(ControlRegister::Commit as u64, 1).unwrap_err();
+        s.write_register(ControlRegister::KeyBytes as u64, 1)
+            .unwrap();
+        let err = s
+            .write_register(ControlRegister::Commit as u64, 1)
+            .unwrap_err();
         assert!(matches!(err, CaRamError::BadConfig(_)));
         assert_eq!(s.slice().slots_per_row(), 50, "old layout stays live");
     }
@@ -281,9 +287,15 @@ mod tests {
         // A slot larger than the row: 16-byte ternary keys + 64-bit data
         // in a narrow row.
         let mut narrow = ReconfigurableSlice::new(2, 256, RecordLayout::new(32, false, 0));
-        narrow.write_register(ControlRegister::KeyBytes as u64, 16).unwrap();
-        narrow.write_register(ControlRegister::TernaryEnable as u64, 1).unwrap();
-        narrow.write_register(ControlRegister::DataBits as u64, 64).unwrap();
+        narrow
+            .write_register(ControlRegister::KeyBytes as u64, 16)
+            .unwrap();
+        narrow
+            .write_register(ControlRegister::TernaryEnable as u64, 1)
+            .unwrap();
+        narrow
+            .write_register(ControlRegister::DataBits as u64, 64)
+            .unwrap();
         assert!(matches!(
             narrow.write_register(ControlRegister::Commit as u64, 1),
             Err(CaRamError::BadConfig(_))

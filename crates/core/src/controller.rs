@@ -87,10 +87,17 @@ where
     assert!(config.slices > 0, "need at least one slice");
     assert!(config.nmem > 0, "nmem must be at least one cycle");
     assert!(config.accepts_per_cycle > 0, "port must accept something");
-    assert!(config.queue_depth > 0, "queue must hold at least one request");
+    assert!(
+        config.queue_depth > 0,
+        "queue must hold at least one request"
+    );
 
     let mut pending = requests.into_iter().inspect(|&s| {
-        assert!(s < config.slices, "request targets slice {s} of {}", config.slices);
+        assert!(
+            s < config.slices,
+            "request targets slice {s} of {}",
+            config.slices
+        );
     });
     let mut queue: VecDeque<u32> = VecDeque::new();
     let mut busy_until = vec![0u64; config.slices as usize];
@@ -225,7 +232,11 @@ where
     );
     let arrivals: Vec<u32> = requests.into_iter().collect();
     for &s in &arrivals {
-        assert!(s < config.slices, "request targets slice {s} of {}", config.slices);
+        assert!(
+            s < config.slices,
+            "request targets slice {s} of {}",
+            config.slices
+        );
     }
     let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
     let mut queue: VecDeque<(u64, u32)> = VecDeque::new(); // (arrival cycle, slice)
@@ -234,8 +245,7 @@ where
     let mut next_arrival: u64 = 0;
     let mut arrived = 0usize;
 
-    while arrived < arrivals.len() || !queue.is_empty() || busy_until.iter().any(|&b| b > cycle)
-    {
+    while arrived < arrivals.len() || !queue.is_empty() || busy_until.iter().any(|&b| b > cycle) {
         // Arrivals scheduled for this cycle (drop-free infinite source
         // buffer: latency includes any wait for queue space).
         while arrived < arrivals.len() && next_arrival <= cycle * interarrival_den {
@@ -284,7 +294,11 @@ where
         p50_cycles: latencies.get(n / 2).copied().unwrap_or(0),
         p99_cycles: latencies.get(n * 99 / 100).copied().unwrap_or(0),
         max_cycles: latencies.last().copied().unwrap_or(0),
-        throughput: if cycle == 0 { 0.0 } else { n as f64 / cycle as f64 },
+        throughput: if cycle == 0 {
+            0.0
+        } else {
+            n as f64 / cycle as f64
+        },
     }
 }
 
@@ -294,7 +308,9 @@ mod tests {
 
     fn uniform_requests(n: usize, slices: u32) -> Vec<u32> {
         // Deterministic round-robin = perfectly uniform traffic.
-        (0..n).map(|i| u32::try_from(i).unwrap_or(0) % slices).collect()
+        (0..n)
+            .map(|i| u32::try_from(i).unwrap_or(0) % slices)
+            .collect()
     }
 
     #[test]
@@ -348,7 +364,13 @@ mod tests {
             head_of_line: false,
         };
         let ooo = simulate(base, pattern.clone());
-        let hol = simulate(QueueModelConfig { head_of_line: true, ..base }, pattern);
+        let hol = simulate(
+            QueueModelConfig {
+                head_of_line: true,
+                ..base
+            },
+            pattern,
+        );
         assert!(
             ooo.searches_per_cycle() > hol.searches_per_cycle(),
             "ooo {:.3} vs hol {:.3}",
@@ -390,7 +412,11 @@ mod tests {
         };
         let report = simulate_latency(config, 20, 1, uniform_requests(500, 4));
         assert_eq!(report.completed, 500);
-        assert!((report.mean_cycles - 7.0).abs() < 0.1, "{:.2}", report.mean_cycles);
+        assert!(
+            (report.mean_cycles - 7.0).abs() < 0.1,
+            "{:.2}",
+            report.mean_cycles
+        );
         assert_eq!(report.p99_cycles, 7);
     }
 
@@ -437,7 +463,11 @@ mod tests {
             head_of_line: false,
         };
         let report = simulate_latency(config, 1, 1, uniform_requests(10_000, 4));
-        assert!((report.throughput - 4.0 / 6.0).abs() < 0.03, "{:.3}", report.throughput);
+        assert!(
+            (report.throughput - 4.0 / 6.0).abs() < 0.03,
+            "{:.3}",
+            report.throughput
+        );
         assert!(report.max_cycles >= report.p99_cycles);
         assert!(report.p99_cycles >= report.p50_cycles);
     }

@@ -47,7 +47,10 @@ impl fmt::Display for CaRamError {
                 "no free slot within {buckets_probed} bucket(s) of home bucket {home_bucket}"
             ),
             CaRamError::KeyWidthMismatch { expected, got } => {
-                write!(f, "key width {got} does not match the layout width {expected}")
+                write!(
+                    f,
+                    "key width {got} does not match the layout width {expected}"
+                )
             }
             CaRamError::TernaryNotEnabled => {
                 write!(f, "ternary key presented to a binary table")
@@ -81,14 +84,12 @@ mod tests {
             got: 64,
         };
         assert!(e.to_string().contains("64"));
-        assert!(
-            CaRamError::AddressOutOfRange {
-                address: 100,
-                words: 10
-            }
-            .to_string()
-            .contains("100")
-        );
+        assert!(CaRamError::AddressOutOfRange {
+            address: 100,
+            words: 10
+        }
+        .to_string()
+        .contains("100"));
         assert!(!CaRamError::TernaryNotEnabled.to_string().is_empty());
         assert!(CaRamError::BadConfig("x".into()).to_string().contains('x'));
     }

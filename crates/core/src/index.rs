@@ -127,8 +127,15 @@ impl RangeSelect {
     /// Panics if `count` is 0 or ≥ 64, or the field exceeds 128 bits.
     #[must_use]
     pub fn new(low: u32, count: u32) -> Self {
-        assert!(count > 0 && count < 64, "index width must be in 1..=63 bits");
-        assert!(low + count <= 128, "field [{low}, {}) out of range", low + count);
+        assert!(
+            count > 0 && count < 64,
+            "index width must be in 1..=63 bits"
+        );
+        assert!(
+            low + count <= 128,
+            "field [{low}, {}) out of range",
+            low + count
+        );
         Self { low, count }
     }
 
@@ -141,7 +148,10 @@ impl RangeSelect {
     /// Panics if `r` is 0 or greater than 16.
     #[must_use]
     pub fn ip_first16_last(r: u32) -> Self {
-        assert!(r > 0 && r <= 16, "the paper restricts hash bits to the first 16");
+        assert!(
+            r > 0 && r <= 16,
+            "the paper restricts hash bits to the first 16"
+        );
         Self::new(16, r)
     }
 }
@@ -184,7 +194,10 @@ impl DjbHash {
     /// Panics if `index_bits` is 0 or ≥ 64, or `key_bytes` is 0 or > 16.
     #[must_use]
     pub fn new(index_bits: u32, key_bytes: u32) -> Self {
-        assert!(index_bits > 0 && index_bits < 64, "index width must be in 1..=63 bits");
+        assert!(
+            index_bits > 0 && index_bits < 64,
+            "index width must be in 1..=63 bits"
+        );
         assert!(key_bytes > 0 && key_bytes <= 16, "key must be 1..=16 bytes");
         Self {
             index_bits,
@@ -239,7 +252,10 @@ impl XorFold {
     /// Panics if `index_bits` is 0 or ≥ 64.
     #[must_use]
     pub fn new(index_bits: u32) -> Self {
-        assert!(index_bits > 0 && index_bits < 64, "index width must be in 1..=63 bits");
+        assert!(
+            index_bits > 0 && index_bits < 64,
+            "index width must be in 1..=63 bits"
+        );
         Self { index_bits }
     }
 }
@@ -267,6 +283,95 @@ impl IndexGenerator for XorFold {
     }
 }
 
+/// Inline capacity of a [`BucketList`]: lists of at most this many buckets
+/// never touch the heap. The common lookup (no don't-care bits in the hash
+/// positions) has exactly one home bucket.
+pub const INLINE_BUCKETS: usize = 8;
+
+/// A small-buffer list of bucket indices. Up to [`INLINE_BUCKETS`] entries
+/// live on the stack; longer lists spill to a heap `Vec` that is retained
+/// across [`BucketList::clear`], so a reused list allocates at most once —
+/// the search hot path performs no per-lookup allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BucketList {
+    inline: [u64; INLINE_BUCKETS],
+    len: usize,
+    spill: Vec<u64>,
+}
+
+impl BucketList {
+    /// Creates an empty list. Does not allocate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the list, keeping any spill capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Appends a bucket index.
+    pub fn push(&mut self, bucket: u64) {
+        if !self.spill.is_empty() {
+            self.spill.push(bucket);
+        } else if self.len < INLINE_BUCKETS {
+            self.inline[self.len] = bucket;
+            self.len += 1;
+        } else {
+            // First spill: migrate the inline entries so the live data is
+            // contiguous in exactly one of the two buffers.
+            self.spill.reserve(INLINE_BUCKETS * 2);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(bucket);
+            self.len = 0;
+        }
+    }
+
+    /// The bucket indices as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn active_mut(&mut self) -> &mut [u64] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Sorts the list and removes duplicates.
+    pub fn sort_dedup(&mut self) {
+        self.active_mut().sort_unstable();
+        if self.spill.is_empty() {
+            let mut kept = 0;
+            for i in 0..self.len {
+                if i == 0 || self.inline[i] != self.inline[kept - 1] {
+                    self.inline[kept] = self.inline[i];
+                    kept += 1;
+                }
+            }
+            self.len = kept;
+        } else {
+            self.spill.dedup();
+        }
+    }
+
+    /// Applies `bucket % modulus` to every entry (bucket-space reduction).
+    pub fn map_mod(&mut self, modulus: u64) {
+        for b in self.active_mut() {
+            *b %= modulus;
+        }
+    }
+}
+
 /// The home buckets a stored key occupies, or a masked search key must
 /// probe.
 ///
@@ -283,33 +388,57 @@ impl IndexGenerator for XorFold {
 /// Panics if more than 20 hash bits are don't-care (2^20 buckets), which
 /// indicates a mis-designed hash function rather than a workload property.
 #[must_use]
-pub fn buckets_for_masked_search(
+pub fn buckets_for_masked_search(key: &SearchKey, generator: &dyn IndexGenerator) -> Vec<u64> {
+    let mut out = BucketList::new();
+    buckets_for_masked_search_into(key, generator, &mut out);
+    out.as_slice().to_vec()
+}
+
+/// Allocation-free form of [`buckets_for_masked_search`]: the (sorted,
+/// deduplicated) buckets are written into `out`, which is cleared first.
+/// With no don't-care hash bits the single home bucket stays in `out`'s
+/// inline buffer and no heap allocation occurs.
+///
+/// # Panics
+///
+/// As [`buckets_for_masked_search`].
+pub fn buckets_for_masked_search_into(
     key: &SearchKey,
     generator: &dyn IndexGenerator,
-) -> Vec<u64> {
+    out: &mut BucketList,
+) {
+    out.clear();
     let Some(consumed) = generator.consumed_bits() else {
-        return vec![generator.index(key.value())];
+        out.push(generator.index(key.value()));
+        return;
     };
     let free = key.dont_care() & consumed & low_mask(key.bits());
     let n = free.count_ones();
-    assert!(n <= 20, "{n} don't-care hash bits would probe 2^{n} buckets");
+    assert!(
+        n <= 20,
+        "{n} don't-care hash bits would probe 2^{n} buckets"
+    );
     if n == 0 {
-        return vec![generator.index(key.value())];
+        out.push(generator.index(key.value()));
+        return;
     }
-    let positions: Vec<u32> = (0..key.bits()).filter(|&b| free >> b & 1 == 1).collect();
-    let mut out = Vec::with_capacity(1 << n);
     for combo in 0u64..(1 << n) {
+        // Scatter the combo bits over the free positions without a
+        // materialized position list.
         let mut value = key.value();
-        for (i, &p) in positions.iter().enumerate() {
+        let mut rest = free;
+        let mut i = 0u32;
+        while rest != 0 {
+            let p = rest.trailing_zeros();
             if combo >> i & 1 == 1 {
                 value |= 1 << p;
             }
+            rest &= rest - 1;
+            i += 1;
         }
         out.push(generator.index(value));
     }
-    out.sort_unstable();
-    out.dedup();
-    out
+    out.sort_dedup();
 }
 
 #[cfg(test)]
@@ -425,6 +554,51 @@ mod tests {
         ];
         for g in &gens {
             assert!(g.index(12345) < 4);
+        }
+    }
+
+    #[test]
+    fn bucket_list_inline_and_spill() {
+        let mut l = BucketList::new();
+        assert_eq!(l.as_slice(), &[] as &[u64]);
+        // Stay inline.
+        for b in [5u64, 3, 5, 1] {
+            l.push(b);
+        }
+        l.sort_dedup();
+        assert_eq!(l.as_slice(), &[1, 3, 5]);
+        // Spill past the inline capacity.
+        l.clear();
+        for b in (0..INLINE_BUCKETS as u64 + 4).rev() {
+            l.push(b);
+            l.push(b);
+        }
+        l.sort_dedup();
+        let expect: Vec<u64> = (0..INLINE_BUCKETS as u64 + 4).collect();
+        assert_eq!(l.as_slice(), expect.as_slice());
+        // Clear returns to inline mode.
+        l.clear();
+        l.push(9);
+        l.push(9);
+        l.sort_dedup();
+        l.map_mod(4);
+        assert_eq!(l.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn into_variant_agrees_with_vec_variant() {
+        let g = RangeSelect::ip_first16_last(11);
+        let mut list = BucketList::new();
+        for key in [
+            SearchKey::new(0xC0A8_1234, 32),
+            TernaryKey::ternary(0xC000_0000, low_mask(22), 32).to_search_key(),
+            SearchKey::with_mask(0, low_mask(32), 32),
+        ] {
+            buckets_for_masked_search_into(&key, &g, &mut list);
+            assert_eq!(
+                list.as_slice(),
+                buckets_for_masked_search(&key, &g).as_slice()
+            );
         }
     }
 

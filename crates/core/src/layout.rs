@@ -130,6 +130,7 @@ impl RecordLayout {
 
     /// Bit offset of slot `slot` within its row.
     #[must_use]
+    #[inline]
     pub fn slot_offset(&self, slot: u32) -> usize {
         slot as usize * self.slot_bits() as usize
     }
@@ -169,6 +170,35 @@ impl RecordLayout {
         if self.data_bits > 0 {
             crate::bits::write_bits(words, cursor, self.data_bits, u128::from(record.data));
         }
+    }
+
+    /// Compares the stored key at slot `slot` directly against `search`
+    /// without materializing a [`Record`] — the hardware match step
+    /// (Fig. 4(b)) reads the stored bits, applies both don't-care masks,
+    /// and raises the match line; only the *winning* slot is then decoded
+    /// ("extract result", Sec. 3.1 step 4). Stored keys are canonical
+    /// (value bits at don't-care positions are zero, enforced by
+    /// [`TernaryKey::ternary`]), so the masked XOR below is exact.
+    ///
+    /// The caller is responsible for slot validity, as with
+    /// [`RecordLayout::decode_slot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot lies outside the row. The search key width is
+    /// checked by the match-processor bank, not here.
+    #[must_use]
+    #[inline]
+    pub fn key_matches(&self, words: &[u64], slot: u32, search: &crate::key::SearchKey) -> bool {
+        let base = self.slot_offset(slot);
+        let value = crate::bits::read_bits(words, base, self.key_bits);
+        let stored_dc = if self.ternary {
+            crate::bits::read_bits(words, base + self.key_bits as usize, self.key_bits)
+        } else {
+            0
+        };
+        let care = !(stored_dc | search.dont_care()) & crate::bits::low_mask(self.key_bits);
+        (value ^ search.value()) & care == 0
     }
 
     /// Deserializes the record at slot `slot` from the row `words`.
@@ -241,14 +271,14 @@ mod tests {
         let mut words = row(24 * 4 + 16 * 4);
         for slot in 0..4 {
             let rec = Record::new(
-                TernaryKey::binary(u128::from(0xABCD00 + slot), 24),
+                TernaryKey::binary(u128::from(0x00AB_CD00 + slot), 24),
                 u64::from(0x1000 + slot),
             );
             layout.encode_slot(&mut words, slot, &rec);
         }
         for slot in 0..4 {
             let rec = layout.decode_slot(&words, slot);
-            assert_eq!(rec.key.value(), u128::from(0xABCD00 + slot));
+            assert_eq!(rec.key.value(), u128::from(0x00AB_CD00 + slot));
             assert_eq!(rec.data, u64::from(0x1000 + slot));
         }
     }
@@ -270,7 +300,10 @@ mod tests {
         let mut words = row(layout.slot_bits() * 5);
         let recs: Vec<Record> = (0..5u32)
             .map(|i| {
-                Record::new(TernaryKey::binary(u128::from(i * 1000 + 7), 13), u64::from(i % 8))
+                Record::new(
+                    TernaryKey::binary(u128::from(i * 1000 + 7), 13),
+                    u64::from(i % 8),
+                )
             })
             .collect();
         for (i, r) in recs.iter().enumerate() {
@@ -322,11 +355,49 @@ mod tests {
     fn ternary_key_in_binary_layout_rejected() {
         let layout = RecordLayout::new(8, false, 0);
         let mut words = row(8);
-        layout.encode_slot(
-            &mut words,
-            0,
-            &Record::new(TernaryKey::ternary(0, 1, 8), 0),
-        );
+        layout.encode_slot(&mut words, 0, &Record::new(TernaryKey::ternary(0, 1, 8), 0));
+    }
+
+    #[test]
+    fn key_matches_agrees_with_decode_then_match() {
+        use crate::key::SearchKey;
+        // Ternary and binary layouts, slots at unaligned offsets too.
+        for layout in [
+            RecordLayout::new(12, true, 7),
+            RecordLayout::new(12, false, 7),
+        ] {
+            let mut words = row(4 * layout.slot_bits());
+            let keys = [
+                TernaryKey::ternary(0b1010_0101_0011, 0, 12),
+                TernaryKey::ternary(0b1010_0000_0000, 0b0000_1111_1111, 12),
+                TernaryKey::binary(0, 12),
+                TernaryKey::ternary(0, 0b1111_1111_1111, 12),
+            ];
+            for (slot, key) in keys.iter().enumerate() {
+                let key = if layout.is_ternary() {
+                    *key
+                } else {
+                    TernaryKey::binary(key.value(), 12)
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                layout.encode_slot(&mut words, slot as u32, &Record::new(key, 99));
+            }
+            for slot in 0..4u32 {
+                for probe in [
+                    SearchKey::new(0b1010_0101_0011, 12),
+                    SearchKey::new(0b1010_0000_1100, 12),
+                    SearchKey::with_mask(0, 0b1111_0000_0000, 12),
+                    SearchKey::with_mask(0b1010_0101_0011, 0b0000_0000_0111, 12),
+                ] {
+                    let decoded = layout.decode_slot(&words, slot);
+                    assert_eq!(
+                        layout.key_matches(&words, slot, &probe),
+                        decoded.key.matches(&probe),
+                        "layout {layout:?} slot {slot} probe {probe:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

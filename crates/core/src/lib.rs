@@ -69,9 +69,11 @@ pub mod subsystem;
 pub mod table;
 
 pub use alloc::{AllocationId, SlicePool, SliceRoles};
-pub use controller::{simulate, simulate_latency, LatencyReport, QueueModelConfig, ThroughputReport};
 pub use bulk::BulkReceipt;
 pub use config_regs::{ControlRegister, ReconfigurableSlice};
+pub use controller::{
+    simulate, simulate_latency, LatencyReport, QueueModelConfig, ThroughputReport,
+};
 pub use error::{CaRamError, Result};
 pub use index::{BitSelect, DjbHash, IndexGenerator, RangeSelect, XorFold};
 pub use key::{SearchKey, TernaryKey, MAX_KEY_BITS};

@@ -81,13 +81,29 @@ impl MatchProcessorBank {
             self.layout.key_bits()
         );
         assert!(slots <= 128, "at most 128 slots per physical row");
+        // Steps 2–3 compare stored bits directly; nothing is decoded until
+        // a winner is known (step 4, `extract`). Search-key invariants are
+        // hoisted out of the loop and only occupied slots are visited — the
+        // software analogue of match lines that only fire on valid slots.
+        let key_bits = self.layout.key_bits();
+        let search_value = search.value();
+        let search_care = !search.dont_care() & crate::bits::low_mask(key_bits);
+        let ternary = self.layout.is_ternary();
+        let slot_bits = self.layout.slot_bits() as usize;
+        let key_field = key_bits as usize;
         let mut vector: u128 = 0;
-        for slot in 0..slots {
-            if valid >> slot & 1 == 0 {
-                continue;
-            }
-            let record = self.layout.decode_slot(row, slot);
-            if record.key.matches(search) {
+        let mut pending = valid & crate::bits::low_mask(slots);
+        while pending != 0 {
+            let slot = pending.trailing_zeros();
+            pending &= pending - 1;
+            let base = slot as usize * slot_bits;
+            let value = crate::bits::read_bits(row, base, key_bits);
+            let care = if ternary {
+                search_care & !crate::bits::read_bits(row, base + key_field, key_bits)
+            } else {
+                search_care
+            };
+            if (value ^ search_value) & care == 0 {
                 vector |= 1 << slot;
             }
         }
@@ -153,6 +169,74 @@ impl MatchProcessorBank {
         )
     }
 
+    /// Steps 1–3 when only the winner is needed: occupied slots are
+    /// scanned in priority (ascending slot) order and the scan stops at
+    /// the first match — the priority encoder discards later matches, so
+    /// they need not be evaluated. When the stored key fits in one word
+    /// and slots are word-multiples (e.g. the 64-bit ternary IP slots),
+    /// each candidate costs a single word read and a masked compare.
+    ///
+    /// # Panics
+    ///
+    /// As [`MatchProcessorBank::match_row`].
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // values pre-masked to <= 64 bits
+    pub fn first_match(
+        &self,
+        row: &[u64],
+        valid: u128,
+        slots: u32,
+        search: &SearchKey,
+    ) -> Option<u32> {
+        assert_eq!(
+            search.bits(),
+            self.layout.key_bits(),
+            "search key width {} does not match layout width {}",
+            search.bits(),
+            self.layout.key_bits()
+        );
+        assert!(slots <= 128, "at most 128 slots per physical row");
+        let key_bits = self.layout.key_bits();
+        let search_value = search.value();
+        let search_care = !search.dont_care() & crate::bits::low_mask(key_bits);
+        let ternary = self.layout.is_ternary();
+        let slot_bits = self.layout.slot_bits();
+        let mut pending = valid & crate::bits::low_mask(slots);
+        if slot_bits.is_multiple_of(64) && self.layout.stored_key_bits() <= 64 {
+            let words_per_slot = (slot_bits / 64) as usize;
+            let key_mask = crate::bits::low_mask(key_bits) as u64;
+            let sv = search_value as u64;
+            let sc = search_care as u64;
+            while pending != 0 {
+                let slot = pending.trailing_zeros();
+                pending &= pending - 1;
+                let w = row[slot as usize * words_per_slot];
+                let care = if ternary { sc & !(w >> key_bits) } else { sc };
+                if ((w & key_mask) ^ sv) & care == 0 {
+                    return Some(slot);
+                }
+            }
+            return None;
+        }
+        let slot_bits = slot_bits as usize;
+        let key_field = key_bits as usize;
+        while pending != 0 {
+            let slot = pending.trailing_zeros();
+            pending &= pending - 1;
+            let base = slot as usize * slot_bits;
+            let value = crate::bits::read_bits(row, base, key_bits);
+            let care = if ternary {
+                search_care & !crate::bits::read_bits(row, base + key_field, key_bits)
+            } else {
+                search_care
+            };
+            if (value ^ search_value) & care == 0 {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
     /// Step 4: extracts the record at the winning slot.
     ///
     /// # Panics
@@ -164,7 +248,7 @@ impl MatchProcessorBank {
     }
 
     /// Convenience: full pipeline over one row, returning the winning
-    /// record and its slot.
+    /// record and its slot (via the early-exit [`MatchProcessorBank::first_match`]).
     #[must_use]
     pub fn search_row(
         &self,
@@ -173,8 +257,54 @@ impl MatchProcessorBank {
         slots: u32,
         search: &SearchKey,
     ) -> Option<(u32, Record)> {
-        let m = self.match_row(row, valid, slots, search);
-        m.first_match.map(|slot| (slot, self.extract(row, slot)))
+        self.first_match(row, valid, slots, search)
+            .map(|slot| (slot, self.extract(row, slot)))
+    }
+
+    /// Reference implementation of [`MatchProcessorBank::match_row`] that
+    /// fully decodes every valid slot before comparing. Kept as the
+    /// correctness oracle for the direct stored-bit compare and as the perf
+    /// baseline the `perf_smoke` bench measures speedups against.
+    ///
+    /// # Panics
+    ///
+    /// As [`MatchProcessorBank::match_row`].
+    #[must_use]
+    pub fn match_row_decode_all(
+        &self,
+        row: &[u64],
+        valid: u128,
+        slots: u32,
+        search: &SearchKey,
+    ) -> RowMatch {
+        assert_eq!(
+            search.bits(),
+            self.layout.key_bits(),
+            "search key width {} does not match layout width {}",
+            search.bits(),
+            self.layout.key_bits()
+        );
+        assert!(slots <= 128, "at most 128 slots per physical row");
+        let mut vector: u128 = 0;
+        for slot in 0..slots {
+            if valid >> slot & 1 == 0 {
+                continue;
+            }
+            let record = self.layout.decode_slot(row, slot);
+            if record.key.matches(search) {
+                vector |= 1 << slot;
+            }
+        }
+        let first_match = if vector == 0 {
+            None
+        } else {
+            Some(vector.trailing_zeros())
+        };
+        RowMatch {
+            match_vector: vector,
+            first_match,
+            multiple_matches: vector.count_ones() > 1,
+        }
     }
 }
 
@@ -224,7 +354,9 @@ mod tests {
             &[(0, Record::new(TernaryKey::binary(0xAAAA, 16), 0))],
         );
         let bank = MatchProcessorBank::new(layout);
-        assert!(bank.search_row(&row, valid, 4, &SearchKey::new(0xBBBB, 16)).is_none());
+        assert!(bank
+            .search_row(&row, valid, 4, &SearchKey::new(0xBBBB, 16))
+            .is_none());
     }
 
     #[test]
@@ -284,7 +416,12 @@ mod tests {
         // The trigram configuration: 96 keys of 128 bits per bucket.
         let layout = RecordLayout::new(128, false, 0);
         let records: Vec<(u32, Record)> = (0..96)
-            .map(|i| (i, Record::new(TernaryKey::binary(u128::from(i) << 64 | 7, 128), 0)))
+            .map(|i| {
+                (
+                    i,
+                    Record::new(TernaryKey::binary(u128::from(i) << 64 | 7, 128), 0),
+                )
+            })
             .collect();
         let (row, valid) = build_row(&layout, 96, &records);
         let bank = MatchProcessorBank::new(layout);
@@ -304,7 +441,12 @@ mod tests {
     fn pipelined_match_agrees_with_full_bank() {
         let layout = RecordLayout::new(16, false, 0);
         let records: Vec<(u32, Record)> = (0..12)
-            .map(|i| (i, Record::new(TernaryKey::binary(u128::from(0x500 + i), 16), 0)))
+            .map(|i| {
+                (
+                    i,
+                    Record::new(TernaryKey::binary(u128::from(0x500 + i), 16), 0),
+                )
+            })
             .collect();
         let (row, valid) = build_row(&layout, 12, &records);
         let bank = MatchProcessorBank::new(layout);
@@ -348,6 +490,82 @@ mod tests {
         assert_eq!(m.first_match, Some(1));
         assert_eq!(passes, 1);
         assert!(!m.multiple_matches, "the second match was never evaluated");
+    }
+
+    #[test]
+    fn direct_compare_agrees_with_decode_all_oracle() {
+        // Ternary layout with masked stored keys and masked search keys:
+        // the direct stored-bit compare must reproduce the decode-all
+        // reference bit for bit, including the match vector.
+        let layout = RecordLayout::new(16, true, 8);
+        let records = [
+            (0, Record::new(TernaryKey::ternary(0xAB00, 0x00FF, 16), 1)),
+            (2, Record::new(TernaryKey::binary(0xAB12, 16), 2)),
+            (3, Record::new(TernaryKey::ternary(0x0000, 0xFFFF, 16), 3)),
+            (5, Record::new(TernaryKey::ternary(0xA000, 0x0FFF, 16), 4)),
+        ];
+        let (row, valid) = build_row(&layout, 6, &records);
+        let bank = MatchProcessorBank::new(layout);
+        for probe in [
+            SearchKey::new(0xAB12, 16),
+            SearchKey::new(0x1234, 16),
+            SearchKey::with_mask(0xA000, 0x0FF0, 16),
+            SearchKey::with_mask(0x0000, 0xFFFF, 16),
+        ] {
+            assert_eq!(
+                bank.match_row(&row, valid, 6, &probe),
+                bank.match_row_decode_all(&row, valid, 6, &probe),
+                "probe {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_match_agrees_with_match_row() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Word-multiple ternary (IP, single-word fast path), word-multiple
+        // binary, and an unaligned layout (generic path).
+        for layout in [
+            RecordLayout::new(32, true, 0),
+            RecordLayout::new(64, false, 0),
+            RecordLayout::new(13, true, 5),
+        ] {
+            let slots = 16u32;
+            let bits = layout.key_bits();
+            let mut records: Vec<(u32, Record)> = Vec::new();
+            for i in 0..slots {
+                if rng.gen_range(0..4u32) == 0 {
+                    continue; // leave some slots invalid
+                }
+                let dc = if layout.is_ternary() {
+                    crate::bits::low_mask(rng.gen_range(0..=bits))
+                } else {
+                    0
+                };
+                let v = rng.gen::<u128>() & crate::bits::low_mask(bits);
+                records.push((i, Record::new(TernaryKey::ternary(v & !dc, dc, bits), 0)));
+            }
+            let (row, valid) = build_row(&layout, slots, &records);
+            let bank = MatchProcessorBank::new(layout);
+            for _ in 0..200 {
+                let probe = if rng.gen_range(0..3u32) == 0 {
+                    let dc = crate::bits::low_mask(rng.gen_range(0..=bits));
+                    SearchKey::with_mask(rng.gen::<u128>() & crate::bits::low_mask(bits), dc, bits)
+                } else if records.is_empty() {
+                    SearchKey::new(0, bits)
+                } else {
+                    let r = &records[rng.gen_range(0..records.len())].1;
+                    SearchKey::new(r.key.value(), bits)
+                };
+                assert_eq!(
+                    bank.first_match(&row, valid, slots, &probe),
+                    bank.match_row(&row, valid, slots, &probe).first_match,
+                    "layout {layout:?} probe {probe:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -45,7 +45,6 @@ impl RamAccess for MemoryArray {
 }
 
 /// A fault detected by a memory test.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryFault {
     /// Word address of the mismatch.
@@ -57,7 +56,6 @@ pub struct MemoryFault {
 }
 
 /// Report of one memory-test run.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemTestReport {
     /// Test name.
@@ -305,7 +303,12 @@ mod tests {
     fn clean_array_passes_the_battery() {
         let mut ram = MemoryArray::new(32, 128);
         for report in full_battery(&mut ram).unwrap() {
-            assert!(report.passed(), "{} failed: {:?}", report.test, report.faults);
+            assert!(
+                report.passed(),
+                "{} failed: {:?}",
+                report.test,
+                report.faults
+            );
             assert_eq!(report.words, 64);
         }
     }
@@ -328,7 +331,10 @@ mod tests {
         let report = address_in_address(&mut ram).unwrap();
         assert!(!report.passed());
         // The fault surfaces at the aliased pair.
-        assert!(report.faults.iter().any(|f| f.address == 3 || f.address == 11));
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.address == 3 || f.address == 11));
         // A pure data-pattern test with identical patterns at both cells
         // can miss aliasing; March C- catches it through its ordered
         // read-write sequence.
@@ -376,7 +382,10 @@ mod tests {
                 4
             }
             fn read(&mut self, a: u64) -> crate::error::Result<u64> {
-                Err(CaRamError::AddressOutOfRange { address: a, words: 4 })
+                Err(CaRamError::AddressOutOfRange {
+                    address: a,
+                    words: 4,
+                })
             }
             fn write(&mut self, _a: u64, _v: u64) -> crate::error::Result<()> {
                 Ok(())

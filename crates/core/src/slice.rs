@@ -153,7 +153,8 @@ impl CaRamSlice {
     /// layout.
     pub fn write_record(&mut self, row: u64, slot: u32, record: &Record) {
         assert!(slot < self.slots_per_row, "slot {slot} out of range");
-        self.layout.encode_slot(self.array.row_mut(row), slot, record);
+        self.layout
+            .encode_slot(self.array.row_mut(row), slot, record);
         let i = self.aux_index(row);
         self.aux[i].valid |= 1 << slot;
     }
@@ -233,15 +234,37 @@ impl CaRamSlice {
     /// One hardware search step: fetch `row` and run the match processors.
     #[must_use]
     pub fn match_bucket(&self, row: u64, search: &SearchKey) -> RowMatch {
-        self.bank
-            .match_row(self.array.row(row), self.aux(row).valid, self.slots_per_row, search)
+        self.bank.match_row(
+            self.array.row(row),
+            self.aux(row).valid,
+            self.slots_per_row,
+            search,
+        )
     }
 
     /// Fetch + match + extract: the winning `(slot, record)` of `row`.
     #[must_use]
     pub fn search_bucket(&self, row: u64, search: &SearchKey) -> Option<(u32, Record)> {
-        self.bank
-            .search_row(self.array.row(row), self.aux(row).valid, self.slots_per_row, search)
+        self.bank.search_row(
+            self.array.row(row),
+            self.aux(row).valid,
+            self.slots_per_row,
+            search,
+        )
+    }
+
+    /// Decode-all reference version of [`CaRamSlice::search_bucket`]: every
+    /// valid slot is fully deserialized before comparison (see
+    /// [`MatchProcessorBank::match_row_decode_all`]). Kept as the oracle and
+    /// perf baseline for the direct stored-bit compare.
+    #[must_use]
+    pub fn search_bucket_baseline(&self, row: u64, search: &SearchKey) -> Option<(u32, Record)> {
+        let words = self.array.row(row);
+        let m =
+            self.bank
+                .match_row_decode_all(words, self.aux(row).valid, self.slots_per_row, search);
+        m.first_match
+            .map(|slot| (slot, self.bank.extract(words, slot)))
     }
 
     /// Raises the reach of `row` to at least `reach`.
@@ -260,7 +283,10 @@ impl CaRamSlice {
     /// Total valid records in the slice.
     #[must_use]
     pub fn record_count(&self) -> u64 {
-        self.aux.iter().map(|a| u64::from(a.valid.count_ones())).sum()
+        self.aux
+            .iter()
+            .map(|a| u64::from(a.valid.count_ones()))
+            .sum()
     }
 
     /// Clears all records and auxiliary state.
@@ -385,7 +411,13 @@ mod tests {
         s.array_mut().row_mut(1).copy_from_slice(&row);
         // Not yet visible to search:
         assert!(s.search_bucket(1, &SearchKey::new(0xF00D, 16)).is_none());
-        s.set_aux(1, AuxField { valid: 0b1, reach: 0 });
+        s.set_aux(
+            1,
+            AuxField {
+                valid: 0b1,
+                reach: 0,
+            },
+        );
         let (_, r) = s.search_bucket(1, &SearchKey::new(0xF00D, 16)).unwrap();
         assert_eq!(r.data, 7);
     }

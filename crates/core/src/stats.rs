@@ -41,7 +41,10 @@ impl PlacementStats {
     ///
     /// Panics if `displacements` is empty or `weight` is negative.
     pub fn record_insert(&mut self, displacements: &[u32], weight: f64) {
-        assert!(!displacements.is_empty(), "an insert places at least one copy");
+        assert!(
+            !displacements.is_empty(),
+            "an insert places at least one copy"
+        );
         assert!(weight >= 0.0, "access weight must be non-negative");
         self.original_records += 1;
         self.duplicate_records += displacements.len() as u64 - 1;
@@ -55,7 +58,10 @@ impl PlacementStats {
         // duplicated record the cost depends on which duplicate the search
         // key selects; we charge the mean over duplicates.
         #[allow(clippy::cast_precision_loss)]
-        let mean_accesses = displacements.iter().map(|&d| f64::from(d) + 1.0).sum::<f64>()
+        let mean_accesses = displacements
+            .iter()
+            .map(|&d| f64::from(d) + 1.0)
+            .sum::<f64>()
             / displacements.len() as f64;
         self.sum_accesses += mean_accesses;
         self.weighted_accesses += mean_accesses * weight;
@@ -123,9 +129,70 @@ impl PlacementStats {
     }
 }
 
+/// Aggregate statistics over a stream of searches — the unit the batched
+/// pipeline accumulates per worker shard and merges afterwards, so the
+/// parallel path reports exactly what the serial path would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Searches performed.
+    pub searches: u64,
+    /// Searches that produced a hit.
+    pub hits: u64,
+    /// Total bucket fetches performed.
+    pub memory_accesses: u64,
+}
+
+impl SearchStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one search outcome.
+    pub fn record(&mut self, hit: bool, memory_accesses: u32) {
+        self.searches += 1;
+        self.hits += u64::from(hit);
+        self.memory_accesses += u64::from(memory_accesses);
+    }
+
+    /// Folds another shard's statistics into this one. Merging is
+    /// order-independent: all fields are sums.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.searches += other.searches;
+        self.hits += other.hits;
+        self.memory_accesses += other.memory_accesses;
+    }
+
+    /// Hit rate over the counted searches.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / self.searches as f64
+            }
+        }
+    }
+
+    /// Measured mean memory accesses per lookup (the live AMAL).
+    #[must_use]
+    pub fn measured_amal(&self) -> f64 {
+        if self.searches == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.memory_accesses as f64 / self.searches as f64
+            }
+        }
+    }
+}
+
 /// A snapshot report of a built table, in the shape of a Table 2 / Table 3
 /// row.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
     /// Logical buckets (`M`).
@@ -311,6 +378,24 @@ mod tests {
         // AMALs = (1*10 + 4*1) / 11.
         assert!((s.amal_weighted() - 14.0 / 11.0).abs() < 1e-12);
         assert!(s.amal_weighted() < s.amal_uniform());
+    }
+
+    #[test]
+    fn search_stats_merge_is_a_sum() {
+        let mut a = SearchStats::new();
+        a.record(true, 1);
+        a.record(false, 3);
+        let mut b = SearchStats::new();
+        b.record(true, 2);
+        let mut whole = SearchStats::new();
+        for (hit, cost) in [(true, 1), (false, 3), (true, 2)] {
+            whole.record(hit, cost);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert!((a.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.measured_amal() - 2.0).abs() < 1e-12);
+        assert_eq!(SearchStats::new().measured_amal(), 0.0);
     }
 
     #[test]

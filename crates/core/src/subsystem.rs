@@ -216,10 +216,9 @@ impl CaRamSubsystem {
     }
 
     fn decode_port(&self, address: u64) -> Result<(DatabaseId, bool)> {
-        let off = address.checked_sub(PORT_BASE).ok_or(CaRamError::AddressOutOfRange {
-            address,
-            words: 0,
-        })?;
+        let off = address
+            .checked_sub(PORT_BASE)
+            .ok_or(CaRamError::AddressOutOfRange { address, words: 0 })?;
         let id = usize::try_from(off / PORT_STRIDE).expect("port space is small");
         let is_result = off % PORT_STRIDE >= PORT_STRIDE / 2;
         if id >= self.databases.len() {
@@ -248,15 +247,42 @@ impl CaRamSubsystem {
 
     /// Drains request queues, executing each lookup and enqueueing its
     /// result — the input controller's job. Returns the number of lookups
-    /// performed.
+    /// performed. Each database's pending requests are executed as one
+    /// batch through [`CaRamTable::search_batch`], so the home-bucket
+    /// scratch buffer is reused across the whole queue.
     pub fn pump(&mut self) -> usize {
         let mut done = 0;
+        let mut keys: Vec<SearchKey> = Vec::new();
         for db in &mut self.databases {
-            while let Some(key) = db.requests.pop_front() {
-                let outcome = db.table.search(&key);
+            keys.clear();
+            keys.extend(db.requests.drain(..));
+            for outcome in db.table.search_batch(&keys) {
                 db.counters.searches += 1;
                 db.counters.hits += u64::from(outcome.hit.is_some());
                 db.counters.memory_accesses += u64::from(outcome.memory_accesses);
+                db.results.push_back(PortResult { outcome });
+                done += 1;
+            }
+        }
+        done
+    }
+
+    /// As [`CaRamSubsystem::pump`], but each database's batch is sharded
+    /// across `threads` worker threads (`0` = one per available CPU) via
+    /// [`CaRamTable::search_batch_parallel_stats`]. Results are enqueued in
+    /// request order, and the counters end up exactly as after a serial
+    /// pump.
+    pub fn pump_parallel(&mut self, threads: usize) -> usize {
+        let mut done = 0;
+        let mut keys: Vec<SearchKey> = Vec::new();
+        for db in &mut self.databases {
+            keys.clear();
+            keys.extend(db.requests.drain(..));
+            let (outcomes, stats) = db.table.search_batch_parallel_stats(&keys, threads);
+            db.counters.searches += stats.searches;
+            db.counters.hits += stats.hits;
+            db.counters.memory_accesses += stats.memory_accesses;
+            for outcome in outcomes {
                 db.results.push_back(PortResult { outcome });
                 done += 1;
             }
@@ -399,7 +425,10 @@ mod tests {
             sub.store_request(res, SearchKey::new(0, 16)),
             Err(CaRamError::BadConfig(_))
         ));
-        assert!(matches!(sub.load_result(req), Err(CaRamError::BadConfig(_))));
+        assert!(matches!(
+            sub.load_result(req),
+            Err(CaRamError::BadConfig(_))
+        ));
         assert!(sub.store_request(0x10, SearchKey::new(0, 16)).is_err());
         assert!(sub
             .store_request(PORT_BASE + 5 * PORT_STRIDE, SearchKey::new(0, 16))
@@ -423,7 +452,8 @@ mod tests {
         assert!((c.measured_amal() - 1.0).abs() < 1e-12);
         assert_eq!(sub.counters(b), ActivityCounters::default());
         // Port traffic counts too.
-        sub.store_request(sub.request_port(a), SearchKey::new(0x21, 16)).unwrap();
+        sub.store_request(sub.request_port(a), SearchKey::new(0x21, 16))
+            .unwrap();
         sub.pump();
         assert_eq!(sub.counters(a).searches, 4);
         // Peek does not count; reset clears.
@@ -431,6 +461,46 @@ mod tests {
         assert_eq!(sub.counters(a).searches, 4);
         sub.reset_counters(a);
         assert_eq!(sub.counters(a), ActivityCounters::default());
+    }
+
+    #[test]
+    fn parallel_pump_matches_serial_pump() {
+        let build = || {
+            let (mut sub, a, b) = subsystem();
+            for i in 0..8u64 {
+                sub.table_mut(a)
+                    .insert(Record::new(TernaryKey::binary(u128::from(i) << 3, 16), i))
+                    .unwrap();
+            }
+            for i in 0..16u128 {
+                sub.store_request(sub.request_port(a), SearchKey::new(i << 2, 16))
+                    .unwrap();
+                sub.store_request(sub.request_port(b), SearchKey::new(i, 16))
+                    .unwrap();
+            }
+            (sub, a, b)
+        };
+        let (mut serial, sa, sb) = build();
+        assert_eq!(serial.pump(), 32);
+        let drain = |sub: &mut CaRamSubsystem, id: DatabaseId| {
+            let port = sub.result_port(id);
+            let mut out = Vec::new();
+            while let Some(r) = sub.load_result(port).unwrap() {
+                out.push(r);
+            }
+            out
+        };
+        let expect_a = drain(&mut serial, sa);
+        let expect_b = drain(&mut serial, sb);
+        assert_eq!(expect_a.len(), 16);
+        for threads in [0, 1, 3] {
+            let (mut par, pa, pb) = build();
+            assert_eq!(par.pump_parallel(threads), 32, "threads={threads}");
+            assert_eq!(par.counters(pa), serial.counters(sa), "threads={threads}");
+            assert_eq!(par.counters(pb), serial.counters(sb), "threads={threads}");
+            assert_eq!(drain(&mut par, pa), expect_a, "threads={threads}");
+            assert_eq!(drain(&mut par, pb), expect_b, "threads={threads}");
+        }
     }
 
     #[test]

@@ -17,12 +17,12 @@
 //! can stop at its first hit.
 
 use crate::error::{CaRamError, Result};
-use crate::index::{buckets_for_masked_search, IndexGenerator};
+use crate::index::{buckets_for_masked_search_into, BucketList, IndexGenerator};
 use crate::key::SearchKey;
 use crate::layout::{Record, RecordLayout};
 use crate::probe::ProbePolicy;
 use crate::slice::CaRamSlice;
-use crate::stats::{LoadReport, OccupancyHistogram, PlacementStats};
+use crate::stats::{LoadReport, OccupancyHistogram, PlacementStats, SearchStats};
 
 /// How slices are composed into one logical table (Sec. 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,7 +127,9 @@ impl TableConfig {
             layout,
             arrangement: Arrangement::Horizontal(1),
             probe: ProbePolicy::Linear,
-            overflow: OverflowPolicy::Probe { max_steps: u32::MAX },
+            overflow: OverflowPolicy::Probe {
+                max_steps: u32::MAX,
+            },
         }
     }
 }
@@ -179,7 +181,10 @@ pub struct InsertOutcome {
 #[derive(Debug, Clone)]
 enum OverflowStore {
     /// A small fully associative memory (the Sec. 4.3 TCAM).
-    Associative { records: Vec<Record>, capacity: usize },
+    Associative {
+        records: Vec<Record>,
+        capacity: usize,
+    },
     /// A CA-RAM slice serving as the victim area (Sec. 3.2).
     Victim { slice: CaRamSlice },
 }
@@ -188,9 +193,7 @@ impl OverflowStore {
     fn len(&self) -> usize {
         match self {
             OverflowStore::Associative { records, .. } => records.len(),
-            OverflowStore::Victim { slice } => {
-                usize::try_from(slice.record_count()).expect("fits")
-            }
+            OverflowStore::Victim { slice } => usize::try_from(slice.record_count()).expect("fits"),
         }
     }
 }
@@ -256,11 +259,12 @@ impl CaRamTable {
                 records: Vec::new(),
                 capacity,
             }),
-            OverflowPolicy::VictimSlice { rows_log2, row_bits } => {
-                Some(OverflowStore::Victim {
-                    slice: CaRamSlice::new(rows_log2, row_bits, config.layout),
-                })
-            }
+            OverflowPolicy::VictimSlice {
+                rows_log2,
+                row_bits,
+            } => Some(OverflowStore::Victim {
+                slice: CaRamSlice::new(rows_log2, row_bits, config.layout),
+            }),
             OverflowPolicy::Probe { .. } => None,
         };
         let buckets = usize::try_from(logical_buckets)
@@ -435,22 +439,26 @@ impl CaRamTable {
     fn search_logical_bucket(&self, bucket: u64, key: &SearchKey) -> Option<(u32, Record)> {
         let (v, row) = self.split_bucket(bucket);
         for h in 0..self.horizontal {
-            if let Some((slot, record)) = self.slices[self.slice_of(v, h)].search_bucket(row, key)
-            {
+            if let Some((slot, record)) = self.slices[self.slice_of(v, h)].search_bucket(row, key) {
                 return Some((h * self.slots_per_slice_row + slot, record));
             }
         }
         None
     }
 
+    /// Computes the home buckets of `key` into a reusable scratch list.
+    /// With no don't-care hash bits (the common lookup) this performs no
+    /// heap allocation.
+    fn home_buckets_into(&self, key: &SearchKey, out: &mut BucketList) {
+        buckets_for_masked_search_into(key, self.index.as_ref(), out);
+        out.map_mod(self.logical_buckets);
+        out.sort_dedup();
+    }
+
     fn home_buckets(&self, key: &SearchKey) -> Vec<u64> {
-        let mut homes: Vec<u64> = buckets_for_masked_search(key, self.index.as_ref())
-            .into_iter()
-            .map(|b| b % self.logical_buckets)
-            .collect();
-        homes.sort_unstable();
-        homes.dedup();
-        homes
+        let mut out = BucketList::new();
+        self.home_buckets_into(key, &mut out);
+        out.as_slice().to_vec()
     }
 
     // ---- CAM-mode operations ----------------------------------------------
@@ -520,7 +528,12 @@ impl CaRamTable {
     }
 
     /// Places one copy; `Ok(None)` means "send to overflow area".
-    fn place_one(&mut self, home: u64, record: &Record, max_steps: u32) -> Result<Option<Placement>> {
+    fn place_one(
+        &mut self,
+        home: u64,
+        record: &Record,
+        max_steps: u32,
+    ) -> Result<Option<Placement>> {
         let probe = self.config.probe;
         let key_value = record.key.value();
         let mut step = 0u32;
@@ -539,9 +552,7 @@ impl CaRamTable {
                     displacement: step,
                 }));
             }
-            if step >= max_steps
-                || u64::from(step) + 1 >= self.logical_buckets
-            {
+            if step >= max_steps || u64::from(step) + 1 >= self.logical_buckets {
                 break;
             }
             step += 1;
@@ -717,8 +728,7 @@ impl CaRamTable {
                 .into_iter()
                 .map(|(_, r)| r)
                 .collect();
-            let pos = entries
-                .partition_point(|e| e.key.care_count() >= incoming.key.care_count());
+            let pos = entries.partition_point(|e| e.key.care_count() >= incoming.key.care_count());
             let full = entries.len() == self.slots_per_bucket as usize;
             if !full {
                 entries.insert(pos, incoming);
@@ -821,12 +831,25 @@ impl CaRamTable {
     /// interleave priorities and the full reach is scanned, keeping the
     /// best match by care count. The parallel overflow area, if configured,
     /// is consulted at no extra memory-access cost.
+    ///
+    /// The hot path is allocation-free for unmasked search keys: home
+    /// buckets are computed once into an inline buffer (shared with the
+    /// overflow probe) and only the winning slot of a fetched row is
+    /// decoded. Batched callers should prefer [`CaRamTable::search_batch`],
+    /// which reuses the scratch buffer across keys.
     #[must_use]
     pub fn search(&self, key: &SearchKey) -> SearchOutcome {
-        let homes = self.home_buckets(key);
+        let mut homes = BucketList::new();
+        self.search_with_scratch(key, &mut homes)
+    }
+
+    /// One lookup with a caller-provided home-bucket scratch list.
+    fn search_with_scratch(&self, key: &SearchKey, homes: &mut BucketList) -> SearchOutcome {
+        // Computed once; reused below for the overflow-area probe.
+        self.home_buckets_into(key, homes);
         let mut accesses = 0u32;
         let mut best: Option<Hit> = None;
-        for home in homes {
+        for &home in homes.as_slice() {
             let reach = self.reach(home);
             for step in 0..=reach {
                 let bucket =
@@ -856,6 +879,64 @@ impl CaRamTable {
             }
         }
         if self.overflow.is_some() {
+            if let Some(r) = self.search_overflow(homes.as_slice(), key) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| r.key.care_count() > b.record.key.care_count())
+                {
+                    best = Some(Hit {
+                        bucket: 0,
+                        slot: 0,
+                        record: r,
+                        from_overflow: true,
+                    });
+                }
+            }
+        }
+        SearchOutcome {
+            hit: best,
+            memory_accesses: accesses.max(1),
+        }
+    }
+
+    /// Reference lookup, kept verbatim from before the hot-path work: heap-
+    /// allocates the home-bucket list per call (twice when an overflow area
+    /// is configured) and fully decodes every valid slot of every probed
+    /// row. Used as the equivalence oracle in tests and as the baseline the
+    /// `perf_smoke` bench measures speedups against.
+    #[must_use]
+    pub fn search_baseline(&self, key: &SearchKey) -> SearchOutcome {
+        let homes = self.home_buckets(key);
+        let mut accesses = 0u32;
+        let mut best: Option<Hit> = None;
+        for home in homes {
+            let reach = self.reach(home);
+            for step in 0..=reach {
+                let bucket =
+                    self.config
+                        .probe
+                        .bucket_at(home, key.value(), step, self.logical_buckets);
+                accesses += 1;
+                if let Some((slot, record)) = self.search_logical_bucket_baseline(bucket, key) {
+                    let hit = Hit {
+                        bucket,
+                        slot,
+                        record,
+                        from_overflow: false,
+                    };
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| record.key.care_count() > b.record.key.care_count())
+                    {
+                        best = Some(hit);
+                    }
+                    if !self.full_scan {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.overflow.is_some() {
             let homes = self.home_buckets(key);
             if let Some(r) = self.search_overflow(&homes, key) {
                 if best
@@ -875,6 +956,99 @@ impl CaRamTable {
             hit: best,
             memory_accesses: accesses.max(1),
         }
+    }
+
+    /// Decode-all variant of [`CaRamTable::search_logical_bucket`] backing
+    /// [`CaRamTable::search_baseline`].
+    fn search_logical_bucket_baseline(
+        &self,
+        bucket: u64,
+        key: &SearchKey,
+    ) -> Option<(u32, Record)> {
+        let (v, row) = self.split_bucket(bucket);
+        for h in 0..self.horizontal {
+            if let Some((slot, record)) =
+                self.slices[self.slice_of(v, h)].search_bucket_baseline(row, key)
+            {
+                return Some((h * self.slots_per_slice_row + slot, record));
+            }
+        }
+        None
+    }
+
+    // ---- batched search -----------------------------------------------------
+
+    /// Looks up every key of `keys` in order, reusing one home-bucket
+    /// scratch buffer across the whole batch. Outcome `i` is bit-identical
+    /// to `self.search(&keys[i])`.
+    #[must_use]
+    pub fn search_batch(&self, keys: &[SearchKey]) -> Vec<SearchOutcome> {
+        let mut homes = BucketList::new();
+        keys.iter()
+            .map(|key| self.search_with_scratch(key, &mut homes))
+            .collect()
+    }
+
+    /// Parallel [`CaRamTable::search_batch`]: shards `keys` into contiguous
+    /// chunks across `threads` scoped workers (`0` = one per available CPU).
+    /// Searches take `&self`, so the slices are shared read-only; outcome
+    /// order matches the input order exactly.
+    #[must_use]
+    pub fn search_batch_parallel(&self, keys: &[SearchKey], threads: usize) -> Vec<SearchOutcome> {
+        self.search_batch_parallel_stats(keys, threads).0
+    }
+
+    /// As [`CaRamTable::search_batch_parallel`], also returning the merged
+    /// per-shard [`SearchStats`] so callers maintaining activity counters
+    /// (e.g. the subsystem pump) get them without a second pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a search itself never does for
+    /// width-matching keys).
+    #[must_use]
+    pub fn search_batch_parallel_stats(
+        &self,
+        keys: &[SearchKey],
+        threads: usize,
+    ) -> (Vec<SearchOutcome>, SearchStats) {
+        let threads = effective_threads(threads, keys.len());
+        if threads <= 1 {
+            let outcomes = self.search_batch(keys);
+            let mut stats = SearchStats::new();
+            for o in &outcomes {
+                stats.record(o.hit.is_some(), o.memory_accesses);
+            }
+            return (outcomes, stats);
+        }
+        let mut outcomes = vec![
+            SearchOutcome {
+                hit: None,
+                memory_accesses: 0,
+            };
+            keys.len()
+        ];
+        let chunk = keys.len().div_ceil(threads);
+        let mut stats = SearchStats::new();
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for (key_chunk, out_chunk) in keys.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+                workers.push(scope.spawn(move || {
+                    let mut homes = BucketList::new();
+                    let mut shard = SearchStats::new();
+                    for (key, out) in key_chunk.iter().zip(out_chunk.iter_mut()) {
+                        let outcome = self.search_with_scratch(key, &mut homes);
+                        shard.record(outcome.hit.is_some(), outcome.memory_accesses);
+                        *out = outcome;
+                    }
+                    shard
+                }));
+            }
+            for worker in workers {
+                stats.merge(&worker.join().expect("search worker panicked"));
+            }
+        });
+        (outcomes, stats)
     }
 
     /// Removes the record whose stored key exactly equals `key` (value,
@@ -967,9 +1141,7 @@ impl CaRamTable {
     /// Histogram of records per bucket *as placed* (after spilling).
     #[must_use]
     pub fn placed_histogram(&self) -> OccupancyHistogram {
-        OccupancyHistogram::from_counts(
-            (0..self.logical_buckets).map(|b| self.bucket_occupancy(b)),
-        )
+        OccupancyHistogram::from_counts((0..self.logical_buckets).map(|b| self.bucket_occupancy(b)))
     }
 
     /// Entries the paper would size a dedicated overflow area for: currently
@@ -978,6 +1150,18 @@ impl CaRamTable {
     pub fn spilled_records(&self) -> u64 {
         self.stats.spilled_records()
     }
+}
+
+/// Resolves a caller-supplied thread count: `0` means one worker per
+/// available CPU, and the result never exceeds the number of work items
+/// (no point spawning idle workers) nor drops below 1.
+pub(crate) fn effective_threads(threads: usize, work: usize) -> usize {
+    let requested = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    requested.clamp(1, work.max(1))
 }
 
 #[cfg(test)]
@@ -1006,11 +1190,17 @@ mod tests {
 
     #[test]
     fn geometry_horizontal_vs_vertical() {
-        let h = small_table(Arrangement::Horizontal(2), OverflowPolicy::Probe { max_steps: 8 });
+        let h = small_table(
+            Arrangement::Horizontal(2),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         assert_eq!(h.logical_buckets(), 8);
         assert_eq!(h.slots_per_bucket(), 8);
         assert_eq!(h.capacity(), 64);
-        let v = small_table(Arrangement::Vertical(2), OverflowPolicy::Probe { max_steps: 8 });
+        let v = small_table(
+            Arrangement::Vertical(2),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         assert_eq!(v.logical_buckets(), 16);
         assert_eq!(v.slots_per_bucket(), 4);
         assert_eq!(v.capacity(), 64);
@@ -1018,7 +1208,10 @@ mod tests {
 
     #[test]
     fn insert_then_search_hits_home_bucket() {
-        let mut t = small_table(Arrangement::Horizontal(1), OverflowPolicy::Probe { max_steps: 8 });
+        let mut t = small_table(
+            Arrangement::Horizontal(1),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         // Key 0x0025 hashes to bucket 5 (low 4 bits, mod 8).
         let out = t.insert(rec(0x0025, 7)).unwrap();
         assert_eq!(out.placements.len(), 1);
@@ -1036,7 +1229,10 @@ mod tests {
 
     #[test]
     fn overflow_spills_to_next_bucket_and_search_follows_reach() {
-        let mut t = small_table(Arrangement::Horizontal(1), OverflowPolicy::Probe { max_steps: 8 });
+        let mut t = small_table(
+            Arrangement::Horizontal(1),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         // Five keys hash to bucket 2 (low 4 bits = 2, mod 8): capacity 4.
         let keys: Vec<u128> = (0..5).map(|i| (i << 8) | 0x02).collect();
         for (i, &k) in keys.iter().enumerate() {
@@ -1058,7 +1254,10 @@ mod tests {
 
     #[test]
     fn horizontal_bucket_fills_across_slices_with_one_access() {
-        let mut t = small_table(Arrangement::Horizontal(2), OverflowPolicy::Probe { max_steps: 8 });
+        let mut t = small_table(
+            Arrangement::Horizontal(2),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         // 8 slots per logical bucket now; 6 colliding keys all fit at home.
         for i in 0..6u128 {
             let out = t.insert(rec((i << 8) | 0x03, i as u64)).unwrap();
@@ -1074,7 +1273,10 @@ mod tests {
 
     #[test]
     fn vertical_arrangement_uses_high_index_bits() {
-        let mut t = small_table(Arrangement::Vertical(2), OverflowPolicy::Probe { max_steps: 8 });
+        let mut t = small_table(
+            Arrangement::Vertical(2),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         // 16 logical buckets; key low 4 bits select the bucket directly.
         let out = t.insert(rec(0x000F, 1)).unwrap();
         assert_eq!(out.placements[0].bucket, 15);
@@ -1098,7 +1300,12 @@ mod tests {
             assert_eq!(got.memory_accesses, 1, "record {i}");
             assert_eq!(got.hit.unwrap().record.data, i as u64);
         }
-        assert!(t.search(&SearchKey::new((4u128 << 8) | 1, 16)).hit.unwrap().from_overflow);
+        assert!(
+            t.search(&SearchKey::new((4u128 << 8) | 1, 16))
+                .hit
+                .unwrap()
+                .from_overflow
+        );
         assert!((t.load_report().amal_uniform - 1.0).abs() < 1e-12);
     }
 
@@ -1120,13 +1327,24 @@ mod tests {
         assert_eq!(t.overflow_count(), 2);
         for i in 0..6u128 {
             let got = t.search(&SearchKey::new((i << 8) | 0x01, 16));
-            assert_eq!(got.memory_accesses, 1, "victim slice is accessed in parallel");
+            assert_eq!(
+                got.memory_accesses, 1,
+                "victim slice is accessed in parallel"
+            );
             assert_eq!(got.hit.unwrap().record.data, i as u64);
         }
-        assert!(t.search(&SearchKey::new((5u128 << 8) | 1, 16)).hit.unwrap().from_overflow);
+        assert!(
+            t.search(&SearchKey::new((5u128 << 8) | 1, 16))
+                .hit
+                .unwrap()
+                .from_overflow
+        );
         // Deleting a victim-resident record works.
         assert_eq!(t.delete(&TernaryKey::binary((5u128 << 8) | 1, 16)), 1);
-        assert!(t.search(&SearchKey::new((5u128 << 8) | 1, 16)).hit.is_none());
+        assert!(t
+            .search(&SearchKey::new((5u128 << 8) | 1, 16))
+            .hit
+            .is_none());
         assert_eq!(t.overflow_count(), 1);
     }
 
@@ -1183,7 +1401,10 @@ mod tests {
 
     #[test]
     fn probe_limit_zero_fails_on_collision() {
-        let mut t = small_table(Arrangement::Horizontal(1), OverflowPolicy::Probe { max_steps: 0 });
+        let mut t = small_table(
+            Arrangement::Horizontal(1),
+            OverflowPolicy::Probe { max_steps: 0 },
+        );
         for i in 0..4u128 {
             t.insert(rec((i << 8) | 0x06, 0)).unwrap();
         }
@@ -1276,18 +1497,31 @@ mod tests {
 
     #[test]
     fn delete_then_reinsert_reuses_slot() {
-        let mut t = small_table(Arrangement::Horizontal(1), OverflowPolicy::Probe { max_steps: 8 });
+        let mut t = small_table(
+            Arrangement::Horizontal(1),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         t.insert(rec(0x0102, 1)).unwrap();
         let key = TernaryKey::binary(0x0102, 16);
         assert_eq!(t.delete(&key), 1);
         let out = t.insert(rec(0x0102, 2)).unwrap();
         assert_eq!(out.placements[0].displacement, 0);
-        assert_eq!(t.search(&SearchKey::new(0x0102, 16)).hit.unwrap().record.data, 2);
+        assert_eq!(
+            t.search(&SearchKey::new(0x0102, 16))
+                .hit
+                .unwrap()
+                .record
+                .data,
+            2
+        );
     }
 
     #[test]
     fn histograms_track_home_and_placed_counts() {
-        let mut t = small_table(Arrangement::Horizontal(1), OverflowPolicy::Probe { max_steps: 8 });
+        let mut t = small_table(
+            Arrangement::Horizontal(1),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         for i in 0..5u128 {
             t.insert(rec((i << 8) | 0x02, 0)).unwrap(); // all home bucket 2
         }
@@ -1316,7 +1550,8 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, CaRamError::TernaryNotEnabled);
         // Binary keys are fine.
-        t.insert(Record::new(TernaryKey::binary(42, 32), 0)).unwrap();
+        t.insert(Record::new(TernaryKey::binary(42, 32), 0))
+            .unwrap();
     }
 
     #[test]
@@ -1341,7 +1576,11 @@ mod tests {
     }
 
     fn prefix(addr: u128, len: u32) -> TernaryKey {
-        let dc = if len == 32 { 0 } else { (1u128 << (32 - len)) - 1 };
+        let dc = if len == 32 {
+            0
+        } else {
+            (1u128 << (32 - len)) - 1
+        };
         TernaryKey::ternary(addr, dc, 32)
     }
 
@@ -1349,8 +1588,10 @@ mod tests {
     fn insert_sorted_orders_within_bucket_regardless_of_arrival() {
         let mut t = lpm_table();
         // Arrive short-first — the hard case for priority order.
-        t.insert_sorted(Record::new(prefix(0x0100_0000, 8), 8)).unwrap();
-        t.insert_sorted(Record::new(prefix(0x0101_0000, 16), 16)).unwrap();
+        t.insert_sorted(Record::new(prefix(0x0100_0000, 8), 8))
+            .unwrap();
+        t.insert_sorted(Record::new(prefix(0x0101_0000, 16), 16))
+            .unwrap();
         let entries = t.bucket_entries(1);
         let lens: Vec<u32> = entries.iter().map(|(_, r)| r.key.care_count()).collect();
         assert_eq!(lens, vec![16, 8]);
@@ -1366,9 +1607,12 @@ mod tests {
         let mut t = lpm_table();
         // Three prefixes homing at bucket 1; capacity 2. The /8 (lowest
         // priority) must end up evicted to bucket 2, still findable.
-        t.insert_sorted(Record::new(prefix(0x0100_0000, 8), 8)).unwrap();
-        t.insert_sorted(Record::new(prefix(0x0101_0000, 16), 16)).unwrap();
-        t.insert_sorted(Record::new(prefix(0x0101_0100, 24), 24)).unwrap();
+        t.insert_sorted(Record::new(prefix(0x0100_0000, 8), 8))
+            .unwrap();
+        t.insert_sorted(Record::new(prefix(0x0101_0000, 16), 16))
+            .unwrap();
+        t.insert_sorted(Record::new(prefix(0x0101_0100, 24), 24))
+            .unwrap();
         let lens: Vec<u32> = t
             .bucket_entries(1)
             .iter()
@@ -1380,7 +1624,11 @@ mod tests {
         assert_eq!(spilled.memory_accesses, 2, "found via the reach chain");
         // LPM for the longer prefixes still resolves at home.
         assert_eq!(
-            t.search(&SearchKey::new(0x0101_0101, 32)).hit.unwrap().record.data,
+            t.search(&SearchKey::new(0x0101_0101, 32))
+                .hit
+                .unwrap()
+                .record
+                .data,
             24
         );
     }
@@ -1397,7 +1645,11 @@ mod tests {
         for _ in 0..12 {
             let len = rng.gen_range(8..=32u32);
             let addr = u128::from(rng.gen::<u32>())
-                & !(if len == 32 { 0u128 } else { (1u128 << (32 - len)) - 1 });
+                & !(if len == 32 {
+                    0u128
+                } else {
+                    (1u128 << (32 - len)) - 1
+                });
             routes.push((addr, len));
         }
         routes.sort_unstable();
@@ -1406,11 +1658,15 @@ mod tests {
         let mut sorted_routes = routes.clone();
         sorted_routes.sort_by(|a, b| b.1.cmp(&a.1));
         for &(a, l) in &sorted_routes {
-            offline.insert(Record::new(prefix(a, l), u64::from(l))).unwrap();
+            offline
+                .insert(Record::new(prefix(a, l), u64::from(l)))
+                .unwrap();
         }
         let mut online = lpm_table();
         for &(a, l) in &routes {
-            online.insert_sorted(Record::new(prefix(a, l), u64::from(l))).unwrap();
+            online
+                .insert_sorted(Record::new(prefix(a, l), u64::from(l)))
+                .unwrap();
         }
         for _ in 0..500 {
             let addr = u128::from(rng.gen::<u32>());
@@ -1430,7 +1686,7 @@ mod tests {
         // stop-at-first-match search would return the shorter prefix; the
         // post-delete full-reach scan must return the longer one.
         let mut t = lpm_table(); // 2-slot buckets
-        // Fill bucket 1 with two /24s, forcing the /22 to spill to bucket 2.
+                                 // Fill bucket 1 with two /24s, forcing the /22 to spill to bucket 2.
         let a24 = prefix(0x0100_0100, 24);
         let b24 = prefix(0x0100_0200, 24);
         let c22 = prefix(0x0100_0400, 22);
@@ -1479,7 +1735,10 @@ mod tests {
 
     #[test]
     fn wrong_key_width_rejected() {
-        let mut t = small_table(Arrangement::Horizontal(1), OverflowPolicy::Probe { max_steps: 8 });
+        let mut t = small_table(
+            Arrangement::Horizontal(1),
+            OverflowPolicy::Probe { max_steps: 8 },
+        );
         let err = t
             .insert(Record::new(TernaryKey::binary(0, 8), 0))
             .unwrap_err();
@@ -1490,5 +1749,85 @@ mod tests {
                 got: 8
             }
         );
+    }
+
+    /// A ternary table with spills and an overflow area, plus a probe mix
+    /// of hits, misses, and masked keys — shared by the equivalence tests.
+    fn loaded_table_and_probes() -> (CaRamTable, Vec<SearchKey>) {
+        let layout = RecordLayout::new(16, true, 8);
+        let config = TableConfig {
+            rows_log2: 5,
+            row_bits: 128,
+            layout,
+            arrangement: Arrangement::Horizontal(2),
+            probe: ProbePolicy::Linear,
+            overflow: OverflowPolicy::ParallelArea { capacity: 4 },
+        };
+        let mut t = CaRamTable::new(config, Box::new(RangeSelect::new(8, 5))).unwrap();
+        for i in 0..40u64 {
+            let k = u128::from(i);
+            let key = if i % 5 == 0 {
+                TernaryKey::ternary((k * 97) & 0xFFF0, 0xF, 16)
+            } else {
+                TernaryKey::binary((k * 97) & 0xFFFF, 16)
+            };
+            t.insert_weighted(Record::new(key, i), 1.0).unwrap();
+        }
+        let mut probes = Vec::new();
+        for i in 0..60u128 {
+            probes.push(SearchKey::new((i * 53) & 0xFFFF, 16));
+        }
+        // Masked search keys exercise the multi-home path.
+        probes.push(SearchKey::with_mask(0x1230, 0x000F, 16));
+        probes.push(SearchKey::with_mask(0, 0xFFFF, 16));
+        (t, probes)
+    }
+
+    #[test]
+    fn search_agrees_with_baseline() {
+        let (t, probes) = loaded_table_and_probes();
+        for key in &probes {
+            assert_eq!(t.search(key), t.search_baseline(key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn search_batch_agrees_with_per_key_search() {
+        let (t, probes) = loaded_table_and_probes();
+        let batch = t.search_batch(&probes);
+        assert_eq!(batch.len(), probes.len());
+        for (key, got) in probes.iter().zip(&batch) {
+            assert_eq!(*got, t.search(key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_agrees_with_serial_and_merges_stats() {
+        let (t, probes) = loaded_table_and_probes();
+        let serial = t.search_batch(&probes);
+        for threads in [0, 1, 2, 3, 7] {
+            let (par, stats) = t.search_batch_parallel_stats(&probes, threads);
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(stats.searches, probes.len() as u64);
+            assert_eq!(
+                stats.hits,
+                serial.iter().filter(|o| o.hit.is_some()).count() as u64
+            );
+            assert_eq!(
+                stats.memory_accesses,
+                serial
+                    .iter()
+                    .map(|o| u64::from(o.memory_accesses))
+                    .sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_and_clamps() {
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert_eq!(effective_threads(4, 0), 1);
     }
 }

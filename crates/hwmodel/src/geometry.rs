@@ -41,7 +41,10 @@ impl CaRamGeometry {
         assert!(slices > 0, "a CA-RAM needs at least one slice");
         assert!(rows_per_slice > 0, "a slice needs at least one row");
         assert!(row_bits > 0, "a row needs at least one bit");
-        assert!(match_processors > 0, "a slice needs at least one match processor");
+        assert!(
+            match_processors > 0,
+            "a slice needs at least one match processor"
+        );
         assert!(
             !storage.has_embedded_match_logic(),
             "CA-RAM decouples storage from match logic; use a RAM cell, not {storage}"

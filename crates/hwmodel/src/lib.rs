@@ -49,8 +49,8 @@ pub use geometry::{CaRamGeometry, CamGeometry};
 pub use power::{CaRamSearchEnergy, CamSearchEnergy, PowerModel};
 pub use synth::{MatchProcessorParams, MatchStage, StageResult, SynthesisModel, SynthesisReport};
 pub use technology::ProcessNode;
-pub use timing::{CamTiming, CaRamTiming};
+pub use timing::{CaRamTiming, CamTiming};
 pub use units::{
-    Femtojoules, Megahertz, MegaSearchesPerSecond, Milliwatts, Nanoseconds, Picojoules,
+    Femtojoules, MegaSearchesPerSecond, Megahertz, Milliwatts, Nanoseconds, Picojoules,
     SquareMicrons, SquareMillimeters,
 };

@@ -313,12 +313,17 @@ mod tests {
         let (caram, tcam16, _) = fig6_geometries();
         let p_caram = m.caram_standby_power(&caram);
         let p_tcam = m.cam_standby_power(&tcam16);
-        assert!(p_tcam.value() > 5.0 * p_caram.value(),
-            "TCAM {p_tcam} vs CA-RAM {p_caram}");
+        assert!(
+            p_tcam.value() > 5.0 * p_caram.value(),
+            "TCAM {p_tcam} vs CA-RAM {p_caram}"
+        );
         // And refresh is nonzero for DRAM but absent for SRAM storage.
         let sram = CaRamGeometry::new(16, 256, 512, CellKind::Sram6T, 8);
         let p_sram = m.caram_standby_power(&sram);
-        assert!(p_sram.value() > p_caram.value(), "SRAM leaks more than DRAM refreshes");
+        assert!(
+            p_sram.value() > p_caram.value(),
+            "SRAM leaks more than DRAM refreshes"
+        );
     }
 
     #[test]

@@ -340,8 +340,8 @@ impl SynthesisModel {
         let match_cells =
             c * (MATCH_CELLS_XNOR_PER_BIT + ternary_cells + MATCH_CELLS_REDUCTION_PER_BIT);
         let decode_cells = slots * DECODE_CELLS_PER_SLOT;
-        let extract_cells = c
-            * (EXTRACT_CELLS_BASE_PER_BIT + EXTRACT_CELLS_PER_BIT_PER_WIDTH_LEVEL * width_levels);
+        let extract_cells =
+            c * (EXTRACT_CELLS_BASE_PER_BIT + EXTRACT_CELLS_PER_BIT_PER_WIDTH_LEVEL * width_levels);
 
         let stage = |stage: MatchStage, cells: f64, per_cell: f64, delay: f64| StageResult {
             stage,

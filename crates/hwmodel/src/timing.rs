@@ -12,7 +12,7 @@
 //! limits throughput. The cycle-level controller in `ca-ram-core` cross-checks
 //! these formulas by simulation.
 
-use crate::units::{Megahertz, MegaSearchesPerSecond, Nanoseconds};
+use crate::units::{MegaSearchesPerSecond, Megahertz, Nanoseconds};
 
 /// Timing parameters of a CA-RAM device.
 ///
@@ -76,25 +76,13 @@ impl CaRamTiming {
     /// memory access latency of at least 6 cycles.
     #[must_use]
     pub fn dram_200mhz() -> Self {
-        Self::new(
-            Megahertz::new(200.0),
-            6,
-            6,
-            Nanoseconds::new(4.85),
-            true,
-        )
+        Self::new(Megahertz::new(200.0), 6, 6, Nanoseconds::new(4.85), true)
     }
 
     /// An SRAM-based configuration: single-cycle array at 500 MHz.
     #[must_use]
     pub fn sram_500mhz() -> Self {
-        Self::new(
-            Megahertz::new(500.0),
-            1,
-            1,
-            Nanoseconds::new(2.0),
-            true,
-        )
+        Self::new(Megahertz::new(500.0), 1, 1, Nanoseconds::new(2.0), true)
     }
 
     /// Operating frequency.
@@ -268,13 +256,7 @@ mod tests {
 
     #[test]
     fn unpipelined_match_pays_per_probe() {
-        let t = CaRamTiming::new(
-            Megahertz::new(200.0),
-            6,
-            6,
-            Nanoseconds::new(4.85),
-            false,
-        );
+        let t = CaRamTiming::new(Megahertz::new(200.0), 6, 6, Nanoseconds::new(4.85), false);
         assert!((t.search_latency(2).value() - (60.0 + 2.0 * 4.85)).abs() < 1e-9);
     }
 

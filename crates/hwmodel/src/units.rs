@@ -199,7 +199,10 @@ impl Megahertz {
     /// Panics if the frequency is zero.
     #[must_use]
     pub fn period(self) -> Nanoseconds {
-        assert!(self.value() > 0.0, "cannot take the period of a 0 MHz clock");
+        assert!(
+            self.value() > 0.0,
+            "cannot take the period of a 0 MHz clock"
+        );
         Nanoseconds::new(1.0e3 / self.value())
     }
 }
@@ -251,10 +254,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_sum() {
-        let total: SquareMicrons = [1.0, 2.0, 3.0]
-            .iter()
-            .map(|&v| SquareMicrons::new(v))
-            .sum();
+        let total: SquareMicrons = [1.0, 2.0, 3.0].iter().map(|&v| SquareMicrons::new(v)).sum();
         assert!((total.value() - 6.0).abs() < 1e-12);
         assert!((total * 2.0).value() > total.value());
         assert!((total / 2.0).value() < total.value());

@@ -3,15 +3,14 @@
 
 use ca_ram_hwmodel::synth::MatchProcessorParams;
 use ca_ram_hwmodel::{
-    AreaModel, CamGeometry, CaRamGeometry, CaRamTiming, CellKind, Megahertz, Nanoseconds,
+    AreaModel, CaRamGeometry, CaRamTiming, CamGeometry, CellKind, Megahertz, Nanoseconds,
     PowerModel, ProcessNode, SynthesisModel,
 };
 use proptest::prelude::*;
 
 fn caram_geometry() -> impl Strategy<Value = CaRamGeometry> {
-    (1u32..32, 1u64..8192, 64u32..16_384, 1u32..128).prop_map(|(s, r, c, p)| {
-        CaRamGeometry::new(s, r, c, CellKind::EmbeddedDram, p)
-    })
+    (1u32..32, 1u64..8192, 64u32..16_384, 1u32..128)
+        .prop_map(|(s, r, c, p)| CaRamGeometry::new(s, r, c, CellKind::EmbeddedDram, p))
 }
 
 proptest! {

@@ -1,0 +1,35 @@
+//! `any::<T>()` — the full-range strategy for primitive types.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Standard;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a value uniformly over the whole type.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl<T: Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut SmallRng) -> T {
+        T::sample_standard(rng)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+/// Generates any value of `T` (uniform for integers and `bool`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}

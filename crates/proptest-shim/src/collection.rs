@@ -1,0 +1,114 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::SampleRange;
+
+/// Length specifications accepted by [`vec`]: a fixed `usize`, `a..b`, or
+/// `a..=b`.
+pub trait SizeRange {
+    /// Draws a length.
+    fn sample_len(&self, rng: &mut SmallRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut SmallRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` whose elements come from `element` and whose length comes from
+/// `len`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+/// The strategy returned by [`hash_map`].
+#[derive(Debug, Clone)]
+pub struct HashMapStrategy<K, V, L> {
+    key: K,
+    value: V,
+    len: L,
+}
+
+impl<K, V, L> Strategy for HashMapStrategy<K, V, L>
+where
+    K: Strategy,
+    K::Value: std::hash::Hash + Eq,
+    V: Strategy,
+    L: SizeRange,
+{
+    type Value = std::collections::HashMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = self.len.sample_len(rng);
+        let mut map = std::collections::HashMap::with_capacity(n);
+        // Duplicate keys collapse; retry a bounded number of times so tiny
+        // key domains still terminate.
+        let mut attempts = 0usize;
+        while map.len() < n && attempts < n * 20 + 100 {
+            attempts += 1;
+            map.insert(self.key.generate(rng), self.value.generate(rng));
+        }
+        map
+    }
+}
+
+/// A `HashMap` with keys from `key`, values from `value`, and size from
+/// `len` (best-effort when the key domain is small).
+pub fn hash_map<K, V, L>(key: K, value: V, len: L) -> HashMapStrategy<K, V, L>
+where
+    K: Strategy,
+    K::Value: std::hash::Hash + Eq,
+    V: Strategy,
+    L: SizeRange,
+{
+    HashMapStrategy { key, value, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_respect_spec() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let fixed = vec(0u32..5, 6usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 6);
+        let ranged = vec(0u32..5, 1..4usize);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Sampling strategies (`prop::sample`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Uniform choice from a fixed list of values.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+#[must_use]
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.options
+            .choose(rng)
+            .expect("select options are non-empty")
+            .clone()
+    }
+}

@@ -1,0 +1,202 @@
+//! The [`Strategy`] trait and the combinators used by this workspace.
+
+use rand::rngs::SmallRng;
+use rand::SampleRange;
+
+/// A recipe for generating random values of an associated type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// simply draws a concrete value from an RNG.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies
+/// (the expansion of [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        let idx = (0..self.options.len()).sample_single(rng);
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Numeric ranges are strategies drawing uniformly from the range.
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_ranges!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut SmallRng) -> f32 {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// Tuples of strategies generate tuples of values.
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuples! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop_oneof;
+    use rand::SeedableRng;
+
+    #[test]
+    fn map_and_union_compose() {
+        let strat = prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            (100u32..110).prop_map(|v| v + 1),
+        ];
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(
+                (v % 2 == 0 && v < 20) || (101..111).contains(&v),
+                "unexpected value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let strat = (0u8..4, 10u16..14, Just("x"));
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 4 && (10..14).contains(&b) && c == "x");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The case runner: deterministic per-test seeding, rejection handling,
+//! and failure reporting (without shrinking).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-test configuration; only the case count is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's precondition (`prop_assume!`) failed; draw another.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+/// The result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to derive a per-test seed from the test name so streams
+/// are stable across runs and independent across tests.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Runs `case` until `config.cases` cases pass.
+///
+/// The seed is derived from the test name, or overridden by the
+/// `PROPTEST_SEED` environment variable (decimal `u64`) to replay a
+/// reported failure.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when too many cases in a row are rejected
+/// by `prop_assume!`.
+pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut SmallRng) -> TestCaseResult,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fnv1a(name.as_bytes()));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let reject_budget = config.cases.saturating_mul(20).saturating_add(1_000);
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({rejected}, last: {why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case {passed} (seed {seed}; \
+                     rerun with PROPTEST_SEED={seed}):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn runs_requested_case_count() {
+        let mut count = 0;
+        run("counting", &ProptestConfig::with_cases(37), |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 37);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let mut passes = 0;
+        run("rejecting", &ProptestConfig::with_cases(10), |rng| {
+            if rng.gen_bool(0.5) {
+                return Err(TestCaseError::Reject("coin".into()));
+            }
+            passes += 1;
+            Ok(())
+        });
+        assert_eq!(passes, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_context() {
+        run("failing", &ProptestConfig::with_cases(5), |_rng| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! Distributions (`rand::distributions`). Only [`WeightedIndex`] and the
+//! [`Distribution`] trait are provided.
+
+use crate::{RngCore, Standard};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Errors from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Weight types accepted by [`WeightedIndex::new`].
+pub trait IntoWeight {
+    /// The weight as an `f64`.
+    fn into_weight(self) -> f64;
+}
+
+macro_rules! impl_into_weight {
+    ($($t:ty),*) => {$(
+        impl IntoWeight for $t {
+            #[allow(clippy::cast_precision_loss, clippy::cast_lossless)]
+            fn into_weight(self) -> f64 {
+                self as f64
+            }
+        }
+
+        impl IntoWeight for &$t {
+            #[allow(clippy::cast_precision_loss, clippy::cast_lossless)]
+            fn into_weight(self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+
+impl_into_weight!(f64, f32, u8, u16, u32, u64, usize);
+
+/// Samples indices `0..n` in proportion to a list of `n` weights, by
+/// inverse-CDF lookup (binary search over the cumulative weights).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the distribution from an iterator of non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError`] if the list is empty, any weight is
+    /// negative or non-finite, or all weights are zero.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: IntoWeight,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = w.into_weight();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let draw = f64::sample_standard(rng) * self.total;
+        // partition_point finds the first cumulative weight > draw, which
+        // skips zero-weight entries (their cumulative equals the previous).
+        self.cumulative
+            .partition_point(|&c| c <= draw)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new(vec![1.0, -0.5]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new(vec![0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+    }
+
+    #[test]
+    fn zero_weight_entries_never_drawn() {
+        let dist = WeightedIndex::new(vec![0.0, 1.0, 0.0, 3.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts = [0u32; 4];
+        for _ in 0..20_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        // Ratio should be roughly 1:3.
+        let ratio = f64::from(counts[3]) / f64::from(counts[1]);
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn integer_and_reference_weights_accepted() {
+        let ws = [2u32, 1u32];
+        let dist = WeightedIndex::new(ws.iter()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut counts = [0u32; 2];
+        for _ in 0..9_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+    }
+}

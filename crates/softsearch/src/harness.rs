@@ -67,6 +67,58 @@ pub fn measure(
     }
 }
 
+/// As [`measure`], but drives the index through
+/// [`SoftIndex::lookup_batch`] in `batch`-sized chunks of the trace — the
+/// software-side mirror of `CaRamTable::search_batch`. Because the cache
+/// hierarchy is shared mutable state, the access stream (and therefore the
+/// report) is identical to [`measure`]'s for any batch size.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero, the trace is empty or references a key index
+/// out of range, or a lookup misses.
+pub fn measure_batched(
+    index: &dyn SoftIndex,
+    keys: &[u64],
+    trace: &[usize],
+    mem: &mut Hierarchy,
+    batch: usize,
+) -> SearchCostReport {
+    assert!(!trace.is_empty(), "empty trace");
+    assert!(batch > 0, "zero batch size");
+    for &i in trace.iter().take(10_000) {
+        let _ = index.lookup(keys[i], mem);
+    }
+    mem.stats = crate::cache::AccessStats::default();
+
+    let mut total_loads: u64 = 0;
+    let mut batch_keys = Vec::with_capacity(batch);
+    let mut results = Vec::with_capacity(batch);
+    for chunk in trace.chunks(batch) {
+        batch_keys.clear();
+        batch_keys.extend(chunk.iter().map(|&i| keys[i]));
+        results.clear();
+        index.lookup_batch(&batch_keys, mem, &mut results);
+        for (got, &i) in results.iter().zip(chunk) {
+            assert!(got.value.is_some(), "trace key {i} not found");
+            total_loads += u64::from(got.loads);
+        }
+    }
+    let s = mem.stats;
+    #[allow(clippy::cast_precision_loss)]
+    let n = trace.len() as f64;
+    #[allow(clippy::cast_precision_loss)]
+    SearchCostReport {
+        structure: index.name(),
+        lookups: trace.len() as u64,
+        avg_loads: total_loads as f64 / n,
+        avg_memory_accesses: s.memory_accesses as f64 / n,
+        l1_hit_rate: s.l1_hits as f64 / s.accesses as f64,
+        l2_hit_rate: s.l2_hits as f64 / s.accesses as f64,
+        avg_latency_cycles: s.avg_latency_cycles(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +181,20 @@ mod tests {
         let r = measure(&table, &keys, &trace, &mut mem);
         assert!(r.avg_memory_accesses < 0.1, "{:.3}", r.avg_memory_accesses);
         assert!(r.l1_hit_rate + r.l2_hit_rate > 0.95);
+    }
+
+    #[test]
+    fn batched_measurement_equals_per_key_measurement() {
+        let (keys, pairs, trace) = workload(50_000);
+        let mut arena = Arena::new(0);
+        let table = ChainedHash::build(&pairs, 14, &mut arena);
+        let mut mem = Hierarchy::typical();
+        let serial = measure(&table, &keys, &trace, &mut mem);
+        for batch in [1, 7, 256, trace.len()] {
+            mem.reset();
+            let batched = measure_batched(&table, &keys, &trace, &mut mem, batch);
+            assert_eq!(batched, serial, "batch={batch}");
+        }
     }
 
     #[test]

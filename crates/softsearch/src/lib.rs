@@ -40,7 +40,7 @@ pub mod structures;
 pub mod trie;
 
 pub use cache::{AccessStats, Cache, CacheConfig, Hierarchy, HitLevel};
-pub use harness::{measure, SearchCostReport};
+pub use harness::{measure, measure_batched, SearchCostReport};
 pub use structures::{
     Arena, BinarySearchTree, ChainedHash, Lookup, OpenAddressing, SoftIndex, SortedArray,
 };

@@ -50,6 +50,18 @@ pub trait SoftIndex {
     fn lookup(&self, key: u64, mem: &mut Hierarchy) -> Lookup;
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+    /// Looks every key of `keys` up in order, appending one [`Lookup`] per
+    /// key to `out`. The software model threads all loads through one
+    /// stateful cache hierarchy, so execution is inherently serial; this
+    /// default simply loops [`SoftIndex::lookup`]. It exists so harnesses
+    /// can drive software baselines and `CaRamTable::search_batch` through
+    /// the same batched shape.
+    fn lookup_batch(&self, keys: &[u64], mem: &mut Hierarchy, out: &mut Vec<Lookup>) {
+        out.reserve(keys.len());
+        for &key in keys {
+            out.push(self.lookup(key, mem));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -70,7 +70,6 @@ const SHORT_LENGTH_COUNTS: [(u8, f64); 8] = [
 const REFERENCE_PREFIXES: f64 = 186_760.0;
 
 /// Configuration of the synthetic BGP table generator.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BgpConfig {
     /// Number of unique prefixes to generate (the paper's table: 186,760).
@@ -113,7 +112,11 @@ impl BgpConfig {
     pub fn scaled(prefixes: usize) -> Self {
         assert!(prefixes > 0, "need at least one prefix");
         let full = Self::as1103_like();
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let blocks = ((full.blocks as f64) * (prefixes as f64 / full.prefixes as f64))
             .ceil()
             .max(16.0) as usize;
@@ -156,7 +159,9 @@ pub fn generate(config: &BgpConfig) -> Vec<Ipv4Prefix> {
     let long_total = config.prefixes.saturating_sub(short_total);
 
     // Block sizes: lognormal with the configured CV, scaled to the total.
-    let sigma = (1.0 + config.block_size_cv * config.block_size_cv).ln().sqrt();
+    let sigma = (1.0 + config.block_size_cv * config.block_size_cv)
+        .ln()
+        .sqrt();
     let raw: Vec<f64> = (0..config.blocks)
         .map(|_| (sigma * gaussian(&mut rng) - sigma * sigma / 2.0).exp())
         .collect();

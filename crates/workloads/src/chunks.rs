@@ -53,7 +53,10 @@ impl Chunk {
     #[must_use]
     pub fn new(ctype: u8, slots: [u32; SLOTS]) -> Self {
         for (i, &v) in slots.iter().enumerate() {
-            assert!(v < (1 << SLOT_BITS), "slot {i} value {v} exceeds {SLOT_BITS} bits");
+            assert!(
+                v < (1 << SLOT_BITS),
+                "slot {i} value {v} exceeds {SLOT_BITS} bits"
+            );
         }
         Self { ctype, slots }
     }
@@ -125,7 +128,10 @@ impl Cue {
     #[must_use]
     pub fn bind(mut self, i: usize, v: u32) -> Self {
         assert!(i < SLOTS, "slot {i} out of range");
-        assert!(v < (1 << SLOT_BITS), "slot value {v} exceeds {SLOT_BITS} bits");
+        assert!(
+            v < (1 << SLOT_BITS),
+            "slot value {v} exceeds {SLOT_BITS} bits"
+        );
         self.bindings[i] = Some(v);
         self
     }
@@ -160,7 +166,6 @@ impl Cue {
 }
 
 /// Configuration of the synthetic declarative-memory generator.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkConfig {
     /// Unique chunks to generate.

@@ -126,7 +126,6 @@ const LENGTH_WEIGHTS: [(u8, f64); 8] = [
 ];
 
 /// Configuration of the synthetic IPv6 table generator.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ipv6Config {
     /// Unique prefixes to generate.

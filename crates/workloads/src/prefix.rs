@@ -209,13 +209,13 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         for s in [
-            "192.168.0.0",      // no length
-            "192.168.0.0/33",   // length too long
-            "192.168.0.1/16",   // host bits set
-            "1.2.3/8",          // missing octet
-            "1.2.3.4.5/8",      // too many octets
-            "a.b.c.d/8",        // not numbers
-            "300.0.0.0/8",      // octet overflow
+            "192.168.0.0",    // no length
+            "192.168.0.0/33", // length too long
+            "192.168.0.1/16", // host bits set
+            "1.2.3/8",        // missing octet
+            "1.2.3.4.5/8",    // too many octets
+            "a.b.c.d/8",      // not numbers
+            "300.0.0.0/8",    // octet overflow
         ] {
             assert!(s.parse::<Ipv4Prefix>().is_err(), "{s}");
         }

@@ -16,7 +16,6 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Configuration of the synthetic trigram generator.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrigramConfig {
     /// Unique entries to generate (the paper's partition: 5,385,231).
@@ -87,8 +86,8 @@ pub fn pack_text_key(text: &str) -> u128 {
 /// English letter frequencies (approximate, for realistic-looking words;
 /// the hash statistics do not depend on them).
 const LETTER_WEIGHTS: [f64; 26] = [
-    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4, 6.7, 7.5, 1.9, 0.095,
-    6.0, 6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074,
+    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4, 6.7, 7.5, 1.9, 0.095, 6.0,
+    6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074,
 ];
 
 /// Word-length weights for lengths 2..=8.

@@ -34,11 +34,7 @@ pub struct BitSelection {
 /// Panics if `r` is zero or larger than the candidate set, or if
 /// `prefixes` is empty.
 #[must_use]
-pub fn greedy_bit_selection(
-    prefixes: &[Ipv4Prefix],
-    r: u32,
-    candidates: &[u32],
-) -> BitSelection {
+pub fn greedy_bit_selection(prefixes: &[Ipv4Prefix], r: u32, candidates: &[u32]) -> BitSelection {
     assert!(!prefixes.is_empty(), "need at least one prefix");
     assert!(
         r > 0 && (r as usize) <= candidates.len(),
@@ -71,8 +67,7 @@ pub fn greedy_bit_selection(
             if chosen.contains(&bit) {
                 continue;
             }
-            let mut loads =
-                vec![0u32; 1usize << (chosen.len() + 1)];
+            let mut loads = vec![0u32; 1usize << (chosen.len() + 1)];
             for (i, &addr) in addrs.iter().enumerate() {
                 let g = (groups[i] << 1) | ((addr >> bit) & 1);
                 loads[g as usize] += 1;
@@ -170,9 +165,7 @@ mod tests {
     #[test]
     fn perfect_split_on_structured_input() {
         // Addresses 0..64 shifted to the top: bits 26..32 split perfectly.
-        let table: Vec<Ipv4Prefix> = (0u32..64)
-            .map(|i| Ipv4Prefix::new(i << 26, 16))
-            .collect();
+        let table: Vec<Ipv4Prefix> = (0u32..64).map(|i| Ipv4Prefix::new(i << 26, 16)).collect();
         let candidates: Vec<u32> = (16..32).collect();
         let sel = greedy_bit_selection(&table, 6, &candidates);
         assert_eq!(sel.max_load, 1);

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 0xAC7,
     };
     let chunks = generate(&config);
-    println!("declarative memory: {} chunks, {} types", chunks.len(), config.types);
+    println!(
+        "declarative memory: {} chunks, {} types",
+        chunks.len(),
+        config.types
+    );
 
     // Hash on the type field (4 bits) and low bits of slot0 (6 bits):
     // retrievals conventionally bind the first slot, and the type is always
@@ -81,7 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(cue.matches(&Chunk::from_key(hit.record.key.value())));
 
     // --- partial cue leaving slot0 open: multi-bucket masked search ---------
-    let cue = Cue::of_type(target.ctype).bind(1, target.slots[1]).bind(2, target.slots[2]);
+    let cue = Cue::of_type(target.ctype)
+        .bind(1, target.slots[1])
+        .bind(2, target.slots[2]);
     let got = memory.search(&cue.to_search_key());
     let hit = got.hit.expect("the target matches");
     println!(
@@ -92,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(got.memory_accesses >= 64);
 
     // --- massive data evaluation: census by type ----------------------------
-    let mut census = vec![0u64; 12];
+    let mut census = [0u64; 12];
     let receipt = memory.for_each_record(|_, _, r| {
         census[Chunk::from_key(r.key.value()).ctype as usize] += 1;
     });

@@ -13,7 +13,7 @@ use ca_ram::core::key::SearchKey;
 use ca_ram::core::layout::{Record, RecordLayout};
 use ca_ram::core::probe::ProbePolicy;
 use ca_ram::core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
-use ca_ram::hwmodel::{AreaModel, CamGeometry, CaRamGeometry, CellKind, Megahertz, PowerModel};
+use ca_ram::hwmodel::{AreaModel, CaRamGeometry, CamGeometry, CellKind, Megahertz, PowerModel};
 use ca_ram::workloads::bgp::{generate, BgpConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -21,7 +21,10 @@ use rand::{Rng, SeedableRng};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- build the routing table -----------------------------------------
     let routes = generate(&BgpConfig::scaled(30_000));
-    println!("routing table: {} prefixes (synthetic, AS1103-like shape)", routes.len());
+    println!(
+        "routing table: {} prefixes (synthetic, AS1103-like shape)",
+        routes.len()
+    );
 
     // Design D of Table 2 scaled to this table size: 64-key buckets, 2
     // horizontal slices, 512 rows (alpha ~= 0.46). Next-hop ids live in the
@@ -43,7 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, route) in routes.iter().enumerate() {
         let next_hop = u64::from(route.len()) * 100 + u64::from(route.addr() & 0xF);
         caram.insert(Record::new(route.to_ternary_key(), next_hop))?;
-        tcam.write(i, TcamEntry { key: route.to_ternary_key(), data: next_hop });
+        tcam.write(
+            i,
+            TcamEntry {
+                key: route.to_ternary_key(),
+                data: next_hop,
+            },
+        );
     }
     let report = caram.load_report();
     println!(

@@ -31,7 +31,9 @@ fn ngram_table(rows_log2: u32, keys_per_row: u32) -> CaRamTable {
         layout,
         arrangement: Arrangement::Horizontal(1),
         probe: ProbePolicy::Linear,
-        overflow: OverflowPolicy::Probe { max_steps: 1 << rows_log2 },
+        overflow: OverflowPolicy::Probe {
+            max_steps: 1 << rows_log2,
+        },
     };
     // 60-bit keys = 7.5 bytes; hash the low 8 bytes.
     CaRamTable::new(config, Box::new(DjbHash::new(32, 8))).expect("valid config")
@@ -164,9 +166,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "back-off endings: {} trigram, {} bigram, {} unigram",
         chain_counts[0], chain_counts[1], chain_counts[2]
     );
-    println!(
-        "CA-RAM traffic: {accesses} memory accesses, {per_word:.2} per scored word"
-    );
+    println!("CA-RAM traffic: {accesses} memory accesses, {per_word:.2} per scored word");
     println!("every score matched the reference software model.");
     println!("\nper-database activity (the power-policy hook of Sec. 3.2):");
     for (name, id) in [("unigrams", uni), ("bigrams", bi), ("trigrams", tri)] {

@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for addr in 0..words.min(16) {
         sub.ram_write(scratch, addr, addr * 3)?;
     }
-    println!("scratch-pad: wrote {} words, word[5] = {}", words.min(16), sub.ram_read(scratch, 5)?);
+    println!(
+        "scratch-pad: wrote {} words, word[5] = {}",
+        words.min(16),
+        sub.ram_read(scratch, 5)?
+    );
 
     // --- 1b. RAM mode: database construction by memory copy ----------------
     // Build one bucket's image in "DRAM" and copy it in, then install the
@@ -45,15 +49,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bucket: u64 = 9;
     let row_words = sub.table(routing).slices()[0].array().row_words() as usize;
     let mut row_image = vec![0u64; row_words];
-    layout.encode_slot(&mut row_image, 0, &Record::new(TernaryKey::binary(0x0009, 16), 900));
-    layout.encode_slot(&mut row_image, 1, &Record::new(TernaryKey::binary(0x0109, 16), 901));
+    layout.encode_slot(
+        &mut row_image,
+        0,
+        &Record::new(TernaryKey::binary(0x0009, 16), 900),
+    );
+    layout.encode_slot(
+        &mut row_image,
+        1,
+        &Record::new(TernaryKey::binary(0x0109, 16), 901),
+    );
     {
         let table = sub.table_mut(routing);
         table.slices_mut()[0]
             .array_mut()
             .row_mut(bucket)
             .copy_from_slice(&row_image);
-        table.slices_mut()[0].set_aux(bucket, AuxField { valid: 0b11, reach: 0 });
+        table.slices_mut()[0].set_aux(
+            bucket,
+            AuxField {
+                valid: 0b11,
+                reach: 0,
+            },
+        );
     }
     println!("copied a pre-hashed bucket image into bucket {bucket}");
 

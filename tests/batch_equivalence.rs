@@ -1,0 +1,165 @@
+//! Property-based equivalence tests for the batched/parallel search
+//! pipeline: `search_batch` (serial and sharded) must be bit-identical to
+//! per-key `search`, which must itself agree with the decode-everything
+//! reference `search_baseline`; the parallel bulk operations must agree
+//! with their serial forms. Both binary and ternary layouts are exercised,
+//! with masked search keys and masked stored keys.
+
+use ca_ram::core::error::CaRamError;
+use ca_ram::core::index::RangeSelect;
+use ca_ram::core::key::{SearchKey, TernaryKey};
+use ca_ram::core::layout::{Record, RecordLayout};
+use ca_ram::core::probe::ProbePolicy;
+use ca_ram::core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use proptest::prelude::*;
+
+/// A to-be-stored key: `value` with its low `dc_len` bits don't-care
+/// (prefix-style masking, as in LPM), or fully binary when the layout is.
+#[derive(Debug, Clone, Copy)]
+struct StoredKey {
+    value: u16,
+    dc_len: u8,
+}
+
+/// A probe: `value`, optionally with its low `mask_len` bits masked.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    value: u16,
+    mask_len: u8,
+    masked: bool,
+}
+
+fn stored_key_strategy() -> impl Strategy<Value = StoredKey> {
+    (any::<u16>(), 0u8..=8).prop_map(|(value, dc_len)| StoredKey { value, dc_len })
+}
+
+fn probe_strategy() -> impl Strategy<Value = Probe> {
+    (any::<u16>(), 0u8..=16, any::<bool>()).prop_map(|(value, mask_len, masked)| Probe {
+        value,
+        mask_len,
+        masked,
+    })
+}
+
+fn build_table(ternary: bool, overflow: OverflowPolicy, stored: &[StoredKey]) -> CaRamTable {
+    let layout = RecordLayout::new(16, ternary, 8);
+    let config = TableConfig {
+        rows_log2: 5,
+        row_bits: 4 * layout.slot_bits(),
+        layout,
+        arrangement: Arrangement::Horizontal(2),
+        probe: ProbePolicy::Linear,
+        overflow,
+    };
+    // Index over bits 8..13: stored don't-care bits (low 8) never overlap,
+    // while masked *search* keys may, exercising multi-home enumeration.
+    let mut table = CaRamTable::new(config, Box::new(RangeSelect::new(8, 5))).expect("valid");
+    for (i, s) in stored.iter().enumerate() {
+        let dc = if ternary { (1u128 << s.dc_len) - 1 } else { 0 };
+        let key = TernaryKey::ternary(u128::from(s.value) & !dc, dc, 16);
+        let record = Record::new(key, (i % 251) as u64);
+        match table.insert(record) {
+            Ok(_) | Err(CaRamError::TableFull { .. }) => {}
+            Err(e) => panic!("unexpected insert error: {e}"),
+        }
+    }
+    table
+}
+
+fn to_search_keys(probes: &[Probe]) -> Vec<SearchKey> {
+    probes
+        .iter()
+        .map(|p| {
+            if p.masked {
+                let dc = if p.mask_len >= 16 {
+                    0xFFFF
+                } else {
+                    (1u128 << p.mask_len) - 1
+                };
+                SearchKey::with_mask(u128::from(p.value), dc, 16)
+            } else {
+                SearchKey::new(u128::from(p.value), 16)
+            }
+        })
+        .collect()
+}
+
+fn assert_all_search_paths_agree(table: &CaRamTable, keys: &[SearchKey]) {
+    let per_key: Vec<_> = keys.iter().map(|k| table.search(k)).collect();
+    let baseline: Vec<_> = keys.iter().map(|k| table.search_baseline(k)).collect();
+    assert_eq!(per_key, baseline, "search vs search_baseline");
+    assert_eq!(table.search_batch(keys), per_key, "search_batch vs search");
+    for threads in [2, 3] {
+        assert_eq!(
+            table.search_batch_parallel(keys, threads),
+            per_key,
+            "search_batch_parallel({threads}) vs search"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batched_search_is_bit_identical_ternary(
+        stored in prop::collection::vec(stored_key_strategy(), 1..80),
+        probes in prop::collection::vec(probe_strategy(), 1..40),
+    ) {
+        let table = build_table(true, OverflowPolicy::Probe { max_steps: 32 }, &stored);
+        assert_all_search_paths_agree(&table, &to_search_keys(&probes));
+    }
+
+    #[test]
+    fn batched_search_is_bit_identical_binary(
+        stored in prop::collection::vec(stored_key_strategy(), 1..80),
+        probes in prop::collection::vec(probe_strategy(), 1..40),
+    ) {
+        let table = build_table(false, OverflowPolicy::Probe { max_steps: 32 }, &stored);
+        assert_all_search_paths_agree(&table, &to_search_keys(&probes));
+    }
+
+    #[test]
+    fn batched_search_is_bit_identical_with_overflow_area(
+        stored in prop::collection::vec(stored_key_strategy(), 1..120),
+        probes in prop::collection::vec(probe_strategy(), 1..40),
+    ) {
+        let table = build_table(true, OverflowPolicy::ParallelArea { capacity: 32 }, &stored);
+        assert_all_search_paths_agree(&table, &to_search_keys(&probes));
+    }
+
+    #[test]
+    fn parallel_bulk_ops_agree_with_serial(
+        stored in prop::collection::vec(stored_key_strategy(), 1..80),
+        pattern in probe_strategy(),
+    ) {
+        let table = build_table(true, OverflowPolicy::Probe { max_steps: 32 }, &stored);
+        let pattern = &to_search_keys(&[pattern])[0];
+
+        let serial_count = table.count_matching(pattern);
+        let serial_select = table.select(|r| r.data % 3 == 0);
+        for threads in [2, 5] {
+            prop_assert_eq!(table.count_matching_parallel(pattern, threads), serial_count);
+            let par_select = table.select_parallel(|r| r.data % 3 == 0, threads);
+            prop_assert_eq!(&par_select.0, &serial_select.0, "select order, threads={}", threads);
+            prop_assert_eq!(par_select.1, serial_select.1);
+        }
+
+        let mut serial_table = build_table(true, OverflowPolicy::Probe { max_steps: 32 }, &stored);
+        let serial_receipt = serial_table.update_matching(pattern, |d| d.wrapping_mul(7) + 1);
+        for threads in [2, 5] {
+            let mut par_table = build_table(true, OverflowPolicy::Probe { max_steps: 32 }, &stored);
+            let receipt = par_table.update_matching_parallel(
+                pattern,
+                |d| d.wrapping_mul(7) + 1,
+                threads,
+            );
+            prop_assert_eq!(receipt, serial_receipt);
+            prop_assert_eq!(
+                par_table.select(|_| true).0,
+                serial_table.select(|_| true).0,
+                "post-update contents, threads={}", threads
+            );
+        }
+    }
+}

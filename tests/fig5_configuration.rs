@@ -66,7 +66,10 @@ fn fig5_subsystem_from_a_slice_pool() {
     });
     for (i, s) in trigrams.iter().enumerate() {
         sub.table_mut(lm)
-            .insert(Record::new(TernaryKey::binary(pack_text_key(s), 128), i as u64))
+            .insert(Record::new(
+                TernaryKey::binary(pack_text_key(s), 128),
+                i as u64,
+            ))
             .expect("sized for the entries");
     }
 
@@ -119,8 +122,7 @@ fn fig5_subsystem_from_a_slice_pool() {
             Box::new(RangeSelect::new(0, 8)),
         )
         .expect("pool has capacity");
-    let reports =
-        memtest::full_battery(scratch.slices_mut()[0].array_mut()).expect("RAM access");
+    let reports = memtest::full_battery(scratch.slices_mut()[0].array_mut()).expect("RAM access");
     for r in &reports {
         assert!(r.passed(), "{} failed: {:?}", r.test, r.faults);
     }
@@ -138,9 +140,7 @@ fn reconfigurable_slice_serves_two_applications_in_sequence() {
 
     // Phase 1: ternary IPv4 keys.
     let prefix = TernaryKey::ternary(0x0A000000, 0xFF_FFFF, 32);
-    slice
-        .slice_mut()
-        .append_record(5, &Record::new(prefix, 8));
+    slice.slice_mut().append_record(5, &Record::new(prefix, 8));
     assert!(slice
         .slice()
         .search_bucket(5, &SearchKey::new(0x0A01_0203, 32))

@@ -27,7 +27,10 @@ fn build_caram(routes: &[Ipv4Prefix], arrangement: Arrangement, rows_log2: u32) 
     let (_, vertical) = match arrangement {
         Arrangement::Horizontal(k) => (k, 1),
         Arrangement::Vertical(k) => (1, k),
-        Arrangement::Grid { horizontal, vertical } => (horizontal, vertical),
+        Arrangement::Grid {
+            horizontal,
+            vertical,
+        } => (horizontal, vertical),
     };
     let index_bits = rows_log2 + vertical.next_power_of_two().trailing_zeros();
     let config = TableConfig {
@@ -36,7 +39,9 @@ fn build_caram(routes: &[Ipv4Prefix], arrangement: Arrangement, rows_log2: u32) 
         layout,
         arrangement,
         probe: ProbePolicy::Linear,
-        overflow: OverflowPolicy::Probe { max_steps: 1 << rows_log2 },
+        overflow: OverflowPolicy::Probe {
+            max_steps: 1 << rows_log2,
+        },
     };
     let mut t = CaRamTable::new(config, Box::new(RangeSelect::ip_first16_last(index_bits)))
         .expect("valid config");
@@ -64,11 +69,21 @@ fn four_engines_agree_on_lpm() {
         scrambled.swap(i, j);
     }
     for (i, r) in routes.iter().enumerate() {
-        tcam.write(i, TcamEntry { key: r.to_ternary_key(), data: u64::from(r.len()) });
-        banked.insert(r.to_ternary_key(), u64::from(r.len())).expect("capacity");
+        tcam.write(
+            i,
+            TcamEntry {
+                key: r.to_ternary_key(),
+                data: u64::from(r.len()),
+            },
+        );
+        banked
+            .insert(r.to_ternary_key(), u64::from(r.len()))
+            .expect("capacity");
     }
     for r in &scrambled {
-        sorted.insert(r.to_ternary_key(), u64::from(r.len())).expect("capacity");
+        sorted
+            .insert(r.to_ternary_key(), u64::from(r.len()))
+            .expect("capacity");
     }
     assert!(sorted.invariant_holds());
 
@@ -88,11 +103,20 @@ fn four_engines_agree_on_lpm() {
         let got_banked = banked.search(&key).hit.map(|m| m.entry.data);
         assert_eq!(got_caram, expect, "CA-RAM vs reference on {addr:#010x}");
         assert_eq!(got_tcam, expect, "TCAM vs reference on {addr:#010x}");
-        assert_eq!(got_sorted, expect, "sorted TCAM vs reference on {addr:#010x}");
-        assert_eq!(got_banked, expect, "banked TCAM vs reference on {addr:#010x}");
+        assert_eq!(
+            got_sorted, expect,
+            "sorted TCAM vs reference on {addr:#010x}"
+        );
+        assert_eq!(
+            got_banked, expect,
+            "banked TCAM vs reference on {addr:#010x}"
+        );
         checked_hits += u32::from(expect.is_some());
     }
-    assert!(checked_hits > 1_000, "the workload must actually exercise hits");
+    assert!(
+        checked_hits > 1_000,
+        "the workload must actually exercise hits"
+    );
 }
 
 #[test]
@@ -100,7 +124,14 @@ fn vertical_and_grid_arrangements_agree_with_horizontal() {
     let routes = generate(&BgpConfig::scaled(3_000));
     let h = build_caram(&routes, Arrangement::Horizontal(4), 8);
     let v = build_caram(&routes, Arrangement::Vertical(4), 8);
-    let g = build_caram(&routes, Arrangement::Grid { horizontal: 2, vertical: 2 }, 8);
+    let g = build_caram(
+        &routes,
+        Arrangement::Grid {
+            horizontal: 2,
+            vertical: 2,
+        },
+        8,
+    );
     let mut rng = SmallRng::seed_from_u64(23);
     for _ in 0..2_000 {
         let addr = routes[rng.gen_range(0..routes.len())].random_member(&mut rng);
@@ -125,7 +156,10 @@ fn ipv6_lpm_equivalence_with_tcam() {
     let layout = RecordLayout::new(128, true, 0);
     let config = TableConfig {
         rows_log2: 7,
-        row_bits: 32 * layout.slot_bits(),
+        // 64 keys per row: short prefixes whose hash bits are all masked
+        // replicate into every bucket, so leave real headroom over the
+        // 3 000 routes regardless of the RNG's length/allocation draws.
+        row_bits: 64 * layout.slot_bits(),
         layout,
         arrangement: Arrangement::Horizontal(2),
         probe: ProbePolicy::Linear,
@@ -139,7 +173,13 @@ fn ipv6_lpm_equivalence_with_tcam() {
         caram
             .insert(Record::new(r.to_ternary_key(), 0))
             .expect("sized for the routes");
-        tcam.write(i, TcamEntry { key: r.to_ternary_key(), data: 0 });
+        tcam.write(
+            i,
+            TcamEntry {
+                key: r.to_ternary_key(),
+                data: 0,
+            },
+        );
     }
     let mut rng = SmallRng::seed_from_u64(6);
     let mut hits = 0u32;
@@ -172,7 +212,9 @@ fn deletions_preserve_lpm_equivalence() {
     let mut caram = build_caram(&routes, Arrangement::Horizontal(2), 8);
     let mut sorted = SortedTcam::new(routes.len(), 32);
     for r in &routes {
-        sorted.insert(r.to_ternary_key(), u64::from(r.len())).expect("capacity");
+        sorted
+            .insert(r.to_ternary_key(), u64::from(r.len()))
+            .expect("capacity");
     }
     // Delete a third of the routes from both engines.
     let mut rng = SmallRng::seed_from_u64(31);

@@ -2,11 +2,10 @@
 //! and simulators in this workspace (the bands of Tables 1–3 and Figs. 6–8).
 
 use ca_ram::core::controller::{simulate, QueueModelConfig};
-use ca_ram::hwmodel::{
-    AreaModel, CamGeometry, CaRamGeometry, CellKind, Megahertz, PowerModel,
-    SynthesisModel,
-};
 use ca_ram::hwmodel::synth::MatchProcessorParams;
+use ca_ram::hwmodel::{
+    AreaModel, CaRamGeometry, CamGeometry, CellKind, Megahertz, PowerModel, SynthesisModel,
+};
 
 #[test]
 fn table1_totals() {
@@ -14,15 +13,24 @@ fn table1_totals() {
     assert_eq!(report.total_cells(), 15_992);
     assert!((report.total_area().value() - 100_564.0).abs() < 1_000.0);
     assert!((report.critical_path().value() - 4.85).abs() < 0.05);
-    assert!(report.max_clock().value() > 200.0, "over 200 MHz single-cycle");
+    assert!(
+        report.max_clock().value() > 200.0,
+        "over 200 MHz single-cycle"
+    );
 }
 
 #[test]
 fn figure6_area_and_power_ratios() {
     let area = AreaModel::new();
     let caram_cell = area.caram_cell_area(CellKind::EmbeddedDram, true);
-    assert!(area.cam_cell_area(CellKind::TcamSram16T).ratio_to(caram_cell) > 12.0);
-    let r6 = area.cam_cell_area(CellKind::TcamDynamic6T).ratio_to(caram_cell);
+    assert!(
+        area.cam_cell_area(CellKind::TcamSram16T)
+            .ratio_to(caram_cell)
+            > 12.0
+    );
+    let r6 = area
+        .cam_cell_area(CellKind::TcamDynamic6T)
+        .ratio_to(caram_cell);
     assert!((4.5..5.1).contains(&r6), "6T ratio {r6:.2} (paper: 4.8x)");
 
     let power = PowerModel::new();
@@ -48,8 +56,8 @@ fn figure8_application_level_savings() {
     // IP lookup: 6T TCAM vs design D.
     let tcam = CamGeometry::new(186_760, 32, CellKind::TcamDynamic6T);
     let caram = CaRamGeometry::new(2, 4096, 4096, CellKind::EmbeddedDram, 64);
-    let area_saving = 1.0
-        - area.caram_device_area(&caram).value() / area.cam_device_area(&tcam).value();
+    let area_saving =
+        1.0 - area.caram_device_area(&caram).value() / area.cam_device_area(&tcam).value();
     assert!(
         (0.30..0.55).contains(&area_saving),
         "area saving {area_saving:.2} (paper: 45%)"
@@ -68,9 +76,11 @@ fn figure8_application_level_savings() {
     // Trigram: stacked-capacitor CAM vs design A.
     let cam = CamGeometry::new(5_385_231, 128, CellKind::BinaryCamStacked);
     let caram = CaRamGeometry::new(4, 16_384, 12_288, CellKind::EmbeddedDram, 96);
-    let reduction =
-        area.cam_device_area(&cam).value() / area.caram_device_area(&caram).value();
-    assert!((5.0..7.0).contains(&reduction), "area reduction {reduction:.1}x (paper: 5.9x)");
+    let reduction = area.cam_device_area(&cam).value() / area.caram_device_area(&caram).value();
+    assert!(
+        (5.0..7.0).contains(&reduction),
+        "area reduction {reduction:.1}x (paper: 5.9x)"
+    );
 }
 
 #[test]
@@ -132,7 +142,10 @@ mod table_bands {
         // "Design E, with the lowest load factor, achieves the best AMAL".
         // C and E are within noise of each other in the paper too
         // (1.093 vs 1.072); require E to beat everything except possibly C.
-        assert!(e < a && e < b && e < d && e < f, "E {e:.3} not among the best");
+        assert!(
+            e < a && e < b && e < d && e < f,
+            "E {e:.3} not among the best"
+        );
         // Paper bands (loose): A in 1.2..1.8, F in 1.6..2.6.
         assert!((1.2..1.8).contains(&a), "A AMAL {a:.3} (paper 1.476)");
         assert!((1.6..2.6).contains(&f), "F AMAL {f:.3} (paper 1.990)");
@@ -160,13 +173,27 @@ mod table_bands {
         let alpha = r.load_factor();
         assert!((0.83..0.89).contains(&alpha), "alpha {alpha:.3}");
         let over = r.overflowing_buckets_pct();
-        assert!((4.0..9.0).contains(&over), "overflow {over:.2}% (paper 5.99%)");
+        assert!(
+            (4.0..9.0).contains(&over),
+            "overflow {over:.2}% (paper 5.99%)"
+        );
         let spill = r.spilled_records_pct();
-        assert!((0.1..0.8).contains(&spill), "spill {spill:.2}% (paper 0.34%)");
-        assert!((1.0..1.01).contains(&r.amal_uniform), "AMAL {:.4}", r.amal_uniform);
+        assert!(
+            (0.1..0.8).contains(&spill),
+            "spill {spill:.2}% (paper 0.34%)"
+        );
+        assert!(
+            (1.0..1.01).contains(&r.amal_uniform),
+            "AMAL {:.4}",
+            r.amal_uniform
+        );
         // Fig. 7: the home-bucket histogram is centred around 0.86 x 96.
         let hist = t.home_histogram();
-        assert!((78.0..86.0).contains(&hist.mean()), "mean {:.1}", hist.mean());
+        assert!(
+            (78.0..86.0).contains(&hist.mean()),
+            "mean {:.1}",
+            hist.mean()
+        );
         // And every stored trigram is findable.
         for s in data.iter().step_by(larger_of(entries / 200, 1)) {
             let key = pack_text_key(s);

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use ca_ram::core::index::{RangeSelect, XorFold};
+use ca_ram::core::index::XorFold;
 use ca_ram::core::key::{SearchKey, TernaryKey};
 use ca_ram::core::layout::{Record, RecordLayout};
 use ca_ram::core::probe::ProbePolicy;
@@ -80,7 +80,10 @@ fn run_against_model(table: &mut CaRamTable, ops: &[Op]) {
             "final sweep key {k}"
         );
     }
-    assert_eq!(table.record_count() as usize + table.overflow_count(), model.len());
+    assert_eq!(
+        table.record_count() as usize + table.overflow_count(),
+        model.len()
+    );
 }
 
 proptest! {

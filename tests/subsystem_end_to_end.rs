@@ -102,7 +102,10 @@ fn two_applications_share_one_subsystem() {
             .load_result(sub.result_port(db))
             .expect("mapped port")
             .expect("pumped");
-        let hit = result.outcome.hit.expect("all requests were for stored records");
+        let hit = result
+            .outcome
+            .hit
+            .expect("all requests were for stored records");
         if db.index() == 0 {
             assert!(hit.record.data >= expect.unwrap_or(0) || hit.record.key.care_count() > 0);
         } else {
