@@ -16,20 +16,16 @@
 //! Usage: `ablation [--prefixes N]`
 
 use ca_ram_bench::designs::{build_ip_table, ip_designs, ip_layout, load_prefixes};
-use ca_ram_bench::{arg_parse, rule};
+use ca_ram_bench::{bgp_config, rule, Cli, Result};
 use ca_ram_core::index::RangeSelect;
 use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
-use ca_ram_workloads::bgp::{generate, BgpConfig};
+use ca_ram_workloads::bgp::generate;
 use ca_ram_workloads::prefix::Ipv4Prefix;
 
-fn main() {
-    let prefixes_n: usize = arg_parse("prefixes", 186_760);
-    let config = if prefixes_n == 186_760 {
-        BgpConfig::as1103_like()
-    } else {
-        BgpConfig::scaled(prefixes_n)
-    };
+fn main() -> Result<()> {
+    let prefixes_n: usize = Cli::from_env().parse("prefixes", 186_760)?;
+    let config = bgp_config(prefixes_n, None);
     let table = generate(&config);
     let weights = vec![1.0; table.len()];
     println!(
@@ -63,8 +59,7 @@ fn main() {
             probe: ProbePolicy::Linear,
             overflow: OverflowPolicy::Probe { max_steps: 1 << r },
         };
-        let mut t =
-            CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(r))).expect("valid config");
+        let mut t = CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(r)))?;
         load_prefixes(&mut t, &table, &weights);
         let rep = t.load_report();
         println!(
@@ -97,8 +92,7 @@ fn main() {
             probe,
             overflow: OverflowPolicy::Probe { max_steps: 2048 },
         };
-        let mut t =
-            CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(11))).expect("valid config");
+        let mut t = CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(11)))?;
         load_prefixes(&mut t, &table, &weights);
         let rep = t.load_report();
         println!(
@@ -152,8 +146,7 @@ fn main() {
             overflow: OverflowPolicy::ParallelArea { capacity: 1 << 17 },
         };
         let mut with_area =
-            CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(d.rows_log2)))
-                .expect("valid config");
+            CaRamTable::new(cfg, Box::new(RangeSelect::ip_first16_last(d.rows_log2)))?;
         load_prefixes(&mut with_area, &table, &weights);
         let rep = with_area.load_report();
         println!(
@@ -192,4 +185,5 @@ fn main() {
             agg.entries.len()
         );
     }
+    Ok(())
 }

@@ -4,14 +4,14 @@
 //!
 //! Usage: `bandwidth [--requests N]`
 
-use ca_ram_bench::{arg_parse, rule};
+use ca_ram_bench::{keys_per_sec, rule, time_engine_batch, Cli, Result};
 use ca_ram_core::controller::{simulate, simulate_latency, QueueModelConfig};
 use ca_ram_hwmodel::{CaRamTiming, CamTiming};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
-    let requests: usize = arg_parse("requests", 50_000);
+fn main() -> Result<()> {
+    let requests: usize = Cli::from_env().parse("requests", 50_000)?;
 
     println!("Sec. 3.4: CA-RAM bandwidth formula vs cycle-level simulation");
     println!("(DRAM-based slices: 200 MHz, nmem = 6 cycles; uniform random traffic)\n");
@@ -118,6 +118,7 @@ fn main() {
     // --- trace-driven routing: real keys, real hash, real slice map --------
     println!("\nTrace-driven throughput (trigram design A: 4 vertical slices, DJB hash):");
     trace_driven(requests.min(30_000));
+    Ok(())
 }
 
 /// Routes an actual key trace through the table's hash onto its vertical
@@ -178,19 +179,16 @@ fn trace_driven(lookups: usize) {
             .map(|&i| ca_ram_core::key::SearchKey::new(pack_text_key(&entries[i]), 128))
             .collect()
     };
-    let start = std::time::Instant::now();
-    let serial = table.search_batch(&keys);
-    let serial_secs = start.elapsed().as_secs_f64();
-    let start = std::time::Instant::now();
-    let parallel = table.search_batch_parallel(&keys, 0);
-    let parallel_secs = start.elapsed().as_secs_f64();
-    assert_eq!(serial, parallel, "batch paths must agree");
-    #[allow(clippy::cast_precision_loss)]
-    let n = keys.len() as f64;
+    // The shared driver warms up, asserts the serial and parallel batch
+    // paths agree bit-for-bit, and times each path.
+    let timing = time_engine_batch(&table, &keys, 0);
     println!("\nSimulator throughput over the same table (host-side, not modelled hardware):");
-    println!("  search_batch           {:>10.0} keys/s", n / serial_secs);
+    println!(
+        "  search_batch           {:>10.0} keys/s",
+        keys_per_sec(keys.len(), timing.serial_secs)
+    );
     println!(
         "  search_batch_parallel  {:>10.0} keys/s",
-        n / parallel_secs
+        keys_per_sec(keys.len(), timing.parallel_secs)
     );
 }

@@ -11,14 +11,14 @@
 //!
 //! Usage: `explore [--workload ip|ipv6] [--prefixes N]`
 
-use ca_ram_bench::{arg_parse, arg_value, rule};
+use ca_ram_bench::{bgp_config, rule, BenchError, Cli, Result};
 use ca_ram_core::index::RangeSelect;
 use ca_ram_core::key::TernaryKey;
 use ca_ram_core::layout::{Record, RecordLayout};
 use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram_hwmodel::{AreaModel, CaRamGeometry, CaRamTiming, CellKind, PowerModel};
-use ca_ram_workloads::bgp::{generate as gen_v4, BgpConfig};
+use ca_ram_workloads::bgp::generate as gen_v4;
 use ca_ram_workloads::ipv6::{generate as gen_v6, Ipv6Config};
 
 #[derive(Debug, Clone)]
@@ -106,17 +106,13 @@ fn dominates(a: &DesignCandidate, b: &DesignCandidate) -> bool {
         && (a.area_mm2 < b.area_mm2 || a.power_mw < b.power_mw || a.latency_ns < b.latency_ns)
 }
 
-fn main() {
-    let workload = arg_value("workload").unwrap_or_else(|| "ip".into());
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let workload = cli.value("workload").unwrap_or("ip").to_string();
     let (keys, key_bits, hash_low): (Vec<(TernaryKey, u64)>, u32, u32) = match workload.as_str() {
         "ip" => {
-            let n: usize = arg_parse("prefixes", 186_760);
-            let config = if n == 186_760 {
-                BgpConfig::as1103_like()
-            } else {
-                BgpConfig::scaled(n)
-            };
-            let table = gen_v4(&config);
+            let n: usize = cli.parse("prefixes", 186_760)?;
+            let table = gen_v4(&bgp_config(n, None));
             (
                 table
                     .iter()
@@ -127,7 +123,7 @@ fn main() {
             )
         }
         "ipv6" => {
-            let n: usize = arg_parse("prefixes", 46_690);
+            let n: usize = cli.parse("prefixes", 46_690)?;
             let table = gen_v6(&Ipv6Config {
                 prefixes: n,
                 ..Ipv6Config::default()
@@ -141,7 +137,11 @@ fn main() {
                 96,
             )
         }
-        other => panic!("--workload must be ip or ipv6, got {other}"),
+        other => {
+            return Err(BenchError::Arg(format!(
+                "--workload must be ip or ipv6, got {other}"
+            )))
+        }
     };
     println!(
         "Design-space exploration: {} workload, {} records\n",
@@ -172,7 +172,7 @@ fn main() {
             }
         }
     }
-    candidates.sort_by(|a, b| a.area_mm2.partial_cmp(&b.area_mm2).expect("finite"));
+    candidates.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2));
 
     println!(
         "{:<6} {:>3} {:>5} {:>3} {:>6} {:>7} {:>10} {:>10} {:>9} {:>10}",
@@ -209,4 +209,5 @@ fn main() {
         candidates.len()
     );
     println!("SRAM buys latency and per-search energy; eDRAM buys density — the Sec. 3.1 trade.");
+    Ok(())
 }

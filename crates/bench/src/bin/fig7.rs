@@ -9,14 +9,14 @@
 //! Usage: `fig7 [--entries N] [--seed S]`
 
 use ca_ram_bench::designs::{build_trigram_table, load_trigrams, trigram_designs};
-use ca_ram_bench::{arg_parse, rule};
-use ca_ram_workloads::trigram::{generate, TrigramConfig};
+use ca_ram_bench::{rule, trigram_config, Cli, Result};
+use ca_ram_workloads::trigram::generate;
 
-fn main() {
-    let entries: usize = arg_parse("entries", 5_385_231);
-    let seed: u64 = arg_parse("seed", 0x5F19);
-    let mut config = TrigramConfig::scaled(entries);
-    config.seed = seed;
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let entries: usize = cli.parse("entries", 5_385_231)?;
+    let seed: u64 = cli.parse("seed", 0x5F19)?;
+    let config = trigram_config(entries, Some(seed));
 
     println!("Figure 7: distribution of buckets by records hashed to them (trigram design A)");
     println!("({} entries, seed {seed:#x})\n", config.entries);
@@ -43,8 +43,8 @@ fn main() {
         "records", "buckets"
     );
     rule(76);
-    for (i, &count) in binned.iter().enumerate() {
-        let lo = u32::try_from(i).expect("bin count fits") * bin_width;
+    for (bin, &count) in (0u32..).zip(binned.iter()) {
+        let lo = bin * bin_width;
         if count == 0 && (lo + bin_width < mean as u32 / 2 || lo > max_records) {
             continue;
         }
@@ -70,4 +70,5 @@ fn main() {
     #[allow(clippy::cast_precision_loss)]
     let over = 100.0 * hist.fraction_above(slots);
     println!("buckets above S = {slots}: {over:.2}% (paper: 5.99% overflowing buckets)");
+    Ok(())
 }

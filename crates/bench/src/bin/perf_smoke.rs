@@ -12,50 +12,29 @@
 //! Usage: `perf_smoke [--prefixes N] [--lookups N] [--seed S] [--threads T]
 //! [--out PATH]`
 
-use std::time::Instant;
-
 use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
-use ca_ram_bench::{arg_parse, arg_value, rule};
+use ca_ram_bench::driver::{keys_per_sec, member_trace, time};
+use ca_ram_bench::{ensure, rule, Cli, DesignThroughput, Result, SearchReport};
 use ca_ram_core::key::SearchKey;
 use ca_ram_core::table::{CaRamTable, SearchOutcome};
 use ca_ram_workloads::bgp::{generate, BgpConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-struct DesignResult {
-    name: &'static str,
-    baseline_kps: f64,
-    serial_kps: f64,
-    parallel_kps: f64,
-    mean_accesses: f64,
-}
-
-#[allow(clippy::cast_precision_loss)]
-fn keys_per_sec(n: usize, secs: f64) -> f64 {
-    if secs > 0.0 {
-        n as f64 / secs
-    } else {
-        f64::INFINITY
-    }
-}
 
 fn run_baseline(table: &CaRamTable, keys: &[SearchKey]) -> (Vec<SearchOutcome>, f64) {
-    let start = Instant::now();
-    let outcomes: Vec<SearchOutcome> = keys.iter().map(|k| table.search_baseline(k)).collect();
-    (outcomes, start.elapsed().as_secs_f64())
+    time(|| keys.iter().map(|k| table.search_baseline(k)).collect())
 }
 
-fn main() {
-    let prefixes_n: usize = arg_parse("prefixes", 20_000);
-    let lookups: usize = arg_parse("lookups", 100_000);
-    let seed: u64 = arg_parse("seed", 0x1103);
-    let threads: usize = arg_parse("threads", 0);
-    let out_path = arg_value("out").unwrap_or_else(|| "BENCH_search.json".into());
-    assert!(prefixes_n > 0, "--prefixes must be > 0");
-    assert!(
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let prefixes_n: usize = cli.parse("prefixes", 20_000)?;
+    let lookups: usize = cli.parse("lookups", 100_000)?;
+    let seed: u64 = cli.parse("seed", 0x1103)?;
+    let threads: usize = cli.parse("threads", 0)?;
+    let out_path = cli.value("out").unwrap_or("BENCH_search.json").to_string();
+    ensure(prefixes_n > 0, "--prefixes must be > 0")?;
+    ensure(
         lookups > 0,
-        "--lookups must be > 0 (speedups are undefined on an empty trace)"
-    );
+        "--lookups must be > 0 (speedups are undefined on an empty trace)",
+    )?;
 
     let mut config = BgpConfig::scaled(prefixes_n);
     config.seed = seed;
@@ -64,13 +43,7 @@ fn main() {
 
     // Address trace: random member addresses of random prefixes, so every
     // lookup hits (the paper measures successful-search cost).
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
-    let keys: Vec<SearchKey> = (0..lookups)
-        .map(|i| {
-            let p = &prefixes[i % prefixes.len()];
-            SearchKey::new(u128::from(p.random_member(&mut rng)), 32)
-        })
-        .collect();
+    let keys = member_trace(&prefixes, lookups, seed ^ 0x5EED);
 
     println!("Simulator search throughput ({prefixes_n} prefixes, {lookups} lookups)");
     println!(
@@ -79,39 +52,30 @@ fn main() {
     );
     rule(80);
 
-    let mut results: Vec<DesignResult> = Vec::new();
+    let mut results: Vec<DesignThroughput> = Vec::new();
     for d in ip_designs() {
         let mut table = build_ip_table(&d);
         load_prefixes(&mut table, &prefixes, &weights);
 
-        // Warm-up + correctness: all three paths must agree exactly.
+        // Warm-up + correctness: all three paths must agree exactly, and
+        // the parallel stats must be the shard-exact serial accumulation.
         let (base_outcomes, _) = run_baseline(&table, &keys);
         let serial_outcomes = table.search_batch(&keys);
-        let parallel_outcomes = table.search_batch_parallel(&keys, threads);
+        let (parallel_outcomes, stats) = table.search_batch_parallel_stats(&keys, threads);
         assert_eq!(base_outcomes, serial_outcomes, "design {}", d.name);
         assert_eq!(serial_outcomes, parallel_outcomes, "design {}", d.name);
+        assert_eq!(stats.searches, keys.len() as u64, "design {}", d.name);
 
         let (_, base_secs) = run_baseline(&table, &keys);
-        let start = Instant::now();
-        let serial_outcomes = table.search_batch(&keys);
-        let serial_secs = start.elapsed().as_secs_f64();
-        let start = Instant::now();
-        let _ = table.search_batch_parallel(&keys, threads);
-        let parallel_secs = start.elapsed().as_secs_f64();
+        let (_, serial_secs) = time(|| table.search_batch(&keys));
+        let (_, parallel_secs) = time(|| table.search_batch_parallel(&keys, threads));
 
-        let total_accesses: u64 = serial_outcomes
-            .iter()
-            .map(|o| u64::from(o.memory_accesses))
-            .sum();
-        #[allow(clippy::cast_precision_loss)]
-        let mean_accesses = total_accesses as f64 / serial_outcomes.len() as f64;
-
-        let r = DesignResult {
+        let r = DesignThroughput {
             name: d.name,
             baseline_kps: keys_per_sec(keys.len(), base_secs),
             serial_kps: keys_per_sec(keys.len(), serial_secs),
             parallel_kps: keys_per_sec(keys.len(), parallel_secs),
-            mean_accesses,
+            mean_accesses: stats.measured_amal(),
         };
         println!(
             "{:^6} {:>14.0} {:>14.0} {:>14.0} {:>8.2}x {:>8.2}x {:>8.3}",
@@ -119,18 +83,21 @@ fn main() {
             r.baseline_kps,
             r.serial_kps,
             r.parallel_kps,
-            r.serial_kps / r.baseline_kps,
-            r.parallel_kps / r.baseline_kps,
+            r.serial_speedup(),
+            r.parallel_speedup(),
             r.mean_accesses,
         );
         results.push(r);
     }
     rule(80);
 
-    let min_serial_speedup = results
-        .iter()
-        .map(|r| r.serial_kps / r.baseline_kps)
-        .fold(f64::INFINITY, f64::min);
+    let report = SearchReport {
+        prefixes: prefixes_n,
+        lookups,
+        threads,
+        designs: results,
+    };
+    let min_serial_speedup = report.min_serial_speedup();
     println!(
         "minimum serial speedup over baseline loop: {min_serial_speedup:.2}x (target >= 2.00x) {}",
         if min_serial_speedup >= 2.0 {
@@ -140,32 +107,7 @@ fn main() {
         }
     );
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"benchmark\": \"search\",\n");
-    json.push_str(&format!("  \"prefixes\": {prefixes_n},\n"));
-    json.push_str(&format!("  \"lookups\": {lookups},\n"));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
-    json.push_str(&format!(
-        "  \"min_serial_speedup\": {min_serial_speedup:.4},\n"
-    ));
-    json.push_str("  \"designs\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"baseline_keys_per_sec\": {:.1}, \
-             \"serial_keys_per_sec\": {:.1}, \"parallel_keys_per_sec\": {:.1}, \
-             \"serial_speedup\": {:.4}, \"parallel_speedup\": {:.4}, \
-             \"mean_memory_accesses\": {:.4}}}{}\n",
-            r.name,
-            r.baseline_kps,
-            r.serial_kps,
-            r.parallel_kps,
-            r.serial_kps / r.baseline_kps,
-            r.parallel_kps / r.baseline_kps,
-            r.mean_accesses,
-            if i + 1 == results.len() { "" } else { "," },
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("writable --out path");
+    report.write(&out_path)?;
     println!("(wrote {out_path})");
+    Ok(())
 }

@@ -8,41 +8,52 @@
 
 use std::process::Command;
 
-fn run(bin: &str, args: &[String]) {
+use ca_ram_bench::{BenchError, Cli, Result};
+
+fn run(bin: &str, args: &[String]) -> Result<()> {
     println!("\n==================== {bin} ====================\n");
-    let exe = std::env::current_exe().expect("current executable path");
-    let dir = exe.parent().expect("executable directory");
+    let exe = std::env::current_exe().map_err(|e| BenchError::Child {
+        bin: bin.to_string(),
+        message: format!("current executable path: {e}"),
+    })?;
+    let dir = exe.parent().ok_or_else(|| BenchError::Child {
+        bin: bin.to_string(),
+        message: "executable has no parent directory".to_string(),
+    })?;
     let status = Command::new(dir.join(bin))
         .args(args)
         .status()
-        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-    assert!(status.success(), "{bin} failed with {status}");
+        .map_err(|e| BenchError::Child {
+            bin: bin.to_string(),
+            message: format!("failed to launch: {e}"),
+        })?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(BenchError::Child {
+            bin: bin.to_string(),
+            message: format!("exited with {status}"),
+        })
+    }
 }
 
-fn main() {
-    let passthrough: Vec<String> = std::env::args().skip(1).collect();
-    let tri_args: Vec<String> = passthrough
-        .windows(2)
-        .filter(|w| w[0] == "--entries" || w[0] == "--seed")
-        .flat_map(|w| w.to_vec())
-        .collect();
-    let ip_args: Vec<String> = passthrough
-        .windows(2)
-        .filter(|w| w[0] == "--prefixes" || w[0] == "--seed")
-        .flat_map(|w| w.to_vec())
-        .collect();
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let tri_args = cli.passthrough(&["entries", "seed"]);
+    let ip_args = cli.passthrough(&["prefixes", "seed"]);
 
-    run("table1", &[]);
-    run("table2", &ip_args);
-    run("table3", &tri_args);
-    run("fig6", &[]);
-    run("fig7", &tri_args);
-    run("fig8", &[]);
-    run("bandwidth", &[]);
-    run("software_baseline", &[]);
-    run("ablation", &ip_args);
-    run("updates", &[]);
-    run("explore", &ip_args);
-    run("perf_smoke", &ip_args);
+    run("table1", &[])?;
+    run("table2", &ip_args)?;
+    run("table3", &tri_args)?;
+    run("fig6", &[])?;
+    run("fig7", &tri_args)?;
+    run("fig8", &[])?;
+    run("bandwidth", &[])?;
+    run("software_baseline", &[])?;
+    run("ablation", &ip_args)?;
+    run("updates", &[])?;
+    run("explore", &ip_args)?;
+    run("perf_smoke", &ip_args)?;
     println!("\nAll reproduction targets completed.");
+    Ok(())
 }

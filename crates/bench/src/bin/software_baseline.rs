@@ -10,7 +10,7 @@
 //! Usage: `software_baseline [--records N] [--lookups N]`
 
 use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
-use ca_ram_bench::{arg_parse, rule};
+use ca_ram_bench::{exact_match_workload, rule, Cli, ExactMatchWorkload, Result};
 use ca_ram_softsearch::cache::Hierarchy;
 use ca_ram_softsearch::harness::measure;
 use ca_ram_softsearch::structures::{
@@ -21,22 +21,14 @@ use ca_ram_workloads::bgp::{generate, BgpConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
-    let records: usize = arg_parse("records", 1_000_000);
-    let lookups: usize = arg_parse("lookups", 50_000);
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let records: usize = cli.parse("records", 1_000_000)?;
+    let lookups: usize = cli.parse("lookups", 50_000)?;
 
     println!("Software search cost vs CA-RAM (records: {records}, lookups: {lookups})\n");
 
-    let mut rng = SmallRng::seed_from_u64(0xBEEF);
-    let mut keys: Vec<u64> = (0..records).map(|_| rng.gen()).collect();
-    keys.sort_unstable();
-    keys.dedup();
-    let mut pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
-    // Shuffle the build order: a BST built from sorted keys degenerates
-    // into a linked list.
-    use rand::seq::SliceRandom;
-    pairs.shuffle(&mut rng);
-    let trace: Vec<usize> = (0..lookups).map(|_| rng.gen_range(0..keys.len())).collect();
+    let ExactMatchWorkload { pairs, keys, trace } = exact_match_workload(records, lookups, 0xBEEF);
 
     let mut arena = Arena::new(0);
     let chained = ChainedHash::build(&pairs, 18, &mut arena); // ~4 per chain
@@ -119,4 +111,5 @@ fn main() {
         "CA-RAM (design A)", "1 probe", report.amal_uniform
     );
     println!("\nPaper: software needs >=4-6 memory accesses per lookup; CA-RAM needs ~1.");
+    Ok(())
 }

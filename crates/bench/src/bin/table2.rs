@@ -8,23 +8,19 @@
 //! Usage: `table2 [--prefixes N] [--seed S]`
 
 use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
-use ca_ram_bench::{arg_parse, rule};
-use ca_ram_workloads::bgp::{generate, BgpConfig};
+use ca_ram_bench::{bgp_config, rule, write_text, Cli, Result};
+use ca_ram_workloads::bgp::generate;
 use ca_ram_workloads::prefix::Ipv4Prefix;
 use ca_ram_workloads::trace::{frequencies, AccessPattern};
 
-fn main() {
-    let prefixes_n: usize = arg_parse("prefixes", 186_760);
-    let seed: u64 = arg_parse("seed", 0x1103);
-    let mut config = if prefixes_n == 186_760 {
-        BgpConfig::as1103_like()
-    } else {
-        BgpConfig::scaled(prefixes_n)
-    };
-    config.seed = seed;
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let prefixes_n: usize = cli.parse("prefixes", 186_760)?;
+    let seed: u64 = cli.parse("seed", 0x1103)?;
+    let mut config = bgp_config(prefixes_n, Some(seed));
     // Calibration overrides (see EXPERIMENTS.md).
-    config.block_size_cv = arg_parse("cv", config.block_size_cv);
-    config.blocks = arg_parse("blocks", config.blocks);
+    config.block_size_cv = cli.parse("cv", config.block_size_cv)?;
+    config.blocks = cli.parse("blocks", config.blocks)?;
 
     println!("Table 2: Designs of CA-RAM for IP address lookup");
     println!(
@@ -40,11 +36,7 @@ fn main() {
     let zipf = frequencies(table.len(), AccessPattern::Zipf { s: 1.0 }, seed ^ 0xABCD);
     let mut skewed_order: Vec<(Ipv4Prefix, f64)> =
         table.iter().copied().zip(zipf.iter().copied()).collect();
-    skewed_order.sort_by(|a, b| {
-        b.0.len()
-            .cmp(&a.0.len())
-            .then(b.1.partial_cmp(&a.1).expect("weights are finite"))
-    });
+    skewed_order.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then(b.1.total_cmp(&a.1)));
 
     let mut csv =
         String::from("design,r,c,slices,arrangement,alpha,overflow_pct,spill_pct,amalu,amals\n");
@@ -103,8 +95,8 @@ fn main() {
             amals,
         ));
     }
-    if let Some(path) = ca_ram_bench::arg_value("csv") {
-        std::fs::write(&path, csv).expect("writable --csv path");
+    if let Some(path) = cli.value("csv") {
+        write_text(path, &csv)?;
         println!("(wrote {path})");
     }
     rule(96);
@@ -119,4 +111,5 @@ fn main() {
         "measured: {} duplicates over {} prefixes = {dup_pct:.1}%",
         r.duplicate_records, r.original_records
     );
+    Ok(())
 }

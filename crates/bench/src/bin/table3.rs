@@ -9,14 +9,14 @@
 //! Usage: `table3 [--entries N] [--seed S]`
 
 use ca_ram_bench::designs::{build_trigram_table, load_trigrams, trigram_designs};
-use ca_ram_bench::{arg_parse, rule};
-use ca_ram_workloads::trigram::{generate, TrigramConfig};
+use ca_ram_bench::{rule, trigram_config, write_text, Cli, Result};
+use ca_ram_workloads::trigram::generate;
 
-fn main() {
-    let entries: usize = arg_parse("entries", 5_385_231);
-    let seed: u64 = arg_parse("seed", 0x5F19);
-    let mut config = TrigramConfig::scaled(entries);
-    config.seed = seed;
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let entries: usize = cli.parse("entries", 5_385_231)?;
+    let seed: u64 = cli.parse("seed", 0x5F19)?;
+    let config = trigram_config(entries, Some(seed));
 
     println!("Table 3: Designs of CA-RAM for trigram lookup in speech recognition");
     println!(
@@ -60,8 +60,8 @@ fn main() {
             report.amal_uniform,
         ));
     }
-    if let Some(path) = ca_ram_bench::arg_value("csv") {
-        std::fs::write(&path, csv).expect("writable --csv path");
+    if let Some(path) = cli.value("csv") {
+        write_text(path, &csv)?;
         println!("(wrote {path})");
     }
     rule(82);
@@ -69,4 +69,5 @@ fn main() {
     println!(
         "B: α=0.68, 0.02%, 0.00%, 1.000; C: α=0.86, 0.15%, 0.00%, 1.000; D: α=0.68, 0, 0, 1.000."
     );
+    Ok(())
 }

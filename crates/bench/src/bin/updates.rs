@@ -11,7 +11,7 @@
 //!
 //! Usage: `updates [--prefixes N] [--events N]`
 
-use ca_ram_bench::{arg_parse, rule};
+use ca_ram_bench::{rule, Cli, Result};
 use ca_ram_cam::SortedTcam;
 use ca_ram_core::index::RangeSelect;
 use ca_ram_core::key::SearchKey;
@@ -23,9 +23,10 @@ use ca_ram_workloads::prefix::Ipv4Prefix;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
-    let prefixes_n: usize = arg_parse("prefixes", 30_000);
-    let events: usize = arg_parse("events", 20_000);
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let prefixes_n: usize = cli.parse("prefixes", 30_000)?;
+    let events: usize = cli.parse("events", 20_000)?;
     let config = BgpConfig::scaled(prefixes_n);
     let all = generate(&config);
     // Start with 80% of the table installed; churn announces/withdraws the
@@ -159,4 +160,5 @@ fn main() {
     }
     println!("\nequivalence audit: 10,000 lookups, {checked} hits, zero divergences.");
     println!("(CA-RAM updates touch O(chain) buckets; TCAM updates move O(lengths) entries)");
+    Ok(())
 }

@@ -1,0 +1,183 @@
+//! Command-line parsing and error plumbing shared by every bench binary.
+//!
+//! The reproduction binaries take a handful of `--flag value` pairs; this
+//! module gives them one parser and one error type so each `main` can be a
+//! `fn main() -> Result<()>` instead of sprinkling `expect`/`panic!` over
+//! argument handling, file writes, and child processes.
+
+use std::fmt;
+
+use ca_ram_core::error::CaRamError;
+
+/// Errors a bench binary can surface to its caller.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A command-line flag was missing, unparsable, or out of range.
+    Arg(String),
+    /// A result file could not be written.
+    Io {
+        /// Path of the file being written.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A table configuration was rejected by `ca-ram-core`.
+    Config(CaRamError),
+    /// A child reproduction binary failed to launch or exited non-zero.
+    Child {
+        /// Name of the child binary.
+        bin: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Arg(message) => write!(f, "{message}"),
+            Self::Io { path, source } => write!(f, "writing {path}: {source}"),
+            Self::Config(e) => write!(f, "table configuration: {e}"),
+            Self::Child { bin, message } => write!(f, "{bin}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Config(e) => Some(e),
+            Self::Arg(_) | Self::Child { .. } => None,
+        }
+    }
+}
+
+impl From<CaRamError> for BenchError {
+    fn from(e: CaRamError) -> Self {
+        Self::Config(e)
+    }
+}
+
+/// Bench-binary result type.
+pub type Result<T> = std::result::Result<T, BenchError>;
+
+/// Returns an [`BenchError::Arg`] unless `cond` holds.
+///
+/// # Errors
+///
+/// Returns `message` as an argument error when `cond` is false.
+pub fn ensure(cond: bool, message: &str) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(BenchError::Arg(message.to_string()))
+    }
+}
+
+/// The parsed command line of a bench binary: `--flag value` pairs.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    args: Vec<String>,
+}
+
+impl Cli {
+    /// Captures the process arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Builds a command line from explicit arguments (for tests).
+    #[must_use]
+    pub fn from_args<I: IntoIterator<Item = S>, S: Into<String>>(args: I) -> Self {
+        Self {
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The value following `--name`, if present.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.args
+            .iter()
+            .position(|a| *a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Parses `--name <value>` as `T`, falling back to `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Arg`] if the value is present but unparsable.
+    pub fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                BenchError::Arg(format!(
+                    "--{name} expects a {} value, got {v:?}",
+                    std::any::type_name::<T>()
+                ))
+            }),
+        }
+    }
+
+    /// The raw `--flag value` pairs whose flag is in `names`, flattened in
+    /// order — for forwarding a subset of flags to a child binary.
+    #[must_use]
+    pub fn passthrough(&self, names: &[&str]) -> Vec<String> {
+        self.args
+            .windows(2)
+            .filter(|w| names.iter().any(|n| w[0] == format!("--{n}")))
+            .flat_map(<[String]>::to_vec)
+            .collect()
+    }
+}
+
+/// Writes `contents` to `path`, mapping failures to [`BenchError::Io`].
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the write fails.
+pub fn write_text(path: &str, contents: &str) -> Result<()> {
+    std::fs::write(path, contents).map_err(|source| BenchError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_present_absent_and_bad() {
+        let cli = Cli::from_args(["--prefixes", "1000", "--seed", "0x1103"]);
+        assert_eq!(cli.parse("prefixes", 5usize).unwrap(), 1000);
+        assert_eq!(cli.parse("lookups", 7usize).unwrap(), 7);
+        // 0x-prefixed values are not valid for u64's FromStr.
+        assert!(cli.parse::<u64>("seed", 0).is_err());
+        assert_eq!(cli.value("seed"), Some("0x1103"));
+        assert_eq!(cli.value("missing"), None);
+    }
+
+    #[test]
+    fn passthrough_selects_pairs() {
+        let cli = Cli::from_args(["--entries", "9", "--csv", "x", "--seed", "3"]);
+        assert_eq!(
+            cli.passthrough(&["entries", "seed"]),
+            vec!["--entries", "9", "--seed", "3"]
+        );
+    }
+
+    #[test]
+    fn ensure_maps_to_arg_error() {
+        assert!(ensure(true, "fine").is_ok());
+        let err = ensure(false, "--n must be > 0").unwrap_err();
+        assert_eq!(err.to_string(), "--n must be > 0");
+    }
+}

@@ -2,8 +2,16 @@
 //!
 //! The reproduction harness for the CA-RAM paper's evaluation: shared
 //! experiment definitions (the Table 2 and Table 3 design points), builders
-//! that map the synthetic workloads onto `CaRamTable`s, and small CLI
-//! helpers. One binary per table/figure lives in `src/bin/`:
+//! that map the synthetic workloads onto `CaRamTable`s, and the shared
+//! experiment driver every binary runs on:
+//!
+//! * [`cli`] — `--flag value` parsing and the bench error type, so each
+//!   binary is a `fn main() -> Result<()>`;
+//! * [`designs`] — the Table 2 / Table 3 design points and table builders;
+//! * [`driver`] — workload feeds, warmup + timing of `SearchEngine` batch
+//!   paths, stats snapshots, and JSON report emission.
+//!
+//! One binary per table/figure lives in `src/bin/`:
 //!
 //! | binary | artifact |
 //! |--------|----------|
@@ -21,34 +29,15 @@
 #![warn(clippy::pedantic)]
 #![allow(clippy::module_name_repetitions)]
 
+pub mod cli;
 pub mod designs;
+pub mod driver;
 
-use std::env;
-
-/// Returns the value following `--name` on the command line, if present.
-#[must_use]
-pub fn arg_value(name: &str) -> Option<String> {
-    let flag = format!("--{name}");
-    let args: Vec<String> = env::args().collect();
-    args.iter()
-        .position(|a| *a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Parses `--name <value>` as `T`, falling back to `default`.
-///
-/// # Panics
-///
-/// Panics (with a usage message) if the value is present but unparsable.
-#[must_use]
-pub fn arg_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    match arg_value(name) {
-        None => default,
-        Some(v) => v
-            .parse()
-            .unwrap_or_else(|_| panic!("--{name} expects a {} value", std::any::type_name::<T>())),
-    }
-}
+pub use cli::{ensure, write_text, BenchError, Cli, Result};
+pub use driver::{
+    bgp_config, exact_match_workload, keys_per_sec, member_trace, time, time_engine_batch,
+    trigram_config, BatchTiming, DesignThroughput, ExactMatchWorkload, SearchReport,
+};
 
 /// Prints a rule-of-dashes separator sized to `width`.
 pub fn rule(width: usize) {

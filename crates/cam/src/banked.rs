@@ -64,6 +64,12 @@ impl BankedTcam {
         }
     }
 
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
     /// Number of banks (`K`).
     #[must_use]
     #[allow(clippy::missing_panics_doc)] // internal expect: bank ids < 2^16
@@ -105,6 +111,18 @@ impl BankedTcam {
                 .write(*slot, TcamEntry { key, data });
         }
         Some(u32::try_from(slots.len()).expect("bounded by bank count"))
+    }
+
+    /// Entry slots per bank.
+    #[must_use]
+    pub fn bank_capacity(&self) -> usize {
+        self.banks[0].capacity()
+    }
+
+    /// Removes every stored copy of `key` (exact key equality: value, mask,
+    /// and width) across all banks, returning the number of copies removed.
+    pub fn delete(&mut self, key: &TernaryKey) -> u32 {
+        self.banks.iter_mut().map(|b| b.remove_key(key)).sum()
     }
 
     /// Two-phase search: the selector picks the bank(s); only those banks

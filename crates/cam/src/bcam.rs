@@ -42,6 +42,12 @@ impl BinaryCam {
         self.slots.len()
     }
 
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
     /// Number of valid entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -69,6 +75,18 @@ impl BinaryCam {
         let free = self.slots.iter().position(Option::is_none)?;
         self.slots[free] = Some(BcamEntry { key, data });
         Some(free)
+    }
+
+    /// Invalidates every entry storing `key`, returning the number removed.
+    pub fn remove(&mut self, key: u128) -> u32 {
+        let mut removed = 0u32;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.key == key) {
+                *slot = None;
+                removed += 1;
+            }
+        }
+        removed
     }
 
     /// One exact-match search; lowest-index match wins.

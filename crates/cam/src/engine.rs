@@ -1,0 +1,308 @@
+//! [`SearchEngine`] implementations for the CAM baselines.
+//!
+//! Every device in this crate is a search substrate the paper compares
+//! CA-RAM against, so each one plugs into the unified engine interface of
+//! `ca-ram-core`. The reported `memory_accesses` is the device's natural
+//! activity unit: 1 for a monolithic CAM search (the whole array compares
+//! in one cycle), the number of activated banks for the `CoolCAMs` banked
+//! TCAM.
+//!
+//! The exact-match devices ([`BinaryCam`], [`PreclassifiedCam`],
+//! [`PrecomputedBcam`]) reject ternary records at `insert` with
+//! [`CaRamError::TernaryNotEnabled`] and, like their inherent `search`
+//! methods, panic when handed a masked search key — a binary CAM has no
+//! don't-care symbol to compare with (Sec. 2.2).
+
+use ca_ram_core::engine::{EngineHit, EngineOutcome, EngineReport, SearchEngine};
+use ca_ram_core::error::{CaRamError, Result};
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::Record;
+
+use crate::banked::BankedTcam;
+use crate::bcam::BinaryCam;
+use crate::preclassified::PreclassifiedCam;
+use crate::precompute::PrecomputedBcam;
+use crate::tcam::{Tcam, TcamEntry};
+use crate::update::SortedTcam;
+
+fn check_width(got: u32, expected: u32) -> Result<()> {
+    if got == expected {
+        Ok(())
+    } else {
+        Err(CaRamError::KeyWidthMismatch { expected, got })
+    }
+}
+
+fn check_binary(key: &TernaryKey) -> Result<()> {
+    if key.dont_care() == 0 {
+        Ok(())
+    } else {
+        Err(CaRamError::TernaryNotEnabled)
+    }
+}
+
+impl SearchEngine for Tcam {
+    fn name(&self) -> &'static str {
+        "tcam"
+    }
+
+    fn key_bits(&self) -> u32 {
+        Tcam::key_bits(self)
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        EngineOutcome {
+            hit: Tcam::search(self, key).map(|m| EngineHit {
+                key: m.entry.key,
+                data: m.entry.data,
+            }),
+            memory_accesses: 1,
+        }
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        check_width(record.key.bits(), Tcam::key_bits(self))?;
+        self.push(TcamEntry {
+            key: record.key,
+            data: record.data,
+        })
+        .map(|_| ())
+        .ok_or(CaRamError::CapacityExhausted {
+            capacity: self.capacity() as u64,
+        })
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        self.remove_key(key)
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        EngineReport {
+            records: Some(self.len() as u64),
+            capacity: Some(self.capacity() as u64),
+        }
+    }
+}
+
+impl SearchEngine for BinaryCam {
+    fn name(&self) -> &'static str {
+        "bcam"
+    }
+
+    fn key_bits(&self) -> u32 {
+        BinaryCam::key_bits(self)
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        EngineOutcome {
+            hit: BinaryCam::search(self, key).map(|(_, e)| EngineHit {
+                key: TernaryKey::binary(e.key, BinaryCam::key_bits(self)),
+                data: e.data,
+            }),
+            memory_accesses: 1,
+        }
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        check_binary(&record.key)?;
+        check_width(record.key.bits(), BinaryCam::key_bits(self))?;
+        self.push(record.key.value(), record.data)
+            .map(|_| ())
+            .ok_or(CaRamError::CapacityExhausted {
+                capacity: self.capacity() as u64,
+            })
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        if key.dont_care() != 0 {
+            return 0;
+        }
+        self.remove(key.value())
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        EngineReport {
+            records: Some(self.len() as u64),
+            capacity: Some(self.capacity() as u64),
+        }
+    }
+}
+
+impl SearchEngine for BankedTcam {
+    fn name(&self) -> &'static str {
+        "banked-tcam"
+    }
+
+    fn key_bits(&self) -> u32 {
+        BankedTcam::key_bits(self)
+    }
+
+    /// `memory_accesses` is the number of activated banks — the activity
+    /// the `CoolCAMs` scheme minimizes.
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        let m = BankedTcam::search(self, key);
+        EngineOutcome {
+            hit: m.hit.map(|t| EngineHit {
+                key: t.entry.key,
+                data: t.entry.data,
+            }),
+            memory_accesses: m.banks_searched,
+        }
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        check_width(record.key.bits(), BankedTcam::key_bits(self))?;
+        BankedTcam::insert(self, record.key, record.data)
+            .map(|_| ())
+            .ok_or(CaRamError::CapacityExhausted {
+                capacity: u64::from(self.bank_count()) * self.bank_capacity() as u64,
+            })
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        BankedTcam::delete(self, key)
+    }
+
+    /// `records` counts stored copies, so a prefix duplicated across banks
+    /// counts once per bank (as in the real device's occupancy).
+    fn occupancy(&self) -> EngineReport {
+        EngineReport {
+            records: Some(self.len() as u64),
+            capacity: Some(u64::from(self.bank_count()) * self.bank_capacity() as u64),
+        }
+    }
+}
+
+impl SearchEngine for PreclassifiedCam {
+    fn name(&self) -> &'static str {
+        "preclassified-cam"
+    }
+
+    fn key_bits(&self) -> u32 {
+        PreclassifiedCam::key_bits(self)
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        let m = PreclassifiedCam::search(self, key);
+        EngineOutcome {
+            hit: m.hit.map(|e| EngineHit {
+                key: TernaryKey::binary(e.key, PreclassifiedCam::key_bits(self)),
+                data: e.data,
+            }),
+            memory_accesses: 1,
+        }
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        check_binary(&record.key)?;
+        check_width(record.key.bits(), PreclassifiedCam::key_bits(self))?;
+        PreclassifiedCam::insert(self, record.key.value(), record.data)
+            .map(|_| ())
+            .ok_or(CaRamError::CapacityExhausted {
+                capacity: self.capacity() as u64,
+            })
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        if key.dont_care() != 0 {
+            return 0;
+        }
+        self.remove(key.value())
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        EngineReport {
+            records: Some(self.len() as u64),
+            capacity: Some(self.capacity() as u64),
+        }
+    }
+}
+
+impl SearchEngine for PrecomputedBcam {
+    fn name(&self) -> &'static str {
+        "precomputed-bcam"
+    }
+
+    fn key_bits(&self) -> u32 {
+        PrecomputedBcam::key_bits(self)
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        let m = PrecomputedBcam::search(self, key);
+        EngineOutcome {
+            hit: m.hit.map(|e| EngineHit {
+                key: TernaryKey::binary(e.key, PrecomputedBcam::key_bits(self)),
+                data: e.data,
+            }),
+            memory_accesses: 1,
+        }
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        check_binary(&record.key)?;
+        check_width(record.key.bits(), PrecomputedBcam::key_bits(self))?;
+        PrecomputedBcam::insert(self, record.key.value(), record.data)
+            .map(|_| ())
+            .ok_or(CaRamError::CapacityExhausted {
+                capacity: self.capacity() as u64,
+            })
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        if key.dont_care() != 0 {
+            return 0;
+        }
+        self.remove(key.value())
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        EngineReport {
+            records: Some(self.len() as u64),
+            capacity: Some(self.capacity() as u64),
+        }
+    }
+}
+
+impl SearchEngine for SortedTcam {
+    fn name(&self) -> &'static str {
+        "sorted-tcam"
+    }
+
+    fn key_bits(&self) -> u32 {
+        self.device().key_bits()
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        EngineOutcome {
+            hit: SortedTcam::search(self, key).map(|m| EngineHit {
+                key: m.entry.key,
+                data: m.entry.data,
+            }),
+            memory_accesses: 1,
+        }
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        check_width(record.key.bits(), self.device().key_bits())?;
+        SortedTcam::insert(self, record.key, record.data)
+            .map(|_| ())
+            .ok_or(CaRamError::CapacityExhausted {
+                capacity: self.device().capacity() as u64,
+            })
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        let mut removed = 0u32;
+        while SortedTcam::delete(self, key).is_some() {
+            removed += 1;
+        }
+        removed
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        EngineReport {
+            records: Some(self.len() as u64),
+            capacity: Some(self.device().capacity() as u64),
+        }
+    }
+}

@@ -35,6 +35,7 @@
 pub mod aggregate;
 pub mod banked;
 pub mod bcam;
+pub mod engine;
 pub mod preclassified;
 pub mod precompute;
 pub mod tcam;

@@ -90,6 +90,12 @@ impl PreclassifiedCam {
         self.key_bits
     }
 
+    /// Total entry slots across all categories.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.categories.len() * self.category_capacity
+    }
+
     /// Total stored entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -154,6 +160,19 @@ impl PreclassifiedCam {
         }
         bucket.push(PreclassifiedEntry { key, data });
         Some(category)
+    }
+
+    /// Removes every entry storing `key` from its category, returning the
+    /// number removed. The category's control code stays learned.
+    pub fn remove(&mut self, key: u128) -> u32 {
+        let code = self.code_of(key);
+        let Some(category) = self.category_of(code) else {
+            return 0;
+        };
+        let bucket = &mut self.categories[category as usize];
+        let before = bucket.len();
+        bucket.retain(|e| e.key != key);
+        u32::try_from(before - bucket.len()).unwrap_or(u32::MAX)
     }
 
     /// Two-phase search: the C2CAM picks the category, then only that

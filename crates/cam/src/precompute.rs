@@ -61,6 +61,18 @@ impl PrecomputedBcam {
         }
     }
 
+    /// Total entry slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
     /// Stored entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -89,6 +101,15 @@ impl PrecomputedBcam {
         let sig = key.count_ones();
         self.groups[sig as usize].push(PrecomputedEntry { key, data });
         Some(sig)
+    }
+
+    /// Removes every entry storing `key` from its signature group,
+    /// returning the number removed.
+    pub fn remove(&mut self, key: u128) -> u32 {
+        let group = &mut self.groups[key.count_ones() as usize];
+        let before = group.len();
+        group.retain(|e| e.key != key);
+        u32::try_from(before - group.len()).unwrap_or(u32::MAX)
     }
 
     /// Two-phase search: popcount, then compare only the signature group.

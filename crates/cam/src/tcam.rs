@@ -95,6 +95,31 @@ impl Tcam {
         self.slots[index] = Some(entry);
     }
 
+    /// Appends an entry at the first free slot (lowest available priority
+    /// position), returning its index, or `None` when the device is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key width mismatches the device width.
+    pub fn push(&mut self, entry: TcamEntry) -> Option<usize> {
+        let free = self.slots.iter().position(Option::is_none)?;
+        self.write(free, entry);
+        Some(free)
+    }
+
+    /// Invalidates every entry whose stored key exactly equals `key`
+    /// (value, mask, and width), returning the number removed.
+    pub fn remove_key(&mut self, key: &TernaryKey) -> u32 {
+        let mut removed = 0u32;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.key == *key) {
+                *slot = None;
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Invalidates the entry at `index`, returning it if present.
     ///
     /// # Panics

@@ -1,0 +1,204 @@
+//! The unified search-engine abstraction.
+//!
+//! The paper's evaluation (Secs. 4–5) runs one lookup workload against many
+//! substrates — CA-RAM design points, CAM/TCAM baselines, and conventional
+//! software indexes. [`SearchEngine`] is the common interface those
+//! substrates implement so that benches, examples, and tests can drive any
+//! backend through one code path.
+//!
+//! The trait is object-safe: the required surface is `search` / `insert` /
+//! `delete` / `key_bits` / `occupancy`, and every backend inherits the
+//! batched serial and sharded parallel pipelines as provided methods. The
+//! parallel default accumulates per-shard [`SearchStats`] locally and folds
+//! them through [`AtomicSearchStats`], so the merged totals are bit-equal to
+//! what a serial pass over the same keys would record.
+//!
+//! Implementations for concrete backends live next to the backends:
+//! [`crate::table::CaRamTable`] and the [`crate::subsystem::CaRamSubsystem`]
+//! adapter here in `ca-ram-core`, the CAM baselines in `ca-ram-cam`, and the
+//! software-index bridge in `ca-ram-softsearch`.
+
+use crate::error::Result;
+use crate::key::{SearchKey, TernaryKey};
+use crate::layout::Record;
+use crate::stats::{AtomicSearchStats, SearchStats};
+use crate::table::effective_threads;
+
+/// A matched record, in backend-neutral shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineHit {
+    /// The stored key that matched (exact value, or a ternary pattern for
+    /// CAM-class and longest-prefix backends).
+    pub key: TernaryKey,
+    /// The associated data payload (e.g. a next-hop id).
+    pub data: u64,
+}
+
+/// The result of one lookup through a [`SearchEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOutcome {
+    /// The winning record, if any.
+    pub hit: Option<EngineHit>,
+    /// Backend-reported lookup cost in memory accesses: bucket fetches for
+    /// CA-RAM, activated banks for a banked CAM, cache-hierarchy loads for a
+    /// software index, 1 for a monolithic CAM search.
+    pub memory_accesses: u32,
+}
+
+impl EngineOutcome {
+    /// A miss with the given access cost.
+    #[must_use]
+    pub const fn miss(memory_accesses: u32) -> Self {
+        Self {
+            hit: None,
+            memory_accesses,
+        }
+    }
+}
+
+/// An occupancy / cost report for an engine, in backend-neutral shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Records currently stored, when the backend can count them.
+    pub records: Option<u64>,
+    /// Total entry capacity, when the backend is fixed-size.
+    pub capacity: Option<u64>,
+}
+
+impl EngineReport {
+    /// Load factor α = records / capacity, when both are known and the
+    /// capacity is non-zero.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn load_factor(&self) -> Option<f64> {
+        match (self.records, self.capacity) {
+            (Some(r), Some(c)) if c > 0 => Some(r as f64 / c as f64),
+            _ => None,
+        }
+    }
+}
+
+/// A search substrate: anything that can be loaded with keyed records and
+/// probed with search keys at a measurable memory-access cost.
+///
+/// The trait is object-safe — benches and tests drive backends through
+/// `&dyn SearchEngine`. The `Sync` supertrait is what lets the provided
+/// [`SearchEngine::search_batch_parallel_stats`] shard one `&self` across
+/// scoped threads.
+///
+/// Backends with a faster concrete pipeline (e.g. `CaRamTable`'s
+/// allocation-free scratch path) keep their inherent methods and override
+/// the provided ones to delegate, so driving them through the trait costs
+/// one virtual dispatch per call and nothing else.
+pub trait SearchEngine: Sync {
+    /// A short human-readable backend name for reports.
+    fn name(&self) -> &str;
+
+    /// Width of the search keys this engine accepts, in bits.
+    fn key_bits(&self) -> u32;
+
+    /// Looks up one key.
+    fn search(&self, key: &SearchKey) -> EngineOutcome;
+
+    /// Stores a record.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific: capacity exhaustion, key-width mismatch, a ternary
+    /// pattern offered to an exact-match device, or
+    /// [`crate::error::CaRamError::Unsupported`] for statically built
+    /// structures.
+    fn insert(&mut self, record: Record) -> Result<()>;
+
+    /// Removes every stored record whose key equals `key`, returning the
+    /// number removed. Engines that cannot delete return 0.
+    fn delete(&mut self, key: &TernaryKey) -> u32;
+
+    /// Current occupancy.
+    fn occupancy(&self) -> EngineReport;
+
+    /// Looks up a batch of keys serially.
+    ///
+    /// Provided method; backends with an allocation-free inherent batch path
+    /// should override it to delegate.
+    fn search_batch(&self, keys: &[SearchKey]) -> Vec<EngineOutcome> {
+        keys.iter().map(|k| self.search(k)).collect()
+    }
+
+    /// Looks up a batch of keys across `threads` worker threads
+    /// (0 = all available cores), discarding statistics.
+    fn search_batch_parallel(&self, keys: &[SearchKey], threads: usize) -> Vec<EngineOutcome> {
+        self.search_batch_parallel_stats(keys, threads).0
+    }
+
+    /// Looks up a batch of keys across `threads` worker threads
+    /// (0 = all available cores) and returns the outcomes in input order
+    /// plus aggregated search statistics.
+    ///
+    /// The statistics are *shard-exact*: each worker accumulates a local
+    /// [`SearchStats`] and folds it into one [`AtomicSearchStats`], so the
+    /// totals equal what a serial pass over `keys` would record.
+    fn search_batch_parallel_stats(
+        &self,
+        keys: &[SearchKey],
+        threads: usize,
+    ) -> (Vec<EngineOutcome>, SearchStats) {
+        let threads = effective_threads(threads, keys.len());
+        if threads <= 1 {
+            let outcomes = self.search_batch(keys);
+            let mut stats = SearchStats::new();
+            for o in &outcomes {
+                stats.record(o.hit.is_some(), o.memory_accesses);
+            }
+            return (outcomes, stats);
+        }
+
+        let mut outcomes = vec![EngineOutcome::miss(0); keys.len()];
+        let chunk = keys.len().div_ceil(threads);
+        let shared = AtomicSearchStats::new();
+        std::thread::scope(|scope| {
+            for (key_chunk, out_chunk) in keys.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut shard = SearchStats::new();
+                    for (key, out) in key_chunk.iter().zip(out_chunk.iter_mut()) {
+                        let o = self.search(key);
+                        shard.record(o.hit.is_some(), o.memory_accesses);
+                        *out = o;
+                    }
+                    shared.merge(&shard);
+                });
+            }
+        });
+        (outcomes, shared.snapshot())
+    }
+}
+
+pub mod conformance;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_load_factor() {
+        let r = EngineReport {
+            records: Some(3),
+            capacity: Some(4),
+        };
+        assert!((r.load_factor().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(EngineReport::default().load_factor(), None);
+        let zero_cap = EngineReport {
+            records: Some(0),
+            capacity: Some(0),
+        };
+        assert_eq!(zero_cap.load_factor(), None);
+    }
+
+    #[test]
+    fn miss_constructor() {
+        let m = EngineOutcome::miss(7);
+        assert!(m.hit.is_none());
+        assert_eq!(m.memory_accesses, 7);
+    }
+}

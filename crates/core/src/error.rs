@@ -34,6 +34,14 @@ pub enum CaRamError {
     },
     /// Inconsistent construction parameters.
     BadConfig(String),
+    /// A fixed-capacity device (e.g. a CAM baseline) has no free entry left.
+    CapacityExhausted {
+        /// Total entries the device can hold.
+        capacity: u64,
+    },
+    /// The engine does not support this operation (e.g. inserting into a
+    /// statically built software index).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for CaRamError {
@@ -59,6 +67,10 @@ impl fmt::Display for CaRamError {
                 write!(f, "address {address} outside the device ({words} words)")
             }
             CaRamError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CaRamError::CapacityExhausted { capacity } => {
+                write!(f, "device full ({capacity} entries)")
+            }
+            CaRamError::Unsupported(what) => write!(f, "operation not supported: {what}"),
         }
     }
 }
@@ -92,6 +104,12 @@ mod tests {
         .contains("100"));
         assert!(!CaRamError::TernaryNotEnabled.to_string().is_empty());
         assert!(CaRamError::BadConfig("x".into()).to_string().contains('x'));
+        assert!(CaRamError::CapacityExhausted { capacity: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(CaRamError::Unsupported("insert")
+            .to_string()
+            .contains("insert"));
     }
 
     #[test]

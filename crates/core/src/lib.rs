@@ -56,6 +56,7 @@ pub mod bits;
 pub mod bulk;
 pub mod config_regs;
 pub mod controller;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod key;
@@ -74,6 +75,7 @@ pub use config_regs::{ControlRegister, ReconfigurableSlice};
 pub use controller::{
     simulate, simulate_latency, LatencyReport, QueueModelConfig, ThroughputReport,
 };
+pub use engine::{EngineHit, EngineOutcome, EngineReport, SearchEngine};
 pub use error::{CaRamError, Result};
 pub use index::{BitSelect, DjbHash, IndexGenerator, RangeSelect, XorFold};
 pub use key::{SearchKey, TernaryKey, MAX_KEY_BITS};
@@ -81,8 +83,8 @@ pub use layout::{Record, RecordLayout};
 pub use memtest::{MemTestReport, MemoryFault, RamAccess};
 pub use probe::ProbePolicy;
 pub use slice::CaRamSlice;
-pub use stats::{LoadReport, OccupancyHistogram, PlacementStats};
-pub use subsystem::{ActivityCounters, CaRamSubsystem, DatabaseId};
+pub use stats::{AtomicSearchStats, LoadReport, OccupancyHistogram, PlacementStats, SearchStats};
+pub use subsystem::{ActivityCounters, CaRamSubsystem, DatabaseEngine, DatabaseId};
 pub use table::{
     Arrangement, CaRamTable, Hit, InsertOutcome, OverflowPolicy, Placement, SearchOutcome,
     TableConfig,

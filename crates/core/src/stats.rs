@@ -191,6 +191,89 @@ impl SearchStats {
     }
 }
 
+/// Thread-safe search counters: the shared instrumentation cell behind
+/// every [`crate::engine::SearchEngine`] and the subsystem's per-database
+/// activity counters.
+///
+/// Recording is a relaxed atomic add (cheap enough for the hot path);
+/// [`AtomicSearchStats::snapshot`] materialises a plain [`SearchStats`] for
+/// reporting. Serial and parallel search paths use the same cell — a
+/// parallel shard accumulates a local [`SearchStats`] and folds it in once
+/// via [`AtomicSearchStats::merge`], so the totals are exactly what the
+/// serial path would have recorded.
+///
+/// Counter reads are independent relaxed loads: a snapshot taken *while*
+/// writers are recording may mix counts from different moments (each total
+/// is still exact once writers finish).
+#[derive(Debug, Default)]
+pub struct AtomicSearchStats {
+    searches: core::sync::atomic::AtomicU64,
+    hits: core::sync::atomic::AtomicU64,
+    memory_accesses: core::sync::atomic::AtomicU64,
+}
+
+impl AtomicSearchStats {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one search outcome.
+    pub fn record(&self, hit: bool, memory_accesses: u32) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.searches.fetch_add(1, Relaxed);
+        self.hits.fetch_add(u64::from(hit), Relaxed);
+        self.memory_accesses
+            .fetch_add(u64::from(memory_accesses), Relaxed);
+    }
+
+    /// Folds a shard's locally accumulated statistics into the cell.
+    pub fn merge(&self, shard: &SearchStats) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.searches.fetch_add(shard.searches, Relaxed);
+        self.hits.fetch_add(shard.hits, Relaxed);
+        self.memory_accesses
+            .fetch_add(shard.memory_accesses, Relaxed);
+    }
+
+    /// A plain-value copy of the current counters.
+    #[must_use]
+    pub fn snapshot(&self) -> SearchStats {
+        use core::sync::atomic::Ordering::Relaxed;
+        SearchStats {
+            searches: self.searches.load(Relaxed),
+            hits: self.hits.load(Relaxed),
+            memory_accesses: self.memory_accesses.load(Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (e.g. per measurement epoch).
+    pub fn reset(&self) {
+        use core::sync::atomic::Ordering::Relaxed;
+        self.searches.store(0, Relaxed);
+        self.hits.store(0, Relaxed);
+        self.memory_accesses.store(0, Relaxed);
+    }
+}
+
+impl Clone for AtomicSearchStats {
+    fn clone(&self) -> Self {
+        let s = self.snapshot();
+        let out = Self::new();
+        out.merge(&s);
+        out
+    }
+}
+
+impl From<SearchStats> for AtomicSearchStats {
+    fn from(s: SearchStats) -> Self {
+        let out = Self::new();
+        out.merge(&s);
+        out
+    }
+}
+
 /// A snapshot report of a built table, in the shape of a Table 2 / Table 3
 /// row.
 #[derive(Debug, Clone, PartialEq)]

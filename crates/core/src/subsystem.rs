@@ -17,8 +17,11 @@
 
 use std::collections::VecDeque;
 
+use crate::engine::{EngineOutcome, EngineReport, SearchEngine};
 use crate::error::{CaRamError, Result};
 use crate::key::SearchKey;
+use crate::layout::Record;
+use crate::stats::{AtomicSearchStats, SearchStats};
 use crate::table::{CaRamTable, SearchOutcome};
 
 /// Identifies a database (a slice group) within the subsystem.
@@ -48,52 +51,19 @@ pub struct PortResult {
 /// Per-database activity counters — the observability hook the Sec. 3.2
 /// class library's "power management policies" would act on (e.g. gating
 /// idle slice groups).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ActivityCounters {
-    /// Searches served (port or direct).
-    pub searches: u64,
-    /// Searches that produced a hit.
-    pub hits: u64,
-    /// Total bucket fetches performed.
-    pub memory_accesses: u64,
-}
-
-impl ActivityCounters {
-    /// Hit rate over the counted searches.
-    #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        if self.searches == 0 {
-            0.0
-        } else {
-            #[allow(clippy::cast_precision_loss)]
-            {
-                self.hits as f64 / self.searches as f64
-            }
-        }
-    }
-
-    /// Measured average memory accesses per lookup — the live AMAL, as
-    /// opposed to the build-time estimate in
-    /// [`crate::stats::LoadReport::amal_uniform`].
-    #[must_use]
-    pub fn measured_amal(&self) -> f64 {
-        if self.searches == 0 {
-            0.0
-        } else {
-            #[allow(clippy::cast_precision_loss)]
-            {
-                self.memory_accesses as f64 / self.searches as f64
-            }
-        }
-    }
-}
+///
+/// Since the instrumentation-layer refactor this is the shared
+/// [`SearchStats`] snapshot type: the subsystem maintains the counters in an
+/// [`AtomicSearchStats`] cell per database and
+/// [`CaRamSubsystem::counters`] returns a plain-value snapshot of it.
+pub type ActivityCounters = SearchStats;
 
 struct Database {
     name: String,
     table: CaRamTable,
     requests: VecDeque<SearchKey>,
     results: VecDeque<PortResult>,
-    counters: ActivityCounters,
+    counters: AtomicSearchStats,
 }
 
 /// A multi-database CA-RAM memory subsystem.
@@ -134,7 +104,7 @@ impl CaRamSubsystem {
             table,
             requests: VecDeque::new(),
             results: VecDeque::new(),
-            counters: ActivityCounters::default(),
+            counters: AtomicSearchStats::new(),
         });
         id
     }
@@ -175,12 +145,16 @@ impl CaRamSubsystem {
 
     /// Synchronous search on a database (bypassing the port queues but
     /// still counted in the activity counters).
-    pub fn search(&mut self, id: DatabaseId, key: &SearchKey) -> SearchOutcome {
-        let outcome = self.db(id).table.search(key);
-        let c = &mut self.db_mut(id).counters;
-        c.searches += 1;
-        c.hits += u64::from(outcome.hit.is_some());
-        c.memory_accesses += u64::from(outcome.memory_accesses);
+    ///
+    /// The counters are atomic, so searching takes `&self`: concurrent
+    /// lookups against different (or the same) databases need no exclusive
+    /// borrow.
+    #[must_use]
+    pub fn search(&self, id: DatabaseId, key: &SearchKey) -> SearchOutcome {
+        let db = self.db(id);
+        let outcome = db.table.search(key);
+        db.counters
+            .record(outcome.hit.is_some(), outcome.memory_accesses);
         outcome
     }
 
@@ -190,15 +164,28 @@ impl CaRamSubsystem {
         self.db(id).table.search(key)
     }
 
-    /// The activity counters of a database.
+    /// A snapshot of the activity counters of a database.
     #[must_use]
     pub fn counters(&self, id: DatabaseId) -> ActivityCounters {
-        self.db(id).counters
+        self.db(id).counters.snapshot()
     }
 
     /// Resets a database's activity counters (e.g. per measurement epoch).
-    pub fn reset_counters(&mut self, id: DatabaseId) {
-        self.db_mut(id).counters = ActivityCounters::default();
+    pub fn reset_counters(&self, id: DatabaseId) {
+        self.db(id).counters.reset();
+    }
+
+    /// Borrows one database as a [`SearchEngine`], so benches and tests can
+    /// drive it through the unified interface. Searches through the adapter
+    /// are counted in the database's activity counters exactly like
+    /// [`CaRamSubsystem::search`].
+    pub fn engine(&mut self, id: DatabaseId) -> DatabaseEngine<'_> {
+        let db = &mut self.databases[id.0];
+        DatabaseEngine {
+            name: &db.name,
+            table: &mut db.table,
+            counters: &db.counters,
+        }
     }
 
     // ---- memory-mapped port model ------------------------------------------
@@ -256,13 +243,13 @@ impl CaRamSubsystem {
         for db in &mut self.databases {
             keys.clear();
             keys.extend(db.requests.drain(..));
+            let mut batch = SearchStats::new();
             for outcome in db.table.search_batch(&keys) {
-                db.counters.searches += 1;
-                db.counters.hits += u64::from(outcome.hit.is_some());
-                db.counters.memory_accesses += u64::from(outcome.memory_accesses);
+                batch.record(outcome.hit.is_some(), outcome.memory_accesses);
                 db.results.push_back(PortResult { outcome });
                 done += 1;
             }
+            db.counters.merge(&batch);
         }
         done
     }
@@ -279,9 +266,7 @@ impl CaRamSubsystem {
             keys.clear();
             keys.extend(db.requests.drain(..));
             let (outcomes, stats) = db.table.search_batch_parallel_stats(&keys, threads);
-            db.counters.searches += stats.searches;
-            db.counters.hits += stats.hits;
-            db.counters.memory_accesses += stats.memory_accesses;
+            db.counters.merge(&stats);
             for outcome in outcomes {
                 db.results.push_back(PortResult { outcome });
                 done += 1;
@@ -356,6 +341,67 @@ impl CaRamSubsystem {
         self.db_mut(id).table.slices_mut()[slice]
             .array_mut()
             .write_word(word, value)
+    }
+}
+
+/// One subsystem database viewed as a [`SearchEngine`].
+///
+/// Produced by [`CaRamSubsystem::engine`]; borrows the database's table
+/// mutably (for inserts and deletes) and its activity counters shared, so
+/// every search through the adapter — serial, batched, or parallel — is
+/// recorded exactly as a direct [`CaRamSubsystem::search`] would be.
+pub struct DatabaseEngine<'a> {
+    name: &'a str,
+    table: &'a mut CaRamTable,
+    counters: &'a AtomicSearchStats,
+}
+
+impl SearchEngine for DatabaseEngine<'_> {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn key_bits(&self) -> u32 {
+        self.table.layout().key_bits()
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        let outcome = self.table.search(key);
+        self.counters
+            .record(outcome.hit.is_some(), outcome.memory_accesses);
+        outcome.into()
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        self.table.insert(record).map(|_| ())
+    }
+
+    fn delete(&mut self, key: &crate::key::TernaryKey) -> u32 {
+        self.table.delete(key)
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        SearchEngine::occupancy(&*self.table)
+    }
+
+    fn search_batch(&self, keys: &[SearchKey]) -> Vec<EngineOutcome> {
+        let outcomes = self.table.search_batch(keys);
+        let mut batch = SearchStats::new();
+        for o in &outcomes {
+            batch.record(o.hit.is_some(), o.memory_accesses);
+        }
+        self.counters.merge(&batch);
+        outcomes.into_iter().map(Into::into).collect()
+    }
+
+    fn search_batch_parallel_stats(
+        &self,
+        keys: &[SearchKey],
+        threads: usize,
+    ) -> (Vec<EngineOutcome>, SearchStats) {
+        let (outcomes, stats) = self.table.search_batch_parallel_stats(keys, threads);
+        self.counters.merge(&stats);
+        (outcomes.into_iter().map(Into::into).collect(), stats)
     }
 }
 

@@ -22,7 +22,9 @@ use crate::key::SearchKey;
 use crate::layout::{Record, RecordLayout};
 use crate::probe::ProbePolicy;
 use crate::slice::CaRamSlice;
-use crate::stats::{LoadReport, OccupancyHistogram, PlacementStats, SearchStats};
+use crate::stats::{
+    AtomicSearchStats, LoadReport, OccupancyHistogram, PlacementStats, SearchStats,
+};
 
 /// How slices are composed into one logical table (Sec. 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -1002,6 +1004,10 @@ impl CaRamTable {
     /// per-shard [`SearchStats`] so callers maintaining activity counters
     /// (e.g. the subsystem pump) get them without a second pass.
     ///
+    /// Statistics flow through the shared instrumentation layer
+    /// ([`AtomicSearchStats`]): each shard accumulates locally and folds its
+    /// totals in once, so the result is bit-equal to a serial accumulation.
+    ///
     /// # Panics
     ///
     /// Panics if a worker thread panics (a search itself never does for
@@ -1029,26 +1035,23 @@ impl CaRamTable {
             keys.len()
         ];
         let chunk = keys.len().div_ceil(threads);
-        let mut stats = SearchStats::new();
+        let shared = AtomicSearchStats::new();
         std::thread::scope(|scope| {
-            let mut workers = Vec::with_capacity(threads);
             for (key_chunk, out_chunk) in keys.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
-                workers.push(scope.spawn(move || {
+                let shared = &shared;
+                scope.spawn(move || {
                     let mut homes = BucketList::new();
-                    let mut shard = SearchStats::new();
+                    let mut local = SearchStats::new();
                     for (key, out) in key_chunk.iter().zip(out_chunk.iter_mut()) {
                         let outcome = self.search_with_scratch(key, &mut homes);
-                        shard.record(outcome.hit.is_some(), outcome.memory_accesses);
+                        local.record(outcome.hit.is_some(), outcome.memory_accesses);
                         *out = outcome;
                     }
-                    shard
-                }));
-            }
-            for worker in workers {
-                stats.merge(&worker.join().expect("search worker panicked"));
+                    shared.merge(&local);
+                });
             }
         });
-        (outcomes, stats)
+        (outcomes, shared.snapshot())
     }
 
     /// Removes the record whose stored key exactly equals `key` (value,
@@ -1149,6 +1152,66 @@ impl CaRamTable {
     #[must_use]
     pub fn spilled_records(&self) -> u64 {
         self.stats.spilled_records()
+    }
+}
+
+impl From<SearchOutcome> for crate::engine::EngineOutcome {
+    fn from(o: SearchOutcome) -> Self {
+        Self {
+            hit: o.hit.map(|h| crate::engine::EngineHit {
+                key: h.record.key,
+                data: h.record.data,
+            }),
+            memory_accesses: o.memory_accesses,
+        }
+    }
+}
+
+/// [`CaRamTable`] through the unified engine interface. The trait methods
+/// delegate to the inherent allocation-free paths, so a `&dyn SearchEngine`
+/// lookup costs one virtual dispatch over a direct call and nothing else.
+impl crate::engine::SearchEngine for CaRamTable {
+    fn name(&self) -> &'static str {
+        "ca-ram"
+    }
+
+    fn key_bits(&self) -> u32 {
+        self.config.layout.key_bits()
+    }
+
+    fn search(&self, key: &SearchKey) -> crate::engine::EngineOutcome {
+        CaRamTable::search(self, key).into()
+    }
+
+    fn insert(&mut self, record: Record) -> Result<()> {
+        CaRamTable::insert(self, record).map(|_| ())
+    }
+
+    fn delete(&mut self, key: &crate::key::TernaryKey) -> u32 {
+        CaRamTable::delete(self, key)
+    }
+
+    fn occupancy(&self) -> crate::engine::EngineReport {
+        crate::engine::EngineReport {
+            records: Some(self.record_count() + self.overflow_count() as u64),
+            capacity: Some(self.capacity()),
+        }
+    }
+
+    fn search_batch(&self, keys: &[SearchKey]) -> Vec<crate::engine::EngineOutcome> {
+        CaRamTable::search_batch(self, keys)
+            .into_iter()
+            .map(Into::into)
+            .collect()
+    }
+
+    fn search_batch_parallel_stats(
+        &self,
+        keys: &[SearchKey],
+        threads: usize,
+    ) -> (Vec<crate::engine::EngineOutcome>, SearchStats) {
+        let (outcomes, stats) = CaRamTable::search_batch_parallel_stats(self, keys, threads);
+        (outcomes.into_iter().map(Into::into).collect(), stats)
     }
 }
 

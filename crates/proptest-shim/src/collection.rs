@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::SmallRng;
 use rand::SampleRange;
 
-/// Length specifications accepted by [`vec`]: a fixed `usize`, `a..b`, or
+/// Length specifications accepted by [`vec()`]: a fixed `usize`, `a..b`, or
 /// `a..=b`.
 pub trait SizeRange {
     /// Draws a length.
@@ -29,7 +29,7 @@ impl SizeRange for core::ops::RangeInclusive<usize> {
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, L> {
     element: S,

@@ -11,7 +11,12 @@
 //!   all laid out at explicit simulated addresses;
 //! * [`trie`] — a multibit trie, the software LPM structure behind the
 //!   paper's "4 to 6 memory accesses" figure;
-//! * [`harness`] — workload runner producing per-lookup cost reports.
+//! * [`harness`] — workload runner producing per-lookup cost reports;
+//! * [`engine`] — bridge into the unified `ca-ram-core` [`SearchEngine`]
+//!   interface, so software baselines plug into the same benches as CA-RAM
+//!   and the CAM devices.
+//!
+//! [`SearchEngine`]: ca_ram_core::engine::SearchEngine
 //!
 //! # Example
 //!
@@ -35,11 +40,13 @@
 #![allow(clippy::module_name_repetitions)]
 
 pub mod cache;
+pub mod engine;
 pub mod harness;
 pub mod structures;
 pub mod trie;
 
 pub use cache::{AccessStats, Cache, CacheConfig, Hierarchy, HitLevel};
+pub use engine::{SoftEngine, SOFT_KEY_BITS};
 pub use harness::{measure, measure_batched, SearchCostReport};
 pub use structures::{
     Arena, BinarySearchTree, ChainedHash, Lookup, OpenAddressing, SoftIndex, SortedArray,

@@ -3,15 +3,18 @@
 //! Builds a longest-prefix-match forwarding table from a synthetic BGP
 //! routing table, serves a stream of packet lookups, and compares the
 //! result and cost against a TCAM forwarding engine built from the same
-//! routes.
+//! routes — both driven through the unified `SearchEngine` interface, so
+//! the forwarding loop is written once and runs against either substrate.
 //!
 //! Run with: `cargo run --release --example ip_router`
 
-use ca_ram::cam::{Tcam, TcamEntry};
+use ca_ram::cam::Tcam;
+use ca_ram::core::engine::SearchEngine;
 use ca_ram::core::index::RangeSelect;
 use ca_ram::core::key::SearchKey;
 use ca_ram::core::layout::{Record, RecordLayout};
 use ca_ram::core::probe::ProbePolicy;
+use ca_ram::core::stats::SearchStats;
 use ca_ram::core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram::hwmodel::{AreaModel, CaRamGeometry, CamGeometry, CellKind, Megahertz, PowerModel};
 use ca_ram::workloads::bgp::{generate, BgpConfig};
@@ -39,20 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         overflow: OverflowPolicy::Probe { max_steps: 512 },
     };
     let mut caram = CaRamTable::new(config, Box::new(RangeSelect::ip_first16_last(9)))?;
-
     let mut tcam = Tcam::new(routes.len(), 32);
-    // Routes arrive sorted longest-first: CA-RAM insertion order IS the
-    // match priority, and the TCAM gets the same discipline.
-    for (i, route) in routes.iter().enumerate() {
+
+    // Routes arrive sorted longest-first: insertion order IS the match
+    // priority, and the shared `SearchEngine::insert` gives both engines
+    // the same discipline (the TCAM appends to its next free slot).
+    for route in &routes {
         let next_hop = u64::from(route.len()) * 100 + u64::from(route.addr() & 0xF);
-        caram.insert(Record::new(route.to_ternary_key(), next_hop))?;
-        tcam.write(
-            i,
-            TcamEntry {
-                key: route.to_ternary_key(),
-                data: next_hop,
-            },
-        );
+        let record = Record::new(route.to_ternary_key(), next_hop);
+        SearchEngine::insert(&mut caram, record)?;
+        SearchEngine::insert(&mut tcam, record)?;
     }
     let report = caram.load_report();
     println!(
@@ -71,22 +70,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    let mut accesses: u64 = 0;
-    let mut hits: u64 = 0;
-    for &dst in &packets {
-        let key = SearchKey::new(u128::from(dst), 32);
-        let got = caram.search(&key);
-        accesses += u64::from(got.memory_accesses);
-        let caram_hop = got.hit.map(|h| h.record.data);
-        let tcam_hop = tcam.search(&key).map(|m| m.entry.data);
-        assert_eq!(caram_hop, tcam_hop, "LPM disagreement on {dst:#010x}");
-        hits += u64::from(caram_hop.is_some());
-    }
-    #[allow(clippy::cast_precision_loss)]
-    let amal = accesses as f64 / packets.len() as f64;
+    // One forwarding loop, two substrates: the trait object is the whole
+    // difference between "forward via CA-RAM" and "forward via TCAM".
+    let forward = |engine: &dyn SearchEngine| {
+        let mut stats = SearchStats::new();
+        let mut hops = Vec::with_capacity(packets.len());
+        for &dst in &packets {
+            let got = engine.search(&SearchKey::new(u128::from(dst), 32));
+            stats.record(got.hit.is_some(), got.memory_accesses);
+            hops.push(got.hit.map(|h| h.data));
+        }
+        (hops, stats)
+    };
+    let (caram_hops, caram_stats) = forward(&caram);
+    let (tcam_hops, _) = forward(&tcam);
+    assert_eq!(caram_hops, tcam_hops, "LPM disagreement");
     println!(
-        "forwarded {} packets: {hits} matched, measured AMAL {amal:.3}",
-        packets.len()
+        "forwarded {} packets: {} matched, measured AMAL {:.3}",
+        packets.len(),
+        caram_stats.hits,
+        caram_stats.measured_amal()
     );
     println!("CA-RAM and TCAM agreed on every next hop (LPM equivalence).\n");
 

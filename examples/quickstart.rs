@@ -1,7 +1,13 @@
-//! Quickstart: build a CA-RAM table, insert records, search, delete.
+//! Quickstart: build a CA-RAM table and drive it through the unified
+//! `SearchEngine` interface — insert, search, batch search, delete.
+//!
+//! Every search substrate in this workspace (CA-RAM tables, the CAM/TCAM
+//! baselines, the software indexes) implements the same trait, so the code
+//! below works unchanged against any of them.
 //!
 //! Run with: `cargo run --example quickstart`
 
+use ca_ram::core::engine::SearchEngine;
 use ca_ram::core::index::RangeSelect;
 use ca_ram::core::key::{SearchKey, TernaryKey};
 use ca_ram::core::layout::{Record, RecordLayout};
@@ -18,46 +24,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The index generator is the hash function in hardware: here, the low
     // 8 key bits select the bucket.
     let mut table = CaRamTable::new(config, Box::new(RangeSelect::new(0, 8)))?;
+
+    // From here on, everything goes through the unified engine interface.
+    let engine: &mut dyn SearchEngine = &mut table;
+    let occ = engine.occupancy();
     println!(
-        "table: {} buckets x {} slots = {} records capacity",
-        table.logical_buckets(),
-        table.slots_per_bucket(),
-        table.capacity()
+        "engine \"{}\": {}-bit keys, capacity {} records",
+        engine.name(),
+        engine.key_bits(),
+        occ.capacity.unwrap_or(0)
     );
 
     // Insert a few records. In hardware this is the CAM-mode insert
     // operation; the index generator places each record in its bucket.
     for (key, data) in [(0x1111_2222u128, 1u64), (0xAAAA_BBBB, 2), (0x1234_5678, 3)] {
-        let outcome = table.insert(Record::new(TernaryKey::binary(key, 32), data))?;
-        println!(
-            "inserted {key:#010x} -> bucket {} slot {}",
-            outcome.placements[0].bucket, outcome.placements[0].slot
-        );
+        engine.insert(Record::new(TernaryKey::binary(key, 32), data))?;
     }
+    let occ = engine.occupancy();
+    println!(
+        "inserted {} records (load factor {:.4})",
+        occ.records.unwrap_or(0),
+        occ.load_factor().unwrap_or(0.0)
+    );
 
     // Search: one memory access fetches the bucket, the match processors
     // compare all candidates in parallel.
-    let outcome = table.search(&SearchKey::new(0xAAAA_BBBB, 32));
+    let outcome = engine.search(&SearchKey::new(0xAAAA_BBBB, 32));
     let hit = outcome.hit.expect("the key was inserted");
     println!(
         "search 0xAAAABBBB: data = {} ({} memory access(es))",
-        hit.record.data, outcome.memory_accesses
+        hit.data, outcome.memory_accesses
     );
 
     // A miss still costs one access (the home bucket must be examined).
-    let miss = table.search(&SearchKey::new(0xDEAD_BEEF, 32));
+    let miss = engine.search(&SearchKey::new(0xDEAD_BEEF, 32));
     println!(
         "search 0xDEADBEEF: {:?} ({} memory access(es))",
-        miss.hit.map(|h| h.record.data),
+        miss.hit.map(|h| h.data),
         miss.memory_accesses
     );
 
-    // Delete removes the record and frees the slot.
-    let removed = table.delete(&TernaryKey::binary(0x1111_2222, 32));
-    println!("deleted 0x11112222: {removed} copy(ies) removed");
-    assert!(table.search(&SearchKey::new(0x1111_2222, 32)).hit.is_none());
+    // Batched search: the serial and sharded-parallel paths return
+    // bit-identical outcomes (the engine conformance contract).
+    let keys: Vec<SearchKey> = (0..1_000u128)
+        .map(|i| SearchKey::new(0x1111_2222 + (i % 3) * 0x1000, 32))
+        .collect();
+    let serial = engine.search_batch(&keys);
+    let parallel = engine.search_batch_parallel(&keys, 4);
+    assert_eq!(serial, parallel);
+    println!(
+        "batched {} lookups: {} hits (serial == parallel)",
+        keys.len(),
+        serial.iter().filter(|o| o.hit.is_some()).count()
+    );
 
-    // The build statistics the paper's evaluation is based on.
+    // Delete removes the record and frees the slot.
+    let removed = engine.delete(&TernaryKey::binary(0x1111_2222, 32));
+    println!("deleted 0x11112222: {removed} copy(ies) removed");
+    assert!(engine
+        .search(&SearchKey::new(0x1111_2222, 32))
+        .hit
+        .is_none());
+
+    // The build statistics the paper's evaluation is based on (inherent
+    // `CaRamTable` API — the trait exposes the common subset only).
     let report = table.load_report();
     println!(
         "load factor {:.4}, spilled {:.2}%, AMAL {:.3}",

@@ -1,0 +1,181 @@
+//! Instantiates the `SearchEngine` conformance suite against every backend
+//! in the workspace: the CA-RAM table, the subsystem database adapter, the
+//! six CAM baselines, and the software-index bridge.
+//!
+//! The suite (in `ca_ram::core::engine::conformance`) checks the full trait
+//! contract: insert→search round-trip, miss behavior, batch ≡ serial ≡
+//! parallel bit-equivalence, stats-snapshot consistency, and delete→miss.
+
+use ca_ram::cam::{BankedTcam, BinaryCam, PreclassifiedCam, PrecomputedBcam, SortedTcam, Tcam};
+use ca_ram::core::engine::conformance::{check_engine, check_loaded, Probe};
+use ca_ram::core::engine::SearchEngine;
+use ca_ram::core::error::CaRamError;
+use ca_ram::core::index::RangeSelect;
+use ca_ram::core::key::{SearchKey, TernaryKey};
+use ca_ram::core::layout::{Record, RecordLayout};
+use ca_ram::core::subsystem::CaRamSubsystem;
+use ca_ram::core::table::{CaRamTable, TableConfig};
+use ca_ram::softsearch::structures::{Arena, ChainedHash, SortedArray};
+use ca_ram::softsearch::{Hierarchy, SoftEngine};
+
+/// Exact-match probes over disjoint 32-bit values.
+fn exact_probes() -> Vec<Probe> {
+    (0..24u128)
+        .map(|i| Probe::exact(0x1000_0000 + i * 0x101, 32, 1000 + i as u64))
+        .collect()
+}
+
+/// Keys guaranteed to miss the [`exact_probes`] set.
+fn exact_misses() -> Vec<SearchKey> {
+    (0..8u128)
+        .map(|i| SearchKey::new(0x3000_0000 + i * 0x777, 32))
+        .collect()
+}
+
+/// Ternary (prefix-style) probes with disjoint top bytes, probed with a
+/// member address of each pattern.
+fn ternary_probes() -> Vec<Probe> {
+    (0..12u128)
+        .map(|i| {
+            let value = (0x40 + i) << 24;
+            // Low 8 bits are don't-care; probe with a nonzero member.
+            Probe::ternary(value, 0xFF, 32, value | 0x5A, 2000 + i as u64)
+        })
+        .collect()
+}
+
+fn ternary_misses() -> Vec<SearchKey> {
+    (0..6u128)
+        .map(|i| SearchKey::new((0x80 + i) << 24, 32))
+        .collect()
+}
+
+/// A small single-slice CA-RAM table: 16 buckets of 8 ternary-capable
+/// slots, hashed on key bits [24, 28) — above every don't-care bit the
+/// probes use, so no record is duplicated across buckets.
+fn small_table() -> CaRamTable {
+    let layout = RecordLayout::new(32, true, 16);
+    let config = TableConfig::single_slice(4, 8 * layout.slot_bits(), layout);
+    CaRamTable::new(config, Box::new(RangeSelect::new(24, 4))).expect("valid config")
+}
+
+#[test]
+fn caram_table_conforms_exact() {
+    let mut table = small_table();
+    check_engine(&mut table, &exact_probes()[..12], &exact_misses());
+}
+
+#[test]
+fn caram_table_conforms_ternary() {
+    let mut table = small_table();
+    check_engine(&mut table, &ternary_probes(), &ternary_misses());
+}
+
+#[test]
+fn subsystem_adapter_conforms_and_counts() {
+    let mut subsystem = CaRamSubsystem::new();
+    let id = subsystem.add_database("ipv4", small_table());
+    {
+        let mut engine = subsystem.engine(id);
+        assert_eq!(engine.name(), "ipv4");
+        check_engine(&mut engine, &ternary_probes(), &ternary_misses());
+    }
+    // Every search the conformance suite issued went through the shared
+    // per-database instrumentation.
+    let counters = subsystem.counters(id);
+    assert!(counters.searches > 0, "adapter searches were not counted");
+    assert!(counters.hits > 0, "adapter hits were not counted");
+    assert!(counters.memory_accesses >= counters.searches);
+}
+
+#[test]
+fn tcam_conforms() {
+    let mut tcam = Tcam::new(64, 32);
+    check_engine(&mut tcam, &ternary_probes(), &ternary_misses());
+}
+
+#[test]
+fn sorted_tcam_conforms() {
+    let mut tcam = SortedTcam::new(64, 32);
+    check_engine(&mut tcam, &ternary_probes(), &ternary_misses());
+}
+
+#[test]
+fn binary_cam_conforms() {
+    let mut bcam = BinaryCam::new(64, 32);
+    check_engine(&mut bcam, &exact_probes(), &exact_misses());
+}
+
+#[test]
+fn banked_tcam_conforms() {
+    // 4 banks selected by the low 2 key bits. The probes are fully
+    // specified, so no entry is duplicated across banks and occupancy
+    // counts match the insert count.
+    let mut banked = BankedTcam::new(Box::new(RangeSelect::new(0, 2)), 32, 32);
+    check_engine(&mut banked, &exact_probes(), &exact_misses());
+}
+
+#[test]
+fn preclassified_cam_conforms() {
+    // 4 categories keyed by the control code in key bits [8, 10).
+    let mut cam = PreclassifiedCam::new(4, 32, 32, 8, 2);
+    check_engine(&mut cam, &exact_probes(), &exact_misses());
+}
+
+#[test]
+fn precomputed_bcam_conforms() {
+    let mut cam = PrecomputedBcam::new(64, 32);
+    check_engine(&mut cam, &exact_probes(), &exact_misses());
+}
+
+#[test]
+fn soft_engine_bridges_conform() {
+    let pairs: Vec<(u64, u64)> = (0..512u64).map(|i| (i * 2_654_435_761, i + 7)).collect();
+    let probes: Vec<Probe> = pairs
+        .iter()
+        .map(|&(k, v)| Probe::exact(u128::from(k), 64, v))
+        .collect();
+    let misses: Vec<SearchKey> = (1..64u128)
+        .map(|i| SearchKey::new(i * 13 + 5, 64))
+        .collect();
+
+    let mut arena = Arena::new(0);
+    let chained = SoftEngine::new(
+        ChainedHash::build(&pairs, 6, &mut arena),
+        Hierarchy::typical(),
+    );
+    check_loaded(&chained, &probes, &misses);
+
+    let sorted = SoftEngine::new(SortedArray::build(&pairs, &mut arena), Hierarchy::typical());
+    check_loaded(&sorted, &probes, &misses);
+}
+
+#[test]
+fn soft_engine_rejects_dynamic_updates() {
+    let pairs = [(1u64, 2u64), (3, 4)];
+    let mut arena = Arena::new(0);
+    let mut engine = SoftEngine::new(SortedArray::build(&pairs, &mut arena), Hierarchy::typical());
+    let err = engine
+        .insert(Record::new(TernaryKey::binary(9, 64), 9))
+        .expect_err("software indexes are static");
+    assert!(matches!(err, CaRamError::Unsupported(_)));
+    assert_eq!(engine.delete(&TernaryKey::binary(1, 64)), 0);
+}
+
+#[test]
+fn engines_are_usable_as_trait_objects() {
+    // The trait is object-safe: a heterogeneous fleet behind one interface.
+    let engines: Vec<Box<dyn SearchEngine>> = vec![
+        Box::new(Tcam::new(16, 32)),
+        Box::new(BinaryCam::new(16, 32)),
+        Box::new(PrecomputedBcam::new(16, 32)),
+        Box::new(small_table()),
+    ];
+    for engine in &engines {
+        assert_eq!(engine.key_bits(), 32, "{}", engine.name());
+        assert!(engine
+            .search(&SearchKey::new(0xDEAD_BEEF, 32))
+            .hit
+            .is_none());
+    }
+}
