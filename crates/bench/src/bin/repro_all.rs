@@ -1,6 +1,11 @@
 //! Runs the entire reproduction suite in sequence: Tables 1–3, Figures
-//! 6–8, the bandwidth analysis, and the software baseline — each as a
-//! child process so their CLI flags keep working.
+//! 6–8, the bandwidth analysis, the software baseline, and the telemetry
+//! sweep — each as a child process so their CLI flags keep working.
+//!
+//! Each child's output is echoed live-ish (after the child exits) and
+//! accumulated; the full transcript is written to `repro_output.txt`
+//! atomically (temp file + rename), so an interrupted run never leaves a
+//! truncated transcript behind.
 //!
 //! Usage: `repro_all [--entries N] [--prefixes N]`
 //! (`--entries` scales the trigram experiments; the default is the paper's
@@ -8,10 +13,13 @@
 
 use std::process::Command;
 
-use ca_ram_bench::{BenchError, Cli, Result};
+use ca_ram_bench::{write_text_atomic, BenchError, Cli, Result};
 
-fn run(bin: &str, args: &[String]) -> Result<()> {
-    println!("\n==================== {bin} ====================\n");
+fn run(bin: &str, args: &[String], transcript: &mut String) -> Result<()> {
+    let banner = format!("\n==================== {bin} ====================\n");
+    println!("{banner}");
+    transcript.push_str(&banner);
+    transcript.push('\n');
     let exe = std::env::current_exe().map_err(|e| BenchError::Child {
         bin: bin.to_string(),
         message: format!("current executable path: {e}"),
@@ -20,19 +28,27 @@ fn run(bin: &str, args: &[String]) -> Result<()> {
         bin: bin.to_string(),
         message: "executable has no parent directory".to_string(),
     })?;
-    let status = Command::new(dir.join(bin))
+    let output = Command::new(dir.join(bin))
         .args(args)
-        .status()
+        .output()
         .map_err(|e| BenchError::Child {
             bin: bin.to_string(),
             message: format!("failed to launch: {e}"),
         })?;
-    if status.success() {
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    print!("{stdout}");
+    transcript.push_str(&stdout);
+    if !output.stderr.is_empty() {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        eprint!("{stderr}");
+        transcript.push_str(&stderr);
+    }
+    if output.status.success() {
         Ok(())
     } else {
         Err(BenchError::Child {
             bin: bin.to_string(),
-            message: format!("exited with {status}"),
+            message: format!("exited with {}", output.status),
         })
     }
 }
@@ -42,18 +58,33 @@ fn main() -> Result<()> {
     let tri_args = cli.passthrough(&["entries", "seed"]);
     let ip_args = cli.passthrough(&["prefixes", "seed"]);
 
-    run("table1", &[])?;
-    run("table2", &ip_args)?;
-    run("table3", &tri_args)?;
-    run("fig6", &[])?;
-    run("fig7", &tri_args)?;
-    run("fig8", &[])?;
-    run("bandwidth", &[])?;
-    run("software_baseline", &[])?;
-    run("ablation", &ip_args)?;
-    run("updates", &[])?;
-    run("explore", &ip_args)?;
-    run("perf_smoke", &ip_args)?;
-    println!("\nAll reproduction targets completed.");
-    Ok(())
+    let mut transcript = String::new();
+    let result = (|| -> Result<()> {
+        run("table1", &[], &mut transcript)?;
+        run("table2", &ip_args, &mut transcript)?;
+        run("table3", &tri_args, &mut transcript)?;
+        run("fig6", &[], &mut transcript)?;
+        run("fig7", &tri_args, &mut transcript)?;
+        run("fig8", &[], &mut transcript)?;
+        run("bandwidth", &[], &mut transcript)?;
+        run("software_baseline", &[], &mut transcript)?;
+        run("ablation", &ip_args, &mut transcript)?;
+        run("updates", &[], &mut transcript)?;
+        run("explore", &ip_args, &mut transcript)?;
+        run("perf_smoke", &ip_args, &mut transcript)?;
+        run("telemetry_report", &ip_args, &mut transcript)?;
+        Ok(())
+    })();
+
+    // Persist whatever ran, even on a failing child, then surface the
+    // child's error.
+    if result.is_ok() {
+        transcript.push_str("\nAll reproduction targets completed.\n");
+    }
+    write_text_atomic("repro_output.txt", &transcript)?;
+    if result.is_ok() {
+        println!("\nAll reproduction targets completed.");
+        println!("(wrote repro_output.txt)");
+    }
+    result
 }

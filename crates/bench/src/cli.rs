@@ -150,6 +150,25 @@ pub fn write_text(path: &str, contents: &str) -> Result<()> {
     })
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a `.tmp`
+/// sibling first and are renamed over `path`, so a crash mid-write never
+/// leaves a truncated artifact behind.
+///
+/// # Errors
+///
+/// Returns [`BenchError::Io`] when the temporary write or the rename fails.
+pub fn write_text_atomic(path: &str, contents: &str) -> Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).map_err(|source| BenchError::Io {
+        path: tmp.clone(),
+        source,
+    })?;
+    std::fs::rename(&tmp, path).map_err(|source| BenchError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +191,22 @@ mod tests {
             cli.passthrough(&["entries", "seed"]),
             vec!["--entries", "9", "--seed", "3"]
         );
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("ca_ram_bench_atomic_write_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("out.txt");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        write_text_atomic(path_str, "first").expect("atomic write");
+        write_text_atomic(path_str, "second").expect("atomic overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("readable"), "second");
+        assert!(
+            !std::path::Path::new(&format!("{path_str}.tmp")).exists(),
+            "temp file renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -192,6 +192,9 @@ pub struct SearchReport {
     pub lookups: usize,
     /// Requested parallel thread count (0 = auto).
     pub threads: usize,
+    /// Measured slowdown of the serial batch path with a shallow
+    /// telemetry sink installed, in percent (negative = noise).
+    pub telemetry_overhead_pct: f64,
     /// Per-design measurements.
     pub designs: Vec<DesignThroughput>,
 }
@@ -216,11 +219,12 @@ impl SearchReport {
         let _ = write!(
             json,
             "  \"prefixes\": {},\n  \"lookups\": {},\n  \"threads\": {},\n  \
-             \"min_serial_speedup\": {:.4},\n",
+             \"min_serial_speedup\": {:.4},\n  \"telemetry_overhead_pct\": {:.4},\n",
             self.prefixes,
             self.lookups,
             self.threads,
-            self.min_serial_speedup()
+            self.min_serial_speedup(),
+            self.telemetry_overhead_pct
         );
         json.push_str("  \"designs\": [\n");
         for (i, r) in self.designs.iter().enumerate() {
@@ -289,6 +293,7 @@ mod tests {
             prefixes: 10,
             lookups: 20,
             threads: 0,
+            telemetry_overhead_pct: 1.25,
             designs: vec![DesignThroughput {
                 name: "A",
                 baseline_kps: 100.0,
@@ -301,6 +306,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with("{\n  \"benchmark\": \"search\",\n"));
         assert!(json.contains("\"min_serial_speedup\": 2.5000"));
+        assert!(json.contains("\"telemetry_overhead_pct\": 1.2500"));
         assert!(json.contains("\"mean_memory_accesses\": 1.2500"));
         assert!(json.ends_with("  ]\n}\n"));
     }

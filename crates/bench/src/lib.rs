@@ -33,7 +33,7 @@ pub mod cli;
 pub mod designs;
 pub mod driver;
 
-pub use cli::{ensure, write_text, BenchError, Cli, Result};
+pub use cli::{ensure, write_text, write_text_atomic, BenchError, Cli, Result};
 pub use driver::{
     bgp_config, exact_match_workload, keys_per_sec, member_trace, time, time_engine_batch,
     trigram_config, BatchTiming, DesignThroughput, ExactMatchWorkload, SearchReport,

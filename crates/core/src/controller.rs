@@ -11,6 +11,8 @@
 
 use std::collections::VecDeque;
 
+use crate::telemetry::trace::TelemetrySink;
+
 /// Configuration of the queue/controller simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueModelConfig {
@@ -84,6 +86,33 @@ pub fn simulate<I>(config: QueueModelConfig, requests: I) -> ThroughputReport
 where
     I: IntoIterator<Item = u32>,
 {
+    simulate_impl(config, requests, None)
+}
+
+/// As [`simulate`], additionally reporting per-cycle queue depth and
+/// per-request wait cycles (enqueue → dispatch) to a telemetry sink — the
+/// live distributions behind [`ThroughputReport`]'s peak/stall summary.
+#[must_use]
+pub fn simulate_with_sink<I>(
+    config: QueueModelConfig,
+    requests: I,
+    sink: &dyn TelemetrySink,
+) -> ThroughputReport
+where
+    I: IntoIterator<Item = u32>,
+{
+    simulate_impl(config, requests, Some(sink))
+}
+
+#[allow(clippy::too_many_lines)]
+fn simulate_impl<I>(
+    config: QueueModelConfig,
+    requests: I,
+    sink: Option<&dyn TelemetrySink>,
+) -> ThroughputReport
+where
+    I: IntoIterator<Item = u32>,
+{
     assert!(config.slices > 0, "need at least one slice");
     assert!(config.nmem > 0, "nmem must be at least one cycle");
     assert!(config.accepts_per_cycle > 0, "port must accept something");
@@ -99,7 +128,9 @@ where
             config.slices
         );
     });
-    let mut queue: VecDeque<u32> = VecDeque::new();
+    // Entries carry their enqueue cycle so the traced variant can report
+    // per-request wait times; the untraced report is unaffected.
+    let mut queue: VecDeque<(u64, u32)> = VecDeque::new();
     let mut busy_until = vec![0u64; config.slices as usize];
     let mut cycle: u64 = 0;
     let mut completed: u64 = 0;
@@ -128,7 +159,7 @@ where
             });
             match next {
                 Some(s) => {
-                    queue.push_back(s);
+                    queue.push_back((cycle, s));
                     accepted += 1;
                 }
                 None => break,
@@ -148,13 +179,19 @@ where
             }
         }
         peak_queue_depth = peak_queue_depth.max(queue.len());
+        if let Some(sink) = sink {
+            sink.queue_depth(queue.len() as u64);
+        }
 
         // Dispatch to idle slices.
         if config.head_of_line {
-            while let Some(&slice) = queue.front() {
+            while let Some(&(t0, slice)) = queue.front() {
                 if busy_until[slice as usize] <= cycle {
                     busy_until[slice as usize] = cycle + u64::from(config.nmem);
                     completed += 1;
+                    if let Some(sink) = sink {
+                        sink.queue_wait(cycle - t0);
+                    }
                     queue.pop_front();
                 } else {
                     break;
@@ -163,10 +200,13 @@ where
         } else {
             let mut i = 0;
             while i < queue.len() {
-                let slice = queue[i];
+                let (t0, slice) = queue[i];
                 if busy_until[slice as usize] <= cycle {
                     busy_until[slice as usize] = cycle + u64::from(config.nmem);
                     completed += 1;
+                    if let Some(sink) = sink {
+                        sink.queue_wait(cycle - t0);
+                    }
                     queue.remove(i);
                 } else {
                     i += 1;
@@ -223,6 +263,42 @@ pub fn simulate_latency<I>(
 where
     I: IntoIterator<Item = u32>,
 {
+    simulate_latency_impl(config, interarrival_num, interarrival_den, requests, None)
+}
+
+/// As [`simulate_latency`], additionally reporting per-cycle queue depth
+/// and per-request wait cycles (enqueue → dispatch, excluding service) to
+/// a telemetry sink.
+#[must_use]
+pub fn simulate_latency_with_sink<I>(
+    config: QueueModelConfig,
+    interarrival_num: u64,
+    interarrival_den: u64,
+    requests: I,
+    sink: &dyn TelemetrySink,
+) -> LatencyReport
+where
+    I: IntoIterator<Item = u32>,
+{
+    simulate_latency_impl(
+        config,
+        interarrival_num,
+        interarrival_den,
+        requests,
+        Some(sink),
+    )
+}
+
+fn simulate_latency_impl<I>(
+    config: QueueModelConfig,
+    interarrival_num: u64,
+    interarrival_den: u64,
+    requests: I,
+    sink: Option<&dyn TelemetrySink>,
+) -> LatencyReport
+where
+    I: IntoIterator<Item = u32>,
+{
     const MATCH_CYCLES: u64 = 1; // pipelined match stage after data-out
     assert!(config.slices > 0, "need at least one slice");
     assert!(config.nmem > 0, "nmem must be at least one cycle");
@@ -256,12 +332,18 @@ where
             arrived += 1;
             next_arrival += interarrival_num;
         }
+        if let Some(sink) = sink {
+            sink.queue_depth(queue.len() as u64);
+        }
         // Dispatch (out-of-order unless head-of-line).
         if config.head_of_line {
             while let Some(&(t0, slice)) = queue.front() {
                 if busy_until[slice as usize] <= cycle {
                     busy_until[slice as usize] = cycle + u64::from(config.nmem);
                     latencies.push(cycle + u64::from(config.nmem) + MATCH_CYCLES - t0);
+                    if let Some(sink) = sink {
+                        sink.queue_wait(cycle - t0);
+                    }
                     queue.pop_front();
                 } else {
                     break;
@@ -274,6 +356,9 @@ where
                 if busy_until[slice as usize] <= cycle {
                     busy_until[slice as usize] = cycle + u64::from(config.nmem);
                     latencies.push(cycle + u64::from(config.nmem) + MATCH_CYCLES - t0);
+                    if let Some(sink) = sink {
+                        sink.queue_wait(cycle - t0);
+                    }
                     queue.remove(i);
                 } else {
                     i += 1;

@@ -22,7 +22,9 @@
 //!   array (the decoupled-match-logic extension of Sec. 3.1);
 //! * [`subsystem`], [`controller`] — multi-database subsystem with
 //!   memory-mapped ports and a cycle-level queue model (Fig. 5);
-//! * [`stats`] — load factor, overflow, and AMAL metrics (Tables 2–3).
+//! * [`stats`] — load factor, overflow, and AMAL metrics (Tables 2–3);
+//! * [`telemetry`] — stage-level tracing, lock-free histograms, and
+//!   exportable per-slice / per-database / per-engine metrics.
 //!
 //! ## Example
 //!
@@ -68,12 +70,14 @@ pub mod slice;
 pub mod stats;
 pub mod subsystem;
 pub mod table;
+pub mod telemetry;
 
 pub use alloc::{AllocationId, SlicePool, SliceRoles};
 pub use bulk::BulkReceipt;
 pub use config_regs::{ControlRegister, ReconfigurableSlice};
 pub use controller::{
-    simulate, simulate_latency, LatencyReport, QueueModelConfig, ThroughputReport,
+    simulate, simulate_latency, simulate_latency_with_sink, simulate_with_sink, LatencyReport,
+    QueueModelConfig, ThroughputReport,
 };
 pub use engine::{EngineHit, EngineOutcome, EngineReport, SearchEngine};
 pub use error::{CaRamError, Result};
@@ -88,4 +92,8 @@ pub use subsystem::{ActivityCounters, CaRamSubsystem, DatabaseEngine, DatabaseId
 pub use table::{
     Arrangement, CaRamTable, Hit, InsertOutcome, OverflowPolicy, Placement, SearchOutcome,
     TableConfig,
+};
+pub use telemetry::{
+    AtomicHistogram, Histogram, HistogramSink, MetricsRegistry, NullSink, ProbeSummary, ScopeKind,
+    ScopeMetrics, Stage, TelemetrySink, TelemetrySnapshot, TraceBuffer, TraceEvent,
 };

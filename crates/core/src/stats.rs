@@ -299,18 +299,26 @@ pub struct LoadReport {
 
 impl LoadReport {
     /// Load factor `α = N / (M × S)` over original records, the paper's
-    /// convention.
+    /// convention. 0.0 (never NaN) for a degenerate zero-capacity table.
     #[must_use]
     pub fn load_factor(&self) -> f64 {
+        let capacity = self.buckets * u64::from(self.slots_per_bucket);
+        if capacity == 0 {
+            return 0.0;
+        }
         #[allow(clippy::cast_precision_loss)]
         {
-            self.original_records as f64 / (self.buckets as f64 * f64::from(self.slots_per_bucket))
+            self.original_records as f64 / capacity as f64
         }
     }
 
-    /// Percentage of buckets that overflow.
+    /// Percentage of buckets that overflow (0.0, never NaN, for a
+    /// zero-bucket table).
     #[must_use]
     pub fn overflowing_buckets_pct(&self) -> f64 {
+        if self.buckets == 0 {
+            return 0.0;
+        }
         #[allow(clippy::cast_precision_loss)]
         {
             100.0 * self.overflowing_buckets as f64 / self.buckets as f64
@@ -487,6 +495,39 @@ mod tests {
         assert_eq!(s.amal_uniform(), 0.0);
         assert_eq!(s.amal_weighted(), 0.0);
         assert_eq!(s.spilled_fraction(), 0.0);
+    }
+
+    /// Pins the zero-division edge of every ratio in the stats family:
+    /// empty inputs must yield exactly 0.0, never NaN (a NaN here poisons
+    /// downstream JSON exports and report arithmetic silently).
+    #[test]
+    fn empty_ratios_are_zero_not_nan() {
+        let s = SearchStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.measured_amal(), 0.0);
+        let atomic = AtomicSearchStats::new();
+        assert_eq!(atomic.snapshot().hit_rate(), 0.0);
+        assert_eq!(atomic.snapshot().measured_amal(), 0.0);
+        let degenerate = LoadReport {
+            buckets: 0,
+            slots_per_bucket: 0,
+            original_records: 0,
+            duplicate_records: 0,
+            spilled_records: 0,
+            overflowing_buckets: 0,
+            amal_uniform: 0.0,
+            amal_weighted: 0.0,
+        };
+        assert_eq!(degenerate.load_factor(), 0.0);
+        assert_eq!(degenerate.overflowing_buckets_pct(), 0.0);
+        assert_eq!(degenerate.spilled_records_pct(), 0.0);
+        assert!(degenerate.load_factor().is_finite());
+        // Buckets without slots is still zero capacity.
+        let no_slots = LoadReport {
+            buckets: 8,
+            ..degenerate
+        };
+        assert_eq!(no_slots.load_factor(), 0.0);
     }
 
     #[test]

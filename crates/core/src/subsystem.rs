@@ -175,6 +175,24 @@ impl CaRamSubsystem {
         self.db(id).counters.reset();
     }
 
+    /// Installs a telemetry sink on a database's table (see
+    /// [`CaRamTable::set_telemetry_sink`]). The input controller
+    /// additionally reports the request-queue depth to the sink at every
+    /// [`CaRamSubsystem::pump`] / [`CaRamSubsystem::pump_parallel`] — the
+    /// Fig. 5 queue-occupancy series.
+    pub fn set_telemetry_sink(
+        &mut self,
+        id: DatabaseId,
+        sink: std::sync::Arc<dyn crate::telemetry::TelemetrySink>,
+    ) {
+        self.db_mut(id).table.set_telemetry_sink(sink);
+    }
+
+    /// Removes a database's telemetry sink.
+    pub fn clear_telemetry_sink(&mut self, id: DatabaseId) {
+        self.db_mut(id).table.clear_telemetry_sink();
+    }
+
     /// Borrows one database as a [`SearchEngine`], so benches and tests can
     /// drive it through the unified interface. Searches through the adapter
     /// are counted in the database's activity counters exactly like
@@ -241,6 +259,9 @@ impl CaRamSubsystem {
         let mut done = 0;
         let mut keys: Vec<SearchKey> = Vec::new();
         for db in &mut self.databases {
+            if let Some(sink) = db.table.telemetry_sink() {
+                sink.queue_depth(db.requests.len() as u64);
+            }
             keys.clear();
             keys.extend(db.requests.drain(..));
             let mut batch = SearchStats::new();
@@ -263,6 +284,9 @@ impl CaRamSubsystem {
         let mut done = 0;
         let mut keys: Vec<SearchKey> = Vec::new();
         for db in &mut self.databases {
+            if let Some(sink) = db.table.telemetry_sink() {
+                sink.queue_depth(db.requests.len() as u64);
+            }
             keys.clear();
             keys.extend(db.requests.drain(..));
             let (outcomes, stats) = db.table.search_batch_parallel_stats(&keys, threads);

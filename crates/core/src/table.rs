@@ -25,6 +25,8 @@ use crate::slice::CaRamSlice;
 use crate::stats::{
     AtomicSearchStats, LoadReport, OccupancyHistogram, PlacementStats, SearchStats,
 };
+use crate::telemetry::trace::{ProbeSummary, Stage, TelemetrySink};
+use std::sync::Arc;
 
 /// How slices are composed into one logical table (Sec. 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -219,6 +221,12 @@ pub struct CaRamTable {
     /// searches must scan the full reach instead of stopping at the first
     /// match (see `search`).
     full_scan: bool,
+    /// Optional telemetry receiver. `None` (the default) keeps the search
+    /// hot path on the untraced PR-1 code: the only cost is one branch.
+    sink: Option<Arc<dyn TelemetrySink>>,
+    /// `wants_match_vectors()` of the installed sink, cached at install so
+    /// the traced path skips that virtual call on every search.
+    sink_deep: bool,
 }
 
 impl core::fmt::Debug for CaRamTable {
@@ -285,7 +293,31 @@ impl CaRamTable {
             bucket_had_spill: vec![false; buckets],
             overflow,
             full_scan: false,
+            sink: None,
+            sink_deep: false,
         })
+    }
+
+    /// Installs a telemetry sink: subsequent searches run the traced path
+    /// (reporting [`ProbeSummary`] per lookup and, if the sink asks for
+    /// match vectors, per-stage events), and inserts report bucket
+    /// occupancy. Outcomes are bit-identical to the untraced path.
+    pub fn set_telemetry_sink(&mut self, sink: Arc<dyn TelemetrySink>) {
+        self.sink_deep = sink.wants_match_vectors();
+        self.sink = Some(sink);
+    }
+
+    /// Removes the telemetry sink, returning the search path to the
+    /// untraced hot path.
+    pub fn clear_telemetry_sink(&mut self) {
+        self.sink = None;
+        self.sink_deep = false;
+    }
+
+    /// The installed telemetry sink, if any.
+    #[must_use]
+    pub fn telemetry_sink(&self) -> Option<Arc<dyn TelemetrySink>> {
+        self.sink.clone()
     }
 
     /// Number of logical buckets (`M`).
@@ -523,6 +555,11 @@ impl CaRamTable {
             self.home_counts[idx] += 1;
         }
         self.stats.record_insert(&displacements, weight);
+        if let Some(sink) = &self.sink {
+            for p in &placements {
+                sink.insert_occupancy(self.bucket_occupancy(p.bucket));
+            }
+        }
         Ok(InsertOutcome {
             placements,
             to_overflow,
@@ -707,6 +744,11 @@ impl CaRamTable {
             self.home_counts[idx] += 1;
         }
         self.stats.record_insert(&displacements, 1.0);
+        if let Some(sink) = &self.sink {
+            for p in &placements {
+                sink.insert_occupancy(self.bucket_occupancy(p.bucket));
+            }
+        }
         Ok(InsertOutcome {
             placements,
             to_overflow: 0,
@@ -847,6 +889,16 @@ impl CaRamTable {
 
     /// One lookup with a caller-provided home-bucket scratch list.
     fn search_with_scratch(&self, key: &SearchKey, homes: &mut BucketList) -> SearchOutcome {
+        // The telemetry branch costs one pointer-null test when no sink is
+        // installed; the traced path is a separate function so the hot
+        // loop below stays exactly the PR-1 code.
+        if let Some(sink) = &self.sink {
+            return if self.sink_deep {
+                self.search_traced_deep(key, homes, sink.as_ref())
+            } else {
+                self.search_traced_shallow(key, homes, sink.as_ref())
+            };
+        }
         // Computed once; reused below for the overflow-area probe.
         self.home_buckets_into(key, homes);
         let mut accesses = 0u32;
@@ -899,6 +951,204 @@ impl CaRamTable {
             hit: best,
             memory_accesses: accesses.max(1),
         }
+    }
+
+    /// The traced twin of [`CaRamTable::search_with_scratch`]: identical
+    /// probe logic and bit-identical outcomes, plus telemetry events. In
+    /// shallow mode (the default for [`crate::telemetry::HistogramSink`])
+    /// only the per-search [`ProbeSummary`] is reported and the early-exit
+    /// matcher is kept; when the sink asks for match vectors the full
+    /// match-vector popcount of every fetched row is computed and
+    /// per-stage events fire (hash → row fetch → match → extract, plus
+    /// the overflow probe). The two modes are separate loops so the
+    /// shallow one carries no per-probe branch; the mode is picked from
+    /// the deep flag cached at sink installation.
+    ///
+    /// Shallow trace: the untraced probe loop plus probe-length
+    /// bookkeeping and one [`TelemetrySink::search_complete`] call.
+    #[allow(clippy::cast_possible_truncation)] // home counts are tiny
+    fn search_traced_shallow(
+        &self,
+        key: &SearchKey,
+        homes: &mut BucketList,
+        sink: &dyn TelemetrySink,
+    ) -> SearchOutcome {
+        self.home_buckets_into(key, homes);
+        let mut accesses = 0u32;
+        let mut best: Option<Hit> = None;
+        let mut winning_step = 0u32;
+        let mut max_step = 0u32;
+        for &home in homes.as_slice() {
+            let reach = self.reach(home);
+            for step in 0..=reach {
+                let bucket =
+                    self.config
+                        .probe
+                        .bucket_at(home, key.value(), step, self.logical_buckets);
+                accesses += 1;
+                max_step = max_step.max(step);
+                if let Some((slot, record)) = self.search_logical_bucket(bucket, key) {
+                    let hit = Hit {
+                        bucket,
+                        slot,
+                        record,
+                        from_overflow: false,
+                    };
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| record.key.care_count() > b.record.key.care_count())
+                    {
+                        best = Some(hit);
+                        winning_step = step;
+                    }
+                    if !self.full_scan {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.overflow.is_some() {
+            if let Some(r) = self.search_overflow(homes.as_slice(), key) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| r.key.care_count() > b.record.key.care_count())
+                {
+                    best = Some(Hit {
+                        bucket: 0,
+                        slot: 0,
+                        record: r,
+                        from_overflow: true,
+                    });
+                    winning_step = 0;
+                }
+            }
+        }
+        let probe_length = if best.is_some() {
+            u64::from(winning_step)
+        } else {
+            u64::from(max_step)
+        };
+        sink.search_complete(&ProbeSummary {
+            hit: best.is_some(),
+            row_fetches: u64::from(accesses.max(1)),
+            probe_length,
+            homes: homes.as_slice().len() as u64,
+        });
+        SearchOutcome {
+            hit: best,
+            memory_accesses: accesses.max(1),
+        }
+    }
+
+    /// Deep trace: per-stage events plus exact match-vector popcounts.
+    #[allow(clippy::cast_possible_truncation)] // home counts are tiny
+    fn search_traced_deep(
+        &self,
+        key: &SearchKey,
+        homes: &mut BucketList,
+        sink: &dyn TelemetrySink,
+    ) -> SearchOutcome {
+        self.home_buckets_into(key, homes);
+        let home_count = homes.as_slice().len() as u64;
+        sink.stage(Stage::Hash, home_count);
+        let mut accesses = 0u32;
+        let mut best: Option<Hit> = None;
+        let mut winning_step = 0u32;
+        let mut max_step = 0u32;
+        for &home in homes.as_slice() {
+            let reach = self.reach(home);
+            for step in 0..=reach {
+                let bucket =
+                    self.config
+                        .probe
+                        .bucket_at(home, key.value(), step, self.logical_buckets);
+                accesses += 1;
+                max_step = max_step.max(step);
+                sink.stage(Stage::RowFetch, u64::from(self.slots_per_bucket));
+                if let Some((slot, record)) = self.search_logical_bucket_deep(bucket, key, sink) {
+                    let hit = Hit {
+                        bucket,
+                        slot,
+                        record,
+                        from_overflow: false,
+                    };
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| record.key.care_count() > b.record.key.care_count())
+                    {
+                        best = Some(hit);
+                        winning_step = step;
+                    }
+                    if !self.full_scan {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.overflow.is_some() {
+            sink.stage(Stage::OverflowProbe, self.overflow_count() as u64);
+            if let Some(r) = self.search_overflow(homes.as_slice(), key) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| r.key.care_count() > b.record.key.care_count())
+                {
+                    best = Some(Hit {
+                        bucket: 0,
+                        slot: 0,
+                        record: r,
+                        from_overflow: true,
+                    });
+                    winning_step = 0;
+                }
+            }
+        }
+        if let Some(h) = &best {
+            sink.stage(Stage::Extract, u64::from(h.slot));
+        }
+        let probe_length = if best.is_some() {
+            u64::from(winning_step)
+        } else {
+            u64::from(max_step)
+        };
+        sink.search_complete(&ProbeSummary {
+            hit: best.is_some(),
+            row_fetches: u64::from(accesses.max(1)),
+            probe_length,
+            homes: home_count,
+        });
+        SearchOutcome {
+            hit: best,
+            memory_accesses: accesses.max(1),
+        }
+    }
+
+    /// Deep-trace variant of [`CaRamTable::search_logical_bucket`]: runs
+    /// the full match-vector computation on every horizontal slice (so the
+    /// popcount is exact) and reports one [`Stage::Match`] event per
+    /// slice. The returned winner — lowest-numbered matching slot of the
+    /// lowest horizontal slice — is identical to the early-exit matcher's.
+    fn search_logical_bucket_deep(
+        &self,
+        bucket: u64,
+        key: &SearchKey,
+        sink: &dyn TelemetrySink,
+    ) -> Option<(u32, Record)> {
+        let (v, row) = self.split_bucket(bucket);
+        let mut found: Option<(u32, Record)> = None;
+        for h in 0..self.horizontal {
+            let s = self.slice_of(v, h);
+            let m = self.slices[s].match_bucket(row, key);
+            sink.stage(Stage::Match, u64::from(m.match_count()));
+            if found.is_none() {
+                if let Some(slot) = m.first_match {
+                    let record = self.slices[s]
+                        .read_record(row, slot)
+                        .expect("matched slot is valid");
+                    found = Some((h * self.slots_per_slice_row + slot, record));
+                }
+            }
+        }
+        found
     }
 
     /// Reference lookup, kept verbatim from before the hot-path work: heap-
@@ -1145,6 +1395,16 @@ impl CaRamTable {
     #[must_use]
     pub fn placed_histogram(&self) -> OccupancyHistogram {
         OccupancyHistogram::from_counts((0..self.logical_buckets).map(|b| self.bucket_occupancy(b)))
+    }
+
+    /// Per-physical-slice occupancy histograms (records per slice row), in
+    /// slice order — the per-slice series telemetry exports.
+    #[must_use]
+    pub fn slice_occupancy_histograms(&self) -> Vec<OccupancyHistogram> {
+        self.slices
+            .iter()
+            .map(|s| OccupancyHistogram::from_counts((0..s.rows()).map(|r| s.occupancy(r))))
+            .collect()
     }
 
     /// Entries the paper would size a dedicated overflow area for: currently

@@ -1,0 +1,36 @@
+//! End-to-end telemetry: lock-free histograms, stage-level trace hooks,
+//! a metrics registry, and machine-readable exports.
+//!
+//! The paper's evaluation is an observability exercise — AMAL,
+//! probe-length distributions, Fig. 7 occupancy, bandwidth under queuing
+//! — and this module is the layer that measures all of it from live
+//! counters instead of analytic models:
+//!
+//! * [`histogram`] — power-of-two-bucketed [`Histogram`] /
+//!   [`AtomicHistogram`] with the same snapshot/merge semantics as
+//!   [`crate::stats::AtomicSearchStats`];
+//! * [`trace`] — the zero-cost-when-disabled [`TelemetrySink`] trait, the
+//!   pipeline [`Stage`] model, and the built-in sinks ([`HistogramSink`],
+//!   [`TraceBuffer`], [`NullSink`]);
+//! * [`registry`] — the [`MetricsRegistry`] aggregating per-slice,
+//!   per-database, and per-engine scopes;
+//! * [`export`] — schema-versioned JSON and Prometheus text renderers
+//!   plus a dependency-free validator for CI gating.
+//!
+//! Instrumented components ([`crate::table::CaRamTable`],
+//! [`crate::subsystem::CaRamSubsystem`], the input-controller models) take
+//! an `Arc<dyn TelemetrySink>`; with no sink installed the search hot
+//! path pays one branch and nothing else.
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use export::{parse_json, to_json, to_prometheus, validate_json, JsonValue, SCHEMA};
+pub use histogram::{bucket_bounds, bucket_of, AtomicHistogram, Histogram, BUCKETS};
+pub use registry::{MetricsRegistry, ScopeKind, ScopeMetrics};
+pub use trace::{
+    HistogramSink, NullSink, ProbeSummary, Stage, TelemetrySink, TelemetrySnapshot, TraceBuffer,
+    TraceEvent,
+};

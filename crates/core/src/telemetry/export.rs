@@ -1,0 +1,683 @@
+//! Machine-readable exports of a [`MetricsRegistry`]: schema-versioned
+//! JSON and Prometheus text exposition format.
+//!
+//! The repo carries no serialisation dependency, so both emitters are
+//! hand-rolled (the same approach the bench driver takes for its
+//! `SearchReport`). Histograms are exported *cumulatively* in both
+//! formats — each bucket's count includes every smaller bucket, matching
+//! Prometheus `le` semantics — which makes "bucket counts are monotonic
+//! non-decreasing" a checkable invariant of any well-formed export.
+//! [`validate_json`] enforces that invariant plus schema/field presence
+//! with a minimal recursive-descent JSON parser, so CI can gate on the
+//! artifact without external tooling.
+
+use core::fmt::Write as _;
+
+use super::histogram::Histogram;
+use super::registry::MetricsRegistry;
+
+/// Schema identifier stamped into every JSON export.
+pub const SCHEMA: &str = "ca-ram-telemetry/v1";
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // JSON has no NaN/Infinity; clamp to null which the validator rejects,
+    // making non-finite gauges a loud failure instead of a silent one.
+    if v.is_finite() {
+        let rendered = format!("{v}");
+        let plain_integer = v.fract() == 0.0
+            && v.abs() < 1e15
+            && !rendered.contains('.')
+            && !rendered.contains('e');
+        out.push_str(&rendered);
+        if plain_integer {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_histogram_json(out: &mut String, h: &Histogram, indent: &str) {
+    out.push_str("{\n");
+    out.push_str(indent);
+    let _ = writeln!(out, "  \"count\": {},", h.count());
+    out.push_str(indent);
+    let _ = writeln!(out, "  \"sum\": {},", h.sum());
+    out.push_str(indent);
+    out.push_str("  \"mean\": ");
+    push_f64(out, h.mean());
+    out.push_str(",\n");
+    out.push_str(indent);
+    let _ = writeln!(out, "  \"p99_le\": {},", h.quantile(0.99));
+    out.push_str(indent);
+    out.push_str("  \"buckets\": [");
+    let mut cumulative = 0u64;
+    let mut first = true;
+    for (_, high, count) in h.series() {
+        cumulative += count;
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{{\"le\": {high}, \"count\": {cumulative}}}");
+    }
+    out.push_str("]\n");
+    out.push_str(indent);
+    out.push('}');
+}
+
+/// Renders the registry as schema-versioned JSON (`BENCH_telemetry.json`).
+#[must_use]
+pub fn to_json(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": ");
+    push_json_string(&mut out, SCHEMA);
+    out.push_str(",\n  \"scopes\": [\n");
+    for (i, scope) in registry.scopes().iter().enumerate() {
+        out.push_str("    {\n      \"kind\": ");
+        push_json_string(&mut out, scope.kind.name());
+        out.push_str(",\n      \"name\": ");
+        push_json_string(&mut out, &scope.name);
+        out.push_str(",\n      \"counters\": {");
+        for (j, (name, value)) in scope.counters.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_json_string(&mut out, name);
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str("},\n      \"gauges\": {");
+        for (j, (name, value)) in scope.gauges.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_json_string(&mut out, name);
+            out.push_str(": ");
+            push_f64(&mut out, *value);
+        }
+        out.push_str("},\n      \"histograms\": {");
+        for (j, (name, hist)) in scope.histograms.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push('\n');
+            out.push_str("        ");
+            push_json_string(&mut out, name);
+            out.push_str(": ");
+            push_histogram_json(&mut out, hist, "        ");
+        }
+        if !scope.histograms.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("}\n    }");
+        if i + 1 < registry.scopes().len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn prom_sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders the registry in Prometheus text exposition format.
+///
+/// Metric names are `caram_<metric>`, labelled `{kind="...", scope="..."}`.
+/// Histograms follow the standard `_bucket`/`_sum`/`_count` convention with
+/// cumulative `le` buckets and a final `+Inf` bucket.
+#[must_use]
+pub fn to_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for scope in registry.scopes() {
+        let labels = format!(
+            "kind=\"{}\",scope=\"{}\"",
+            scope.kind.name(),
+            prom_sanitize(&scope.name)
+        );
+        for (name, value) in &scope.counters {
+            let metric = format!("caram_{}", prom_sanitize(name));
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric}{{{labels}}} {value}");
+        }
+        for (name, value) in &scope.gauges {
+            let metric = format!("caram_{}", prom_sanitize(name));
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            if value.is_finite() {
+                let _ = writeln!(out, "{metric}{{{labels}}} {value}");
+            } else {
+                let _ = writeln!(out, "{metric}{{{labels}}} NaN");
+            }
+        }
+        for (name, hist) in &scope.histograms {
+            let metric = format!("caram_{}", prom_sanitize(name));
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let mut cumulative = 0u64;
+            for (_, high, count) in hist.series() {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{metric}_bucket{{{labels},le=\"{high}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{{labels},le=\"+Inf\"}} {}",
+                hist.count()
+            );
+            let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", hist.sum());
+            let _ = writeln!(out, "{metric}_count{{{labels}}} {}", hist.count());
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser for validation.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — just enough structure to validate exports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup for objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("JSON parse error at byte {}: {message}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = core::str::from_utf8(hex)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = core::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.error("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a positioned message on malformed input.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data after document"));
+    }
+    Ok(value)
+}
+
+fn validate_histogram(scope: &str, name: &str, hist: &JsonValue) -> Result<(), String> {
+    for field in ["count", "sum", "mean", "p99_le", "buckets"] {
+        if hist.get(field).is_none() {
+            return Err(format!(
+                "scope '{scope}' histogram '{name}': missing field '{field}'"
+            ));
+        }
+    }
+    let count = hist
+        .get("count")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("scope '{scope}' histogram '{name}': 'count' not a number"))?;
+    let buckets = hist
+        .get("buckets")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("scope '{scope}' histogram '{name}': 'buckets' not an array"))?;
+    let mut prev_count = 0.0f64;
+    let mut prev_le = -1.0f64;
+    for (i, bucket) in buckets.iter().enumerate() {
+        let le = bucket
+            .get("le")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("scope '{scope}' histogram '{name}': bucket {i} lacks 'le'"))?;
+        let c = bucket
+            .get("count")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| {
+                format!("scope '{scope}' histogram '{name}': bucket {i} lacks 'count'")
+            })?;
+        if le <= prev_le {
+            return Err(format!(
+                "scope '{scope}' histogram '{name}': bucket {i} 'le' not increasing"
+            ));
+        }
+        if c < prev_count {
+            return Err(format!(
+                "scope '{scope}' histogram '{name}': bucket {i} cumulative count decreased \
+                 ({c} < {prev_count})"
+            ));
+        }
+        prev_le = le;
+        prev_count = c;
+    }
+    if prev_count > count {
+        return Err(format!(
+            "scope '{scope}' histogram '{name}': bucket counts exceed total count"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_telemetry.json` document: schema identifier, field
+/// presence, non-negative counters, and cumulative (monotonic
+/// non-decreasing) histogram buckets. Returns the number of scopes
+/// validated.
+///
+/// # Errors
+///
+/// Returns a descriptive message on the first violation.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing 'schema' field".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("schema mismatch: got '{schema}', want '{SCHEMA}'"));
+    }
+    let scopes = doc
+        .get("scopes")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing 'scopes' array".to_string())?;
+    for (i, scope) in scopes.iter().enumerate() {
+        let name = scope
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("scope {i}: missing 'name'"))?;
+        scope
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("scope '{name}': missing 'kind'"))?;
+        let counters = scope
+            .get("counters")
+            .ok_or_else(|| format!("scope '{name}': missing 'counters'"))?;
+        if let JsonValue::Object(members) = counters {
+            for (counter_name, value) in members {
+                let v = value.as_f64().ok_or_else(|| {
+                    format!("scope '{name}' counter '{counter_name}': not a number")
+                })?;
+                if v < 0.0 {
+                    return Err(format!(
+                        "scope '{name}' counter '{counter_name}': negative value {v}"
+                    ));
+                }
+            }
+        } else {
+            return Err(format!("scope '{name}': 'counters' not an object"));
+        }
+        scope
+            .get("gauges")
+            .ok_or_else(|| format!("scope '{name}': missing 'gauges'"))?;
+        let histograms = scope
+            .get("histograms")
+            .ok_or_else(|| format!("scope '{name}': missing 'histograms'"))?;
+        if let JsonValue::Object(members) = histograms {
+            for (hist_name, hist) in members {
+                validate_histogram(name, hist_name, hist)?;
+            }
+        } else {
+            return Err(format!("scope '{name}': 'histograms' not an object"));
+        }
+    }
+    Ok(scopes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::registry::ScopeKind;
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let scope = reg.scope_mut(ScopeKind::Engine, "design-a");
+        scope.set_counter("searches", 100);
+        scope.set_counter("hits", 90);
+        scope.set_gauge("hit_rate", 0.9);
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 5, 9] {
+            h.record(v);
+        }
+        scope.set_histogram("probe_length", h);
+        reg.scope_mut(ScopeKind::Slice, "0").set_counter("rows", 64);
+        reg
+    }
+
+    #[test]
+    fn json_round_trips_through_validator() {
+        let json = to_json(&sample_registry());
+        assert_eq!(validate_json(&json), Ok(2));
+        let doc = parse_json(&json).unwrap();
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+        let scopes = doc.get("scopes").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            scopes[0].get("name").and_then(JsonValue::as_str),
+            Some("design-a")
+        );
+        let counters = scopes[0].get("counters").unwrap();
+        assert_eq!(
+            counters.get("searches").and_then(JsonValue::as_f64),
+            Some(100.0)
+        );
+    }
+
+    #[test]
+    fn json_buckets_are_cumulative() {
+        let json = to_json(&sample_registry());
+        let doc = parse_json(&json).unwrap();
+        let hist = doc.get("scopes").and_then(JsonValue::as_array).unwrap()[0]
+            .get("histograms")
+            .and_then(|h| h.get("probe_length"))
+            .unwrap();
+        let buckets = hist.get("buckets").and_then(JsonValue::as_array).unwrap();
+        let counts: Vec<f64> = buckets
+            .iter()
+            .map(|b| b.get("count").and_then(JsonValue::as_f64).unwrap())
+            .collect();
+        // values 0,1,1,2,5,9 -> buckets le=0:1, le=1:3, le=3:4, le=7:5, le=15:6
+        assert_eq!(counts, vec![1.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{}").unwrap_err().contains("schema"));
+        assert!(validate_json("{\"schema\": \"other/v9\", \"scopes\": []}")
+            .unwrap_err()
+            .contains("mismatch"));
+        let missing_counters = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"scopes\": [{{\"kind\": \"engine\", \"name\": \"x\"}}]}}"
+        );
+        assert!(validate_json(&missing_counters)
+            .unwrap_err()
+            .contains("counters"));
+        let decreasing = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"scopes\": [{{\"kind\": \"engine\", \"name\": \"x\", \
+             \"counters\": {{}}, \"gauges\": {{}}, \"histograms\": {{\"h\": {{\"count\": 5, \
+             \"sum\": 5, \"mean\": 1.0, \"p99_le\": 1, \"buckets\": [{{\"le\": 1, \"count\": \
+             4}}, {{\"le\": 3, \"count\": 2}}]}}}}}}]}}"
+        );
+        assert!(validate_json(&decreasing)
+            .unwrap_err()
+            .contains("decreased"));
+    }
+
+    #[test]
+    fn prometheus_has_types_sums_and_inf_bucket() {
+        let prom = to_prometheus(&sample_registry());
+        assert!(prom.contains("# TYPE caram_searches counter"));
+        assert!(prom.contains("caram_searches{kind=\"engine\",scope=\"design_a\"} 100"));
+        assert!(prom.contains("# TYPE caram_probe_length histogram"));
+        assert!(prom.contains(
+            "caram_probe_length_bucket{kind=\"engine\",scope=\"design_a\",le=\"+Inf\"} 6"
+        ));
+        assert!(prom.contains("caram_probe_length_sum{kind=\"engine\",scope=\"design_a\"} 18"));
+        assert!(prom.contains("caram_probe_length_count{kind=\"engine\",scope=\"design_a\"} 6"));
+        assert!(prom.contains("caram_rows{kind=\"slice\",scope=\"0\"} 64"));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse_json("{\"a\\n\": [1, -2.5, true, false, null, \"\\u0041\"]}").unwrap();
+        let arr = doc.get("a\n").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2], JsonValue::Bool(true));
+        assert_eq!(arr[3], JsonValue::Bool(false));
+        assert_eq!(arr[4], JsonValue::Null);
+        assert_eq!(arr[5].as_str(), Some("A"));
+        assert!(parse_json("[1] trailing").is_err());
+    }
+}

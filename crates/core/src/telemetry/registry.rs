@@ -1,0 +1,311 @@
+//! The [`MetricsRegistry`]: a named aggregation point for every metric the
+//! repo produces — per-slice, per-database, and per-engine — feeding the
+//! JSON and Prometheus exporters in [`super::export`].
+//!
+//! The registry is deliberately schema-free at this layer: a scope is a
+//! `(kind, name)` pair holding ordered lists of counters, gauges, and
+//! histograms. Components publish whatever they measure; the exporters
+//! impose the wire schema. This keeps the registry usable by the six CAM
+//! baselines and softsearch (which have no native sinks — their metrics
+//! come from [`crate::engine::EngineOutcome`] streams) as well as the
+//! deeply instrumented CA-RAM table.
+
+use crate::engine::EngineOutcome;
+use crate::stats::SearchStats;
+
+use super::histogram::Histogram;
+use super::trace::TelemetrySnapshot;
+
+/// What a scope describes — exported as the `kind` label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScopeKind {
+    /// A whole search engine (CA-RAM design, CAM baseline, softsearch).
+    Engine,
+    /// One physical slice of a CA-RAM table.
+    Slice,
+    /// One database inside a multi-database subsystem.
+    Database,
+    /// The subsystem input controller.
+    Controller,
+}
+
+impl ScopeKind {
+    /// Stable lowercase name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ScopeKind::Engine => "engine",
+            ScopeKind::Slice => "slice",
+            ScopeKind::Database => "database",
+            ScopeKind::Controller => "controller",
+        }
+    }
+}
+
+/// All metrics published under one `(kind, name)` scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeMetrics {
+    /// What this scope describes.
+    pub kind: ScopeKind,
+    /// Unique name within the kind (engine label, slice index, …).
+    pub name: String,
+    /// Monotonic event counts, in publication order.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time measurements (rates, factors, means).
+    pub gauges: Vec<(String, f64)>,
+    /// Named distributions.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl ScopeMetrics {
+    fn new(kind: ScopeKind, name: &str) -> Self {
+        Self {
+            kind,
+            name: name.to_string(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Sets counter `name` to `value`, replacing any prior value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// Sets gauge `name` to `value`, replacing any prior value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if let Some(slot) = self.gauges.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// Sets histogram `name` to `h`, replacing any prior value.
+    pub fn set_histogram(&mut self, name: &str, h: Histogram) {
+        if let Some(slot) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = h;
+        } else {
+            self.histograms.push((name.to_string(), h));
+        }
+    }
+
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Publishes flat search counters plus their derived gauges.
+    pub fn record_search_stats(&mut self, stats: &SearchStats) {
+        self.set_counter("searches", stats.searches);
+        self.set_counter("hits", stats.hits);
+        self.set_counter("memory_accesses", stats.memory_accesses);
+        self.set_gauge("hit_rate", stats.hit_rate());
+        self.set_gauge("measured_amal", stats.measured_amal());
+    }
+}
+
+/// An ordered collection of metric scopes, ready for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    scopes: Vec<ScopeMetrics>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scope for `(kind, name)`, created on first use. Scopes keep
+    /// their creation order in exports.
+    pub fn scope_mut(&mut self, kind: ScopeKind, name: &str) -> &mut ScopeMetrics {
+        let i = self
+            .scopes
+            .iter()
+            .position(|s| s.kind == kind && s.name == name)
+            .unwrap_or_else(|| {
+                self.scopes.push(ScopeMetrics::new(kind, name));
+                self.scopes.len() - 1
+            });
+        &mut self.scopes[i]
+    }
+
+    /// All scopes, in creation order.
+    #[must_use]
+    pub fn scopes(&self) -> &[ScopeMetrics] {
+        &self.scopes
+    }
+
+    /// Looks up a scope by kind and name.
+    #[must_use]
+    pub fn scope(&self, kind: ScopeKind, name: &str) -> Option<&ScopeMetrics> {
+        self.scopes
+            .iter()
+            .find(|s| s.kind == kind && s.name == name)
+    }
+
+    /// Publishes a full [`TelemetrySnapshot`] under an engine scope: the
+    /// flat counters plus every non-empty distribution and stage count.
+    pub fn record_snapshot(&mut self, name: &str, snap: &TelemetrySnapshot) {
+        let scope = self.scope_mut(ScopeKind::Engine, name);
+        scope.record_search_stats(&snap.stats);
+        for (hist_name, hist) in [
+            ("probe_length", &snap.probe_length),
+            ("row_fetches", &snap.row_fetches),
+            ("match_popcount", &snap.match_popcount),
+            ("insert_occupancy", &snap.insert_occupancy),
+            ("queue_depth", &snap.queue_depth),
+            ("queue_wait", &snap.queue_wait),
+        ] {
+            if !hist.is_empty() {
+                scope.set_histogram(hist_name, hist.clone());
+            }
+        }
+        for (stage, &count) in super::trace::Stage::ALL.iter().zip(&snap.stage_counts) {
+            if count > 0 {
+                scope.set_counter(&format!("stage_{}", stage.name()), count);
+            }
+        }
+    }
+
+    /// Publishes per-engine metrics derived from a stream of
+    /// [`EngineOutcome`]s — the generic instrumentation path for engines
+    /// with no native sink (the CAM baselines, softsearch). Builds the
+    /// flat counters plus a row-fetch distribution from the per-search
+    /// `memory_accesses`.
+    pub fn record_outcomes(&mut self, name: &str, outcomes: &[EngineOutcome]) {
+        let mut stats = SearchStats::new();
+        let mut fetches = Histogram::new();
+        for outcome in outcomes {
+            stats.record(outcome.hit.is_some(), outcome.memory_accesses);
+            fetches.record(u64::from(outcome.memory_accesses));
+        }
+        let scope = self.scope_mut(ScopeKind::Engine, name);
+        scope.record_search_stats(&stats);
+        scope.set_histogram("row_fetches", fetches);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineHit;
+    use crate::key::TernaryKey;
+
+    #[test]
+    fn scope_get_or_create_preserves_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.scope_mut(ScopeKind::Engine, "a").set_counter("x", 1);
+        reg.scope_mut(ScopeKind::Slice, "0").set_counter("x", 2);
+        reg.scope_mut(ScopeKind::Engine, "a").set_counter("x", 3);
+        assert_eq!(reg.scopes().len(), 2);
+        assert_eq!(reg.scopes()[0].counter("x"), Some(3));
+        assert_eq!(
+            reg.scope(ScopeKind::Slice, "0").unwrap().counter("x"),
+            Some(2)
+        );
+        assert!(reg.scope(ScopeKind::Database, "a").is_none());
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut scope = ScopeMetrics::new(ScopeKind::Engine, "e");
+        scope.set_gauge("g", 1.0);
+        scope.set_gauge("g", 2.0);
+        assert_eq!(scope.gauges.len(), 1);
+        assert_eq!(scope.gauge("g"), Some(2.0));
+        let mut h = Histogram::new();
+        h.record(1);
+        scope.set_histogram("h", h.clone());
+        scope.set_histogram("h", h.clone());
+        assert_eq!(scope.histograms.len(), 1);
+        assert_eq!(scope.histogram("h"), Some(&h));
+        assert!(scope.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn search_stats_publish_counters_and_gauges() {
+        let mut stats = SearchStats::new();
+        stats.record(true, 2);
+        stats.record(false, 4);
+        let mut scope = ScopeMetrics::new(ScopeKind::Engine, "e");
+        scope.record_search_stats(&stats);
+        assert_eq!(scope.counter("searches"), Some(2));
+        assert_eq!(scope.counter("hits"), Some(1));
+        assert_eq!(scope.counter("memory_accesses"), Some(6));
+        assert_eq!(scope.gauge("hit_rate"), Some(0.5));
+        assert_eq!(scope.gauge("measured_amal"), Some(3.0));
+    }
+
+    #[test]
+    fn outcomes_build_stats_and_fetch_histogram() {
+        let outcomes = vec![
+            EngineOutcome {
+                hit: Some(EngineHit {
+                    key: TernaryKey::binary(7, 32),
+                    data: 7,
+                }),
+                memory_accesses: 1,
+            },
+            EngineOutcome {
+                hit: None,
+                memory_accesses: 3,
+            },
+        ];
+        let mut reg = MetricsRegistry::new();
+        reg.record_outcomes("tcam", &outcomes);
+        let scope = reg.scope(ScopeKind::Engine, "tcam").unwrap();
+        assert_eq!(scope.counter("searches"), Some(2));
+        assert_eq!(scope.counter("hits"), Some(1));
+        let fetches = scope.histogram("row_fetches").unwrap();
+        assert_eq!(fetches.count(), 2);
+        assert_eq!(fetches.sum(), 4);
+    }
+
+    #[test]
+    fn snapshot_publishes_nonempty_series_only() {
+        use super::super::trace::{HistogramSink, ProbeSummary, Stage, TelemetrySink};
+        let sink = HistogramSink::deep();
+        sink.stage(Stage::Match, 1);
+        sink.search_complete(&ProbeSummary {
+            hit: true,
+            row_fetches: 1,
+            probe_length: 0,
+            homes: 1,
+        });
+        let mut reg = MetricsRegistry::new();
+        reg.record_snapshot("caram", &sink.snapshot());
+        let scope = reg.scope(ScopeKind::Engine, "caram").unwrap();
+        assert!(scope.histogram("probe_length").is_some());
+        assert!(scope.histogram("match_popcount").is_some());
+        assert!(scope.histogram("queue_depth").is_none());
+        assert_eq!(scope.counter("stage_match"), Some(1));
+        assert_eq!(scope.counter("stage_hash"), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Threaded stress tests for the lock-free telemetry accumulators: a
+//! concurrent snapshot must equal the serial accumulation of every
+//! shard's contribution, for both per-event recording and whole-shard
+//! merging.
+
+use std::sync::Arc;
+
+use ca_ram_core::stats::{AtomicSearchStats, SearchStats};
+use ca_ram_core::telemetry::{
+    AtomicHistogram, Histogram, HistogramSink, ProbeSummary, TelemetrySink,
+};
+
+const THREADS: u64 = 8;
+const EVENTS_PER_THREAD: u64 = 10_000;
+
+/// The deterministic event stream thread `t` feeds in: `(hit, accesses)`.
+fn event(t: u64, i: u64) -> (bool, u32) {
+    let x = t * EVENTS_PER_THREAD + i;
+    #[allow(clippy::cast_possible_truncation)]
+    let accesses = (x % 7 + 1) as u32;
+    (x % 3 != 0, accesses)
+}
+
+#[test]
+fn atomic_search_stats_concurrent_record_equals_serial_sum() {
+    let shared = Arc::new(AtomicSearchStats::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    let (hit, accesses) = event(t, i);
+                    shared.record(hit, accesses);
+                }
+            });
+        }
+    });
+
+    let mut expected = SearchStats::new();
+    for t in 0..THREADS {
+        for i in 0..EVENTS_PER_THREAD {
+            let (hit, accesses) = event(t, i);
+            expected.record(hit, accesses);
+        }
+    }
+    assert_eq!(shared.snapshot(), expected);
+}
+
+#[test]
+fn atomic_search_stats_concurrent_merge_equals_serial_sum() {
+    let shared = Arc::new(AtomicSearchStats::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                // Each thread accumulates privately, then merges the whole
+                // shard at once — the parallel-batch pattern.
+                let mut shard = SearchStats::new();
+                for i in 0..EVENTS_PER_THREAD {
+                    let (hit, accesses) = event(t, i);
+                    shard.record(hit, accesses);
+                }
+                shared.merge(&shard);
+            });
+        }
+    });
+
+    let snap = shared.snapshot();
+    assert_eq!(snap.searches, THREADS * EVENTS_PER_THREAD);
+    let mut expected = SearchStats::new();
+    for t in 0..THREADS {
+        for i in 0..EVENTS_PER_THREAD {
+            let (hit, accesses) = event(t, i);
+            expected.record(hit, accesses);
+        }
+    }
+    assert_eq!(snap, expected);
+}
+
+#[test]
+fn atomic_histogram_concurrent_record_and_merge_equal_serial_sum() {
+    let recorded = Arc::new(AtomicHistogram::new());
+    let merged = Arc::new(AtomicHistogram::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let recorded = Arc::clone(&recorded);
+            let merged = Arc::clone(&merged);
+            scope.spawn(move || {
+                let mut shard = Histogram::new();
+                for i in 0..EVENTS_PER_THREAD {
+                    // Spread values across several power-of-two buckets,
+                    // including zero and a large outlier.
+                    let value = if i % 97 == 0 { 1 << 20 } else { (t + i) % 19 };
+                    recorded.record(value);
+                    shard.record(value);
+                }
+                merged.merge(&shard);
+            });
+        }
+    });
+
+    let mut expected = Histogram::new();
+    for t in 0..THREADS {
+        for i in 0..EVENTS_PER_THREAD {
+            let value = if i % 97 == 0 { 1 << 20 } else { (t + i) % 19 };
+            expected.record(value);
+        }
+    }
+    assert_eq!(recorded.snapshot(), expected);
+    assert_eq!(merged.snapshot(), expected);
+}
+
+#[test]
+fn histogram_sink_concurrent_search_complete_is_exact() {
+    // Summaries straddle the scoreboard boundary: small values take the
+    // one-atomic fast path, large ones the full slow path. The folded
+    // snapshot must be exact either way.
+    let sink = Arc::new(HistogramSink::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sink = Arc::clone(&sink);
+            scope.spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    let x = t * EVENTS_PER_THREAD + i;
+                    sink.search_complete(&ProbeSummary {
+                        hit: x % 2 == 0,
+                        row_fetches: x % 11, // 0..=10: both sides of the limit
+                        probe_length: x % 5,
+                        homes: 1,
+                    });
+                }
+            });
+        }
+    });
+
+    let mut stats = SearchStats::new();
+    let mut probe_length = Histogram::new();
+    let mut row_fetches = Histogram::new();
+    for t in 0..THREADS {
+        for i in 0..EVENTS_PER_THREAD {
+            let x = t * EVENTS_PER_THREAD + i;
+            #[allow(clippy::cast_possible_truncation)]
+            stats.record(x % 2 == 0, (x % 11) as u32);
+            probe_length.record(x % 5);
+            row_fetches.record(x % 11);
+        }
+    }
+    let snap = sink.snapshot();
+    assert_eq!(snap.stats, stats);
+    assert_eq!(snap.probe_length, probe_length);
+    assert_eq!(snap.row_fetches, row_fetches);
+
+    sink.reset();
+    let cleared = sink.snapshot();
+    assert_eq!(cleared.stats, SearchStats::new());
+    assert!(cleared.probe_length.is_empty());
+    assert!(cleared.row_fetches.is_empty());
+}

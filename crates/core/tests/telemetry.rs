@@ -1,0 +1,176 @@
+//! End-to-end telemetry integration: sink events emitted by the table,
+//! subsystem, and controller must agree with the untraced search results,
+//! and the registry export must round-trip through its own validator.
+
+use std::sync::Arc;
+
+use ca_ram_core::controller::{simulate_with_sink, QueueModelConfig};
+use ca_ram_core::index::RangeSelect;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::table::{CaRamTable, OverflowPolicy, TableConfig};
+use ca_ram_core::telemetry::{
+    parse_json, to_json, to_prometheus, validate_json, HistogramSink, JsonValue, MetricsRegistry,
+    Stage, TraceBuffer, TraceEvent,
+};
+use ca_ram_core::CaRamSubsystem;
+
+/// A small probing table with 40 records over 4 buckets of 4 slots.
+fn table() -> CaRamTable {
+    let layout = RecordLayout::new(16, false, 16);
+    let mut config = TableConfig::single_slice(4, 4 * layout.slot_bits(), layout);
+    config.overflow = OverflowPolicy::Probe { max_steps: 16 };
+    let mut t = CaRamTable::new(config, Box::new(RangeSelect::new(0, 4))).unwrap();
+    for i in 0..40u64 {
+        let key = TernaryKey::binary(u128::from(i) | 0x100, 16);
+        t.insert(Record::new(key, i * 10)).unwrap();
+    }
+    t
+}
+
+fn probe_keys() -> Vec<SearchKey> {
+    // Present keys, plus misses below and above the stored range.
+    (0..48u64)
+        .map(|i| SearchKey::new(u128::from(i) | 0x100, 16))
+        .chain((0..8u64).map(|i| SearchKey::new(u128::from(i), 16)))
+        .collect()
+}
+
+#[test]
+fn traced_outcomes_match_untraced_for_both_sink_depths() {
+    let plain = table();
+    let expected: Vec<_> = probe_keys().iter().map(|k| plain.search(k)).collect();
+
+    for deep in [false, true] {
+        let mut traced = table();
+        let sink = Arc::new(if deep {
+            HistogramSink::deep()
+        } else {
+            HistogramSink::new()
+        });
+        traced.set_telemetry_sink(Arc::clone(&sink) as _);
+        let got: Vec<_> = probe_keys().iter().map(|k| traced.search(k)).collect();
+        assert_eq!(got, expected, "deep={deep}");
+
+        let snap = sink.snapshot();
+        assert_eq!(snap.stats.searches, expected.len() as u64, "deep={deep}");
+        let hits = expected.iter().filter(|o| o.hit.is_some()).count() as u64;
+        assert_eq!(snap.stats.hits, hits, "deep={deep}");
+        assert_eq!(snap.probe_length.count(), expected.len() as u64);
+        assert_eq!(snap.row_fetches.count(), expected.len() as u64);
+        // Every search fetches at least one row.
+        assert!(snap.stats.memory_accesses >= expected.len() as u64);
+        if deep {
+            // Deep mode fires hash + row-fetch stages for every search and
+            // match popcounts for every fetched row.
+            assert_eq!(
+                snap.stage_counts[Stage::Hash.index()],
+                expected.len() as u64
+            );
+            assert_eq!(
+                snap.stage_counts[Stage::RowFetch.index()],
+                snap.stats.memory_accesses
+            );
+            assert!(!snap.match_popcount.is_empty());
+            assert_eq!(snap.stage_counts[Stage::Extract.index()], hits);
+        } else {
+            assert_eq!(snap.stage_counts, [0; 5]);
+            assert!(snap.match_popcount.is_empty());
+        }
+
+        // Clearing the sink restores the untraced path.
+        traced.clear_telemetry_sink();
+        let after: Vec<_> = probe_keys().iter().map(|k| traced.search(k)).collect();
+        assert_eq!(after, expected);
+        assert_eq!(sink.snapshot().stats.searches, expected.len() as u64);
+    }
+}
+
+#[test]
+fn insert_emits_occupancy_events() {
+    let layout = RecordLayout::new(16, false, 16);
+    let mut config = TableConfig::single_slice(4, 4 * layout.slot_bits(), layout);
+    config.overflow = OverflowPolicy::Probe { max_steps: 16 };
+    let mut t = CaRamTable::new(config, Box::new(RangeSelect::new(0, 4))).unwrap();
+    let buffer = Arc::new(TraceBuffer::new(1024));
+    t.set_telemetry_sink(Arc::clone(&buffer) as _);
+
+    // All twelve keys share the low index bits, so they pile into the
+    // same home bucket and spill to probed neighbours.
+    for i in 0..12u64 {
+        let key = TernaryKey::binary(u128::from(i) << 4 | 0x3, 16);
+        t.insert(Record::new(key, i)).unwrap();
+    }
+    let occupancies: Vec<u32> = buffer
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::InsertOccupancy(o) => Some(o),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(occupancies.len(), 12);
+    // Occupancy observed at insert counts the record just placed.
+    assert!(occupancies.iter().all(|&o| o >= 1));
+    assert!(occupancies.iter().any(|&o| o > 1));
+}
+
+#[test]
+fn subsystem_pump_reports_queue_depth() {
+    let mut sub = CaRamSubsystem::new();
+    let id = sub.add_database("t", table());
+    let sink = HistogramSink::shared();
+    sub.set_telemetry_sink(id, Arc::clone(&sink) as _);
+
+    let port = sub.request_port(id);
+    for key in probe_keys().into_iter().take(6) {
+        sub.store_request(port, key).unwrap();
+    }
+    sub.pump();
+
+    let snap = sink.snapshot();
+    assert_eq!(snap.stats.searches, 6);
+    // The controller samples the backlog once per pump per database; the
+    // single sample is the full six-request backlog (histogram sums are
+    // exact even though bucket bounds are powers of two).
+    assert_eq!(snap.queue_depth.count(), 1);
+    assert_eq!(snap.queue_depth.sum(), 6);
+}
+
+#[test]
+fn controller_simulation_feeds_queue_histograms() {
+    let sink = HistogramSink::shared();
+    let requests = (0..512u32).map(|i| i % 8);
+    let report = simulate_with_sink(QueueModelConfig::fig8_ip_lookup(), requests, sink.as_ref());
+    assert_eq!(report.completed, 512);
+
+    let snap = sink.snapshot();
+    assert!(snap.queue_depth.count() > 0);
+    assert_eq!(snap.queue_wait.count(), 512);
+}
+
+#[test]
+fn registry_export_round_trips_through_validator() {
+    let mut traced = table();
+    let sink = Arc::new(HistogramSink::deep());
+    traced.set_telemetry_sink(Arc::clone(&sink) as _);
+    for key in probe_keys() {
+        traced.search(&key);
+    }
+
+    let mut registry = MetricsRegistry::new();
+    registry.record_snapshot("test-table", &sink.snapshot());
+
+    let json = to_json(&registry);
+    let scopes = validate_json(&json).expect("export must satisfy its own schema");
+    assert_eq!(scopes, 1);
+
+    let parsed = parse_json(&json).expect("export must parse");
+    let schema = parsed.get("schema").and_then(JsonValue::as_str);
+    assert_eq!(schema, Some(ca_ram_core::telemetry::SCHEMA));
+
+    let prom = to_prometheus(&registry);
+    assert!(prom.contains("caram_probe_length_bucket"));
+    assert!(prom.contains("le=\"+Inf\""));
+    assert!(prom.contains("caram_searches"));
+}
