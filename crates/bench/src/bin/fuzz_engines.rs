@@ -1,0 +1,156 @@
+//! Differential fuzzing of every search engine against the reference
+//! model.
+//!
+//! For each generation scenario (every supported key width, exact and
+//! ternary churn, LPM builds and online updates, a static search-only
+//! profile) the seeded stream generator produces one adversarial op
+//! stream, and every engine legal for the scenario replays it in lockstep
+//! with the oracle. Any disagreement is ddmin-minimized and printed as a
+//! checked-in-able fixture; the process exits non-zero so CI fails on a
+//! divergence.
+//!
+//! Usage:
+//! `fuzz_engines [--seed N] [--ops N] [--time-box-ms N] [--out PATH]
+//!               [--scenario SUBSTR] [--engine SUBSTR]`
+//!
+//! `--ops` is the stream length per scenario (default 20,000). The time
+//! box (default 300,000 ms) truncates *coverage*, never verdicts: cells
+//! skipped for time are reported as skipped in the JSON, and a divergence
+//! found before the box expires always fails the run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ca_ram_bench::fleet::fleet_for;
+use ca_ram_bench::{write_text_atomic, Cli, Result};
+use ca_ram_core::oracle::{run_case, standard_scenarios, OpStreamGen, Profile};
+
+/// Replays the harness caps minimization at, bounding worst-case runtime.
+const MINIMIZE_BUDGET: usize = 400;
+
+struct Cell {
+    scenario: String,
+    engine: String,
+    ops: usize,
+    status: &'static str,
+    detail: String,
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let seed: u64 = cli.parse("seed", 0)?;
+    let ops: usize = cli.parse("ops", 20_000)?;
+    let time_box_ms: u64 = cli.parse("time-box-ms", 300_000)?;
+    let out = cli.value("out").unwrap_or("BENCH_fuzz.json").to_string();
+    let scenario_filter = cli.value("scenario").map(str::to_string);
+    let engine_filter = cli.value("engine").map(str::to_string);
+
+    let started = Instant::now();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut divergences = 0usize;
+    let mut skipped = 0usize;
+
+    println!("fuzz_engines: seed {seed}, {ops} ops per scenario, time box {time_box_ms} ms");
+
+    for sc in standard_scenarios() {
+        if let Some(f) = &scenario_filter {
+            if !sc.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let mut generator = OpStreamGen::new(&sc, seed);
+        let preload = if sc.profile == Profile::SearchOnly {
+            generator.preload(sc.max_live)
+        } else {
+            Vec::new()
+        };
+        let stream = generator.generate(ops);
+        for case in fleet_for(&sc, &preload) {
+            if let Some(f) = &engine_filter {
+                if !case.name.contains(f.as_str()) {
+                    continue;
+                }
+            }
+            if started.elapsed().as_millis() >= u128::from(time_box_ms) {
+                skipped += 1;
+                cells.push(Cell {
+                    scenario: sc.name.clone(),
+                    engine: case.name.clone(),
+                    ops: 0,
+                    status: "skipped",
+                    detail: "time box expired".to_string(),
+                });
+                continue;
+            }
+            let report = run_case(&case, &sc.name, seed, sc.key_bits, &stream, MINIMIZE_BUDGET);
+            match report {
+                None => {
+                    cells.push(Cell {
+                        scenario: sc.name.clone(),
+                        engine: case.name,
+                        ops,
+                        status: "ok",
+                        detail: String::new(),
+                    });
+                }
+                Some(r) => {
+                    divergences += 1;
+                    println!(
+                        "DIVERGENCE: {} on {} at op {} — {}",
+                        r.engine, r.scenario, r.op_index, r.detail
+                    );
+                    println!("--- minimized repro ({} ops) ---", r.repro.len());
+                    print!("{}", r.to_fixture());
+                    println!("--------------------------------");
+                    cells.push(Cell {
+                        scenario: sc.name.clone(),
+                        engine: r.engine.clone(),
+                        ops,
+                        status: "divergence",
+                        detail: r.detail.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let elapsed_ms = started.elapsed().as_millis();
+    let checked = cells.iter().filter(|c| c.status != "skipped").count();
+    println!(
+        "fuzz_engines: {checked} engine x scenario cells checked, {divergences} divergence(s), \
+         {skipped} skipped, {elapsed_ms} ms"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"fuzz\",\n");
+    let _ = write!(
+        json,
+        "  \"seed\": {seed},\n  \"ops_per_scenario\": {ops},\n  \
+         \"time_box_ms\": {time_box_ms},\n  \"elapsed_ms\": {elapsed_ms},\n  \
+         \"cells_checked\": {checked},\n  \"cells_skipped\": {skipped},\n  \
+         \"divergences\": {divergences},\n"
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"engine\": \"{}\", \"ops\": {}, \
+             \"status\": \"{}\", \"detail\": \"{}\"}}{}",
+            c.scenario,
+            c.engine,
+            c.ops,
+            c.status,
+            c.detail.replace('\\', "\\\\").replace('"', "\\\""),
+            if i + 1 == cells.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    write_text_atomic(&out, &json)?;
+    println!("(wrote {out})");
+
+    ca_ram_bench::ensure(
+        divergences == 0,
+        "differential fuzzing found engine/model divergences",
+    )
+}

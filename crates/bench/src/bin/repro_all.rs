@@ -1,6 +1,7 @@
 //! Runs the entire reproduction suite in sequence: Tables 1–3, Figures
-//! 6–8, the bandwidth analysis, the software baseline, and the telemetry
-//! sweep — each as a child process so their CLI flags keep working.
+//! 6–8, the bandwidth analysis, the software baseline, the telemetry
+//! sweep, and a short seeded differential fuzz pass over every engine —
+//! each as a child process so their CLI flags keep working.
 //!
 //! Each child's output is echoed live-ish (after the child exits) and
 //! accumulated; the full transcript is written to `repro_output.txt`
@@ -57,6 +58,12 @@ fn main() -> Result<()> {
     let cli = Cli::from_env();
     let tri_args = cli.passthrough(&["entries", "seed"]);
     let ip_args = cli.passthrough(&["prefixes", "seed"]);
+    // Keep the differential sweep inside the suite's time budget: a
+    // shorter per-scenario stream than the CI gate, same seeding.
+    let mut fuzz_args = cli.passthrough(&["seed", "ops", "time-box-ms"]);
+    if !fuzz_args.iter().any(|a| a == "--ops") {
+        fuzz_args.extend(["--ops".to_string(), "5000".to_string()]);
+    }
 
     let mut transcript = String::new();
     let result = (|| -> Result<()> {
@@ -73,6 +80,7 @@ fn main() -> Result<()> {
         run("explore", &ip_args, &mut transcript)?;
         run("perf_smoke", &ip_args, &mut transcript)?;
         run("telemetry_report", &ip_args, &mut transcript)?;
+        run("fuzz_engines", &fuzz_args, &mut transcript)?;
         Ok(())
     })();
 

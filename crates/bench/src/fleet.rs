@@ -1,0 +1,459 @@
+//! The differential-testing engine fleet: every search substrate in the
+//! workspace packaged as an [`EngineCase`] for the oracle harness.
+//!
+//! One [`fleet_for`] call materializes the engines legal for a generation
+//! [`Scenario`]: CA-RAM design points across probe policies, arrangements
+//! (including a non-power-of-two vertical geometry), and overflow schemes;
+//! the subsystem adapter; the six CAM baselines; and the statically built
+//! software indexes. Gating is by [`Profile`] — an engine only joins
+//! streams whose priority and match semantics its contract covers (a plain
+//! TCAM is position-priority, so it skips arbitrary-order LPM churn; binary
+//! CAMs skip every masked-search profile) — and by geometry: a builder
+//! returns `None` at key widths its index range cannot address, which the
+//! harness treats as a vacuous pass.
+
+use ca_ram_cam::{BankedTcam, BinaryCam, PreclassifiedCam, PrecomputedBcam, SortedTcam, Tcam};
+use ca_ram_core::engine::{EngineOutcome, EngineReport, SearchEngine};
+use ca_ram_core::error::Result as CoreResult;
+use ca_ram_core::index::RangeSelect;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::oracle::{EngineCase, Profile, Scenario};
+use ca_ram_core::probe::ProbePolicy;
+use ca_ram_core::subsystem::{CaRamSubsystem, DatabaseId};
+use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use ca_ram_softsearch::{Arena, ChainedHash, Hierarchy, SoftEngine, SortedArray};
+
+/// log2 of rows per slice for every fleet CA-RAM table.
+const ROWS_LOG2: u32 = 6;
+/// Record slots per slice row.
+const SLOTS_PER_ROW: u32 = 8;
+/// Flat-CAM capacity, sized so `must_fit` devices never legitimately fill.
+const CAM_CAPACITY: usize = 512;
+
+/// A whole [`CaRamSubsystem`] owning one database, viewed as a
+/// [`SearchEngine`] — so the oracle drives the same entry points the
+/// memory-mapped ports and the `DatabaseEngine` adapter use, activity
+/// counters included.
+pub struct SubsystemEngine {
+    sub: CaRamSubsystem,
+    id: DatabaseId,
+}
+
+impl SubsystemEngine {
+    /// Wraps `table` as the sole database of a fresh subsystem.
+    #[must_use]
+    pub fn new(table: CaRamTable) -> Self {
+        let mut sub = CaRamSubsystem::new();
+        let id = sub.add_database("oracle", table);
+        Self { sub, id }
+    }
+}
+
+impl SearchEngine for SubsystemEngine {
+    fn name(&self) -> &'static str {
+        "ca-ram/subsystem"
+    }
+
+    fn key_bits(&self) -> u32 {
+        self.sub.table(self.id).layout().key_bits()
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        self.sub.search(self.id, key).into()
+    }
+
+    fn insert(&mut self, record: Record) -> CoreResult<()> {
+        self.sub.engine(self.id).insert(record)
+    }
+
+    fn insert_sorted(&mut self, record: Record) -> CoreResult<()> {
+        self.sub.engine(self.id).insert_sorted(record)
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        self.sub.engine(self.id).delete(key)
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        SearchEngine::occupancy(self.sub.table(self.id))
+    }
+}
+
+/// Builds a fleet CA-RAM table for `bits`-wide keys, or `None` when the
+/// geometry's index range does not fit inside the key. Public so
+/// integration tests can drive the exact fleet geometry through
+/// table-inherent paths (batch, baseline) the trait object hides.
+#[must_use]
+pub fn ca_ram_table(
+    bits: u32,
+    hash_lo: u32,
+    arrangement: Arrangement,
+    probe: ProbePolicy,
+    overflow: OverflowPolicy,
+) -> Option<CaRamTable> {
+    let layout = RecordLayout::new(bits, true, 32);
+    let buckets = (1u64 << ROWS_LOG2) * u64::from(arrangement.factors().1);
+    let index_bits = buckets.next_power_of_two().trailing_zeros();
+    if hash_lo + index_bits > bits {
+        return None;
+    }
+    let config = TableConfig {
+        rows_log2: ROWS_LOG2,
+        row_bits: SLOTS_PER_ROW * layout.slot_bits(),
+        layout,
+        arrangement,
+        probe,
+        overflow,
+    };
+    CaRamTable::new(config, Box::new(RangeSelect::new(hash_lo, index_bits))).ok()
+}
+
+fn boxed(engine: impl SearchEngine + 'static) -> Box<dyn SearchEngine> {
+    Box::new(engine)
+}
+
+struct Entry {
+    name: &'static str,
+    must_fit: bool,
+    profiles: &'static [Profile],
+    build: Box<dyn Fn(u32) -> Option<Box<dyn SearchEngine>>>,
+}
+
+/// Probe-exhaustive overflow: every bucket is reachable before `TableFull`.
+const EXHAUSTIVE: OverflowPolicy = OverflowPolicy::Probe {
+    max_steps: u32::MAX,
+};
+
+const CHURN: &[Profile] = &[Profile::ExactChurn, Profile::TernaryDisjoint];
+const CHURN_LPM_BUILD: &[Profile] = &[
+    Profile::ExactChurn,
+    Profile::TernaryDisjoint,
+    Profile::LpmBuild,
+];
+const CHURN_LPM_FULL: &[Profile] = &[
+    Profile::ExactChurn,
+    Profile::TernaryDisjoint,
+    Profile::LpmBuild,
+    Profile::LpmChurn,
+];
+const EXACT_ONLY: &[Profile] = &[Profile::ExactChurn];
+const STATIC_ONLY: &[Profile] = &[Profile::SearchOnly];
+
+#[allow(clippy::too_many_lines)]
+fn entries(sc: &Scenario, preload: &[Record]) -> Vec<Entry> {
+    let hash_lo = sc.hash_lo;
+    // The software indexes are built once from the preload set and rebuilt
+    // identically on demand.
+    let pairs: Vec<(u64, u64)> = preload
+        .iter()
+        .filter(|r| r.key.bits() == 64)
+        .map(|r| {
+            #[allow(clippy::cast_possible_truncation)]
+            let k = r.key.value() as u64;
+            (k, r.data)
+        })
+        .collect();
+    let chained_pairs = pairs.clone();
+    vec![
+        Entry {
+            name: "ca-ram/linear",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(move |bits| {
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Horizontal(1),
+                    ProbePolicy::Linear,
+                    EXHAUSTIVE,
+                )
+                .map(boxed)
+            }),
+        },
+        Entry {
+            name: "ca-ram/linear-h2",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(move |bits| {
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Horizontal(2),
+                    ProbePolicy::Linear,
+                    EXHAUSTIVE,
+                )
+                .map(boxed)
+            }),
+        },
+        Entry {
+            name: "ca-ram/linear-v3",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(move |bits| {
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Vertical(3),
+                    ProbePolicy::Linear,
+                    EXHAUSTIVE,
+                )
+                .map(boxed)
+            }),
+        },
+        Entry {
+            name: "ca-ram/second-hash",
+            must_fit: true,
+            profiles: CHURN_LPM_BUILD,
+            build: Box::new(move |bits| {
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Horizontal(1),
+                    ProbePolicy::SecondHash,
+                    EXHAUSTIVE,
+                )
+                .map(boxed)
+            }),
+        },
+        Entry {
+            // Non-power-of-two bucket count under double hashing: the
+            // geometry where a stride not coprime with the bucket count
+            // fails to reach every bucket.
+            name: "ca-ram/second-hash-v3",
+            must_fit: true,
+            profiles: CHURN_LPM_BUILD,
+            build: Box::new(move |bits| {
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Vertical(3),
+                    ProbePolicy::SecondHash,
+                    EXHAUSTIVE,
+                )
+                .map(boxed)
+            }),
+        },
+        Entry {
+            name: "ca-ram/overflow-area",
+            must_fit: false,
+            profiles: CHURN,
+            build: Box::new(move |bits| {
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Horizontal(1),
+                    ProbePolicy::Linear,
+                    OverflowPolicy::ParallelArea { capacity: 48 },
+                )
+                .map(boxed)
+            }),
+        },
+        Entry {
+            name: "ca-ram/victim",
+            must_fit: false,
+            profiles: CHURN,
+            build: Box::new(move |bits| {
+                let layout = RecordLayout::new(bits, true, 32);
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Horizontal(1),
+                    ProbePolicy::Linear,
+                    OverflowPolicy::VictimSlice {
+                        rows_log2: 3,
+                        row_bits: 4 * layout.slot_bits(),
+                    },
+                )
+                .map(boxed)
+            }),
+        },
+        Entry {
+            name: "ca-ram/subsystem",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(move |bits| {
+                ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Horizontal(1),
+                    ProbePolicy::Linear,
+                    EXHAUSTIVE,
+                )
+                .map(|t| boxed(SubsystemEngine::new(t)))
+            }),
+        },
+        Entry {
+            name: "tcam",
+            must_fit: true,
+            profiles: CHURN_LPM_BUILD,
+            build: Box::new(|bits| Some(boxed(Tcam::new(CAM_CAPACITY, bits)))),
+        },
+        Entry {
+            name: "sorted-tcam",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(|bits| Some(boxed(SortedTcam::new(CAM_CAPACITY, bits)))),
+        },
+        Entry {
+            name: "bcam",
+            must_fit: true,
+            profiles: EXACT_ONLY,
+            build: Box::new(|bits| Some(boxed(BinaryCam::new(CAM_CAPACITY, bits)))),
+        },
+        Entry {
+            name: "banked-tcam",
+            must_fit: false,
+            profiles: CHURN_LPM_BUILD,
+            build: Box::new(move |bits| {
+                if hash_lo + 4 > bits {
+                    return None;
+                }
+                Some(boxed(BankedTcam::new(
+                    Box::new(RangeSelect::new(hash_lo, 4)),
+                    64,
+                    bits,
+                )))
+            }),
+        },
+        Entry {
+            name: "preclassified-cam",
+            must_fit: false,
+            profiles: EXACT_ONLY,
+            build: Box::new(move |bits| {
+                if hash_lo + 4 > bits {
+                    return None;
+                }
+                Some(boxed(PreclassifiedCam::new(8, 128, bits, hash_lo, 4)))
+            }),
+        },
+        Entry {
+            name: "precomputed-bcam",
+            must_fit: true,
+            profiles: EXACT_ONLY,
+            build: Box::new(|bits| Some(boxed(PrecomputedBcam::new(CAM_CAPACITY, bits)))),
+        },
+        Entry {
+            name: "soft/chained-hash",
+            must_fit: false,
+            profiles: STATIC_ONLY,
+            build: Box::new(move |bits| {
+                if bits != 64 || chained_pairs.is_empty() {
+                    return None;
+                }
+                let mut arena = Arena::new(0);
+                let index = ChainedHash::build(&chained_pairs, 7, &mut arena);
+                Some(boxed(SoftEngine::new(index, Hierarchy::typical())))
+            }),
+        },
+        Entry {
+            name: "soft/sorted-array",
+            must_fit: false,
+            profiles: STATIC_ONLY,
+            build: Box::new(move |bits| {
+                if bits != 64 || pairs.is_empty() {
+                    return None;
+                }
+                let mut arena = Arena::new(0);
+                let index = SortedArray::build(&pairs, &mut arena);
+                Some(boxed(SoftEngine::new(index, Hierarchy::typical())))
+            }),
+        },
+    ]
+}
+
+/// Every engine legal for `scenario`, as oracle cases. `preload` seeds both
+/// the statically built engines and (via [`EngineCase::preload`]) the
+/// reference model.
+#[must_use]
+pub fn fleet_for(scenario: &Scenario, preload: &[Record]) -> Vec<EngineCase> {
+    entries(scenario, preload)
+        .into_iter()
+        .filter(|e| e.profiles.contains(&scenario.profile))
+        .map(|e| EngineCase {
+            name: e.name.to_string(),
+            must_fit: e.must_fit,
+            build: e.build,
+            preload: preload.to_vec(),
+        })
+        .collect()
+}
+
+/// The engine names [`fleet_for`] can produce, for reports and filters.
+#[must_use]
+pub fn fleet_names() -> Vec<&'static str> {
+    let sc = Scenario {
+        name: String::new(),
+        key_bits: 32,
+        profile: Profile::ExactChurn,
+        data_bits: 32,
+        hash_lo: 0,
+        hash_bits: 6,
+        reconfigure: false,
+        max_live: 1,
+    };
+    entries(&sc, &[]).iter().map(|e| e.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_ram_core::oracle::standard_scenarios;
+
+    #[test]
+    fn every_scenario_fields_a_fleet() {
+        for sc in standard_scenarios() {
+            let fleet = fleet_for(&sc, &[]);
+            assert!(!fleet.is_empty(), "{}: empty fleet", sc.name);
+            // Each fleet must include at least one CA-RAM design point
+            // unless the profile is static-only.
+            if sc.profile != Profile::SearchOnly {
+                assert!(
+                    fleet.iter().any(|c| c.name.starts_with("ca-ram/")),
+                    "{}: no CA-RAM engine in fleet",
+                    sc.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builders_gate_on_width() {
+        // lpm-churn-16b hashes bits [10, 16); the vertical-3 geometry needs
+        // 8 index bits and must decline, while the flat geometry fits.
+        let sc = standard_scenarios()
+            .into_iter()
+            .find(|s| s.name == "lpm-churn-16b")
+            .expect("scenario exists");
+        let fleet = fleet_for(&sc, &[]);
+        let v3 = fleet
+            .iter()
+            .find(|c| c.name == "ca-ram/linear-v3")
+            .expect("v3 case is registered");
+        assert!((v3.build)(16).is_none(), "v3 must decline 16-bit keys here");
+        let flat = fleet
+            .iter()
+            .find(|c| c.name == "ca-ram/linear")
+            .expect("flat case is registered");
+        assert!(
+            (flat.build)(16).is_some(),
+            "flat geometry must accept 16-bit keys"
+        );
+    }
+
+    #[test]
+    fn non_pow2_design_points_build() {
+        for name in ["ca-ram/linear-v3", "ca-ram/second-hash-v3"] {
+            let sc = standard_scenarios()
+                .into_iter()
+                .find(|s| s.name == "exact-churn-32b")
+                .expect("scenario exists");
+            let case = fleet_for(&sc, &[])
+                .into_iter()
+                .find(|c| c.name == name)
+                .expect("case registered");
+            let engine = (case.build)(32).expect("32-bit keys fit");
+            assert_eq!(engine.key_bits(), 32, "{name}");
+        }
+    }
+}

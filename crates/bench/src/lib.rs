@@ -9,7 +9,10 @@
 //!   binary is a `fn main() -> Result<()>`;
 //! * [`designs`] — the Table 2 / Table 3 design points and table builders;
 //! * [`driver`] — workload feeds, warmup + timing of `SearchEngine` batch
-//!   paths, stats snapshots, and JSON report emission.
+//!   paths, stats snapshots, and JSON report emission;
+//! * [`fleet`] — every search substrate packaged as an oracle
+//!   [`EngineCase`](ca_ram_core::oracle::EngineCase) for the differential
+//!   fuzzer (`fuzz_engines`).
 //!
 //! One binary per table/figure lives in `src/bin/`:
 //!
@@ -32,12 +35,14 @@
 pub mod cli;
 pub mod designs;
 pub mod driver;
+pub mod fleet;
 
 pub use cli::{ensure, write_text, write_text_atomic, BenchError, Cli, Result};
 pub use driver::{
     bgp_config, exact_match_workload, keys_per_sec, member_trace, time, time_engine_batch,
     trigram_config, BatchTiming, DesignThroughput, ExactMatchWorkload, SearchReport,
 };
+pub use fleet::{fleet_for, fleet_names, SubsystemEngine};
 
 /// Prints a rule-of-dashes separator sized to `width`.
 pub fn rule(width: usize) {

@@ -1,0 +1,83 @@
+//! Replays every checked-in divergence fixture against its fleet.
+//!
+//! Each `tests/fixtures/*.ops` file is a minimized op stream that once
+//! made an engine disagree with the [`ReferenceModel`] (captured by
+//! `fuzz_engines` before the corresponding bug was fixed, comments in
+//! each file tell the story). The stream is replayed both against the
+//! engine named in its header and against every other engine fielded for
+//! the same scenario, so a fix regressing on a *different* design point
+//! is caught too.
+//!
+//! [`ReferenceModel`]: ca_ram_core::oracle::ReferenceModel
+
+use ca_ram_bench::fleet::fleet_for;
+use ca_ram_core::oracle::{parse_stream, replay, standard_scenarios, Op, Scenario};
+
+/// Extracts a `# key: value` header field from fixture text.
+fn header_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let prefix = format!("# {key}:");
+    text.lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()).map(str::trim))
+}
+
+fn scenario_by_name(name: &str) -> Scenario {
+    standard_scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("fixture names unknown scenario {name:?}"))
+}
+
+/// Replays `text` against the named engine and the whole fleet of its
+/// scenario; panics on any divergence.
+fn check_fixture(file: &str, text: &str) {
+    let engine = header_field(text, "engine").expect("fixture must name its engine");
+    let scenario =
+        scenario_by_name(header_field(text, "scenario").expect("fixture must name its scenario"));
+    let ops: Vec<Op> = parse_stream(text).expect("fixture must parse");
+    assert!(!ops.is_empty(), "{file}: empty op stream");
+    let fleet = fleet_for(&scenario, &[]);
+    assert!(
+        fleet.iter().any(|c| c.name == engine),
+        "{file}: engine {engine:?} is not fielded for scenario {:?}",
+        scenario.name
+    );
+    for case in &fleet {
+        if let Some(d) = replay(case, scenario.key_bits, &ops) {
+            panic!(
+                "{file}: {} diverged at op {}: {}",
+                case.name, d.op_index, d.kind
+            );
+        }
+    }
+}
+
+macro_rules! fixture_test {
+    ($name:ident, $file:literal) => {
+        #[test]
+        fn $name() {
+            check_fixture($file, include_str!(concat!("fixtures/", $file)));
+        }
+    };
+}
+
+fixture_test!(
+    delete_duplicate_copies_16b,
+    "delete_duplicate_copies_16b.ops"
+);
+fixture_test!(
+    delete_duplicate_copies_48b,
+    "delete_duplicate_copies_48b.ops"
+);
+fixture_test!(
+    clear_slot_wide_ternary_64b,
+    "clear_slot_wide_ternary_64b.ops"
+);
+fixture_test!(
+    second_hash_masked_probe_32b,
+    "second_hash_masked_probe_32b.ops"
+);
+fixture_test!(victim_partial_insert_32b, "victim_partial_insert_32b.ops");
+fixture_test!(
+    lpm_backfill_best_of_bucket_32b,
+    "lpm_backfill_best_of_bucket_32b.ops"
+);

@@ -110,8 +110,30 @@ pub trait SearchEngine: Sync {
     /// structures.
     fn insert(&mut self, record: Record) -> Result<()>;
 
-    /// Removes every stored record whose key equals `key`, returning the
-    /// number removed. Engines that cannot delete return 0.
+    /// Stores a record, maintaining the backend's priority order under
+    /// out-of-order arrival where the backend distinguishes sorted from
+    /// append-style insertion.
+    ///
+    /// The default forwards to [`SearchEngine::insert`], which is already
+    /// priority-maintaining for order-preserving devices (e.g. the sorted
+    /// TCAM, whose plain insert shifts a region per priority class).
+    /// `CaRamTable` overrides this with its eviction-cascading sorted
+    /// placement so online LPM updates stay exact through the trait.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchEngine::insert`]; backends whose sorted path demands a
+    /// particular configuration (e.g. linear probing) may also return
+    /// [`crate::error::CaRamError::BadConfig`].
+    fn insert_sorted(&mut self, record: Record) -> Result<()> {
+        self.insert(record)
+    }
+
+    /// Removes every stored record whose key equals `key` (value, mask, and
+    /// width), returning the number of stored copies removed — for backends
+    /// that duplicate records (hash images, banks) this counts every copy,
+    /// and it is zero if and only if no stored key was equal. Engines that
+    /// cannot delete return 0.
     fn delete(&mut self, key: &TernaryKey) -> u32;
 
     /// Current occupancy.

@@ -237,11 +237,22 @@ impl RecordLayout {
 
     /// Zeroes the slot (used by delete; validity is cleared separately).
     ///
+    /// Wide ternary layouts exceed the 128-bit single-field limit of the
+    /// bit-packed array (a 64-bit ternary key with 32-bit data is a
+    /// 160-bit slot), so the slot is zeroed in `<= 128`-bit chunks.
+    ///
     /// # Panics
     ///
     /// Panics if the slot lies outside the row.
     pub fn clear_slot(&self, words: &mut [u64], slot: u32) {
-        crate::bits::write_bits(words, self.slot_offset(slot), self.slot_bits(), 0);
+        let mut offset = self.slot_offset(slot);
+        let mut remaining = self.slot_bits();
+        while remaining > 0 {
+            let chunk = remaining.min(128);
+            crate::bits::write_bits(words, offset, chunk, 0);
+            offset += chunk as usize;
+            remaining -= chunk;
+        }
     }
 }
 
@@ -330,6 +341,35 @@ mod tests {
         assert_eq!(layout.decode_slot(&words, 1).key.value(), 0);
         assert_eq!(layout.decode_slot(&words, 1).data, 0);
         assert_eq!(layout.decode_slot(&words, 2).key.value(), 0xAAAA);
+    }
+
+    #[test]
+    fn clear_slot_handles_slots_wider_than_128_bits() {
+        // Regression: a 64-bit ternary key with 32-bit data is a 160-bit
+        // slot; clearing it as one bit-array field used to panic
+        // ("field width 160 exceeds 128 bits") on every delete.
+        for (key_bits, data_bits) in [(64, 32), (96, 32), (128, 64)] {
+            let layout = RecordLayout::new(key_bits, true, data_bits);
+            assert!(layout.slot_bits() > 128);
+            let mut words = row(layout.slot_bits() * 3);
+            for slot in 0..3 {
+                let rec = Record::new(
+                    TernaryKey::ternary(u128::MAX >> (128 - key_bits), 0, key_bits),
+                    u64::from(0xDEAD_0000 + slot),
+                );
+                layout.encode_slot(&mut words, slot, &rec);
+            }
+            layout.clear_slot(&mut words, 1);
+            assert_eq!(layout.decode_slot(&words, 1).key.value(), 0);
+            assert_eq!(layout.decode_slot(&words, 1).key.dont_care(), 0);
+            assert_eq!(layout.decode_slot(&words, 1).data, 0);
+            // Neighbours survive the chunked clear untouched.
+            for slot in [0, 2] {
+                let rec = layout.decode_slot(&words, slot);
+                assert_eq!(rec.key.value(), u128::MAX >> (128 - key_bits));
+                assert_eq!(rec.data, u64::from(0xDEAD_0000 + slot));
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //!   memory-mapped ports and a cycle-level queue model (Fig. 5);
 //! * [`stats`] — load factor, overflow, and AMAL metrics (Tables 2–3);
 //! * [`telemetry`] — stage-level tracing, lock-free histograms, and
-//!   exportable per-slice / per-database / per-engine metrics.
+//!   exportable per-slice / per-database / per-engine metrics;
+//! * [`oracle`] — model-based differential testing: a naive reference
+//!   model, a seeded adversarial op-stream generator, and a lockstep
+//!   replay harness with minimized divergence repros.
 //!
 //! ## Example
 //!
@@ -65,6 +68,7 @@ pub mod key;
 pub mod layout;
 pub mod matchproc;
 pub mod memtest;
+pub mod oracle;
 pub mod probe;
 pub mod slice;
 pub mod stats;
@@ -85,6 +89,7 @@ pub use index::{BitSelect, DjbHash, IndexGenerator, RangeSelect, XorFold};
 pub use key::{SearchKey, TernaryKey, MAX_KEY_BITS};
 pub use layout::{Record, RecordLayout};
 pub use memtest::{MemTestReport, MemoryFault, RamAccess};
+pub use oracle::{DivergenceReport, EngineCase, Op, OpStreamGen, ReferenceModel};
 pub use probe::ProbePolicy;
 pub use slice::CaRamSlice;
 pub use stats::{AtomicSearchStats, LoadReport, OccupancyHistogram, PlacementStats, SearchStats};

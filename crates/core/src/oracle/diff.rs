@@ -1,0 +1,521 @@
+//! Lockstep replay of an op stream against an engine and the model.
+//!
+//! [`replay`] walks a stream, applying each op to a
+//! [`SearchEngine`] and the [`ReferenceModel`] simultaneously and
+//! comparing the observable outcome of every op; the first disagreement
+//! becomes a [`Divergence`]. [`run_case`] wraps that with ddmin-style
+//! stream minimization and packages a [`DivergenceReport`] whose repro
+//! stream can be checked in as a plain-text fixture.
+
+use crate::engine::SearchEngine;
+use crate::layout::Record;
+
+use super::model::ReferenceModel;
+use super::{format_stream, Op};
+
+/// Extra slots a `must_fit` engine must have free before a refused insert
+/// counts as a divergence — covers records that legally occupy several
+/// slots (don't-care bits in the hashed range duplicate a record into up
+/// to `2^k` home buckets; the generator keeps `k ≤ 2`).
+const MUST_FIT_MARGIN: u64 = 16;
+
+/// One engine under differential test.
+///
+/// `build` returns a ready engine for a key width (`None` if the width is
+/// unsupported): freshly built at stream start and again on every
+/// [`Op::Reconfigure`] — reconfiguration destroys contents, exactly like a
+/// [`crate::config_regs::ControlRegister`] commit. Statically built
+/// engines bake `preload` into the build; the model is seeded with the
+/// same records.
+pub struct EngineCase {
+    /// Engine name for reports (unique within a fleet).
+    pub name: String,
+    /// Whether a refused insert with `MUST_FIT_MARGIN` free slots is a
+    /// divergence. True for engines whose placement is exhaustive (full
+    /// linear/double-hash probing, flat CAMs); false where a legal refusal
+    /// can happen below capacity (bounded probes, banked or classed
+    /// devices, dedicated overflow areas).
+    pub must_fit: bool,
+    /// Builds a ready engine for the given key width.
+    #[allow(clippy::type_complexity)]
+    pub build: Box<dyn Fn(u32) -> Option<Box<dyn SearchEngine>>>,
+    /// Records already present in a freshly built engine (statically built
+    /// indexes). Only applied at widths matching the record keys.
+    pub preload: Vec<Record>,
+}
+
+impl core::fmt::Debug for EngineCase {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EngineCase")
+            .field("name", &self.name)
+            .field("must_fit", &self.must_fit)
+            .field("preload", &self.preload.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// How an engine disagreed with the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// A search answered outside the model's accepted set.
+    SearchMismatch {
+        /// Matching records in the model.
+        model_matches: usize,
+        /// Accepted payloads (max-care matches).
+        accepted: Vec<u64>,
+        /// What the engine reported, if it hit.
+        got: Option<u64>,
+    },
+    /// A delete disagreed about whether the key was present.
+    DeleteMismatch {
+        /// Copies the model removed.
+        expected: u32,
+        /// Copies the engine reported removing.
+        got: u32,
+    },
+    /// A `must_fit` engine refused an insert despite free capacity.
+    InsertRefused {
+        /// The engine's error, rendered.
+        error: String,
+        /// Stored copies at refusal time.
+        records: u64,
+        /// The engine's capacity.
+        capacity: u64,
+    },
+    /// The engine reports records while the model is empty, or vice versa.
+    EmptinessMismatch {
+        /// Live records in the model.
+        model_len: usize,
+        /// Stored copies the engine reports.
+        engine_records: u64,
+    },
+}
+
+impl core::fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DivergenceKind::SearchMismatch {
+                model_matches,
+                accepted,
+                got,
+            } => write!(
+                f,
+                "search: engine returned {got:?}, model has {model_matches} match(es) \
+                 with accepted data {accepted:x?}"
+            ),
+            DivergenceKind::DeleteMismatch { expected, got } => write!(
+                f,
+                "delete: engine removed {got} copies, model removed {expected}"
+            ),
+            DivergenceKind::InsertRefused {
+                error,
+                records,
+                capacity,
+            } => write!(
+                f,
+                "insert refused ({error}) with {records}/{capacity} slots used"
+            ),
+            DivergenceKind::EmptinessMismatch {
+                model_len,
+                engine_records,
+            } => write!(
+                f,
+                "occupancy: engine reports {engine_records} stored copies, \
+                 model holds {model_len} records"
+            ),
+        }
+    }
+}
+
+/// The first point where an engine and the model disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the offending op in the replayed stream.
+    pub op_index: usize,
+    /// What disagreed.
+    pub kind: DivergenceKind,
+}
+
+/// A packaged, minimized divergence — everything needed to reproduce and
+/// pin the bug.
+#[derive(Debug, Clone)]
+pub struct DivergenceReport {
+    /// The diverging engine's [`EngineCase::name`].
+    pub engine: String,
+    /// The scenario the stream came from.
+    pub scenario: String,
+    /// The generator seed.
+    pub seed: u64,
+    /// Key width at stream start.
+    pub key_bits: u32,
+    /// Op index of the first divergence in the *original* stream.
+    pub op_index: usize,
+    /// Rendered [`DivergenceKind`] observed on the minimized stream.
+    pub detail: String,
+    /// The minimized repro stream (still diverging).
+    pub repro: Vec<Op>,
+}
+
+impl DivergenceReport {
+    /// The repro as a self-describing fixture file.
+    #[must_use]
+    pub fn to_fixture(&self) -> String {
+        format!(
+            "# engine: {}\n# scenario: {}\n# seed: {}\n# key_bits: {}\n# first divergence at op {} of the original stream\n# {}\n{}",
+            self.engine,
+            self.scenario,
+            self.seed,
+            self.key_bits,
+            self.op_index,
+            self.detail,
+            format_stream(&self.repro)
+        )
+    }
+}
+
+fn op_bits(op: &Op) -> Option<u32> {
+    match op {
+        Op::Insert(r) | Op::InsertSorted(r) => Some(r.key.bits()),
+        Op::Delete(k) | Op::Update { key: k, .. } => Some(k.bits()),
+        Op::Search(k) => Some(k.bits()),
+        Op::Reconfigure { .. } => None,
+    }
+}
+
+fn seed_model(model: &mut ReferenceModel, preload: &[Record]) {
+    for r in preload {
+        if r.key.bits() == model.key_bits() {
+            model.insert(*r);
+        }
+    }
+}
+
+/// Applies one op to both sides; `Some` on disagreement.
+#[allow(clippy::too_many_lines)]
+fn apply(
+    case: &EngineCase,
+    engine: &mut Box<dyn SearchEngine>,
+    model: &mut ReferenceModel,
+    op: &Op,
+) -> Option<DivergenceKind> {
+    // Ops at a stale width (minimization can drop a Reconfigure) are
+    // skipped on both sides.
+    if op_bits(op).is_some_and(|b| b != model.key_bits()) {
+        return None;
+    }
+    match op {
+        Op::Insert(r) | Op::InsertSorted(r) => {
+            let res = if matches!(op, Op::Insert(_)) {
+                engine.insert(*r)
+            } else {
+                engine.insert_sorted(*r)
+            };
+            match res {
+                Ok(()) => model.insert(*r),
+                Err(e) => {
+                    if case.must_fit {
+                        let rep = engine.occupancy();
+                        if let (Some(records), Some(capacity)) = (rep.records, rep.capacity) {
+                            if records + MUST_FIT_MARGIN <= capacity {
+                                return Some(DivergenceKind::InsertRefused {
+                                    error: e.to_string(),
+                                    records,
+                                    capacity,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Op::Delete(k) => {
+            let got = engine.delete(k);
+            let expected = model.delete(k);
+            if (got > 0) != (expected > 0) {
+                return Some(DivergenceKind::DeleteMismatch { expected, got });
+            }
+        }
+        Op::Update { key, data } => {
+            let got = engine.delete(key);
+            let expected = model.delete(key);
+            if (got > 0) != (expected > 0) {
+                return Some(DivergenceKind::DeleteMismatch { expected, got });
+            }
+            if expected > 0 {
+                let record = Record::new(*key, *data);
+                match engine.insert(record) {
+                    Ok(()) => model.insert(record),
+                    Err(e) => {
+                        // Reinserting into just-freed slots must succeed on
+                        // an exhaustive-placement engine.
+                        if case.must_fit {
+                            let rep = engine.occupancy();
+                            return Some(DivergenceKind::InsertRefused {
+                                error: e.to_string(),
+                                records: rep.records.unwrap_or(0),
+                                capacity: rep.capacity.unwrap_or(0),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Op::Search(k) => {
+            let expected = model.expected(k);
+            let got = engine.search(k).hit.map(|h| h.data);
+            if !expected.admits(got) {
+                return Some(DivergenceKind::SearchMismatch {
+                    model_matches: expected.matches,
+                    accepted: expected.accepted,
+                    got,
+                });
+            }
+        }
+        Op::Reconfigure { key_bits } => {
+            if let Some(rebuilt) = (case.build)(*key_bits) {
+                *engine = rebuilt;
+                *model = ReferenceModel::new(*key_bits);
+                seed_model(model, &case.preload);
+            }
+        }
+    }
+    // Cheap standing invariant: an engine that counts its records agrees
+    // with the model about emptiness (copy counts legitimately differ).
+    if let Some(engine_records) = engine.occupancy().records {
+        if (engine_records == 0) != model.is_empty() {
+            return Some(DivergenceKind::EmptinessMismatch {
+                model_len: model.len(),
+                engine_records,
+            });
+        }
+    }
+    None
+}
+
+/// Replays `ops` against a fresh engine and model; `None` means no
+/// divergence (vacuously so if the case does not support `key_bits`).
+#[must_use]
+pub fn replay(case: &EngineCase, key_bits: u32, ops: &[Op]) -> Option<Divergence> {
+    let mut engine = (case.build)(key_bits)?;
+    let mut model = ReferenceModel::new(key_bits);
+    seed_model(&mut model, &case.preload);
+    for (op_index, op) in ops.iter().enumerate() {
+        if let Some(kind) = apply(case, &mut engine, &mut model, op) {
+            return Some(Divergence { op_index, kind });
+        }
+    }
+    None
+}
+
+/// ddmin-style minimization: truncates at the divergence, then repeatedly
+/// drops chunks (halving granularity down to single ops) while *a*
+/// divergence persists. `budget` bounds the number of replays.
+#[must_use]
+pub fn minimize(case: &EngineCase, key_bits: u32, ops: &[Op], budget: usize) -> Vec<Op> {
+    let Some(first) = replay(case, key_bits, ops) else {
+        return ops.to_vec();
+    };
+    let mut current: Vec<Op> = ops[..=first.op_index].to_vec();
+    let mut spent = 0usize;
+    let mut chunk = current.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < current.len() {
+            if spent >= budget {
+                return current;
+            }
+            let mut candidate = current.clone();
+            let end = (i + chunk).min(candidate.len());
+            candidate.drain(i..end);
+            spent += 1;
+            if !candidate.is_empty() && replay(case, key_bits, &candidate).is_some() {
+                current = candidate;
+                progressed = true;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                return current;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+/// Runs one engine against one stream: replay, minimize on divergence,
+/// and package the report. `None` means the engine agreed with the model
+/// on every op.
+#[must_use]
+pub fn run_case(
+    case: &EngineCase,
+    scenario: &str,
+    seed: u64,
+    key_bits: u32,
+    ops: &[Op],
+    minimize_budget: usize,
+) -> Option<DivergenceReport> {
+    let first = replay(case, key_bits, ops)?;
+    let repro = minimize(case, key_bits, ops, minimize_budget);
+    let detail = replay(case, key_bits, &repro)
+        .map_or_else(|| first.kind.to_string(), |d| d.kind.to_string());
+    Some(DivergenceReport {
+        engine: case.name.clone(),
+        scenario: scenario.to_string(),
+        seed,
+        key_bits,
+        op_index: first.op_index,
+        detail,
+        repro,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineOutcome, EngineReport};
+    use crate::error::Result;
+    use crate::key::{SearchKey, TernaryKey};
+
+    /// A deliberately broken engine: drops every record whose payload is
+    /// divisible by a chosen modulus.
+    struct Lossy {
+        records: Vec<Record>,
+        drop_modulus: u64,
+        bits: u32,
+    }
+
+    impl SearchEngine for Lossy {
+        fn name(&self) -> &str {
+            "lossy"
+        }
+        fn key_bits(&self) -> u32 {
+            self.bits
+        }
+        fn search(&self, key: &SearchKey) -> EngineOutcome {
+            let hit = self
+                .records
+                .iter()
+                .filter(|r| r.key.matches(key))
+                .max_by_key(|r| r.key.care_count())
+                .map(|r| crate::engine::EngineHit {
+                    key: r.key,
+                    data: r.data,
+                });
+            EngineOutcome {
+                hit,
+                memory_accesses: 1,
+            }
+        }
+        fn insert(&mut self, record: Record) -> Result<()> {
+            if record.data % self.drop_modulus != 0 {
+                self.records.push(record);
+            }
+            Ok(())
+        }
+        fn delete(&mut self, key: &TernaryKey) -> u32 {
+            let before = self.records.len();
+            self.records.retain(|r| r.key != *key);
+            u32::try_from(before - self.records.len()).expect("bounded")
+        }
+        fn occupancy(&self) -> EngineReport {
+            EngineReport::default()
+        }
+    }
+
+    fn lossy_case(drop_modulus: u64) -> EngineCase {
+        EngineCase {
+            name: "lossy".into(),
+            must_fit: false,
+            build: Box::new(move |bits| {
+                Some(Box::new(Lossy {
+                    records: Vec::new(),
+                    drop_modulus,
+                    bits,
+                }) as Box<dyn SearchEngine>)
+            }),
+            preload: Vec::new(),
+        }
+    }
+
+    fn ins(v: u128, data: u64) -> Op {
+        Op::Insert(Record::new(TernaryKey::binary(v, 16), data))
+    }
+
+    fn find(v: u128) -> Op {
+        Op::Search(SearchKey::new(v, 16))
+    }
+
+    #[test]
+    fn faithful_replay_has_no_divergence() {
+        let case = lossy_case(u64::MAX); // drops nothing
+        let ops = vec![ins(1, 10), ins(2, 20), find(1), find(2), find(3)];
+        assert!(replay(&case, 16, &ops).is_none());
+    }
+
+    #[test]
+    fn divergence_is_detected_and_minimized() {
+        let case = lossy_case(7); // drops data 14 below
+        let mut ops = vec![ins(1, 10), ins(2, 20), find(1)];
+        for i in 0..20u64 {
+            // Filler payloads stay clear of the drop modulus.
+            ops.push(ins(100 + u128::from(i), 7 * (200 + i) + 1));
+            ops.push(find(100 + u128::from(i)));
+        }
+        ops.push(ins(55, 14)); // silently dropped by the engine
+        ops.push(find(55)); // model says hit, engine misses
+        let report = run_case(&case, "unit", 0, 16, &ops, 500).expect("must diverge");
+        assert_eq!(report.op_index, ops.len() - 1);
+        // Minimization should strip the unrelated prefix entirely.
+        assert_eq!(report.repro, vec![ops[ops.len() - 2], ops[ops.len() - 1]]);
+        assert!(report.detail.contains("search"));
+        // The fixture round-trips through the parser.
+        let text = report.to_fixture();
+        let parsed = super::super::parse_stream(&text).expect("fixture parses");
+        assert_eq!(parsed, report.repro);
+        // And still reproduces.
+        assert!(replay(&case, 16, &parsed).is_some());
+    }
+
+    #[test]
+    fn must_fit_flags_spurious_refusal() {
+        struct Refuses;
+        impl SearchEngine for Refuses {
+            fn name(&self) -> &str {
+                "refuses"
+            }
+            fn key_bits(&self) -> u32 {
+                16
+            }
+            fn search(&self, _key: &SearchKey) -> EngineOutcome {
+                EngineOutcome::miss(1)
+            }
+            fn insert(&mut self, _record: Record) -> Result<()> {
+                Err(crate::error::CaRamError::TableFull {
+                    home_bucket: 0,
+                    buckets_probed: 1,
+                })
+            }
+            fn delete(&mut self, _key: &TernaryKey) -> u32 {
+                0
+            }
+            fn occupancy(&self) -> EngineReport {
+                EngineReport {
+                    records: Some(0),
+                    capacity: Some(64),
+                }
+            }
+        }
+        let case = EngineCase {
+            name: "refuses".into(),
+            must_fit: true,
+            build: Box::new(|_| Some(Box::new(Refuses) as Box<dyn SearchEngine>)),
+            preload: Vec::new(),
+        };
+        let d = replay(&case, 16, &[ins(1, 1)]).expect("refusal must diverge");
+        assert!(matches!(d.kind, DivergenceKind::InsertRefused { .. }));
+    }
+}

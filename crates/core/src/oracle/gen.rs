@@ -1,0 +1,640 @@
+//! Deterministic, seed-driven adversarial op-stream generation.
+//!
+//! A [`Scenario`] fixes the key width, the behavioral [`Profile`], and
+//! where the table-under-test hashes from, so the generator can be
+//! deliberately nasty about exactly the structures the engines use:
+//!
+//! * **bucket-saturating clusters** — many keys sharing one value in the
+//!   hashed bit range, so home buckets overflow and probe chains grow;
+//! * **duplicate keys** — the same stored key inserted repeatedly with
+//!   different payloads (delete must remove every copy);
+//! * **mask-boundary keys** — values 0, 1, `MAX`, `MAX-1`, the top-bit
+//!   pattern, and don't-care masks touching bit 0 and the last bit;
+//! * **delete-then-reinsert churn** — freed slots are refilled out of
+//!   priority order, stressing the post-delete `full_scan` machinery;
+//! * **key-width churn** — occasional [`Op::Reconfigure`] across every
+//!   [`SUPPORTED_KEY_BYTES`] width.
+//!
+//! Streams are engine-neutral: the same stream replays against every
+//! registered engine, so one generation pass feeds the whole fleet.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bits::low_mask;
+use crate::config_regs::SUPPORTED_KEY_BYTES;
+use crate::key::{SearchKey, TernaryKey};
+use crate::layout::Record;
+
+use super::Op;
+
+/// The behavioral family of a stream, which decides both the op mix and
+/// which engines can legally replay it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Binary keys, insert/delete/search/update churn, optional key-width
+    /// reconfiguration. Every mutable engine can play.
+    ExactChurn,
+    /// Ternary patterns with pairwise-disjoint identifier bits (at most one
+    /// pattern matches any search), plus churn. Any ternary-capable engine
+    /// can play regardless of its priority scheme.
+    TernaryDisjoint,
+    /// Overlapping prefixes inserted once in descending care-count order,
+    /// then searched. Position-priority devices (plain/banked TCAM) are LPM
+    /// -correct under this arrival order.
+    LpmBuild,
+    /// Overlapping prefixes arriving in arbitrary order via
+    /// [`Op::InsertSorted`], with delete/update churn. Only engines whose
+    /// contract covers online LPM updates can play.
+    LpmChurn,
+    /// No mutations: a preloaded record set is only searched. For
+    /// statically built engines (the software indexes).
+    SearchOnly,
+}
+
+/// One generation configuration: a named point in (width × profile ×
+/// adversarial-shape) space.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (appears in reports and fixtures).
+    pub name: String,
+    /// Key width in bits at stream start.
+    pub key_bits: u32,
+    /// The behavioral family.
+    pub profile: Profile,
+    /// Payload values are kept below `2^data_bits` so every engine's data
+    /// field can hold them; the generator hands out distinct values so a
+    /// wrong-priority winner is observable.
+    pub data_bits: u32,
+    /// Lowest bit index of the range the table-under-test hashes.
+    pub hash_lo: u32,
+    /// Width of the hashed range.
+    pub hash_bits: u32,
+    /// Whether the stream may carry [`Op::Reconfigure`].
+    pub reconfigure: bool,
+    /// Soft bound on concurrently live records, sized so `must_fit`
+    /// engines always have headroom.
+    pub max_live: usize,
+}
+
+/// The standard scenario sweep: exact churn at every supported key width
+/// (1–16 bytes), ternary-disjoint churn, sorted-build LPM, online-update
+/// LPM churn, and a static search-only profile, plus one width-churning
+/// reconfiguration stream.
+#[must_use]
+pub fn standard_scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for bytes in SUPPORTED_KEY_BYTES {
+        let bits = u32::from(bytes) * 8;
+        out.push(Scenario {
+            name: format!("exact-churn-{bits}b"),
+            key_bits: bits,
+            profile: Profile::ExactChurn,
+            data_bits: 32,
+            hash_lo: 0,
+            hash_bits: 6,
+            reconfigure: false,
+            max_live: 192,
+        });
+    }
+    out.push(Scenario {
+        name: "exact-reconfig".into(),
+        key_bits: 32,
+        profile: Profile::ExactChurn,
+        data_bits: 32,
+        hash_lo: 0,
+        hash_bits: 6,
+        reconfigure: true,
+        max_live: 192,
+    });
+    for bits in [16u32, 32, 64, 128] {
+        out.push(Scenario {
+            name: format!("ternary-disjoint-{bits}b"),
+            key_bits: bits,
+            profile: Profile::TernaryDisjoint,
+            data_bits: 32,
+            hash_lo: 4,
+            hash_bits: 6,
+            reconfigure: false,
+            max_live: 64,
+        });
+    }
+    out.push(Scenario {
+        name: "lpm-build-32b".into(),
+        key_bits: 32,
+        profile: Profile::LpmBuild,
+        data_bits: 32,
+        hash_lo: 26,
+        hash_bits: 6,
+        reconfigure: false,
+        max_live: 96,
+    });
+    for bits in [16u32, 32] {
+        out.push(Scenario {
+            name: format!("lpm-churn-{bits}b"),
+            key_bits: bits,
+            profile: Profile::LpmChurn,
+            data_bits: 32,
+            hash_lo: bits - 6,
+            hash_bits: 6,
+            reconfigure: false,
+            max_live: 96,
+        });
+    }
+    out.push(Scenario {
+        name: "search-only-64b".into(),
+        key_bits: 64,
+        profile: Profile::SearchOnly,
+        data_bits: 32,
+        hash_lo: 0,
+        hash_bits: 6,
+        reconfigure: false,
+        max_live: 256,
+    });
+    out
+}
+
+/// Deterministic op-stream generator for one [`Scenario`].
+///
+/// The generator mirrors the live key set as it emits ops, so it can aim
+/// deletes at present keys, searches at present/absent/near-miss keys, and
+/// keep the live count under [`Scenario::max_live`]. It never inspects an
+/// engine — the stream depends only on the scenario and the seed.
+#[derive(Debug)]
+pub struct OpStreamGen {
+    rng: SmallRng,
+    sc: Scenario,
+    bits: u32,
+    live: Vec<TernaryKey>,
+    dead: Vec<TernaryKey>,
+    clusters: Vec<u128>,
+    next_data: u64,
+    width_cursor: usize,
+}
+
+impl OpStreamGen {
+    /// A generator for `sc`, deterministically derived from `seed` (the
+    /// scenario name is folded in so scenarios decorrelate under one seed).
+    #[must_use]
+    pub fn new(sc: &Scenario, seed: u64) -> Self {
+        let mut salt = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+        for b in sc.name.bytes() {
+            salt ^= u64::from(b);
+            salt = salt.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ salt);
+        let clusters = (0..3)
+            .map(|_| rand_u128(&mut rng) & low_mask(sc.hash_bits))
+            .collect();
+        Self {
+            rng,
+            sc: sc.clone(),
+            bits: sc.key_bits,
+            live: Vec::new(),
+            dead: Vec::new(),
+            clusters,
+            next_data: 1,
+            width_cursor: 0,
+        }
+    }
+
+    /// The key width the next emitted op will use.
+    #[must_use]
+    pub fn current_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Distinct-key exact records to preload a statically built engine
+    /// with (the [`Profile::SearchOnly`] build set).
+    pub fn preload(&mut self, n: usize) -> Vec<Record> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let key = self.exact_key();
+            if self.live.contains(&key) {
+                continue;
+            }
+            self.live.push(key);
+            out.push(Record::new(key, self.fresh_data()));
+        }
+        out
+    }
+
+    /// Generates the next `n` ops of the stream.
+    pub fn generate(&mut self, n: usize) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(n);
+        if self.sc.profile == Profile::LpmBuild && self.live.is_empty() {
+            self.lpm_build_phase(&mut ops);
+        }
+        while ops.len() < n {
+            let op = match self.sc.profile {
+                Profile::ExactChurn => self.exact_step(),
+                Profile::TernaryDisjoint => self.ternary_step(),
+                Profile::LpmBuild | Profile::SearchOnly => self.search_step(),
+                Profile::LpmChurn => self.lpm_churn_step(),
+            };
+            ops.push(op);
+        }
+        ops.truncate(n);
+        ops
+    }
+
+    // ---- shared helpers ----------------------------------------------------
+
+    fn fresh_data(&mut self) -> u64 {
+        let mask = if self.sc.data_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.sc.data_bits) - 1
+        };
+        let d = self.next_data & mask;
+        self.next_data += 1;
+        d
+    }
+
+    fn width_mask(&self) -> u128 {
+        low_mask(self.bits)
+    }
+
+    /// A binary key value: clustered in the hashed range, a boundary
+    /// pattern, or uniform.
+    fn key_value(&mut self) -> u128 {
+        let m = self.width_mask();
+        let roll: f64 = self.rng.gen();
+        if roll < 0.45 {
+            // Saturate one of the cluster homes: fixed hashed bits, random
+            // elsewhere.
+            let i = self.rng.gen_range(0..self.clusters.len());
+            let hash_span = low_mask(self.sc.hash_bits) << self.sc.hash_lo;
+            let cluster = (self.clusters[i] << self.sc.hash_lo) & m;
+            (rand_u128(&mut self.rng) & m & !hash_span) | (cluster & hash_span)
+        } else if roll < 0.60 {
+            // Mask-boundary values.
+            let b = [0u128, 1, m, m ^ 1, 1 << (self.bits - 1)];
+            b[self.rng.gen_range(0..b.len())]
+        } else {
+            rand_u128(&mut self.rng) & m
+        }
+    }
+
+    fn exact_key(&mut self) -> TernaryKey {
+        let v = self.key_value();
+        TernaryKey::binary(v, self.bits)
+    }
+
+    fn random_live(&mut self) -> Option<TernaryKey> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.live.len());
+        Some(self.live[i])
+    }
+
+    fn random_dead(&mut self) -> Option<TernaryKey> {
+        if self.dead.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.dead.len());
+        Some(self.dead[i])
+    }
+
+    fn note_insert(&mut self, key: TernaryKey) {
+        self.live.push(key);
+        self.dead.retain(|k| *k != key);
+    }
+
+    fn note_delete(&mut self, key: TernaryKey) {
+        self.live.retain(|k| *k != key);
+        if self.dead.len() < 512 {
+            self.dead.push(key);
+        }
+    }
+
+    /// A search key probing the current state: a live key, a deleted key,
+    /// a near-miss (live value with one bit flipped), or a fresh value.
+    fn probe_key(&mut self) -> SearchKey {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.45 {
+            if let Some(k) = self.random_live() {
+                return self.point_under(&k);
+            }
+        } else if roll < 0.65 {
+            if let Some(k) = self.random_dead() {
+                return self.point_under(&k);
+            }
+        } else if roll < 0.80 {
+            if let Some(k) = self.random_live() {
+                let flip = 1u128 << self.rng.gen_range(0..self.bits);
+                return SearchKey::new((k.value() ^ flip) & self.width_mask(), self.bits);
+            }
+        }
+        let v = self.key_value();
+        SearchKey::new(v, self.bits)
+    }
+
+    /// An exact search key lying under a stored pattern: the pattern's
+    /// cared bits, with don't-care positions filled randomly.
+    fn point_under(&mut self, key: &TernaryKey) -> SearchKey {
+        let fill = rand_u128(&mut self.rng) & key.dont_care();
+        SearchKey::new(key.value() | fill, self.bits)
+    }
+
+    // ---- exact churn -------------------------------------------------------
+
+    fn exact_step(&mut self) -> Op {
+        if self.live.len() >= self.sc.max_live {
+            let k = self.random_live().expect("live set is full");
+            self.note_delete(k);
+            return Op::Delete(k);
+        }
+        let roll: f64 = self.rng.gen();
+        if self.sc.reconfigure && roll < 0.01 {
+            self.width_cursor = (self.width_cursor + 1) % SUPPORTED_KEY_BYTES.len();
+            self.bits = u32::from(SUPPORTED_KEY_BYTES[self.width_cursor]) * 8;
+            self.live.clear();
+            self.dead.clear();
+            return Op::Reconfigure {
+                key_bits: self.bits,
+            };
+        }
+        if roll < 0.34 {
+            // Insert: fresh, duplicate of a live key, or a reinsert of a
+            // deleted one.
+            let key = if roll < 0.05 {
+                self.random_live().unwrap_or_else(|| self.exact_key())
+            } else if roll < 0.12 {
+                self.random_dead().unwrap_or_else(|| self.exact_key())
+            } else {
+                self.exact_key()
+            };
+            let data = self.fresh_data();
+            self.note_insert(key);
+            Op::Insert(Record::new(key, data))
+        } else if roll < 0.50 {
+            let key = if roll < 0.44 {
+                self.random_live()
+            } else {
+                self.random_dead()
+            }
+            .unwrap_or_else(|| self.exact_key());
+            self.note_delete(key);
+            Op::Delete(key)
+        } else if roll < 0.58 {
+            let key = self.random_live().unwrap_or_else(|| self.exact_key());
+            let data = self.fresh_data();
+            // An update leaves exactly one copy behind when the key was
+            // present; mirror that.
+            if self.live.contains(&key) {
+                self.note_delete(key);
+                self.note_insert(key);
+            }
+            Op::Update { key, data }
+        } else {
+            Op::Search(self.probe_key())
+        }
+    }
+
+    // ---- disjoint ternary churn --------------------------------------------
+
+    /// Bits reserved for the pattern identifier (disjointness) — everything
+    /// above the hashed range.
+    fn id_shift(&self) -> u32 {
+        self.sc.hash_lo + self.sc.hash_bits
+    }
+
+    fn ternary_pattern(&mut self) -> TernaryKey {
+        let id_bits = self.bits - self.id_shift();
+        let id = rand_u128(&mut self.rng) & low_mask(id_bits.min(12));
+        let low = self.key_value() & low_mask(self.id_shift());
+        // Don't-care only below the identifier; lengths 5–6 poke one or two
+        // bits into the hashed range, so the record duplicates across 2 or
+        // 4 home buckets.
+        let dc_len = match self.rng.gen_range(0..10u32) {
+            0..=4 => 0,
+            5..=6 => self.rng.gen_range(1..=4u32),
+            7..=8 => self.sc.hash_lo + 1,
+            _ => self.sc.hash_lo + 2,
+        };
+        TernaryKey::ternary((id << self.id_shift()) | low, low_mask(dc_len), self.bits)
+    }
+
+    /// Whether a candidate pattern's identifier collides with a live one
+    /// (which would break the at-most-one-match invariant).
+    fn id_collides(&self, key: &TernaryKey) -> bool {
+        let shift = self.id_shift();
+        self.live
+            .iter()
+            .any(|k| k.value() >> shift == key.value() >> shift)
+    }
+
+    fn ternary_step(&mut self) -> Op {
+        if self.live.len() >= self.sc.max_live {
+            let k = self.random_live().expect("live set is full");
+            self.note_delete(k);
+            return Op::Delete(k);
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < 0.30 {
+            // Insert a fresh disjoint pattern (duplicate copies of an
+            // existing pattern are fine — same key, new payload).
+            let key = if roll < 0.04 {
+                self.random_live().unwrap_or_else(|| self.ternary_pattern())
+            } else {
+                let mut k = self.ternary_pattern();
+                for _ in 0..8 {
+                    if !self.id_collides(&k) || self.live.contains(&k) {
+                        break;
+                    }
+                    k = self.ternary_pattern();
+                }
+                if self.id_collides(&k) && !self.live.contains(&k) {
+                    // Could not find a free identifier; churn instead.
+                    if let Some(d) = self.random_live() {
+                        self.note_delete(d);
+                        return Op::Delete(d);
+                    }
+                }
+                k
+            };
+            let data = self.fresh_data();
+            self.note_insert(key);
+            Op::Insert(Record::new(key, data))
+        } else if roll < 0.48 {
+            let key = if roll < 0.42 {
+                self.random_live()
+            } else {
+                self.random_dead()
+            }
+            .unwrap_or_else(|| self.ternary_pattern());
+            self.note_delete(key);
+            Op::Delete(key)
+        } else if roll < 0.56 {
+            let key = self.random_live().unwrap_or_else(|| self.ternary_pattern());
+            let data = self.fresh_data();
+            if self.live.contains(&key) {
+                self.note_delete(key);
+                self.note_insert(key);
+            }
+            Op::Update { key, data }
+        } else if roll < 0.66 {
+            // Masked search under a live pattern: don't-care only in the
+            // low, non-identifying bits, so at most one pattern matches.
+            if let Some(k) = self.random_live() {
+                let dc_len = self.rng.gen_range(1..=self.sc.hash_lo.max(1));
+                let point = self.point_under(&k);
+                return Op::Search(SearchKey::with_mask(
+                    point.value(),
+                    low_mask(dc_len),
+                    self.bits,
+                ));
+            }
+            Op::Search(self.probe_key())
+        } else {
+            Op::Search(self.probe_key())
+        }
+    }
+
+    // ---- LPM ---------------------------------------------------------------
+
+    /// A prefix-style pattern: don't-care is a contiguous low run that never
+    /// reaches the (high) hashed range. Nested families share high bits.
+    fn prefix_pattern(&mut self) -> TernaryKey {
+        let max_len = self.sc.hash_lo; // keep dc below the hashed bits
+        let dc_len = self.rng.gen_range(0..=max_len.saturating_sub(1));
+        let base = if self.rng.gen_bool(0.7) {
+            // Nest under an existing prefix to build overlap chains.
+            self.random_live()
+                .map_or_else(|| self.key_value(), |k| k.value())
+        } else {
+            self.key_value()
+        };
+        let fill = rand_u128(&mut self.rng) & self.width_mask();
+        let value = (base & !low_mask(dc_len + 4).min(self.width_mask()))
+            | (fill & low_mask(dc_len + 4) & !low_mask(dc_len));
+        TernaryKey::ternary(value & self.width_mask(), low_mask(dc_len), self.bits)
+    }
+
+    fn lpm_build_phase(&mut self, ops: &mut Vec<Op>) {
+        let mut set: Vec<TernaryKey> = Vec::new();
+        while set.len() < self.sc.max_live {
+            let k = self.prefix_pattern();
+            if !set.contains(&k) {
+                self.live.push(k); // so nesting sees it
+                set.push(k);
+            }
+        }
+        // Descending care count = descending priority: position-priority
+        // devices loaded in this order implement LPM.
+        set.sort_by_key(|k| core::cmp::Reverse(k.care_count()));
+        for k in set {
+            let data = self.fresh_data();
+            ops.push(Op::Insert(Record::new(k, data)));
+        }
+    }
+
+    fn lpm_churn_step(&mut self) -> Op {
+        if self.live.len() >= self.sc.max_live {
+            let k = self.random_live().expect("live set is full");
+            self.note_delete(k);
+            return Op::Delete(k);
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < 0.30 {
+            let key = if roll < 0.06 {
+                self.random_dead().unwrap_or_else(|| self.prefix_pattern())
+            } else {
+                self.prefix_pattern()
+            };
+            let data = self.fresh_data();
+            self.note_insert(key);
+            Op::InsertSorted(Record::new(key, data))
+        } else if roll < 0.48 {
+            let key = if roll < 0.42 {
+                self.random_live()
+            } else {
+                self.random_dead()
+            }
+            .unwrap_or_else(|| self.prefix_pattern());
+            self.note_delete(key);
+            Op::Delete(key)
+        } else if roll < 0.54 {
+            let key = self.random_live().unwrap_or_else(|| self.prefix_pattern());
+            let data = self.fresh_data();
+            if self.live.contains(&key) {
+                self.note_delete(key);
+                self.note_insert(key);
+            }
+            Op::Update { key, data }
+        } else {
+            Op::Search(self.probe_key())
+        }
+    }
+
+    fn search_step(&mut self) -> Op {
+        Op::Search(self.probe_key())
+    }
+}
+
+fn rand_u128(rng: &mut SmallRng) -> u128 {
+    (u128::from(rng.gen::<u64>()) << 64) | u128::from(rng.gen::<u64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let sc = &standard_scenarios()[0];
+        let a = OpStreamGen::new(sc, 7).generate(500);
+        let b = OpStreamGen::new(sc, 7).generate(500);
+        let c = OpStreamGen::new(sc, 8).generate(500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scenarios_cover_every_supported_width() {
+        let widths: Vec<u32> = standard_scenarios()
+            .iter()
+            .filter(|s| s.profile == Profile::ExactChurn)
+            .map(|s| s.key_bits)
+            .collect();
+        for bytes in SUPPORTED_KEY_BYTES {
+            assert!(widths.contains(&(u32::from(bytes) * 8)));
+        }
+    }
+
+    #[test]
+    fn disjoint_streams_keep_identifiers_unique() {
+        let sc = standard_scenarios()
+            .into_iter()
+            .find(|s| s.name == "ternary-disjoint-32b")
+            .expect("scenario exists");
+        let mut g = OpStreamGen::new(&sc, 3);
+        let _ = g.generate(2000);
+        let shift = g.id_shift();
+        for (i, a) in g.live.iter().enumerate() {
+            for b in &g.live[i + 1..] {
+                assert!(
+                    a.value() >> shift != b.value() >> shift || a == b,
+                    "two distinct live patterns share an identifier"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconfigure_stream_changes_width_and_resets() {
+        let sc = standard_scenarios()
+            .into_iter()
+            .find(|s| s.reconfigure)
+            .expect("reconfig scenario exists");
+        let mut g = OpStreamGen::new(&sc, 0);
+        let ops = g.generate(4000);
+        assert!(
+            ops.iter()
+                .any(|o| matches!(o, Op::Reconfigure { key_bits } if *key_bits != sc.key_bits)),
+            "stream never reconfigured"
+        );
+    }
+}

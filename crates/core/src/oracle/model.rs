@@ -1,0 +1,202 @@
+//! The executable specification every engine is compared against.
+//!
+//! [`ReferenceModel`] is deliberately naive: a flat `Vec` of live records,
+//! masked ternary compare straight off [`TernaryKey::matches`], and LPM
+//! priority by maximum care count. It shares nothing with the bit-packed
+//! array, the index generators, or the probe machinery, so a divergence
+//! between an engine and the model localizes the bug to the engine side.
+
+use crate::key::{SearchKey, TernaryKey};
+use crate::layout::Record;
+
+/// What the model says a search must observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expected {
+    /// Number of live records matching the search key.
+    pub matches: usize,
+    /// Care count of the most specific matching record, if any.
+    pub best_care: Option<u32>,
+    /// Data payloads an engine is allowed to report: those of every
+    /// matching record at the maximum care count. More than one entry means
+    /// the stream created a genuine priority tie (equal-specificity
+    /// patterns, or duplicate keys with different payloads), where engines
+    /// legitimately differ in tie-breaking.
+    pub accepted: Vec<u64>,
+}
+
+impl Expected {
+    /// Whether an engine-reported outcome satisfies this expectation.
+    #[must_use]
+    pub fn admits(&self, hit: Option<u64>) -> bool {
+        match hit {
+            None => self.matches == 0,
+            Some(data) => self.accepted.contains(&data),
+        }
+    }
+}
+
+/// A linear-scan reference search structure with exact delete semantics.
+///
+/// * `insert` appends — duplicates are kept as distinct records;
+/// * `delete` removes **every** record whose stored key is equal (value,
+///   mask, and width), mirroring the [`crate::engine::SearchEngine::delete`]
+///   contract;
+/// * `expected` computes the full match set of a search key and the
+///   accepted LPM winners.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceModel {
+    key_bits: u32,
+    records: Vec<Record>,
+}
+
+impl ReferenceModel {
+    /// An empty model for keys of the given width.
+    #[must_use]
+    pub fn new(key_bits: u32) -> Self {
+        Self {
+            key_bits,
+            records: Vec::new(),
+        }
+    }
+
+    /// The key width this model holds records for.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// Number of live records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The live records, in insertion order.
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Stores a record. Duplicate keys accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a key-width mismatch — the harness only feeds the model
+    /// records an engine accepted, which are always width-checked.
+    pub fn insert(&mut self, record: Record) {
+        assert_eq!(
+            record.key.bits(),
+            self.key_bits,
+            "model fed a record of the wrong width"
+        );
+        self.records.push(record);
+    }
+
+    /// Removes every record whose key equals `key`; returns how many.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` records were removed, which the
+    /// harness's live-record bound makes unreachable.
+    pub fn delete(&mut self, key: &TernaryKey) -> u32 {
+        let before = self.records.len();
+        self.records.retain(|r| r.key != *key);
+        u32::try_from(before - self.records.len()).expect("bounded by record count")
+    }
+
+    /// The match set and accepted LPM winners for one search key.
+    #[must_use]
+    pub fn expected(&self, key: &SearchKey) -> Expected {
+        let mut matches = 0usize;
+        let mut best_care: Option<u32> = None;
+        for r in &self.records {
+            if r.key.matches(key) {
+                matches += 1;
+                let care = r.key.care_count();
+                if best_care.is_none_or(|b| care > b) {
+                    best_care = Some(care);
+                }
+            }
+        }
+        let accepted = best_care
+            .map(|best| {
+                self.records
+                    .iter()
+                    .filter(|r| r.key.matches(key) && r.key.care_count() == best)
+                    .map(|r| r.data)
+                    .collect()
+            })
+            .unwrap_or_default();
+        Expected {
+            matches,
+            best_care,
+            accepted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(value: u128, dc: u128, data: u64) -> Record {
+        Record::new(TernaryKey::ternary(value, dc, 32), data)
+    }
+
+    #[test]
+    fn lpm_priority_is_max_care() {
+        let mut m = ReferenceModel::new(32);
+        m.insert(rec(0x0A00_0000, 0x00FF_FFFF, 1)); // /8
+        m.insert(rec(0x0A0B_0000, 0x0000_FFFF, 2)); // /16
+        let e = m.expected(&SearchKey::new(0x0A0B_0001, 32));
+        assert_eq!(e.matches, 2);
+        assert_eq!(e.best_care, Some(16));
+        assert_eq!(e.accepted, vec![2]);
+        assert!(e.admits(Some(2)));
+        assert!(!e.admits(Some(1)));
+        assert!(!e.admits(None));
+    }
+
+    #[test]
+    fn duplicate_keys_tie_on_data_and_delete_together() {
+        let mut m = ReferenceModel::new(32);
+        m.insert(rec(0xBEEF, 0, 7));
+        m.insert(rec(0xBEEF, 0, 8));
+        let e = m.expected(&SearchKey::new(0xBEEF, 32));
+        assert_eq!(e.matches, 2);
+        assert!(e.admits(Some(7)) && e.admits(Some(8)));
+        assert_eq!(m.delete(&TernaryKey::binary(0xBEEF, 32)), 2);
+        assert!(m.is_empty());
+        assert!(m.expected(&SearchKey::new(0xBEEF, 32)).admits(None));
+    }
+
+    #[test]
+    fn delete_distinguishes_mask_not_just_value() {
+        let mut m = ReferenceModel::new(32);
+        m.insert(rec(0x0A00_0000, 0x00FF_FFFF, 1));
+        m.insert(rec(0x0A00_0000, 0x0000_FFFF, 2));
+        // Same canonical value, different masks: only the /16 goes.
+        assert_eq!(m.delete(&TernaryKey::ternary(0x0A00_0000, 0xFFFF, 32)), 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.expected(&SearchKey::new(0x0A01_0000, 32)).accepted,
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn masked_search_respects_both_masks() {
+        let mut m = ReferenceModel::new(16);
+        m.insert(Record::new(TernaryKey::ternary(0x1200, 0x00FF, 16), 5)); // 0x12XX
+        let probe = SearchKey::with_mask(0x1234, 0x000F, 16); // 0x123X
+        assert_eq!(m.expected(&probe).accepted, vec![5]);
+        let miss = SearchKey::with_mask(0x2234, 0x000F, 16);
+        assert_eq!(m.expected(&miss).matches, 0);
+    }
+}

@@ -242,6 +242,42 @@ impl CaRamSlice {
         )
     }
 
+    /// Best-of-bucket variant of [`CaRamSlice::search_bucket`]: decodes
+    /// every matching slot of `row` and returns the one with the most care
+    /// bits (lowest slot on ties). Slot order stops encoding priority once
+    /// a delete punches a hole and a later insert backfills it, so
+    /// full-reach (post-delete) scans must compare matches instead of
+    /// taking the first.
+    #[must_use]
+    pub fn search_bucket_best(&self, row: u64, search: &SearchKey) -> Option<(u32, Record)> {
+        let words = self.array.row(row);
+        let m = self
+            .bank
+            .match_row(words, self.aux(row).valid, self.slots_per_row, search);
+        Self::best_of_vector(&self.bank, words, m.match_vector)
+    }
+
+    /// Picks the max-care record among the set bits of `match_vector`.
+    fn best_of_vector(
+        bank: &MatchProcessorBank,
+        words: &[u64],
+        mut match_vector: u128,
+    ) -> Option<(u32, Record)> {
+        let mut best: Option<(u32, Record)> = None;
+        while match_vector != 0 {
+            let slot = match_vector.trailing_zeros();
+            match_vector &= match_vector - 1;
+            let record = bank.extract(words, slot);
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
+            {
+                best = Some((slot, record));
+            }
+        }
+        best
+    }
+
     /// Fetch + match + extract: the winning `(slot, record)` of `row`.
     #[must_use]
     pub fn search_bucket(&self, row: u64, search: &SearchKey) -> Option<(u32, Record)> {
@@ -265,6 +301,21 @@ impl CaRamSlice {
                 .match_row_decode_all(words, self.aux(row).valid, self.slots_per_row, search);
         m.first_match
             .map(|slot| (slot, self.bank.extract(words, slot)))
+    }
+
+    /// Decode-all twin of [`CaRamSlice::search_bucket_best`], backing the
+    /// baseline search's full-reach mode.
+    #[must_use]
+    pub fn search_bucket_baseline_best(
+        &self,
+        row: u64,
+        search: &SearchKey,
+    ) -> Option<(u32, Record)> {
+        let words = self.array.row(row);
+        let m =
+            self.bank
+                .match_row_decode_all(words, self.aux(row).valid, self.slots_per_row, search);
+        Self::best_of_vector(&self.bank, words, m.match_vector)
     }
 
     /// Raises the reach of `row` to at least `reach`.

@@ -468,6 +468,38 @@ impl CaRamTable {
         self.slices[s].write_record(row, slot, record);
     }
 
+    fn invalidate_logical(&mut self, bucket: u64, logical_slot: u32) {
+        let (v, row) = self.split_bucket(bucket);
+        let h = logical_slot / self.slots_per_slice_row;
+        let slot = logical_slot % self.slots_per_slice_row;
+        let s = self.slice_of(v, h);
+        self.slices[s].invalidate(row, slot);
+    }
+
+    /// Removes one stored copy of `record` from the overflow area (insert
+    /// rollback). Identical copies are indistinguishable, so removing any
+    /// one of them is equivalent to removing the one just pushed.
+    fn remove_one_overflow_copy(&mut self, record: &Record) {
+        match self.overflow.as_mut() {
+            Some(OverflowStore::Associative { records, .. }) => {
+                if let Some(i) = records.iter().rposition(|r| r == record) {
+                    records.remove(i);
+                }
+            }
+            Some(OverflowStore::Victim { slice }) => {
+                'rows: for row in 0..slice.rows() {
+                    for (s, r) in slice.bucket_records(row) {
+                        if r == *record {
+                            slice.invalidate(row, s);
+                            break 'rows;
+                        }
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
     /// Searches one logical bucket; horizontal slices are examined in
     /// priority (slot) order. One parallel memory access.
     fn search_logical_bucket(&self, bucket: u64, key: &SearchKey) -> Option<(u32, Record)> {
@@ -478,6 +510,29 @@ impl CaRamTable {
             }
         }
         None
+    }
+
+    /// Full-reach (post-delete) twin of
+    /// [`CaRamTable::search_logical_bucket`]: slot order no longer encodes
+    /// priority once deletes have punched holes that later inserts
+    /// backfill, so every matching slot of the bucket is compared and the
+    /// max-care record wins (lowest slice/slot on ties).
+    fn search_logical_bucket_full(&self, bucket: u64, key: &SearchKey) -> Option<(u32, Record)> {
+        let (v, row) = self.split_bucket(bucket);
+        let mut best: Option<(u32, Record)> = None;
+        for h in 0..self.horizontal {
+            if let Some((slot, record)) =
+                self.slices[self.slice_of(v, h)].search_bucket_best(row, key)
+            {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
+                {
+                    best = Some((h * self.slots_per_slice_row + slot, record));
+                }
+            }
+        }
+        best
     }
 
     /// Computes the home buckets of `key` into a reusable scratch list.
@@ -540,19 +595,50 @@ impl CaRamTable {
         let mut placements = Vec::with_capacity(homes.len());
         let mut to_overflow = 0u32;
         let mut displacements = Vec::with_capacity(homes.len());
-        for home in homes {
-            if let Some(p) = self.place_one(home, &record, max_steps)? {
+        let mut failure: Option<CaRamError> = None;
+        let mut homes_done = 0usize;
+        for &home in &homes {
+            let placed = match self.place_one(home, &record, max_steps) {
+                Ok(p) => p,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
+            if let Some(p) = placed {
                 displacements.push(p.displacement);
                 placements.push(p);
             } else {
                 // Divert to the parallel overflow area: zero extra lookup
                 // cost by construction.
-                self.push_overflow(home, record)?;
+                if let Err(e) = self.push_overflow(home, record) {
+                    failure = Some(e);
+                    break;
+                }
                 to_overflow += 1;
                 displacements.push(0);
             }
             let idx = usize::try_from(home).expect("bucket count checked at new");
             self.home_counts[idx] += 1;
+            homes_done += 1;
+        }
+        if let Some(e) = failure {
+            // Multi-home inserts must be atomic: a ternary record with
+            // don't-care index bits is duplicated into one bucket per home,
+            // and a partial failure would strand copies that search and
+            // delete can still find while the caller believes the record
+            // was refused. Undo everything this call placed.
+            for p in &placements {
+                self.invalidate_logical(p.bucket, p.slot);
+            }
+            for _ in 0..to_overflow {
+                self.remove_one_overflow_copy(&record);
+            }
+            for &home in &homes[..homes_done] {
+                let idx = usize::try_from(home).expect("bucket count checked at new");
+                self.home_counts[idx] -= 1;
+            }
+            return Err(e);
         }
         self.stats.record_insert(&displacements, weight);
         if let Some(sink) = &self.sink {
@@ -574,10 +660,9 @@ impl CaRamTable {
         max_steps: u32,
     ) -> Result<Option<Placement>> {
         let probe = self.config.probe;
-        let key_value = record.key.value();
         let mut step = 0u32;
         loop {
-            let bucket = probe.bucket_at(home, key_value, step, self.logical_buckets);
+            let bucket = probe.bucket_at(home, step, self.logical_buckets);
             if let Some(slot) = self.bucket_free_slot(bucket) {
                 self.write_logical(bucket, slot, record);
                 if step > 0 {
@@ -906,12 +991,19 @@ impl CaRamTable {
         for &home in homes.as_slice() {
             let reach = self.reach(home);
             for step in 0..=reach {
-                let bucket =
-                    self.config
-                        .probe
-                        .bucket_at(home, key.value(), step, self.logical_buckets);
+                let bucket = self
+                    .config
+                    .probe
+                    .bucket_at(home, step, self.logical_buckets);
                 accesses += 1;
-                if let Some((slot, record)) = self.search_logical_bucket(bucket, key) {
+                // Full-reach mode also compares matches *within* a bucket
+                // (a backfilled slot may outrank an earlier one).
+                let found = if self.full_scan {
+                    self.search_logical_bucket_full(bucket, key)
+                } else {
+                    self.search_logical_bucket(bucket, key)
+                };
+                if let Some((slot, record)) = found {
                     let hit = Hit {
                         bucket,
                         slot,
@@ -981,13 +1073,18 @@ impl CaRamTable {
         for &home in homes.as_slice() {
             let reach = self.reach(home);
             for step in 0..=reach {
-                let bucket =
-                    self.config
-                        .probe
-                        .bucket_at(home, key.value(), step, self.logical_buckets);
+                let bucket = self
+                    .config
+                    .probe
+                    .bucket_at(home, step, self.logical_buckets);
                 accesses += 1;
                 max_step = max_step.max(step);
-                if let Some((slot, record)) = self.search_logical_bucket(bucket, key) {
+                let found = if self.full_scan {
+                    self.search_logical_bucket_full(bucket, key)
+                } else {
+                    self.search_logical_bucket(bucket, key)
+                };
+                if let Some((slot, record)) = found {
                     let hit = Hit {
                         bucket,
                         slot,
@@ -1058,10 +1155,10 @@ impl CaRamTable {
         for &home in homes.as_slice() {
             let reach = self.reach(home);
             for step in 0..=reach {
-                let bucket =
-                    self.config
-                        .probe
-                        .bucket_at(home, key.value(), step, self.logical_buckets);
+                let bucket = self
+                    .config
+                    .probe
+                    .bucket_at(home, step, self.logical_buckets);
                 accesses += 1;
                 max_step = max_step.max(step);
                 sink.stage(Stage::RowFetch, u64::from(self.slots_per_bucket));
@@ -1125,8 +1222,10 @@ impl CaRamTable {
     /// Deep-trace variant of [`CaRamTable::search_logical_bucket`]: runs
     /// the full match-vector computation on every horizontal slice (so the
     /// popcount is exact) and reports one [`Stage::Match`] event per
-    /// slice. The returned winner — lowest-numbered matching slot of the
-    /// lowest horizontal slice — is identical to the early-exit matcher's.
+    /// slice. The returned winner is identical to the untraced matcher's:
+    /// lowest-numbered matching slot of the lowest horizontal slice, or —
+    /// in full-reach (post-delete) mode, where slot order no longer
+    /// encodes priority — the max-care match of the whole bucket.
     fn search_logical_bucket_deep(
         &self,
         bucket: u64,
@@ -1139,7 +1238,16 @@ impl CaRamTable {
             let s = self.slice_of(v, h);
             let m = self.slices[s].match_bucket(row, key);
             sink.stage(Stage::Match, u64::from(m.match_count()));
-            if found.is_none() {
+            if self.full_scan {
+                if let Some((slot, record)) = self.slices[s].search_bucket_best(row, key) {
+                    if found
+                        .as_ref()
+                        .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
+                    {
+                        found = Some((h * self.slots_per_slice_row + slot, record));
+                    }
+                }
+            } else if found.is_none() {
                 if let Some(slot) = m.first_match {
                     let record = self.slices[s]
                         .read_record(row, slot)
@@ -1164,12 +1272,17 @@ impl CaRamTable {
         for home in homes {
             let reach = self.reach(home);
             for step in 0..=reach {
-                let bucket =
-                    self.config
-                        .probe
-                        .bucket_at(home, key.value(), step, self.logical_buckets);
+                let bucket = self
+                    .config
+                    .probe
+                    .bucket_at(home, step, self.logical_buckets);
                 accesses += 1;
-                if let Some((slot, record)) = self.search_logical_bucket_baseline(bucket, key) {
+                let found = if self.full_scan {
+                    self.search_logical_bucket_baseline_full(bucket, key)
+                } else {
+                    self.search_logical_bucket_baseline(bucket, key)
+                };
+                if let Some((slot, record)) = found {
                     let hit = Hit {
                         bucket,
                         slot,
@@ -1226,6 +1339,29 @@ impl CaRamTable {
             }
         }
         None
+    }
+
+    /// Decode-all twin of [`CaRamTable::search_logical_bucket_full`].
+    fn search_logical_bucket_baseline_full(
+        &self,
+        bucket: u64,
+        key: &SearchKey,
+    ) -> Option<(u32, Record)> {
+        let (v, row) = self.split_bucket(bucket);
+        let mut best: Option<(u32, Record)> = None;
+        for h in 0..self.horizontal {
+            if let Some((slot, record)) =
+                self.slices[self.slice_of(v, h)].search_bucket_baseline_best(row, key)
+            {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
+                {
+                    best = Some((h * self.slots_per_slice_row + slot, record));
+                }
+            }
+        }
+        best
     }
 
     // ---- batched search -----------------------------------------------------
@@ -1321,11 +1457,17 @@ impl CaRamTable {
         let mut removed = 0u32;
         for home in homes {
             let reach = self.reach(home);
-            'chain: for step in 0..=reach {
-                let bucket =
-                    self.config
-                        .probe
-                        .bucket_at(home, key.value(), step, self.logical_buckets);
+            // Keep scanning past the first match: duplicate copies of the
+            // same stored key can share a bucket or sit further down the
+            // probe chain, and "delete" promises to remove them all.
+            // Re-visiting a slot cleared via an earlier home is harmless
+            // (`read_record` returns `None` once invalidated), so
+            // overlapping multi-home chains cannot double-count.
+            for step in 0..=reach {
+                let bucket = self
+                    .config
+                    .probe
+                    .bucket_at(home, step, self.logical_buckets);
                 let (v, row) = self.split_bucket(bucket);
                 for h in 0..self.horizontal {
                     let s = self.slice_of(v, h);
@@ -1335,7 +1477,6 @@ impl CaRamTable {
                             if r.key == *key {
                                 self.slices[s].invalidate(row, slot);
                                 removed += 1;
-                                break 'chain;
                             }
                         }
                     }
@@ -1445,6 +1586,10 @@ impl crate::engine::SearchEngine for CaRamTable {
 
     fn insert(&mut self, record: Record) -> Result<()> {
         CaRamTable::insert(self, record).map(|_| ())
+    }
+
+    fn insert_sorted(&mut self, record: Record) -> Result<()> {
+        CaRamTable::insert_sorted(self, record).map(|_| ())
     }
 
     fn delete(&mut self, key: &crate::key::TernaryKey) -> u32 {
