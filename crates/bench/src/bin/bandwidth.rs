@@ -33,7 +33,7 @@ fn main() -> Result<()> {
             head_of_line: false,
         };
         let trace: Vec<u32> = (0..requests).map(|_| rng.gen_range(0..slices)).collect();
-        let report = simulate(config, trace);
+        let report = simulate(config, trace)?;
         let simulated = report.searches_per_cycle() * timing.clock().value();
         let err = 100.0 * (simulated - formula.value()).abs() / formula.value();
         println!(
@@ -79,7 +79,7 @@ fn main() -> Result<()> {
         accepts_per_cycle: 8,
         head_of_line: false,
     };
-    let report = simulate(config, vec![0u32; requests.min(10_000)]);
+    let report = simulate(config, vec![0u32; requests.min(10_000)])?;
     println!(
         "  8 slices, single-slice traffic: {:.1} Msearch/s (vs {:.1} uniform)",
         report.searches_per_cycle() * timing.clock().value(),
@@ -106,7 +106,7 @@ fn main() -> Result<()> {
         };
         // Capacity = 8/6 per cycle, i.e. one request per 0.75 cycles.
         for (num, den, util) in [(3u64, 1u64, 0.25), (3, 2, 0.5), (1, 1, 0.75), (5, 6, 0.9)] {
-            let r = simulate_latency(config, num, den, trace.iter().copied());
+            let r = simulate_latency(config, num, den, trace.iter().copied())?;
             println!(
                 "{util:>12.2} {:>8.1} {:>8} {:>8} {:>8}",
                 r.mean_cycles, r.p50_cycles, r.p99_cycles, r.max_cycles
@@ -117,13 +117,13 @@ fn main() -> Result<()> {
 
     // --- trace-driven routing: real keys, real hash, real slice map --------
     println!("\nTrace-driven throughput (trigram design A: 4 vertical slices, DJB hash):");
-    trace_driven(requests.min(30_000));
+    trace_driven(requests.min(30_000))?;
     Ok(())
 }
 
 /// Routes an actual key trace through the table's hash onto its vertical
 /// slice groups and measures achieved bandwidth — uniform vs Zipf traffic.
-fn trace_driven(lookups: usize) {
+fn trace_driven(lookups: usize) -> Result<()> {
     use ca_ram_bench::designs::{build_trigram_table, load_trigrams, trigram_designs};
     use ca_ram_workloads::trace::{frequencies, sample_trace, AccessPattern};
     use ca_ram_workloads::trigram::{generate, pack_text_key, TrigramConfig};
@@ -160,7 +160,7 @@ fn trace_driven(lookups: usize) {
             accepts_per_cycle: 4,
             head_of_line: false,
         };
-        let report = simulate(config, slice_trace);
+        let report = simulate(config, slice_trace)?;
         println!(
             "  {name:<11} {:.1} Msearch/s (formula ceiling {:.1})",
             report.searches_per_cycle() * timing.clock().value(),
@@ -191,4 +191,5 @@ fn trace_driven(lookups: usize) {
         "  search_batch_parallel  {:>10.0} keys/s",
         keys_per_sec(keys.len(), timing.parallel_secs)
     );
+    Ok(())
 }

@@ -80,6 +80,7 @@ fn main() -> Result<()> {
         run("explore", &ip_args, &mut transcript)?;
         run("perf_smoke", &ip_args, &mut transcript)?;
         run("telemetry_report", &ip_args, &mut transcript)?;
+        run("serve_bench", &["--smoke".to_string()], &mut transcript)?;
         run("fuzz_engines", &fuzz_args, &mut transcript)?;
         Ok(())
     })();

@@ -1,0 +1,330 @@
+//! Serving-layer load sweep: measures the sharded [`SearchService`]'s
+//! capacity and latency under open-loop offered load, compares the measured
+//! distribution against the controller queue model's prediction for the
+//! same configuration, and emits `BENCH_service.json`.
+//!
+//! Method:
+//!   1. **Calibrate** — a closed-loop run with one client per shard pins
+//!      the zero-queueing service latency; dividing its p50 by the model's
+//!      `nmem + 1` service cycles yields the wall-clock length of one model
+//!      cycle, tying the two time bases together without using any
+//!      open-loop measurement the sweep is about to grade.
+//!   2. **Find the ceiling** — an unpaced open-loop flood measures the
+//!      batched saturation throughput.
+//!   3. **Sweep** — paced open-loop points from well under the closed-loop
+//!      rate up to 3x the flood ceiling. Below the knee the measured
+//!      p50/p99 should track `simulate_latency` for the matching
+//!      [`QueueModelConfig`]; past it, the bounded queue must reject at
+//!      admission rather than buffer without limit.
+//!
+//! Usage: `serve_bench [--records N] [--lookups N] [--shards N]
+//! [--queue-depth N] [--batch-max N] [--seed N] [--out PATH] [--smoke]`
+//!
+//! `--smoke` shrinks the workload to CI scale and turns the sanity
+//! assertions (request conservation, zero shedding at low load, rejection
+//! past saturation, telemetry export validity) into hard failures.
+
+use std::fmt::Write as _;
+
+use ca_ram_bench::{ensure, exact_match_workload, write_text_atomic, Cli, Result};
+use ca_ram_core::controller::{simulate_latency, LatencyReport, QueueModelConfig};
+use ca_ram_core::engine::SearchEngine;
+use ca_ram_core::index::RangeSelect;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::probe::ProbePolicy;
+use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use ca_ram_core::telemetry::{to_json, validate_json, MetricsRegistry};
+use ca_ram_service::{OpenLoopReport, SearchService, ServiceClient, ServiceConfig};
+
+/// Model service occupancy per request, in cycles (`nmem`); the service
+/// latency ladder is `nmem` busy cycles plus one match cycle.
+const NMEM: u32 = 6;
+/// Model port width (requests admitted per cycle).
+const ACCEPTS_PER_CYCLE: u32 = 4;
+/// Cap on requests fed to the cycle-level model per sweep point.
+const MODEL_REQUESTS_MAX: usize = 20_000;
+/// Record slots per table row.
+const SLOTS_PER_ROW: u32 = 8;
+
+/// One measured sweep point with its model prediction.
+struct SweepPoint {
+    /// Target offered rate, requests/s.
+    target_rps: f64,
+    /// What the open-loop client observed.
+    measured: OpenLoopReport,
+    /// `simulate_latency` at the same offered rate, converted to
+    /// microseconds via the calibrated cycle length.
+    model_p50_us: f64,
+    model_p99_us: f64,
+    model_throughput: f64,
+}
+
+fn shard_table(per_shard_records: usize) -> Result<CaRamTable> {
+    let layout = RecordLayout::new(64, false, 64);
+    // 3x headroom over a uniform split absorbs routing imbalance, so every
+    // insert lands before the probe sequence exhausts.
+    let buckets = (per_shard_records * 3)
+        .div_ceil(SLOTS_PER_ROW as usize)
+        .max(16);
+    let rows_log2 = buckets.next_power_of_two().trailing_zeros();
+    let config = TableConfig {
+        rows_log2,
+        row_bits: SLOTS_PER_ROW * layout.slot_bits(),
+        layout,
+        arrangement: Arrangement::Horizontal(1),
+        probe: ProbePolicy::Linear,
+        overflow: OverflowPolicy::Probe {
+            max_steps: u32::MAX,
+        },
+    };
+    Ok(CaRamTable::new(
+        config,
+        Box::new(RangeSelect::new(0, rows_log2)),
+    )?)
+}
+
+/// Runs `simulate_latency` for `config` at `offered_rps`, feeding the
+/// shard each trace key routes to, and returns the report in model cycles.
+fn model_at(
+    service: &SearchService,
+    config: QueueModelConfig,
+    offered_rps: f64,
+    cycle_secs: f64,
+    trace: &[SearchKey],
+) -> Result<LatencyReport> {
+    // Offered rate -> cycles between arrivals, as a rational num/den.
+    let cycles_per_request = 1.0 / (offered_rps * cycle_secs);
+    const DEN: u64 = 1024;
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    #[allow(clippy::cast_possible_truncation)]
+    let num = ((cycles_per_request * DEN as f64).round() as u64).max(1);
+    let requests = trace
+        .iter()
+        .take(MODEL_REQUESTS_MAX)
+        .map(|k| u32::try_from(service.shard_of_value(k.value())).expect("few shards"));
+    Ok(simulate_latency(config, num, DEN, requests)?)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn cycles_to_us(cycles: f64, cycle_secs: f64) -> f64 {
+    cycles * cycle_secs * 1e6
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn report_json(
+    records: usize,
+    config: &ServiceConfig,
+    closed_rps: f64,
+    flood_rps: f64,
+    cycle_ns: f64,
+    points: &[SweepPoint],
+) -> String {
+    let mut json = String::from("{\n  \"benchmark\": \"service\",\n");
+    let _ = write!(
+        json,
+        "  \"records\": {records},\n  \"shards\": {},\n  \"queue_depth\": {},\n  \
+         \"batch_max\": {},\n  \"nmem\": {NMEM},\n  \
+         \"closed_loop_rps\": {closed_rps:.1},\n  \"flood_capacity_rps\": {flood_rps:.1},\n  \
+         \"calibrated_cycle_ns\": {cycle_ns:.2},\n",
+        config.shards, config.queue_depth, config.batch_max,
+    );
+    json.push_str("  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let m = &p.measured;
+        let _ = writeln!(
+            json,
+            "    {{\"target_rps\": {:.1}, \"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \
+             \"offered\": {}, \"completed\": {}, \"rejected\": {}, \"shed\": {}, \
+             \"coalesced\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"queue_wait_p50_us\": {}, \"queue_wait_p99_us\": {}, \
+             \"model_p50_us\": {:.2}, \"model_p99_us\": {:.2}, \
+             \"model_throughput_per_cycle\": {:.5}}}{}",
+            p.target_rps,
+            m.offered_rps,
+            m.achieved_rps,
+            m.offered,
+            m.completed,
+            m.rejected,
+            m.shed,
+            m.coalesced,
+            m.latency.p50_us,
+            m.latency.p99_us,
+            m.queue_wait.p50_us,
+            m.queue_wait.p99_us,
+            p.model_p50_us,
+            p.model_p99_us,
+            p.model_throughput,
+            if i + 1 == points.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let smoke = cli.flag("smoke");
+    let records = cli.parse("records", if smoke { 4_000 } else { 20_000 })?;
+    let lookups = cli.parse("lookups", if smoke { 8_000 } else { 40_000 })?;
+    let shards = cli.parse("shards", 4usize)?;
+    let queue_depth = cli.parse("queue-depth", 256usize)?;
+    let batch_max = cli.parse("batch-max", 64usize)?;
+    let seed = cli.parse("seed", 0x5E27u64)?;
+    let out = cli.parse("out", "BENCH_service.json".to_string())?;
+    ensure(records > 0, "--records must be > 0")?;
+    ensure(
+        lookups >= 2_000,
+        "--lookups must be >= 2000 for stable gates",
+    )?;
+    ensure(shards > 0, "--shards must be > 0")?;
+
+    let config = ServiceConfig {
+        shards,
+        queue_depth,
+        batch_max,
+        ..ServiceConfig::default()
+    };
+    let workload = exact_match_workload(records, lookups, seed);
+    let engines = (0..shards)
+        .map(|_| {
+            shard_table(records.div_ceil(shards)).map(|t| Box::new(t) as Box<dyn SearchEngine>)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let service = SearchService::new(config, engines)?;
+    for &(key, value) in &workload.pairs {
+        service.insert_sync(Record::new(TernaryKey::binary(u128::from(key), 64), value))?;
+    }
+    let trace: Vec<SearchKey> = workload
+        .trace
+        .iter()
+        .map(|&i| SearchKey::new(u128::from(workload.keys[i]), 64))
+        .collect();
+    let client = ServiceClient::new(&service);
+
+    println!("serve_bench: {records} records across {shards} shards, {lookups} lookups/point");
+
+    // -- Calibrate: closed loop, one client per shard, minimal queueing.
+    let closed = client.closed_loop(&trace, shards, (lookups / shards).max(500));
+    let cycle_secs = (closed.latency.p50_us as f64 * 1e-6) / f64::from(NMEM + 1);
+    println!(
+        "closed loop: {:.0} req/s, p50 {} us -> model cycle {:.1} ns",
+        closed.achieved_rps,
+        closed.latency.p50_us,
+        cycle_secs * 1e9
+    );
+    ensure(
+        cycle_secs > 0.0,
+        "calibration degenerate: closed-loop p50 was below timer resolution",
+    )?;
+
+    // -- Ceiling: unpaced flood, full batching.
+    let flood = client.open_loop(&trace, f64::INFINITY);
+    println!(
+        "flood: {:.0} req/s achieved, {} rejected of {}",
+        flood.achieved_rps, flood.rejected, flood.offered
+    );
+
+    // -- Sweep: under the closed-loop knee up to 3x the flood ceiling.
+    let mut targets = vec![
+        0.2 * closed.achieved_rps,
+        0.5 * closed.achieved_rps,
+        1.0 * closed.achieved_rps,
+    ];
+    if !smoke {
+        targets.push(0.5 * flood.achieved_rps);
+        targets.push(1.0 * flood.achieved_rps);
+    }
+    targets.push(3.0 * flood.achieved_rps);
+    targets.retain(|t| *t > 0.0);
+    targets.sort_by(f64::total_cmp);
+    targets.dedup();
+
+    let model_config = config.queue_model(NMEM, ACCEPTS_PER_CYCLE);
+    model_config.validate()?;
+    let mut points = Vec::with_capacity(targets.len());
+    for target_rps in targets {
+        let measured = client.open_loop(&trace, target_rps);
+        let model = model_at(&service, model_config, target_rps, cycle_secs, &trace)?;
+        println!(
+            "offered {:>9.0} req/s: p50 {:>6} us (model {:>8.1}), p99 {:>6} us (model {:>8.1}), \
+             rejected {:>5}, shed {:>4}",
+            target_rps,
+            measured.latency.p50_us,
+            cycles_to_us(model.p50_cycles as f64, cycle_secs),
+            measured.latency.p99_us,
+            cycles_to_us(model.p99_cycles as f64, cycle_secs),
+            measured.rejected,
+            measured.shed,
+        );
+        points.push(SweepPoint {
+            target_rps,
+            measured,
+            model_p50_us: cycles_to_us(model.p50_cycles as f64, cycle_secs),
+            model_p99_us: cycles_to_us(model.p99_cycles as f64, cycle_secs),
+            model_throughput: model.throughput,
+        });
+    }
+
+    // -- In-process telemetry export must validate.
+    let mut registry = MetricsRegistry::new();
+    service.export_metrics(&mut registry, "serve_bench");
+    let telemetry = to_json(&registry);
+    let scopes = validate_json(&telemetry)
+        .map_err(|e| ca_ram_bench::BenchError::Arg(format!("telemetry export invalid: {e}")))?;
+    ensure(scopes > shards, "telemetry export missing per-shard scopes")?;
+    println!("telemetry export: {scopes} scopes valid");
+
+    // -- Sanity gates: always-on conservation, the rest hard under --smoke.
+    for p in &points {
+        let m = &p.measured;
+        ensure(
+            m.completed + m.rejected + m.shed == m.offered,
+            "request conservation violated: completed + rejected + shed != offered",
+        )?;
+    }
+    let low = &points[0];
+    let high = points.last().expect("sweep is non-empty");
+    if smoke {
+        ensure(
+            low.measured.rejected == 0 && low.measured.shed == 0,
+            "low-load point must neither reject nor shed",
+        )?;
+        ensure(
+            low.measured.completed == low.measured.offered,
+            "low-load point must complete every request",
+        )?;
+        ensure(
+            high.measured.rejected > 0,
+            "past saturation the bounded queue must reject at admission",
+        )?;
+        // The queue is bounded, so overload throughput cannot exceed the
+        // measured ceiling by more than measurement noise.
+        ensure(
+            high.measured.achieved_rps <= flood.achieved_rps * 2.0,
+            "overload throughput exceeds the saturation ceiling",
+        )?;
+        // The model and the measurement share a calibrated time base; at
+        // low load they must agree to well within two orders of magnitude
+        // (scheduler noise on the measured side dwarfs finer bounds in CI).
+        let p50_ratio = low.measured.latency.p50_us as f64 / low.model_p50_us.max(1e-9);
+        ensure(
+            (0.05..=20.0).contains(&p50_ratio),
+            "low-load measured p50 does not track the queue model",
+        )?;
+        println!("smoke gates passed (low-load p50 measured/model = {p50_ratio:.2})");
+    }
+
+    let json = report_json(
+        records,
+        &config,
+        closed.achieved_rps,
+        flood.achieved_rps,
+        cycle_secs * 1e9,
+        &points,
+    );
+    write_text_atomic(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

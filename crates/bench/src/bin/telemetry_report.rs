@@ -255,7 +255,7 @@ fn main() -> Result<()> {
         let slices = QueueModelConfig::fig8_ip_lookup().slices;
         #[allow(clippy::cast_possible_truncation)]
         let requests = keys.iter().map(|k| (k.value() as u32) % slices);
-        let report = simulate_with_sink(QueueModelConfig::fig8_ip_lookup(), requests, &sink);
+        let report = simulate_with_sink(QueueModelConfig::fig8_ip_lookup(), requests, &sink)?;
         let snap = sink.snapshot();
         let scope = registry.scope_mut(ScopeKind::Controller, "fig8-ip");
         scope.set_counter("cycles", report.cycles);

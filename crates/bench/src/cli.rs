@@ -126,6 +126,12 @@ impl Cli {
         }
     }
 
+    /// Whether the bare flag `--name` is present (no value expected).
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.contains(&format!("--{name}"))
+    }
+
     /// The raw `--flag value` pairs whose flag is in `names`, flattened in
     /// order — for forwarding a subset of flags to a child binary.
     #[must_use]
@@ -182,6 +188,13 @@ mod tests {
         assert!(cli.parse::<u64>("seed", 0).is_err());
         assert_eq!(cli.value("seed"), Some("0x1103"));
         assert_eq!(cli.value("missing"), None);
+    }
+
+    #[test]
+    fn bare_flags_are_detected() {
+        let cli = Cli::from_args(["--smoke", "--records", "64"]);
+        assert!(cli.flag("smoke"));
+        assert!(!cli.flag("verbose"));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use ca_ram_core::oracle::{EngineCase, Profile, Scenario};
 use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::subsystem::{CaRamSubsystem, DatabaseId};
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
+use ca_ram_service::ServiceEngine;
 use ca_ram_softsearch::{Arena, ChainedHash, Hierarchy, SoftEngine, SortedArray};
 
 /// log2 of rows per slice for every fleet CA-RAM table.
@@ -281,6 +282,26 @@ fn entries(sc: &Scenario, preload: &[Record]) -> Vec<Entry> {
                     EXHAUSTIVE,
                 )
                 .map(|t| boxed(SubsystemEngine::new(t)))
+            }),
+        },
+        Entry {
+            // The serving layer wrapped around a fleet table: every oracle
+            // op crosses the request queue and worker thread, so the fuzz
+            // sweep differentially checks the full submit/queue/complete
+            // round trip, not just the engine math. Single-shard so ternary
+            // ops are routable.
+            name: "ca-ram/service",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(move |bits| {
+                let table = ca_ram_table(
+                    bits,
+                    hash_lo,
+                    Arrangement::Horizontal(1),
+                    ProbePolicy::Linear,
+                    EXHAUSTIVE,
+                )?;
+                ServiceEngine::single_shard(boxed(table)).ok().map(boxed)
             }),
         },
         Entry {

@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 
+use crate::error::{CaRamError, Result};
 use crate::telemetry::trace::TelemetrySink;
 
 /// Configuration of the queue/controller simulation.
@@ -42,6 +43,35 @@ impl QueueModelConfig {
             accepts_per_cycle: 4,
             head_of_line: false,
         }
+    }
+
+    /// Rejects configurations the simulators cannot model: zero slices, a
+    /// zero-cycle memory, a port that accepts nothing per cycle, or a queue
+    /// that holds nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaRamError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.slices == 0 {
+            return Err(CaRamError::BadConfig("need at least one slice".into()));
+        }
+        if self.nmem == 0 {
+            return Err(CaRamError::BadConfig(
+                "nmem must be at least one cycle".into(),
+            ));
+        }
+        if self.accepts_per_cycle == 0 {
+            return Err(CaRamError::BadConfig(
+                "port must accept at least one request per cycle".into(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(CaRamError::BadConfig(
+                "queue must hold at least one request".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -77,12 +107,11 @@ impl ThroughputReport {
 /// target slice (as produced by the index generator's high bits). Requests
 /// arrive as fast as the port accepts them.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration has zero slices/nmem/accepts, or a request
-/// targets a slice out of range.
-#[must_use]
-pub fn simulate<I>(config: QueueModelConfig, requests: I) -> ThroughputReport
+/// Returns [`CaRamError::BadConfig`] if the configuration fails
+/// [`QueueModelConfig::validate`] or a request targets a slice out of range.
+pub fn simulate<I>(config: QueueModelConfig, requests: I) -> Result<ThroughputReport>
 where
     I: IntoIterator<Item = u32>,
 {
@@ -92,12 +121,15 @@ where
 /// As [`simulate`], additionally reporting per-cycle queue depth and
 /// per-request wait cycles (enqueue → dispatch) to a telemetry sink — the
 /// live distributions behind [`ThroughputReport`]'s peak/stall summary.
-#[must_use]
+///
+/// # Errors
+///
+/// As [`simulate`].
 pub fn simulate_with_sink<I>(
     config: QueueModelConfig,
     requests: I,
     sink: &dyn TelemetrySink,
-) -> ThroughputReport
+) -> Result<ThroughputReport>
 where
     I: IntoIterator<Item = u32>,
 {
@@ -109,25 +141,13 @@ fn simulate_impl<I>(
     config: QueueModelConfig,
     requests: I,
     sink: Option<&dyn TelemetrySink>,
-) -> ThroughputReport
+) -> Result<ThroughputReport>
 where
     I: IntoIterator<Item = u32>,
 {
-    assert!(config.slices > 0, "need at least one slice");
-    assert!(config.nmem > 0, "nmem must be at least one cycle");
-    assert!(config.accepts_per_cycle > 0, "port must accept something");
-    assert!(
-        config.queue_depth > 0,
-        "queue must hold at least one request"
-    );
+    config.validate()?;
 
-    let mut pending = requests.into_iter().inspect(|&s| {
-        assert!(
-            s < config.slices,
-            "request targets slice {s} of {}",
-            config.slices
-        );
-    });
+    let mut pending = requests.into_iter();
     // Entries carry their enqueue cycle so the traced variant can report
     // per-request wait times; the untraced report is unaffected.
     let mut queue: VecDeque<(u64, u32)> = VecDeque::new();
@@ -159,6 +179,12 @@ where
             });
             match next {
                 Some(s) => {
+                    if s >= config.slices {
+                        return Err(CaRamError::BadConfig(format!(
+                            "request targets slice {s} of {}",
+                            config.slices
+                        )));
+                    }
                     queue.push_back((cycle, s));
                     accepted += 1;
                 }
@@ -218,12 +244,12 @@ where
         assert!(cycle < 1_000_000_000, "simulation did not converge");
     }
 
-    ThroughputReport {
+    Ok(ThroughputReport {
         cycles: cycle,
         completed,
         stall_cycles,
         peak_queue_depth,
-    }
+    })
 }
 
 /// Per-request latency statistics from a pipeline simulation.
@@ -249,17 +275,17 @@ pub struct LatencyReport {
 /// result is ready. Measures the full per-request latency distribution —
 /// what the closed-form `B = Nslice/nmem × fclk` says nothing about.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on a degenerate configuration or a request targeting a slice out
-/// of range.
-#[must_use]
+/// Returns [`CaRamError::BadConfig`] if the configuration fails
+/// [`QueueModelConfig::validate`], the interarrival rational has a zero
+/// numerator or denominator, or a request targets a slice out of range.
 pub fn simulate_latency<I>(
     config: QueueModelConfig,
     interarrival_num: u64,
     interarrival_den: u64,
     requests: I,
-) -> LatencyReport
+) -> Result<LatencyReport>
 where
     I: IntoIterator<Item = u32>,
 {
@@ -269,14 +295,17 @@ where
 /// As [`simulate_latency`], additionally reporting per-cycle queue depth
 /// and per-request wait cycles (enqueue → dispatch, excluding service) to
 /// a telemetry sink.
-#[must_use]
+///
+/// # Errors
+///
+/// As [`simulate_latency`].
 pub fn simulate_latency_with_sink<I>(
     config: QueueModelConfig,
     interarrival_num: u64,
     interarrival_den: u64,
     requests: I,
     sink: &dyn TelemetrySink,
-) -> LatencyReport
+) -> Result<LatencyReport>
 where
     I: IntoIterator<Item = u32>,
 {
@@ -295,24 +324,25 @@ fn simulate_latency_impl<I>(
     interarrival_den: u64,
     requests: I,
     sink: Option<&dyn TelemetrySink>,
-) -> LatencyReport
+) -> Result<LatencyReport>
 where
     I: IntoIterator<Item = u32>,
 {
     const MATCH_CYCLES: u64 = 1; // pipelined match stage after data-out
-    assert!(config.slices > 0, "need at least one slice");
-    assert!(config.nmem > 0, "nmem must be at least one cycle");
-    assert!(
-        interarrival_num > 0 && interarrival_den > 0,
-        "arrival rate must be positive"
-    );
+    config.validate()?;
+    if interarrival_num == 0 || interarrival_den == 0 {
+        return Err(CaRamError::BadConfig(
+            "arrival rate must be positive".into(),
+        ));
+    }
     let arrivals: Vec<u32> = requests.into_iter().collect();
     for &s in &arrivals {
-        assert!(
-            s < config.slices,
-            "request targets slice {s} of {}",
-            config.slices
-        );
+        if s >= config.slices {
+            return Err(CaRamError::BadConfig(format!(
+                "request targets slice {s} of {}",
+                config.slices
+            )));
+        }
     }
     let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
     let mut queue: VecDeque<(u64, u32)> = VecDeque::new(); // (arrival cycle, slice)
@@ -373,7 +403,7 @@ where
     #[allow(clippy::cast_precision_loss)]
     let mean = latencies.iter().map(|&l| l as f64).sum::<f64>() / (n.max(1) as f64);
     #[allow(clippy::cast_precision_loss)]
-    LatencyReport {
+    Ok(LatencyReport {
         completed: n as u64,
         mean_cycles: mean,
         p50_cycles: latencies.get(n / 2).copied().unwrap_or(0),
@@ -384,7 +414,7 @@ where
         } else {
             n as f64 / cycle as f64
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -402,7 +432,8 @@ mod tests {
     fn uniform_traffic_achieves_the_closed_form_bandwidth() {
         // B = Nslice / nmem searches per cycle.
         let config = QueueModelConfig::fig8_ip_lookup();
-        let report = simulate(config, uniform_requests(20_000, config.slices));
+        let report =
+            simulate(config, uniform_requests(20_000, config.slices)).expect("valid config");
         let achieved = report.searches_per_cycle();
         let formula = f64::from(config.slices) / f64::from(config.nmem);
         assert!(
@@ -421,7 +452,7 @@ mod tests {
             accepts_per_cycle: 1,
             head_of_line: true,
         };
-        let report = simulate(config, uniform_requests(1_000, 1));
+        let report = simulate(config, uniform_requests(1_000, 1)).expect("valid config");
         let achieved = report.searches_per_cycle();
         assert!((achieved - 1.0 / 6.0).abs() < 0.01, "got {achieved:.4}");
     }
@@ -431,7 +462,7 @@ mod tests {
         // All requests to one slice: bandwidth collapses to 1/nmem
         // regardless of Nslice — the formula's hidden assumption.
         let config = QueueModelConfig::fig8_ip_lookup();
-        let report = simulate(config, vec![0u32; 5_000]);
+        let report = simulate(config, vec![0u32; 5_000]).expect("valid config");
         let achieved = report.searches_per_cycle();
         assert!(achieved < 0.2, "got {achieved:.3}");
     }
@@ -448,14 +479,15 @@ mod tests {
             accepts_per_cycle: 4,
             head_of_line: false,
         };
-        let ooo = simulate(base, pattern.clone());
+        let ooo = simulate(base, pattern.clone()).expect("valid config");
         let hol = simulate(
             QueueModelConfig {
                 head_of_line: true,
                 ..base
             },
             pattern,
-        );
+        )
+        .expect("valid config");
         assert!(
             ooo.searches_per_cycle() > hol.searches_per_cycle(),
             "ooo {:.3} vs hol {:.3}",
@@ -473,13 +505,14 @@ mod tests {
             accepts_per_cycle: 1, // port narrower than 8/6 per cycle
             head_of_line: false,
         };
-        let report = simulate(config, uniform_requests(5_000, 8));
+        let report = simulate(config, uniform_requests(5_000, 8)).expect("valid config");
         assert!(report.searches_per_cycle() <= 1.0 + 1e-9);
     }
 
     #[test]
     fn empty_request_stream() {
-        let report = simulate(QueueModelConfig::fig8_ip_lookup(), Vec::new());
+        let report =
+            simulate(QueueModelConfig::fig8_ip_lookup(), Vec::new()).expect("valid config");
         assert_eq!(report.completed, 0);
         assert_eq!(report.searches_per_cycle(), 0.0);
     }
@@ -495,7 +528,8 @@ mod tests {
             accepts_per_cycle: 4,
             head_of_line: false,
         };
-        let report = simulate_latency(config, 20, 1, uniform_requests(500, 4));
+        let report =
+            simulate_latency(config, 20, 1, uniform_requests(500, 4)).expect("valid config");
         assert_eq!(report.completed, 500);
         assert!(
             (report.mean_cycles - 7.0).abs() < 0.1,
@@ -525,7 +559,8 @@ mod tests {
         let mut last_p99 = 0;
         for (num, den) in [(4u64, 1u64), (2, 1), (12, 7)] {
             // interarrival 4.0, 2.0, ~1.71 cycles (utilization .375, .75, .875)
-            let report = simulate_latency(config, num, den, random.iter().copied());
+            let report =
+                simulate_latency(config, num, den, random.iter().copied()).expect("valid config");
             assert_eq!(report.completed, 6_000);
             assert!(
                 report.p99_cycles >= last_p99,
@@ -547,7 +582,8 @@ mod tests {
             accepts_per_cycle: 8,
             head_of_line: false,
         };
-        let report = simulate_latency(config, 1, 1, uniform_requests(10_000, 4));
+        let report =
+            simulate_latency(config, 1, 1, uniform_requests(10_000, 4)).expect("valid config");
         assert!(
             (report.throughput - 4.0 / 6.0).abs() < 0.03,
             "{:.3}",
@@ -566,9 +602,57 @@ mod tests {
             accepts_per_cycle: 4,
             head_of_line: true,
         };
-        let report = simulate(config, vec![0u32; 100]);
+        let report = simulate(config, vec![0u32; 100]).expect("valid config");
         assert!(report.peak_queue_depth <= 4);
         assert!(report.stall_cycles > 0);
         assert_eq!(report.completed, 100);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let good = QueueModelConfig::fig8_ip_lookup();
+        assert!(good.validate().is_ok());
+        for bad in [
+            QueueModelConfig { slices: 0, ..good },
+            QueueModelConfig { nmem: 0, ..good },
+            QueueModelConfig {
+                accepts_per_cycle: 0,
+                ..good
+            },
+            QueueModelConfig {
+                queue_depth: 0,
+                ..good
+            },
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(CaRamError::BadConfig(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn simulators_surface_bad_configs_as_errors() {
+        let bad = QueueModelConfig {
+            slices: 0,
+            ..QueueModelConfig::fig8_ip_lookup()
+        };
+        assert!(simulate(bad, vec![0u32; 4]).is_err());
+        assert!(simulate_latency(bad, 1, 1, vec![0u32; 4]).is_err());
+        let good = QueueModelConfig::fig8_ip_lookup();
+        assert!(simulate_latency(good, 0, 1, vec![0u32; 4]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_slice_is_an_error_not_a_panic() {
+        let config = QueueModelConfig::fig8_ip_lookup();
+        assert!(matches!(
+            simulate(config, vec![config.slices]),
+            Err(CaRamError::BadConfig(_))
+        ));
+        assert!(matches!(
+            simulate_latency(config, 2, 1, vec![config.slices]),
+            Err(CaRamError::BadConfig(_))
+        ));
     }
 }

@@ -84,13 +84,14 @@ impl EngineReport {
 /// The trait is object-safe — benches and tests drive backends through
 /// `&dyn SearchEngine`. The `Sync` supertrait is what lets the provided
 /// [`SearchEngine::search_batch_parallel_stats`] shard one `&self` across
-/// scoped threads.
+/// scoped threads; `Send` is what lets a serving layer hand whole engines
+/// to worker threads (every in-tree backend is plain owned data).
 ///
 /// Backends with a faster concrete pipeline (e.g. `CaRamTable`'s
 /// allocation-free scratch path) keep their inherent methods and override
 /// the provided ones to delegate, so driving them through the trait costs
 /// one virtual dispatch per call and nothing else.
-pub trait SearchEngine: Sync {
+pub trait SearchEngine: Send + Sync {
     /// A short human-readable backend name for reports.
     fn name(&self) -> &str;
 

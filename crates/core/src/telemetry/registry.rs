@@ -27,6 +27,10 @@ pub enum ScopeKind {
     Database,
     /// The subsystem input controller.
     Controller,
+    /// A whole serving frontend (shard router + admission control).
+    Service,
+    /// One engine shard behind a serving frontend.
+    Shard,
 }
 
 impl ScopeKind {
@@ -38,6 +42,8 @@ impl ScopeKind {
             ScopeKind::Slice => "slice",
             ScopeKind::Database => "database",
             ScopeKind::Controller => "controller",
+            ScopeKind::Service => "service",
+            ScopeKind::Shard => "shard",
         }
     }
 }

@@ -141,7 +141,8 @@ fn subsystem_pump_reports_queue_depth() {
 fn controller_simulation_feeds_queue_histograms() {
     let sink = HistogramSink::shared();
     let requests = (0..512u32).map(|i| i % 8);
-    let report = simulate_with_sink(QueueModelConfig::fig8_ip_lookup(), requests, sink.as_ref());
+    let report = simulate_with_sink(QueueModelConfig::fig8_ip_lookup(), requests, sink.as_ref())
+        .expect("valid config");
     assert_eq!(report.completed, 512);
 
     let snap = sink.snapshot();

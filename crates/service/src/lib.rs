@@ -1,0 +1,60 @@
+//! # ca-ram-service
+//!
+//! A sharded, multi-threaded serving layer that turns any
+//! [`SearchEngine`](ca_ram_core::engine::SearchEngine) fleet into a
+//! request-serving frontend — the software analogue of the paper's
+//! subsystem input controller (Sec. 3.2, Fig. 5), whose request/result
+//! queues `ca_ram_core::controller` models cycle by cycle.
+//!
+//! ## Architecture
+//!
+//! * [`config`] — [`ServiceConfig`]: shard count, bounded queue depth,
+//!   batching limits, deadlines, and the degradation-ladder thresholds,
+//!   plus the mapping onto a
+//!   [`QueueModelConfig`](ca_ram_core::controller::QueueModelConfig) so
+//!   measured latencies can be compared against the cycle model;
+//! * [`request`] — the request/reply vocabulary: [`ServiceOp`],
+//!   [`ServiceReply`], completion [`Ticket`]s, and admission errors;
+//! * [`service`] — [`SearchService`]: the shard router (hash on the key
+//!   value), per-shard worker threads behind bounded queues, admission
+//!   control, and telemetry export;
+//! * [`engine`] — [`ServiceEngine`]: the whole service re-packaged as a
+//!   `SearchEngine`, so conformance suites and the differential fuzzer can
+//!   drive the full concurrent path through the ordinary trait surface;
+//! * [`client`] — [`ServiceClient`]: open-loop (paced arrivals, load
+//!   shedding visible) and closed-loop (fixed concurrency, capacity
+//!   visible) load generators.
+//!
+//! ## The degradation ladder
+//!
+//! Overload is handled in stages, mirroring the controller model's stall
+//! semantics at the software level:
+//!
+//! 1. **Shed deep telemetry** — past a queue-depth threshold the per-request
+//!    wait histograms stop being recorded (counted, not silently dropped);
+//! 2. **Coalesce duplicate in-flight keys** — deeper still, identical search
+//!    keys drained in one batch share a single engine probe;
+//! 3. **Reject** — a full queue turns away new arrivals at admission
+//!    ([`request::AdmissionError::QueueFull`]), bounding queueing delay.
+//!
+//! Per-request deadlines cut the tail from the other side: a request whose
+//! deadline passed while queued is completed as
+//! [`ServiceReply::Shed`](request::ServiceReply) without ever touching an
+//! engine — it can never return a partial or stale result.
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod request;
+pub mod service;
+mod shard;
+
+pub use client::{ClosedLoopReport, LatencySummary, OpenLoopReport, ServiceClient};
+pub use config::ServiceConfig;
+pub use engine::ServiceEngine;
+pub use request::{AdmissionError, Completion, ServiceOp, ServiceReply, ShedReason, Ticket};
+pub use service::{SearchService, ServiceSnapshot, ShardSnapshot};

@@ -1,0 +1,255 @@
+//! The request/reply vocabulary of the serving layer.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ca_ram_core::engine::EngineOutcome;
+use ca_ram_core::error::CaRamError;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::Record;
+
+/// One operation submitted to a [`SearchService`](crate::SearchService).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceOp {
+    /// Look up one key.
+    Search(SearchKey),
+    /// Store a record (append placement).
+    Insert(Record),
+    /// Store a record maintaining the backend's priority order.
+    InsertSorted(Record),
+    /// Remove every stored record whose key equals the pattern.
+    Delete(TernaryKey),
+}
+
+impl ServiceOp {
+    /// The key value the router hashes to pick a shard. Ternary don't-care
+    /// bits are zeroed by the key constructors, so a record and a search for
+    /// its exact stored pattern route identically; see the crate docs for
+    /// the multi-shard ternary caveat.
+    #[must_use]
+    pub fn route_value(&self) -> u128 {
+        match self {
+            ServiceOp::Search(k) => k.value(),
+            ServiceOp::Insert(r) | ServiceOp::InsertSorted(r) => r.key.value(),
+            ServiceOp::Delete(k) => k.value(),
+        }
+    }
+
+    /// True for operations that need exclusive engine access.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        !matches!(self, ServiceOp::Search(_))
+    }
+}
+
+/// Why a request was completed without touching an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The deadline passed while the request was queued.
+    DeadlineExpired,
+    /// The service shut down with the request still queued.
+    Shutdown,
+}
+
+/// The outcome of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceReply {
+    /// A search completed (hit or miss).
+    Search(EngineOutcome),
+    /// An insert completed with the engine's verdict.
+    Insert(Result<(), CaRamError>),
+    /// A delete completed, removing this many stored copies.
+    Delete(u32),
+    /// The request was shed; no engine was consulted and no partial result
+    /// exists.
+    Shed(ShedReason),
+}
+
+/// A finished request: the reply plus its measured service timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// What happened.
+    pub reply: ServiceReply,
+    /// Time spent queued (submission → worker pickup).
+    pub queue_wait: Duration,
+    /// Full request latency (submission → completion).
+    pub total: Duration,
+    /// True if this search shared an engine probe with duplicate in-flight
+    /// keys (degradation-ladder rung 2).
+    pub coalesced: bool,
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The target shard's bounded queue is full (load shedding at the door).
+    QueueFull {
+        /// The shard whose queue was full.
+        shard: usize,
+        /// The configured queue capacity.
+        depth: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { shard, depth } => {
+                write!(f, "shard {shard} queue full ({depth} requests)")
+            }
+            AdmissionError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl Error for AdmissionError {}
+
+/// The slot a worker fills and a waiter observes.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    done: Mutex<Option<Completion>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            done: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn fill(&self, completion: Completion) {
+        let mut done = self.done.lock().expect("completion slot poisoned");
+        debug_assert!(done.is_none(), "request completed twice");
+        *done = Some(completion);
+        drop(done);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle on one in-flight request; wait on it for the [`Completion`].
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<Slot>) -> Self {
+        Self { slot }
+    }
+
+    /// Blocks until the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker that owned the request panicked.
+    #[must_use]
+    pub fn wait(self) -> Completion {
+        let mut done = self.slot.done.lock().expect("completion slot poisoned");
+        loop {
+            if let Some(completion) = done.take() {
+                return completion;
+            }
+            done = self
+                .slot
+                .ready
+                .wait(done)
+                .expect("completion slot poisoned");
+        }
+    }
+
+    /// Takes the completion if the request already finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker that owned the request panicked.
+    #[must_use]
+    pub fn try_take(&self) -> Option<Completion> {
+        self.slot
+            .done
+            .lock()
+            .expect("completion slot poisoned")
+            .take()
+    }
+}
+
+/// A queued request: the operation plus the timestamps the worker needs to
+/// enforce deadlines and measure waits.
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    pub(crate) op: ServiceOp,
+    pub(crate) enqueued: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl PendingRequest {
+    /// Completes the request, stamping the timeline relative to `picked_up`
+    /// (when the worker drained it) and now.
+    pub(crate) fn complete(self, reply: ServiceReply, picked_up: Instant, coalesced: bool) {
+        let completion = Completion {
+            reply,
+            queue_wait: picked_up.saturating_duration_since(self.enqueued),
+            total: self.enqueued.elapsed(),
+            coalesced,
+        };
+        self.slot.fill(completion);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_value_follows_the_key() {
+        let k = SearchKey::new(0xAB, 16);
+        assert_eq!(ServiceOp::Search(k).route_value(), 0xAB);
+        let r = Record::new(TernaryKey::binary(0xCD, 16), 7);
+        assert_eq!(ServiceOp::Insert(r).route_value(), 0xCD);
+        assert_eq!(ServiceOp::InsertSorted(r).route_value(), 0xCD);
+        assert_eq!(
+            ServiceOp::Delete(TernaryKey::binary(0xEF, 16)).route_value(),
+            0xEF
+        );
+    }
+
+    #[test]
+    fn writes_are_writes() {
+        let r = Record::new(TernaryKey::binary(1, 8), 0);
+        assert!(!ServiceOp::Search(SearchKey::new(1, 8)).is_write());
+        assert!(ServiceOp::Insert(r).is_write());
+        assert!(ServiceOp::InsertSorted(r).is_write());
+        assert!(ServiceOp::Delete(TernaryKey::binary(1, 8)).is_write());
+    }
+
+    #[test]
+    fn ticket_round_trip() {
+        let slot = Slot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        assert!(ticket.try_take().is_none());
+        slot.fill(Completion {
+            reply: ServiceReply::Delete(3),
+            queue_wait: Duration::from_micros(5),
+            total: Duration::from_micros(9),
+            coalesced: false,
+        });
+        let completion = ticket.wait();
+        assert_eq!(completion.reply, ServiceReply::Delete(3));
+        assert!(!completion.coalesced);
+    }
+
+    #[test]
+    fn admission_error_formats() {
+        let full = AdmissionError::QueueFull { shard: 2, depth: 8 };
+        assert!(full.to_string().contains("shard 2"));
+        assert!(AdmissionError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+}

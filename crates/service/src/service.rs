@@ -1,0 +1,446 @@
+//! The sharded serving frontend: router, worker pool, admission control,
+//! synchronous convenience surface, and telemetry export.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ca_ram_core::engine::{EngineOutcome, EngineReport, SearchEngine};
+use ca_ram_core::error::{CaRamError, Result};
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::Record;
+use ca_ram_core::telemetry::{MetricsRegistry, ScopeKind};
+
+use crate::config::ServiceConfig;
+use crate::request::{AdmissionError, ServiceOp, ServiceReply, Ticket};
+use crate::shard::Shard;
+
+/// Counter snapshot of one shard: admission, shedding-ladder, and
+/// batching counters, all monotone since service start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct ShardSnapshot {
+    pub accepted: u64,
+    pub rejected: u64,
+    pub shed_deadline: u64,
+    pub shed_shutdown: u64,
+    pub coalesced: u64,
+    pub telemetry_shed: u64,
+    pub batches: u64,
+    pub max_batch: u64,
+    pub searches: u64,
+    pub inserts: u64,
+    pub deletes: u64,
+}
+
+impl ShardSnapshot {
+    fn accumulate(&mut self, other: &ShardSnapshot) {
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.shed_deadline += other.shed_deadline;
+        self.shed_shutdown += other.shed_shutdown;
+        self.coalesced += other.coalesced;
+        self.telemetry_shed += other.telemetry_shed;
+        self.batches += other.batches;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.searches += other.searches;
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+    }
+}
+
+/// Point-in-time counters for a whole service.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// Counters summed across shards (`max_batch` is the max).
+    #[must_use]
+    pub fn totals(&self) -> ShardSnapshot {
+        let mut total = ShardSnapshot::default();
+        for shard in &self.shards {
+            total.accumulate(shard);
+        }
+        total
+    }
+}
+
+/// A sharded, concurrent serving frontend over a fleet of engines.
+///
+/// Keys hash to one of N shards; each shard owns its engine exclusively
+/// behind a bounded request queue drained by one worker thread, so the
+/// per-shard operation order is the admission order. Multi-shard routing
+/// hashes the key *value*, which is consistent for exact-match workloads;
+/// ternary records whose masked search keys differ in value can route to a
+/// different shard than their stored pattern, so ternary/LPM fleets should
+/// use a single shard (see [`ServiceConfig::single_shard`]).
+pub struct SearchService {
+    shards: Vec<Arc<Shard>>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServiceConfig,
+    key_bits: u32,
+}
+
+impl SearchService {
+    /// Builds a service over `engines`, one shard per engine, and starts one
+    /// worker thread per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaRamError::BadConfig`] if the configuration fails
+    /// [`ServiceConfig::validate`], the engine count does not match
+    /// `config.shards`, or the engines disagree on key width.
+    pub fn new(config: ServiceConfig, engines: Vec<Box<dyn SearchEngine>>) -> Result<Self> {
+        config.validate()?;
+        if engines.len() != config.shards {
+            return Err(CaRamError::BadConfig(format!(
+                "{} shards configured but {} engines supplied",
+                config.shards,
+                engines.len()
+            )));
+        }
+        let key_bits = engines[0].key_bits();
+        if let Some(other) = engines.iter().find(|e| e.key_bits() != key_bits) {
+            return Err(CaRamError::BadConfig(format!(
+                "shard engines disagree on key width: {} vs {} bits",
+                key_bits,
+                other.key_bits()
+            )));
+        }
+        let shards: Vec<Arc<Shard>> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(index, engine)| Arc::new(Shard::new(index, engine, &config)))
+            .collect();
+        let workers = shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let shard = Arc::clone(shard);
+                std::thread::Builder::new()
+                    .name(format!("ca-ram-shard-{index}"))
+                    .spawn(move || shard.worker_loop())
+                    .map_err(|e| CaRamError::BadConfig(format!("cannot spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            shards,
+            workers,
+            config,
+            key_bits,
+        })
+    }
+
+    /// The configuration this service runs under.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Key width served, in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// The shard a key value routes to (`SplitMix64` finalizer over the folded
+    /// value, reduced mod the shard count).
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn shard_of_value(&self, value: u128) -> usize {
+        let folded = (value as u64) ^ ((value >> 64) as u64);
+        (splitmix64(folded) % self.shards.len() as u64) as usize
+    }
+
+    fn shard_of(&self, op: &ServiceOp) -> &Arc<Shard> {
+        &self.shards[self.shard_of_value(op.route_value())]
+    }
+
+    /// Non-blocking admission: enqueue on the routed shard or refuse.
+    /// The configured default deadline applies.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::QueueFull`] when the shard queue is at capacity
+    /// (load shedding at the door), [`AdmissionError::ShuttingDown`] after
+    /// shutdown began.
+    pub fn try_submit(&self, op: ServiceOp) -> std::result::Result<Ticket, AdmissionError> {
+        self.try_submit_with_deadline(op, self.default_deadline())
+    }
+
+    /// As [`SearchService::try_submit`] with an explicit absolute deadline
+    /// (`None` = no deadline) overriding the configured default.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchService::try_submit`].
+    pub fn try_submit_with_deadline(
+        &self,
+        op: ServiceOp,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<Ticket, AdmissionError> {
+        self.shard_of(&op).try_submit(op, deadline)
+    }
+
+    /// Blocking admission: backpressure on a full queue instead of refusing.
+    /// The configured default deadline applies (and keeps ticking while
+    /// blocked).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, op: ServiceOp) -> std::result::Result<Ticket, AdmissionError> {
+        self.submit_with_deadline(op, self.default_deadline())
+    }
+
+    /// As [`SearchService::submit`] with an explicit absolute deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchService::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        op: ServiceOp,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<Ticket, AdmissionError> {
+        self.shard_of(&op).submit_blocking(op, deadline)
+    }
+
+    fn default_deadline(&self) -> Option<Instant> {
+        self.config.default_deadline.map(|d| Instant::now() + d)
+    }
+
+    /// Synchronous search: submit (blocking admission), wait, unwrap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service is shutting down or the request was shed by a
+    /// configured deadline — the synchronous surface is meant for use
+    /// without deadlines (tests, conformance, the oracle fuzzer).
+    #[must_use]
+    pub fn search_sync(&self, key: &SearchKey) -> EngineOutcome {
+        match self.roundtrip(ServiceOp::Search(*key)) {
+            ServiceReply::Search(outcome) => outcome,
+            other => panic!("search answered with {other:?}"),
+        }
+    }
+
+    /// Synchronous insert (append placement).
+    ///
+    /// # Errors
+    ///
+    /// The routed engine's verdict, e.g. capacity exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// As [`SearchService::search_sync`].
+    pub fn insert_sync(&self, record: Record) -> Result<()> {
+        match self.roundtrip(ServiceOp::Insert(record)) {
+            ServiceReply::Insert(verdict) => verdict,
+            other => panic!("insert answered with {other:?}"),
+        }
+    }
+
+    /// Synchronous priority-preserving insert.
+    ///
+    /// # Errors
+    ///
+    /// The routed engine's verdict.
+    ///
+    /// # Panics
+    ///
+    /// As [`SearchService::search_sync`].
+    pub fn insert_sorted_sync(&self, record: Record) -> Result<()> {
+        match self.roundtrip(ServiceOp::InsertSorted(record)) {
+            ServiceReply::Insert(verdict) => verdict,
+            other => panic!("insert_sorted answered with {other:?}"),
+        }
+    }
+
+    /// Synchronous delete; returns stored copies removed.
+    ///
+    /// # Panics
+    ///
+    /// As [`SearchService::search_sync`].
+    #[must_use]
+    pub fn delete_sync(&self, key: &TernaryKey) -> u32 {
+        match self.roundtrip(ServiceOp::Delete(*key)) {
+            ServiceReply::Delete(removed) => removed,
+            other => panic!("delete answered with {other:?}"),
+        }
+    }
+
+    fn roundtrip(&self, op: ServiceOp) -> ServiceReply {
+        let ticket = self
+            .submit_with_deadline(op, None)
+            .expect("service accepting requests");
+        ticket.wait().reply
+    }
+
+    /// Occupancy summed across shards (records/capacity are `Some` only if
+    /// every shard reports them).
+    #[must_use]
+    pub fn occupancy(&self) -> EngineReport {
+        let mut records = Some(0u64);
+        let mut capacity = Some(0u64);
+        for shard in &self.shards {
+            let report = shard.occupancy();
+            records = records.zip(report.records).map(|(a, b)| a + b);
+            capacity = capacity.zip(report.capacity).map(|(a, b)| a + b);
+        }
+        EngineReport { records, capacity }
+    }
+
+    /// Current counters, per shard.
+    #[must_use]
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let s = &shard.stats;
+                    ShardSnapshot {
+                        accepted: s.accepted.load(Ordering::Relaxed),
+                        rejected: s.rejected.load(Ordering::Relaxed),
+                        shed_deadline: s.shed_deadline.load(Ordering::Relaxed),
+                        shed_shutdown: s.shed_shutdown.load(Ordering::Relaxed),
+                        coalesced: s.coalesced.load(Ordering::Relaxed),
+                        telemetry_shed: s.telemetry_shed.load(Ordering::Relaxed),
+                        batches: s.batches.load(Ordering::Relaxed),
+                        max_batch: s.max_batch.load(Ordering::Relaxed),
+                        searches: s.searches.load(Ordering::Relaxed),
+                        inserts: s.inserts.load(Ordering::Relaxed),
+                        deletes: s.deletes.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Exports service-level and per-shard scopes into `registry` (the
+    /// `ca-ram-telemetry/v1` JSON/Prometheus surface): admission and
+    /// shedding counters on the service scope, engine-call counters plus
+    /// queue-depth/queue-wait histograms on each shard scope.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry, name: &str) {
+        let snapshot = self.snapshot();
+        let totals = snapshot.totals();
+        let scope = registry.scope_mut(ScopeKind::Service, name);
+        scope.set_counter("shards", self.shards.len() as u64);
+        scope.set_counter("accepted", totals.accepted);
+        scope.set_counter("rejected", totals.rejected);
+        scope.set_counter("shed_deadline", totals.shed_deadline);
+        scope.set_counter("shed_shutdown", totals.shed_shutdown);
+        scope.set_counter("coalesced", totals.coalesced);
+        scope.set_counter("telemetry_shed", totals.telemetry_shed);
+        scope.set_counter("batches", totals.batches);
+        scope.set_counter("max_batch", totals.max_batch);
+        let served = totals.accepted - totals.shed_deadline - totals.shed_shutdown;
+        let offered = totals.accepted + totals.rejected;
+        scope.set_gauge(
+            "goodput_fraction",
+            if offered == 0 {
+                f64::NAN
+            } else {
+                served as f64 / offered as f64
+            },
+        );
+        for (index, (shard, counters)) in self.shards.iter().zip(&snapshot.shards).enumerate() {
+            let scope = registry.scope_mut(ScopeKind::Shard, &format!("{name}/shard{index}"));
+            scope.set_counter("accepted", counters.accepted);
+            scope.set_counter("rejected", counters.rejected);
+            scope.set_counter("shed_deadline", counters.shed_deadline);
+            scope.set_counter("coalesced", counters.coalesced);
+            scope.set_counter("telemetry_shed", counters.telemetry_shed);
+            scope.set_counter("batches", counters.batches);
+            scope.set_counter("max_batch", counters.max_batch);
+            scope.set_counter("searches", counters.searches);
+            scope.set_counter("inserts", counters.inserts);
+            scope.set_counter("deletes", counters.deletes);
+            let telemetry = shard.sink.snapshot();
+            scope.set_histogram("queue_depth", telemetry.queue_depth.clone());
+            scope.set_histogram("queue_wait_us", telemetry.queue_wait.clone());
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, finish everything queued, join the
+    /// workers. Also runs on drop; calling it explicitly just surfaces the
+    /// point of shutdown in the caller.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        for shard in &self.shards {
+            shard.close();
+        }
+        for worker in self.workers.drain(..) {
+            // A panicked worker already poisoned its queue; the drain below
+            // still sheds whatever it left behind.
+            let _ = worker.join();
+        }
+        for shard in &self.shards {
+            shard.drain_after_join();
+        }
+    }
+}
+
+impl Drop for SearchService {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.close_and_join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SearchService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchService")
+            .field("shards", &self.shards.len())
+            .field("key_bits", &self.key_bits)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `SplitMix64` finalizer: cheap, well-mixed shard routing.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_spreads_sequential_values() {
+        // Sequential inputs must not collapse onto few shards.
+        let shards = 8u64;
+        let mut seen = [0u32; 8];
+        for v in 0..10_000u64 {
+            #[allow(clippy::cast_possible_truncation)]
+            let s = (splitmix64(v) % shards) as usize;
+            seen[s] += 1;
+        }
+        for (shard, &count) in seen.iter().enumerate() {
+            assert!(
+                (800..=1_700).contains(&count),
+                "shard {shard} got {count} of 10000"
+            );
+        }
+    }
+}

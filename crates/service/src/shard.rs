@@ -1,0 +1,376 @@
+//! One engine shard: a bounded request queue, its worker loop, the batching
+//! coalescer, and the degradation ladder.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+use ca_ram_core::engine::{EngineReport, SearchEngine};
+use ca_ram_core::key::SearchKey;
+use ca_ram_core::telemetry::{HistogramSink, TelemetrySink};
+
+use crate::config::ServiceConfig;
+use crate::request::{
+    AdmissionError, PendingRequest, ServiceOp, ServiceReply, ShedReason, Slot, Ticket,
+};
+
+/// Lock-free per-shard counters; read by snapshots while the worker runs.
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused at admission (queue full).
+    pub rejected: AtomicU64,
+    /// Requests shed because their deadline expired while queued.
+    pub shed_deadline: AtomicU64,
+    /// Requests shed because the service shut down with them queued.
+    pub shed_shutdown: AtomicU64,
+    /// Searches answered by a coalesced duplicate's engine probe.
+    pub coalesced: AtomicU64,
+    /// Completions whose deep telemetry was shed (ladder rung 1).
+    pub telemetry_shed: AtomicU64,
+    /// Worker drain cycles.
+    pub batches: AtomicU64,
+    /// Largest single drain observed.
+    pub max_batch: AtomicU64,
+    /// Engine search calls issued (post-coalescing, pre-dedup counts once).
+    pub searches: AtomicU64,
+    /// Engine `insert`/`insert_sorted` calls issued.
+    pub inserts: AtomicU64,
+    /// Engine delete calls issued.
+    pub deletes: AtomicU64,
+}
+
+impl ShardStats {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct ShardQueue {
+    items: VecDeque<PendingRequest>,
+    closed: bool,
+}
+
+/// Limits copied out of [`ServiceConfig`] so the worker never re-derives
+/// thresholds per drain.
+#[derive(Debug, Clone, Copy)]
+struct ShardLimits {
+    queue_depth: usize,
+    batch_max: usize,
+    batch_threads: usize,
+    telemetry_shed_threshold: usize,
+    coalesce_threshold: usize,
+}
+
+/// One shard: a bounded MPSC queue in front of an exclusively owned engine.
+///
+/// Submitters are the many producers; exactly one worker thread drains the
+/// queue, so per-shard operation order is the admission order — a
+/// search submitted after an insert to the same shard observes it.
+pub(crate) struct Shard {
+    index: usize,
+    queue: Mutex<ShardQueue>,
+    /// Signals the worker that the queue has work (or closed).
+    not_empty: Condvar,
+    /// Signals blocking submitters that space freed up.
+    not_full: Condvar,
+    engine: RwLock<Box<dyn SearchEngine>>,
+    limits: ShardLimits,
+    pub(crate) stats: ShardStats,
+    /// Queue-depth (per drain) and queue-wait (per request, microseconds)
+    /// histograms; the wait histogram is rung 1 of the degradation ladder.
+    pub(crate) sink: HistogramSink,
+}
+
+impl Shard {
+    pub(crate) fn new(index: usize, engine: Box<dyn SearchEngine>, config: &ServiceConfig) -> Self {
+        Self {
+            index,
+            queue: Mutex::new(ShardQueue {
+                items: VecDeque::with_capacity(config.queue_depth.min(4096)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            engine: RwLock::new(engine),
+            limits: ShardLimits {
+                queue_depth: config.queue_depth,
+                batch_max: config.batch_max,
+                batch_threads: config.batch_threads,
+                telemetry_shed_threshold: config.telemetry_shed_threshold(),
+                coalesce_threshold: config.coalesce_threshold(),
+            },
+            stats: ShardStats::default(),
+            sink: HistogramSink::new(),
+        }
+    }
+
+    /// Admission control: enqueue or refuse, never block.
+    pub(crate) fn try_submit(
+        &self,
+        op: ServiceOp,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, AdmissionError> {
+        let mut queue = self.queue.lock().expect("shard queue poisoned");
+        if queue.closed {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        if queue.items.len() >= self.limits.queue_depth {
+            ShardStats::bump(&self.stats.rejected, 1);
+            return Err(AdmissionError::QueueFull {
+                shard: self.index,
+                depth: self.limits.queue_depth,
+            });
+        }
+        Ok(self.enqueue(&mut queue, op, deadline))
+    }
+
+    /// Backpressure: wait for queue space instead of refusing.
+    pub(crate) fn submit_blocking(
+        &self,
+        op: ServiceOp,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, AdmissionError> {
+        let mut queue = self.queue.lock().expect("shard queue poisoned");
+        while !queue.closed && queue.items.len() >= self.limits.queue_depth {
+            queue = self.not_full.wait(queue).expect("shard queue poisoned");
+        }
+        if queue.closed {
+            return Err(AdmissionError::ShuttingDown);
+        }
+        Ok(self.enqueue(&mut queue, op, deadline))
+    }
+
+    fn enqueue(&self, queue: &mut ShardQueue, op: ServiceOp, deadline: Option<Instant>) -> Ticket {
+        let slot = Slot::new();
+        queue.items.push_back(PendingRequest {
+            op,
+            enqueued: Instant::now(),
+            deadline,
+            slot: std::sync::Arc::clone(&slot),
+        });
+        ShardStats::bump(&self.stats.accepted, 1);
+        self.not_empty.notify_one();
+        Ticket::new(slot)
+    }
+
+    /// Marks the shard closed and wakes everyone; the worker drains what is
+    /// already queued, then exits.
+    pub(crate) fn close(&self) {
+        // Runs from Drop: recover the lock even if a worker panicked.
+        let mut queue = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        queue.closed = true;
+        drop(queue);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Completes any requests still queued after the worker exited (only
+    /// possible if the worker died); they are shed, never half-served.
+    pub(crate) fn drain_after_join(&self) {
+        let mut queue = self
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let leftovers: Vec<PendingRequest> = queue.items.drain(..).collect();
+        drop(queue);
+        let now = Instant::now();
+        for request in leftovers {
+            ShardStats::bump(&self.stats.shed_shutdown, 1);
+            request.complete(ServiceReply::Shed(ShedReason::Shutdown), now, false);
+        }
+    }
+
+    pub(crate) fn occupancy(&self) -> EngineReport {
+        self.engine
+            .read()
+            .expect("shard engine poisoned")
+            .occupancy()
+    }
+
+    /// The worker loop: drain up to `batch_max` requests, serve them, repeat
+    /// until closed *and* empty — shutdown is graceful, queued work finishes.
+    pub(crate) fn worker_loop(&self) {
+        let mut batch: Vec<PendingRequest> = Vec::with_capacity(self.limits.batch_max);
+        loop {
+            let depth_at_drain;
+            {
+                let mut queue = self.queue.lock().expect("shard queue poisoned");
+                while queue.items.is_empty() && !queue.closed {
+                    queue = self.not_empty.wait(queue).expect("shard queue poisoned");
+                }
+                if queue.items.is_empty() {
+                    return; // closed and drained
+                }
+                depth_at_drain = queue.items.len();
+                let take = depth_at_drain.min(self.limits.batch_max);
+                batch.extend(queue.items.drain(..take));
+                drop(queue);
+                self.not_full.notify_all();
+            }
+            self.sink.queue_depth(depth_at_drain as u64);
+            ShardStats::bump(&self.stats.batches, 1);
+            self.stats
+                .max_batch
+                .fetch_max(batch.len() as u64, Ordering::Relaxed);
+            self.process(&mut batch, depth_at_drain);
+        }
+    }
+
+    /// Serves one drained batch in admission order: consecutive searches are
+    /// grouped into one (possibly coalesced, possibly parallel) engine batch
+    /// call; writes are applied one at a time under the exclusive lock.
+    fn process(&self, batch: &mut Vec<PendingRequest>, depth_at_drain: usize) {
+        let deep_telemetry = depth_at_drain < self.limits.telemetry_shed_threshold;
+        let coalesce = depth_at_drain >= self.limits.coalesce_threshold;
+        let picked_up = Instant::now();
+
+        let mut run: Vec<PendingRequest> = Vec::new();
+        for request in batch.drain(..) {
+            if request.op.is_write() {
+                if !run.is_empty() {
+                    self.serve_search_run(&mut run, picked_up, deep_telemetry, coalesce);
+                }
+                self.serve_write(request, picked_up, deep_telemetry);
+            } else {
+                run.push(request);
+            }
+        }
+        if !run.is_empty() {
+            self.serve_search_run(&mut run, picked_up, deep_telemetry, coalesce);
+        }
+    }
+
+    /// One consecutive run of searches: shed expired deadlines, optionally
+    /// dedup identical keys, and answer the rest through one batch call.
+    fn serve_search_run(
+        &self,
+        run: &mut Vec<PendingRequest>,
+        picked_up: Instant,
+        deep_telemetry: bool,
+        coalesce: bool,
+    ) {
+        let mut live: Vec<PendingRequest> = Vec::with_capacity(run.len());
+        for request in run.drain(..) {
+            if request.deadline.is_some_and(|d| d <= picked_up) {
+                ShardStats::bump(&self.stats.shed_deadline, 1);
+                request.complete(
+                    ServiceReply::Shed(ShedReason::DeadlineExpired),
+                    picked_up,
+                    false,
+                );
+            } else {
+                live.push(request);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Map each request onto a (possibly shared) probe key.
+        let mut keys: Vec<SearchKey> = Vec::with_capacity(live.len());
+        let mut key_of: Vec<usize> = Vec::with_capacity(live.len());
+        if coalesce {
+            let mut seen: HashMap<SearchKey, usize> = HashMap::with_capacity(live.len());
+            for request in &live {
+                let ServiceOp::Search(key) = request.op else {
+                    unreachable!("search run contains only searches");
+                };
+                let slot = *seen.entry(key).or_insert_with(|| {
+                    keys.push(key);
+                    keys.len() - 1
+                });
+                key_of.push(slot);
+            }
+            ShardStats::bump(&self.stats.coalesced, (live.len() - keys.len()) as u64);
+        } else {
+            for request in &live {
+                let ServiceOp::Search(key) = request.op else {
+                    unreachable!("search run contains only searches");
+                };
+                keys.push(key);
+                key_of.push(keys.len() - 1);
+            }
+        }
+        ShardStats::bump(&self.stats.searches, keys.len() as u64);
+
+        let engine = self.engine.read().expect("shard engine poisoned");
+        let outcomes = if keys.len() == 1 || self.limits.batch_threads == 1 {
+            engine.search_batch(&keys)
+        } else {
+            engine.search_batch_parallel(&keys, self.limits.batch_threads)
+        };
+        drop(engine);
+
+        let shared = live.len() > keys.len();
+        for (request, &slot) in live.drain(..).zip(key_of.iter()) {
+            self.finish(
+                request,
+                ServiceReply::Search(outcomes[slot]),
+                picked_up,
+                shared,
+                deep_telemetry,
+            );
+        }
+    }
+
+    /// One write, applied in admission order under the exclusive lock.
+    fn serve_write(&self, request: PendingRequest, picked_up: Instant, deep_telemetry: bool) {
+        if request.deadline.is_some_and(|d| d <= picked_up) {
+            ShardStats::bump(&self.stats.shed_deadline, 1);
+            request.complete(
+                ServiceReply::Shed(ShedReason::DeadlineExpired),
+                picked_up,
+                false,
+            );
+            return;
+        }
+        let mut engine = self.engine.write().expect("shard engine poisoned");
+        let reply = match request.op {
+            ServiceOp::Insert(record) => {
+                ShardStats::bump(&self.stats.inserts, 1);
+                ServiceReply::Insert(engine.insert(record))
+            }
+            ServiceOp::InsertSorted(record) => {
+                ShardStats::bump(&self.stats.inserts, 1);
+                ServiceReply::Insert(engine.insert_sorted(record))
+            }
+            ServiceOp::Delete(key) => {
+                ShardStats::bump(&self.stats.deletes, 1);
+                ServiceReply::Delete(engine.delete(&key))
+            }
+            ServiceOp::Search(_) => unreachable!("writes only"),
+        };
+        drop(engine);
+        self.finish(request, reply, picked_up, false, deep_telemetry);
+    }
+
+    /// Completes a served request, recording or shedding its deep telemetry
+    /// (ladder rung 1).
+    fn finish(
+        &self,
+        request: PendingRequest,
+        reply: ServiceReply,
+        picked_up: Instant,
+        coalesced: bool,
+        deep_telemetry: bool,
+    ) {
+        if deep_telemetry {
+            let wait_us = picked_up
+                .saturating_duration_since(request.enqueued)
+                .as_micros()
+                .min(u128::from(u64::MAX));
+            #[allow(clippy::cast_possible_truncation)]
+            self.sink.queue_wait(wait_us as u64);
+        } else {
+            ShardStats::bump(&self.stats.telemetry_shed, 1);
+        }
+        request.complete(reply, picked_up, coalesced);
+    }
+}

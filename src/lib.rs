@@ -17,7 +17,10 @@
 //! * [`workloads`] (`ca-ram-workloads`) — synthetic BGP tables, trigram
 //!   databases, traffic models, Zane bit selection;
 //! * [`softsearch`] (`ca-ram-softsearch`) — software search baselines over
-//!   a simulated cache hierarchy.
+//!   a simulated cache hierarchy;
+//! * [`service`] (`ca-ram-service`) — the sharded concurrent serving layer:
+//!   request router, bounded queues with admission control, load shedding,
+//!   and open/closed-loop load generators.
 //!
 //! # Quick start
 //!
@@ -42,5 +45,6 @@
 pub use ca_ram_cam as cam;
 pub use ca_ram_core as core;
 pub use ca_ram_hwmodel as hwmodel;
+pub use ca_ram_service as service;
 pub use ca_ram_softsearch as softsearch;
 pub use ca_ram_workloads as workloads;

@@ -1,6 +1,7 @@
 //! Instantiates the `SearchEngine` conformance suite against every backend
 //! in the workspace: the CA-RAM table, the subsystem database adapter, the
-//! six CAM baselines, and the software-index bridge.
+//! six CAM baselines, the software-index bridge, and the concurrent
+//! serving layer wrapped back into an engine.
 //!
 //! The suite (in `ca_ram::core::engine::conformance`) checks the full trait
 //! contract: insert→search round-trip, miss behavior, batch ≡ serial ≡
@@ -15,6 +16,7 @@ use ca_ram::core::key::{SearchKey, TernaryKey};
 use ca_ram::core::layout::{Record, RecordLayout};
 use ca_ram::core::subsystem::CaRamSubsystem;
 use ca_ram::core::table::{CaRamTable, TableConfig};
+use ca_ram::service::ServiceEngine;
 use ca_ram::softsearch::structures::{Arena, ChainedHash, SortedArray};
 use ca_ram::softsearch::{Hierarchy, SoftEngine};
 
@@ -86,6 +88,21 @@ fn subsystem_adapter_conforms_and_counts() {
     assert!(counters.searches > 0, "adapter searches were not counted");
     assert!(counters.hits > 0, "adapter hits were not counted");
     assert!(counters.memory_accesses >= counters.searches);
+}
+
+#[test]
+fn service_engine_conforms_exact() {
+    // The whole serving layer — admission, bounded queue, worker thread,
+    // batcher — behind the trait: every conformance op is a synchronous
+    // round trip through the concurrent path.
+    let mut engine = ServiceEngine::single_shard(Box::new(small_table())).expect("valid service");
+    check_engine(&mut engine, &exact_probes()[..12], &exact_misses());
+}
+
+#[test]
+fn service_engine_conforms_ternary() {
+    let mut engine = ServiceEngine::single_shard(Box::new(small_table())).expect("valid service");
+    check_engine(&mut engine, &ternary_probes(), &ternary_misses());
 }
 
 #[test]

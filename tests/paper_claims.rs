@@ -95,7 +95,7 @@ fn section34_bandwidth_formula_validated_by_simulation() {
             head_of_line: false,
         };
         let trace: Vec<u32> = (0..30_000u32).map(|i| i % slices).collect();
-        let report = simulate(config, trace);
+        let report = simulate(config, trace).expect("valid config");
         let formula = f64::from(slices) / 6.0;
         let achieved = report.searches_per_cycle();
         assert!(
