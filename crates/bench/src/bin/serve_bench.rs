@@ -8,9 +8,14 @@
 //!      the zero-queueing service latency; dividing its p50 by the model's
 //!      `nmem + 1` service cycles yields the wall-clock length of one model
 //!      cycle, tying the two time bases together without using any
-//!      open-loop measurement the sweep is about to grade.
-//!   2. **Find the ceiling** — an unpaced open-loop flood measures the
-//!      batched saturation throughput.
+//!      open-loop measurement the sweep is about to grade. A second,
+//!      in-process calibration drives an identical shard-sized table
+//!      directly through `search_batch` to pin `serial_keys_per_sec` — the
+//!      engine bandwidth the serving layer is graded against.
+//!   2. **Find the ceiling** — a windowed batched flood
+//!      (`ServiceClient::flood_batched`: one ring entry per shard per
+//!      batch) measures saturation capacity on the lock-free path; an
+//!      unpaced per-key flood is also recorded for comparison.
 //!   3. **Sweep** — paced open-loop points from well under the closed-loop
 //!      rate up to 3x the flood ceiling. Below the knee the measured
 //!      p50/p99 should track `simulate_latency` for the matching
@@ -18,11 +23,14 @@
 //!      admission rather than buffer without limit.
 //!
 //! Usage: `serve_bench [--records N] [--lookups N] [--shards N]
-//! [--queue-depth N] [--batch-max N] [--seed N] [--out PATH] [--smoke]`
+//! [--queue-depth N] [--batch-max N] [--flood-batch N] [--flood-window N]
+//! [--capacity-floor F] [--seed N] [--out PATH] [--smoke]`
 //!
 //! `--smoke` shrinks the workload to CI scale and turns the sanity
 //! assertions (request conservation, zero shedding at low load, rejection
-//! past saturation, telemetry export validity) into hard failures.
+//! past saturation, telemetry export validity, and the capacity-ratio
+//! floor: batched flood ≥ `--capacity-floor` × `min(shards, cores)` ×
+//! `serial_keys_per_sec`) into hard failures.
 
 use std::fmt::Write as _;
 
@@ -111,12 +119,62 @@ fn cycles_to_us(cycles: f64, cycle_secs: f64) -> f64 {
     cycles * cycle_secs * 1e6
 }
 
+/// Measures one shard-sized engine's serial `search_batch` bandwidth
+/// in-process (keys/s): the denominator of the serving-efficiency ratio.
+/// Uses its own table so the service engines stay untouched.
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+fn serial_keys_per_sec(
+    per_shard_records: usize,
+    pairs: &[(u64, u64)],
+    trace: &[SearchKey],
+) -> Result<f64> {
+    let mut table = shard_table(per_shard_records)?;
+    let keep: std::collections::HashSet<u64> = pairs
+        .iter()
+        .take(per_shard_records)
+        .map(|&(key, _)| key)
+        .collect();
+    for &(key, value) in pairs.iter().take(per_shard_records) {
+        table.insert(Record::new(TernaryKey::binary(u128::from(key), 64), value))?;
+    }
+    // Probe with trace keys that exist in this table so the hit rate (and
+    // probe depth) matches the serving workload, not a miss-heavy variant.
+    let probe: Vec<SearchKey> = trace
+        .iter()
+        .filter(|k| keep.contains(&(k.value() as u64)))
+        .copied()
+        .collect();
+    ensure(
+        probe.len() >= 256,
+        "serial calibration needs more trace keys",
+    )?;
+    let start = std::time::Instant::now();
+    let mut searched = 0usize;
+    let mut outcomes = Vec::new();
+    while searched < trace.len() || start.elapsed().as_millis() < 50 {
+        ca_ram_core::engine::SearchEngine::search_batch_into(&table, &probe, &mut outcomes);
+        searched += probe.len();
+    }
+    Ok(searched as f64 / start.elapsed().as_secs_f64())
+}
+
+/// Everything the capacity section of the report needs.
+struct CapacityReport {
+    closed_rps: f64,
+    flood_rps: f64,
+    flood_single_rps: f64,
+    serial_keys_per_sec: f64,
+    effective_workers: usize,
+    capacity_ratio: f64,
+    shard_requests: Vec<u64>,
+    routing_max_min_ratio: f64,
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn report_json(
     records: usize,
     config: &ServiceConfig,
-    closed_rps: f64,
-    flood_rps: f64,
+    capacity: &CapacityReport,
     cycle_ns: f64,
     points: &[SweepPoint],
 ) -> String {
@@ -125,9 +183,30 @@ fn report_json(
         json,
         "  \"records\": {records},\n  \"shards\": {},\n  \"queue_depth\": {},\n  \
          \"batch_max\": {},\n  \"nmem\": {NMEM},\n  \
-         \"closed_loop_rps\": {closed_rps:.1},\n  \"flood_capacity_rps\": {flood_rps:.1},\n  \
+         \"closed_loop_rps\": {:.1},\n  \"flood_capacity_rps\": {:.1},\n  \
+         \"flood_single_rps\": {:.1},\n  \"serial_keys_per_sec\": {:.1},\n  \
+         \"effective_workers\": {},\n  \"capacity_ratio\": {:.4},\n  \
          \"calibrated_cycle_ns\": {cycle_ns:.2},\n",
-        config.shards, config.queue_depth, config.batch_max,
+        config.shards,
+        config.queue_depth,
+        config.batch_max,
+        capacity.closed_rps,
+        capacity.flood_rps,
+        capacity.flood_single_rps,
+        capacity.serial_keys_per_sec,
+        capacity.effective_workers,
+        capacity.capacity_ratio,
+    );
+    let _ = write!(
+        json,
+        "  \"shard_requests\": [{}],\n  \"routing_max_min_ratio\": {:.4},\n",
+        capacity
+            .shard_requests
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        capacity.routing_max_min_ratio,
     );
     json.push_str("  \"sweep\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -171,6 +250,13 @@ fn main() -> Result<()> {
     let shards = cli.parse("shards", 4usize)?;
     let queue_depth = cli.parse("queue-depth", 256usize)?;
     let batch_max = cli.parse("batch-max", 64usize)?;
+    let flood_batch = cli.parse("flood-batch", 256usize)?;
+    let flood_window = cli.parse("flood-window", 8usize)?;
+    // Default floor: the batched flood must reach ≥ 35% of the engine
+    // bandwidth the available cores could deliver — i.e. within ~3x of the
+    // serial rate per effective worker, which holds with margin even when
+    // client and workers time-share one core. Raise it on bigger machines.
+    let capacity_floor = cli.parse("capacity-floor", 0.35f64)?;
     let seed = cli.parse("seed", 0x5E27u64)?;
     let out = cli.parse("out", "BENCH_service.json".to_string())?;
     ensure(records > 0, "--records must be > 0")?;
@@ -219,11 +305,41 @@ fn main() -> Result<()> {
         "calibration degenerate: closed-loop p50 was below timer resolution",
     )?;
 
-    // -- Ceiling: unpaced flood, full batching.
-    let flood = client.open_loop(&trace, f64::INFINITY);
+    // -- Calibrate the engine itself: serial batch bandwidth in-process.
+    let serial_rate = serial_keys_per_sec(records.div_ceil(shards), &workload.pairs, &trace)?;
+    // The capacity gate scales by how many shard workers can actually run
+    // concurrently — on a box with fewer cores than shards, the workers
+    // time-share and `shards × serial` is unreachable by construction.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let effective_workers = shards.min(cores);
     println!(
-        "flood: {:.0} req/s achieved, {} rejected of {}",
-        flood.achieved_rps, flood.rejected, flood.offered
+        "serial engine: {:.0} keys/s; {effective_workers} of {shards} workers can run concurrently",
+        serial_rate
+    );
+
+    // -- Ceiling: windowed batched flood on the lock-free path, plus the
+    //    per-key flood for comparison. The flood trace is the lookup trace
+    //    repeated to at least 32k keys so the measurement window outlasts
+    //    scheduler jitter.
+    let mut flood_trace = trace.clone();
+    while flood_trace.len() < 32_000 {
+        flood_trace.extend_from_slice(&trace);
+    }
+    let flood = client.flood_batched(&flood_trace, flood_batch, flood_window);
+    println!(
+        "batched flood ({flood_batch}/batch, window {flood_window}): {:.0} req/s achieved, \
+         {} shed of {}",
+        flood.achieved_rps, flood.shed, flood.offered
+    );
+    let flood_single = client.open_loop(&trace, f64::INFINITY);
+    println!(
+        "per-key flood: {:.0} req/s achieved, {} rejected of {}",
+        flood_single.achieved_rps, flood_single.rejected, flood_single.offered
+    );
+    let capacity_ratio = flood.achieved_rps / (serial_rate * effective_workers as f64).max(1e-9);
+    println!(
+        "capacity ratio: {:.2} of {effective_workers} x serial (floor {capacity_floor})",
+        capacity_ratio
     );
 
     // -- Sweep: under the closed-loop knee up to 3x the flood ceiling.
@@ -276,6 +392,23 @@ fn main() -> Result<()> {
     ensure(scopes > shards, "telemetry export missing per-shard scopes")?;
     println!("telemetry export: {scopes} scopes valid");
 
+    // -- Routing balance: requests per shard, hottest over coldest.
+    let snapshot = service.snapshot();
+    let shard_requests: Vec<u64> = snapshot.shards.iter().map(|s| s.accepted).collect();
+    let max_requests = shard_requests.iter().copied().max().unwrap_or(0);
+    let min_requests = shard_requests.iter().copied().min().unwrap_or(0);
+    let routing_max_min_ratio = if min_requests > 0 {
+        max_requests as f64 / min_requests as f64
+    } else {
+        f64::INFINITY
+    };
+    let totals = snapshot.totals();
+    println!(
+        "routing balance: {shard_requests:?} requests/shard (max/min {routing_max_min_ratio:.2}); \
+         {} parks / {} unparks, {} batch entries carrying {} keys",
+        totals.parks, totals.unparks, totals.batch_entries, totals.batch_keys
+    );
+
     // -- Sanity gates: always-on conservation, the rest hard under --smoke.
     for p in &points {
         let m = &p.measured;
@@ -313,17 +446,33 @@ fn main() -> Result<()> {
             (0.05..=20.0).contains(&p50_ratio),
             "low-load measured p50 does not track the queue model",
         )?;
-        println!("smoke gates passed (low-load p50 measured/model = {p50_ratio:.2})");
+        // Capacity-ratio floor: the serving layer may not throw away more
+        // than (1 - floor) of the engine bandwidth the machine can reach.
+        ensure(
+            capacity_ratio >= capacity_floor,
+            "batched flood capacity fell below the serving-efficiency floor",
+        )?;
+        ensure(
+            routing_max_min_ratio.is_finite() && routing_max_min_ratio < 2.0,
+            "SplitMix64 routing balance degenerated (max/min >= 2)",
+        )?;
+        println!(
+            "smoke gates passed (low-load p50 measured/model = {p50_ratio:.2}, \
+             capacity ratio {capacity_ratio:.2} >= {capacity_floor})"
+        );
     }
 
-    let json = report_json(
-        records,
-        &config,
-        closed.achieved_rps,
-        flood.achieved_rps,
-        cycle_secs * 1e9,
-        &points,
-    );
+    let capacity = CapacityReport {
+        closed_rps: closed.achieved_rps,
+        flood_rps: flood.achieved_rps,
+        flood_single_rps: flood_single.achieved_rps,
+        serial_keys_per_sec: serial_rate,
+        effective_workers,
+        capacity_ratio,
+        shard_requests,
+        routing_max_min_ratio,
+    };
+    let json = report_json(records, &config, &capacity, cycle_secs * 1e9, &points);
     write_text_atomic(&out, &json)?;
     println!("wrote {out}");
     Ok(())

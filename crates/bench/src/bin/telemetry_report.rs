@@ -8,8 +8,10 @@
 //! CAM baselines and the software baseline have no native sinks; their
 //! per-engine metrics are derived from [`EngineOutcome`] streams. The
 //! input-controller queue model contributes queue-depth and wait-cycle
-//! distributions, the subsystem contributes per-database scopes, and
-//! design A contributes per-slice occupancy.
+//! distributions, the subsystem contributes per-database scopes, design A
+//! contributes per-slice occupancy, and a live [`SearchService`] instance
+//! contributes the serving scopes (ring batching, park/unpark, and
+//! routing-balance counters from the lock-free shard path).
 //!
 //! Everything is aggregated in a [`MetricsRegistry`] and exported twice:
 //! schema-versioned JSON (`BENCH_telemetry.json`) and Prometheus text
@@ -30,12 +32,15 @@ use ca_ram_core::controller::{simulate_with_sink, QueueModelConfig};
 use ca_ram_core::engine::{EngineOutcome, SearchEngine};
 use ca_ram_core::index::RangeSelect;
 use ca_ram_core::key::{SearchKey, TernaryKey};
-use ca_ram_core::layout::Record;
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::subsystem::CaRamSubsystem;
+use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram_core::telemetry::{
     parse_json, to_json, to_prometheus, validate_json, Histogram, HistogramSink, MetricsRegistry,
     ScopeKind,
 };
+use ca_ram_service::{SearchService, ServiceConfig};
 use ca_ram_softsearch::cache::Hierarchy;
 use ca_ram_softsearch::structures::{Arena, ChainedHash};
 use ca_ram_softsearch::SoftEngine;
@@ -301,6 +306,67 @@ fn main() -> Result<()> {
             scope.set_histogram("queue_depth", snap.queue_depth.clone());
             scope.set_histogram("probe_length", snap.probe_length.clone());
         }
+    }
+    rule(72);
+
+    // ---- Concurrent serving layer: ring and park/unpark counters ---------
+    {
+        let shards = 2usize;
+        let per_shard = records.div_ceil(shards);
+        let engines = (0..shards)
+            .map(|_| {
+                let layout = RecordLayout::new(64, false, 64);
+                // 3x headroom over a uniform split absorbs routing skew.
+                let buckets = (per_shard * 3).div_ceil(8).max(16);
+                let rows_log2 = buckets.next_power_of_two().trailing_zeros();
+                let table_config = TableConfig {
+                    rows_log2,
+                    row_bits: 8 * layout.slot_bits(),
+                    layout,
+                    arrangement: Arrangement::Horizontal(1),
+                    probe: ProbePolicy::Linear,
+                    overflow: OverflowPolicy::Probe {
+                        max_steps: u32::MAX,
+                    },
+                };
+                CaRamTable::new(table_config, Box::new(RangeSelect::new(0, rows_log2)))
+                    .map(|t| Box::new(t) as Box<dyn SearchEngine>)
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let service = SearchService::new(
+            ServiceConfig {
+                shards,
+                ..ServiceConfig::default()
+            },
+            engines,
+        )?;
+        for &(k, v) in &pairs {
+            service.insert_sync(Record::new(TernaryKey::binary(u128::from(k), 64), v))?;
+        }
+        // Batched submissions exercise the ring fan-out; the synchronous
+        // tail exercises the single-request completion slots.
+        for chunk in dict_keys.chunks(64) {
+            let completion = service
+                .try_submit_batch(chunk)
+                .expect("serial batch admission never sees a full ring")
+                .wait();
+            assert_eq!(completion.replies.len(), chunk.len());
+        }
+        for key in dict_keys.iter().take(256) {
+            let _ = service.search_sync(key);
+        }
+        service.export_metrics(&mut registry, "service");
+        let totals = service.snapshot().totals();
+        println!(
+            "Serving layer ({} shards, {} keys batched + 256 single):",
+            shards,
+            dict_keys.len()
+        );
+        println!(
+            "  accepted={}  batch_entries={}  batch_keys={}  parks={}  unparks={}",
+            totals.accepted, totals.batch_entries, totals.batch_keys, totals.parks, totals.unparks
+        );
+        service.shutdown();
     }
     rule(72);
 

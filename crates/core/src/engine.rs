@@ -148,6 +148,18 @@ pub trait SearchEngine: Send + Sync {
         keys.iter().map(|k| self.search(k)).collect()
     }
 
+    /// Looks up a batch of keys serially into a caller-owned buffer,
+    /// clearing it first — the serving layer's hot path, where the buffer
+    /// (and any backend probe scratch) is reused across drains so the
+    /// steady state allocates nothing.
+    ///
+    /// Provided method; backends with reusable probe scratch should
+    /// override it alongside [`SearchEngine::search_batch`].
+    fn search_batch_into(&self, keys: &[SearchKey], out: &mut Vec<EngineOutcome>) {
+        out.clear();
+        out.extend(keys.iter().map(|k| self.search(k)));
+    }
+
     /// Looks up a batch of keys across `threads` worker threads
     /// (0 = all available cores), discarding statistics.
     fn search_batch_parallel(&self, keys: &[SearchKey], threads: usize) -> Vec<EngineOutcome> {

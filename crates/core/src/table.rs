@@ -1610,6 +1610,14 @@ impl crate::engine::SearchEngine for CaRamTable {
             .collect()
     }
 
+    fn search_batch_into(&self, keys: &[SearchKey], out: &mut Vec<crate::engine::EngineOutcome>) {
+        out.clear();
+        let mut homes = BucketList::new();
+        out.extend(keys.iter().map(|key| {
+            crate::engine::EngineOutcome::from(self.search_with_scratch(key, &mut homes))
+        }));
+    }
+
     fn search_batch_parallel_stats(
         &self,
         keys: &[SearchKey],

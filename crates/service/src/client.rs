@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use ca_ram_core::key::SearchKey;
 
-use crate::request::{ServiceOp, ServiceReply};
+use crate::request::{AdmissionError, ServiceOp, ServiceReply};
 use crate::service::SearchService;
 
 /// Order statistics over a latency sample set, in microseconds.
@@ -167,6 +167,96 @@ impl<'a> ServiceClient<'a> {
         }
     }
 
+    /// Floods `keys` as batched searches: slices of `batch` keys submitted
+    /// through [`SearchService::try_submit_batch`] with up to `window`
+    /// batches in flight — one ring entry per involved shard per batch, so
+    /// per-key queue traffic disappears. A full queue waits for the oldest
+    /// outstanding batch instead of rejecting (the window is the
+    /// backpressure), so this measures drain capacity, not rejection speed.
+    ///
+    /// Latency samples are per batch: `latency` is submission → last
+    /// sub-batch completion, `queue_wait` the slowest sub-batch's wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` or `window` is zero.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn flood_batched(&self, keys: &[SearchKey], batch: usize, window: usize) -> OpenLoopReport {
+        assert!(batch > 0, "need a batch size");
+        assert!(window > 0, "need an in-flight window");
+        let mut outstanding = std::collections::VecDeque::with_capacity(window);
+        let mut latencies = Vec::with_capacity(keys.len().div_ceil(batch));
+        let mut queue_waits = Vec::with_capacity(latencies.capacity());
+        let mut completed = 0u64;
+        let mut rejected = 0u64;
+        let mut shed = 0u64;
+        let mut reap = |completion: crate::request::BatchCompletion,
+                        latencies: &mut Vec<u64>,
+                        queue_waits: &mut Vec<u64>| {
+            let batch_shed = completion.shed() as u64;
+            shed += batch_shed;
+            completed += completion.replies.len() as u64 - batch_shed;
+            latencies.push(duration_us(completion.total));
+            queue_waits.push(duration_us(completion.queue_wait));
+        };
+        let start = Instant::now();
+        let mut submit_elapsed = 0.0;
+        for chunk in keys.chunks(batch) {
+            loop {
+                match self.service.try_submit_batch(chunk) {
+                    Ok(ticket) => {
+                        outstanding.push_back(ticket);
+                        if outstanding.len() >= window {
+                            let ticket: crate::request::BatchTicket =
+                                outstanding.pop_front().expect("window is non-empty");
+                            reap(ticket.wait(), &mut latencies, &mut queue_waits);
+                        }
+                        break;
+                    }
+                    Err(AdmissionError::QueueFull { .. }) => {
+                        // Backpressure: retire the oldest batch, try again.
+                        match outstanding.pop_front() {
+                            Some(ticket) => {
+                                reap(ticket.wait(), &mut latencies, &mut queue_waits);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    Err(AdmissionError::ShuttingDown) => {
+                        rejected += chunk.len() as u64;
+                        break;
+                    }
+                }
+            }
+            submit_elapsed = start.elapsed().as_secs_f64();
+        }
+        for ticket in outstanding {
+            reap(ticket.wait(), &mut latencies, &mut queue_waits);
+        }
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        OpenLoopReport {
+            offered: keys.len() as u64,
+            offered_rps: if submit_elapsed > 0.0 {
+                keys.len() as f64 / submit_elapsed
+            } else {
+                0.0
+            },
+            completed,
+            rejected,
+            shed,
+            coalesced: 0,
+            elapsed_secs,
+            achieved_rps: if elapsed_secs > 0.0 {
+                completed as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_samples(&mut latencies),
+            queue_wait: LatencySummary::from_samples(&mut queue_waits),
+        }
+    }
+
     /// Runs `clients` concurrent closed-loop clients, each submitting
     /// `ops_per_client` searches (blocking admission, one in flight per
     /// client) over an interleaved slice of `keys`.
@@ -229,17 +319,31 @@ impl<'a> ServiceClient<'a> {
     }
 }
 
-/// Sleeps (coarsely) then spins (finely) until `due`.
+/// Waits until the absolute deadline `due`: coarse sleep while far out,
+/// `yield_now` inside the scheduler-jitter window, a busy spin only for the
+/// last few microseconds.
+///
+/// The deadline is absolute (`start + i × interval`), so one late arrival
+/// does not push every later arrival back — the pacer catches up instead of
+/// accumulating drift. The yield phase matters on small machines: a hard
+/// spin here steals the CPU from the shard workers and shows up as
+/// queue-wait tail that is pacing artifact, not queue behavior.
 fn pace(due: Instant) {
-    const SPIN_WINDOW: Duration = Duration::from_micros(50);
+    /// Below this remaining time, yield instead of sleeping: `sleep` wakes
+    /// a whole scheduler tick late, which at low load dominated p99.
+    const SLEEP_SLACK: Duration = Duration::from_micros(300);
+    /// Below this remaining time, spin: a yield could overshoot.
+    const SPIN_WINDOW: Duration = Duration::from_micros(5);
     loop {
         let now = Instant::now();
         if now >= due {
             return;
         }
         let remaining = due - now;
-        if remaining > SPIN_WINDOW {
-            std::thread::sleep(remaining.saturating_sub(SPIN_WINDOW));
+        if remaining > SLEEP_SLACK {
+            std::thread::sleep(remaining.saturating_sub(SLEEP_SLACK));
+        } else if remaining > SPIN_WINDOW {
+            std::thread::yield_now();
         } else {
             std::hint::spin_loop();
         }

@@ -9,6 +9,7 @@ use ca_ram_core::key::{SearchKey, TernaryKey};
 use ca_ram_core::layout::Record;
 
 use crate::config::ServiceConfig;
+use crate::request::{AdmissionError, ServiceReply};
 use crate::service::SearchService;
 
 /// A [`SearchService`] behind the [`SearchEngine`] trait.
@@ -82,6 +83,27 @@ impl SearchEngine for ServiceEngine {
 
     fn occupancy(&self) -> EngineReport {
         self.service.occupancy()
+    }
+
+    fn search_batch(&self, keys: &[SearchKey]) -> Vec<EngineOutcome> {
+        // Drive the real batched path: one submission, one ring entry per
+        // involved shard, one completion. No deadline — like the sync
+        // surface, the trait contract is every key gets a real answer.
+        let completion = loop {
+            match self.service.try_submit_batch_with_deadline(keys, None) {
+                Ok(ticket) => break ticket.wait(),
+                Err(AdmissionError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(AdmissionError::ShuttingDown) => panic!("service shutting down"),
+            }
+        };
+        completion
+            .replies
+            .into_iter()
+            .map(|reply| match reply {
+                ServiceReply::Search(outcome) => outcome,
+                other => panic!("batch search answered with {other:?}"),
+            })
+            .collect()
     }
 }
 

@@ -14,9 +14,13 @@
 //!   [`QueueModelConfig`](ca_ram_core::controller::QueueModelConfig) so
 //!   measured latencies can be compared against the cycle model;
 //! * [`request`] — the request/reply vocabulary: [`ServiceOp`],
-//!   [`ServiceReply`], completion [`Ticket`]s, and admission errors;
+//!   [`ServiceReply`], atomic completion slots behind [`Ticket`] /
+//!   [`BatchTicket`], and admission errors;
+//! * `ring` (internal) — the bounded lock-free MPSC ring and the
+//!   spin-then-park worker parker each shard queues through;
 //! * [`service`] — [`SearchService`]: the shard router (hash on the key
-//!   value), per-shard worker threads behind bounded queues, admission
+//!   value), per-shard worker threads behind lock-free rings, single-pass
+//!   batch submission ([`SearchService::try_submit_batch`]), admission
 //!   control, and telemetry export;
 //! * [`engine`] — [`ServiceEngine`]: the whole service re-packaged as a
 //!   `SearchEngine`, so conformance suites and the differential fuzzer can
@@ -50,11 +54,15 @@ pub mod client;
 pub mod config;
 pub mod engine;
 pub mod request;
+mod ring;
 pub mod service;
 mod shard;
 
 pub use client::{ClosedLoopReport, LatencySummary, OpenLoopReport, ServiceClient};
 pub use config::ServiceConfig;
 pub use engine::ServiceEngine;
-pub use request::{AdmissionError, Completion, ServiceOp, ServiceReply, ShedReason, Ticket};
-pub use service::{SearchService, ServiceSnapshot, ShardSnapshot};
+pub use request::{
+    AdmissionError, BatchCompletion, BatchTicket, Completion, ServiceOp, ServiceReply, ShedReason,
+    Ticket,
+};
+pub use service::{route_shard, SearchService, ServiceSnapshot, ShardSnapshot};

@@ -1,8 +1,18 @@
 //! The request/reply vocabulary of the serving layer.
+//!
+//! Completion hand-off is lock-free: a worker fills an atomic `Slot`
+//! (release store of a state word) and the waiter either observes it in a
+//! short spin or parks; the filler issues at most one unpark per waiter.
+//! Batch submissions share one `BatchSlot` across every shard sub-batch —
+//! workers write disjoint reply positions and the last one to finish
+//! (atomic countdown) publishes the whole batch.
 
+use std::cell::UnsafeCell;
 use std::error::Error;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
 use std::time::{Duration, Instant};
 
 use ca_ram_core::engine::EngineOutcome;
@@ -81,6 +91,41 @@ pub struct Completion {
     pub coalesced: bool,
 }
 
+/// A finished key batch: one reply per submitted key, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCompletion {
+    /// Per-key replies ([`ServiceReply::Search`] or [`ServiceReply::Shed`]),
+    /// index-aligned with the submitted keys.
+    pub replies: Vec<ServiceReply>,
+    /// Longest queue wait over the per-shard sub-batches.
+    pub queue_wait: Duration,
+    /// Full batch latency (submission → last sub-batch completion).
+    pub total: Duration,
+}
+
+impl BatchCompletion {
+    /// Search outcomes in input order; `None` where the key was shed.
+    #[must_use]
+    pub fn outcomes(&self) -> Vec<Option<EngineOutcome>> {
+        self.replies
+            .iter()
+            .map(|r| match r {
+                ServiceReply::Search(outcome) => Some(*outcome),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of keys shed (deadline or shutdown).
+    #[must_use]
+    pub fn shed(&self) -> usize {
+        self.replies
+            .iter()
+            .filter(|r| matches!(r, ServiceReply::Shed(_)))
+            .count()
+    }
+}
+
 /// Why a submission was refused at admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionError {
@@ -108,27 +153,105 @@ impl fmt::Display for AdmissionError {
 
 impl Error for AdmissionError {}
 
-/// The slot a worker fills and a waiter observes.
+/// Slot state machine: EMPTY →(waiter) WAITING →(filler) FILLED →(taker)
+/// TAKEN, or EMPTY →(filler) FILLED directly when nobody waits yet.
+const EMPTY: u32 = 0;
+const WAITING: u32 = 1;
+const FILLED: u32 = 2;
+const TAKEN: u32 = 3;
+
+/// Iterations a waiter spins before arming the park protocol. Kept small:
+/// on a saturated box the worker needs the CPU more than the waiter does.
+const WAIT_SPINS: u32 = 64;
+
+/// The lock-free slot a worker fills and a waiter observes.
+///
+/// Exactly one filler (the shard worker or the shedding path) and one
+/// taker (the ticket holder) touch each slot, which is what makes the
+/// single `UnsafeCell` hand-off sound.
 #[derive(Debug)]
 pub(crate) struct Slot {
-    done: Mutex<Option<Completion>>,
-    ready: Condvar,
+    state: AtomicU32,
+    value: UnsafeCell<Option<Completion>>,
+    waiter: UnsafeCell<Option<Thread>>,
 }
+
+// SAFETY: `value` is written by the unique filler before the release swap
+// to FILLED and read by the unique taker after an acquire load of FILLED;
+// `waiter` is written by the unique waiter before its release CAS to
+// WAITING and read by the filler only after observing WAITING.
+unsafe impl Send for Slot {}
+unsafe impl Sync for Slot {}
 
 impl Slot {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Self {
-            done: Mutex::new(None),
-            ready: Condvar::new(),
+            state: AtomicU32::new(EMPTY),
+            value: UnsafeCell::new(None),
+            waiter: UnsafeCell::new(None),
         })
     }
 
+    /// Publishes the completion and wakes the waiter if one is parked.
     pub(crate) fn fill(&self, completion: Completion) {
-        let mut done = self.done.lock().expect("completion slot poisoned");
-        debug_assert!(done.is_none(), "request completed twice");
-        *done = Some(completion);
-        drop(done);
-        self.ready.notify_all();
+        // SAFETY: unique filler; the state machine still reads EMPTY or
+        // WAITING, so no taker looks at `value` yet.
+        unsafe { *self.value.get() = Some(completion) };
+        match self.state.swap(FILLED, Ordering::AcqRel) {
+            EMPTY => {}
+            WAITING => {
+                // SAFETY: the waiter stored its handle before the CAS that
+                // made us observe WAITING (release/acquire pairing above).
+                let thread = unsafe { (*self.waiter.get()).take() };
+                if let Some(thread) = thread {
+                    thread.unpark();
+                }
+            }
+            state => unreachable!("request completed twice (slot state {state})"),
+        }
+    }
+
+    /// Blocks until filled, then takes the completion.
+    fn wait_take(&self) -> Completion {
+        for _ in 0..WAIT_SPINS {
+            if self.state.load(Ordering::Acquire) == FILLED {
+                return self.take();
+            }
+            std::hint::spin_loop();
+        }
+        // SAFETY: unique waiter; the filler reads this only after our CAS
+        // below publishes WAITING.
+        unsafe { *self.waiter.get() = Some(std::thread::current()) };
+        if self
+            .state
+            .compare_exchange(EMPTY, WAITING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            while self.state.load(Ordering::Acquire) != FILLED {
+                std::thread::park();
+            }
+        }
+        self.take()
+    }
+
+    fn take(&self) -> Completion {
+        self.state.store(TAKEN, Ordering::Relaxed);
+        // SAFETY: state was FILLED (acquire-observed), so the filler's
+        // write to `value` happens-before this read, and the unique taker
+        // is the only reader.
+        unsafe { (*self.value.get()).take() }.expect("filled slot holds a completion")
+    }
+
+    fn try_take(&self) -> Option<Completion> {
+        if self
+            .state
+            .compare_exchange(FILLED, TAKEN, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // SAFETY: as in `take` — FILLED observed with acquire ordering.
+            return unsafe { (*self.value.get()).take() };
+        }
+        None
     }
 }
 
@@ -143,38 +266,151 @@ impl Ticket {
         Self { slot }
     }
 
-    /// Blocks until the request completes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the worker that owned the request panicked.
+    /// Blocks until the request completes (brief spin, then park — no lock).
     #[must_use]
     pub fn wait(self) -> Completion {
-        let mut done = self.slot.done.lock().expect("completion slot poisoned");
-        loop {
-            if let Some(completion) = done.take() {
-                return completion;
-            }
-            done = self
-                .slot
-                .ready
-                .wait(done)
-                .expect("completion slot poisoned");
-        }
+        self.slot.wait_take()
     }
 
     /// Takes the completion if the request already finished.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the worker that owned the request panicked.
     #[must_use]
     pub fn try_take(&self) -> Option<Completion> {
-        self.slot
-            .done
-            .lock()
-            .expect("completion slot poisoned")
-            .take()
+        self.slot.try_take()
+    }
+}
+
+/// The shared completion state of one key batch.
+///
+/// `replies` is partitioned across shard sub-batches: each worker writes
+/// only its own positions, so the cells never race; `pending` counts
+/// sub-batches still in flight and the transition to zero publishes the
+/// batch (release/acquire on the counter).
+#[derive(Debug)]
+pub(crate) struct BatchSlot {
+    replies: Box<[UnsafeCell<ServiceReply>]>,
+    pending: AtomicUsize,
+    /// Longest sub-batch queue wait, microseconds (atomic max).
+    queue_wait_us: AtomicU64,
+    state: AtomicU32,
+    waiter: UnsafeCell<Option<Thread>>,
+    enqueued: Instant,
+}
+
+// SAFETY: reply cells are written by at most one worker each (disjoint
+// position sets) before the release countdown, and read by the unique
+// taker after acquiring FILLED; `waiter` follows the same protocol as
+// `Slot::waiter`.
+unsafe impl Send for BatchSlot {}
+unsafe impl Sync for BatchSlot {}
+
+impl BatchSlot {
+    pub(crate) fn new(keys: usize, pending: usize) -> Arc<Self> {
+        Arc::new(Self {
+            replies: (0..keys)
+                .map(|_| UnsafeCell::new(ServiceReply::Shed(ShedReason::Shutdown)))
+                .collect(),
+            pending: AtomicUsize::new(pending),
+            queue_wait_us: AtomicU64::new(0),
+            state: AtomicU32::new(EMPTY),
+            waiter: UnsafeCell::new(None),
+            enqueued: Instant::now(),
+        })
+    }
+
+    /// When the batch was submitted.
+    pub(crate) fn enqueued(&self) -> Instant {
+        self.enqueued
+    }
+
+    /// Writes one key's reply. Caller must own `position` (be the worker
+    /// serving the sub-batch that carries it) and must not have counted
+    /// its sub-batch down yet.
+    pub(crate) fn write_reply(&self, position: u32, reply: ServiceReply) {
+        // SAFETY: positions partition the batch across sub-batches; the
+        // caller owns this one exclusively until `finish_sub` runs.
+        unsafe { *self.replies[position as usize].get() = reply };
+    }
+
+    /// Folds one sub-batch's queue wait into the batch maximum.
+    pub(crate) fn note_queue_wait(&self, wait: Duration) {
+        let us = u64::try_from(wait.as_micros()).unwrap_or(u64::MAX);
+        self.queue_wait_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Counts one sub-batch down; the last one publishes the batch and
+    /// wakes the waiter. Returns true when this call completed the batch.
+    pub(crate) fn finish_sub(&self) -> bool {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return false;
+        }
+        match self.state.swap(FILLED, Ordering::AcqRel) {
+            EMPTY => {}
+            WAITING => {
+                // SAFETY: waiter handle published before the WAITING CAS.
+                let thread = unsafe { (*self.waiter.get()).take() };
+                if let Some(thread) = thread {
+                    thread.unpark();
+                }
+            }
+            state => unreachable!("batch completed twice (slot state {state})"),
+        }
+        true
+    }
+
+    fn wait_take(&self) -> BatchCompletion {
+        for _ in 0..WAIT_SPINS {
+            if self.state.load(Ordering::Acquire) == FILLED {
+                return self.take();
+            }
+            std::hint::spin_loop();
+        }
+        // SAFETY: unique waiter, same protocol as `Slot::wait_take`.
+        unsafe { *self.waiter.get() = Some(std::thread::current()) };
+        if self
+            .state
+            .compare_exchange(EMPTY, WAITING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            while self.state.load(Ordering::Acquire) != FILLED {
+                std::thread::park();
+            }
+        }
+        self.take()
+    }
+
+    fn take(&self) -> BatchCompletion {
+        self.state.store(TAKEN, Ordering::Relaxed);
+        let replies = self
+            .replies
+            .iter()
+            // SAFETY: every writer finished before the countdown reached
+            // zero (acquire on `pending`/`state`), so the cells are stable.
+            .map(|cell| unsafe { (*cell.get()).clone() })
+            .collect();
+        BatchCompletion {
+            replies,
+            queue_wait: Duration::from_micros(self.queue_wait_us.load(Ordering::Relaxed)),
+            total: self.enqueued.elapsed(),
+        }
+    }
+}
+
+/// A handle on one in-flight key batch; wait on it for the
+/// [`BatchCompletion`].
+#[derive(Debug)]
+pub struct BatchTicket {
+    slot: Arc<BatchSlot>,
+}
+
+impl BatchTicket {
+    pub(crate) fn new(slot: Arc<BatchSlot>) -> Self {
+        Self { slot }
+    }
+
+    /// Blocks until every sub-batch completed (brief spin, then park).
+    #[must_use]
+    pub fn wait(self) -> BatchCompletion {
+        self.slot.wait_take()
     }
 }
 
@@ -199,6 +435,45 @@ impl PendingRequest {
             coalesced,
         };
         self.slot.fill(completion);
+    }
+}
+
+/// One shard's slice of a submitted key batch: the keys routed here plus
+/// the batch-array positions their replies belong at.
+#[derive(Debug)]
+pub(crate) struct PendingSubBatch {
+    pub(crate) keys: Box<[SearchKey]>,
+    pub(crate) positions: Box<[u32]>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) slot: Arc<BatchSlot>,
+}
+
+impl PendingSubBatch {
+    /// Sheds every key of this sub-batch and counts it down.
+    pub(crate) fn shed(self, reason: ShedReason) {
+        for &position in &self.positions {
+            self.slot.write_reply(position, ServiceReply::Shed(reason));
+        }
+        self.slot.finish_sub();
+    }
+}
+
+/// One entry in a shard's mailbox ring.
+#[derive(Debug)]
+pub(crate) enum RingEntry {
+    /// A single routed request.
+    Single(PendingRequest),
+    /// One shard's slice of a key batch.
+    Batch(PendingSubBatch),
+}
+
+impl RingEntry {
+    /// Requests this entry represents (keys for a batch, 1 otherwise).
+    pub(crate) fn requests(&self) -> u64 {
+        match self {
+            RingEntry::Single(_) => 1,
+            RingEntry::Batch(sub) => sub.keys.len() as u64,
+        }
     }
 }
 
@@ -242,6 +517,69 @@ mod tests {
         let completion = ticket.wait();
         assert_eq!(completion.reply, ServiceReply::Delete(3));
         assert!(!completion.coalesced);
+    }
+
+    #[test]
+    fn ticket_wait_parks_until_a_late_fill() {
+        let slot = Slot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let filler = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                slot.fill(Completion {
+                    reply: ServiceReply::Delete(1),
+                    queue_wait: Duration::ZERO,
+                    total: Duration::from_millis(20),
+                    coalesced: false,
+                });
+            })
+        };
+        assert_eq!(ticket.wait().reply, ServiceReply::Delete(1));
+        filler.join().expect("filler lives");
+    }
+
+    #[test]
+    fn batch_slot_partitions_and_counts_down() {
+        let slot = BatchSlot::new(4, 2);
+        let ticket = BatchTicket::new(Arc::clone(&slot));
+        // Sub-batch A owns positions 0 and 2; B owns 1 and 3.
+        slot.write_reply(0, ServiceReply::Search(EngineOutcome::miss(1)));
+        slot.write_reply(2, ServiceReply::Search(EngineOutcome::miss(2)));
+        slot.note_queue_wait(Duration::from_micros(7));
+        assert!(!slot.finish_sub(), "first sub-batch does not complete");
+        slot.write_reply(1, ServiceReply::Shed(ShedReason::DeadlineExpired));
+        slot.write_reply(3, ServiceReply::Search(EngineOutcome::miss(3)));
+        slot.note_queue_wait(Duration::from_micros(3));
+        assert!(slot.finish_sub(), "last sub-batch completes");
+        let completion = ticket.wait();
+        assert_eq!(completion.replies.len(), 4);
+        assert_eq!(completion.shed(), 1);
+        assert_eq!(
+            completion.outcomes(),
+            vec![
+                Some(EngineOutcome::miss(1)),
+                None,
+                Some(EngineOutcome::miss(2)),
+                Some(EngineOutcome::miss(3)),
+            ]
+        );
+        assert_eq!(completion.queue_wait, Duration::from_micros(7));
+    }
+
+    #[test]
+    fn sub_batch_shed_answers_every_position() {
+        let slot = BatchSlot::new(3, 1);
+        let ticket = BatchTicket::new(Arc::clone(&slot));
+        let sub = PendingSubBatch {
+            keys: vec![SearchKey::new(1, 8); 3].into_boxed_slice(),
+            positions: vec![0, 1, 2].into_boxed_slice(),
+            deadline: None,
+            slot: Arc::clone(&slot),
+        };
+        sub.shed(ShedReason::Shutdown);
+        let completion = ticket.wait();
+        assert_eq!(completion.shed(), 3);
     }
 
     #[test]

@@ -13,7 +13,10 @@ use ca_ram_core::layout::Record;
 use ca_ram_core::telemetry::{MetricsRegistry, ScopeKind};
 
 use crate::config::ServiceConfig;
-use crate::request::{AdmissionError, ServiceOp, ServiceReply, Ticket};
+use crate::request::{
+    AdmissionError, BatchSlot, BatchTicket, PendingSubBatch, RingEntry, ServiceOp, ServiceReply,
+    Ticket,
+};
 use crate::shard::Shard;
 
 /// Counter snapshot of one shard: admission, shedding-ladder, and
@@ -32,6 +35,10 @@ pub struct ShardSnapshot {
     pub searches: u64,
     pub inserts: u64,
     pub deletes: u64,
+    pub batch_entries: u64,
+    pub batch_keys: u64,
+    pub parks: u64,
+    pub unparks: u64,
 }
 
 impl ShardSnapshot {
@@ -47,6 +54,10 @@ impl ShardSnapshot {
         self.searches += other.searches;
         self.inserts += other.inserts;
         self.deletes += other.deletes;
+        self.batch_entries += other.batch_entries;
+        self.batch_keys += other.batch_keys;
+        self.parks += other.parks;
+        self.unparks += other.unparks;
     }
 }
 
@@ -156,10 +167,8 @@ impl SearchService {
     /// The shard a key value routes to (`SplitMix64` finalizer over the folded
     /// value, reduced mod the shard count).
     #[must_use]
-    #[allow(clippy::cast_possible_truncation)]
     pub fn shard_of_value(&self, value: u128) -> usize {
-        let folded = (value as u64) ^ ((value >> 64) as u64);
-        (splitmix64(folded) % self.shards.len() as u64) as usize
+        route_shard(value, self.shards.len())
     }
 
     fn shard_of(&self, op: &ServiceOp) -> &Arc<Shard> {
@@ -218,6 +227,115 @@ impl SearchService {
 
     fn default_deadline(&self) -> Option<Instant> {
         self.config.default_deadline.map(|d| Instant::now() + d)
+    }
+
+    /// Batched search admission: routes `keys` to their shards in one
+    /// pass, enqueues one ring entry per involved shard (carrying that
+    /// shard's sub-batch), and returns a single [`BatchTicket`] whose
+    /// completion holds one reply per key in input order.
+    ///
+    /// Admission is all-or-nothing: either every sub-batch is queued or the
+    /// whole batch is refused, so callers never see partial admission. The
+    /// configured default deadline applies.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::QueueFull`] naming the first shard without room,
+    /// [`AdmissionError::ShuttingDown`] after shutdown began.
+    pub fn try_submit_batch(
+        &self,
+        keys: &[SearchKey],
+    ) -> std::result::Result<BatchTicket, AdmissionError> {
+        self.try_submit_batch_with_deadline(keys, self.default_deadline())
+    }
+
+    /// As [`SearchService::try_submit_batch`] with an explicit absolute
+    /// deadline overriding the configured default.
+    ///
+    /// # Errors
+    ///
+    /// As [`SearchService::try_submit_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on batches longer than `u32::MAX` keys (reply positions are
+    /// 32-bit).
+    pub fn try_submit_batch_with_deadline(
+        &self,
+        keys: &[SearchKey],
+        deadline: Option<Instant>,
+    ) -> std::result::Result<BatchTicket, AdmissionError> {
+        if keys.is_empty() {
+            let slot = BatchSlot::new(0, 1);
+            slot.finish_sub();
+            return Ok(BatchTicket::new(slot));
+        }
+        // Route every key in one pass: per-shard key + position slices.
+        let mut subs: Vec<(usize, Vec<SearchKey>, Vec<u32>)> = Vec::new();
+        let mut sub_of_shard = vec![usize::MAX; self.shards.len()];
+        for (position, key) in keys.iter().enumerate() {
+            let shard = self.shard_of_value(key.value());
+            let sub = if sub_of_shard[shard] == usize::MAX {
+                sub_of_shard[shard] = subs.len();
+                subs.push((shard, Vec::new(), Vec::new()));
+                subs.len() - 1
+            } else {
+                sub_of_shard[shard]
+            };
+            subs[sub].1.push(*key);
+            subs[sub]
+                .2
+                .push(u32::try_from(position).expect("batch fits u32"));
+        }
+
+        // All-or-nothing admission: enter every involved shard's submit
+        // window, reserve one ring entry on each, roll back on any refusal.
+        let mut entered = 0usize;
+        for &(shard, _, _) in &subs {
+            if self.shards[shard].enter() {
+                entered += 1;
+            } else {
+                for &(s, _, _) in &subs[..entered] {
+                    self.shards[s].exit();
+                }
+                return Err(AdmissionError::ShuttingDown);
+            }
+        }
+        let mut reserved = 0usize;
+        let mut refused = None;
+        for &(shard, _, _) in &subs {
+            if self.shards[shard].try_reserve() {
+                reserved += 1;
+            } else {
+                refused = Some(shard);
+                break;
+            }
+        }
+        if let Some(shard) = refused {
+            for &(s, _, _) in &subs[..reserved] {
+                self.shards[s].release();
+            }
+            for &(s, _, _) in &subs {
+                self.shards[s].exit();
+            }
+            self.shards[shard].note_rejected(keys.len() as u64);
+            return Err(AdmissionError::QueueFull {
+                shard,
+                depth: self.shards[shard].depth(),
+            });
+        }
+
+        let slot = BatchSlot::new(keys.len(), subs.len());
+        for (shard, sub_keys, positions) in subs {
+            self.shards[shard].push_reserved(RingEntry::Batch(PendingSubBatch {
+                keys: sub_keys.into_boxed_slice(),
+                positions: positions.into_boxed_slice(),
+                deadline,
+                slot: Arc::clone(&slot),
+            }));
+            self.shards[shard].exit();
+        }
+        Ok(BatchTicket::new(slot))
     }
 
     /// Synchronous search: submit (blocking admission), wait, unwrap.
@@ -322,6 +440,10 @@ impl SearchService {
                         searches: s.searches.load(Ordering::Relaxed),
                         inserts: s.inserts.load(Ordering::Relaxed),
                         deletes: s.deletes.load(Ordering::Relaxed),
+                        batch_entries: s.batch_entries.load(Ordering::Relaxed),
+                        batch_keys: s.batch_keys.load(Ordering::Relaxed),
+                        parks: s.parks.load(Ordering::Relaxed),
+                        unparks: s.unparks.load(Ordering::Relaxed),
                     }
                 })
                 .collect(),
@@ -346,6 +468,18 @@ impl SearchService {
         scope.set_counter("telemetry_shed", totals.telemetry_shed);
         scope.set_counter("batches", totals.batches);
         scope.set_counter("max_batch", totals.max_batch);
+        scope.set_counter("batch_entries", totals.batch_entries);
+        scope.set_counter("batch_keys", totals.batch_keys);
+        scope.set_counter("parks", totals.parks);
+        scope.set_counter("unparks", totals.unparks);
+        // Routing balance: hottest shard over coldest, by admitted requests.
+        let max_accepted = snapshot.shards.iter().map(|s| s.accepted).max();
+        let min_accepted = snapshot.shards.iter().map(|s| s.accepted).min();
+        if let (Some(max), Some(min)) = (max_accepted, min_accepted) {
+            if min > 0 {
+                scope.set_gauge("routing_max_min_ratio", max as f64 / min as f64);
+            }
+        }
         let served = totals.accepted - totals.shed_deadline - totals.shed_shutdown;
         let offered = totals.accepted + totals.rejected;
         scope.set_gauge(
@@ -368,9 +502,25 @@ impl SearchService {
             scope.set_counter("searches", counters.searches);
             scope.set_counter("inserts", counters.inserts);
             scope.set_counter("deletes", counters.deletes);
+            scope.set_counter("batch_entries", counters.batch_entries);
+            scope.set_counter("batch_keys", counters.batch_keys);
+            scope.set_counter("parks", counters.parks);
+            scope.set_counter("unparks", counters.unparks);
+            scope.set_counter("write_epochs", shard.write_epochs());
             let telemetry = shard.sink.snapshot();
             scope.set_histogram("queue_depth", telemetry.queue_depth.clone());
             scope.set_histogram("queue_wait_us", telemetry.queue_wait.clone());
+        }
+    }
+
+    /// Begins shutdown from any thread: stops admission (subsequent
+    /// submissions return [`AdmissionError::ShuttingDown`]) and wakes the
+    /// workers, which finish what is queued. Does not join — the owner's
+    /// [`SearchService::shutdown`] or drop still does, and sheds anything
+    /// the workers never drained.
+    pub fn begin_shutdown(&self) {
+        for shard in &self.shards {
+            shard.close();
         }
     }
 
@@ -386,11 +536,14 @@ impl SearchService {
             shard.close();
         }
         for worker in self.workers.drain(..) {
-            // A panicked worker already poisoned its queue; the drain below
-            // still sheds whatever it left behind.
+            // A panicked worker abandoned its ring; the drain below still
+            // sheds whatever it left behind.
             let _ = worker.join();
         }
         for shard in &self.shards {
+            // Let in-flight submitters clear the reserve→push window, then
+            // shed anything the (now joined) worker never drained.
+            shard.await_submitters();
             shard.drain_after_join();
         }
     }
@@ -412,6 +565,17 @@ impl std::fmt::Debug for SearchService {
             .field("config", &self.config)
             .finish_non_exhaustive()
     }
+}
+
+/// The shard a key value routes to under `shards`-way sharding — the same
+/// `SplitMix64` mapping [`SearchService::shard_of_value`] uses, exposed so
+/// benchmarks and key generators can pre-partition keys before (or
+/// without) constructing a service.
+#[must_use]
+#[allow(clippy::cast_possible_truncation)]
+pub fn route_shard(value: u128, shards: usize) -> usize {
+    let folded = (value as u64) ^ ((value >> 64) as u64);
+    (splitmix64(folded) % shards.max(1) as u64) as usize
 }
 
 /// `SplitMix64` finalizer: cheap, well-mixed shard routing.

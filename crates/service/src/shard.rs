@@ -1,24 +1,44 @@
-//! One engine shard: a bounded request queue, its worker loop, the batching
-//! coalescer, and the degradation ladder.
+//! One engine shard: a lock-free mailbox ring, its worker loop, the
+//! batching coalescer, and the degradation ladder.
+//!
+//! Nothing on the steady-state search path takes a lock:
+//!
+//! * **Admission** is a relaxed occupancy reservation (`fetch_add` against
+//!   the configured depth) followed by a lock-free ring push.
+//! * **The worker** drains the ring with plain loads/stores (it is the
+//!   single consumer), parks only on the empty↔non-empty edge, and owns
+//!   the engine outright through an [`EngineCell`] — read-only searches
+//!   borrow the engine with zero atomic operations, writes bump a seqlock
+//!   epoch and republish the occupancy report.
+//! * **Completion** fills an atomic slot and unparks at most one waiter.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use ca_ram_core::engine::{EngineReport, SearchEngine};
+use ca_ram_core::engine::{EngineOutcome, EngineReport, SearchEngine};
 use ca_ram_core::key::SearchKey;
 use ca_ram_core::telemetry::{HistogramSink, TelemetrySink};
 
 use crate::config::ServiceConfig;
 use crate::request::{
-    AdmissionError, PendingRequest, ServiceOp, ServiceReply, ShedReason, Slot, Ticket,
+    AdmissionError, PendingRequest, PendingSubBatch, RingEntry, ServiceOp, ServiceReply,
+    ShedReason, Slot, Ticket,
 };
+use crate::ring::{Parker, Ring};
+
+/// Sentinel for "the engine does not report this" in the published
+/// occupancy atomics.
+const UNKNOWN: u64 = u64::MAX;
+
+/// Iterations the worker polls the ring before advertising `PARKED`. Kept
+/// small: a long spin would starve producers on saturated machines.
+const WORKER_SPINS: u32 = 64;
 
 /// Lock-free per-shard counters; read by snapshots while the worker runs.
 #[derive(Debug, Default)]
 pub(crate) struct ShardStats {
-    /// Requests admitted into the queue.
+    /// Requests admitted into the ring (batch entries count their keys).
     pub accepted: AtomicU64,
     /// Requests refused at admission (queue full).
     pub rejected: AtomicU64,
@@ -32,7 +52,7 @@ pub(crate) struct ShardStats {
     pub telemetry_shed: AtomicU64,
     /// Worker drain cycles.
     pub batches: AtomicU64,
-    /// Largest single drain observed.
+    /// Largest single drain observed, in requests.
     pub max_batch: AtomicU64,
     /// Engine search calls issued (post-coalescing, pre-dedup counts once).
     pub searches: AtomicU64,
@@ -40,18 +60,20 @@ pub(crate) struct ShardStats {
     pub inserts: AtomicU64,
     /// Engine delete calls issued.
     pub deletes: AtomicU64,
+    /// Batch ring entries admitted (`submit_batch` sub-batches).
+    pub batch_entries: AtomicU64,
+    /// Keys carried by those batch entries.
+    pub batch_keys: AtomicU64,
+    /// Times the worker blocked in `park` (empty→non-empty edges).
+    pub parks: AtomicU64,
+    /// Unpark syscalls issued by producers (should track `parks`).
+    pub unparks: AtomicU64,
 }
 
 impl ShardStats {
     fn bump(counter: &AtomicU64, by: u64) {
         counter.fetch_add(by, Ordering::Relaxed);
     }
-}
-
-#[derive(Debug)]
-struct ShardQueue {
-    items: VecDeque<PendingRequest>,
-    closed: bool,
 }
 
 /// Limits copied out of [`ServiceConfig`] so the worker never re-derives
@@ -65,19 +87,131 @@ struct ShardLimits {
     coalesce_threshold: usize,
 }
 
-/// One shard: a bounded MPSC queue in front of an exclusively owned engine.
+/// Single-writer seqlock cell around the shard's engine.
+///
+/// The worker thread is the only code that ever touches the engine, so
+/// read-only access needs no synchronization at all (a plain reborrow) and
+/// writes only bump an epoch counter — odd while a mutation is in
+/// progress, even when quiescent — and republish the occupancy report into
+/// plain atomics. Everything other threads need (`occupancy`, the epoch
+/// for telemetry) reads those atomics wait-free; the engine pointer itself
+/// is never shared outside the worker.
+struct EngineCell {
+    engine: std::cell::UnsafeCell<Box<dyn SearchEngine>>,
+    /// Mutation epoch: `2 × writes` when quiescent, odd mid-write.
+    epoch: AtomicU64,
+    records: AtomicU64,
+    capacity: AtomicU64,
+}
+
+// SAFETY: the boxed engine is accessed only from the worker thread
+// (`engine`/`write` are `unsafe fn` with that contract); the atomics carry
+// everything that crosses threads.
+unsafe impl Sync for EngineCell {}
+
+impl EngineCell {
+    fn new(engine: Box<dyn SearchEngine>) -> Self {
+        let report = engine.occupancy();
+        Self {
+            engine: std::cell::UnsafeCell::new(engine),
+            epoch: AtomicU64::new(0),
+            records: AtomicU64::new(report.records.unwrap_or(UNKNOWN)),
+            capacity: AtomicU64::new(report.capacity.unwrap_or(UNKNOWN)),
+        }
+    }
+
+    /// Borrows the engine read-only — zero atomics, wait-free.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called from the shard worker thread (the single owner);
+    /// the returned borrow must not outlive the enclosing drain step.
+    unsafe fn engine(&self) -> &dyn SearchEngine {
+        unsafe { &**self.engine.get() }
+    }
+
+    /// Runs a mutation under the epoch protocol and republishes occupancy.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called from the shard worker thread.
+    unsafe fn write<R>(&self, f: impl FnOnce(&mut dyn SearchEngine) -> R) -> R {
+        self.epoch.fetch_add(1, Ordering::Release);
+        let engine = unsafe { &mut **self.engine.get() };
+        let result = f(engine);
+        let report = engine.occupancy();
+        self.records
+            .store(report.records.unwrap_or(UNKNOWN), Ordering::Relaxed);
+        self.capacity
+            .store(report.capacity.unwrap_or(UNKNOWN), Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+        result
+    }
+
+    /// The last published occupancy — wait-free, callable from any thread.
+    fn occupancy(&self) -> EngineReport {
+        let decode = |v: u64| (v != UNKNOWN).then_some(v);
+        EngineReport {
+            records: decode(self.records.load(Ordering::Relaxed)),
+            capacity: decode(self.capacity.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Completed write generations (epoch / 2).
+    fn write_epochs(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed) / 2
+    }
+}
+
+/// One member of a pending search run, after deadline filtering.
+enum SearchItem {
+    Single(PendingRequest),
+    Sub(PendingSubBatch),
+}
+
+/// Worker-local scratch reused across drains so the steady-state path
+/// allocates nothing.
+struct Scratch {
+    entries: Vec<RingEntry>,
+    run: Vec<SearchItem>,
+    live: Vec<SearchItem>,
+    keys: Vec<SearchKey>,
+    outcomes: Vec<EngineOutcome>,
+    /// Probe index per (item, key), flattened in `live` order.
+    key_of: Vec<u32>,
+    seen: HashMap<SearchKey, u32>,
+}
+
+impl Scratch {
+    fn new(batch_max: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(batch_max),
+            run: Vec::with_capacity(batch_max),
+            live: Vec::with_capacity(batch_max),
+            keys: Vec::with_capacity(batch_max),
+            outcomes: Vec::with_capacity(batch_max),
+            key_of: Vec::with_capacity(batch_max),
+            seen: HashMap::new(),
+        }
+    }
+}
+
+/// One shard: a lock-free bounded MPSC ring in front of an exclusively
+/// owned engine.
 ///
 /// Submitters are the many producers; exactly one worker thread drains the
-/// queue, so per-shard operation order is the admission order — a
-/// search submitted after an insert to the same shard observes it.
+/// ring, so per-shard operation order is the admission order — a search
+/// submitted after an insert to the same shard observes it.
 pub(crate) struct Shard {
     index: usize,
-    queue: Mutex<ShardQueue>,
-    /// Signals the worker that the queue has work (or closed).
-    not_empty: Condvar,
-    /// Signals blocking submitters that space freed up.
-    not_full: Condvar,
-    engine: RwLock<Box<dyn SearchEngine>>,
+    ring: Ring<RingEntry>,
+    parker: Parker,
+    /// Ring entries currently reserved or queued; admission bound.
+    len: AtomicUsize,
+    /// In-flight submitters (reserve→push window); the shutdown drain
+    /// waits for this to quiesce before shedding leftovers.
+    submitters: AtomicUsize,
+    engine: EngineCell,
     limits: ShardLimits,
     pub(crate) stats: ShardStats,
     /// Queue-depth (per drain) and queue-wait (per request, microseconds)
@@ -89,13 +223,11 @@ impl Shard {
     pub(crate) fn new(index: usize, engine: Box<dyn SearchEngine>, config: &ServiceConfig) -> Self {
         Self {
             index,
-            queue: Mutex::new(ShardQueue {
-                items: VecDeque::with_capacity(config.queue_depth.min(4096)),
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            engine: RwLock::new(engine),
+            ring: Ring::new(config.queue_depth),
+            parker: Parker::new(),
+            len: AtomicUsize::new(0),
+            submitters: AtomicUsize::new(0),
+            engine: EngineCell::new(engine),
             limits: ShardLimits {
                 queue_depth: config.queue_depth,
                 batch_max: config.batch_max,
@@ -108,24 +240,84 @@ impl Shard {
         }
     }
 
+    // ---- admission primitives (shared by singles and batches) ----------
+
+    /// Enters the submit window; `false` means the shard is closed.
+    pub(crate) fn enter(&self) -> bool {
+        self.submitters.fetch_add(1, Ordering::SeqCst);
+        if self.parker.is_closed() {
+            self.exit();
+            return false;
+        }
+        true
+    }
+
+    /// Leaves the submit window.
+    pub(crate) fn exit(&self) {
+        self.submitters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Reserves one ring entry against the admission bound.
+    pub(crate) fn try_reserve(&self) -> bool {
+        if self.len.fetch_add(1, Ordering::Relaxed) >= self.limits.queue_depth {
+            self.release();
+            return false;
+        }
+        true
+    }
+
+    /// Releases an unused reservation.
+    pub(crate) fn release(&self) {
+        self.len.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes a reserved entry and wakes the worker if it sleeps.
+    /// Caller must hold the submit window and a reservation.
+    pub(crate) fn push_reserved(&self, entry: RingEntry) {
+        let requests = entry.requests();
+        if let RingEntry::Batch(sub) = &entry {
+            ShardStats::bump(&self.stats.batch_entries, 1);
+            ShardStats::bump(&self.stats.batch_keys, sub.keys.len() as u64);
+        }
+        self.ring
+            .push(entry)
+            .unwrap_or_else(|_| unreachable!("reservation bounds ring occupancy"));
+        ShardStats::bump(&self.stats.accepted, requests);
+        if self.parker.wake() {
+            ShardStats::bump(&self.stats.unparks, 1);
+        }
+    }
+
+    /// The configured admission bound, for error reporting.
+    pub(crate) fn depth(&self) -> usize {
+        self.limits.queue_depth
+    }
+
+    /// Bumps the rejected counter by `n` requests.
+    pub(crate) fn note_rejected(&self, n: u64) {
+        ShardStats::bump(&self.stats.rejected, n);
+    }
+
     /// Admission control: enqueue or refuse, never block.
     pub(crate) fn try_submit(
         &self,
         op: ServiceOp,
         deadline: Option<Instant>,
     ) -> Result<Ticket, AdmissionError> {
-        let mut queue = self.queue.lock().expect("shard queue poisoned");
-        if queue.closed {
+        if !self.enter() {
             return Err(AdmissionError::ShuttingDown);
         }
-        if queue.items.len() >= self.limits.queue_depth {
-            ShardStats::bump(&self.stats.rejected, 1);
+        if !self.try_reserve() {
+            self.exit();
+            self.note_rejected(1);
             return Err(AdmissionError::QueueFull {
                 shard: self.index,
                 depth: self.limits.queue_depth,
             });
         }
-        Ok(self.enqueue(&mut queue, op, deadline))
+        let ticket = self.enqueue(op, deadline);
+        self.exit();
+        Ok(ticket)
     }
 
     /// Backpressure: wait for queue space instead of refusing.
@@ -134,193 +326,290 @@ impl Shard {
         op: ServiceOp,
         deadline: Option<Instant>,
     ) -> Result<Ticket, AdmissionError> {
-        let mut queue = self.queue.lock().expect("shard queue poisoned");
-        while !queue.closed && queue.items.len() >= self.limits.queue_depth {
-            queue = self.not_full.wait(queue).expect("shard queue poisoned");
+        let mut backoff = 0u32;
+        loop {
+            if !self.enter() {
+                return Err(AdmissionError::ShuttingDown);
+            }
+            if self.try_reserve() {
+                let ticket = self.enqueue(op, deadline);
+                self.exit();
+                return Ok(ticket);
+            }
+            self.exit();
+            // No condvar to sleep on: poll with a yield-then-sleep backoff.
+            // Backpressure is the closed-loop/test path, not the hot one.
+            backoff = (backoff + 1).min(16);
+            if backoff < 8 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
         }
-        if queue.closed {
-            return Err(AdmissionError::ShuttingDown);
-        }
-        Ok(self.enqueue(&mut queue, op, deadline))
     }
 
-    fn enqueue(&self, queue: &mut ShardQueue, op: ServiceOp, deadline: Option<Instant>) -> Ticket {
+    fn enqueue(&self, op: ServiceOp, deadline: Option<Instant>) -> Ticket {
         let slot = Slot::new();
-        queue.items.push_back(PendingRequest {
+        self.push_reserved(RingEntry::Single(PendingRequest {
             op,
             enqueued: Instant::now(),
             deadline,
             slot: std::sync::Arc::clone(&slot),
-        });
-        ShardStats::bump(&self.stats.accepted, 1);
-        self.not_empty.notify_one();
+        }));
         Ticket::new(slot)
     }
 
-    /// Marks the shard closed and wakes everyone; the worker drains what is
+    /// Marks the shard closed and wakes the worker; it drains what is
     /// already queued, then exits.
     pub(crate) fn close(&self) {
-        // Runs from Drop: recover the lock even if a worker panicked.
-        let mut queue = self
-            .queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        queue.closed = true;
-        drop(queue);
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
+        self.parker.close();
     }
 
-    /// Completes any requests still queued after the worker exited (only
-    /// possible if the worker died); they are shed, never half-served.
+    /// Sheds anything still ringed after the worker exited: late guarded
+    /// pushes, or leftovers of a worker that died. Callers must first join
+    /// the worker (making this thread the ring's consumer) and let the
+    /// submit windows quiesce via [`Shard::await_submitters`].
     pub(crate) fn drain_after_join(&self) {
-        let mut queue = self
-            .queue
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let leftovers: Vec<PendingRequest> = queue.items.drain(..).collect();
-        drop(queue);
         let now = Instant::now();
-        for request in leftovers {
-            ShardStats::bump(&self.stats.shed_shutdown, 1);
-            request.complete(ServiceReply::Shed(ShedReason::Shutdown), now, false);
-        }
-    }
-
-    pub(crate) fn occupancy(&self) -> EngineReport {
-        self.engine
-            .read()
-            .expect("shard engine poisoned")
-            .occupancy()
-    }
-
-    /// The worker loop: drain up to `batch_max` requests, serve them, repeat
-    /// until closed *and* empty — shutdown is graceful, queued work finishes.
-    pub(crate) fn worker_loop(&self) {
-        let mut batch: Vec<PendingRequest> = Vec::with_capacity(self.limits.batch_max);
-        loop {
-            let depth_at_drain;
-            {
-                let mut queue = self.queue.lock().expect("shard queue poisoned");
-                while queue.items.is_empty() && !queue.closed {
-                    queue = self.not_empty.wait(queue).expect("shard queue poisoned");
+        while let Some(entry) = self.ring.pop() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            ShardStats::bump(&self.stats.shed_shutdown, entry.requests());
+            match entry {
+                RingEntry::Single(request) => {
+                    request.complete(ServiceReply::Shed(ShedReason::Shutdown), now, false);
                 }
-                if queue.items.is_empty() {
-                    return; // closed and drained
-                }
-                depth_at_drain = queue.items.len();
-                let take = depth_at_drain.min(self.limits.batch_max);
-                batch.extend(queue.items.drain(..take));
-                drop(queue);
-                self.not_full.notify_all();
+                RingEntry::Batch(sub) => sub.shed(ShedReason::Shutdown),
             }
-            self.sink.queue_depth(depth_at_drain as u64);
-            ShardStats::bump(&self.stats.batches, 1);
-            self.stats
-                .max_batch
-                .fetch_max(batch.len() as u64, Ordering::Relaxed);
-            self.process(&mut batch, depth_at_drain);
         }
     }
 
-    /// Serves one drained batch in admission order: consecutive searches are
-    /// grouped into one (possibly coalesced, possibly parallel) engine batch
-    /// call; writes are applied one at a time under the exclusive lock.
-    fn process(&self, batch: &mut Vec<PendingRequest>, depth_at_drain: usize) {
+    /// Spins until no submitter is inside the reserve→push window. Only
+    /// meaningful after [`Shard::close`]: new submitters bounce off the
+    /// closed check, so the count can only drain.
+    pub(crate) fn await_submitters(&self) {
+        while self.submitters.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// The last published occupancy report — wait-free.
+    pub(crate) fn occupancy(&self) -> EngineReport {
+        self.engine.occupancy()
+    }
+
+    /// Completed engine write generations (telemetry).
+    pub(crate) fn write_epochs(&self) -> u64 {
+        self.engine.write_epochs()
+    }
+
+    /// The worker loop: drain up to `batch_max` ring entries, serve them,
+    /// repeat until closed *and* empty — shutdown is graceful, queued work
+    /// finishes. Parks (after a short spin) only when the ring is empty.
+    pub(crate) fn worker_loop(&self) {
+        self.parker.register_worker();
+        let mut scratch = Scratch::new(self.limits.batch_max);
+        loop {
+            let depth_at_drain = self.len.load(Ordering::Relaxed);
+            while scratch.entries.len() < self.limits.batch_max {
+                match self.ring.pop() {
+                    Some(entry) => {
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                        scratch.entries.push(entry);
+                    }
+                    None => break,
+                }
+            }
+            if scratch.entries.is_empty() {
+                if self.parker.is_closed() {
+                    if self.ring.is_empty() {
+                        return;
+                    }
+                    continue;
+                }
+                let mut found = false;
+                for _ in 0..WORKER_SPINS {
+                    if !self.ring.is_empty() {
+                        found = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                if !found {
+                    let ring = &self.ring;
+                    if self.parker.sleep(|| !ring.is_empty()) {
+                        ShardStats::bump(&self.stats.parks, 1);
+                    }
+                }
+                continue;
+            }
+            self.sink
+                .queue_depth(depth_at_drain.max(scratch.entries.len()) as u64);
+            ShardStats::bump(&self.stats.batches, 1);
+            let requests: u64 = scratch.entries.iter().map(RingEntry::requests).sum();
+            self.stats.max_batch.fetch_max(requests, Ordering::Relaxed);
+            self.process(&mut scratch, depth_at_drain.max(1));
+        }
+    }
+
+    /// Serves one drained set of entries in admission order: consecutive
+    /// searches (singles and batch slices alike) merge into one engine
+    /// batch call; writes are applied one at a time by the owning worker.
+    fn process(&self, scratch: &mut Scratch, depth_at_drain: usize) {
         let deep_telemetry = depth_at_drain < self.limits.telemetry_shed_threshold;
         let coalesce = depth_at_drain >= self.limits.coalesce_threshold;
         let picked_up = Instant::now();
 
-        let mut run: Vec<PendingRequest> = Vec::new();
-        for request in batch.drain(..) {
-            if request.op.is_write() {
-                if !run.is_empty() {
-                    self.serve_search_run(&mut run, picked_up, deep_telemetry, coalesce);
+        let mut entries = std::mem::take(&mut scratch.entries);
+        for entry in entries.drain(..) {
+            match entry {
+                RingEntry::Single(request) if request.op.is_write() => {
+                    if !scratch.run.is_empty() {
+                        self.serve_search_run(scratch, picked_up, deep_telemetry, coalesce);
+                    }
+                    self.serve_write(request, picked_up, deep_telemetry);
                 }
-                self.serve_write(request, picked_up, deep_telemetry);
-            } else {
-                run.push(request);
+                RingEntry::Single(request) => scratch.run.push(SearchItem::Single(request)),
+                RingEntry::Batch(sub) => scratch.run.push(SearchItem::Sub(sub)),
             }
         }
-        if !run.is_empty() {
-            self.serve_search_run(&mut run, picked_up, deep_telemetry, coalesce);
+        scratch.entries = entries;
+        if !scratch.run.is_empty() {
+            self.serve_search_run(scratch, picked_up, deep_telemetry, coalesce);
         }
     }
 
     /// One consecutive run of searches: shed expired deadlines, optionally
     /// dedup identical keys, and answer the rest through one batch call.
+    #[allow(clippy::too_many_lines)]
     fn serve_search_run(
         &self,
-        run: &mut Vec<PendingRequest>,
+        scratch: &mut Scratch,
         picked_up: Instant,
         deep_telemetry: bool,
         coalesce: bool,
     ) {
-        let mut live: Vec<PendingRequest> = Vec::with_capacity(run.len());
-        for request in run.drain(..) {
-            if request.deadline.is_some_and(|d| d <= picked_up) {
-                ShardStats::bump(&self.stats.shed_deadline, 1);
-                request.complete(
-                    ServiceReply::Shed(ShedReason::DeadlineExpired),
-                    picked_up,
-                    false,
-                );
-            } else {
-                live.push(request);
+        // Deadline filter.
+        scratch.live.clear();
+        for item in scratch.run.drain(..) {
+            match item {
+                SearchItem::Single(request) if request.deadline.is_some_and(|d| d <= picked_up) => {
+                    ShardStats::bump(&self.stats.shed_deadline, 1);
+                    request.complete(
+                        ServiceReply::Shed(ShedReason::DeadlineExpired),
+                        picked_up,
+                        false,
+                    );
+                }
+                SearchItem::Sub(sub) if sub.deadline.is_some_and(|d| d <= picked_up) => {
+                    ShardStats::bump(&self.stats.shed_deadline, sub.keys.len() as u64);
+                    sub.shed(ShedReason::DeadlineExpired);
+                }
+                live => scratch.live.push(live),
             }
         }
-        if live.is_empty() {
+        if scratch.live.is_empty() {
             return;
         }
 
-        // Map each request onto a (possibly shared) probe key.
-        let mut keys: Vec<SearchKey> = Vec::with_capacity(live.len());
-        let mut key_of: Vec<usize> = Vec::with_capacity(live.len());
-        if coalesce {
-            let mut seen: HashMap<SearchKey, usize> = HashMap::with_capacity(live.len());
-            for request in &live {
-                let ServiceOp::Search(key) = request.op else {
-                    unreachable!("search run contains only searches");
-                };
-                let slot = *seen.entry(key).or_insert_with(|| {
+        // Map every live key onto a (possibly shared) probe slot.
+        scratch.keys.clear();
+        scratch.key_of.clear();
+        let mut total_keys = 0u64;
+        {
+            let keys = &mut scratch.keys;
+            let key_of = &mut scratch.key_of;
+            let mut map_key = |key: SearchKey| {
+                total_keys += 1;
+                if coalesce {
+                    let slot = *scratch.seen.entry(key).or_insert_with(|| {
+                        keys.push(key);
+                        u32::try_from(keys.len() - 1).expect("batch fits u32")
+                    });
+                    key_of.push(slot);
+                } else {
                     keys.push(key);
-                    keys.len() - 1
-                });
-                key_of.push(slot);
-            }
-            ShardStats::bump(&self.stats.coalesced, (live.len() - keys.len()) as u64);
-        } else {
-            for request in &live {
-                let ServiceOp::Search(key) = request.op else {
-                    unreachable!("search run contains only searches");
-                };
-                keys.push(key);
-                key_of.push(keys.len() - 1);
+                    key_of.push(u32::try_from(keys.len() - 1).expect("batch fits u32"));
+                }
+            };
+            for item in &scratch.live {
+                match item {
+                    SearchItem::Single(request) => {
+                        let ServiceOp::Search(key) = request.op else {
+                            unreachable!("search run contains only searches");
+                        };
+                        map_key(key);
+                    }
+                    SearchItem::Sub(sub) => {
+                        for &key in &sub.keys {
+                            map_key(key);
+                        }
+                    }
+                }
             }
         }
-        ShardStats::bump(&self.stats.searches, keys.len() as u64);
-
-        let engine = self.engine.read().expect("shard engine poisoned");
-        let outcomes = if keys.len() == 1 || self.limits.batch_threads == 1 {
-            engine.search_batch(&keys)
-        } else {
-            engine.search_batch_parallel(&keys, self.limits.batch_threads)
-        };
-        drop(engine);
-
-        let shared = live.len() > keys.len();
-        for (request, &slot) in live.drain(..).zip(key_of.iter()) {
-            self.finish(
-                request,
-                ServiceReply::Search(outcomes[slot]),
-                picked_up,
-                shared,
-                deep_telemetry,
+        if coalesce {
+            scratch.seen.clear();
+            ShardStats::bump(
+                &self.stats.coalesced,
+                total_keys - scratch.keys.len() as u64,
             );
+        }
+        ShardStats::bump(&self.stats.searches, scratch.keys.len() as u64);
+
+        // One engine call for the whole run — the worker owns the engine,
+        // so the read path is free of atomics and locks.
+        // SAFETY: this is the shard worker thread, the engine's sole owner.
+        let engine = unsafe { self.engine.engine() };
+        if scratch.keys.len() > 1 && self.limits.batch_threads != 1 {
+            scratch.outcomes =
+                engine.search_batch_parallel(&scratch.keys, self.limits.batch_threads);
+        } else {
+            engine.search_batch_into(&scratch.keys, &mut scratch.outcomes);
+        }
+
+        // Distribute outcomes back, in admission order.
+        let shared = total_keys > scratch.keys.len() as u64;
+        let mut cursor = 0usize;
+        for item in scratch.live.drain(..) {
+            match item {
+                SearchItem::Single(request) => {
+                    let outcome = scratch.outcomes[scratch.key_of[cursor] as usize];
+                    cursor += 1;
+                    if deep_telemetry {
+                        let wait_us = picked_up
+                            .saturating_duration_since(request.enqueued)
+                            .as_micros()
+                            .min(u128::from(u64::MAX));
+                        #[allow(clippy::cast_possible_truncation)]
+                        self.sink.queue_wait(wait_us as u64);
+                    } else {
+                        ShardStats::bump(&self.stats.telemetry_shed, 1);
+                    }
+                    request.complete(ServiceReply::Search(outcome), picked_up, shared);
+                }
+                SearchItem::Sub(sub) => {
+                    for &position in &sub.positions {
+                        let outcome = scratch.outcomes[scratch.key_of[cursor] as usize];
+                        cursor += 1;
+                        sub.slot
+                            .write_reply(position, ServiceReply::Search(outcome));
+                    }
+                    let wait = picked_up.saturating_duration_since(sub.slot.enqueued());
+                    sub.slot.note_queue_wait(wait);
+                    if deep_telemetry {
+                        let wait_us = wait.as_micros().min(u128::from(u64::MAX));
+                        #[allow(clippy::cast_possible_truncation)]
+                        self.sink.queue_wait(wait_us as u64);
+                    } else {
+                        ShardStats::bump(&self.stats.telemetry_shed, sub.keys.len() as u64);
+                    }
+                    sub.slot.finish_sub();
+                }
+            }
         }
     }
 
-    /// One write, applied in admission order under the exclusive lock.
+    /// One write, applied in admission order by the engine-owning worker.
     fn serve_write(&self, request: PendingRequest, picked_up: Instant, deep_telemetry: bool) {
         if request.deadline.is_some_and(|d| d <= picked_up) {
             ShardStats::bump(&self.stats.shed_deadline, 1);
@@ -331,36 +620,24 @@ impl Shard {
             );
             return;
         }
-        let mut engine = self.engine.write().expect("shard engine poisoned");
-        let reply = match request.op {
-            ServiceOp::Insert(record) => {
-                ShardStats::bump(&self.stats.inserts, 1);
-                ServiceReply::Insert(engine.insert(record))
-            }
-            ServiceOp::InsertSorted(record) => {
-                ShardStats::bump(&self.stats.inserts, 1);
-                ServiceReply::Insert(engine.insert_sorted(record))
-            }
-            ServiceOp::Delete(key) => {
-                ShardStats::bump(&self.stats.deletes, 1);
-                ServiceReply::Delete(engine.delete(&key))
-            }
-            ServiceOp::Search(_) => unreachable!("writes only"),
+        // SAFETY: this is the shard worker thread, the engine's sole owner.
+        let reply = unsafe {
+            self.engine.write(|engine| match request.op {
+                ServiceOp::Insert(record) => {
+                    ShardStats::bump(&self.stats.inserts, 1);
+                    ServiceReply::Insert(engine.insert(record))
+                }
+                ServiceOp::InsertSorted(record) => {
+                    ShardStats::bump(&self.stats.inserts, 1);
+                    ServiceReply::Insert(engine.insert_sorted(record))
+                }
+                ServiceOp::Delete(key) => {
+                    ShardStats::bump(&self.stats.deletes, 1);
+                    ServiceReply::Delete(engine.delete(&key))
+                }
+                ServiceOp::Search(_) => unreachable!("writes only"),
+            })
         };
-        drop(engine);
-        self.finish(request, reply, picked_up, false, deep_telemetry);
-    }
-
-    /// Completes a served request, recording or shedding its deep telemetry
-    /// (ladder rung 1).
-    fn finish(
-        &self,
-        request: PendingRequest,
-        reply: ServiceReply,
-        picked_up: Instant,
-        coalesced: bool,
-        deep_telemetry: bool,
-    ) {
         if deep_telemetry {
             let wait_us = picked_up
                 .saturating_duration_since(request.enqueued)
@@ -371,6 +648,6 @@ impl Shard {
         } else {
             ShardStats::bump(&self.stats.telemetry_shed, 1);
         }
-        request.complete(reply, picked_up, coalesced);
+        request.complete(reply, picked_up, false);
     }
 }

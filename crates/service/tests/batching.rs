@@ -1,0 +1,361 @@
+//! Pins the end-to-end batching path: input-order replies, per-shard FIFO
+//! against interleaved writes, all-or-nothing admission with rollback,
+//! deadline shedding of partially-drained batches, and conservation when
+//! batches race a shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ca_ram_core::engine::{EngineOutcome, EngineReport, SearchEngine};
+use ca_ram_core::error::Result;
+use ca_ram_core::index::RangeSelect;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::table::{CaRamTable, TableConfig};
+use ca_ram_service::{
+    route_shard, AdmissionError, SearchService, ServiceConfig, ServiceOp, ServiceReply, ShedReason,
+};
+
+const KEY_BITS: u32 = 32;
+
+fn table() -> Box<dyn SearchEngine> {
+    let layout = RecordLayout::new(KEY_BITS, false, 16);
+    let config = TableConfig::single_slice(6, 16 * layout.slot_bits(), layout);
+    Box::new(CaRamTable::new(config, Box::new(RangeSelect::new(0, 6))).expect("valid config"))
+}
+
+/// An engine that stalls each search, so batch pickup timing is
+/// controllable from the test.
+struct SlowEngine {
+    inner: Box<dyn SearchEngine>,
+    delay: Duration,
+    searches: Arc<AtomicU64>,
+}
+
+impl SearchEngine for SlowEngine {
+    fn name(&self) -> &str {
+        "slow-table"
+    }
+    fn key_bits(&self) -> u32 {
+        self.inner.key_bits()
+    }
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(self.delay);
+        self.inner.search(key)
+    }
+    fn insert(&mut self, record: Record) -> Result<()> {
+        self.inner.insert(record)
+    }
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        self.inner.delete(key)
+    }
+    fn occupancy(&self) -> EngineReport {
+        self.inner.occupancy()
+    }
+}
+
+/// The first key value ≥ `from` that routes to `shard` under `shards`-way
+/// sharding.
+fn value_on_shard(from: u128, shard: usize, shards: usize) -> u128 {
+    (from..)
+        .find(|v| route_shard(*v, shards) == shard)
+        .expect("SplitMix64 hits every shard")
+}
+
+#[test]
+fn batched_searches_answer_in_input_order() {
+    let config = ServiceConfig {
+        shards: 4,
+        ..ServiceConfig::default()
+    };
+    let engines = (0..config.shards).map(|_| table()).collect();
+    let service = SearchService::new(config, engines).expect("valid service");
+    for i in 0..200u128 {
+        service
+            .insert_sync(Record::new(
+                TernaryKey::binary(0x4000 + i, KEY_BITS),
+                i as u64,
+            ))
+            .expect("fits");
+    }
+    // Interleave hits (even positions probe stored keys) and misses.
+    let keys: Vec<SearchKey> = (0..256u128)
+        .map(|i| {
+            if i % 2 == 0 {
+                SearchKey::new(0x4000 + (i / 2) % 200, KEY_BITS)
+            } else {
+                SearchKey::new(0x9_0000 + i, KEY_BITS)
+            }
+        })
+        .collect();
+    let completion = service
+        .try_submit_batch(&keys)
+        .expect("queues have room")
+        .wait();
+    assert_eq!(completion.replies.len(), keys.len());
+    assert_eq!(completion.shed(), 0);
+    for (i, reply) in completion.replies.iter().enumerate() {
+        let ServiceReply::Search(outcome) = reply else {
+            panic!("batch position {i} answered with {reply:?}");
+        };
+        if i % 2 == 0 {
+            let expected = ((i as u128 / 2) % 200) as u64;
+            assert_eq!(
+                outcome.hit.map(|h| h.data),
+                Some(expected),
+                "batch position {i} lost its input-order alignment"
+            );
+        } else {
+            assert!(outcome.hit.is_none(), "position {i} must miss");
+        }
+    }
+    let totals = service.snapshot().totals();
+    assert_eq!(totals.batch_keys, keys.len() as u64);
+    assert!(
+        totals.batch_entries >= 1 && totals.batch_entries <= 4,
+        "one batch spans at most one ring entry per shard (got {})",
+        totals.batch_entries
+    );
+}
+
+#[test]
+fn empty_batch_completes_immediately() {
+    let service =
+        SearchService::new(ServiceConfig::single_shard(), vec![table()]).expect("valid service");
+    let completion = service
+        .try_submit_batch(&[])
+        .expect("nothing to queue")
+        .wait();
+    assert!(completion.replies.is_empty());
+    assert_eq!(service.snapshot().totals().batch_entries, 0);
+}
+
+#[test]
+fn batches_observe_preceding_writes_in_per_shard_fifo_order() {
+    // insert → batch-probe → delete → batch-probe on one key, never waiting
+    // on the write before submitting the probe: per-shard FIFO alone must
+    // order them.
+    let service =
+        SearchService::new(ServiceConfig::single_shard(), vec![table()]).expect("valid service");
+    for round in 0..100u64 {
+        let value = 0x7000 + u128::from(round);
+        let record = Record::new(TernaryKey::binary(value, KEY_BITS), round);
+        let probe = [SearchKey::new(value, KEY_BITS)];
+        let insert = service
+            .try_submit(ServiceOp::Insert(record))
+            .expect("queue has room");
+        let after_insert = service.try_submit_batch(&probe).expect("queue has room");
+        let delete = service
+            .try_submit(ServiceOp::Delete(TernaryKey::binary(value, KEY_BITS)))
+            .expect("queue has room");
+        let after_delete = service.try_submit_batch(&probe).expect("queue has room");
+
+        assert!(matches!(insert.wait().reply, ServiceReply::Insert(Ok(()))));
+        let outcomes = after_insert.wait().outcomes();
+        assert_eq!(
+            outcomes[0].and_then(|o| o.hit.map(|h| h.data)),
+            Some(round),
+            "round {round}: batch submitted after the insert must observe it"
+        );
+        assert!(matches!(delete.wait().reply, ServiceReply::Delete(1)));
+        let outcomes = after_delete.wait().outcomes();
+        assert!(
+            outcomes[0].is_some_and(|o| o.hit.is_none()),
+            "round {round}: batch submitted after the delete must observe it"
+        );
+    }
+}
+
+#[test]
+fn full_queue_refuses_the_whole_batch_and_rolls_back() {
+    let searches = Arc::new(AtomicU64::new(0));
+    let config = ServiceConfig {
+        shards: 1,
+        queue_depth: 1,
+        batch_max: 1,
+        ..ServiceConfig::single_shard()
+    };
+    let slow = Box::new(SlowEngine {
+        inner: table(),
+        delay: Duration::from_millis(40),
+        searches: Arc::clone(&searches),
+    });
+    let service = SearchService::new(config, vec![slow]).expect("valid service");
+
+    // Stall the worker, then fill the depth-1 queue with a single.
+    let decoy = service
+        .try_submit(ServiceOp::Search(SearchKey::new(0x1, KEY_BITS)))
+        .expect("room");
+    std::thread::sleep(Duration::from_millis(10)); // worker picks up the decoy
+    let queued = service
+        .try_submit(ServiceOp::Search(SearchKey::new(0x2, KEY_BITS)))
+        .expect("room");
+    let batch_keys = [SearchKey::new(0x3, KEY_BITS), SearchKey::new(0x4, KEY_BITS)];
+    match service.try_submit_batch(&batch_keys) {
+        Err(AdmissionError::QueueFull { shard, depth }) => {
+            assert_eq!((shard, depth), (0, 1));
+        }
+        other => panic!("full queue must refuse the batch, got {other:?}"),
+    }
+    let _ = decoy.wait();
+    let _ = queued.wait();
+    // The refused reservation must have been rolled back: the now-empty
+    // queue admits the same batch.
+    let completion = service
+        .try_submit_batch(&batch_keys)
+        .expect("rollback freed the reservation")
+        .wait();
+    assert_eq!(completion.replies.len(), 2);
+    assert_eq!(completion.shed(), 0);
+    assert_eq!(service.snapshot().totals().rejected, 2);
+}
+
+#[test]
+fn deadline_sheds_a_partially_drained_batch() {
+    // Shard 1 is stalled; a two-shard batch with a short deadline gets its
+    // fast half served and its stalled half shed — per-key outcomes, no
+    // all-or-nothing at completion time.
+    let searches = Arc::new(AtomicU64::new(0));
+    let config = ServiceConfig {
+        shards: 2,
+        queue_depth: 64,
+        batch_max: 1,
+        ..ServiceConfig::default()
+    };
+    let slow = Box::new(SlowEngine {
+        inner: table(),
+        delay: Duration::from_millis(60),
+        searches: Arc::clone(&searches),
+    });
+    let service = SearchService::new(config, vec![table(), slow]).expect("valid service");
+
+    let fast_value = value_on_shard(0x100, 0, 2);
+    let slow_value = value_on_shard(0x200, 1, 2);
+    let decoy_value = value_on_shard(slow_value + 1, 1, 2);
+    service
+        .insert_sync(Record::new(TernaryKey::binary(fast_value, KEY_BITS), 42))
+        .expect("fits");
+
+    // Stall shard 1's worker with a decoy search.
+    let decoy = service
+        .try_submit(ServiceOp::Search(SearchKey::new(decoy_value, KEY_BITS)))
+        .expect("room");
+    std::thread::sleep(Duration::from_millis(10)); // worker picks up the decoy
+
+    let keys = [
+        SearchKey::new(fast_value, KEY_BITS),
+        SearchKey::new(slow_value, KEY_BITS),
+    ];
+    let probes_before = searches.load(Ordering::Relaxed);
+    let completion = service
+        .try_submit_batch_with_deadline(&keys, Some(Instant::now() + Duration::from_millis(10)))
+        .expect("queues have room")
+        .wait();
+    let _ = decoy.wait();
+
+    let ServiceReply::Search(fast) = completion.replies[0] else {
+        panic!("fast half answered with {:?}", completion.replies[0]);
+    };
+    assert_eq!(
+        fast.hit.map(|h| h.data),
+        Some(42),
+        "the fast shard's half must serve normally"
+    );
+    assert_eq!(
+        completion.replies[1],
+        ServiceReply::Shed(ShedReason::DeadlineExpired),
+        "the stalled shard's half must shed at pickup"
+    );
+    assert_eq!(completion.shed(), 1);
+    assert_eq!(
+        searches.load(Ordering::Relaxed),
+        probes_before,
+        "a shed sub-batch must never probe its engine"
+    );
+    assert_eq!(service.snapshot().totals().shed_deadline, 1);
+}
+
+#[test]
+fn concurrent_shutdown_conserves_every_batch() {
+    const THREADS: usize = 4;
+    const BATCH: usize = 8;
+    let config = ServiceConfig {
+        shards: 2,
+        ..ServiceConfig::default()
+    };
+    let engines = (0..config.shards).map(|_| table()).collect();
+    let service = SearchService::new(config, engines).expect("valid service");
+    for i in 0..64u128 {
+        service
+            .insert_sync(Record::new(
+                TernaryKey::binary(0x8000 + i, KEY_BITS),
+                i as u64,
+            ))
+            .expect("fits");
+    }
+
+    // Clients batch-submit until shutdown; every admitted batch must come
+    // back with exactly BATCH replies, each a real answer or a shed.
+    let mut totals = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let service = &service;
+                scope.spawn(move || {
+                    let mut served = 0u64;
+                    let mut shed = 0u64;
+                    let mut batches = 0u64;
+                    for round in 0.. {
+                        let keys: Vec<SearchKey> = (0..BATCH)
+                            .map(|i| {
+                                SearchKey::new(
+                                    0x8000 + ((thread + i * round) as u128 % 64),
+                                    KEY_BITS,
+                                )
+                            })
+                            .collect();
+                        match service.try_submit_batch(&keys) {
+                            Ok(ticket) => {
+                                let completion = ticket.wait();
+                                assert_eq!(
+                                    completion.replies.len(),
+                                    BATCH,
+                                    "an admitted batch must answer every key"
+                                );
+                                for reply in &completion.replies {
+                                    match reply {
+                                        ServiceReply::Search(_) => served += 1,
+                                        ServiceReply::Shed(ShedReason::Shutdown) => shed += 1,
+                                        other => panic!("unexpected reply {other:?}"),
+                                    }
+                                }
+                                batches += 1;
+                            }
+                            Err(AdmissionError::ShuttingDown) => break,
+                            Err(AdmissionError::QueueFull { .. }) => std::thread::yield_now(),
+                        }
+                    }
+                    (served, shed, batches)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        service.begin_shutdown();
+        for handle in handles {
+            totals.push(handle.join().expect("client panicked"));
+        }
+    });
+    service.shutdown();
+
+    let (served, shed, batches) = totals
+        .iter()
+        .fold((0, 0, 0), |(a, b, c), (s, h, n)| (a + s, b + h, c + n));
+    assert_eq!(
+        served + shed,
+        batches * BATCH as u64,
+        "every admitted key must resolve to exactly one reply"
+    );
+    assert!(batches > 0, "the race window admitted at least one batch");
+}
