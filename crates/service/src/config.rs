@@ -13,11 +13,20 @@ use ca_ram_core::error::{CaRamError, Result};
 /// being recorded, and once it reaches `coalesce_fill × queue_depth`
 /// duplicate search keys within one drained batch share a single engine
 /// probe. A full queue rejects at admission regardless.
+///
+/// Units: the ladder's queue depth is measured in *requests* — a queued
+/// `submit_batch` sub-batch counts each of its keys — so the fill
+/// fractions keep their per-request meaning under batched load. The
+/// admission bound itself is counted in ring *entries* (a multi-key
+/// sub-batch occupies one of the `queue_depth` slots in its shard's
+/// ring), so a batched workload can carry more in-flight keys than
+/// `queue_depth` before rejecting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Engine shards (and worker threads — one worker owns each shard).
     pub shards: usize,
-    /// Bounded request-queue capacity per shard; admission control rejects
+    /// Bounded queue capacity per shard, in ring entries (one per single
+    /// request or per `submit_batch` sub-batch); admission control rejects
     /// (or backpressures, for blocking submitters) beyond it.
     pub queue_depth: usize,
     /// Most requests drained into one batch per worker wakeup.
@@ -109,7 +118,8 @@ impl ServiceConfig {
         Ok(())
     }
 
-    /// Queue depth at which deep telemetry is shed (ladder rung 1).
+    /// Queue depth (in requests, batch keys counted individually) at which
+    /// deep telemetry is shed (ladder rung 1).
     #[must_use]
     #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
     #[allow(clippy::cast_possible_truncation)]
@@ -117,7 +127,8 @@ impl ServiceConfig {
         (self.queue_depth as f64 * self.telemetry_shed_fill).ceil() as usize
     }
 
-    /// Queue depth at which duplicate keys coalesce (ladder rung 2).
+    /// Queue depth (in requests, batch keys counted individually) at which
+    /// duplicate keys coalesce (ladder rung 2).
     #[must_use]
     #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
     #[allow(clippy::cast_possible_truncation)]

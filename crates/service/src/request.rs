@@ -212,26 +212,42 @@ impl Slot {
     }
 
     /// Blocks until filled, then takes the completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a clear message) if the completion was already claimed
+    /// by [`Slot::try_take`] — waiting on an empty slot would otherwise
+    /// block forever, since the filler is done.
     fn wait_take(&self) -> Completion {
         for _ in 0..WAIT_SPINS {
-            if self.state.load(Ordering::Acquire) == FILLED {
-                return self.take();
+            match self.state.load(Ordering::Acquire) {
+                FILLED => return self.take(),
+                TAKEN => Self::already_taken(),
+                _ => std::hint::spin_loop(),
             }
-            std::hint::spin_loop();
         }
         // SAFETY: unique waiter; the filler reads this only after our CAS
         // below publishes WAITING.
         unsafe { *self.waiter.get() = Some(std::thread::current()) };
-        if self
+        match self
             .state
             .compare_exchange(EMPTY, WAITING, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
         {
-            while self.state.load(Ordering::Acquire) != FILLED {
-                std::thread::park();
+            Ok(_) => {
+                while self.state.load(Ordering::Acquire) != FILLED {
+                    std::thread::park();
+                }
             }
+            Err(FILLED) => {}
+            Err(TAKEN) => Self::already_taken(),
+            Err(state) => unreachable!("two waiters on one slot (state {state})"),
         }
         self.take()
+    }
+
+    #[cold]
+    fn already_taken() -> ! {
+        panic!("completion already taken: Ticket::try_take consumed it before this wait")
     }
 
     fn take(&self) -> Completion {
@@ -267,12 +283,19 @@ impl Ticket {
     }
 
     /// Blocks until the request completes (brief spin, then park — no lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous [`Ticket::try_take`] already claimed the
+    /// completion — there is nothing left to wait for.
     #[must_use]
     pub fn wait(self) -> Completion {
         self.slot.wait_take()
     }
 
-    /// Takes the completion if the request already finished.
+    /// Takes the completion if the request already finished. After this
+    /// returns `Some`, the completion is consumed: a later
+    /// [`Ticket::wait`] panics rather than blocking forever.
     #[must_use]
     pub fn try_take(&self) -> Option<Completion> {
         self.slot.try_take()
@@ -470,9 +493,15 @@ pub(crate) enum RingEntry {
 impl RingEntry {
     /// Requests this entry represents (keys for a batch, 1 otherwise).
     pub(crate) fn requests(&self) -> u64 {
+        self.request_count() as u64
+    }
+
+    /// As [`RingEntry::requests`], in the native width the queued-request
+    /// accounting uses.
+    pub(crate) fn request_count(&self) -> usize {
         match self {
             RingEntry::Single(_) => 1,
-            RingEntry::Batch(sub) => sub.keys.len() as u64,
+            RingEntry::Batch(sub) => sub.keys.len(),
         }
     }
 }
@@ -517,6 +546,36 @@ mod tests {
         let completion = ticket.wait();
         assert_eq!(completion.reply, ServiceReply::Delete(3));
         assert!(!completion.coalesced);
+    }
+
+    #[test]
+    fn ticket_try_take_claims_once() {
+        let slot = Slot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        slot.fill(Completion {
+            reply: ServiceReply::Delete(2),
+            queue_wait: Duration::ZERO,
+            total: Duration::ZERO,
+            coalesced: false,
+        });
+        let completion = ticket.try_take().expect("filled");
+        assert_eq!(completion.reply, ServiceReply::Delete(2));
+        assert!(ticket.try_take().is_none(), "second poll finds nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "completion already taken")]
+    fn ticket_wait_after_try_take_panics_clearly() {
+        let slot = Slot::new();
+        let ticket = Ticket::new(Arc::clone(&slot));
+        slot.fill(Completion {
+            reply: ServiceReply::Delete(0),
+            queue_wait: Duration::ZERO,
+            total: Duration::ZERO,
+            coalesced: false,
+        });
+        let _ = ticket.try_take().expect("filled");
+        let _ = ticket.wait(); // must panic, not block forever
     }
 
     #[test]

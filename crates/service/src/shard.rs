@@ -93,9 +93,11 @@ struct ShardLimits {
 /// read-only access needs no synchronization at all (a plain reborrow) and
 /// writes only bump an epoch counter — odd while a mutation is in
 /// progress, even when quiescent — and republish the occupancy report into
-/// plain atomics. Everything other threads need (`occupancy`, the epoch
-/// for telemetry) reads those atomics wait-free; the engine pointer itself
-/// is never shared outside the worker.
+/// plain atomics. [`EngineCell::occupancy`] is a genuine seqlock read: it
+/// validates the epoch before and after loading the report and retries
+/// across an in-flight write, so the pair it returns always comes from one
+/// write generation. The engine pointer itself is never shared outside the
+/// worker.
 struct EngineCell {
     engine: std::cell::UnsafeCell<Box<dyn SearchEngine>>,
     /// Mutation epoch: `2 × writes` when quiescent, odd mid-write.
@@ -136,7 +138,11 @@ impl EngineCell {
     ///
     /// Must only be called from the shard worker thread.
     unsafe fn write<R>(&self, f: impl FnOnce(&mut dyn SearchEngine) -> R) -> R {
-        self.epoch.fetch_add(1, Ordering::Release);
+        // Seqlock writer: the odd store must be visible before any report
+        // store (release fence), and the closing even store releases the
+        // report to readers whose first epoch load acquires it.
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
         let engine = unsafe { &mut **self.engine.get() };
         let result = f(engine);
         let report = engine.occupancy();
@@ -148,12 +154,29 @@ impl EngineCell {
         result
     }
 
-    /// The last published occupancy — wait-free, callable from any thread.
+    /// The last published occupancy, callable from any thread. A seqlock
+    /// read: retries while a write is in flight (epoch odd or changed), so
+    /// `records`/`capacity` always come from the same write generation.
+    /// Writes are rare and short, so the retry loop is effectively bounded.
     fn occupancy(&self) -> EngineReport {
         let decode = |v: u64| (v != UNKNOWN).then_some(v);
-        EngineReport {
-            records: decode(self.records.load(Ordering::Relaxed)),
-            capacity: decode(self.capacity.load(Ordering::Relaxed)),
+        loop {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before & 1 == 0 {
+                let records = self.records.load(Ordering::Relaxed);
+                let capacity = self.capacity.load(Ordering::Relaxed);
+                // Pairs with the writer's release fence: if either load
+                // above saw a mid-write store, the epoch re-read below is
+                // guaranteed to see the odd (or later) epoch and retry.
+                std::sync::atomic::fence(Ordering::Acquire);
+                if self.epoch.load(Ordering::Relaxed) == before {
+                    return EngineReport {
+                        records: decode(records),
+                        capacity: decode(capacity),
+                    };
+                }
+            }
+            std::hint::spin_loop();
         }
     }
 
@@ -208,6 +231,11 @@ pub(crate) struct Shard {
     parker: Parker,
     /// Ring entries currently reserved or queued; admission bound.
     len: AtomicUsize,
+    /// Requests currently queued in the ring — batch entries weighted by
+    /// their key count, reserved-but-unpushed entries excluded. Drives the
+    /// degradation ladder in the same per-request units the config's fill
+    /// fractions are written in; `len` stays the admission bound.
+    queued_requests: AtomicUsize,
     /// In-flight submitters (reserve→push window); the shutdown drain
     /// waits for this to quiesce before shedding leftovers.
     submitters: AtomicUsize,
@@ -226,6 +254,7 @@ impl Shard {
             ring: Ring::new(config.queue_depth),
             parker: Parker::new(),
             len: AtomicUsize::new(0),
+            queued_requests: AtomicUsize::new(0),
             submitters: AtomicUsize::new(0),
             engine: EngineCell::new(engine),
             limits: ShardLimits {
@@ -279,6 +308,10 @@ impl Shard {
             ShardStats::bump(&self.stats.batch_entries, 1);
             ShardStats::bump(&self.stats.batch_keys, sub.keys.len() as u64);
         }
+        // Counted before the publish so the consumer (which decrements
+        // only after popping the published entry) can never underflow it.
+        self.queued_requests
+            .fetch_add(entry.request_count(), Ordering::Relaxed);
         self.ring
             .push(entry)
             .unwrap_or_else(|_| unreachable!("reservation bounds ring occupancy"));
@@ -365,14 +398,18 @@ impl Shard {
         self.parker.close();
     }
 
-    /// Sheds anything still ringed after the worker exited: late guarded
-    /// pushes, or leftovers of a worker that died. Callers must first join
-    /// the worker (making this thread the ring's consumer) and let the
-    /// submit windows quiesce via [`Shard::await_submitters`].
+    /// Sheds anything still ringed after the worker exited. A gracefully
+    /// exiting worker leaves nothing behind (it waits for admission to
+    /// quiesce and the ring to drain), so this is the backstop for a
+    /// worker that panicked mid-service. Callers must first join the
+    /// worker (making this thread the ring's consumer) and let the submit
+    /// windows quiesce via [`Shard::await_submitters`].
     pub(crate) fn drain_after_join(&self) {
         let now = Instant::now();
         while let Some(entry) = self.ring.pop() {
             self.len.fetch_sub(1, Ordering::Relaxed);
+            self.queued_requests
+                .fetch_sub(entry.request_count(), Ordering::Relaxed);
             ShardStats::bump(&self.stats.shed_shutdown, entry.requests());
             match entry {
                 RingEntry::Single(request) => {
@@ -392,7 +429,8 @@ impl Shard {
         }
     }
 
-    /// The last published occupancy report — wait-free.
+    /// The last published occupancy report — seqlock-consistent (never
+    /// torn across write generations).
     pub(crate) fn occupancy(&self) -> EngineReport {
         self.engine.occupancy()
     }
@@ -403,17 +441,24 @@ impl Shard {
     }
 
     /// The worker loop: drain up to `batch_max` ring entries, serve them,
-    /// repeat until closed *and* empty — shutdown is graceful, queued work
-    /// finishes. Parks (after a short spin) only when the ring is empty.
+    /// repeat until closed, admission-quiescent, *and* empty — shutdown is
+    /// graceful, queued work finishes, and a request admitted in the
+    /// close race is still served rather than orphaned. Parks (after a
+    /// short spin) only when the ring is empty.
     pub(crate) fn worker_loop(&self) {
         self.parker.register_worker();
         let mut scratch = Scratch::new(self.limits.batch_max);
         loop {
-            let depth_at_drain = self.len.load(Ordering::Relaxed);
+            // Request-weighted (a queued sub-batch counts each of its
+            // keys), so the degradation ladder's fill fractions keep the
+            // per-request meaning they had under the per-request queue.
+            let depth_at_drain = self.queued_requests.load(Ordering::Relaxed);
             while scratch.entries.len() < self.limits.batch_max {
                 match self.ring.pop() {
                     Some(entry) => {
                         self.len.fetch_sub(1, Ordering::Relaxed);
+                        self.queued_requests
+                            .fetch_sub(entry.request_count(), Ordering::Relaxed);
                         scratch.entries.push(entry);
                     }
                     None => break,
@@ -421,9 +466,19 @@ impl Shard {
             }
             if scratch.entries.is_empty() {
                 if self.parker.is_closed() {
-                    if self.ring.is_empty() {
+                    // Exit only once admission has quiesced: a submitter
+                    // that passed `enter`'s closed check just before
+                    // `close` may still be inside the reserve→push window,
+                    // and returning now would orphan its entry (an
+                    // `Ok(Ticket)` nobody ever completes until shutdown's
+                    // drain). `enter` bounces new submitters after close,
+                    // so the count only drains; the SeqCst `exit` after a
+                    // guarded push guarantees this thread then observes
+                    // the pushed entry on the next `pop`.
+                    if self.submitters.load(Ordering::SeqCst) == 0 && self.ring.is_empty() {
                         return;
                     }
+                    std::thread::yield_now();
                     continue;
                 }
                 let mut found = false;
@@ -442,10 +497,9 @@ impl Shard {
                 }
                 continue;
             }
-            self.sink
-                .queue_depth(depth_at_drain.max(scratch.entries.len()) as u64);
-            ShardStats::bump(&self.stats.batches, 1);
             let requests: u64 = scratch.entries.iter().map(RingEntry::requests).sum();
+            self.sink.queue_depth((depth_at_drain as u64).max(requests));
+            ShardStats::bump(&self.stats.batches, 1);
             self.stats.max_batch.fetch_max(requests, Ordering::Relaxed);
             self.process(&mut scratch, depth_at_drain.max(1));
         }

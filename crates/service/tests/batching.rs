@@ -359,3 +359,50 @@ fn concurrent_shutdown_conserves_every_batch() {
     );
     assert!(batches > 0, "the race window admitted at least one batch");
 }
+
+/// Hammers the admission/close race: a submitter that passes the closed
+/// check just before `begin_shutdown` may push its entry after the worker
+/// saw an empty ring. Every `Ok` ticket must still complete — callers
+/// block on `wait()` *before* `shutdown()` runs, so an orphaned entry
+/// would wedge this test, not just lose a reply.
+#[test]
+fn shutdown_race_never_orphans_an_admitted_ticket() {
+    const ROUNDS: usize = 100;
+    const CLIENTS: usize = 3;
+    for _ in 0..ROUNDS {
+        let config = ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        };
+        let service = SearchService::new(config, vec![table()]).expect("valid service");
+        std::thread::scope(|scope| {
+            for client in 0..CLIENTS {
+                let service = &service;
+                scope.spawn(move || {
+                    let key = SearchKey::new(client as u128, KEY_BITS);
+                    loop {
+                        match service.try_submit(ServiceOp::Search(key)) {
+                            // Admitted: the reply (answer or shutdown shed)
+                            // must arrive without SearchService::shutdown.
+                            Ok(ticket) => match ticket.wait().reply {
+                                ServiceReply::Search(_)
+                                | ServiceReply::Shed(ShedReason::Shutdown) => {}
+                                other => panic!("unexpected reply {other:?}"),
+                            },
+                            Err(AdmissionError::ShuttingDown) => break,
+                            Err(AdmissionError::QueueFull { .. }) => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+            let service = &service;
+            scope.spawn(move || {
+                // No sleep: closing while admission is hot maximizes the
+                // window where a submitter already passed the closed check.
+                std::thread::yield_now();
+                service.begin_shutdown();
+            });
+        });
+        service.shutdown();
+    }
+}
