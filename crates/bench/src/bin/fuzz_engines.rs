@@ -21,12 +21,33 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ca_ram_bench::fleet::fleet_for;
-use ca_ram_bench::{write_text_atomic, Cli, Result};
+use ca_ram_bench::fleet::{fleet_for, fleet_names};
+use ca_ram_bench::{write_text_atomic, BenchError, Cli, Result};
 use ca_ram_core::oracle::{run_case, standard_scenarios, OpStreamGen, Profile};
 
 /// Replays the harness caps minimization at, bounding worst-case runtime.
 const MINIMIZE_BUDGET: usize = 400;
+
+/// The matrix floor for an unfiltered run: every cell must be at least
+/// visited (checked or reported skipped). Bump this when scenarios or
+/// engines are added, so an accidental fleet or scenario regression
+/// (a gating typo silently dropping cells) fails CI instead of shrinking
+/// coverage quietly.
+const MIN_UNFILTERED_CELLS: usize = 225;
+
+/// Validates a `--scenario`/`--engine` substring filter against the known
+/// names: a filter matching nothing is a typo, reported with the full
+/// list of valid values rather than silently checking zero cells.
+fn check_filter(flag: &str, filter: Option<&str>, names: &[String]) -> Result<()> {
+    let Some(f) = filter else { return Ok(()) };
+    if names.iter().any(|n| n.contains(f)) {
+        return Ok(());
+    }
+    Err(BenchError::Arg(format!(
+        "--{flag} {f:?} matches none of: {}",
+        names.join(", ")
+    )))
+}
 
 struct Cell {
     scenario: String,
@@ -45,6 +66,13 @@ fn main() -> Result<()> {
     let out = cli.value("out").unwrap_or("BENCH_fuzz.json").to_string();
     let scenario_filter = cli.value("scenario").map(str::to_string);
     let engine_filter = cli.value("engine").map(str::to_string);
+    let scenario_names: Vec<String> = standard_scenarios()
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    check_filter("scenario", scenario_filter.as_deref(), &scenario_names)?;
+    let engine_names: Vec<String> = fleet_names().iter().map(ToString::to_string).collect();
+    check_filter("engine", engine_filter.as_deref(), &engine_names)?;
 
     let started = Instant::now();
     let mut cells: Vec<Cell> = Vec::new();
@@ -149,6 +177,16 @@ fn main() -> Result<()> {
     write_text_atomic(&out, &json)?;
     println!("(wrote {out})");
 
+    if scenario_filter.is_none() && engine_filter.is_none() {
+        ca_ram_bench::ensure(
+            checked + skipped >= MIN_UNFILTERED_CELLS,
+            &format!(
+                "unfiltered run visited {} cells, below the {MIN_UNFILTERED_CELLS}-cell matrix \
+                 floor — a scenario or fleet gating regression dropped coverage",
+                checked + skipped
+            ),
+        )?;
+    }
     ca_ram_bench::ensure(
         divergences == 0,
         "differential fuzzing found engine/model divergences",

@@ -16,11 +16,14 @@ use std::sync::Arc;
 
 use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
 use ca_ram_bench::driver::{keys_per_sec, member_trace, time};
-use ca_ram_bench::{ensure, rule, Cli, DesignThroughput, Result, SearchReport};
+use ca_ram_bench::{ensure, rule, Cli, DesignThroughput, PatternThroughput, Result, SearchReport};
 use ca_ram_core::key::SearchKey;
+use ca_ram_core::pattern::{compile, GeometryHint, Pattern, QueryPlan};
 use ca_ram_core::table::{CaRamTable, SearchOutcome};
 use ca_ram_core::telemetry::HistogramSink;
 use ca_ram_workloads::bgp::{generate, BgpConfig};
+use ca_ram_workloads::dictionary::{self, DictionaryConfig};
+use ca_ram_workloads::packet::{self, PacketClassConfig};
 
 fn run_baseline(table: &CaRamTable, keys: &[SearchKey]) -> (Vec<SearchOutcome>, f64) {
     time(|| keys.iter().map(|k| table.search_baseline(k)).collect())
@@ -46,6 +49,140 @@ fn serial_overhead_pct(plain: &CaRamTable, traced: &CaRamTable, keys: &[SearchKe
         }
     }
     (best_traced / best_plain - 1.0) * 100.0
+}
+
+/// Measures one pattern-compiled workload: walk every query plan once to
+/// count probes and hits, then time a second full pass.
+fn measure_plans(
+    scenario: &'static str,
+    entries: usize,
+    table: &CaRamTable,
+    plans: &[QueryPlan],
+) -> PatternThroughput {
+    let mut hits = 0usize;
+    let mut probes = 0usize;
+    for plan in plans {
+        for probe in plan.probes() {
+            probes += 1;
+            if table.search(probe).hit.is_some() {
+                hits += 1;
+                break;
+            }
+        }
+    }
+    let (_, secs) = time(|| {
+        plans
+            .iter()
+            .filter(|p| p.execute(table).hit.is_some())
+            .count()
+    });
+    #[allow(clippy::cast_precision_loss)]
+    PatternThroughput {
+        scenario,
+        entries,
+        lookups: plans.len(),
+        keys_per_sec: keys_per_sec(plans.len(), secs),
+        probes_per_query: probes as f64 / plans.len() as f64,
+        hit_rate: hits as f64 / plans.len() as f64,
+    }
+}
+
+/// The two pattern-compiled end-to-end workloads: 5-tuple packet
+/// classification (masked multi-field rules, port ranges prefix-expanded)
+/// and a spell-check dictionary (nearest-match probe ladders).
+fn pattern_workloads(lookups: usize, seed: u64) -> Result<Vec<PatternThroughput>> {
+    let mut out = Vec::new();
+
+    // Packet classification: 500 rules compiled onto a ternary table whose
+    // round-robin bit index taps the top bits of every header field.
+    let rules = packet::generate(&PacketClassConfig {
+        rules: 500,
+        min_src_len: 14,
+        seed,
+    });
+    let plan = compile(
+        &packet::classifier_spec(),
+        &GeometryHint {
+            rows_log2: 11,
+            slots_per_row: 16,
+            data_bits: 32,
+        },
+    )
+    .expect("five-tuple spec compiles");
+    let mut table = plan.build_table()?;
+    for r in &rules {
+        let records = plan
+            .lower_entry(&r.to_pattern(), r.action)
+            .expect("generated rules lower");
+        for rec in records {
+            table
+                .insert(rec)
+                .unwrap_or_else(|e| panic!("inserting rule {r:?}: {e}"));
+        }
+    }
+    let trace = packet::flow_trace(&rules, lookups, 0.8, seed ^ 0xF10);
+    let plans: Vec<QueryPlan> = trace
+        .iter()
+        .map(|p| {
+            plan.lower_query(&Pattern::Exact { value: p.pack() })
+                .expect("exact headers lower")
+        })
+        .collect();
+    out.push(measure_plans("packet-class", rules.len(), &table, &plans));
+
+    // Spell-check dictionary: binary 8-char words, misspelled queries
+    // resolved through distance-2 nearest-match ladders.
+    let words = dictionary::generate(&DictionaryConfig {
+        words: 5_000,
+        word_len: 8,
+        seed: seed ^ 0xD1C7,
+    });
+    let plan = compile(
+        &dictionary::dictionary_spec(8, 2),
+        &GeometryHint {
+            rows_log2: 11,
+            slots_per_row: 8,
+            data_bits: 32,
+        },
+    )
+    .expect("dictionary spec compiles");
+    let mut table = plan.build_table()?;
+    for (i, w) in words.iter().enumerate() {
+        let data = u64::try_from(i).expect("word count fits u64");
+        let records = plan
+            .lower_entry(
+                &Pattern::Exact {
+                    value: dictionary::pack_word(w),
+                },
+                data,
+            )
+            .expect("words lower");
+        for rec in records {
+            table
+                .insert(rec)
+                .unwrap_or_else(|e| panic!("inserting word {w:?}: {e}"));
+        }
+    }
+    let typos = dictionary::typo_trace(&words, lookups / 10, 2, seed ^ 0x7E0);
+    let plans: Vec<QueryPlan> = typos
+        .iter()
+        .map(|t| {
+            plan.lower_query(&Pattern::NearestMatch {
+                value: dictionary::pack_word(&t.query),
+                max_distance: 2,
+            })
+            .expect("typo ladders lower")
+        })
+        .collect();
+    let r = measure_plans("dictionary-d2", words.len(), &table, &plans);
+    assert!(
+        (r.hit_rate - 1.0).abs() < f64::EPSILON,
+        "every typo is within distance 2 of its word; hit rate {}",
+        r.hit_rate
+    );
+    out.push(r);
+
+    Ok(out)
 }
 
 fn main() -> Result<()> {
@@ -137,12 +274,29 @@ fn main() -> Result<()> {
         }
     );
 
+    // Pattern-compiled end-to-end workloads (single-probe classification
+    // and multi-probe nearest match), reported alongside the designs.
+    let patterns = pattern_workloads(lookups.min(20_000), seed)?;
+    println!(
+        "{:^14} {:>8} {:>8} {:>14} {:>12} {:>9}",
+        "Pattern", "entries", "lookups", "keys/s", "probes/qry", "hit rate"
+    );
+    rule(80);
+    for p in &patterns {
+        println!(
+            "{:^14} {:>8} {:>8} {:>14.0} {:>12.3} {:>9.4}",
+            p.scenario, p.entries, p.lookups, p.keys_per_sec, p.probes_per_query, p.hit_rate
+        );
+    }
+    rule(80);
+
     let report = SearchReport {
         prefixes: prefixes_n,
         lookups,
         threads,
         telemetry_overhead_pct,
         designs: results,
+        patterns,
     };
     let min_serial_speedup = report.min_serial_speedup();
     println!(

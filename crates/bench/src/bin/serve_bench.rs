@@ -40,6 +40,7 @@ use ca_ram_core::engine::SearchEngine;
 use ca_ram_core::index::RangeSelect;
 use ca_ram_core::key::{SearchKey, TernaryKey};
 use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::pattern::QueryPlan;
 use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram_core::telemetry::{to_json, validate_json, MetricsRegistry};
@@ -456,6 +457,32 @@ fn main() -> Result<()> {
             routing_max_min_ratio.is_finite() && routing_max_min_ratio < 2.0,
             "SplitMix64 routing balance degenerated (max/min >= 2)",
         )?;
+        // Compiled query plans ride the same admission path as plain
+        // searches: a two-probe plan (guaranteed miss, then a stored key)
+        // must resolve through the service with accesses summed over both
+        // probes — the serving-side contract of the pattern compiler's
+        // multi-probe ladders.
+        let absent = (0u64..)
+            .find(|v| workload.keys.binary_search(v).is_err())
+            .map(u128::from)
+            .expect("a 64-bit value outside the workload exists");
+        let stored = trace[0];
+        let plan = QueryPlan::new(vec![SearchKey::new(absent, 64), stored]);
+        let planned = service.search_plan_sync(&plan);
+        let direct = service.search_sync(&stored);
+        ensure(
+            planned.hit == direct.hit,
+            "pattern plan resolved to a different hit than the direct search",
+        )?;
+        ensure(
+            planned.memory_accesses >= direct.memory_accesses,
+            "pattern plan must account for the missing probe's accesses",
+        )?;
+        println!(
+            "pattern plan round-trip: 2 probes, hit data {:?}, {} accesses",
+            planned.hit.map(|h| h.data),
+            planned.memory_accesses
+        );
         println!(
             "smoke gates passed (low-load p50 measured/model = {p50_ratio:.2}, \
              capacity ratio {capacity_ratio:.2} >= {capacity_floor})"

@@ -132,6 +132,27 @@ impl Cli {
         self.args.contains(&format!("--{name}"))
     }
 
+    /// The value of `--name`, validated against a closed set of choices.
+    /// Returns `None` when the flag is absent (callers treat that as
+    /// "all" or a default), and an error naming every valid choice when
+    /// the value is not one of them — so a typo like `--scenario pakcet`
+    /// fails up front instead of silently filtering everything out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Arg`] listing `choices` if the value is
+    /// present but not among them.
+    pub fn choice(&self, name: &str, choices: &[&str]) -> Result<Option<String>> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) if choices.contains(&v) => Ok(Some(v.to_string())),
+            Some(v) => Err(BenchError::Arg(format!(
+                "--{name} {v:?} is not a valid choice; expected one of: {}",
+                choices.join(", ")
+            ))),
+        }
+    }
+
     /// The raw `--flag value` pairs whose flag is in `names`, flattened in
     /// order — for forwarding a subset of flags to a child binary.
     #[must_use]
@@ -220,6 +241,22 @@ mod tests {
             "temp file renamed away"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn choice_accepts_listed_values_and_names_the_rest() {
+        let cli = Cli::from_args(["--scenario", "packet-class-128b"]);
+        let choices = ["exact-churn-32b", "packet-class-128b"];
+        assert_eq!(
+            cli.choice("scenario", &choices).unwrap().as_deref(),
+            Some("packet-class-128b")
+        );
+        assert_eq!(cli.choice("engine", &choices).unwrap(), None);
+
+        let bad = Cli::from_args(["--scenario", "pakcet"]);
+        let err = bad.choice("scenario", &choices).unwrap_err().to_string();
+        assert!(err.contains("\"pakcet\""), "{err}");
+        assert!(err.contains("exact-churn-32b, packet-class-128b"), "{err}");
     }
 
     #[test]

@@ -2,12 +2,11 @@
 //! that realize them as `CaRamTable`s over the synthetic workloads.
 
 use ca_ram_core::index::{DjbHash, RangeSelect};
-use ca_ram_core::key::TernaryKey;
 use ca_ram_core::layout::{Record, RecordLayout};
 use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram_workloads::prefix::Ipv4Prefix;
-use ca_ram_workloads::trigram::pack_text_key;
+use ca_ram_workloads::trigram::text_ternary_key;
 
 /// One row of Table 2 or Table 3: a named CA-RAM design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,7 +226,7 @@ pub fn load_trigrams(table: &mut CaRamTable, entries: &[String]) {
         } else {
             0
         };
-        let record = Record::new(TernaryKey::binary(pack_text_key(s), 128), data);
+        let record = Record::new(text_ternary_key(s), data);
         table
             .insert(record)
             .unwrap_or_else(|e| panic!("inserting {s:?}: {e}"));
@@ -239,7 +238,7 @@ mod tests {
     use super::*;
     use ca_ram_core::key::SearchKey;
     use ca_ram_workloads::bgp::{generate, BgpConfig};
-    use ca_ram_workloads::trigram::{generate as gen_tri, TrigramConfig};
+    use ca_ram_workloads::trigram::{generate as gen_tri, pack_text_key, TrigramConfig};
 
     #[test]
     fn design_tables_match_paper_capacities() {

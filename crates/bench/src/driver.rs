@@ -183,6 +183,26 @@ impl DesignThroughput {
     }
 }
 
+/// Throughput of one pattern-compiled workload: a table built by
+/// [`ca_ram_core::pattern::compile`], loaded through lowered entries and
+/// queried through lowered probe ladders.
+#[derive(Debug, Clone)]
+pub struct PatternThroughput {
+    /// Workload name (e.g. `packet-class`, `dictionary-d2`).
+    pub scenario: &'static str,
+    /// Logical rules/words loaded (before ternary expansion).
+    pub entries: usize,
+    /// Queries in the trace.
+    pub lookups: usize,
+    /// Queries per second through the compiled query plans.
+    pub keys_per_sec: f64,
+    /// Mean engine probes issued per query (ladder length actually
+    /// walked; 1.0 = every query resolved on its first probe).
+    pub probes_per_query: f64,
+    /// Fraction of queries that found a match.
+    pub hit_rate: f64,
+}
+
 /// The `BENCH_search.json` report: simulator throughput per design.
 #[derive(Debug, Clone)]
 pub struct SearchReport {
@@ -197,6 +217,8 @@ pub struct SearchReport {
     pub telemetry_overhead_pct: f64,
     /// Per-design measurements.
     pub designs: Vec<DesignThroughput>,
+    /// Pattern-compiled workload measurements.
+    pub patterns: Vec<PatternThroughput>,
 }
 
 impl SearchReport {
@@ -242,6 +264,27 @@ impl SearchReport {
                 r.parallel_speedup(),
                 r.mean_accesses,
                 if i + 1 == self.designs.len() { "" } else { "," },
+            );
+        }
+        json.push_str("  ],\n");
+        json.push_str("  \"patterns\": [\n");
+        for (i, r) in self.patterns.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"scenario\": \"{}\", \"entries\": {}, \"lookups\": {}, \
+                 \"keys_per_sec\": {:.1}, \"probes_per_query\": {:.4}, \
+                 \"hit_rate\": {:.4}}}{}",
+                r.scenario,
+                r.entries,
+                r.lookups,
+                r.keys_per_sec,
+                r.probes_per_query,
+                r.hit_rate,
+                if i + 1 == self.patterns.len() {
+                    ""
+                } else {
+                    ","
+                },
             );
         }
         json.push_str("  ]\n}\n");
@@ -301,6 +344,14 @@ mod tests {
                 parallel_kps: 500.0,
                 mean_accesses: 1.25,
             }],
+            patterns: vec![PatternThroughput {
+                scenario: "packet-class",
+                entries: 500,
+                lookups: 1_000,
+                keys_per_sec: 1_234.5,
+                probes_per_query: 2.5,
+                hit_rate: 0.875,
+            }],
         };
         assert!((report.min_serial_speedup() - 2.5).abs() < 1e-12);
         let json = report.to_json();
@@ -308,6 +359,9 @@ mod tests {
         assert!(json.contains("\"min_serial_speedup\": 2.5000"));
         assert!(json.contains("\"telemetry_overhead_pct\": 1.2500"));
         assert!(json.contains("\"mean_memory_accesses\": 1.2500"));
+        assert!(json.contains("\"scenario\": \"packet-class\""));
+        assert!(json.contains("\"probes_per_query\": 2.5000"));
+        assert!(json.contains("\"hit_rate\": 0.8750"));
         assert!(json.ends_with("  ]\n}\n"));
     }
 

@@ -126,17 +126,28 @@ const EXHAUSTIVE: OverflowPolicy = OverflowPolicy::Probe {
     max_steps: u32::MAX,
 };
 
-const CHURN: &[Profile] = &[Profile::ExactChurn, Profile::TernaryDisjoint];
+// NearestMatch streams store only binary keys (approximation lives in the
+// masked probe ladder), so every ternary-capable engine can play them
+// regardless of its priority scheme. PacketClass streams arrive via
+// InsertSorted in arbitrary order, so only online-LPM-capable engines play.
+const CHURN: &[Profile] = &[
+    Profile::ExactChurn,
+    Profile::TernaryDisjoint,
+    Profile::NearestMatch,
+];
 const CHURN_LPM_BUILD: &[Profile] = &[
     Profile::ExactChurn,
     Profile::TernaryDisjoint,
     Profile::LpmBuild,
+    Profile::NearestMatch,
 ];
 const CHURN_LPM_FULL: &[Profile] = &[
     Profile::ExactChurn,
     Profile::TernaryDisjoint,
     Profile::LpmBuild,
     Profile::LpmChurn,
+    Profile::PacketClass,
+    Profile::NearestMatch,
 ];
 const EXACT_ONLY: &[Profile] = &[Profile::ExactChurn];
 const STATIC_ONLY: &[Profile] = &[Profile::SearchOnly];
@@ -435,6 +446,43 @@ mod tests {
                     sc.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pattern_scenarios_field_the_expected_cells() {
+        // packet-class: arbitrary-arrival sorted inserts — the online-LPM
+        // engines only. All must actually build at 128 bits / hash_lo 112.
+        let sc = standard_scenarios()
+            .into_iter()
+            .find(|s| s.name == "packet-class-128b")
+            .expect("scenario exists");
+        let fleet = fleet_for(&sc, &[]);
+        let names: Vec<&str> = fleet.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "ca-ram/linear",
+                "ca-ram/linear-h2",
+                "ca-ram/linear-v3",
+                "ca-ram/subsystem",
+                "ca-ram/service",
+                "sorted-tcam",
+            ]
+        );
+        for c in &fleet {
+            assert!((c.build)(sc.key_bits).is_some(), "{} declined", c.name);
+        }
+        // nearest-match: binary stores + masked ladders — every
+        // ternary-capable engine.
+        let sc = standard_scenarios()
+            .into_iter()
+            .find(|s| s.name == "nearest-match-64b")
+            .expect("scenario exists");
+        let fleet = fleet_for(&sc, &[]);
+        assert_eq!(fleet.len(), 12, "nearest-match fleet changed");
+        for c in &fleet {
+            assert!((c.build)(sc.key_bits).is_some(), "{} declined", c.name);
         }
     }
 

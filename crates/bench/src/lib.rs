@@ -40,7 +40,8 @@ pub mod fleet;
 pub use cli::{ensure, write_text, write_text_atomic, BenchError, Cli, Result};
 pub use driver::{
     bgp_config, exact_match_workload, keys_per_sec, member_trace, time, time_engine_batch,
-    trigram_config, BatchTiming, DesignThroughput, ExactMatchWorkload, SearchReport,
+    trigram_config, BatchTiming, DesignThroughput, ExactMatchWorkload, PatternThroughput,
+    SearchReport,
 };
 pub use fleet::{fleet_for, fleet_names, SubsystemEngine};
 

@@ -81,3 +81,7 @@ fixture_test!(
     lpm_backfill_best_of_bucket_32b,
     "lpm_backfill_best_of_bucket_32b.ops"
 );
+fixture_test!(
+    range_expansion_one_value_128b,
+    "range_expansion_one_value_128b.ops"
+);

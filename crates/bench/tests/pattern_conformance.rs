@@ -1,0 +1,137 @@
+//! Conformance of pattern-compiled tables across backends.
+//!
+//! The pattern compiler emits a `TableConfig` + index generator; this test
+//! instantiates the core engine-conformance suite over tables built from
+//! compiled plans — once on a raw `CaRamTable`, once wrapped as the sole
+//! database of a `SubsystemEngine`, and against a `SortedTcam` baseline
+//! loaded with the same lowered entries — so the compiled layouts obey the
+//! full `SearchEngine` contract (insert/search/delete round-trips, batch ≡
+//! serial ≡ parallel bit-equivalence, stats and occupancy accounting).
+
+use ca_ram_bench::SubsystemEngine;
+use ca_ram_cam::SortedTcam;
+use ca_ram_core::engine::conformance::{check_engine, Probe};
+use ca_ram_core::engine::SearchEngine;
+use ca_ram_core::key::SearchKey;
+use ca_ram_core::pattern::{compile, GeometryHint, Pattern, QueryPlan};
+use ca_ram_workloads::dictionary;
+use ca_ram_workloads::packet::{classifier_spec, ClassifierRule, FiveTuple, PortMatch};
+
+/// Classifier rules that each lower to exactly one ternary entry (no port
+/// ranges), pairwise disjoint (distinct src /16 networks), probed with a
+/// member header of each. Every field the index generator samples (the top
+/// bit of each field) is cared, so each record stores exactly one home copy
+/// and `check_engine`'s occupancy accounting holds.
+fn classifier_probes() -> Vec<Probe> {
+    (0..12u32)
+        .map(|i| {
+            let rule = ClassifierRule {
+                src: ((0x0A00_0000) | (i << 16), 16),
+                dst: (0xC0A8_0000, 16),
+                sport: PortMatch::Exact(u16::try_from(1000 + i).expect("small")),
+                dport: PortMatch::Exact(443),
+                proto: Some(6),
+                action: u64::from(100 + i),
+            };
+            let spec = classifier_spec();
+            let entries = spec.lower(&rule.to_pattern()).expect("rule lowers");
+            assert_eq!(entries.len(), 1, "no-range rules lower to one entry");
+            let member = FiveTuple {
+                src: rule.src.0 | 0x1234,
+                dst: rule.dst.0 | (0x0100 + i),
+                sport: 1000 + u16::try_from(i).expect("small"),
+                dport: 443,
+                proto: 6,
+            };
+            assert!(rule.matches(&member));
+            Probe {
+                record: ca_ram_core::layout::Record::new(entries[0], rule.action),
+                probe: SearchKey::new(member.pack(), 128),
+            }
+        })
+        .collect()
+}
+
+fn classifier_misses() -> Vec<SearchKey> {
+    // Headers outside every rule's src /16.
+    (0..6u32)
+        .map(|i| {
+            SearchKey::new(
+                FiveTuple {
+                    src: 0x2C00_0000 | i,
+                    dst: 0xC0A8_0001,
+                    sport: 1000,
+                    dport: 80,
+                    proto: 6,
+                }
+                .pack(),
+                128,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn compiled_five_tuple_table_passes_engine_conformance() {
+    let plan = compile(&classifier_spec(), &GeometryHint::default()).expect("compiles");
+    let mut table = plan.build_table().expect("builds");
+    check_engine(&mut table, &classifier_probes(), &classifier_misses());
+}
+
+#[test]
+fn compiled_five_tuple_subsystem_passes_engine_conformance() {
+    let plan = compile(&classifier_spec(), &GeometryHint::default()).expect("compiles");
+    let table = plan.build_table().expect("builds");
+    let mut engine = SubsystemEngine::new(table);
+    check_engine(&mut engine, &classifier_probes(), &classifier_misses());
+}
+
+#[test]
+fn sorted_tcam_baseline_passes_conformance_on_lowered_entries() {
+    // The CAM baseline stores the same lowered ternary entries; the
+    // conformance contract must hold there too (priority = care count for
+    // disjoint rules, so each probe still has one unambiguous owner).
+    let mut tcam = SortedTcam::new(256, 128);
+    check_engine(&mut tcam, &classifier_probes(), &classifier_misses());
+}
+
+#[test]
+fn compiled_dictionary_table_passes_engine_conformance() {
+    let plan =
+        compile(&dictionary::dictionary_spec(8, 2), &GeometryHint::default()).expect("compiles");
+    let mut table = plan.build_table().expect("builds");
+    let words: Vec<String> = ["aardvark", "bassoon!", "cladding", "dispatch"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let probes: Vec<Probe> = words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            Probe::exact(
+                dictionary::pack_word(w),
+                64,
+                u64::try_from(i).expect("small"),
+            )
+        })
+        .collect();
+    let misses = vec![
+        SearchKey::new(dictionary::pack_word("zzzzzzzz"), 64),
+        SearchKey::new(dictionary::pack_word("aardvarj"), 64),
+    ];
+    check_engine(&mut table, &probes, &misses);
+
+    // Beyond the exact contract: after reinserting, the compiled probe
+    // ladder resolves a 1-substitution typo through QueryPlan::execute.
+    for p in &probes {
+        table.insert(p.record).expect("fits");
+    }
+    let ladder: QueryPlan = plan
+        .lower_query(&Pattern::NearestMatch {
+            value: dictionary::pack_word("aardvarj"),
+            max_distance: 1,
+        })
+        .expect("ladder lowers");
+    let outcome = ladder.execute(&table);
+    assert_eq!(outcome.hit.map(|h| h.data), Some(0), "typo resolves");
+}

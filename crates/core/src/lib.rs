@@ -27,7 +27,11 @@
 //!   exportable per-slice / per-database / per-engine metrics;
 //! * [`oracle`] — model-based differential testing: a naive reference
 //!   model, a seeded adversarial op-stream generator, and a lockstep
-//!   replay harness with minimized divergence repros.
+//!   replay harness with minimized divergence repros;
+//! * [`pattern`] — the pattern compiler: high-level match patterns
+//!   (exact / prefix / range / masked multi-field / nearest-match)
+//!   lowered onto concrete table configurations, entries, and
+//!   multi-probe query plans.
 //!
 //! ## Example
 //!
@@ -69,6 +73,7 @@ pub mod layout;
 pub mod matchproc;
 pub mod memtest;
 pub mod oracle;
+pub mod pattern;
 pub mod probe;
 pub mod slice;
 pub mod stats;
@@ -90,6 +95,10 @@ pub use key::{SearchKey, TernaryKey, MAX_KEY_BITS};
 pub use layout::{Record, RecordLayout};
 pub use memtest::{MemTestReport, MemoryFault, RamAccess};
 pub use oracle::{DivergenceReport, EngineCase, Op, OpStreamGen, ReferenceModel};
+pub use pattern::{
+    compile, CompiledPlan, FieldPattern, FieldSpec, GeometryHint, IndexChoice, MatchMode, Pattern,
+    PatternError, PatternSpec, QueryPlan,
+};
 pub use probe::ProbePolicy;
 pub use slice::CaRamSlice;
 pub use stats::{AtomicSearchStats, LoadReport, OccupancyHistogram, PlacementStats, SearchStats};

@@ -25,6 +25,7 @@ use crate::bits::low_mask;
 use crate::config_regs::SUPPORTED_KEY_BYTES;
 use crate::key::{SearchKey, TernaryKey};
 use crate::layout::Record;
+use crate::pattern::{FieldPattern, Pattern, PatternSpec};
 
 use super::Op;
 
@@ -50,6 +51,19 @@ pub enum Profile {
     /// No mutations: a preloaded record set is only searched. For
     /// statically built engines (the software indexes).
     SearchOnly,
+    /// 5-tuple packet-classification rules lowered through the pattern
+    /// compiler ([`crate::pattern::PatternSpec::five_tuple`]): each rule
+    /// becomes one or more [`Op::InsertSorted`] ternary entries sharing a
+    /// payload (ranges prefix-expand), deleted rule-at-a-time, probed with
+    /// member points and field-masked searches. Arrival order is
+    /// arbitrary, so only online-LPM-capable engines can play.
+    PacketClass,
+    /// A binary dictionary probed spell-check style: exact words inserted
+    /// and churned, plus compiled nearest-match probe ladders
+    /// ([`crate::pattern::Pattern::NearestMatch`]) emitted as individual
+    /// masked searches. Any ternary-capable engine can play — stored keys
+    /// are all binary, so every match ties at full care.
+    NearestMatch,
 }
 
 /// One generation configuration: a named point in (width × profile ×
@@ -151,6 +165,34 @@ pub fn standard_scenarios() -> Vec<Scenario> {
         reconfigure: false,
         max_live: 256,
     });
+    // The two pattern-compiled scenarios (kept last so a CI time-box
+    // expiring mid-sweep skips these first, never the narrower cells).
+    out.push(Scenario {
+        name: "packet-class-128b".into(),
+        key_bits: 128,
+        profile: Profile::PacketClass,
+        // Hash from the top of the src field: generated src prefixes are
+        // /14 or longer, so a rule's wildcard run pokes at most two bits
+        // into any fleet index range starting at 112 (≤ 4 home-bucket
+        // copies, inside the must-fit margin).
+        hash_lo: 112,
+        hash_bits: 6,
+        data_bits: 32,
+        reconfigure: false,
+        max_live: 96,
+    });
+    out.push(Scenario {
+        name: "nearest-match-64b".into(),
+        key_bits: 64,
+        profile: Profile::NearestMatch,
+        // Deliberately byte-misaligned: the hashed range [28, 36) straddles
+        // two of the ladder's maskable byte units.
+        hash_lo: 28,
+        hash_bits: 6,
+        data_bits: 32,
+        reconfigure: false,
+        max_live: 128,
+    });
     out
 }
 
@@ -170,6 +212,10 @@ pub struct OpStreamGen {
     clusters: Vec<u128>,
     next_data: u64,
     width_cursor: usize,
+    /// Live classifier rules (entry-key groups) for [`Profile::PacketClass`].
+    rules: Vec<Vec<TernaryKey>>,
+    /// The compiled-pattern spec for the pattern-aware profiles.
+    spec: Option<PatternSpec>,
 }
 
 impl OpStreamGen {
@@ -186,6 +232,11 @@ impl OpStreamGen {
         let clusters = (0..3)
             .map(|_| rand_u128(&mut rng) & low_mask(sc.hash_bits))
             .collect();
+        let spec = match sc.profile {
+            Profile::PacketClass => Some(PatternSpec::five_tuple()),
+            Profile::NearestMatch => Some(PatternSpec::dictionary(sc.key_bits / 8, 2)),
+            _ => None,
+        };
         Self {
             rng,
             sc: sc.clone(),
@@ -195,6 +246,8 @@ impl OpStreamGen {
             clusters,
             next_data: 1,
             width_cursor: 0,
+            rules: Vec::new(),
+            spec,
         }
     }
 
@@ -226,13 +279,28 @@ impl OpStreamGen {
             self.lpm_build_phase(&mut ops);
         }
         while ops.len() < n {
-            let op = match self.sc.profile {
-                Profile::ExactChurn => self.exact_step(),
-                Profile::TernaryDisjoint => self.ternary_step(),
-                Profile::LpmBuild | Profile::SearchOnly => self.search_step(),
-                Profile::LpmChurn => self.lpm_churn_step(),
-            };
-            ops.push(op);
+            match self.sc.profile {
+                Profile::ExactChurn => {
+                    let op = self.exact_step();
+                    ops.push(op);
+                }
+                Profile::TernaryDisjoint => {
+                    let op = self.ternary_step();
+                    ops.push(op);
+                }
+                Profile::LpmBuild | Profile::SearchOnly => {
+                    let op = self.search_step();
+                    ops.push(op);
+                }
+                Profile::LpmChurn => {
+                    let op = self.lpm_churn_step();
+                    ops.push(op);
+                }
+                // The pattern-aware profiles emit op groups (a rule's whole
+                // expansion, a query's whole probe ladder) per step.
+                Profile::PacketClass => self.packet_step(&mut ops),
+                Profile::NearestMatch => self.nearest_step(&mut ops),
+            }
         }
         ops.truncate(n);
         ops
@@ -572,6 +640,192 @@ impl OpStreamGen {
     fn search_step(&mut self) -> Op {
         Op::Search(self.probe_key())
     }
+
+    // ---- pattern-compiled packet classification ----------------------------
+
+    /// Lowers one random classifier rule through the five-tuple spec.
+    ///
+    /// Shapes are bounded so the stream stays fair to `must_fit` engines:
+    /// src prefixes are /14+ (≤ 2 wildcard bits inside any fleet hash
+    /// range ⇒ ≤ 4 home-bucket copies), and at most one port field is a
+    /// range (expansion ≤ 30 entries, under the 2·W = 256 limit).
+    fn packet_rule(&mut self) -> Vec<TernaryKey> {
+        let src = FieldPattern::Prefix {
+            value: u128::from(self.rng.gen::<u32>()),
+            len: self.rng.gen_range(14..=32u32),
+        };
+        let dst = FieldPattern::Prefix {
+            value: u128::from(self.rng.gen::<u32>()),
+            len: [0u32, 8, 16, 24, 32][self.rng.gen_range(0..5usize)],
+        };
+        let range_on_sport = self.rng.gen_bool(0.5);
+        let sport = port_match(&mut self.rng, range_on_sport);
+        let dport = port_match(&mut self.rng, !range_on_sport);
+        let proto = if self.rng.gen_bool(0.5) {
+            FieldPattern::Any
+        } else {
+            FieldPattern::Exact(u128::from([1u8, 6, 17][self.rng.gen_range(0..3usize)]))
+        };
+        let pattern = Pattern::MaskedMultiField {
+            fields: vec![src, dst, sport, dport, proto, FieldPattern::Exact(0)],
+        };
+        self.spec
+            .as_ref()
+            .expect("packet profile has a spec")
+            .lower(&pattern)
+            .expect("bounded rule shapes always lower")
+    }
+
+    /// Deletes one whole rule, entry by entry.
+    fn delete_rule(&mut self, ops: &mut Vec<Op>) {
+        let i = self.rng.gen_range(0..self.rules.len());
+        let entries = self.rules.swap_remove(i);
+        for k in entries {
+            self.note_delete(k);
+            ops.push(Op::Delete(k));
+        }
+    }
+
+    fn packet_step(&mut self, ops: &mut Vec<Op>) {
+        if self.live.len() >= self.sc.max_live && !self.rules.is_empty() {
+            self.delete_rule(ops);
+            return;
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < 0.25 {
+            let entries = self.packet_rule();
+            if self.live.len() + entries.len() > self.sc.max_live {
+                if !self.rules.is_empty() {
+                    self.delete_rule(ops);
+                }
+                return;
+            }
+            // One payload for the whole expansion: the compiled-entry
+            // contract the reference model pins.
+            let data = self.fresh_data();
+            for k in &entries {
+                self.note_insert(*k);
+                ops.push(Op::InsertSorted(Record::new(*k, data)));
+            }
+            self.rules.push(entries);
+        } else if roll < 0.40 && !self.rules.is_empty() {
+            self.delete_rule(ops);
+        } else if roll < 0.70 {
+            ops.push(Op::Search(self.probe_key()));
+        } else if roll < 0.85 {
+            // Field-masked probe: wildcard a low run (pad / proto / ports),
+            // never reaching the hashed src bits.
+            let dc_len = self.rng.gen_range(1..=48u32);
+            let probe = if let Some(k) = self.random_live() {
+                let point = self.point_under(&k);
+                SearchKey::with_mask(point.value(), low_mask(dc_len), self.bits)
+            } else {
+                self.probe_key()
+            };
+            ops.push(Op::Search(probe));
+        } else {
+            // A plausible header: random fields, zero pad — usually a miss.
+            let v = rand_u128(&mut self.rng) & self.width_mask() & !low_mask(24);
+            ops.push(Op::Search(SearchKey::new(v, self.bits)));
+        }
+    }
+
+    // ---- pattern-compiled nearest match ------------------------------------
+
+    /// An 8-letter lowercase word packed LSB-first — the small alphabet
+    /// makes distance-1/2 neighborhoods genuinely collide.
+    fn nearest_word(&mut self) -> u128 {
+        let mut v = 0u128;
+        for i in 0..self.bits / 8 {
+            v |= u128::from(b'a' + self.rng.gen_range(0..26u8)) << (8 * i);
+        }
+        v
+    }
+
+    fn nearest_step(&mut self, ops: &mut Vec<Op>) {
+        if self.live.len() >= self.sc.max_live {
+            let k = self.random_live().expect("live set is full");
+            self.note_delete(k);
+            ops.push(Op::Delete(k));
+            return;
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < 0.30 {
+            let key = TernaryKey::binary(self.nearest_word(), self.bits);
+            let data = self.fresh_data();
+            self.note_insert(key);
+            ops.push(Op::Insert(Record::new(key, data)));
+        } else if roll < 0.42 {
+            let key = if roll < 0.38 {
+                self.random_live()
+            } else {
+                self.random_dead()
+            }
+            .unwrap_or_else(|| {
+                let w = self.nearest_word();
+                TernaryKey::binary(w, self.bits)
+            });
+            self.note_delete(key);
+            ops.push(Op::Delete(key));
+        } else if roll < 0.50 {
+            let key = self.random_live().unwrap_or_else(|| {
+                let w = self.nearest_word();
+                TernaryKey::binary(w, self.bits)
+            });
+            let data = self.fresh_data();
+            if self.live.contains(&key) {
+                self.note_delete(key);
+                self.note_insert(key);
+            }
+            ops.push(Op::Update { key, data });
+        } else if roll < 0.80 {
+            // Misspell a stored word (unit substitutions), then emit the
+            // compiled distance ladder as individual masked searches.
+            let base = match self.random_live() {
+                Some(k) => k.value(),
+                None => self.nearest_word(),
+            };
+            let distance = self.rng.gen_range(1..=2u32);
+            let mut value = base;
+            for _ in 0..distance {
+                let unit = self.rng.gen_range(0..self.bits / 8);
+                let b = u128::from(b'a' + self.rng.gen_range(0..26u8));
+                value = (value & !(0xFFu128 << (8 * unit))) | (b << (8 * unit));
+            }
+            let probes = self
+                .spec
+                .as_ref()
+                .expect("nearest profile has a spec")
+                .lower_probes(&Pattern::NearestMatch {
+                    value,
+                    max_distance: distance,
+                })
+                .expect("distance ≤ 2 ladders fit the probe budget");
+            for p in probes {
+                ops.push(Op::Search(p));
+            }
+        } else {
+            ops.push(Op::Search(self.probe_key()));
+        }
+    }
+}
+
+/// A random port field pattern; ranges only when `allow_range` (one range
+/// per rule bounds the cross-product expansion).
+fn port_match(rng: &mut SmallRng, allow_range: bool) -> FieldPattern {
+    let roll: f64 = rng.gen();
+    if roll < 0.40 {
+        FieldPattern::Any
+    } else if !allow_range || roll < 0.75 {
+        FieldPattern::Exact(u128::from(rng.gen::<u16>()))
+    } else {
+        let a = rng.gen::<u16>();
+        let b = rng.gen::<u16>();
+        FieldPattern::Range {
+            lo: u128::from(a.min(b)),
+            hi: u128::from(a.max(b)),
+        }
+    }
 }
 
 fn rand_u128(rng: &mut SmallRng) -> u128 {
@@ -621,6 +875,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn packet_stream_keeps_expansions_bounded_and_shared() {
+        let sc = standard_scenarios()
+            .into_iter()
+            .find(|s| s.name == "packet-class-128b")
+            .expect("scenario exists");
+        let mut g = OpStreamGen::new(&sc, 11);
+        let ops = g.generate(5000);
+        assert!(g.live.len() <= sc.max_live);
+        let mut saw_sorted_insert = false;
+        let mut saw_masked_search = false;
+        for op in &ops {
+            match op {
+                Op::InsertSorted(r) => {
+                    saw_sorted_insert = true;
+                    // The wildcard run never pokes more than two bits into
+                    // the widest fleet hash range [112, 120).
+                    let overlap = r.key.dont_care() >> 112 & 0xFF;
+                    assert!(overlap.count_ones() <= 2, "src /14+ bound violated");
+                }
+                Op::Search(k) => {
+                    saw_masked_search |= k.dont_care() != 0;
+                    // Masked probes stay below the hashed src bits.
+                    assert_eq!(k.dont_care() >> 112, 0);
+                }
+                Op::Insert(_) | Op::Update { .. } | Op::Reconfigure { .. } => {
+                    panic!("packet streams use sorted inserts only")
+                }
+                Op::Delete(_) => {}
+            }
+        }
+        assert!(saw_sorted_insert && saw_masked_search);
+        // Every rule's expansion shares one payload.
+        let mut by_rule: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for op in &ops {
+            if let Op::InsertSorted(r) = op {
+                *by_rule.entry(r.data).or_insert(0) += 1;
+            }
+        }
+        assert!(by_rule.values().any(|&n| n > 1), "no multi-entry expansion");
+    }
+
+    #[test]
+    fn nearest_stream_emits_probe_ladders() {
+        let sc = standard_scenarios()
+            .into_iter()
+            .find(|s| s.name == "nearest-match-64b")
+            .expect("scenario exists");
+        let mut g = OpStreamGen::new(&sc, 5);
+        let ops = g.generate(5000);
+        let mut byte_masked = 0usize;
+        for op in &ops {
+            match op {
+                Op::Insert(r) | Op::InsertSorted(r) => assert_eq!(r.key.dont_care(), 0),
+                Op::Update { key, .. } => assert_eq!(key.dont_care(), 0),
+                Op::Search(k) => {
+                    let dc = k.dont_care();
+                    if dc != 0 {
+                        byte_masked += 1;
+                        // Ladder probes wildcard whole bytes only.
+                        for byte in 0..8 {
+                            let b = dc >> (8 * byte) & 0xFF;
+                            assert!(b == 0 || b == 0xFF, "non-unit mask {dc:#x}");
+                        }
+                        assert!(dc.count_ones() <= 16, "distance > 2");
+                    }
+                }
+                Op::Delete(_) => {}
+                Op::Reconfigure { .. } => panic!("nearest streams never reconfigure"),
+            }
+        }
+        assert!(byte_masked > 100, "only {byte_masked} ladder probes");
     }
 
     #[test]

@@ -21,6 +21,19 @@ pub struct Expected {
     /// the stream created a genuine priority tie (equal-specificity
     /// patterns, or duplicate keys with different payloads), where engines
     /// legitimately differ in tie-breaking.
+    ///
+    /// **Tie-break semantics for compiled expansions are pinned by this
+    /// admission rule.** The pattern compiler
+    /// ([`crate::pattern::CompiledPlan::lower_entry`]) lowers one logical
+    /// entry — e.g. a range via prefix expansion — into several ternary
+    /// records that all carry the *same* data payload. A point query can
+    /// match at most one entry of a disjoint cover, and when equal-care
+    /// cover entries of *different* logical rules tie, each contributes its
+    /// own payload to `accepted`, exactly as hand-written patterns would.
+    /// So as long as every expansion shares one payload (enforced by
+    /// [`ReferenceModel::insert_compiled`]), engines remain free to break
+    /// max-care ties arbitrarily without ever splitting one logical rule
+    /// into two observable answers.
     pub accepted: Vec<u64>,
 }
 
@@ -96,6 +109,32 @@ impl ReferenceModel {
             "model fed a record of the wrong width"
         );
         self.records.push(record);
+    }
+
+    /// Stores every record of one compiled multi-entry expansion (e.g. a
+    /// range lowered through
+    /// [`crate::pattern::CompiledPlan::lower_entry`]).
+    ///
+    /// The one-logical-value contract is asserted here: all entries of an
+    /// expansion must carry the same data payload, otherwise a max-care tie
+    /// between two entries of the *same* rule would make the rule's answer
+    /// depend on the engine's tie-break, which [`Expected::admits`] is not
+    /// allowed to distinguish.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mixed payloads within `entries`, or on a key-width
+    /// mismatch as in [`ReferenceModel::insert`].
+    pub fn insert_compiled(&mut self, entries: &[Record]) {
+        if let Some(first) = entries.first() {
+            assert!(
+                entries.iter().all(|r| r.data == first.data),
+                "compiled expansion must carry one logical value"
+            );
+        }
+        for r in entries {
+            self.insert(*r);
+        }
     }
 
     /// Removes every record whose key equals `key`; returns how many.
@@ -188,6 +227,34 @@ mod tests {
             m.expected(&SearchKey::new(0x0A01_0000, 32)).accepted,
             vec![1]
         );
+    }
+
+    #[test]
+    fn compiled_expansion_reports_one_logical_value() {
+        use crate::pattern::{prefix_cover, Pattern, PatternSpec};
+        let spec = PatternSpec::lpm("r", 32).unwrap();
+        let mut m = ReferenceModel::new(32);
+        // [3, 9] covers as {3}, [4,7], [8,9]: three entries, one payload.
+        let keys = spec
+            .lower(&Pattern::RangeViaPrefixExpansion { lo: 3, hi: 9 })
+            .unwrap();
+        assert_eq!(keys.len(), prefix_cover(3, 9, 32).unwrap().len());
+        let entries: Vec<Record> = keys.iter().map(|&k| Record::new(k, 42)).collect();
+        m.insert_compiled(&entries);
+        for v in 3u128..=9 {
+            let e = m.expected(&SearchKey::new(v, 32));
+            // Disjoint cover: exactly one entry matches, one accepted value.
+            assert_eq!(e.matches, 1, "value {v}");
+            assert_eq!(e.accepted, vec![42]);
+        }
+        assert!(m.expected(&SearchKey::new(10, 32)).admits(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "one logical value")]
+    fn mixed_payload_expansion_rejected() {
+        let mut m = ReferenceModel::new(32);
+        m.insert_compiled(&[rec(4, 3, 1), rec(8, 1, 2)]);
     }
 
     #[test]

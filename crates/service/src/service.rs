@@ -10,6 +10,7 @@ use ca_ram_core::engine::{EngineOutcome, EngineReport, SearchEngine};
 use ca_ram_core::error::{CaRamError, Result};
 use ca_ram_core::key::{SearchKey, TernaryKey};
 use ca_ram_core::layout::Record;
+use ca_ram_core::pattern::QueryPlan;
 use ca_ram_core::telemetry::{MetricsRegistry, ScopeKind};
 
 use crate::config::ServiceConfig;
@@ -353,6 +354,32 @@ impl SearchService {
         }
     }
 
+    /// Synchronous execution of a compiled multi-probe query plan (the
+    /// pattern compiler's nearest-match ladders and range probes): probes
+    /// in plan order through the service, first hit wins, memory accesses
+    /// summed across every probe issued — the same contract as
+    /// [`QueryPlan::execute`] against a raw engine, but with each probe
+    /// individually admitted, routed, and counted by the shard it lands on.
+    ///
+    /// # Panics
+    ///
+    /// As [`SearchService::search_sync`].
+    #[must_use]
+    pub fn search_plan_sync(&self, plan: &QueryPlan) -> EngineOutcome {
+        let mut accesses = 0u32;
+        for probe in plan.probes() {
+            let outcome = self.search_sync(probe);
+            accesses = accesses.saturating_add(outcome.memory_accesses);
+            if outcome.hit.is_some() {
+                return EngineOutcome {
+                    hit: outcome.hit,
+                    memory_accesses: accesses,
+                };
+            }
+        }
+        EngineOutcome::miss(accesses)
+    }
+
     /// Synchronous insert (append placement).
     ///
     /// # Errors
@@ -589,6 +616,55 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ca_ram_core::pattern::{compile, GeometryHint, Pattern, PatternSpec};
+
+    #[test]
+    fn search_plan_sync_walks_the_ladder_and_sums_accesses() {
+        // A one-shard service over a compiled nearest-match dictionary:
+        // the service must resolve a misspelling through the multi-probe
+        // plan exactly as a raw engine would.
+        let plan = compile(&PatternSpec::dictionary(4, 1), &GeometryHint::default())
+            .expect("dictionary spec compiles");
+        let table = plan.build_table().expect("plan builds");
+        let config = ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        };
+        let service = SearchService::new(config, vec![Box::new(table)]).expect("valid service");
+        let word = u128::from_le_bytes(*b"word\0\0\0\0\0\0\0\0\0\0\0\0");
+        for rec in plan
+            .lower_entry(&Pattern::Exact { value: word }, 7)
+            .expect("word lowers")
+        {
+            service.insert_sync(rec).expect("fits");
+        }
+        let misspelled = word ^ (u128::from(b'o' ^ b'a') << 8); // "ward"
+        let ladder = plan
+            .lower_query(&Pattern::NearestMatch {
+                value: misspelled,
+                max_distance: 1,
+            })
+            .expect("ladder lowers");
+        assert!(ladder.probes().len() > 1, "exact probe plus unit masks");
+        let outcome = service.search_plan_sync(&ladder);
+        assert_eq!(outcome.hit.map(|h| h.data), Some(7));
+        // The exact probe misses first, so accesses include both probes.
+        let exact_only = service.search_sync(&ladder.probes()[0]);
+        assert!(exact_only.hit.is_none());
+        assert!(outcome.memory_accesses >= exact_only.memory_accesses);
+        // A query past the distance budget misses through the whole ladder.
+        let far = word ^ 0x0101; // two units substituted
+        let miss = service.search_plan_sync(
+            &plan
+                .lower_query(&Pattern::NearestMatch {
+                    value: far,
+                    max_distance: 1,
+                })
+                .expect("ladder lowers"),
+        );
+        assert!(miss.hit.is_none());
+        service.shutdown();
+    }
 
     #[test]
     fn splitmix_spreads_sequential_values() {

@@ -1,0 +1,259 @@
+//! Spell-check dictionaries — the nearest-match pattern workload.
+//!
+//! The paper's future-work section points CA-RAM at cognitive-model and
+//! approximate retrievals; the concrete, benchmarkable instance is a
+//! spell checker: store a dictionary of fixed-width words as binary keys,
+//! and resolve a misspelling to its nearest stored word. The pattern
+//! compiler lowers a [`Pattern::NearestMatch`] query into a distance
+//! ladder of unit-masked probes (exact first, then every 1-substitution
+//! mask, then every 2-substitution mask, …), so the first hit is a
+//! nearest word by **Hamming distance over character units** — substitution
+//! typos only, not insertions or deletions (edit distance needs a
+//! different key geometry).
+//!
+//! [`Pattern::NearestMatch`]: ca_ram_core::pattern::Pattern::NearestMatch
+
+use std::collections::HashSet;
+
+use ca_ram_core::pattern::PatternSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The pattern spec dictionary workloads compile through: `word_len`
+/// byte-unit characters, nearest-match with the given substitution budget.
+///
+/// # Panics
+///
+/// Panics if the geometry is rejected by the compiler (zero or over-wide
+/// words, or a distance outside `1..=word_len`).
+#[must_use]
+pub fn dictionary_spec(word_len: usize, max_distance: u32) -> PatternSpec {
+    let bytes = u32::try_from(word_len).expect("word length fits u32");
+    PatternSpec::dictionary(bytes, max_distance)
+}
+
+/// Packs a word of at most 16 bytes into a 128-bit key, least-significant
+/// byte first (unit 0 of the nearest-match ladder is the first character).
+///
+/// # Panics
+///
+/// Panics if `word` exceeds 16 bytes.
+#[must_use]
+pub fn pack_word(word: &str) -> u128 {
+    let bytes = word.as_bytes();
+    assert!(bytes.len() <= 16, "word {word:?} exceeds 16 bytes");
+    let mut key: u128 = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        key |= u128::from(b) << (8 * i);
+    }
+    key
+}
+
+/// Configuration of the synthetic dictionary generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DictionaryConfig {
+    /// Distinct words to generate.
+    pub words: usize,
+    /// Exact word length in characters (1..=16; fixed-width keys).
+    pub word_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DictionaryConfig {
+    fn default() -> Self {
+        Self {
+            words: 20_000,
+            word_len: 8,
+            seed: 0xD1C7,
+        }
+    }
+}
+
+impl DictionaryConfig {
+    /// The default shape at a chosen word count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn scaled(words: usize) -> Self {
+        assert!(words > 0, "need at least one word");
+        Self {
+            words,
+            ..Self::default()
+        }
+    }
+}
+
+/// English letter frequencies for plausible-looking words (nearest-match
+/// behaviour depends only on the keys being distinct).
+const LETTER_WEIGHTS: [f64; 26] = [
+    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4, 6.7, 7.5, 1.9, 0.095, 6.0,
+    6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074,
+];
+
+fn weighted_letter(rng: &mut SmallRng) -> u8 {
+    let total: f64 = LETTER_WEIGHTS.iter().sum();
+    let mut roll = rng.gen::<f64>() * total;
+    for (i, &w) in LETTER_WEIGHTS.iter().enumerate() {
+        roll -= w;
+        if roll <= 0.0 {
+            return b'a' + u8::try_from(i).expect("26 letters");
+        }
+    }
+    b'z'
+}
+
+/// Generates `config.words` distinct lowercase words of exactly
+/// `config.word_len` characters.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (zero words, a word length
+/// outside `1..=16`, or more words than distinct keys of that length).
+#[must_use]
+pub fn generate(config: &DictionaryConfig) -> Vec<String> {
+    assert!(config.words > 0, "need at least one word");
+    assert!(
+        (1..=16).contains(&config.word_len),
+        "word length must be 1..=16 to pack into a 128-bit key"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut seen: HashSet<u128> = HashSet::with_capacity(config.words * 2);
+    let mut out = Vec::with_capacity(config.words);
+    let mut attempts: u64 = 0;
+    while out.len() < config.words {
+        attempts += 1;
+        assert!(
+            attempts < (config.words as u64).saturating_mul(400).max(1 << 20),
+            "generator cannot find enough distinct words; config too tight"
+        );
+        let word: String = (0..config.word_len)
+            .map(|_| char::from(weighted_letter(&mut rng)))
+            .collect();
+        if seen.insert(pack_word(&word)) {
+            out.push(word);
+        }
+    }
+    out
+}
+
+/// One entry of a typo lookup trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Typo {
+    /// The possibly-misspelled query word.
+    pub query: String,
+    /// The dictionary word it was derived from.
+    pub original: String,
+    /// Substituted character count (Hamming distance to `original`).
+    pub distance: u32,
+}
+
+/// Derives a lookup trace of misspellings: each entry picks a dictionary
+/// word and substitutes `0..=max_distance` random character positions with
+/// random lowercase letters (re-rolled to differ, so the reported distance
+/// is exact). Distances are distributed roughly uniformly over
+/// `0..=max_distance`.
+///
+/// # Panics
+///
+/// Panics if `words` is empty or contains an empty word.
+#[must_use]
+pub fn typo_trace(words: &[String], lookups: usize, max_distance: u32, seed: u64) -> Vec<Typo> {
+    assert!(!words.is_empty(), "need at least one word");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..lookups)
+        .map(|_| {
+            let original = &words[rng.gen_range(0..words.len())];
+            assert!(!original.is_empty(), "words must be non-empty");
+            let mut bytes = original.clone().into_bytes();
+            let distance = rng.gen_range(0..=max_distance);
+            let mut hit: Vec<usize> = Vec::with_capacity(distance as usize);
+            while hit.len() < distance as usize && hit.len() < bytes.len() {
+                let pos = rng.gen_range(0..bytes.len());
+                if hit.contains(&pos) {
+                    continue;
+                }
+                hit.push(pos);
+                let old = bytes[pos];
+                loop {
+                    let new = b'a' + rng.gen_range(0..26u8);
+                    if new != old {
+                        bytes[pos] = new;
+                        break;
+                    }
+                }
+            }
+            Typo {
+                query: String::from_utf8(bytes).expect("substitutions stay ASCII"),
+                original: original.clone(),
+                distance: u32::try_from(hit.len()).expect("distance fits u32"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_ram_core::key::SearchKey;
+    use ca_ram_core::pattern::Pattern;
+
+    #[test]
+    fn generator_is_deterministic_and_distinct() {
+        let a = generate(&DictionaryConfig::scaled(3_000));
+        let b = generate(&DictionaryConfig::scaled(3_000));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3_000);
+        let mut keys: Vec<u128> = a.iter().map(|w| pack_word(w)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 3_000);
+        assert!(a.iter().all(|w| w.len() == 8));
+        assert!(a.iter().all(|w| w.bytes().all(|b| b.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn typos_report_exact_hamming_distance() {
+        let words = generate(&DictionaryConfig::scaled(200));
+        let trace = typo_trace(&words, 500, 2, 9);
+        assert_eq!(trace.len(), 500);
+        let mut saw = [0usize; 3];
+        for t in &trace {
+            let d = t
+                .query
+                .bytes()
+                .zip(t.original.bytes())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(d, t.distance as usize, "{t:?}");
+            saw[t.distance as usize] += 1;
+        }
+        assert!(saw.iter().all(|&c| c > 0), "all distances present: {saw:?}");
+    }
+
+    #[test]
+    fn probe_ladder_finds_the_original_within_distance() {
+        let words = generate(&DictionaryConfig::scaled(50));
+        let spec = dictionary_spec(8, 2);
+        for t in typo_trace(&words, 60, 2, 11) {
+            let probes = spec
+                .lower_probes(&Pattern::NearestMatch {
+                    value: pack_word(&t.query),
+                    max_distance: 2,
+                })
+                .expect("ladder lowers");
+            // Some probe in the ladder matches the original word's key.
+            let original = pack_word(&t.original);
+            assert!(
+                probes
+                    .iter()
+                    .any(|p| (original ^ p.value()) & !p.dont_care() == 0),
+                "{t:?}"
+            );
+            // The exact probe comes first.
+            assert_eq!(probes[0], SearchKey::new(pack_word(&t.query), 64));
+        }
+    }
+}

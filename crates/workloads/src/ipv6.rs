@@ -11,9 +11,21 @@
 use core::fmt;
 
 use ca_ram_core::key::TernaryKey;
+use ca_ram_core::pattern::{Pattern, PatternSpec};
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// The pattern spec IPv6 routing workloads compile through: one 128-bit
+/// address field in longest-prefix-match mode.
+///
+/// # Panics
+///
+/// Never: the shape is statically well-formed.
+#[must_use]
+pub fn lpm_spec() -> PatternSpec {
+    PatternSpec::lpm("ipv6-lpm", 128).expect("ipv6 LPM spec is well-formed")
+}
 
 /// An IPv6 prefix: a 128-bit address with all host bits zero and a length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -86,10 +98,29 @@ impl Ipv6Prefix {
         addr & !Self::host_mask(self.len) == self.addr
     }
 
-    /// The 128-symbol ternary stored key.
+    /// This prefix as a compiler pattern for [`lpm_spec`]-shaped tables.
+    #[must_use]
+    pub fn to_pattern(&self) -> Pattern {
+        Pattern::Prefix {
+            value: self.addr,
+            len: u32::from(self.len),
+        }
+    }
+
+    /// The 128-symbol ternary stored key, routed through the pattern
+    /// compiler ([`lpm_spec`]) — byte-identical to the hand-derived
+    /// host-mask encoding.
+    ///
+    /// # Panics
+    ///
+    /// Never: a prefix pattern always lowers under its own spec.
     #[must_use]
     pub fn to_ternary_key(&self) -> TernaryKey {
-        TernaryKey::ternary(self.addr, Self::host_mask(self.len), 128)
+        let keys = lpm_spec()
+            .lower(&self.to_pattern())
+            .expect("a prefix lowers under the LPM spec");
+        debug_assert_eq!(keys.len(), 1);
+        keys[0]
     }
 
     /// A uniformly random address covered by this prefix.

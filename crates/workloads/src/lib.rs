@@ -15,7 +15,11 @@
 //! * [`chunks`] — ACT-R-style declarative-memory chunks and partial-cue
 //!   retrievals (the paper's future-work application, Sec. 6);
 //! * [`ngram`] — a unigram/bigram/trigram back-off language model (the
-//!   Sec. 4.2 N-gram memory's workload).
+//!   Sec. 4.2 N-gram memory's workload);
+//! * [`packet`] — 5-tuple packet-classifier rule sets and flow traces,
+//!   lowered through the pattern compiler's masked multi-field mode;
+//! * [`dictionary`] — fixed-width spell-check dictionaries and typo
+//!   traces for the compiler's nearest-match probe ladders.
 //!
 //! Every generator is deterministic given its config (seeded RNG), so the
 //! experiment binaries are reproducible run to run.
@@ -37,8 +41,10 @@
 
 pub mod bgp;
 pub mod chunks;
+pub mod dictionary;
 pub mod ipv6;
 pub mod ngram;
+pub mod packet;
 pub mod prefix;
 pub mod trace;
 pub mod trigram;
@@ -46,8 +52,10 @@ pub mod zane;
 
 pub use bgp::BgpConfig;
 pub use chunks::{Chunk, ChunkConfig, Cue};
+pub use dictionary::{DictionaryConfig, Typo};
 pub use ipv6::{Ipv6Config, Ipv6Prefix};
 pub use ngram::{BackoffLm, NgramConfig};
+pub use packet::{ClassifierRule, FiveTuple, PacketClassConfig, PortMatch};
 pub use prefix::Ipv4Prefix;
 pub use trace::AccessPattern;
 pub use trigram::{pack_text_key, TrigramConfig};

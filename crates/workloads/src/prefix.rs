@@ -4,6 +4,18 @@ use core::fmt;
 use core::str::FromStr;
 
 use ca_ram_core::key::TernaryKey;
+use ca_ram_core::pattern::{Pattern, PatternSpec};
+
+/// The pattern spec every IPv4 routing workload compiles through: one
+/// 32-bit address field in longest-prefix-match mode.
+///
+/// # Panics
+///
+/// Never: the shape is statically well-formed.
+#[must_use]
+pub fn lpm_spec() -> PatternSpec {
+    PatternSpec::lpm("ipv4-lpm", 32).expect("ipv4 LPM spec is well-formed")
+}
 
 /// An IPv4 prefix: an address and a prefix length, with all host bits zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -96,15 +108,31 @@ impl Ipv4Prefix {
         other.len >= self.len && self.contains(other.addr)
     }
 
+    /// This prefix as a compiler pattern for [`lpm_spec`]-shaped tables.
+    #[must_use]
+    pub fn to_pattern(&self) -> Pattern {
+        Pattern::Prefix {
+            value: u128::from(self.addr),
+            len: u32::from(self.len),
+        }
+    }
+
     /// The ternary stored key for a CA-RAM or TCAM: 32 symbols, the host
     /// bits don't-care (Sec. 4.1: "a prefix consists of 32 ternary bits").
+    /// Routed through the pattern compiler ([`lpm_spec`]): a prefix lowers
+    /// to exactly one ternary key, byte-identical to the hand-derived
+    /// host-mask encoding this method used before the compiler existed.
+    ///
+    /// # Panics
+    ///
+    /// Never: a prefix pattern always lowers under its own spec.
     #[must_use]
     pub fn to_ternary_key(&self) -> TernaryKey {
-        TernaryKey::ternary(
-            u128::from(self.addr),
-            u128::from(Self::host_mask(self.len)),
-            32,
-        )
+        let keys = lpm_spec()
+            .lower(&self.to_pattern())
+            .expect("a prefix lowers under the LPM spec");
+        debug_assert_eq!(keys.len(), 1);
+        keys[0]
     }
 
     /// A uniformly random address covered by this prefix.

@@ -11,9 +11,41 @@
 
 use std::collections::HashSet;
 
+use ca_ram_core::key::TernaryKey;
+use ca_ram_core::pattern::{Pattern, PatternSpec};
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// The pattern spec trigram tables compile through: one 128-bit packed
+/// text key in exact-match mode (DJB-hashed at compile time).
+///
+/// # Panics
+///
+/// Never: the shape is statically well-formed.
+#[must_use]
+pub fn exact_spec() -> PatternSpec {
+    PatternSpec::exact("trigram-exact", 128).expect("trigram spec is well-formed")
+}
+
+/// The binary stored key for one trigram entry, routed through the pattern
+/// compiler ([`exact_spec`]) — byte-identical to
+/// `TernaryKey::binary(pack_text_key(text), 128)`.
+///
+/// # Panics
+///
+/// As [`pack_text_key`] (text over 16 bytes); an exact pattern always
+/// lowers under its own spec.
+#[must_use]
+pub fn text_ternary_key(text: &str) -> TernaryKey {
+    let keys = exact_spec()
+        .lower(&Pattern::Exact {
+            value: pack_text_key(text),
+        })
+        .expect("an exact pattern lowers under the exact spec");
+    debug_assert_eq!(keys.len(), 1);
+    keys[0]
+}
 
 /// Configuration of the synthetic trigram generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
