@@ -22,17 +22,27 @@
 //!      [`QueueModelConfig`]; past it, the bounded queue must reject at
 //!      admission rather than buffer without limit.
 //!
+//! Observability riders: `--trace-period` turns on request-lifecycle
+//! tracing (1 in N admissions, 0 = off); an interleaved A/B flood pair
+//! measures the tracing overhead at 1/256 sampling on the same service
+//! (gated < 5% under `--smoke`); every sweep row reports the ladder
+//! transitions and SLO window it provoked; and a forced shed storm on a
+//! dedicated service dumps `BENCH_flight.json`, gated on exact request
+//! conservation and ≥ 90% span coverage of every retained trace.
+//!
 //! Usage: `serve_bench [--records N] [--lookups N] [--shards N]
 //! [--queue-depth N] [--batch-max N] [--flood-batch N] [--flood-window N]
-//! [--capacity-floor F] [--seed N] [--out PATH] [--smoke]`
+//! [--capacity-floor F] [--trace-period N] [--seed N] [--out PATH]
+//! [--flight-out PATH] [--smoke]`
 //!
 //! `--smoke` shrinks the workload to CI scale and turns the sanity
 //! assertions (request conservation, zero shedding at low load, rejection
-//! past saturation, telemetry export validity, and the capacity-ratio
-//! floor: batched flood ≥ `--capacity-floor` × `min(shards, cores)` ×
-//! `serial_keys_per_sec`) into hard failures.
+//! past saturation, telemetry export validity, the tracing-overhead bound,
+//! and the capacity-ratio floor: batched flood ≥ `--capacity-floor` ×
+//! `min(shards, cores)` × `serial_keys_per_sec`) into hard failures.
 
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 use ca_ram_bench::{ensure, exact_match_workload, write_text_atomic, Cli, Result};
 use ca_ram_core::controller::{simulate_latency, LatencyReport, QueueModelConfig};
@@ -44,7 +54,10 @@ use ca_ram_core::pattern::QueryPlan;
 use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram_core::telemetry::{to_json, validate_json, MetricsRegistry};
-use ca_ram_service::{OpenLoopReport, SearchService, ServiceClient, ServiceConfig};
+use ca_ram_service::{
+    OpenLoopReport, SearchService, ServiceClient, ServiceConfig, ServiceOp, ServiceReply,
+    FLIGHT_SCHEMA,
+};
 
 /// Model service occupancy per request, in cycles (`nmem`); the service
 /// latency ladder is `nmem` busy cycles plus one match cycle.
@@ -67,6 +80,13 @@ struct SweepPoint {
     model_p50_us: f64,
     model_p99_us: f64,
     model_throughput: f64,
+    /// Degradation-ladder transitions this point provoked (drained from
+    /// the service after the measurement).
+    ladder_transitions: usize,
+    /// SLO window evaluated over this point: p99 and error-budget burn.
+    slo_p99_us: u64,
+    slo_burn_rate: f64,
+    slo_breached: bool,
 }
 
 fn shard_table(per_shard_records: usize) -> Result<CaRamTable> {
@@ -169,6 +189,11 @@ struct CapacityReport {
     capacity_ratio: f64,
     shard_requests: Vec<u64>,
     routing_max_min_ratio: f64,
+    /// Interleaved A/B flood pair: best throughput with 1/256 trace
+    /// sampling vs. tracing disabled, on the same service.
+    traced_flood_rps: f64,
+    untraced_flood_rps: f64,
+    tracing_overhead: f64,
 }
 
 #[allow(clippy::cast_precision_loss)]
@@ -177,6 +202,7 @@ fn report_json(
     config: &ServiceConfig,
     capacity: &CapacityReport,
     cycle_ns: f64,
+    trace_period: u64,
     points: &[SweepPoint],
 ) -> String {
     let mut json = String::from("{\n  \"benchmark\": \"service\",\n");
@@ -209,6 +235,13 @@ fn report_json(
             .join(", "),
         capacity.routing_max_min_ratio,
     );
+    let _ = write!(
+        json,
+        "  \"trace_period\": {trace_period},\n  \
+         \"tracing_overhead\": {{\"traced_flood_rps\": {:.1}, \
+         \"untraced_flood_rps\": {:.1}, \"overhead\": {:.4}}},\n",
+        capacity.traced_flood_rps, capacity.untraced_flood_rps, capacity.tracing_overhead,
+    );
     json.push_str("  \"sweep\": [\n");
     for (i, p) in points.iter().enumerate() {
         let m = &p.measured;
@@ -219,7 +252,9 @@ fn report_json(
              \"coalesced\": {}, \"p50_us\": {}, \"p99_us\": {}, \
              \"queue_wait_p50_us\": {}, \"queue_wait_p99_us\": {}, \
              \"model_p50_us\": {:.2}, \"model_p99_us\": {:.2}, \
-             \"model_throughput_per_cycle\": {:.5}}}{}",
+             \"model_throughput_per_cycle\": {:.5}, \
+             \"ladder_transitions\": {}, \"slo_p99_us\": {}, \
+             \"slo_burn_rate\": {:.4}, \"slo_breached\": {}}}{}",
             p.target_rps,
             m.offered_rps,
             m.achieved_rps,
@@ -235,6 +270,10 @@ fn report_json(
             p.model_p50_us,
             p.model_p99_us,
             p.model_throughput,
+            p.ladder_transitions,
+            p.slo_p99_us,
+            p.slo_burn_rate,
+            p.slo_breached,
             if i + 1 == points.len() { "" } else { "," },
         );
     }
@@ -258,8 +297,12 @@ fn main() -> Result<()> {
     // serial rate per effective worker, which holds with margin even when
     // client and workers time-share one core. Raise it on bigger machines.
     let capacity_floor = cli.parse("capacity-floor", 0.35f64)?;
+    // 1-in-N request-lifecycle trace sampling for the sweep (0 = off);
+    // the overhead A/B pair always compares 1/256 against disabled.
+    let trace_period = cli.parse("trace-period", 256u64)?;
     let seed = cli.parse("seed", 0x5E27u64)?;
     let out = cli.parse("out", "BENCH_service.json".to_string())?;
+    let flight_out = cli.parse("flight-out", "BENCH_flight.json".to_string())?;
     ensure(records > 0, "--records must be > 0")?;
     ensure(
         lookups >= 2_000,
@@ -271,6 +314,7 @@ fn main() -> Result<()> {
         shards,
         queue_depth,
         batch_max,
+        trace_sample_period: trace_period,
         ..ServiceConfig::default()
     };
     let workload = exact_match_workload(records, lookups, seed);
@@ -343,6 +387,30 @@ fn main() -> Result<()> {
         capacity_ratio
     );
 
+    // -- Tracing overhead: interleaved A/B floods on the same service,
+    //    best-of-N per arm so scheduler noise cancels. The traced arm
+    //    samples 1 in 256 admissions — the production setting the <5%
+    //    bound is claimed for — regardless of the sweep's --trace-period.
+    let overhead_rounds = 3;
+    let mut traced_flood_rps = 0f64;
+    let mut untraced_flood_rps = 0f64;
+    for _ in 0..overhead_rounds {
+        service.set_trace_period(256);
+        let traced = client.flood_batched(&flood_trace, flood_batch, flood_window);
+        traced_flood_rps = traced_flood_rps.max(traced.achieved_rps);
+        service.set_trace_period(0);
+        let untraced = client.flood_batched(&flood_trace, flood_batch, flood_window);
+        untraced_flood_rps = untraced_flood_rps.max(untraced.achieved_rps);
+    }
+    service.set_trace_period(trace_period);
+    let tracing_overhead = 1.0 - traced_flood_rps / untraced_flood_rps.max(1e-9);
+    println!(
+        "tracing overhead (1/256 sampling, best of {overhead_rounds}): \
+         {traced_flood_rps:.0} traced vs {untraced_flood_rps:.0} untraced req/s \
+         ({:+.2}%)",
+        tracing_overhead * 100.0
+    );
+
     // -- Sweep: under the closed-loop knee up to 3x the flood ceiling.
     let mut targets = vec![
         0.2 * closed.achieved_rps,
@@ -360,13 +428,19 @@ fn main() -> Result<()> {
 
     let model_config = config.queue_model(NMEM, ACCEPTS_PER_CYCLE);
     model_config.validate()?;
+    // Flush ladder transitions and the SLO window the calibration floods
+    // provoked, so each sweep row reports only its own.
+    let _ = service.take_ladder_transitions();
+    let _ = service.slo_tick();
     let mut points = Vec::with_capacity(targets.len());
     for target_rps in targets {
         let measured = client.open_loop(&trace, target_rps);
+        let transitions = service.take_ladder_transitions();
+        let slo = service.slo_tick();
         let model = model_at(&service, model_config, target_rps, cycle_secs, &trace)?;
         println!(
             "offered {:>9.0} req/s: p50 {:>6} us (model {:>8.1}), p99 {:>6} us (model {:>8.1}), \
-             rejected {:>5}, shed {:>4}",
+             rejected {:>5}, shed {:>4}, ladder {:>3}, burn {:>6.2}",
             target_rps,
             measured.latency.p50_us,
             cycles_to_us(model.p50_cycles as f64, cycle_secs),
@@ -374,6 +448,8 @@ fn main() -> Result<()> {
             cycles_to_us(model.p99_cycles as f64, cycle_secs),
             measured.rejected,
             measured.shed,
+            transitions.len(),
+            slo.burn_rate,
         );
         points.push(SweepPoint {
             target_rps,
@@ -381,6 +457,10 @@ fn main() -> Result<()> {
             model_p50_us: cycles_to_us(model.p50_cycles as f64, cycle_secs),
             model_p99_us: cycles_to_us(model.p99_cycles as f64, cycle_secs),
             model_throughput: model.throughput,
+            ladder_transitions: transitions.len(),
+            slo_p99_us: slo.p99_us,
+            slo_burn_rate: slo.burn_rate,
+            slo_breached: slo.breached,
         });
     }
 
@@ -408,6 +488,97 @@ fn main() -> Result<()> {
         "routing balance: {shard_requests:?} requests/shard (max/min {routing_max_min_ratio:.2}); \
          {} parks / {} unparks, {} batch entries carrying {} keys",
         totals.parks, totals.unparks, totals.batch_entries, totals.batch_keys
+    );
+
+    // -- Flight recorder: force a shed storm on a dedicated fully-traced
+    //    service, dump the flight ring, and gate the dump: client-observed
+    //    terminals must partition the admitted set exactly (conservation)
+    //    and every retained trace's spans must explain >= 90% of its
+    //    end-to-end latency.
+    let storm_config = ServiceConfig {
+        shards: 1,
+        queue_depth: 256,
+        trace_sample_period: 1,
+        ..ServiceConfig::default()
+    };
+    let storm = SearchService::new(
+        storm_config,
+        vec![Box::new(shard_table(records.div_ceil(shards))?) as Box<dyn SearchEngine>],
+    )?;
+    let mut storm_client_completed = 0u64;
+    for &(key, value) in workload.pairs.iter().take(1_000) {
+        storm.insert_sync(Record::new(TernaryKey::binary(u128::from(key), 64), value))?;
+        storm_client_completed += 1;
+    }
+    for key in trace.iter().take(256) {
+        let _ = storm.search_sync(key);
+        storm_client_completed += 1;
+    }
+    // Already-expired deadlines: every admitted request sheds at pickup.
+    let expired = Instant::now() - Duration::from_millis(5);
+    let mut storm_tickets = Vec::new();
+    let mut storm_client_rejected = 0u64;
+    for &key in trace.iter().take(512) {
+        match storm.try_submit_with_deadline(ServiceOp::Search(key), Some(expired)) {
+            Ok(ticket) => storm_tickets.push(ticket),
+            Err(_) => storm_client_rejected += 1,
+        }
+    }
+    let mut storm_client_shed = 0u64;
+    for ticket in storm_tickets {
+        match ticket.wait().reply {
+            ServiceReply::Shed(_) => storm_client_shed += 1,
+            _ => storm_client_completed += 1,
+        }
+    }
+    let storm_slo = storm.slo_tick();
+    let dump = storm.flight_json("forced shed storm");
+    let storm_totals = storm.snapshot().totals();
+    ensure(storm_client_shed > 0, "the forced storm must shed")?;
+    ensure(
+        dump.contains(FLIGHT_SCHEMA),
+        "flight dump missing schema tag",
+    )?;
+    // Conservation, cross-checked against what the clients saw: completed
+    // + shed + rejected == admitted, with each term measured client-side
+    // and the counter side derived independently.
+    ensure(
+        storm_client_completed
+            == storm_totals.accepted - storm_totals.shed_deadline - storm_totals.shed_shutdown,
+        "flight conservation: client completions disagree with the counters",
+    )?;
+    ensure(
+        storm_client_shed == storm_totals.shed_deadline + storm_totals.shed_shutdown,
+        "flight conservation: client sheds disagree with the counters",
+    )?;
+    ensure(
+        storm_client_rejected == storm_totals.rejected,
+        "flight conservation: client rejects disagree with the counters",
+    )?;
+    let storm_traces = storm.retained_traces();
+    ensure(
+        !storm_traces.is_empty(),
+        "a fully-sampled storm must retain traces",
+    )?;
+    for trace in &storm_traces {
+        trace
+            .validate()
+            .map_err(|e| ca_ram_bench::BenchError::Arg(format!("flight trace invalid: {e}")))?;
+        ensure(
+            trace.span_coverage() >= 0.90,
+            "trace spans must explain >= 90% of end-to-end latency",
+        )?;
+    }
+    storm.shutdown();
+    write_text_atomic(&flight_out, &dump)?;
+    println!(
+        "flight dump: {} traces retained, {} shed / {} completed / {} rejected, \
+         slo burn {:.2} -> wrote {flight_out}",
+        storm_traces.len(),
+        storm_client_shed,
+        storm_client_completed,
+        storm_client_rejected,
+        storm_slo.burn_rate
     );
 
     // -- Sanity gates: always-on conservation, the rest hard under --smoke.
@@ -457,6 +628,19 @@ fn main() -> Result<()> {
             routing_max_min_ratio.is_finite() && routing_max_min_ratio < 2.0,
             "SplitMix64 routing balance degenerated (max/min >= 2)",
         )?;
+        // The tracing tax at the production sampling rate stays under 5%
+        // of flood throughput (the PR-3 discipline: observability must
+        // pay for itself on the hot path).
+        ensure(
+            traced_flood_rps >= 0.95 * untraced_flood_rps,
+            "1/256 trace sampling cost more than 5% of flood throughput",
+        )?;
+        // Overload must show up on the degradation ladder: the 3x-flood
+        // point rejects, so its drains transition to the reject rung.
+        ensure(
+            high.ladder_transitions > 0,
+            "the overload point must provoke ladder transitions",
+        )?;
         // Compiled query plans ride the same admission path as plain
         // searches: a two-probe plan (guaranteed miss, then a stored key)
         // must resolve through the service with accesses summed over both
@@ -498,8 +682,18 @@ fn main() -> Result<()> {
         capacity_ratio,
         shard_requests,
         routing_max_min_ratio,
+        traced_flood_rps,
+        untraced_flood_rps,
+        tracing_overhead,
     };
-    let json = report_json(records, &config, &capacity, cycle_secs * 1e9, &points);
+    let json = report_json(
+        records,
+        &config,
+        &capacity,
+        cycle_secs * 1e9,
+        trace_period,
+        &points,
+    );
     write_text_atomic(&out, &json)?;
     println!("wrote {out}");
     Ok(())

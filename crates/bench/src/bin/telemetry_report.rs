@@ -11,12 +11,14 @@
 //! distributions, the subsystem contributes per-database scopes, design A
 //! contributes per-slice occupancy, and a live [`SearchService`] instance
 //! contributes the serving scopes (ring batching, park/unpark, and
-//! routing-balance counters from the lock-free shard path).
+//! routing-balance counters from the lock-free shard path) plus the
+//! observability-v2 scopes: an `slo` window ticked over the served load
+//! and per-shard flight-recorder/trace-store scopes.
 //!
 //! Everything is aggregated in a [`MetricsRegistry`] and exported twice:
 //! schema-versioned JSON (`BENCH_telemetry.json`) and Prometheus text
-//! (`BENCH_telemetry.prom`). The JSON is re-parsed and validated before
-//! the binary exits, so a malformed export fails loudly.
+//! (`BENCH_telemetry.prom`). Both exports are re-parsed and validated
+//! before the binary exits, so a malformed export fails loudly.
 //!
 //! Usage: `telemetry_report [--prefixes N] [--lookups N] [--records N]
 //! [--seed S] [--json PATH] [--prom PATH]`, or `telemetry_report
@@ -37,8 +39,8 @@ use ca_ram_core::probe::ProbePolicy;
 use ca_ram_core::subsystem::CaRamSubsystem;
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram_core::telemetry::{
-    parse_json, to_json, to_prometheus, validate_json, Histogram, HistogramSink, MetricsRegistry,
-    ScopeKind,
+    parse_json, to_json, to_prometheus, validate_json, validate_prometheus, Histogram,
+    HistogramSink, MetricsRegistry, ScopeKind,
 };
 use ca_ram_service::{SearchService, ServiceConfig};
 use ca_ram_softsearch::cache::Hierarchy;
@@ -336,6 +338,9 @@ fn main() -> Result<()> {
         let service = SearchService::new(
             ServiceConfig {
                 shards,
+                // Sample 1 in 16 admissions so the export carries live
+                // trace-store and recorder scopes, not just zeros.
+                trace_sample_period: 16,
                 ..ServiceConfig::default()
             },
             engines,
@@ -355,6 +360,10 @@ fn main() -> Result<()> {
         for key in dict_keys.iter().take(256) {
             let _ = service.search_sync(key);
         }
+        // One SLO window over everything served above, so the export
+        // carries a live `slo` scope (p50/p99, burn rate) alongside the
+        // per-shard recorder scopes.
+        let slo = service.slo_tick();
         service.export_metrics(&mut registry, "service");
         let totals = service.snapshot().totals();
         println!(
@@ -366,6 +375,14 @@ fn main() -> Result<()> {
             "  accepted={}  batch_entries={}  batch_keys={}  parks={}  unparks={}",
             totals.accepted, totals.batch_entries, totals.batch_keys, totals.parks, totals.unparks
         );
+        println!(
+            "  slo window: n={}  p50={}us  p99={}us  burn={:.3}  traces retained={}",
+            slo.window_count,
+            slo.p50_us,
+            slo.p99_us,
+            slo.burn_rate,
+            service.retained_traces().len()
+        );
         service.shutdown();
     }
     rule(72);
@@ -375,9 +392,12 @@ fn main() -> Result<()> {
     let scopes = validate_json(&json)
         .unwrap_or_else(|e| panic!("generated telemetry failed validation: {e}"));
     parse_json(&json).expect("generated telemetry reparses");
+    let prom = to_prometheus(&registry);
+    let series = validate_prometheus(&prom)
+        .unwrap_or_else(|e| panic!("generated Prometheus export failed validation: {e}"));
     write_text(&json_path, &json)?;
-    write_text(&prom_path, &to_prometheus(&registry))?;
-    println!("validated {scopes} scopes");
+    write_text(&prom_path, &prom)?;
+    println!("validated {scopes} scopes ({series} Prometheus histogram series)");
     println!("(wrote {json_path} and {prom_path})");
     Ok(())
 }

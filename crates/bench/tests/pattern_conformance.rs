@@ -11,7 +11,6 @@
 use ca_ram_bench::SubsystemEngine;
 use ca_ram_cam::SortedTcam;
 use ca_ram_core::engine::conformance::{check_engine, Probe};
-use ca_ram_core::engine::SearchEngine;
 use ca_ram_core::key::SearchKey;
 use ca_ram_core::pattern::{compile, GeometryHint, Pattern, QueryPlan};
 use ca_ram_workloads::dictionary;

@@ -96,7 +96,7 @@ proptest! {
         mut routes in prop::collection::vec(prefix_strategy(), 1..30),
         probes in prop::collection::vec(any::<u32>(), 30),
     ) {
-        routes.sort_by(|a, b| b.1.cmp(&a.1)); // longest first
+        routes.sort_by_key(|r| std::cmp::Reverse(r.1)); // longest first
         routes.dedup_by_key(|&mut (a, l, _)| (a, l));
         let mut flat = Tcam::new(routes.len(), 32);
         let mut banked = BankedTcam::new(

@@ -15,7 +15,13 @@
 //! * [`registry`] — the [`MetricsRegistry`] aggregating per-slice,
 //!   per-database, and per-engine scopes;
 //! * [`export`] — schema-versioned JSON and Prometheus text renderers
-//!   plus a dependency-free validator for CI gating.
+//!   plus dependency-free validators for CI gating;
+//! * [`span`] — per-request lifecycle traces ([`RequestTrace`]) with
+//!   head sampling ([`TraceSampler`]) and tail retention ([`TraceStore`]);
+//! * [`recorder`] — the lock-free overwrite-oldest [`FlightRecorder`]
+//!   ring behind anomaly dumps;
+//! * [`slo`] — rolling-window quantiles and error-budget burn rate
+//!   ([`SloTracker`]) diffed out of cumulative histograms.
 //!
 //! Instrumented components ([`crate::table::CaRamTable`],
 //! [`crate::subsystem::CaRamSubsystem`], the input-controller models) take
@@ -24,12 +30,20 @@
 
 pub mod export;
 pub mod histogram;
+pub mod recorder;
 pub mod registry;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
-pub use export::{parse_json, to_json, to_prometheus, validate_json, JsonValue, SCHEMA};
+pub use export::{
+    parse_json, to_json, to_prometheus, validate_json, validate_prometheus, JsonValue, SCHEMA,
+};
 pub use histogram::{bucket_bounds, bucket_of, AtomicHistogram, Histogram, BUCKETS};
+pub use recorder::FlightRecorder;
 pub use registry::{MetricsRegistry, ScopeKind, ScopeMetrics};
+pub use slo::{SloPolicy, SloReport, SloTracker};
+pub use span::{RequestTrace, SpanEvent, SpanStage, TraceSampler, TraceStore};
 pub use trace::{
     HistogramSink, NullSink, ProbeSummary, Stage, TelemetrySink, TelemetrySnapshot, TraceBuffer,
     TraceEvent,

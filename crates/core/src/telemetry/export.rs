@@ -511,9 +511,11 @@ fn validate_histogram(scope: &str, name: &str, hist: &JsonValue) -> Result<(), S
 }
 
 /// Validates a `BENCH_telemetry.json` document: schema identifier, field
-/// presence, non-negative counters, and cumulative (monotonic
-/// non-decreasing) histogram buckets. Returns the number of scopes
-/// validated.
+/// presence, a `kind` from the closed [`ScopeKind`](super::ScopeKind)
+/// vocabulary (an unknown kind is a schema error, not a skip — new scope
+/// kinds must be registered before they export), non-negative counters,
+/// and cumulative (monotonic non-decreasing) histogram buckets. Returns
+/// the number of scopes validated.
 ///
 /// # Errors
 ///
@@ -536,10 +538,18 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
             .get("name")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("scope {i}: missing 'name'"))?;
-        scope
+        let kind = scope
             .get("kind")
             .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("scope '{name}': missing 'kind'"))?;
+        if super::registry::ScopeKind::from_name(kind).is_none() {
+            return Err(format!(
+                "scope '{name}': unknown scope kind '{kind}' (known: {})",
+                super::registry::ScopeKind::ALL
+                    .map(super::registry::ScopeKind::name)
+                    .join(", ")
+            ));
+        }
         let counters = scope
             .get("counters")
             .ok_or_else(|| format!("scope '{name}': missing 'counters'"))?;
@@ -572,6 +582,152 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
         }
     }
     Ok(scopes.len())
+}
+
+/// One parsed Prometheus exposition line: `name{labels} value`.
+struct PromLine<'a> {
+    name: &'a str,
+    labels: &'a str,
+    value: f64,
+}
+
+fn parse_prom_line(line: &str) -> Result<PromLine<'_>, String> {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("malformed line (no value): {line:?}"))?;
+    let value = if value == "NaN" {
+        f64::NAN
+    } else {
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("unparsable value in line: {line:?}"))?
+    };
+    let (name, labels) = match name_labels.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set: {line:?}"))?;
+            (name, labels)
+        }
+        None => (name_labels, ""),
+    };
+    Ok(PromLine {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Splits a `_bucket` label set into (base labels, le value).
+fn split_le(labels: &str) -> Result<(String, &str), String> {
+    let mut base: Vec<&str> = Vec::new();
+    let mut le = None;
+    for part in labels.split(',') {
+        if let Some(raw) = part.strip_prefix("le=\"") {
+            le = Some(
+                raw.strip_suffix('"')
+                    .ok_or_else(|| format!("malformed le label in {labels:?}"))?,
+            );
+        } else {
+            base.push(part);
+        }
+    }
+    let le = le.ok_or_else(|| format!("bucket line lacks an le label: {labels:?}"))?;
+    Ok((base.join(","), le))
+}
+
+#[derive(Default)]
+struct PromHistogram {
+    buckets: Vec<(f64, f64)>, // (le, cumulative count), +Inf as f64::INFINITY
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Parser-side round-trip check of a Prometheus text export
+/// (`BENCH_telemetry.prom`): every histogram series must have strictly
+/// increasing `le` buckets with monotone non-decreasing cumulative
+/// counts, a final `+Inf` bucket, and `_count`/`_sum` samples whose
+/// `_count` equals the `+Inf` bucket. Counter and gauge samples must
+/// parse as numbers. Returns the number of histogram series validated.
+///
+/// # Errors
+///
+/// Returns a descriptive message on the first malformed line or
+/// histogram invariant violation.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    // (metric name, base labels) -> accumulated histogram parts, in
+    // first-seen order so errors name the earliest offender.
+    type PromSeries = Vec<((String, String), PromHistogram)>;
+    fn entry(series: &mut PromSeries, key: (String, String)) -> &mut PromHistogram {
+        if let Some(i) = series.iter().position(|(k, _)| *k == key) {
+            return &mut series[i].1;
+        }
+        series.push((key, PromHistogram::default()));
+        &mut series.last_mut().expect("just pushed").1
+    }
+    let mut series: PromSeries = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = parse_prom_line(line)?;
+        if let Some(metric) = parsed.name.strip_suffix("_bucket") {
+            let (base, le) = split_le(parsed.labels)?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("unparsable le {le:?} in line: {line:?}"))?
+            };
+            entry(&mut series, (metric.to_string(), base))
+                .buckets
+                .push((le, parsed.value));
+        } else if let Some(metric) = parsed.name.strip_suffix("_sum") {
+            entry(&mut series, (metric.to_string(), parsed.labels.to_string())).sum =
+                Some(parsed.value);
+        } else if let Some(metric) = parsed.name.strip_suffix("_count") {
+            entry(&mut series, (metric.to_string(), parsed.labels.to_string())).count =
+                Some(parsed.value);
+        }
+    }
+    for ((metric, labels), hist) in &series {
+        let what = format!("histogram '{metric}' {{{labels}}}");
+        // A series with only _sum/_count is a counter that happens to end
+        // in the suffix — only bucketed series are histograms.
+        if hist.buckets.is_empty() {
+            continue;
+        }
+        let count = hist
+            .count
+            .ok_or_else(|| format!("{what}: missing _count sample"))?;
+        if hist.sum.is_none() {
+            return Err(format!("{what}: missing _sum sample"));
+        }
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_count = 0.0f64;
+        for &(le, c) in &hist.buckets {
+            if le <= prev_le {
+                return Err(format!("{what}: le {le} not increasing"));
+            }
+            if c < prev_count {
+                return Err(format!(
+                    "{what}: cumulative count decreased at le {le} ({c} < {prev_count})"
+                ));
+            }
+            prev_le = le;
+            prev_count = c;
+        }
+        let (last_le, last_count) = *hist.buckets.last().unwrap_or(&(0.0, 0.0));
+        if last_le != f64::INFINITY {
+            return Err(format!("{what}: missing +Inf bucket"));
+        }
+        if (last_count - count).abs() > f64::EPSILON {
+            return Err(format!(
+                "{what}: +Inf bucket {last_count} does not match _count {count}"
+            ));
+        }
+    }
+    Ok(series.iter().filter(|(_, h)| !h.buckets.is_empty()).count())
 }
 
 #[cfg(test)]
@@ -666,6 +822,71 @@ mod tests {
         assert!(prom.contains("caram_probe_length_sum{kind=\"engine\",scope=\"design_a\"} 18"));
         assert!(prom.contains("caram_probe_length_count{kind=\"engine\",scope=\"design_a\"} 6"));
         assert!(prom.contains("caram_rows{kind=\"slice\",scope=\"0\"} 64"));
+    }
+
+    #[test]
+    fn validator_rejects_unknown_scope_kinds() {
+        let unknown = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"scopes\": [{{\"kind\": \"widget\", \"name\": \"x\", \
+             \"counters\": {{}}, \"gauges\": {{}}, \"histograms\": {{}}}}]}}"
+        );
+        let err = validate_json(&unknown).unwrap_err();
+        assert!(err.contains("unknown scope kind 'widget'"), "{err}");
+        assert!(err.contains("slo"), "error names the vocabulary: {err}");
+        for kind in ScopeKind::ALL {
+            let ok = format!(
+                "{{\"schema\": \"{SCHEMA}\", \"scopes\": [{{\"kind\": \"{}\", \"name\": \"x\", \
+                 \"counters\": {{}}, \"gauges\": {{}}, \"histograms\": {{}}}}]}}",
+                kind.name()
+            );
+            assert_eq!(validate_json(&ok), Ok(1), "kind {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_validator() {
+        let prom = to_prometheus(&sample_registry());
+        // One histogram (probe_length) in the sample registry.
+        assert_eq!(validate_prometheus(&prom), Ok(1));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_broken_histograms() {
+        let base = "kind=\"engine\",scope=\"e\"";
+        let ok = format!(
+            "caram_h_bucket{{{base},le=\"1\"}} 2\ncaram_h_bucket{{{base},le=\"+Inf\"}} 3\n\
+             caram_h_sum{{{base}}} 5\ncaram_h_count{{{base}}} 3\n"
+        );
+        assert_eq!(validate_prometheus(&ok), Ok(1));
+
+        let decreasing = ok.replace("le=\"1\"} 2", "le=\"1\"} 9");
+        assert!(validate_prometheus(&decreasing)
+            .unwrap_err()
+            .contains("decreased"));
+
+        let no_inf = format!(
+            "caram_h_bucket{{{base},le=\"1\"}} 2\ncaram_h_sum{{{base}}} 5\n\
+             caram_h_count{{{base}}} 3\n"
+        );
+        assert!(validate_prometheus(&no_inf).unwrap_err().contains("+Inf"));
+
+        let count_mismatch = ok.replace(
+            "caram_h_count{kind=\"engine\",scope=\"e\"} 3",
+            "caram_h_count{kind=\"engine\",scope=\"e\"} 7",
+        );
+        assert!(validate_prometheus(&count_mismatch)
+            .unwrap_err()
+            .contains("does not match _count"));
+
+        let no_sum = format!("caram_h_bucket{{{base},le=\"+Inf\"}} 3\ncaram_h_count{{{base}}} 3\n");
+        assert!(validate_prometheus(&no_sum).unwrap_err().contains("_sum"));
+
+        assert!(validate_prometheus("caram_x nonsense\n").is_err());
+        // Counters whose names end in _count are not histograms.
+        assert_eq!(
+            validate_prometheus("caram_window_count{kind=\"slo\",scope=\"s\"} 9\n"),
+            Ok(0)
+        );
     }
 
     #[test]

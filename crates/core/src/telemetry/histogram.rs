@@ -172,6 +172,33 @@ impl Histogram {
         bucket_bounds(BUCKETS - 1).1
     }
 
+    /// The window between two cumulative snapshots of the same recorder:
+    /// per-bucket, count, and sum differences, saturating at zero so a
+    /// racy snapshot pair degrades to an undercount instead of wrapping.
+    #[must_use]
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (slot, (&now, &then)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&earlier.counts))
+        {
+            *slot = now.saturating_sub(then);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
+    /// Observations strictly above `threshold`, counting only buckets
+    /// whose entire range exceeds it — a conservative lower bound, since
+    /// the bucket containing `threshold` may hold values on either side.
+    #[must_use]
+    pub fn count_above(&self, threshold: u64) -> u64 {
+        let first = bucket_of(threshold) + 1;
+        self.counts[first.min(BUCKETS)..].iter().sum()
+    }
+
     /// `(low, high, count)` per bucket, from bucket 0 through the highest
     /// non-empty bucket (nothing when empty) — the export series.
     pub fn series(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
@@ -220,6 +247,15 @@ impl AtomicHistogram {
         self.counts[bucket_of(value)].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
         self.sum.fetch_add(value, Relaxed);
+    }
+
+    /// Records `n` observations of `value` at the cost of one — lets a
+    /// batch completion amortise recording across its keys.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        self.counts[bucket_of(value)].fetch_add(n, Relaxed);
+        self.count.fetch_add(n, Relaxed);
+        self.sum.fetch_add(value.saturating_mul(n), Relaxed);
     }
 
     /// Folds a shard's locally accumulated histogram into the cell.
@@ -348,6 +384,40 @@ mod tests {
         assert_eq!(h.quantile(0.99), 1);
         assert_eq!(h.quantile(1.0), 1023); // upper edge of 1000's bucket
         assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn diff_is_a_saturating_window() {
+        let mut earlier = Histogram::new();
+        earlier.record(1);
+        earlier.record(100);
+        let mut later = earlier.clone();
+        later.record(100);
+        later.record(5000);
+        let window = later.diff(&earlier);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum(), 5100);
+        assert_eq!(window.bucket_counts()[bucket_of(100)], 1);
+        assert_eq!(window.bucket_counts()[bucket_of(5000)], 1);
+        // Reversed operands saturate to empty rather than wrapping.
+        let reversed = earlier.diff(&later);
+        assert_eq!(reversed.count(), 0);
+        assert_eq!(reversed.sum(), 0);
+        assert!(reversed.bucket_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn count_above_is_a_conservative_bucket_bound() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        // Threshold 1000 lives in bucket [512, 1023]; only strictly
+        // higher buckets count.
+        assert_eq!(h.count_above(1000), 1);
+        assert_eq!(h.count_above(1023), 1);
+        assert_eq!(h.count_above(0), 4);
+        assert_eq!(h.count_above(u64::MAX), 0);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! The flight recorder: a fixed-size, lock-free, overwrite-oldest ring
+//! of recent events, readable at any time without stopping writers.
+//!
+//! This is the aircraft-style counterpart to [`super::trace::TraceBuffer`]
+//! (which is a bounded *drop-newest* test sink behind a mutex): the
+//! recorder keeps the **last** `capacity` events, overwriting the oldest,
+//! so that when an anomaly fires (SLO breach, shed storm, shutdown with
+//! orphan risk) the moments leading up to it are still in memory.
+//!
+//! The design is a ticketed seqlock ring. Writers claim a monotonically
+//! increasing ticket with one relaxed `fetch_add`; ticket `t` owns slot
+//! `t % capacity` for its generation, waits for the previous generation's
+//! writer (`t - capacity`) to finish, marks the slot odd (in flight),
+//! writes the value, and publishes `2t` with a release store. Readers
+//! snapshot slots with acquire/validate loads and volatile value reads,
+//! skipping slots that are mid-write or change underneath them — the
+//! standard seqlock contract, same as the service layer's `EngineCell`.
+//! Events must be `Copy` so a torn read that fails validation is merely
+//! discarded bytes, never a dropped destructor.
+
+use core::mem::MaybeUninit;
+use core::sync::atomic::{
+    AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::cell::UnsafeCell;
+
+struct Slot<T> {
+    /// `2t` = holds the completed record for ticket `t`; odd = a writer
+    /// is mid-write. Initialised to `2(i - capacity)` (wrapping) so the
+    /// first-generation writer for ticket `i` sees its predecessor done.
+    seq: AtomicU64,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Fixed-capacity lock-free overwrite ring of `Copy` events.
+pub struct FlightRecorder<T> {
+    slots: Box<[Slot<T>]>,
+    head: AtomicU64,
+}
+
+// Safety: slot values are only handed across threads as `Copy` bytes
+// validated by the seqlock protocol; no references escape.
+unsafe impl<T: Copy + Send> Send for FlightRecorder<T> {}
+unsafe impl<T: Copy + Send> Sync for FlightRecorder<T> {}
+
+impl<T: Copy> FlightRecorder<T> {
+    /// Creates a recorder holding the most recent `capacity` events
+    /// (rounded up to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let cap = capacity as u64;
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicU64::new(i.wrapping_sub(cap).wrapping_mul(2)),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Self {
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Relaxed)
+    }
+
+    /// Events lost to overwriting so far.
+    #[must_use]
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records an event, overwriting the oldest if the ring is full.
+    /// Lock-free: one ticket `fetch_add` plus a seqlocked slot write; a
+    /// writer only spins if the writer it is lapping (one full ring ago)
+    /// is still mid-write.
+    pub fn record(&self, value: T) {
+        let cap = self.slots.len() as u64;
+        let ticket = self.head.fetch_add(1, Relaxed);
+        #[allow(clippy::cast_possible_truncation)]
+        let slot = &self.slots[(ticket % cap) as usize];
+        let prev_done = ticket.wrapping_sub(cap).wrapping_mul(2);
+        while slot.seq.load(Acquire) != prev_done {
+            core::hint::spin_loop();
+        }
+        slot.seq.store(ticket.wrapping_mul(2) + 1, Relaxed);
+        // Order the odd marker before the value bytes for readers; the
+        // value itself moves as a volatile store so the compiler cannot
+        // hoist it above the marker.
+        core::sync::atomic::fence(Release);
+        unsafe {
+            core::ptr::write_volatile((*slot.value.get()).as_mut_ptr(), value);
+        }
+        slot.seq.store(ticket.wrapping_mul(2), Release);
+    }
+
+    /// A consistent copy of the current contents, oldest first, each
+    /// paired with its ticket (`recorded()`-relative sequence number).
+    /// Slots that are mid-write or overwritten during the scan are
+    /// skipped rather than torn.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(u64, T)> {
+        let head = self.head.load(Acquire);
+        let mut out: Vec<(u64, T)> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let before = slot.seq.load(Acquire);
+            if before & 1 == 1 {
+                continue; // mid-write
+            }
+            let ticket = before.wrapping_div(2);
+            // Skip never-written slots (their init seq decodes to a
+            // ticket from the wrapped "generation -1").
+            if ticket >= head {
+                continue;
+            }
+            let value = unsafe { core::ptr::read_volatile((*slot.value.get()).as_ptr()) };
+            core::sync::atomic::fence(Acquire);
+            if slot.seq.load(Relaxed) != before {
+                continue; // overwritten mid-read
+            }
+            out.push((ticket, value));
+        }
+        out.sort_unstable_by_key(|(ticket, _)| *ticket);
+        out
+    }
+}
+
+impl<T: Copy> core::fmt::Debug for FlightRecorder<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_snapshots_nothing() {
+        let ring: FlightRecorder<u64> = FlightRecorder::new(4);
+        assert_eq!(ring.capacity(), 4);
+        assert_eq!(ring.recorded(), 0);
+        assert_eq!(ring.overwritten(), 0);
+        assert!(ring.snapshot().is_empty());
+    }
+
+    #[test]
+    fn keeps_the_most_recent_capacity_events() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            ring.record(i * 100);
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.overwritten(), 6);
+        let snap = ring.snapshot();
+        assert_eq!(
+            snap,
+            vec![(6, 600), (7, 700), (8, 800), (9, 900)],
+            "oldest-first, ticket-tagged"
+        );
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let ring = FlightRecorder::new(8);
+        for i in 0..3u64 {
+            ring.record(i);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_records() {
+        use std::sync::Arc;
+        // Encode writer id + payload redundantly: a torn read mixing two
+        // records would break value.0 * 1_000_003 + value.1 == value.2.
+        let ring: Arc<FlightRecorder<(u64, u64, u64)>> = Arc::new(FlightRecorder::new(64));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        ring.record((w, i, w * 1_000_003 + i));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            for (_, (w, i, check)) in ring.snapshot() {
+                assert_eq!(w * 1_000_003 + i, check, "torn record");
+            }
+        }
+        for handle in writers {
+            handle.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 20_000);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 64);
+        for (_, (w, i, check)) in snap {
+            assert_eq!(w * 1_000_003 + i, check);
+        }
+    }
+}

@@ -31,9 +31,26 @@ pub enum ScopeKind {
     Service,
     /// One engine shard behind a serving frontend.
     Shard,
+    /// A rolling-window SLO evaluation (latency targets, burn rate).
+    Slo,
+    /// A flight recorder's ring state (events recorded / overwritten).
+    Recorder,
 }
 
 impl ScopeKind {
+    /// Every kind the schema knows — the exporter's closed vocabulary,
+    /// enforced by [`super::export::validate_json`].
+    pub const ALL: [ScopeKind; 8] = [
+        ScopeKind::Engine,
+        ScopeKind::Slice,
+        ScopeKind::Database,
+        ScopeKind::Controller,
+        ScopeKind::Service,
+        ScopeKind::Shard,
+        ScopeKind::Slo,
+        ScopeKind::Recorder,
+    ];
+
     /// Stable lowercase name used in exports.
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -44,7 +61,15 @@ impl ScopeKind {
             ScopeKind::Controller => "controller",
             ScopeKind::Service => "service",
             ScopeKind::Shard => "shard",
+            ScopeKind::Slo => "slo",
+            ScopeKind::Recorder => "recorder",
         }
+    }
+
+    /// The kind for an exported `kind` label, if it is in the schema.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ScopeKind> {
+        ScopeKind::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -223,6 +248,17 @@ mod tests {
     use super::*;
     use crate::engine::EngineHit;
     use crate::key::TernaryKey;
+
+    #[test]
+    fn kind_names_round_trip_and_close_the_vocabulary() {
+        for kind in ScopeKind::ALL {
+            assert_eq!(ScopeKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ScopeKind::from_name("slo"), Some(ScopeKind::Slo));
+        assert_eq!(ScopeKind::from_name("recorder"), Some(ScopeKind::Recorder));
+        assert_eq!(ScopeKind::from_name("widget"), None);
+        assert_eq!(ScopeKind::from_name("Engine"), None, "names are lowercase");
+    }
 
     #[test]
     fn scope_get_or_create_preserves_order() {

@@ -1,0 +1,242 @@
+//! SLO tracking: rolling-window latency quantiles and error-budget
+//! burn rate, computed by *diffing* successive [`Histogram`] snapshots.
+//!
+//! The serving layer already records latency into lock-free
+//! [`super::AtomicHistogram`]s; those are cumulative since startup, which
+//! washes out regressions. The [`SloTracker`] turns them into windows: on
+//! each `tick` it subtracts the previous snapshot, yielding the
+//! distribution of *just the interval*, and derives p50/p99, the fraction
+//! of requests over the latency target, and the burn rate — how fast the
+//! window is consuming the error budget (burn 1.0 = exactly on budget,
+//! above 1.0 = the budget exhausts before the period does, the standard
+//! SRE multiwindow-burn formulation).
+//!
+//! Budget "bad events" are latency-target breaches plus hard errors
+//! (sheds + rejects), over all requests that reached a decision in the
+//! window.
+
+use super::histogram::Histogram;
+
+/// The service-level objective being tracked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Latency target in microseconds; a request slower than this is a
+    /// budget-burning event.
+    pub target_us: u64,
+    /// Allowed fraction of bad events (breaches + errors), in `(0, 1]`.
+    pub error_budget: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self {
+            target_us: 10_000,
+            error_budget: 0.01,
+        }
+    }
+}
+
+/// One rolling-window SLO evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloReport {
+    /// Completions observed in the window.
+    pub window_count: u64,
+    /// Window p50 latency (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// Window p99 latency (bucket upper bound), microseconds.
+    pub p99_us: u64,
+    /// Completions in the window above the latency target.
+    pub breaches: u64,
+    /// Hard errors (sheds + rejects) in the window.
+    pub errors: u64,
+    /// Fraction of window requests that were bad events.
+    pub bad_fraction: f64,
+    /// `bad_fraction / error_budget`: >1 means the budget is burning
+    /// faster than the SLO period replenishes it.
+    pub burn_rate: f64,
+    /// True when the window breached: p99 over target or burn over 1.
+    pub breached: bool,
+}
+
+impl SloReport {
+    /// An all-zero report for a window with no traffic.
+    #[must_use]
+    pub fn idle() -> Self {
+        Self {
+            window_count: 0,
+            p50_us: 0,
+            p99_us: 0,
+            breaches: 0,
+            errors: 0,
+            bad_fraction: 0.0,
+            burn_rate: 0.0,
+            breached: false,
+        }
+    }
+}
+
+/// Rolling-window SLO evaluator over cumulative histogram snapshots.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    prev_latency: Histogram,
+    prev_errors: u64,
+    ticks: u64,
+    breach_windows: u64,
+    last: Option<SloReport>,
+}
+
+impl SloTracker {
+    /// Creates a tracker for `policy`.
+    #[must_use]
+    pub fn new(policy: SloPolicy) -> Self {
+        Self {
+            policy,
+            prev_latency: Histogram::new(),
+            prev_errors: 0,
+            ticks: 0,
+            breach_windows: 0,
+            last: None,
+        }
+    }
+
+    /// The tracked policy.
+    #[must_use]
+    pub fn policy(&self) -> SloPolicy {
+        self.policy
+    }
+
+    /// Windows evaluated so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Windows that breached so far.
+    #[must_use]
+    pub fn breach_windows(&self) -> u64 {
+        self.breach_windows
+    }
+
+    /// The most recent report, if any window has been evaluated.
+    #[must_use]
+    pub fn last(&self) -> Option<SloReport> {
+        self.last
+    }
+
+    /// Evaluates the window since the previous tick. `latency_us` is the
+    /// *cumulative* completion-latency histogram (microseconds);
+    /// `errors` the cumulative shed + reject count.
+    pub fn tick(&mut self, latency_us: &Histogram, errors: u64) -> SloReport {
+        let window = latency_us.diff(&self.prev_latency);
+        let window_errors = errors.saturating_sub(self.prev_errors);
+        self.prev_latency = latency_us.clone();
+        self.prev_errors = errors;
+        self.ticks += 1;
+
+        let total = window.count() + window_errors;
+        let report = if total == 0 {
+            SloReport::idle()
+        } else {
+            let breaches = window.count_above(self.policy.target_us);
+            #[allow(clippy::cast_precision_loss)]
+            let bad_fraction = (breaches + window_errors) as f64 / total as f64;
+            let burn_rate = bad_fraction / self.policy.error_budget;
+            let p99_us = window.quantile(0.99);
+            SloReport {
+                window_count: window.count(),
+                p50_us: window.quantile(0.5),
+                p99_us,
+                breaches,
+                errors: window_errors,
+                bad_fraction,
+                burn_rate,
+                breached: p99_us > self.policy.target_us || burn_rate > 1.0,
+            }
+        };
+        if report.breached {
+            self.breach_windows += 1;
+        }
+        self.last = Some(report);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_window_reports_zeroes() {
+        let mut tracker = SloTracker::new(SloPolicy::default());
+        let report = tracker.tick(&Histogram::new(), 0);
+        assert_eq!(report, SloReport::idle());
+        assert!(!report.breached);
+        assert_eq!(tracker.ticks(), 1);
+        assert_eq!(tracker.last(), Some(report));
+    }
+
+    #[test]
+    fn windows_are_deltas_not_cumulative() {
+        let policy = SloPolicy {
+            target_us: 1_000,
+            error_budget: 0.1,
+        };
+        let mut tracker = SloTracker::new(policy);
+        let mut cumulative = Histogram::new();
+        for _ in 0..100 {
+            cumulative.record(100);
+        }
+        let first = tracker.tick(&cumulative, 0);
+        assert_eq!(first.window_count, 100);
+        assert_eq!(first.breaches, 0);
+        assert!(!first.breached);
+
+        // Second window: 10 fast + 10 slow completions and 5 errors.
+        for _ in 0..10 {
+            cumulative.record(100);
+        }
+        for _ in 0..10 {
+            cumulative.record(50_000);
+        }
+        let second = tracker.tick(&cumulative, 5);
+        assert_eq!(second.window_count, 20);
+        assert_eq!(second.breaches, 10);
+        assert_eq!(second.errors, 5);
+        assert!((second.bad_fraction - 15.0 / 25.0).abs() < 1e-12);
+        assert!((second.burn_rate - 6.0).abs() < 1e-12);
+        assert!(second.breached);
+        assert!(second.p99_us > 1_000);
+        assert_eq!(tracker.breach_windows(), 1);
+    }
+
+    #[test]
+    fn burn_rate_one_sits_exactly_on_budget() {
+        let policy = SloPolicy {
+            target_us: 1_000,
+            error_budget: 0.01,
+        };
+        let mut tracker = SloTracker::new(policy);
+        let mut cumulative = Histogram::new();
+        for _ in 0..99 {
+            cumulative.record(10);
+        }
+        cumulative.record(1 << 20); // one breach in 100 = the 1% budget
+        let report = tracker.tick(&cumulative, 0);
+        assert_eq!(report.breaches, 1);
+        assert!((report.burn_rate - 1.0).abs() < 1e-12);
+        // Exactly on budget is not over budget, and p99 still sits in
+        // the fast bucket (99 of 100 samples) — no breach either arm.
+        assert!(!report.breached);
+
+        // A second slow completion tips the next window over budget.
+        cumulative.record(1 << 20);
+        cumulative.record(1 << 20);
+        cumulative.record(10);
+        let over = tracker.tick(&cumulative, 0);
+        assert_eq!(over.breaches, 2);
+        assert!(over.burn_rate > 1.0);
+        assert!(over.breached);
+        assert_eq!(tracker.breach_windows(), 1);
+    }
+}

@@ -1,0 +1,578 @@
+//! Request lifecycle spans: the per-request trace model behind the
+//! serving layer's observability v2.
+//!
+//! A [`RequestTrace`] is an append-only sequence of timestamped
+//! [`SpanEvent`]s following one request through the serving pipeline:
+//!
+//! ```text
+//! admitted → enqueued → picked_up → merged(batch_n)
+//!          → engine_start → engine_done → completed | shed | rejected
+//! ```
+//!
+//! Stages are *ordered* (see [`SpanStage::rank`]) and exactly one
+//! terminal stage ends a trace — [`RequestTrace::validate`] checks both,
+//! plus timestamp monotonicity, so tests can assert the invariants on
+//! every sampled trace.
+//!
+//! Tracing is **tail-sampled**: the [`TraceSampler`] makes a cheap
+//! head decision (1-in-N, one relaxed `fetch_add`; zero allocation when
+//! the request is unsampled), and the [`TraceStore`] makes the retention
+//! decision at the *end* of the request — anomalies (sheds, rejects) are
+//! always kept, the rolling top-k slowest are kept, and the rest fill a
+//! bounded most-recent ring. The hot path never sees a lock or an
+//! allocation for an unsampled request.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+/// One stage of the request lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanStage {
+    /// Admission control accepted (or is deciding on) the request.
+    Admitted,
+    /// The request was published into a shard ring.
+    Enqueued,
+    /// A shard worker drained the request from its ring.
+    PickedUp,
+    /// The request was merged into an engine batch (`detail` = batch keys).
+    Merged,
+    /// The engine probe for the merged run began.
+    EngineStart,
+    /// The engine probe finished.
+    EngineDone,
+    /// Terminal: the reply was delivered to the waiter.
+    Completed,
+    /// Terminal: the request was shed (deadline or shutdown).
+    Shed,
+    /// Terminal: admission refused the request (queue full).
+    Rejected,
+}
+
+impl SpanStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [SpanStage; 9] = [
+        SpanStage::Admitted,
+        SpanStage::Enqueued,
+        SpanStage::PickedUp,
+        SpanStage::Merged,
+        SpanStage::EngineStart,
+        SpanStage::EngineDone,
+        SpanStage::Completed,
+        SpanStage::Shed,
+        SpanStage::Rejected,
+    ];
+
+    /// Stable lowercase name used in dumps and exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStage::Admitted => "admitted",
+            SpanStage::Enqueued => "enqueued",
+            SpanStage::PickedUp => "picked_up",
+            SpanStage::Merged => "merged",
+            SpanStage::EngineStart => "engine_start",
+            SpanStage::EngineDone => "engine_done",
+            SpanStage::Completed => "completed",
+            SpanStage::Shed => "shed",
+            SpanStage::Rejected => "rejected",
+        }
+    }
+
+    /// True for the three stages that end a trace.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SpanStage::Completed | SpanStage::Shed | SpanStage::Rejected
+        )
+    }
+
+    /// Pipeline position used by [`RequestTrace::validate`] to check
+    /// nesting: stages must appear in non-decreasing rank order, with the
+    /// three terminals sharing the final rank.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            SpanStage::Admitted => 0,
+            SpanStage::Enqueued => 1,
+            SpanStage::PickedUp => 2,
+            SpanStage::Merged => 3,
+            SpanStage::EngineStart => 4,
+            SpanStage::EngineDone => 5,
+            SpanStage::Completed | SpanStage::Shed | SpanStage::Rejected => 6,
+        }
+    }
+}
+
+/// One timestamped stage transition inside a [`RequestTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Which lifecycle stage was reached.
+    pub stage: SpanStage,
+    /// Nanoseconds since the trace was created ([`RequestTrace::new`]).
+    pub at_ns: u64,
+    /// Stage-specific payload (batch keys for [`SpanStage::Merged`],
+    /// otherwise 0).
+    pub detail: u64,
+}
+
+/// The timestamped lifecycle of one sampled request.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// Sampler-assigned id, unique per shard.
+    pub id: u64,
+    /// The shard that served (or shed) the request.
+    pub shard: u32,
+    base: Instant,
+    events: Vec<SpanEvent>,
+}
+
+impl RequestTrace {
+    /// Starts a trace and stamps [`SpanStage::Admitted`] at t=0.
+    #[must_use]
+    pub fn new(id: u64, shard: u32) -> Self {
+        let mut trace = Self {
+            id,
+            shard,
+            base: Instant::now(),
+            events: Vec::with_capacity(8),
+        };
+        trace.events.push(SpanEvent {
+            stage: SpanStage::Admitted,
+            at_ns: 0,
+            detail: 0,
+        });
+        trace
+    }
+
+    /// Stamps `stage` now (no payload).
+    pub fn record(&mut self, stage: SpanStage) {
+        self.record_detail(stage, 0);
+    }
+
+    /// Stamps `stage` now with a payload.
+    pub fn record_detail(&mut self, stage: SpanStage, detail: u64) {
+        self.record_at(stage, Instant::now(), detail);
+    }
+
+    /// Stamps `stage` at an externally captured instant — lets a worker
+    /// take one `Instant::now()` per batch boundary and stamp every traced
+    /// request in the batch with it.
+    pub fn record_at(&mut self, stage: SpanStage, now: Instant, detail: u64) {
+        let at_ns =
+            u64::try_from(now.saturating_duration_since(self.base).as_nanos()).unwrap_or(u64::MAX);
+        self.events.push(SpanEvent {
+            stage,
+            at_ns,
+            detail,
+        });
+    }
+
+    /// The recorded events in stamp order.
+    #[must_use]
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// The terminal stage, if the trace has ended.
+    #[must_use]
+    pub fn terminal(&self) -> Option<SpanStage> {
+        self.events
+            .iter()
+            .rev()
+            .map(|e| e.stage)
+            .find(|s| s.is_terminal())
+    }
+
+    /// Nanoseconds from creation to the terminal event (or to the last
+    /// event when the trace has not terminated).
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.at_ns)
+    }
+
+    /// The batch size stamped by [`SpanStage::Merged`], if any.
+    #[must_use]
+    pub fn batch_keys(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|e| e.stage == SpanStage::Merged)
+            .map(|e| e.detail)
+    }
+
+    /// `(stage, gap_ns)` pairs: the time attributed to reaching each
+    /// stage from its predecessor. The gaps partition `total_ns` exactly.
+    #[must_use]
+    pub fn stage_gaps(&self) -> Vec<(SpanStage, u64)> {
+        self.events
+            .windows(2)
+            .map(|w| (w[1].stage, w[1].at_ns.saturating_sub(w[0].at_ns)))
+            .collect()
+    }
+
+    /// Fraction of end-to-end latency explained by the per-stage gaps —
+    /// 1.0 for any well-formed trace (gaps partition the total), less when
+    /// a clock stepped backwards and a gap saturated to zero.
+    #[must_use]
+    pub fn span_coverage(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            return 1.0;
+        }
+        let explained: u64 = self.stage_gaps().iter().map(|(_, gap)| gap).sum();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            explained as f64 / total as f64
+        }
+    }
+
+    /// Checks every trace invariant: non-empty, starts at `Admitted`,
+    /// timestamps monotone non-decreasing, stages in non-decreasing
+    /// [`SpanStage::rank`] order (proper nesting — no `engine_done`
+    /// before `engine_start`, no stage after a terminal), each
+    /// non-terminal stage at most once, and exactly one terminal event
+    /// which is last.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let Some(first) = self.events.first() else {
+            return Err(format!("trace {}: no events", self.id));
+        };
+        if first.stage != SpanStage::Admitted {
+            return Err(format!(
+                "trace {}: first event is {}, not admitted",
+                self.id,
+                first.stage.name()
+            ));
+        }
+        let mut seen = [0u32; SpanStage::ALL.len()];
+        let mut terminals = 0u32;
+        for (i, pair) in self.events.windows(2).enumerate() {
+            if pair[1].at_ns < pair[0].at_ns {
+                return Err(format!(
+                    "trace {}: event {} ({}) timestamp went backwards",
+                    self.id,
+                    i + 1,
+                    pair[1].stage.name()
+                ));
+            }
+            if pair[1].stage.rank() < pair[0].stage.rank() {
+                return Err(format!(
+                    "trace {}: {} after {} breaks stage order",
+                    self.id,
+                    pair[1].stage.name(),
+                    pair[0].stage.name()
+                ));
+            }
+        }
+        for (i, event) in self.events.iter().enumerate() {
+            let slot = SpanStage::ALL
+                .iter()
+                .position(|s| *s == event.stage)
+                .unwrap_or(0);
+            seen[slot] += 1;
+            if seen[slot] > 1 {
+                return Err(format!(
+                    "trace {}: stage {} recorded {} times",
+                    self.id,
+                    event.stage.name(),
+                    seen[slot]
+                ));
+            }
+            if event.stage.is_terminal() {
+                terminals += 1;
+                if i + 1 != self.events.len() {
+                    return Err(format!(
+                        "trace {}: terminal {} is not the last event",
+                        self.id,
+                        event.stage.name()
+                    ));
+                }
+            }
+        }
+        if terminals != 1 {
+            return Err(format!(
+                "trace {}: {terminals} terminal events, want exactly 1",
+                self.id
+            ));
+        }
+        Ok(())
+    }
+}
+
+const SAMPLER_OFF: u64 = u64::MAX;
+
+/// Head-based 1-in-N sampling decision, runtime-reconfigurable.
+///
+/// `period` is rounded up to a power of two so the decision is one
+/// relaxed `fetch_add` and a mask; a period of 0 disables sampling
+/// entirely (one relaxed load, no counter traffic).
+#[derive(Debug)]
+pub struct TraceSampler {
+    mask: AtomicU64,
+    counter: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl TraceSampler {
+    /// Creates a sampler keeping one request in `period` (0 = disabled).
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        let sampler = Self {
+            mask: AtomicU64::new(SAMPLER_OFF),
+            counter: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+        };
+        sampler.set_period(period);
+        sampler
+    }
+
+    /// Reconfigures the sampling period at runtime (0 = disabled; other
+    /// values round up to the next power of two).
+    pub fn set_period(&self, period: u64) {
+        let mask = if period == 0 {
+            SAMPLER_OFF
+        } else {
+            period.next_power_of_two() - 1
+        };
+        self.mask.store(mask, Relaxed);
+    }
+
+    /// The effective period (0 when disabled).
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        let mask = self.mask.load(Relaxed);
+        if mask == SAMPLER_OFF {
+            0
+        } else {
+            mask + 1
+        }
+    }
+
+    /// Whether to trace the next request.
+    #[inline]
+    pub fn sample(&self) -> bool {
+        let mask = self.mask.load(Relaxed);
+        if mask == SAMPLER_OFF {
+            return false;
+        }
+        self.counter.fetch_add(1, Relaxed) & mask == 0
+    }
+
+    /// A fresh trace id.
+    #[must_use]
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Relaxed)
+    }
+}
+
+/// Tail-based retention over finished traces: anomalies (any terminal
+/// other than `completed`) are always kept up to a bound, the rolling
+/// top-k slowest completions are kept, and the remainder fill a bounded
+/// most-recent ring.
+#[derive(Debug)]
+pub struct TraceStore {
+    topk: usize,
+    recent_cap: usize,
+    anomaly_cap: usize,
+    anomalies: VecDeque<RequestTrace>,
+    slowest: Vec<RequestTrace>,
+    recent: VecDeque<RequestTrace>,
+    offered: u64,
+    dropped: u64,
+}
+
+impl TraceStore {
+    /// Bound on retained anomalous traces.
+    pub const ANOMALY_CAP: usize = 128;
+
+    /// Creates a store keeping the `topk` slowest completions and the
+    /// `recent_cap` most recent other completions.
+    #[must_use]
+    pub fn new(topk: usize, recent_cap: usize) -> Self {
+        Self {
+            topk,
+            recent_cap,
+            anomaly_cap: Self::ANOMALY_CAP,
+            anomalies: VecDeque::new(),
+            slowest: Vec::new(),
+            recent: VecDeque::new(),
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offers a finished trace for retention.
+    pub fn offer(&mut self, trace: RequestTrace) {
+        self.offered += 1;
+        if trace.terminal() != Some(SpanStage::Completed) {
+            if self.anomalies.len() == self.anomaly_cap {
+                self.anomalies.pop_front();
+                self.dropped += 1;
+            }
+            self.anomalies.push_back(trace);
+            return;
+        }
+        // Rolling top-k slowest, kept sorted ascending by total latency.
+        let total = trace.total_ns();
+        if self.topk > 0 && (self.slowest.len() < self.topk || total > self.slowest[0].total_ns()) {
+            let at = self.slowest.partition_point(|t| t.total_ns() < total);
+            self.slowest.insert(at, trace);
+            if self.slowest.len() > self.topk {
+                let demoted = self.slowest.remove(0);
+                self.keep_recent(demoted);
+            }
+            return;
+        }
+        self.keep_recent(trace);
+    }
+
+    fn keep_recent(&mut self, trace: RequestTrace) {
+        if self.recent_cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.recent.len() == self.recent_cap {
+            self.recent.pop_front();
+            self.dropped += 1;
+        }
+        self.recent.push_back(trace);
+    }
+
+    /// Every retained trace: anomalies, then top-k slowest, then recent.
+    #[must_use]
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.anomalies
+            .iter()
+            .chain(self.slowest.iter())
+            .chain(self.recent.iter())
+            .cloned()
+            .collect()
+    }
+
+    /// Total traces offered to the store.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Traces evicted by the retention bounds.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Currently retained trace count.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.anomalies.len() + self.slowest.len() + self.recent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed_trace(id: u64, engine_ns: u64) -> RequestTrace {
+        let mut t = RequestTrace::new(id, 0);
+        let now = Instant::now();
+        t.record_at(SpanStage::Enqueued, now, 0);
+        t.record_at(SpanStage::PickedUp, now, 0);
+        t.record_at(SpanStage::Merged, now, 4);
+        t.record_at(SpanStage::EngineStart, now, 0);
+        // Synthesise a known engine gap by faking the event list through
+        // the public record_at path with a later instant.
+        let later = now + std::time::Duration::from_nanos(engine_ns);
+        t.record_at(SpanStage::EngineDone, later, 0);
+        t.record_at(SpanStage::Completed, later, 0);
+        t
+    }
+
+    #[test]
+    fn trace_records_in_order_and_validates() {
+        let t = completed_trace(7, 1_000);
+        assert_eq!(t.terminal(), Some(SpanStage::Completed));
+        assert_eq!(t.batch_keys(), Some(4));
+        assert!(t.total_ns() >= 1_000);
+        t.validate().expect("well-formed trace");
+        assert!((t.span_coverage() - 1.0).abs() < 1e-9);
+        let gaps = t.stage_gaps();
+        assert_eq!(gaps.len(), t.events().len() - 1);
+        let explained: u64 = gaps.iter().map(|(_, g)| g).sum();
+        assert_eq!(explained, t.total_ns());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_traces() {
+        // Stage order violation: engine_done before engine_start.
+        let mut t = RequestTrace::new(0, 0);
+        t.record(SpanStage::EngineDone);
+        t.record(SpanStage::EngineStart);
+        t.record(SpanStage::Completed);
+        assert!(t.validate().unwrap_err().contains("stage order"));
+
+        // No terminal.
+        let mut t = RequestTrace::new(1, 0);
+        t.record(SpanStage::Enqueued);
+        assert!(t.validate().unwrap_err().contains("terminal"));
+
+        // Duplicate stage.
+        let mut t = RequestTrace::new(2, 0);
+        t.record(SpanStage::Enqueued);
+        t.record(SpanStage::Enqueued);
+        t.record(SpanStage::Completed);
+        assert!(t.validate().unwrap_err().contains("recorded 2 times"));
+
+        // Terminal not last: rank order already forbids stages after a
+        // terminal, so two terminals is the remaining shape.
+        let mut t = RequestTrace::new(3, 0);
+        t.record(SpanStage::Shed);
+        t.record(SpanStage::Rejected);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn sampler_period_rounds_and_samples_one_in_n() {
+        let s = TraceSampler::new(0);
+        assert_eq!(s.period(), 0);
+        assert!(!s.sample());
+        s.set_period(3);
+        assert_eq!(s.period(), 4);
+        let hits = (0..64).filter(|_| s.sample()).count();
+        assert_eq!(hits, 16);
+        s.set_period(1);
+        assert_eq!(s.period(), 1);
+        assert!(s.sample());
+        assert!(s.sample());
+        assert_eq!(s.next_id(), 0);
+        assert_eq!(s.next_id(), 1);
+    }
+
+    #[test]
+    fn store_keeps_anomalies_topk_and_recent() {
+        let mut store = TraceStore::new(2, 2);
+        for id in 0..6 {
+            store.offer(completed_trace(id, 1_000 * (id + 1)));
+        }
+        let mut shed = RequestTrace::new(99, 0);
+        shed.record(SpanStage::Enqueued);
+        shed.record(SpanStage::Shed);
+        store.offer(shed);
+
+        let traces = store.traces();
+        let ids: Vec<u64> = traces.iter().map(|t| t.id).collect();
+        // Anomaly first, then the two slowest completions, then the two
+        // most recent of the demoted remainder.
+        assert!(ids.contains(&99));
+        assert!(
+            ids.contains(&4) && ids.contains(&5),
+            "top-k slowest: {ids:?}"
+        );
+        assert_eq!(store.offered(), 7);
+        assert_eq!(store.retained(), traces.len());
+        assert!(store.dropped() > 0);
+    }
+}

@@ -18,7 +18,7 @@ fn event(t: u64, i: u64) -> (bool, u32) {
     let x = t * EVENTS_PER_THREAD + i;
     #[allow(clippy::cast_possible_truncation)]
     let accesses = (x % 7 + 1) as u32;
-    (x % 3 != 0, accesses)
+    (!x.is_multiple_of(3), accesses)
 }
 
 #[test]
@@ -123,7 +123,7 @@ fn histogram_sink_concurrent_search_complete_is_exact() {
                 for i in 0..EVENTS_PER_THREAD {
                     let x = t * EVENTS_PER_THREAD + i;
                     sink.search_complete(&ProbeSummary {
-                        hit: x % 2 == 0,
+                        hit: x.is_multiple_of(2),
                         row_fetches: x % 11, // 0..=10: both sides of the limit
                         probe_length: x % 5,
                         homes: 1,
@@ -140,7 +140,7 @@ fn histogram_sink_concurrent_search_complete_is_exact() {
         for i in 0..EVENTS_PER_THREAD {
             let x = t * EVENTS_PER_THREAD + i;
             #[allow(clippy::cast_possible_truncation)]
-            stats.record(x % 2 == 0, (x % 11) as u32);
+            stats.record(x.is_multiple_of(2), (x % 11) as u32);
             probe_length.record(x % 5);
             row_fetches.record(x % 11);
         }

@@ -156,7 +156,7 @@ fn registry_export_round_trips_through_validator() {
     let sink = Arc::new(HistogramSink::deep());
     traced.set_telemetry_sink(Arc::clone(&sink) as _);
     for key in probe_keys() {
-        traced.search(&key);
+        let _ = traced.search(&key);
     }
 
     let mut registry = MetricsRegistry::new();

@@ -43,6 +43,24 @@ pub struct ServiceConfig {
     /// Queue-fill fraction past which duplicate in-flight search keys are
     /// coalesced (rung 2). Must be at least `telemetry_shed_fill`.
     pub coalesce_fill: f64,
+    /// Request-trace head-sampling period: trace 1 in N admissions
+    /// (rounded up to a power of two); 0 disables lifecycle tracing
+    /// entirely. Reconfigurable at runtime via
+    /// [`SearchService::set_trace_period`](crate::SearchService::set_trace_period).
+    pub trace_sample_period: u64,
+    /// Rolling top-k slowest completions each shard's trace store keeps.
+    pub trace_topk: usize,
+    /// Most-recent completions each shard's trace store keeps beyond the
+    /// top-k (anomalous traces have their own fixed bound).
+    pub trace_recent: usize,
+    /// Per-shard flight-recorder capacity, in events (overwrite-oldest).
+    pub recorder_capacity: usize,
+    /// SLO latency target, microseconds: a completion slower than this
+    /// burns error budget.
+    pub slo_target_us: u64,
+    /// Allowed fraction of bad events (latency breaches + sheds +
+    /// rejects) per SLO window, in `(0, 1]`.
+    pub slo_error_budget: f64,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +73,12 @@ impl Default for ServiceConfig {
             default_deadline: None,
             telemetry_shed_fill: 0.5,
             coalesce_fill: 0.75,
+            trace_sample_period: 0,
+            trace_topk: 8,
+            trace_recent: 32,
+            recorder_capacity: 256,
+            slo_target_us: 10_000,
+            slo_error_budget: 0.01,
         }
     }
 }
@@ -113,6 +137,25 @@ impl ServiceConfig {
                 "degradation ladder out of order: telemetry_shed_fill must \
                  not exceed coalesce_fill"
                     .into(),
+            ));
+        }
+        if self.recorder_capacity == 0 {
+            return Err(CaRamError::BadConfig(
+                "flight recorder must hold at least one event".into(),
+            ));
+        }
+        if !self.slo_error_budget.is_finite()
+            || self.slo_error_budget <= 0.0
+            || self.slo_error_budget > 1.0
+        {
+            return Err(CaRamError::BadConfig(format!(
+                "slo_error_budget must be a fraction in (0, 1], got {}",
+                self.slo_error_budget
+            )));
+        }
+        if self.slo_target_us == 0 {
+            return Err(CaRamError::BadConfig(
+                "a zero SLO target would breach on every completion".into(),
             ));
         }
         Ok(())
@@ -200,6 +243,22 @@ mod tests {
             ServiceConfig {
                 telemetry_shed_fill: 0.9,
                 coalesce_fill: 0.5,
+                ..good
+            },
+            ServiceConfig {
+                recorder_capacity: 0,
+                ..good
+            },
+            ServiceConfig {
+                slo_error_budget: 0.0,
+                ..good
+            },
+            ServiceConfig {
+                slo_error_budget: 1.5,
+                ..good
+            },
+            ServiceConfig {
+                slo_target_us: 0,
                 ..good
             },
         ];

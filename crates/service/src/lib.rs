@@ -27,7 +27,13 @@
 //!   drive the full concurrent path through the ordinary trait surface;
 //! * [`client`] — [`ServiceClient`]: open-loop (paced arrivals, load
 //!   shedding visible) and closed-loop (fixed concurrency, capacity
-//!   visible) load generators.
+//!   visible) load generators;
+//! * [`trace`] — observability v2: per-request lifecycle tracing
+//!   (head-sampled [`RequestTrace`](ca_ram_core::telemetry::RequestTrace)s
+//!   with tail retention), the lock-free per-shard [`FlightEvent`] ring
+//!   dumped as `ca-ram-flight/v1` JSON on anomaly, ladder-transition
+//!   tracking, and the SLO watchdog
+//!   ([`SearchService::slo_tick`](service::SearchService::slo_tick)).
 //!
 //! ## The degradation ladder
 //!
@@ -57,6 +63,7 @@ pub mod request;
 mod ring;
 pub mod service;
 mod shard;
+pub mod trace;
 
 pub use client::{ClosedLoopReport, LatencySummary, OpenLoopReport, ServiceClient};
 pub use config::ServiceConfig;
@@ -65,4 +72,5 @@ pub use request::{
     AdmissionError, BatchCompletion, BatchTicket, Completion, ServiceOp, ServiceReply, ShedReason,
     Ticket,
 };
-pub use service::{route_shard, SearchService, ServiceSnapshot, ShardSnapshot};
+pub use service::{route_shard, SearchService, ServiceSnapshot, ShardSnapshot, FLIGHT_SCHEMA};
+pub use trace::{FlightEvent, FlightEventKind, LadderRung, LadderTransition};

@@ -19,6 +19,14 @@ use ca_ram_core::engine::EngineOutcome;
 use ca_ram_core::error::CaRamError;
 use ca_ram_core::key::{SearchKey, TernaryKey};
 use ca_ram_core::layout::Record;
+use ca_ram_core::telemetry::RequestTrace;
+
+/// The lifecycle-trace context a queued request carries: `None` for the
+/// (common) unsampled request — no allocation, no clock reads beyond the
+/// ones the service already takes — or a boxed [`RequestTrace`] the
+/// worker stamps at each pipeline stage. Boxed so an unsampled entry
+/// costs one machine word in the ring.
+pub(crate) type TraceCtx = Option<Box<RequestTrace>>;
 
 /// One operation submitted to a [`SearchService`](crate::SearchService).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -445,6 +453,8 @@ pub(crate) struct PendingRequest {
     pub(crate) enqueued: Instant,
     pub(crate) deadline: Option<Instant>,
     pub(crate) slot: Arc<Slot>,
+    /// Lifecycle trace for sampled requests (`None` = unsampled).
+    pub(crate) trace: TraceCtx,
 }
 
 impl PendingRequest {
@@ -469,6 +479,8 @@ pub(crate) struct PendingSubBatch {
     pub(crate) positions: Box<[u32]>,
     pub(crate) deadline: Option<Instant>,
     pub(crate) slot: Arc<BatchSlot>,
+    /// One lifecycle trace covers the whole sub-batch when sampled.
+    pub(crate) trace: TraceCtx,
 }
 
 impl PendingSubBatch {
@@ -502,6 +514,14 @@ impl RingEntry {
         match self {
             RingEntry::Single(_) => 1,
             RingEntry::Batch(sub) => sub.keys.len(),
+        }
+    }
+
+    /// The sampled lifecycle trace, if this entry carries one.
+    pub(crate) fn trace_mut(&mut self) -> Option<&mut RequestTrace> {
+        match self {
+            RingEntry::Single(request) => request.trace.as_deref_mut(),
+            RingEntry::Batch(sub) => sub.trace.as_deref_mut(),
         }
     }
 }
@@ -635,6 +655,7 @@ mod tests {
             positions: vec![0, 1, 2].into_boxed_slice(),
             deadline: None,
             slot: Arc::clone(&slot),
+            trace: None,
         };
         sub.shed(ShedReason::Shutdown);
         let completion = ticket.wait();

@@ -1,8 +1,9 @@
 //! The sharded serving frontend: router, worker pool, admission control,
 //! synchronous convenience surface, and telemetry export.
 
+use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -11,7 +12,10 @@ use ca_ram_core::error::{CaRamError, Result};
 use ca_ram_core::key::{SearchKey, TernaryKey};
 use ca_ram_core::layout::Record;
 use ca_ram_core::pattern::QueryPlan;
-use ca_ram_core::telemetry::{MetricsRegistry, ScopeKind};
+use ca_ram_core::telemetry::{
+    Histogram, MetricsRegistry, RequestTrace, ScopeKind, SloPolicy, SloReport, SloTracker,
+    SpanStage,
+};
 
 use crate::config::ServiceConfig;
 use crate::request::{
@@ -19,6 +23,10 @@ use crate::request::{
     Ticket,
 };
 use crate::shard::Shard;
+use crate::trace::{FlightEventKind, LadderRung, LadderTransition};
+
+/// Schema identifier stamped into every flight-recorder dump.
+pub const FLIGHT_SCHEMA: &str = "ca-ram-flight/v1";
 
 /// Counter snapshot of one shard: admission, shedding-ladder, and
 /// batching counters, all monotone since service start.
@@ -95,6 +103,14 @@ pub struct SearchService {
     workers: Vec<JoinHandle<()>>,
     config: ServiceConfig,
     key_bits: u32,
+    /// The SLO watchdog's window state, ticked by [`SearchService::slo_tick`].
+    slo: Mutex<SloTracker>,
+}
+
+/// Locks a mutex, riding through a poisoned lock (the protected state is
+/// counters/windows, always internally consistent).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl SearchService {
@@ -139,11 +155,16 @@ impl SearchService {
                     .map_err(|e| CaRamError::BadConfig(format!("cannot spawn worker: {e}")))
             })
             .collect::<Result<Vec<_>>>()?;
+        let slo = Mutex::new(SloTracker::new(SloPolicy {
+            target_us: config.slo_target_us,
+            error_budget: config.slo_error_budget,
+        }));
         Ok(Self {
             shards,
             workers,
             config,
             key_bits,
+            slo,
         })
     }
 
@@ -328,11 +349,18 @@ impl SearchService {
 
         let slot = BatchSlot::new(keys.len(), subs.len());
         for (shard, sub_keys, positions) in subs {
+            // One head-sampling decision (and at most one allocation) per
+            // sub-batch, not per key.
+            let mut trace = self.shards[shard].tracer.start_trace();
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(SpanStage::Enqueued);
+            }
             self.shards[shard].push_reserved(RingEntry::Batch(PendingSubBatch {
                 keys: sub_keys.into_boxed_slice(),
                 positions: positions.into_boxed_slice(),
                 deadline,
                 slot: Arc::clone(&slot),
+                trace,
             }));
             self.shards[shard].exit();
         }
@@ -477,6 +505,236 @@ impl SearchService {
         }
     }
 
+    // ---- observability v2: tracing, flight recorder, SLO watchdog -----
+
+    /// Reconfigures request-lifecycle trace sampling on every shard at
+    /// runtime: keep 1 in `period` admissions (rounded up to a power of
+    /// two), 0 to disable tracing entirely. Requests already queued keep
+    /// whatever sampling decision admission made.
+    pub fn set_trace_period(&self, period: u64) {
+        for shard in &self.shards {
+            shard.tracer.set_period(period);
+        }
+    }
+
+    /// The effective trace-sampling period (0 = tracing off).
+    #[must_use]
+    pub fn trace_period(&self) -> u64 {
+        self.shards[0].tracer.period()
+    }
+
+    /// Every trace the per-shard tail-retention stores currently keep:
+    /// anomalies (sheds, rejects), the rolling top-k slowest completions,
+    /// and a bounded most-recent ring.
+    #[must_use]
+    pub fn retained_traces(&self) -> Vec<RequestTrace> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.tracer.retained())
+            .collect()
+    }
+
+    /// Drains the degradation-ladder transitions recorded since the last
+    /// call (or service start), across every shard.
+    #[must_use]
+    pub fn take_ladder_transitions(&self) -> Vec<LadderTransition> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.tracer.take_transitions())
+            .collect()
+    }
+
+    /// The ladder rung each shard currently sits on.
+    #[must_use]
+    pub fn ladder_rungs(&self) -> Vec<LadderRung> {
+        self.shards
+            .iter()
+            .map(|shard| shard.tracer.current_rung())
+            .collect()
+    }
+
+    /// The request-weighted queue depth of each shard right now.
+    #[must_use]
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|shard| shard.queued_depth())
+            .collect()
+    }
+
+    /// The SLO policy the watchdog evaluates against.
+    #[must_use]
+    pub fn slo_policy(&self) -> SloPolicy {
+        lock(&self.slo).policy()
+    }
+
+    /// Evaluates one SLO window: the completion-latency distribution and
+    /// error count accumulated since the previous tick, turned into
+    /// p50/p99, bad-event fraction, and error-budget burn rate. A
+    /// breached window stamps an `slo_breach` event into every shard's
+    /// flight ring, so on-demand dumps carry the anomaly context.
+    pub fn slo_tick(&self) -> SloReport {
+        let mut latency = Histogram::new();
+        for shard in &self.shards {
+            latency.merge(&shard.tracer.latency_us.snapshot());
+        }
+        let totals = self.snapshot().totals();
+        let errors = totals.rejected + totals.shed_deadline + totals.shed_shutdown;
+        let report = lock(&self.slo).tick(&latency, errors);
+        if report.breached {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let burn_milli = (report.burn_rate * 1000.0).min(1e18) as u64;
+            for shard in &self.shards {
+                shard
+                    .tracer
+                    .event(FlightEventKind::SloBreach, report.p99_us, burn_milli);
+            }
+        }
+        report
+    }
+
+    /// The most recent SLO window report, if any tick has run.
+    #[must_use]
+    pub fn last_slo(&self) -> Option<SloReport> {
+        lock(&self.slo).last()
+    }
+
+    /// SLO windows evaluated and breached so far.
+    #[must_use]
+    pub fn slo_windows(&self) -> (u64, u64) {
+        let slo = lock(&self.slo);
+        (slo.ticks(), slo.breach_windows())
+    }
+
+    /// Dumps the flight recorder as `ca-ram-flight/v1` JSON: per-shard
+    /// recent events and retained traces, the admission-conservation
+    /// counters, and the last SLO report. Called on anomaly (SLO breach,
+    /// shed storm, orphan risk at shutdown) or on demand.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn flight_json(&self, reason: &str) -> String {
+        let snapshot = self.snapshot();
+        let totals = snapshot.totals();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{FLIGHT_SCHEMA}\",");
+        let _ = writeln!(out, "  \"reason\": \"{}\",", escape_json(reason));
+        let _ = writeln!(out, "  \"trace_period\": {},", self.trace_period());
+        match self.last_slo() {
+            Some(slo) => {
+                let _ = writeln!(
+                    out,
+                    "  \"slo\": {{\"window_count\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+                     \"breaches\": {}, \"errors\": {}, \"bad_fraction\": {}, \
+                     \"burn_rate\": {}, \"breached\": {}}},",
+                    slo.window_count,
+                    slo.p50_us,
+                    slo.p99_us,
+                    slo.breaches,
+                    slo.errors,
+                    json_f64(slo.bad_fraction),
+                    json_f64(slo.burn_rate),
+                    slo.breached
+                );
+            }
+            None => out.push_str("  \"slo\": null,\n"),
+        }
+        // Conservation: every admitted request reaches exactly one
+        // terminal, so completed + sheds == accepted and
+        // accepted + rejected == admitted (offered).
+        let completed = totals.accepted - totals.shed_deadline - totals.shed_shutdown;
+        let _ = writeln!(
+            out,
+            "  \"conservation\": {{\"admitted\": {}, \"accepted\": {}, \"rejected\": {}, \
+             \"shed_deadline\": {}, \"shed_shutdown\": {}, \"completed\": {}}},",
+            totals.accepted + totals.rejected,
+            totals.accepted,
+            totals.rejected,
+            totals.shed_deadline,
+            totals.shed_shutdown,
+            completed
+        );
+        out.push_str("  \"shards\": [\n");
+        for (index, shard) in self.shards.iter().enumerate() {
+            let tracer = &shard.tracer;
+            let (recorded, overwritten, capacity) = tracer.recorder_stats();
+            let (offered, dropped, retained) = tracer.store_stats();
+            let _ = writeln!(out, "    {{\n      \"shard\": {index},");
+            let _ = writeln!(
+                out,
+                "      \"rung\": \"{}\",\n      \"depth\": {},\n      \"transitions\": {},",
+                tracer.current_rung().name(),
+                shard.queued_depth(),
+                tracer.transition_count()
+            );
+            let _ = writeln!(
+                out,
+                "      \"recorder\": {{\"recorded\": {recorded}, \"overwritten\": \
+                 {overwritten}, \"capacity\": {capacity}}},"
+            );
+            let _ = writeln!(
+                out,
+                "      \"store\": {{\"offered\": {offered}, \"dropped\": {dropped}, \
+                 \"retained\": {retained}}},"
+            );
+            out.push_str("      \"events\": [");
+            for (i, (ticket, event)) in tracer.events().into_iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"ticket\": {ticket}, \"kind\": \"{}\", \"at_ns\": {}, \"a\": {}, \
+                     \"b\": {}}}",
+                    event.kind.name(),
+                    event.at_ns,
+                    event.a,
+                    event.b
+                );
+            }
+            out.push_str("],\n");
+            out.push_str("      \"traces\": [");
+            for (i, trace) in tracer.retained().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let terminal = trace
+                    .terminal()
+                    .map_or("open", ca_ram_core::telemetry::SpanStage::name);
+                let _ = write!(
+                    out,
+                    "{{\"id\": {}, \"shard\": {}, \"terminal\": \"{terminal}\", \
+                     \"total_ns\": {}, \"coverage\": {}, \"events\": [",
+                    trace.id,
+                    trace.shard,
+                    trace.total_ns(),
+                    json_f64(trace.span_coverage())
+                );
+                for (j, event) in trace.events().iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"stage\": \"{}\", \"at_ns\": {}, \"detail\": {}}}",
+                        event.stage.name(),
+                        event.at_ns,
+                        event.detail
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]\n    }");
+            out.push_str(if index + 1 == self.shards.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Exports service-level and per-shard scopes into `registry` (the
     /// `ca-ram-telemetry/v1` JSON/Prometheus surface): admission and
     /// shedding counters on the service scope, engine-call counters plus
@@ -517,6 +775,31 @@ impl SearchService {
                 served as f64 / offered as f64
             },
         );
+        let transitions: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.tracer.transition_count())
+            .sum();
+        scope.set_counter("ladder_transitions", transitions);
+        scope.set_counter("trace_period", self.trace_period());
+        // The SLO watchdog's last window, as its own scope.
+        if let Some(report) = self.last_slo() {
+            let (ticks, breach_windows) = self.slo_windows();
+            let policy = self.slo_policy();
+            let scope = registry.scope_mut(ScopeKind::Slo, name);
+            scope.set_counter("target_us", policy.target_us);
+            scope.set_gauge("error_budget", policy.error_budget);
+            scope.set_counter("window_count", report.window_count);
+            scope.set_counter("p50_us", report.p50_us);
+            scope.set_counter("p99_us", report.p99_us);
+            scope.set_counter("breaches", report.breaches);
+            scope.set_counter("errors", report.errors);
+            scope.set_gauge("bad_fraction", report.bad_fraction);
+            scope.set_gauge("burn_rate", report.burn_rate);
+            scope.set_counter("breached", u64::from(report.breached));
+            scope.set_counter("ticks", ticks);
+            scope.set_counter("breach_windows", breach_windows);
+        }
         for (index, (shard, counters)) in self.shards.iter().zip(&snapshot.shards).enumerate() {
             let scope = registry.scope_mut(ScopeKind::Shard, &format!("{name}/shard{index}"));
             scope.set_counter("accepted", counters.accepted);
@@ -534,9 +817,23 @@ impl SearchService {
             scope.set_counter("parks", counters.parks);
             scope.set_counter("unparks", counters.unparks);
             scope.set_counter("write_epochs", shard.write_epochs());
+            scope.set_counter("ladder_rung", shard.tracer.current_rung().index());
+            scope.set_counter("ladder_transitions", shard.tracer.transition_count());
             let telemetry = shard.sink.snapshot();
             scope.set_histogram("queue_depth", telemetry.queue_depth.clone());
             scope.set_histogram("queue_wait_us", telemetry.queue_wait.clone());
+            scope.set_histogram("latency_us", shard.tracer.latency_us.snapshot());
+            // The flight ring and tail store, as a recorder scope.
+            let (recorded, overwritten, capacity) = shard.tracer.recorder_stats();
+            let (offered, dropped, retained) = shard.tracer.store_stats();
+            let scope = registry.scope_mut(ScopeKind::Recorder, &format!("{name}/shard{index}"));
+            scope.set_counter("recorded", recorded);
+            scope.set_counter("overwritten", overwritten);
+            scope.set_counter("capacity", capacity as u64);
+            scope.set_counter("traces_offered", offered);
+            scope.set_counter("traces_dropped", dropped);
+            scope.set_counter("traces_retained", retained as u64);
+            scope.set_counter("sample_period", shard.tracer.period());
         }
     }
 
@@ -591,6 +888,28 @@ impl std::fmt::Debug for SearchService {
             .field("key_bits", &self.key_bits)
             .field("config", &self.config)
             .finish_non_exhaustive()
+    }
+}
+
+/// Minimal JSON string escaping for dump fields under caller control.
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A finite float rendered for JSON; non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
     }
 }
 

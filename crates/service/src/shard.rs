@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use ca_ram_core::engine::{EngineOutcome, EngineReport, SearchEngine};
 use ca_ram_core::key::SearchKey;
-use ca_ram_core::telemetry::{HistogramSink, TelemetrySink};
+use ca_ram_core::telemetry::{HistogramSink, RequestTrace, SpanStage, TelemetrySink};
 
 use crate::config::ServiceConfig;
 use crate::request::{
@@ -26,6 +26,7 @@ use crate::request::{
     ShedReason, Slot, Ticket,
 };
 use crate::ring::{Parker, Ring};
+use crate::trace::{FlightEventKind, ShardTracer};
 
 /// Sentinel for "the engine does not report this" in the published
 /// occupancy atomics.
@@ -192,6 +193,16 @@ enum SearchItem {
     Sub(PendingSubBatch),
 }
 
+impl SearchItem {
+    /// The sampled lifecycle trace, if this item carries one.
+    fn trace_mut(&mut self) -> Option<&mut RequestTrace> {
+        match self {
+            SearchItem::Single(request) => request.trace.as_deref_mut(),
+            SearchItem::Sub(sub) => sub.trace.as_deref_mut(),
+        }
+    }
+}
+
 /// Worker-local scratch reused across drains so the steady-state path
 /// allocates nothing.
 struct Scratch {
@@ -245,6 +256,9 @@ pub(crate) struct Shard {
     /// Queue-depth (per drain) and queue-wait (per request, microseconds)
     /// histograms; the wait histogram is rung 1 of the degradation ladder.
     pub(crate) sink: HistogramSink,
+    /// Observability v2: trace sampling, the flight-event ring, ladder
+    /// transitions, and the SLO latency histogram.
+    pub(crate) tracer: ShardTracer,
 }
 
 impl Shard {
@@ -266,6 +280,8 @@ impl Shard {
             },
             stats: ShardStats::default(),
             sink: HistogramSink::new(),
+            #[allow(clippy::cast_possible_truncation)]
+            tracer: ShardTracer::new(index as u32, config),
         }
     }
 
@@ -326,9 +342,16 @@ impl Shard {
         self.limits.queue_depth
     }
 
-    /// Bumps the rejected counter by `n` requests.
+    /// The request-weighted queue depth right now (telemetry).
+    pub(crate) fn queued_depth(&self) -> usize {
+        self.queued_requests.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the rejected counter by `n` requests and records the refusal
+    /// in the flight ring (plus a minimal trace when sampled).
     pub(crate) fn note_rejected(&self, n: u64) {
         ShardStats::bump(&self.stats.rejected, n);
+        self.tracer.note_reject(n);
     }
 
     /// Admission control: enqueue or refuse, never block.
@@ -383,11 +406,18 @@ impl Shard {
 
     fn enqueue(&self, op: ServiceOp, deadline: Option<Instant>) -> Ticket {
         let slot = Slot::new();
+        // Head sampling: one relaxed load when tracing is off, one
+        // fetch_add-and-mask when on; the unsampled path carries `None`.
+        let mut trace = self.tracer.start_trace();
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(SpanStage::Enqueued);
+        }
         self.push_reserved(RingEntry::Single(PendingRequest {
             op,
             enqueued: Instant::now(),
             deadline,
             slot: std::sync::Arc::clone(&slot),
+            trace,
         }));
         Ticket::new(slot)
     }
@@ -406,17 +436,41 @@ impl Shard {
     /// windows quiesce via [`Shard::await_submitters`].
     pub(crate) fn drain_after_join(&self) {
         let now = Instant::now();
+        let mut orphaned_entries = 0u64;
+        let mut shed_requests = 0u64;
         while let Some(entry) = self.ring.pop() {
             self.len.fetch_sub(1, Ordering::Relaxed);
             self.queued_requests
                 .fetch_sub(entry.request_count(), Ordering::Relaxed);
             ShardStats::bump(&self.stats.shed_shutdown, entry.requests());
+            orphaned_entries += 1;
+            shed_requests += entry.requests();
             match entry {
-                RingEntry::Single(request) => {
+                RingEntry::Single(mut request) => {
+                    self.finish_shed(request.trace.take(), now);
                     request.complete(ServiceReply::Shed(ShedReason::Shutdown), now, false);
                 }
-                RingEntry::Batch(sub) => sub.shed(ShedReason::Shutdown),
+                RingEntry::Batch(mut sub) => {
+                    self.finish_shed(sub.trace.take(), now);
+                    sub.shed(ShedReason::Shutdown);
+                }
             }
+        }
+        if orphaned_entries > 0 {
+            // The worker exited with work still ringed — either it
+            // panicked or the shutdown protocol raced. Both are dump-worthy.
+            self.tracer
+                .event(FlightEventKind::ShedShutdown, shed_requests, 0);
+            self.tracer
+                .event(FlightEventKind::OrphanRisk, orphaned_entries, 0);
+        }
+    }
+
+    /// Terminates a sampled trace as shed and hands it to tail retention.
+    fn finish_shed(&self, trace: Option<Box<RequestTrace>>, now: Instant) {
+        if let Some(mut t) = trace {
+            t.record_at(SpanStage::Shed, now, 0);
+            self.tracer.finish(*t);
         }
     }
 
@@ -511,10 +565,19 @@ impl Shard {
     fn process(&self, scratch: &mut Scratch, depth_at_drain: usize) {
         let deep_telemetry = depth_at_drain < self.limits.telemetry_shed_threshold;
         let coalesce = depth_at_drain >= self.limits.coalesce_threshold;
+        self.tracer.note_drain(
+            depth_at_drain as u64,
+            self.stats.rejected.load(Ordering::Relaxed),
+            deep_telemetry,
+            coalesce,
+        );
         let picked_up = Instant::now();
 
         let mut entries = std::mem::take(&mut scratch.entries);
-        for entry in entries.drain(..) {
+        for mut entry in entries.drain(..) {
+            if let Some(t) = entry.trace_mut() {
+                t.record_at(SpanStage::PickedUp, picked_up, 0);
+            }
             match entry {
                 RingEntry::Single(request) if request.op.is_write() => {
                     if !scratch.run.is_empty() {
@@ -544,22 +607,37 @@ impl Shard {
     ) {
         // Deadline filter.
         scratch.live.clear();
+        let mut shed_deadline = 0u64;
+        let mut any_traced = false;
         for item in scratch.run.drain(..) {
             match item {
-                SearchItem::Single(request) if request.deadline.is_some_and(|d| d <= picked_up) => {
+                SearchItem::Single(mut request)
+                    if request.deadline.is_some_and(|d| d <= picked_up) =>
+                {
                     ShardStats::bump(&self.stats.shed_deadline, 1);
+                    shed_deadline += 1;
+                    self.finish_shed(request.trace.take(), picked_up);
                     request.complete(
                         ServiceReply::Shed(ShedReason::DeadlineExpired),
                         picked_up,
                         false,
                     );
                 }
-                SearchItem::Sub(sub) if sub.deadline.is_some_and(|d| d <= picked_up) => {
+                SearchItem::Sub(mut sub) if sub.deadline.is_some_and(|d| d <= picked_up) => {
                     ShardStats::bump(&self.stats.shed_deadline, sub.keys.len() as u64);
+                    shed_deadline += sub.keys.len() as u64;
+                    self.finish_shed(sub.trace.take(), picked_up);
                     sub.shed(ShedReason::DeadlineExpired);
                 }
-                live => scratch.live.push(live),
+                mut live => {
+                    any_traced |= live.trace_mut().is_some();
+                    scratch.live.push(live);
+                }
             }
+        }
+        if shed_deadline > 0 {
+            self.tracer
+                .event(FlightEventKind::ShedDeadline, shed_deadline, 0);
         }
         if scratch.live.is_empty() {
             return;
@@ -610,6 +688,19 @@ impl Shard {
         }
         ShardStats::bump(&self.stats.searches, scratch.keys.len() as u64);
 
+        // Stamp the merge and engine-start boundary once for every traced
+        // member of the run; unsampled runs skip the scan entirely.
+        if any_traced {
+            let engine_start = Instant::now();
+            let merged = scratch.keys.len() as u64;
+            for item in &mut scratch.live {
+                if let Some(t) = item.trace_mut() {
+                    t.record_at(SpanStage::Merged, engine_start, merged);
+                    t.record_at(SpanStage::EngineStart, engine_start, 0);
+                }
+            }
+        }
+
         // One engine call for the whole run — the worker owns the engine,
         // so the read path is free of atomics and locks.
         // SAFETY: this is the shard worker thread, the engine's sole owner.
@@ -620,13 +711,23 @@ impl Shard {
         } else {
             engine.search_batch_into(&scratch.keys, &mut scratch.outcomes);
         }
+        // One clock read per run serves both the traced engine-done stamp
+        // and the (always-on) SLO latency histogram.
+        let engine_done = Instant::now();
+        if any_traced {
+            for item in &mut scratch.live {
+                if let Some(t) = item.trace_mut() {
+                    t.record_at(SpanStage::EngineDone, engine_done, 0);
+                }
+            }
+        }
 
         // Distribute outcomes back, in admission order.
         let shared = total_keys > scratch.keys.len() as u64;
         let mut cursor = 0usize;
         for item in scratch.live.drain(..) {
             match item {
-                SearchItem::Single(request) => {
+                SearchItem::Single(mut request) => {
                     let outcome = scratch.outcomes[scratch.key_of[cursor] as usize];
                     cursor += 1;
                     if deep_telemetry {
@@ -639,9 +740,20 @@ impl Shard {
                     } else {
                         ShardStats::bump(&self.stats.telemetry_shed, 1);
                     }
+                    let total_us = engine_done
+                        .saturating_duration_since(request.enqueued)
+                        .as_micros()
+                        .min(u128::from(u64::MAX));
+                    #[allow(clippy::cast_possible_truncation)]
+                    self.tracer.latency_us.record(total_us as u64);
+                    let trace = request.trace.take();
                     request.complete(ServiceReply::Search(outcome), picked_up, shared);
+                    if let Some(mut t) = trace {
+                        t.record(SpanStage::Completed);
+                        self.tracer.finish(*t);
+                    }
                 }
-                SearchItem::Sub(sub) => {
+                SearchItem::Sub(mut sub) => {
                     for &position in &sub.positions {
                         let outcome = scratch.outcomes[scratch.key_of[cursor] as usize];
                         cursor += 1;
@@ -657,22 +769,43 @@ impl Shard {
                     } else {
                         ShardStats::bump(&self.stats.telemetry_shed, sub.keys.len() as u64);
                     }
+                    let total_us = engine_done
+                        .saturating_duration_since(sub.slot.enqueued())
+                        .as_micros()
+                        .min(u128::from(u64::MAX));
+                    #[allow(clippy::cast_possible_truncation)]
+                    self.tracer
+                        .latency_us
+                        .record_n(total_us as u64, sub.keys.len() as u64);
+                    let trace = sub.trace.take();
                     sub.slot.finish_sub();
+                    if let Some(mut t) = trace {
+                        t.record(SpanStage::Completed);
+                        self.tracer.finish(*t);
+                    }
                 }
             }
         }
     }
 
     /// One write, applied in admission order by the engine-owning worker.
-    fn serve_write(&self, request: PendingRequest, picked_up: Instant, deep_telemetry: bool) {
+    fn serve_write(&self, mut request: PendingRequest, picked_up: Instant, deep_telemetry: bool) {
         if request.deadline.is_some_and(|d| d <= picked_up) {
             ShardStats::bump(&self.stats.shed_deadline, 1);
+            self.tracer.event(FlightEventKind::ShedDeadline, 1, 0);
+            self.finish_shed(request.trace.take(), picked_up);
             request.complete(
                 ServiceReply::Shed(ShedReason::DeadlineExpired),
                 picked_up,
                 false,
             );
             return;
+        }
+        if let Some(t) = request.trace.as_deref_mut() {
+            // A write is its own single-request "batch".
+            let now = Instant::now();
+            t.record_at(SpanStage::Merged, now, 1);
+            t.record_at(SpanStage::EngineStart, now, 0);
         }
         // SAFETY: this is the shard worker thread, the engine's sole owner.
         let reply = unsafe {
@@ -692,6 +825,9 @@ impl Shard {
                 ServiceOp::Search(_) => unreachable!("writes only"),
             })
         };
+        if let Some(t) = request.trace.as_deref_mut() {
+            t.record(SpanStage::EngineDone);
+        }
         if deep_telemetry {
             let wait_us = picked_up
                 .saturating_duration_since(request.enqueued)
@@ -702,6 +838,18 @@ impl Shard {
         } else {
             ShardStats::bump(&self.stats.telemetry_shed, 1);
         }
+        let total_us = request
+            .enqueued
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX));
+        #[allow(clippy::cast_possible_truncation)]
+        self.tracer.latency_us.record(total_us as u64);
+        let trace = request.trace.take();
         request.complete(reply, picked_up, false);
+        if let Some(mut t) = trace {
+            t.record(SpanStage::Completed);
+            self.tracer.finish(*t);
+        }
     }
 }

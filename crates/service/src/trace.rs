@@ -1,0 +1,432 @@
+//! Observability v2 glue for the serving layer: the per-shard tracer
+//! that ties [`RequestTrace`] sampling, the [`FlightRecorder`] event
+//! ring, ladder-transition tracking, and the completion-latency
+//! histogram together.
+//!
+//! The contract mirrors the degradation ladder's own philosophy —
+//! observability must never become the overload:
+//!
+//! * **Flight events** ([`FlightEvent`]) are `Copy` PODs recorded into a
+//!   lock-free overwrite-oldest ring on *every* shed, reject, ladder
+//!   transition, and SLO breach, sampled or not. Recording is one
+//!   `fetch_add` plus a seqlock-protected slot write.
+//! * **Request traces** are head-sampled (1-in-N via
+//!   [`TraceSampler`]): an unsampled request carries `None` and never
+//!   allocates, locks, or reads the clock for tracing.
+//! * **Tail retention** happens off the hot path: only a *sampled*
+//!   request's terminal touches the [`TraceStore`] mutex.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ca_ram_core::telemetry::{
+    AtomicHistogram, FlightRecorder, RequestTrace, SpanStage, TraceSampler, TraceStore,
+};
+
+use crate::config::ServiceConfig;
+
+/// The degradation-ladder rung a shard sits on, derived from the drained
+/// queue depth (and, for [`LadderRung::Reject`], from admission refusals
+/// observed since the previous drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// Below every threshold: full service, deep telemetry on.
+    Normal,
+    /// Rung 1: deep telemetry shed.
+    Shed,
+    /// Rung 2: duplicate in-flight keys coalesced.
+    Coalesce,
+    /// Rung 3: the queue filled and admission refused requests.
+    Reject,
+}
+
+impl LadderRung {
+    /// Every rung, in escalation order.
+    pub const ALL: [LadderRung; 4] = [
+        LadderRung::Normal,
+        LadderRung::Shed,
+        LadderRung::Coalesce,
+        LadderRung::Reject,
+    ];
+
+    /// Stable lowercase name used in dumps and exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LadderRung::Normal => "normal",
+            LadderRung::Shed => "shed",
+            LadderRung::Coalesce => "coalesce",
+            LadderRung::Reject => "reject",
+        }
+    }
+
+    /// Escalation index (0 = normal … 3 = reject).
+    #[must_use]
+    pub fn index(self) -> u64 {
+        match self {
+            LadderRung::Normal => 0,
+            LadderRung::Shed => 1,
+            LadderRung::Coalesce => 2,
+            LadderRung::Reject => 3,
+        }
+    }
+
+    fn from_index(index: u64) -> Self {
+        Self::ALL[usize::try_from(index.min(3)).expect("index fits")]
+    }
+}
+
+/// One observed change of a shard's ladder rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderTransition {
+    /// The shard that transitioned.
+    pub shard: u32,
+    /// The rung it left.
+    pub from: LadderRung,
+    /// The rung it entered.
+    pub to: LadderRung,
+    /// Nanoseconds since the tracer (≈ service) started.
+    pub at_ns: u64,
+    /// The request-weighted queue depth at the drain that transitioned.
+    pub depth: u64,
+}
+
+/// What one [`FlightEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A sampled trace terminated (`a` = trace id, `b` = total ns).
+    TraceDone,
+    /// The ladder rung changed (`a` = new rung index, `b` = drain depth).
+    Ladder,
+    /// Admission refused requests (`a` = request count).
+    Reject,
+    /// Queued requests were shed on an expired deadline (`a` = count).
+    ShedDeadline,
+    /// Queued requests were shed at shutdown (`a` = count).
+    ShedShutdown,
+    /// An SLO window breached (`a` = window p99 µs, `b` = burn × 1000).
+    SloBreach,
+    /// Shutdown found entries the worker never drained (`a` = entries).
+    OrphanRisk,
+}
+
+impl FlightEventKind {
+    /// Stable lowercase name used in dumps.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::TraceDone => "trace_done",
+            FlightEventKind::Ladder => "ladder",
+            FlightEventKind::Reject => "reject",
+            FlightEventKind::ShedDeadline => "shed_deadline",
+            FlightEventKind::ShedShutdown => "shed_shutdown",
+            FlightEventKind::SloBreach => "slo_breach",
+            FlightEventKind::OrphanRisk => "orphan_risk",
+        }
+    }
+}
+
+/// One fixed-size record in a shard's flight ring: what happened, when
+/// (nanoseconds since the tracer started), and two kind-specific payload
+/// words (see [`FlightEventKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// What happened.
+    pub kind: FlightEventKind,
+    /// The shard it happened on.
+    pub shard: u32,
+    /// Nanoseconds since the tracer started.
+    pub at_ns: u64,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+/// Per-shard observability state: the head sampler, the lock-free flight
+/// ring, the tail-retention store, ladder-rung tracking, and the
+/// completion-latency histogram the SLO watchdog windows over.
+#[derive(Debug)]
+pub(crate) struct ShardTracer {
+    shard: u32,
+    epoch: Instant,
+    sampler: TraceSampler,
+    recorder: FlightRecorder<FlightEvent>,
+    store: Mutex<TraceStore>,
+    transitions: Mutex<Vec<LadderTransition>>,
+    transition_count: AtomicU64,
+    /// Current ladder rung (worker-written, snapshot-read).
+    rung: AtomicU64,
+    /// Cumulative rejected count at the previous drain, for detecting the
+    /// reject rung without threading counters through the worker.
+    last_rejected: AtomicU64,
+    /// End-to-end completion latency, microseconds, recorded for every
+    /// completion regardless of sampling — the SLO watchdog's input.
+    pub(crate) latency_us: AtomicHistogram,
+}
+
+impl ShardTracer {
+    pub(crate) fn new(shard: u32, config: &ServiceConfig) -> Self {
+        Self {
+            shard,
+            epoch: Instant::now(),
+            sampler: TraceSampler::new(config.trace_sample_period),
+            recorder: FlightRecorder::new(config.recorder_capacity),
+            store: Mutex::new(TraceStore::new(config.trace_topk, config.trace_recent)),
+            transitions: Mutex::new(Vec::new()),
+            transition_count: AtomicU64::new(0),
+            rung: AtomicU64::new(0),
+            last_rejected: AtomicU64::new(0),
+            latency_us: AtomicHistogram::new(),
+        }
+    }
+
+    /// Nanoseconds since the tracer started.
+    pub(crate) fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn set_period(&self, period: u64) {
+        self.sampler.set_period(period);
+    }
+
+    pub(crate) fn period(&self) -> u64 {
+        self.sampler.period()
+    }
+
+    /// The head-sampling decision: `Some(trace)` for 1-in-N admissions
+    /// (with [`SpanStage::Admitted`] stamped), `None` — and zero work —
+    /// for the rest.
+    pub(crate) fn start_trace(&self) -> Option<Box<RequestTrace>> {
+        if self.sampler.sample() {
+            Some(Box::new(RequestTrace::new(
+                self.sampler.next_id(),
+                self.shard,
+            )))
+        } else {
+            None
+        }
+    }
+
+    /// Records one flight event (lock-free, overwrite-oldest).
+    pub(crate) fn event(&self, kind: FlightEventKind, a: u64, b: u64) {
+        self.recorder.record(FlightEvent {
+            kind,
+            shard: self.shard,
+            at_ns: self.now_ns(),
+            a,
+            b,
+        });
+    }
+
+    /// Admission refused `n` requests: always a flight event, plus a
+    /// minimal `admitted → rejected` trace when the sampler picks it.
+    pub(crate) fn note_reject(&self, n: u64) {
+        self.event(FlightEventKind::Reject, n, 0);
+        if self.sampler.sample() {
+            let mut trace = RequestTrace::new(self.sampler.next_id(), self.shard);
+            trace.record(SpanStage::Rejected);
+            self.offer(trace);
+        }
+    }
+
+    /// Worker drain boundary: derive the ladder rung from this drain's
+    /// depth and the rejected-counter delta, and record a transition (and
+    /// flight event) when it changed.
+    pub(crate) fn note_drain(
+        &self,
+        depth: u64,
+        rejected_total: u64,
+        deep_telemetry: bool,
+        coalesce: bool,
+    ) {
+        let rejected_now = rejected_total > self.last_rejected.swap(rejected_total, Relaxed);
+        let to = if rejected_now {
+            LadderRung::Reject
+        } else if coalesce {
+            LadderRung::Coalesce
+        } else if deep_telemetry {
+            LadderRung::Normal
+        } else {
+            LadderRung::Shed
+        };
+        let from = LadderRung::from_index(self.rung.swap(to.index(), Relaxed));
+        if from == to {
+            return;
+        }
+        self.event(FlightEventKind::Ladder, to.index(), depth);
+        self.transition_count.fetch_add(1, Relaxed);
+        let transition = LadderTransition {
+            shard: self.shard,
+            from,
+            to,
+            at_ns: self.now_ns(),
+            depth,
+        };
+        if let Ok(mut transitions) = self.transitions.lock() {
+            transitions.push(transition);
+        }
+    }
+
+    /// The rung the shard currently sits on.
+    pub(crate) fn current_rung(&self) -> LadderRung {
+        LadderRung::from_index(self.rung.load(Relaxed))
+    }
+
+    /// Ladder transitions recorded so far (monotone).
+    pub(crate) fn transition_count(&self) -> u64 {
+        self.transition_count.load(Relaxed)
+    }
+
+    /// Drains the accumulated transition list.
+    pub(crate) fn take_transitions(&self) -> Vec<LadderTransition> {
+        self.transitions
+            .lock()
+            .map(|mut t| std::mem::take(&mut *t))
+            .unwrap_or_default()
+    }
+
+    /// Finishes a sampled trace: a `trace_done` flight event plus the
+    /// tail-retention decision. Only the sampled path ever reaches the
+    /// store mutex.
+    pub(crate) fn finish(&self, trace: RequestTrace) {
+        self.event(FlightEventKind::TraceDone, trace.id, trace.total_ns());
+        self.offer(trace);
+    }
+
+    fn offer(&self, trace: RequestTrace) {
+        if let Ok(mut store) = self.store.lock() {
+            store.offer(trace);
+        }
+    }
+
+    /// Every trace the tail-retention store currently keeps.
+    pub(crate) fn retained(&self) -> Vec<RequestTrace> {
+        self.store.lock().map(|s| s.traces()).unwrap_or_default()
+    }
+
+    /// `(offered, dropped, retained)` from the tail-retention store.
+    pub(crate) fn store_stats(&self) -> (u64, u64, usize) {
+        self.store
+            .lock()
+            .map_or((0, 0, 0), |s| (s.offered(), s.dropped(), s.retained()))
+    }
+
+    /// Oldest-first snapshot of the flight ring.
+    pub(crate) fn events(&self) -> Vec<(u64, FlightEvent)> {
+        self.recorder.snapshot()
+    }
+
+    /// `(recorded, overwritten, capacity)` from the flight ring.
+    pub(crate) fn recorder_stats(&self) -> (u64, u64, usize) {
+        (
+            self.recorder.recorded(),
+            self.recorder.overwritten(),
+            self.recorder.capacity(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer(period: u64) -> ShardTracer {
+        let config = ServiceConfig {
+            trace_sample_period: period,
+            ..ServiceConfig::default()
+        };
+        ShardTracer::new(3, &config)
+    }
+
+    #[test]
+    fn unsampled_requests_cost_nothing_and_allocate_nothing() {
+        let t = tracer(0);
+        assert_eq!(t.period(), 0);
+        assert!(t.start_trace().is_none());
+        t.set_period(4);
+        assert_eq!(t.period(), 4);
+        let sampled = (0..64).filter(|_| t.start_trace().is_some()).count();
+        assert_eq!(sampled, 16);
+    }
+
+    #[test]
+    fn rejects_always_hit_the_flight_ring() {
+        let t = tracer(0);
+        t.note_reject(5);
+        t.note_reject(2);
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|(_, e)| e.kind == FlightEventKind::Reject && e.shard == 3));
+        assert_eq!(events[0].1.a, 5);
+        assert_eq!(events[1].1.a, 2);
+        // Sampling off: no trace was retained for the rejects.
+        assert_eq!(t.store_stats(), (0, 0, 0));
+
+        // Sampling at 1 retains a minimal admitted→rejected trace.
+        t.set_period(1);
+        t.note_reject(1);
+        let retained = t.retained();
+        assert_eq!(retained.len(), 1);
+        retained[0]
+            .validate()
+            .expect("minimal reject trace validates");
+    }
+
+    #[test]
+    fn ladder_transitions_are_edge_triggered() {
+        let t = tracer(0);
+        t.note_drain(10, 0, true, false); // normal → normal: no edge
+        assert_eq!(t.transition_count(), 0);
+        t.note_drain(600, 0, false, false); // → shed
+        t.note_drain(650, 0, false, false); // shed → shed: no edge
+        t.note_drain(900, 0, false, true); // → coalesce
+        t.note_drain(1024, 7, false, true); // rejects seen → reject
+        t.note_drain(100, 7, true, false); // recovered → normal
+        assert_eq!(t.transition_count(), 4);
+        let transitions = t.take_transitions();
+        assert_eq!(transitions.len(), 4);
+        assert_eq!(
+            transitions.iter().map(|tr| tr.to).collect::<Vec<_>>(),
+            vec![
+                LadderRung::Shed,
+                LadderRung::Coalesce,
+                LadderRung::Reject,
+                LadderRung::Normal
+            ]
+        );
+        assert_eq!(transitions[2].from, LadderRung::Coalesce);
+        assert_eq!(t.current_rung(), LadderRung::Normal);
+        assert!(t.take_transitions().is_empty(), "take drains");
+        // The edges are also flight events.
+        let ladder_events = t
+            .events()
+            .iter()
+            .filter(|(_, e)| e.kind == FlightEventKind::Ladder)
+            .count();
+        assert_eq!(ladder_events, 4);
+    }
+
+    #[test]
+    fn finished_traces_land_in_store_and_ring() {
+        let t = tracer(1);
+        let mut trace = t.start_trace().expect("period 1 samples everything");
+        trace.record(SpanStage::Enqueued);
+        trace.record(SpanStage::Completed);
+        t.finish(*trace);
+        assert_eq!(t.retained().len(), 1);
+        let (offered, _, retained) = t.store_stats();
+        assert_eq!((offered, retained), (1, 1));
+        assert!(t
+            .events()
+            .iter()
+            .any(|(_, e)| e.kind == FlightEventKind::TraceDone));
+        let (recorded, overwritten, capacity) = t.recorder_stats();
+        assert_eq!(recorded, 1);
+        assert_eq!(overwritten, 0);
+        assert!(capacity >= 1);
+    }
+}

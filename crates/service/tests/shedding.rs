@@ -236,6 +236,7 @@ fn duplicate_inflight_keys_coalesce_past_the_ladder_rung() {
         // Coalesce from the first queued request onward.
         telemetry_shed_fill: 0.0,
         coalesce_fill: 0.0,
+        ..ServiceConfig::default()
     };
     let service = SearchService::new(
         config,

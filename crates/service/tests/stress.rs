@@ -46,6 +46,7 @@ fn concurrent_mixed_ops_match_serially_replayed_oracle() {
         default_deadline: None,
         telemetry_shed_fill: 0.5,
         coalesce_fill: 0.75,
+        ..ServiceConfig::default()
     };
     let engines = (0..config.shards).map(|_| shard_table()).collect();
     let service = SearchService::new(config, engines).expect("valid service");

@@ -1,0 +1,277 @@
+//! Observability v2 invariants, property-tested: every sampled
+//! [`RequestTrace`] is well-formed (monotone timestamps, properly nested
+//! stages, exactly one terminal), tracing never changes what the service
+//! answers (the traced-twin equivalence of the core suite, lifted to the
+//! full concurrent serving path), per-stage span gaps explain the
+//! end-to-end latency, and the flight-recorder dump conserves requests
+//! (completed + shed + rejected == admitted).
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use ca_ram_core::index::RangeSelect;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::table::{CaRamTable, TableConfig};
+use ca_ram_core::telemetry::SpanStage;
+use ca_ram_service::{
+    FlightEventKind, SearchService, ServiceConfig, ServiceOp, ServiceReply, FLIGHT_SCHEMA,
+};
+use proptest::prelude::*;
+
+const KEY_BITS: u32 = 32;
+
+fn table() -> CaRamTable {
+    let layout = RecordLayout::new(KEY_BITS, false, 16);
+    let config = TableConfig::single_slice(6, 8 * layout.slot_bits(), layout);
+    CaRamTable::new(config, Box::new(RangeSelect::new(0, 6))).expect("valid config")
+}
+
+fn service(shards: usize, trace_period: u64) -> SearchService {
+    let config = ServiceConfig {
+        shards,
+        trace_sample_period: trace_period,
+        trace_topk: 8,
+        trace_recent: 64,
+        ..ServiceConfig::default()
+    };
+    let engines = (0..shards).map(|_| Box::new(table()) as _).collect();
+    SearchService::new(config, engines).expect("valid service")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Traced-twin equivalence over the concurrent path: a fully traced
+    /// service (period 1) and an untraced one answer an identical
+    /// workload identically, and every retained trace validates.
+    #[test]
+    fn traced_twin_answers_match_and_traces_validate(
+        seed in any::<u64>(),
+        records in 4usize..40,
+        batch in 1usize..24,
+        shards in 1usize..4,
+    ) {
+        let traced = service(shards, 1);
+        let twin = service(shards, 0);
+        prop_assert_eq!(traced.trace_period(), 1);
+        prop_assert_eq!(twin.trace_period(), 0);
+
+        // The same deterministic table on both services.
+        let mut inserted = Vec::new();
+        for i in 0..records {
+            let value = (seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                & 0xFFFF_FFFF;
+            let record = Record::new(TernaryKey::binary(value.into(), KEY_BITS), i as u64);
+            if traced.insert_sync(record).is_ok() {
+                twin.insert_sync(record).expect("twin capacity matches");
+                inserted.push(value);
+            }
+        }
+        prop_assume!(!inserted.is_empty());
+
+        // Mixed singles (hits and misses) answered identically.
+        for (i, &value) in inserted.iter().enumerate() {
+            let probe = if i % 3 == 0 { value ^ 1 } else { value };
+            let key = SearchKey::new(probe.into(), KEY_BITS);
+            prop_assert_eq!(traced.search_sync(&key), twin.search_sync(&key));
+        }
+
+        // One multi-shard batch answered identically, in order.
+        let keys: Vec<SearchKey> = inserted
+            .iter()
+            .cycle()
+            .take(batch)
+            .map(|&v| SearchKey::new(v.into(), KEY_BITS))
+            .collect();
+        let traced_batch = traced
+            .try_submit_batch(&keys)
+            .expect("room")
+            .wait();
+        let twin_batch = twin.try_submit_batch(&keys).expect("room").wait();
+        prop_assert_eq!(traced_batch.outcomes(), twin_batch.outcomes());
+        prop_assert_eq!(traced_batch.shed(), 0);
+
+        // Every retained trace is well-formed, and period 1 retained some.
+        let traces = traced.retained_traces();
+        prop_assert!(!traces.is_empty(), "period 1 must retain traces");
+        let mut ids = HashSet::new();
+        for trace in &traces {
+            if let Err(err) = trace.validate() {
+                return Err(TestCaseError::Fail(err));
+            }
+            prop_assert!(ids.insert((trace.shard, trace.id)), "trace ids unique per shard");
+            // Monotone timestamps and exactly-one-terminal are part of
+            // validate(); also pin the span-accounting contract.
+            let explained: u64 = trace.stage_gaps().iter().map(|(_, g)| g).sum();
+            prop_assert_eq!(explained, trace.total_ns());
+            prop_assert!(trace.span_coverage() >= 0.9999);
+        }
+        // The untraced twin allocated no traces at all.
+        prop_assert!(twin.retained_traces().is_empty());
+        traced.shutdown();
+        twin.shutdown();
+    }
+
+    /// A completed single-request trace walks the full pipeline: every
+    /// non-terminal stage appears when the request reached the engine.
+    #[test]
+    fn completed_traces_cover_the_whole_pipeline(value in any::<u32>()) {
+        let service = service(1, 1);
+        let record = Record::new(TernaryKey::binary(value.into(), KEY_BITS), 1);
+        service.insert_sync(record).expect("fits");
+        let outcome = service.search_sync(&SearchKey::new(value.into(), KEY_BITS));
+        prop_assert!(outcome.hit.is_some());
+        let traces = service.retained_traces();
+        let full = traces.iter().find(|t| {
+            t.terminal() == Some(SpanStage::Completed)
+                && t.events().iter().any(|e| e.stage == SpanStage::EngineDone)
+        });
+        let Some(trace) = full else {
+            return Err(TestCaseError::Fail(
+                "no completed engine-path trace retained".to_string(),
+            ));
+        };
+        let stages: Vec<SpanStage> = trace.events().iter().map(|e| e.stage).collect();
+        for want in [
+            SpanStage::Admitted,
+            SpanStage::Enqueued,
+            SpanStage::PickedUp,
+            SpanStage::Merged,
+            SpanStage::EngineStart,
+            SpanStage::EngineDone,
+            SpanStage::Completed,
+        ] {
+            prop_assert!(stages.contains(&want), "missing stage {:?} in {:?}", want, stages);
+        }
+        prop_assert!(trace.batch_keys().is_some());
+        service.shutdown();
+    }
+}
+
+/// Shutdown with queued work sheds every request as a traced anomaly and
+/// the flight dump conserves requests exactly.
+#[test]
+fn shed_and_shutdown_traces_conserve_requests() {
+    let config = ServiceConfig {
+        shards: 1,
+        queue_depth: 64,
+        trace_sample_period: 1,
+        default_deadline: Some(Duration::from_nanos(1)),
+        ..ServiceConfig::default()
+    };
+    let service = SearchService::new(config, vec![Box::new(table())]).expect("valid service");
+
+    // A deadline of 1ns expires before any worker pickup: every admitted
+    // request sheds, exercising the anomaly retention path.
+    let tickets: Vec<_> = (0..32)
+        .filter_map(|i| {
+            service
+                .try_submit(ServiceOp::Search(SearchKey::new(i, KEY_BITS)))
+                .ok()
+        })
+        .collect();
+    let mut sheds = 0usize;
+    for ticket in tickets {
+        if matches!(ticket.wait().reply, ServiceReply::Shed(_)) {
+            sheds += 1;
+        }
+    }
+    assert!(sheds > 0, "1ns deadlines must shed");
+
+    let totals = service.snapshot().totals();
+    let dump = service.flight_json("test shed storm");
+    assert!(dump.contains(FLIGHT_SCHEMA));
+    assert!(dump.contains("\"shed_deadline\""));
+
+    // Conservation: terminal counters partition the admitted set.
+    let completed = totals.accepted - totals.shed_deadline - totals.shed_shutdown;
+    assert_eq!(
+        completed + totals.shed_deadline + totals.shed_shutdown + totals.rejected,
+        totals.accepted + totals.rejected,
+        "every admitted request reaches exactly one terminal"
+    );
+
+    // Shed traces are retained as anomalies and validate.
+    let traces = service.retained_traces();
+    let shed_traces = traces
+        .iter()
+        .filter(|t| t.terminal() == Some(SpanStage::Shed))
+        .count();
+    assert!(shed_traces > 0, "sheds are always-kept anomalies");
+    for trace in &traces {
+        trace.validate().expect("anomaly trace validates");
+    }
+    service.shutdown();
+}
+
+/// Rejects at a full queue always land in the flight ring, even with
+/// sampling off, and ladder transitions report the reject rung.
+#[test]
+fn reject_storm_hits_the_flight_ring_without_sampling() {
+    use std::sync::Arc;
+
+    // A tiny queue plus a slow engine forces QueueFull rejections.
+    struct Slow(CaRamTable);
+    impl ca_ram_core::engine::SearchEngine for Slow {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn key_bits(&self) -> u32 {
+            self.0.key_bits()
+        }
+        fn search(&self, key: &SearchKey) -> ca_ram_core::engine::EngineOutcome {
+            std::thread::sleep(Duration::from_millis(20));
+            self.0.search(key).into()
+        }
+        fn insert(&mut self, record: Record) -> ca_ram_core::error::Result<()> {
+            self.0.insert(record).map(|_| ())
+        }
+        fn delete(&mut self, key: &TernaryKey) -> u32 {
+            self.0.delete(key)
+        }
+        fn occupancy(&self) -> ca_ram_core::engine::EngineReport {
+            self.0.occupancy()
+        }
+    }
+    let config = ServiceConfig {
+        shards: 1,
+        queue_depth: 2,
+        trace_sample_period: 0,
+        ..ServiceConfig::default()
+    };
+    let service = SearchService::new(config, vec![Box::new(Slow(table()))]).expect("valid service");
+    let service = Arc::new(service);
+
+    let mut rejected = 0u64;
+    let mut tickets = Vec::new();
+    for i in 0..64u64 {
+        match service.try_submit(ServiceOp::Search(SearchKey::new(u128::from(i), KEY_BITS))) {
+            Ok(t) => tickets.push(t),
+            Err(_) => rejected += 1,
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 2-deep queue over a 20ms engine must reject"
+    );
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+
+    let totals = service.snapshot().totals();
+    assert_eq!(totals.rejected, rejected);
+    // Sampling is off, yet the refusals are in the flight ring.
+    let dump = service.flight_json("reject storm");
+    assert!(dump.contains(&format!("\"kind\": \"{}\"", FlightEventKind::Reject.name())));
+    // And no traces were allocated for them.
+    assert!(service.retained_traces().is_empty());
+    // The ladder observed the reject rung at some drain.
+    let transitions = service.take_ladder_transitions();
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.to == ca_ram_service::LadderRung::Reject),
+        "transitions: {transitions:?}"
+    );
+}

@@ -138,7 +138,11 @@ mod tests {
         let naive = max_load(&table, &last_of_first16(8));
         // Greedy is not globally optimal, so allow a small regression band;
         // it must at least be competitive with the fixed contiguous choice.
-        #[allow(clippy::cast_precision_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let bound = (f64::from(naive) * 1.10).ceil() as u32;
         assert!(
             greedy.max_load <= bound,
