@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use ca_ram_bench::fleet::{fleet_for, fleet_names};
 use ca_ram_bench::{write_text_atomic, BenchError, Cli, Result};
-use ca_ram_core::oracle::{run_case, standard_scenarios, OpStreamGen, Profile};
+use ca_ram_core::oracle::{run_case, run_kernel_case, standard_scenarios, OpStreamGen, Profile};
 
 /// Replays the harness caps minimization at, bounding worst-case runtime.
 const MINIMIZE_BUDGET: usize = 400;
@@ -33,7 +33,7 @@ const MINIMIZE_BUDGET: usize = 400;
 /// engines are added, so an accidental fleet or scenario regression
 /// (a gating typo silently dropping cells) fails CI instead of shrinking
 /// coverage quietly.
-const MIN_UNFILTERED_CELLS: usize = 225;
+const MIN_UNFILTERED_CELLS: usize = 373;
 
 /// Validates a `--scenario`/`--engine` substring filter against the known
 /// names: a filter matching nothing is a typo, reported with the full
@@ -55,6 +55,44 @@ struct Cell {
     ops: usize,
     status: &'static str,
     detail: String,
+}
+
+/// Records one checked cell: green on agreement, or the printed and
+/// counted divergence with its minimized fixture.
+fn record_cell(
+    cells: &mut Vec<Cell>,
+    divergences: &mut usize,
+    scenario: &str,
+    engine: String,
+    ops: usize,
+    report: Option<ca_ram_core::oracle::DivergenceReport>,
+) {
+    match report {
+        None => cells.push(Cell {
+            scenario: scenario.to_string(),
+            engine,
+            ops,
+            status: "ok",
+            detail: String::new(),
+        }),
+        Some(r) => {
+            *divergences += 1;
+            println!(
+                "DIVERGENCE: {} on {} at op {} — {}",
+                r.engine, r.scenario, r.op_index, r.detail
+            );
+            println!("--- minimized repro ({} ops) ---", r.repro.len());
+            print!("{}", r.to_fixture());
+            println!("--------------------------------");
+            cells.push(Cell {
+                scenario: scenario.to_string(),
+                engine: r.engine,
+                ops,
+                status: "divergence",
+                detail: r.detail,
+            });
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -101,44 +139,47 @@ fn main() -> Result<()> {
                 }
             }
             if started.elapsed().as_millis() >= u128::from(time_box_ms) {
-                skipped += 1;
-                cells.push(Cell {
-                    scenario: sc.name.clone(),
-                    engine: case.name.clone(),
-                    ops: 0,
-                    status: "skipped",
-                    detail: "time box expired".to_string(),
-                });
+                // The kernel twin cell is skipped along with its engine,
+                // so the matrix floor still accounts for both.
+                let mut names = vec![case.name.clone()];
+                if case.name.starts_with("ca-ram/") {
+                    names.push(format!("{}+kernel", case.name));
+                }
+                for engine in names {
+                    skipped += 1;
+                    cells.push(Cell {
+                        scenario: sc.name.clone(),
+                        engine,
+                        ops: 0,
+                        status: "skipped",
+                        detail: "time box expired".to_string(),
+                    });
+                }
                 continue;
             }
             let report = run_case(&case, &sc.name, seed, sc.key_bits, &stream, MINIMIZE_BUDGET);
-            match report {
-                None => {
-                    cells.push(Cell {
-                        scenario: sc.name.clone(),
-                        engine: case.name,
-                        ops,
-                        status: "ok",
-                        detail: String::new(),
-                    });
-                }
-                Some(r) => {
-                    divergences += 1;
-                    println!(
-                        "DIVERGENCE: {} on {} at op {} — {}",
-                        r.engine, r.scenario, r.op_index, r.detail
-                    );
-                    println!("--- minimized repro ({} ops) ---", r.repro.len());
-                    print!("{}", r.to_fixture());
-                    println!("--------------------------------");
-                    cells.push(Cell {
-                        scenario: sc.name.clone(),
-                        engine: r.engine.clone(),
-                        ops,
-                        status: "divergence",
-                        detail: r.detail.clone(),
-                    });
-                }
+            record_cell(
+                &mut cells,
+                &mut divergences,
+                &sc.name,
+                case.name.clone(),
+                ops,
+                report,
+            );
+            // Scalar-vs-SIMD differential cell: the CA-RAM engines are
+            // the ones whose compare runs through the lane kernels, so
+            // each replays the stream again as a scalar/SIMD twin pair.
+            if case.name.starts_with("ca-ram/") {
+                let report =
+                    run_kernel_case(&case, &sc.name, seed, sc.key_bits, &stream, MINIMIZE_BUDGET);
+                record_cell(
+                    &mut cells,
+                    &mut divergences,
+                    &sc.name,
+                    format!("{}+kernel", case.name),
+                    ops,
+                    report,
+                );
             }
         }
     }

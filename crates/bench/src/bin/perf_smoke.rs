@@ -17,6 +17,7 @@ use std::sync::Arc;
 use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
 use ca_ram_bench::driver::{keys_per_sec, member_trace, time};
 use ca_ram_bench::{ensure, rule, Cli, DesignThroughput, PatternThroughput, Result, SearchReport};
+use ca_ram_core::kernel::{self, Kernel};
 use ca_ram_core::key::SearchKey;
 use ca_ram_core::pattern::{compile, GeometryHint, Pattern, QueryPlan};
 use ca_ram_core::table::{CaRamTable, SearchOutcome};
@@ -29,26 +30,59 @@ fn run_baseline(table: &CaRamTable, keys: &[SearchKey]) -> (Vec<SearchOutcome>, 
     time(|| keys.iter().map(|k| table.search_baseline(k)).collect())
 }
 
-/// Telemetry overhead of the serial batch path, in percent: `traced`
-/// (sink installed) vs `plain`, measured as interleaved best-of-9 pairs
-/// (alternating which side runs first) so machine-load drift and ordering
-/// effects hit both sides equally.
-fn serial_overhead_pct(plain: &CaRamTable, traced: &CaRamTable, keys: &[SearchKey]) -> f64 {
-    // Warm both paths (page in both tables, settle the branch predictors).
-    let _ = plain.search_batch(keys);
-    let _ = traced.search_batch(keys);
-    let mut best_plain = f64::INFINITY;
-    let mut best_traced = f64::INFINITY;
-    for round in 0..9 {
-        if round % 2 == 0 {
-            best_plain = best_plain.min(time(|| plain.search_batch(keys)).1);
-            best_traced = best_traced.min(time(|| traced.search_batch(keys)).1);
-        } else {
-            best_traced = best_traced.min(time(|| traced.search_batch(keys)).1);
-            best_plain = best_plain.min(time(|| plain.search_batch(keys)).1);
-        }
+/// Interleaved best-of-21 timing of two tables' serial batch paths over
+/// the same trace (alternating which side runs first each round, so
+/// machine-load drift and ordering effects hit both sides equally).
+/// Returns `(best_a_secs, best_b_secs)`.
+fn timed_serial_pair(a: &CaRamTable, b: &CaRamTable, keys: &[SearchKey]) -> (f64, f64, f64) {
+    // Fold the outcomes into a checksum instead of materializing the
+    // outcome vector: the timed region then measures the search path, not
+    // 100k × 64-byte outcome stores, and the checksum keeps the searches
+    // observable (and un-elidable).
+    fn fold_batch(t: &CaRamTable, keys: &[SearchKey]) -> u64 {
+        let mut acc = 0u64;
+        t.search_batch_into(keys, |o| {
+            acc = acc
+                .wrapping_add(u64::from(o.memory_accesses))
+                .wrapping_add(o.hit.map_or(0, |h| h.bucket ^ u64::from(h.slot)));
+        });
+        acc
     }
-    (best_traced / best_plain - 1.0) * 100.0
+    // Warm both paths (page in both tables, settle the branch predictors).
+    std::hint::black_box(fold_batch(a, keys));
+    std::hint::black_box(fold_batch(b, keys));
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let mut ratios = [0.0f64; 21];
+    for (round, ratio) in ratios.iter_mut().enumerate() {
+        // Alternate which side runs first so neither systematically
+        // inherits a warmer cache.
+        let (ta, tb) = if round % 2 == 0 {
+            let ta = time(|| std::hint::black_box(fold_batch(a, keys))).1;
+            let tb = time(|| std::hint::black_box(fold_batch(b, keys))).1;
+            (ta, tb)
+        } else {
+            let tb = time(|| std::hint::black_box(fold_batch(b, keys))).1;
+            let ta = time(|| std::hint::black_box(fold_batch(a, keys))).1;
+            (ta, tb)
+        };
+        best_a = best_a.min(ta);
+        best_b = best_b.min(tb);
+        *ratio = ta / tb;
+    }
+    // The gates consume the *median per-round ratio*, not the quotient of
+    // the two bests: a background-load spike lands on one round's pair —
+    // inflating both sides of that round — instead of on one side of the
+    // final quotient, so the gate survives noisy shared CI boxes.
+    ratios.sort_unstable_by(f64::total_cmp);
+    (best_a, best_b, ratios[ratios.len() / 2])
+}
+
+/// Telemetry overhead of the serial batch path, in percent: `traced`
+/// (sink installed) vs `plain`.
+fn serial_overhead_pct(plain: &CaRamTable, traced: &CaRamTable, keys: &[SearchKey]) -> f64 {
+    let (_, _, traced_over_plain) = timed_serial_pair(traced, plain, keys);
+    (traced_over_plain - 1.0) * 100.0
 }
 
 /// Measures one pattern-compiled workload: walk every query plan once to
@@ -207,51 +241,84 @@ fn main() -> Result<()> {
     // lookup hits (the paper measures successful-search cost).
     let keys = member_trace(&prefixes, lookups, seed ^ 0x5EED);
 
-    println!("Simulator search throughput ({prefixes_n} prefixes, {lookups} lookups)");
+    let kernel = kernel::active_kernel();
     println!(
-        "{:^6} {:>14} {:>14} {:>14} {:>9} {:>9} {:>8}",
-        "Design", "base keys/s", "serial keys/s", "par keys/s", "ser x", "par x", "mem/srch"
+        "Simulator search throughput ({prefixes_n} prefixes, {lookups} lookups, \
+         {} kernel)",
+        kernel.name()
     );
-    rule(80);
+    println!(
+        "{:^6} {:>14} {:>14} {:>14} {:>14} {:>8} {:>8} {:>7} {:>8}",
+        "Design",
+        "base keys/s",
+        "scalar keys/s",
+        "serial keys/s",
+        "par keys/s",
+        "ser x",
+        "par x",
+        "simd x",
+        "mem/srch"
+    );
+    rule(102);
 
     let mut results: Vec<DesignThroughput> = Vec::new();
     for d in ip_designs() {
         let mut table = build_ip_table(&d);
         load_prefixes(&mut table, &prefixes, &weights);
+        // The scalar twin: identical geometry and contents, but its match
+        // processors captured the scalar kernel at build time.
+        let scalar_table = kernel::with_forced(Kernel::Scalar, || {
+            let mut t = build_ip_table(&d);
+            load_prefixes(&mut t, &prefixes, &weights);
+            t
+        });
+        assert_eq!(scalar_table.kernel(), Kernel::Scalar, "design {}", d.name);
 
-        // Warm-up + correctness: all three paths must agree exactly, and
-        // the parallel stats must be the shard-exact serial accumulation.
+        // Warm-up + correctness: all three paths and the scalar twin must
+        // agree exactly, and the parallel stats must be the shard-exact
+        // serial accumulation.
         let (base_outcomes, _) = run_baseline(&table, &keys);
         let serial_outcomes = table.search_batch(&keys);
         let (parallel_outcomes, stats) = table.search_batch_parallel_stats(&keys, threads);
         assert_eq!(base_outcomes, serial_outcomes, "design {}", d.name);
         assert_eq!(serial_outcomes, parallel_outcomes, "design {}", d.name);
+        assert_eq!(
+            serial_outcomes,
+            scalar_table.search_batch(&keys),
+            "scalar twin diverged on design {}",
+            d.name
+        );
         assert_eq!(stats.searches, keys.len() as u64, "design {}", d.name);
 
         let (_, base_secs) = run_baseline(&table, &keys);
-        let (_, serial_secs) = time(|| table.search_batch(&keys));
+        let (scalar_secs, serial_secs, scalar_over_simd) =
+            timed_serial_pair(&scalar_table, &table, &keys);
         let (_, parallel_secs) = time(|| table.search_batch_parallel(&keys, threads));
 
         let r = DesignThroughput {
             name: d.name,
             baseline_kps: keys_per_sec(keys.len(), base_secs),
+            scalar_kps: keys_per_sec(keys.len(), scalar_secs),
             serial_kps: keys_per_sec(keys.len(), serial_secs),
             parallel_kps: keys_per_sec(keys.len(), parallel_secs),
+            simd_speedup: scalar_over_simd,
             mean_accesses: stats.measured_amal(),
         };
         println!(
-            "{:^6} {:>14.0} {:>14.0} {:>14.0} {:>8.2}x {:>8.2}x {:>8.3}",
+            "{:^6} {:>14.0} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>7.2}x {:>6.2}x {:>8.3}",
             r.name,
             r.baseline_kps,
+            r.scalar_kps,
             r.serial_kps,
             r.parallel_kps,
             r.serial_speedup(),
             r.parallel_speedup(),
+            r.simd_speedup,
             r.mean_accesses,
         );
         results.push(r);
     }
-    rule(80);
+    rule(102);
 
     // Telemetry overhead: the same serial batch on design A with a shallow
     // histogram sink installed vs an uninstrumented twin table (whose cost
@@ -294,6 +361,7 @@ fn main() -> Result<()> {
         prefixes: prefixes_n,
         lookups,
         threads,
+        kernel: kernel.name().to_string(),
         telemetry_overhead_pct,
         designs: results,
         patterns,
@@ -307,6 +375,23 @@ fn main() -> Result<()> {
             "MISS"
         }
     );
+    if kernel == Kernel::Scalar {
+        println!(
+            "minimum SIMD speedup over scalar kernel: n/a (scalar kernel active; \
+             twins are identical)"
+        );
+    } else {
+        let min_simd_speedup = report.min_simd_speedup();
+        println!(
+            "minimum SIMD speedup over scalar kernel (serial batch): \
+             {min_simd_speedup:.2}x (target >= 1.30x) {}",
+            if min_simd_speedup >= 1.3 {
+                "PASS"
+            } else {
+                "MISS"
+            }
+        );
+    }
 
     report.write(&out_path)?;
     println!("(wrote {out_path})");

@@ -161,10 +161,17 @@ pub struct DesignThroughput {
     pub name: &'static str,
     /// Keys/s of the pre-optimization reference loop.
     pub baseline_kps: f64,
+    /// Keys/s of the serial batch with a scalar-kernel twin of the table.
+    pub scalar_kps: f64,
     /// Keys/s of the allocation-free serial batch.
     pub serial_kps: f64,
     /// Keys/s of the sharded parallel batch.
     pub parallel_kps: f64,
+    /// Serial-batch speedup of the active compare kernel over the
+    /// scalar-kernel twin: the median per-round ratio of the interleaved
+    /// paired timing (robust to load spikes; 1.0 by construction when
+    /// scalar is active).
+    pub simd_speedup: f64,
     /// Mean memory accesses per search (measured AMAL).
     pub mean_accesses: f64,
 }
@@ -212,6 +219,9 @@ pub struct SearchReport {
     pub lookups: usize,
     /// Requested parallel thread count (0 = auto).
     pub threads: usize,
+    /// Name of the active compare kernel the tables captured
+    /// (`scalar`, `128`, or `256`).
+    pub kernel: String,
     /// Measured slowdown of the serial batch path with a shallow
     /// telemetry sink installed, in percent (negative = noise).
     pub telemetry_overhead_pct: f64,
@@ -231,6 +241,16 @@ impl SearchReport {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// The smallest scalar-vs-active-kernel speedup across designs — the
+    /// SIMD regression gate (only meaningful when `kernel != "scalar"`).
+    #[must_use]
+    pub fn min_simd_speedup(&self) -> f64 {
+        self.designs
+            .iter()
+            .map(|d| d.simd_speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Renders the report as JSON (hand-rolled: the workspace carries no
     /// serialization dependency).
     #[must_use]
@@ -241,11 +261,14 @@ impl SearchReport {
         let _ = write!(
             json,
             "  \"prefixes\": {},\n  \"lookups\": {},\n  \"threads\": {},\n  \
-             \"min_serial_speedup\": {:.4},\n  \"telemetry_overhead_pct\": {:.4},\n",
+             \"kernel\": \"{}\",\n  \"min_serial_speedup\": {:.4},\n  \
+             \"min_simd_speedup\": {:.4},\n  \"telemetry_overhead_pct\": {:.4},\n",
             self.prefixes,
             self.lookups,
             self.threads,
+            self.kernel,
             self.min_serial_speedup(),
+            self.min_simd_speedup(),
             self.telemetry_overhead_pct
         );
         json.push_str("  \"designs\": [\n");
@@ -253,15 +276,18 @@ impl SearchReport {
             let _ = writeln!(
                 json,
                 "    {{\"name\": \"{}\", \"baseline_keys_per_sec\": {:.1}, \
-                 \"serial_keys_per_sec\": {:.1}, \"parallel_keys_per_sec\": {:.1}, \
-                 \"serial_speedup\": {:.4}, \"parallel_speedup\": {:.4}, \
+                 \"scalar_keys_per_sec\": {:.1}, \"serial_keys_per_sec\": {:.1}, \
+                 \"parallel_keys_per_sec\": {:.1}, \"serial_speedup\": {:.4}, \
+                 \"parallel_speedup\": {:.4}, \"simd_speedup\": {:.4}, \
                  \"mean_memory_accesses\": {:.4}}}{}",
                 r.name,
                 r.baseline_kps,
+                r.scalar_kps,
                 r.serial_kps,
                 r.parallel_kps,
                 r.serial_speedup(),
                 r.parallel_speedup(),
+                r.simd_speedup,
                 r.mean_accesses,
                 if i + 1 == self.designs.len() { "" } else { "," },
             );
@@ -336,12 +362,15 @@ mod tests {
             prefixes: 10,
             lookups: 20,
             threads: 0,
+            kernel: "256".to_string(),
             telemetry_overhead_pct: 1.25,
             designs: vec![DesignThroughput {
                 name: "A",
                 baseline_kps: 100.0,
+                scalar_kps: 200.0,
                 serial_kps: 250.0,
                 parallel_kps: 500.0,
+                simd_speedup: 1.25,
                 mean_accesses: 1.25,
             }],
             patterns: vec![PatternThroughput {
@@ -354,9 +383,14 @@ mod tests {
             }],
         };
         assert!((report.min_serial_speedup() - 2.5).abs() < 1e-12);
+        assert!((report.min_simd_speedup() - 1.25).abs() < 1e-12);
         let json = report.to_json();
         assert!(json.starts_with("{\n  \"benchmark\": \"search\",\n"));
+        assert!(json.contains("\"kernel\": \"256\""));
         assert!(json.contains("\"min_serial_speedup\": 2.5000"));
+        assert!(json.contains("\"min_simd_speedup\": 1.2500"));
+        assert!(json.contains("\"scalar_keys_per_sec\": 200.0"));
+        assert!(json.contains("\"simd_speedup\": 1.2500"));
         assert!(json.contains("\"telemetry_overhead_pct\": 1.2500"));
         assert!(json.contains("\"mean_memory_accesses\": 1.2500"));
         assert!(json.contains("\"scenario\": \"packet-class\""));

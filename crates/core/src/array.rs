@@ -4,8 +4,51 @@
 //! decoupled from the match logic, which is the source of CA-RAM's density
 //! advantage (Sec. 3.1). Rows are exposed both as whole-row accesses (what a
 //! search performs) and as word-addressable RAM-mode accesses (Sec. 3.2).
+//!
+//! Rows are stored cache-line aligned: the backing store is a vector of
+//! 64-byte lines and every row starts on a line boundary, so fetching a
+//! row touches `⌈row_bytes / 64⌉` lines instead of straddling one extra
+//! line at an arbitrary offset — the software analogue of a row fetch
+//! lighting up exactly one wordline. RAM-mode addresses stay *logical*
+//! (row-major over `row_words`-word rows, no padding visible), so the
+//! Sec. 3.2 address map is unchanged.
 
 use crate::error::{CaRamError, Result};
+
+/// One 64-byte line of backing store; the alignment guarantees every row
+/// (and the vector itself) starts on a cache-line boundary.
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheLine([u64; 8]);
+
+const WORDS_PER_LINE: u32 = 8;
+
+/// Prefetches the cache line holding `r` (best-effort, see
+/// [`prefetch_line`]). Used by the slice layer to pull a row's auxiliary
+/// word in alongside its data lines.
+#[inline]
+pub(crate) fn prefetch_ref<T>(r: &T) {
+    prefetch_line(core::ptr::from_ref(r).cast::<u8>());
+}
+
+/// Issues a best-effort prefetch of the cache line at `p` into L1.
+/// A no-op on architectures without a portable hint and under Miri
+/// (which does not model caches).
+#[inline]
+fn prefetch_line(p: *const u8) {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    // SAFETY: prefetch is a hint; it cannot fault even on bad addresses.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(all(target_arch = "aarch64", not(miri)))]
+    // SAFETY: PRFM is a hint; it cannot fault even on bad addresses.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(all(any(target_arch = "x86_64", target_arch = "aarch64"), not(miri))))]
+    let _ = p;
+}
 
 /// A `rows × row_bits` bit-accurate memory array.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,7 +56,10 @@ pub struct MemoryArray {
     rows: u64,
     row_bits: u32,
     row_words: u32,
-    data: Vec<u64>,
+    /// Physical words per row: `row_words` rounded up to a whole number
+    /// of cache lines. The pad words are never exposed and stay zero.
+    stride_words: u32,
+    data: Vec<CacheLine>,
 }
 
 impl MemoryArray {
@@ -27,13 +73,15 @@ impl MemoryArray {
         assert!(rows > 0, "array needs at least one row");
         assert!(row_bits > 0, "rows need at least one bit");
         let row_words = row_bits.div_ceil(64);
-        let words = usize::try_from(rows * u64::from(row_words))
+        let stride_words = row_words.next_multiple_of(WORDS_PER_LINE);
+        let lines = usize::try_from(rows * u64::from(stride_words / WORDS_PER_LINE))
             .expect("array size exceeds the address space");
         Self {
             rows,
             row_bits,
             row_words,
-            data: vec![0; words],
+            stride_words,
+            data: vec![CacheLine([0; 8]); lines],
         }
     }
 
@@ -55,10 +103,36 @@ impl MemoryArray {
         self.row_words
     }
 
-    /// Total addressable words (RAM mode).
+    /// Total addressable words (RAM mode). Pad words are not addressable,
+    /// so this is exactly `rows × row_words`.
     #[must_use]
     pub fn total_words(&self) -> u64 {
         self.rows * u64::from(self.row_words)
+    }
+
+    /// The backing store viewed as words (including row padding).
+    #[inline]
+    fn words(&self) -> &[u64] {
+        // SAFETY: `CacheLine` is `repr(C)` over `[u64; 8]`, so the vector
+        // is one contiguous, properly aligned run of `8 * len` words.
+        unsafe {
+            core::slice::from_raw_parts(
+                self.data.as_ptr().cast::<u64>(),
+                self.data.len() * WORDS_PER_LINE as usize,
+            )
+        }
+    }
+
+    /// Mutable view of the backing store as words (including padding).
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        // SAFETY: as in `words`; the borrow is exclusive.
+        unsafe {
+            core::slice::from_raw_parts_mut(
+                self.data.as_mut_ptr().cast::<u64>(),
+                self.data.len() * WORDS_PER_LINE as usize,
+            )
+        }
     }
 
     fn row_range(&self, row: u64) -> core::ops::Range<usize> {
@@ -67,7 +141,7 @@ impl MemoryArray {
             "row {row} out of range ({} rows)",
             self.rows
         );
-        let start = usize::try_from(row * u64::from(self.row_words)).expect("checked at new");
+        let start = usize::try_from(row * u64::from(self.stride_words)).expect("checked at new");
         start..start + self.row_words as usize
     }
 
@@ -79,7 +153,7 @@ impl MemoryArray {
     #[must_use]
     pub fn row(&self, row: u64) -> &[u64] {
         let r = self.row_range(row);
-        &self.data[r]
+        &self.words()[r]
     }
 
     /// Mutable access to the words of `row`.
@@ -89,7 +163,37 @@ impl MemoryArray {
     /// Panics if `row` is out of range.
     pub fn row_mut(&mut self, row: u64) -> &mut [u64] {
         let r = self.row_range(row);
-        &mut self.data[r]
+        &mut self.words_mut()[r]
+    }
+
+    /// Hints the hardware to pull the leading cache lines of `row` into
+    /// L1 (capped at 8 lines — one 64-slot word-1 row; past that the
+    /// fetch outruns the compare). Out-of-range rows are ignored: a
+    /// prefetch is advisory, never a bounds check.
+    #[inline]
+    pub fn prefetch_row(&self, row: u64) {
+        if row >= self.rows {
+            return;
+        }
+        let lines_per_row = (self.stride_words / WORDS_PER_LINE) as usize;
+        let Ok(base) = usize::try_from(row * u64::from(self.stride_words / WORDS_PER_LINE)) else {
+            return;
+        };
+        for line in 0..lines_per_row.min(8) {
+            prefetch_line(core::ptr::from_ref(&self.data[base + line]).cast::<u8>());
+        }
+    }
+
+    /// Translates a logical RAM-mode word address to its index in the
+    /// padded backing store.
+    #[inline]
+    fn physical_index(&self, address: u64) -> Option<usize> {
+        if address >= self.total_words() {
+            return None;
+        }
+        let row = address / u64::from(self.row_words);
+        let offset = address % u64::from(self.row_words);
+        usize::try_from(row * u64::from(self.stride_words) + offset).ok()
     }
 
     /// RAM-mode word read (Sec. 3.2).
@@ -98,13 +202,8 @@ impl MemoryArray {
     ///
     /// Returns [`CaRamError::AddressOutOfRange`] for addresses past the end.
     pub fn read_word(&self, address: u64) -> Result<u64> {
-        let idx = usize::try_from(address).map_err(|_| CaRamError::AddressOutOfRange {
-            address,
-            words: self.total_words(),
-        })?;
-        self.data
-            .get(idx)
-            .copied()
+        self.physical_index(address)
+            .map(|idx| self.words()[idx])
             .ok_or(CaRamError::AddressOutOfRange {
                 address,
                 words: self.total_words(),
@@ -118,17 +217,16 @@ impl MemoryArray {
     /// Returns [`CaRamError::AddressOutOfRange`] for addresses past the end.
     pub fn write_word(&mut self, address: u64, value: u64) -> Result<()> {
         let words = self.total_words();
-        let idx = usize::try_from(address)
-            .ok()
-            .filter(|&i| i < self.data.len())
+        let idx = self
+            .physical_index(address)
             .ok_or(CaRamError::AddressOutOfRange { address, words })?;
-        self.data[idx] = value;
+        self.words_mut()[idx] = value;
         Ok(())
     }
 
     /// Zeroes the whole array (a hardware-style bulk clear).
     pub fn clear(&mut self) {
-        self.data.fill(0);
+        self.data.fill(CacheLine([0; 8]));
     }
 }
 
@@ -153,6 +251,20 @@ mod tests {
     }
 
     #[test]
+    fn rows_start_on_cache_line_boundaries() {
+        // Rows whose logical width is not a whole number of lines are
+        // padded out, so every row pointer is 64-byte aligned and a row
+        // fetch touches ceil(row_bytes / 64) lines, never one more.
+        for row_bits in [64u32, 65, 512, 513, 2048, 2048 + 64] {
+            let a = MemoryArray::new(4, row_bits);
+            for row in 0..4 {
+                let p = a.row(row).as_ptr() as usize;
+                assert_eq!(p % 64, 0, "row {row} of {row_bits}-bit rows misaligned");
+            }
+        }
+    }
+
+    #[test]
     fn rows_are_independent() {
         let mut a = MemoryArray::new(4, 128);
         a.row_mut(1)[0] = 0xAAAA;
@@ -173,6 +285,19 @@ mod tests {
     }
 
     #[test]
+    fn ram_mode_addresses_skip_row_padding() {
+        // 65-bit rows occupy 2 logical words but a full 8-word line of
+        // backing store; logical address 2 must land on row 1's first
+        // word, not on row 0's padding.
+        let mut a = MemoryArray::new(3, 65);
+        a.write_word(2, 42).unwrap();
+        assert_eq!(a.row(1)[0], 42);
+        assert_eq!(a.row(0), &[0, 0]);
+        a.row_mut(2)[1] = 7;
+        assert_eq!(a.read_word(5).unwrap(), 7);
+    }
+
+    #[test]
     fn ram_mode_out_of_range() {
         let mut a = MemoryArray::new(2, 64);
         assert!(matches!(
@@ -183,6 +308,15 @@ mod tests {
             })
         ));
         assert!(a.write_word(100, 0).is_err());
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_semantically() {
+        let a = MemoryArray::new(2, 2048);
+        a.prefetch_row(0);
+        a.prefetch_row(1);
+        a.prefetch_row(99); // out of range: ignored, not a panic
+        assert_eq!(a.row(0)[0], 0);
     }
 
     #[test]

@@ -205,6 +205,62 @@ mod tests {
         }
     }
 
+    /// Bit-at-a-time reference writer: the write-path twin of
+    /// `read_bits_reference`, clearing and setting one bit at a time.
+    fn write_bits_reference(words: &mut [u64], offset: usize, width: u32, value: u128) {
+        for i in 0..width as usize {
+            let bit = offset + i;
+            if (value >> i) & 1 == 1 {
+                words[bit / 64] |= 1 << (bit % 64);
+            } else {
+                words[bit / 64] &= !(1 << (bit % 64));
+            }
+        }
+    }
+
+    #[test]
+    fn word_boundary_widths_exhaustive() {
+        // The word-boundary width family (63/64/65 — one bit short of a
+        // word, exactly a word, one bit past) plus the 96/127/128 wide
+        // ladder, at EVERY offset of a 9-word row. That covers fields
+        // that start at, end at, and straddle word boundaries and the
+        // 512-bit cache-line boundary (rows are line-aligned, so bit 512
+        // is a line edge). Reads must agree with the bit-at-a-time
+        // reference; writes must produce the reference writer's whole-row
+        // image on clean and dirty backgrounds alike (no neighbouring bit
+        // disturbed, no stale bit surviving).
+        let row: Vec<u64> = (0..9u64)
+            .map(|i| {
+                0xA5A5_5A5A_DEAD_BEEFu64
+                    .rotate_left(u32::try_from(i).unwrap() * 7)
+                    .wrapping_add(i)
+            })
+            .collect();
+        let total = row.len() * 64;
+        for width in [63u32, 64, 65, 96, 127, 128] {
+            for offset in 0..=(total - width as usize) {
+                assert_eq!(
+                    read_bits(&row, offset, width),
+                    read_bits_reference(&row, offset, width),
+                    "read offset {offset} width {width}"
+                );
+                // A value with structure on both ends of the field.
+                let v =
+                    read_bits(&row, offset, width) ^ (low_mask(width) & !(low_mask(width) >> 3));
+                for bg in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF] {
+                    let mut got = vec![bg; row.len()];
+                    let mut want = vec![bg; row.len()];
+                    write_bits(&mut got, offset, width, v);
+                    write_bits_reference(&mut want, offset, width, v);
+                    assert_eq!(
+                        got, want,
+                        "write offset {offset} width {width} bg {bg:#018x}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn aligned_full_word_round_trip() {
         let mut row = vec![0u64; 2];

@@ -349,6 +349,9 @@ impl BucketList {
 
     /// Sorts the list and removes duplicates.
     pub fn sort_dedup(&mut self) {
+        if self.spill.is_empty() && self.len <= 1 {
+            return; // the unmasked-lookup common case: nothing to order
+        }
         self.active_mut().sort_unstable();
         if self.spill.is_empty() {
             let mut kept = 0;
@@ -366,8 +369,18 @@ impl BucketList {
 
     /// Applies `bucket % modulus` to every entry (bucket-space reduction).
     pub fn map_mod(&mut self, modulus: u64) {
-        for b in self.active_mut() {
-            *b %= modulus;
+        // Bucket counts are a power of two for every horizontal-only
+        // arrangement; masking there keeps the per-search reduction off
+        // the 64-bit divider.
+        if modulus.is_power_of_two() {
+            let mask = modulus - 1;
+            for b in self.active_mut() {
+                *b &= mask;
+            }
+        } else {
+            for b in self.active_mut() {
+                *b %= modulus;
+            }
         }
     }
 }

@@ -161,6 +161,22 @@ impl TernaryKey {
         }
     }
 
+    /// [`TernaryKey::ternary`] without the width checks, for decode paths
+    /// whose inputs are bit-sliced from a stored row and therefore in
+    /// range by construction. The canonical `value & !dont_care` form is
+    /// still enforced (a stored value bit under a don't-care position is
+    /// representational noise, not information).
+    pub(crate) fn ternary_decoded(value: u128, dont_care: u128, bits: u32) -> Self {
+        debug_assert!(bits > 0 && bits <= MAX_KEY_BITS);
+        debug_assert!(value & !low_mask(bits) == 0);
+        debug_assert!(dont_care & !low_mask(bits) == 0);
+        Self {
+            value: value & !dont_care,
+            dont_care,
+            bits,
+        }
+    }
+
     /// The key value (don't-care positions are zero).
     #[must_use]
     pub fn value(&self) -> u128 {

@@ -68,6 +68,7 @@ pub mod controller;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod kernel;
 pub mod key;
 pub mod layout;
 pub mod matchproc;
@@ -91,6 +92,7 @@ pub use controller::{
 pub use engine::{EngineHit, EngineOutcome, EngineReport, SearchEngine};
 pub use error::{CaRamError, Result};
 pub use index::{BitSelect, DjbHash, IndexGenerator, RangeSelect, XorFold};
+pub use kernel::Kernel;
 pub use key::{SearchKey, TernaryKey, MAX_KEY_BITS};
 pub use layout::{Record, RecordLayout};
 pub use memtest::{MemTestReport, MemoryFault, RamAccess};

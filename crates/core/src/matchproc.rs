@@ -16,8 +16,48 @@
 //! the multi-match diagnostics of Sec. 3.3 ("conditions where multiple
 //! matching records ... are identified") can observe it.
 
-use crate::key::SearchKey;
+use crate::kernel::{self, Kernel};
+use crate::key::{SearchKey, TernaryKey};
 use crate::layout::{Record, RecordLayout};
+
+/// Shared best-care tie-break: does `candidate` beat the `incumbent` best
+/// match? The winner of a multi-bucket search is the record with the most
+/// care bits (the longest prefix); on equal care counts the incumbent —
+/// the record found *earlier* in probe order — keeps its seat. Every twin
+/// of the search path (hot, baseline, traced, deep, batch, overflow area)
+/// must route through this one predicate so they cannot silently diverge.
+#[must_use]
+#[inline]
+pub fn wins_tie_break(candidate: &Record, incumbent: Option<&Record>) -> bool {
+    incumbent.is_none_or(|b| candidate.key.care_count() > b.key.care_count())
+}
+
+/// How a bank compares one row: picked once from the layout geometry so
+/// the hot loops dispatch on a pre-computed class, not on arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowClass {
+    /// One 64-bit word per slot, stored key within it (the Table 2 IP
+    /// layouts): word-per-slot lane compare.
+    Word1,
+    /// Two words per binary slot (the Table 3 trigram layout): paired
+    /// lane compare. The care mask is confined to the key field, so this
+    /// class is valid for any binary key width with 128-bit slots.
+    Word2Binary,
+    /// Anything unaligned: the portable bit-addressed loop.
+    Generic,
+}
+
+impl RowClass {
+    fn of(layout: &RecordLayout) -> Self {
+        if layout.slot_bits() == 64 {
+            RowClass::Word1
+        } else if layout.slot_bits() == 128 && !layout.is_ternary() {
+            RowClass::Word2Binary
+        } else {
+            RowClass::Generic
+        }
+    }
+}
 
 /// Outcome of matching one fetched row against a search key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,22 +82,93 @@ impl RowMatch {
 ///
 /// The bank is stateless; it prices nothing and owns nothing — it is the
 /// combinational logic between the sense amplifiers and the result queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct MatchProcessorBank {
     layout: RecordLayout,
+    kernel: Kernel,
+    class: RowClass,
+    // Compare routines resolved once at construction so per-row calls
+    // skip kernel dispatch and the CPU-feature re-check (see
+    // [`kernel::word1_fn`]). Both are functions of `kernel` and the
+    // host, hence excluded from equality.
+    word1: kernel::Word1Fn,
+    word1_first: kernel::Word1FirstFn,
+    word2: kernel::Word2Fn,
 }
 
+impl PartialEq for MatchProcessorBank {
+    fn eq(&self, other: &Self) -> bool {
+        self.layout == other.layout && self.kernel == other.kernel && self.class == other.class
+    }
+}
+
+impl Eq for MatchProcessorBank {}
+
 impl MatchProcessorBank {
-    /// Creates a bank for the given record layout.
+    /// Creates a bank for the given record layout, capturing the
+    /// process-wide [`kernel::active_kernel`] for its whole life (see the
+    /// dispatch rules in [`kernel`]).
     #[must_use]
     pub fn new(layout: RecordLayout) -> Self {
-        Self { layout }
+        Self::with_kernel(layout, kernel::active_kernel())
+    }
+
+    /// Creates a bank pinned to a specific compare kernel (differential
+    /// tests build scalar and SIMD twins this way). The kernel is clamped
+    /// to what the host supports, so a bank can never fault on a missing
+    /// instruction set.
+    #[must_use]
+    pub fn with_kernel(layout: RecordLayout, kernel: Kernel) -> Self {
+        let kernel = kernel.min(kernel::detect());
+        Self {
+            layout,
+            kernel,
+            class: RowClass::of(&layout),
+            word1: kernel::word1_fn(kernel),
+            word1_first: kernel::word1_first_fn(kernel),
+            word2: kernel::word2_fn(kernel),
+        }
+    }
+
+    /// The compare kernel this bank captured at construction.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// The record layout the bank decodes.
     #[must_use]
     pub fn layout(&self) -> &RecordLayout {
         &self.layout
+    }
+
+    /// Raw match bits for slots `[base, base + count)` of a lane-classed
+    /// row, one bit per slot, *before* occupancy masking — invalid slots
+    /// may carry garbage and set bits; callers mask with the valid bitmap.
+    ///
+    /// Must only be called for `RowClass::Word1` / `RowClass::Word2Binary`
+    /// and `count <= 64`.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)] // values pre-masked to word width
+    fn lane_bits(&self, row: &[u64], base: usize, count: usize, sv: u128, sc: u128) -> u64 {
+        debug_assert!(count <= 64, "lane kernels emit at most 64 match bits");
+        match self.class {
+            RowClass::Word1 => (self.word1)(
+                &row[base..base + count],
+                sv as u64,
+                sc as u64,
+                self.layout.key_bits(),
+                self.layout.is_ternary(),
+            ),
+            RowClass::Word2Binary => (self.word2)(
+                &row[2 * base..2 * (base + count)],
+                sv as u64,
+                (sv >> 64) as u64,
+                sc as u64,
+                (sc >> 64) as u64,
+            ),
+            RowClass::Generic => unreachable!("lane_bits is only called for lane-classed rows"),
+        }
     }
 
     /// Steps 1–3: computes the match vector over the valid slots of `row`
@@ -88,25 +199,43 @@ impl MatchProcessorBank {
         let key_bits = self.layout.key_bits();
         let search_value = search.value();
         let search_care = !search.dont_care() & crate::bits::low_mask(key_bits);
-        let ternary = self.layout.is_ternary();
-        let slot_bits = self.layout.slot_bits() as usize;
-        let key_field = key_bits as usize;
-        let mut vector: u128 = 0;
-        let mut pending = valid & crate::bits::low_mask(slots);
-        while pending != 0 {
-            let slot = pending.trailing_zeros();
-            pending &= pending - 1;
-            let base = slot as usize * slot_bits;
-            let value = crate::bits::read_bits(row, base, key_bits);
-            let care = if ternary {
-                search_care & !crate::bits::read_bits(row, base + key_field, key_bits)
-            } else {
-                search_care
-            };
-            if (value ^ search_value) & care == 0 {
-                vector |= 1 << slot;
+        let occupied = valid & crate::bits::low_mask(slots);
+        let vector: u128 = if self.class == RowClass::Generic {
+            let ternary = self.layout.is_ternary();
+            let slot_bits = self.layout.slot_bits() as usize;
+            let key_field = key_bits as usize;
+            let mut vector: u128 = 0;
+            let mut pending = occupied;
+            while pending != 0 {
+                let slot = pending.trailing_zeros();
+                pending &= pending - 1;
+                let base = slot as usize * slot_bits;
+                let value = crate::bits::read_bits(row, base, key_bits);
+                let care = if ternary {
+                    search_care & !crate::bits::read_bits(row, base + key_field, key_bits)
+                } else {
+                    search_care
+                };
+                if (value ^ search_value) & care == 0 {
+                    vector |= 1 << slot;
+                }
             }
-        }
+            vector
+        } else {
+            // Lane-classed rows: compare every slot (garbage in invalid
+            // slots is masked out below, like match lines that only fire
+            // on valid slots) in <= 64-slot kernel calls.
+            let mut vector: u128 = 0;
+            let mut base = 0usize;
+            let slots = slots as usize;
+            while base < slots {
+                let count = (slots - base).min(64);
+                let bits = self.lane_bits(row, base, count, search_value, search_care);
+                vector |= u128::from(bits) << base;
+                base += count;
+            }
+            vector & occupied
+        };
         let first_match = if vector == 0 {
             None
         } else {
@@ -196,12 +325,72 @@ impl MatchProcessorBank {
             self.layout.key_bits()
         );
         assert!(slots <= 128, "at most 128 slots per physical row");
+        // The occupancy bitmap never carries bits beyond the row's slots
+        // (it is maintained per-slot by insert/delete); relying on that
+        // keeps two 128-bit mask computations off the per-row hot path.
+        debug_assert!(
+            valid & !crate::bits::low_mask(slots) == 0,
+            "valid bitmap has bits beyond the row's {slots} slots"
+        );
         let key_bits = self.layout.key_bits();
         let search_value = search.value();
         let search_care = !search.dont_care() & crate::bits::low_mask(key_bits);
+        if self.class == RowClass::Word1 {
+            // Word-per-slot rows take the fused compare/priority-encode
+            // routine: operands broadcast once, occupancy applied per
+            // vector, early exit at vector granularity (see
+            // [`kernel::word1_first_fn`]). Rows wider than 64 slots are
+            // walked in 64-slot spans (the occupancy word is a `u64`).
+            #[allow(clippy::cast_possible_truncation)]
+            let (sv, sc) = (search_value as u64, search_care as u64);
+            let ternary = self.layout.is_ternary();
+            let slots = slots as usize;
+            let mut base = 0usize;
+            while base < slots {
+                let count = (slots - base).min(64);
+                // Branchless sub-64-bit mask: count is in 1..=64.
+                let occ = (valid >> base) as u64 & (u64::MAX >> (64 - count));
+                if occ != 0 {
+                    if let Some(slot) =
+                        (self.word1_first)(&row[base..base + count], occ, sv, sc, key_bits, ternary)
+                    {
+                        return Some(base as u32 + slot);
+                    }
+                }
+                base += count;
+            }
+            return None;
+        }
+        if self.class == RowClass::Word2Binary {
+            // Paired-word rows: compare a group of slots per kernel call
+            // and stop at the first group with a hit — the priority
+            // encoder's early exit at lane granularity. The 256-bit path
+            // widens its group to 32 only on deep rows, where misses and
+            // deep hits dominate and the broadcast setup amortizes.
+            let group: usize = if self.kernel == Kernel::Lanes256 && slots > 32 {
+                32
+            } else {
+                16
+            };
+            let slots = slots as usize;
+            let mut base = 0usize;
+            while base < slots {
+                let count = (slots - base).min(group);
+                // Branchless sub-64-bit mask: count is in 1..=64.
+                let occ = (valid >> base) as u64 & (u64::MAX >> (64 - count));
+                if occ != 0 {
+                    let bits = self.lane_bits(row, base, count, search_value, search_care) & occ;
+                    if bits != 0 {
+                        return Some(base as u32 + bits.trailing_zeros());
+                    }
+                }
+                base += count;
+            }
+            return None;
+        }
         let ternary = self.layout.is_ternary();
         let slot_bits = self.layout.slot_bits();
-        let mut pending = valid & crate::bits::low_mask(slots);
+        let mut pending = valid;
         if slot_bits.is_multiple_of(64) && self.layout.stored_key_bits() <= 64 {
             let words_per_slot = (slot_bits / 64) as usize;
             let key_mask = crate::bits::low_mask(key_bits) as u64;
@@ -237,19 +426,54 @@ impl MatchProcessorBank {
         None
     }
 
-    /// Step 4: extracts the record at the winning slot.
+    /// Step 4: extracts the record at the winning slot. Lane-classed rows
+    /// decode straight from the slot's word(s) — the fields of a 64- or
+    /// 128-bit slot never straddle words, so the generic bit-cursor walk
+    /// of [`RecordLayout::decode_slot`] is skipped on the hit path.
     ///
     /// # Panics
     ///
     /// Panics if the slot lies outside the row.
     #[must_use]
+    #[allow(clippy::cast_possible_truncation)] // data field pre-masked to <= 64 bits
     pub fn extract(&self, row: &[u64], slot: u32) -> Record {
-        self.layout.decode_slot(row, slot)
+        let key_bits = self.layout.key_bits();
+        let key_mask = crate::bits::low_mask(key_bits);
+        match self.class {
+            RowClass::Word1 => {
+                let w = u128::from(row[slot as usize]);
+                let (dont_care, rest) = if self.layout.is_ternary() {
+                    ((w >> key_bits) & key_mask, w >> (2 * key_bits))
+                } else {
+                    (0, w >> key_bits)
+                };
+                let data = (rest & crate::bits::low_mask(self.layout.data_bits())) as u64;
+                Record {
+                    key: TernaryKey::ternary_decoded(w & key_mask, dont_care, key_bits),
+                    data,
+                }
+            }
+            RowClass::Word2Binary => {
+                let base = 2 * slot as usize;
+                let w = u128::from(row[base]) | (u128::from(row[base + 1]) << 64);
+                let data = if self.layout.data_bits() == 0 {
+                    0 // also dodges the key_bits == 128 full-width shift
+                } else {
+                    ((w >> key_bits) & crate::bits::low_mask(self.layout.data_bits())) as u64
+                };
+                Record {
+                    key: TernaryKey::ternary_decoded(w & key_mask, 0, key_bits),
+                    data,
+                }
+            }
+            RowClass::Generic => self.layout.decode_slot(row, slot),
+        }
     }
 
     /// Convenience: full pipeline over one row, returning the winning
     /// record and its slot (via the early-exit [`MatchProcessorBank::first_match`]).
     #[must_use]
+    #[inline]
     pub fn search_row(
         &self,
         row: &[u64],

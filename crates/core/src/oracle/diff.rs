@@ -8,6 +8,7 @@
 //! stream can be checked in as a plain-text fixture.
 
 use crate::engine::SearchEngine;
+use crate::kernel::{self, Kernel};
 use crate::layout::Record;
 
 use super::model::ReferenceModel;
@@ -89,6 +90,16 @@ pub enum DivergenceKind {
         /// Stored copies the engine reports.
         engine_records: u64,
     },
+    /// The scalar-kernel twin and the SIMD-kernel twin of the same engine
+    /// disagreed about an op's observable outcome.
+    KernelMismatch {
+        /// The SIMD twin's compare kernel name.
+        kernel: String,
+        /// The scalar twin's answer, rendered.
+        scalar: String,
+        /// The SIMD twin's answer, rendered.
+        simd: String,
+    },
 }
 
 impl core::fmt::Display for DivergenceKind {
@@ -122,6 +133,14 @@ impl core::fmt::Display for DivergenceKind {
                 f,
                 "occupancy: engine reports {engine_records} stored copies, \
                  model holds {model_len} records"
+            ),
+            DivergenceKind::KernelMismatch {
+                kernel,
+                scalar,
+                simd,
+            } => write!(
+                f,
+                "kernel: {kernel} twin answered {simd}, scalar twin answered {scalar}"
             ),
         }
     }
@@ -307,15 +326,16 @@ pub fn replay(case: &EngineCase, key_bits: u32, ops: &[Op]) -> Option<Divergence
     None
 }
 
-/// ddmin-style minimization: truncates at the divergence, then repeatedly
-/// drops chunks (halving granularity down to single ops) while *a*
-/// divergence persists. `budget` bounds the number of replays.
-#[must_use]
-pub fn minimize(case: &EngineCase, key_bits: u32, ops: &[Op], budget: usize) -> Vec<Op> {
-    let Some(first) = replay(case, key_bits, ops) else {
-        return ops.to_vec();
-    };
-    let mut current: Vec<Op> = ops[..=first.op_index].to_vec();
+/// ddmin-style minimization core: truncates at `first_index`, then
+/// repeatedly drops chunks (halving granularity down to single ops) while
+/// `diverges` stays true. `budget` bounds the number of replays.
+fn minimize_by(
+    ops: &[Op],
+    first_index: usize,
+    budget: usize,
+    diverges: &dyn Fn(&[Op]) -> bool,
+) -> Vec<Op> {
+    let mut current: Vec<Op> = ops[..=first_index].to_vec();
     let mut spent = 0usize;
     let mut chunk = current.len().div_ceil(2).max(1);
     loop {
@@ -329,7 +349,7 @@ pub fn minimize(case: &EngineCase, key_bits: u32, ops: &[Op], budget: usize) -> 
             let end = (i + chunk).min(candidate.len());
             candidate.drain(i..end);
             spent += 1;
-            if !candidate.is_empty() && replay(case, key_bits, &candidate).is_some() {
+            if !candidate.is_empty() && diverges(&candidate) {
                 current = candidate;
                 progressed = true;
             } else {
@@ -344,6 +364,18 @@ pub fn minimize(case: &EngineCase, key_bits: u32, ops: &[Op], budget: usize) -> 
             chunk = (chunk / 2).max(1);
         }
     }
+}
+
+/// ddmin-style minimization of an engine-vs-model divergence. `budget`
+/// bounds the number of replays.
+#[must_use]
+pub fn minimize(case: &EngineCase, key_bits: u32, ops: &[Op], budget: usize) -> Vec<Op> {
+    let Some(first) = replay(case, key_bits, ops) else {
+        return ops.to_vec();
+    };
+    minimize_by(ops, first.op_index, budget, &|candidate| {
+        replay(case, key_bits, candidate).is_some()
+    })
 }
 
 /// Runs one engine against one stream: replay, minimize on divergence,
@@ -364,6 +396,214 @@ pub fn run_case(
         .map_or_else(|| first.kind.to_string(), |d| d.kind.to_string());
     Some(DivergenceReport {
         engine: case.name.clone(),
+        scenario: scenario.to_string(),
+        seed,
+        key_bits,
+        op_index: first.op_index,
+        detail,
+        repro,
+    })
+}
+
+/// Builds the scalar/SIMD twin pair of one engine case: the first engine
+/// is constructed under a forced [`Kernel::Scalar`] (its match-processor
+/// banks capture the kernel at build time and keep it for life), the
+/// second under the process-wide active kernel.
+fn build_kernel_pair(
+    case: &EngineCase,
+    key_bits: u32,
+) -> Option<(Box<dyn SearchEngine>, Box<dyn SearchEngine>)> {
+    let scalar = kernel::with_forced(Kernel::Scalar, || (case.build)(key_bits))?;
+    let simd = (case.build)(key_bits)?;
+    Some((scalar, simd))
+}
+
+/// Renders an outcome for a [`DivergenceKind::KernelMismatch`] payload.
+fn render_outcome(outcome: &crate::engine::EngineOutcome) -> String {
+    match &outcome.hit {
+        Some(h) => format!(
+            "hit(data {:#x}, key {:?}, {} accesses)",
+            h.data, h.key, outcome.memory_accesses
+        ),
+        None => format!("miss({} accesses)", outcome.memory_accesses),
+    }
+}
+
+/// Applies one op to the scalar twin, the SIMD twin, and the model;
+/// `Some` on any disagreement. Search outcomes are compared *strictly*
+/// between the twins ([`crate::engine::EngineOutcome`] equality: hit,
+/// payload, and access count), and each twin is additionally judged
+/// against the model, so a bug shared by both kernels still surfaces.
+#[allow(clippy::too_many_lines)]
+fn apply_kernel_pair(
+    case: &EngineCase,
+    scalar: &mut Box<dyn SearchEngine>,
+    simd: &mut Box<dyn SearchEngine>,
+    model: &mut ReferenceModel,
+    op: &Op,
+    kernel_name: &str,
+) -> Option<DivergenceKind> {
+    let mismatch = |s: String, v: String| DivergenceKind::KernelMismatch {
+        kernel: kernel_name.to_string(),
+        scalar: s,
+        simd: v,
+    };
+    if op_bits(op).is_some_and(|b| b != model.key_bits()) {
+        return None;
+    }
+    match op {
+        Op::Insert(r) | Op::InsertSorted(r) => {
+            let (rs, rv) = if matches!(op, Op::Insert(_)) {
+                (scalar.insert(*r), simd.insert(*r))
+            } else {
+                (scalar.insert_sorted(*r), simd.insert_sorted(*r))
+            };
+            match (rs, rv) {
+                (Ok(()), Ok(())) => model.insert(*r),
+                (Err(_), Err(_)) => {}
+                (rs, rv) => {
+                    // Placement never depends on the compare kernel;
+                    // disagreeing on *acceptance* is a kernel bug (e.g. a
+                    // duplicate/occupancy scan matching differently).
+                    let render = |r: crate::error::Result<()>| match r {
+                        Ok(()) => "insert accepted".to_string(),
+                        Err(e) => format!("insert refused ({e})"),
+                    };
+                    return Some(mismatch(render(rs), render(rv)));
+                }
+            }
+        }
+        Op::Delete(k) => {
+            let ds = scalar.delete(k);
+            let dv = simd.delete(k);
+            if ds != dv {
+                return Some(mismatch(
+                    format!("removed {ds} copies"),
+                    format!("removed {dv} copies"),
+                ));
+            }
+            let expected = model.delete(k);
+            if (dv > 0) != (expected > 0) {
+                return Some(DivergenceKind::DeleteMismatch { expected, got: dv });
+            }
+        }
+        Op::Update { key, data } => {
+            let ds = scalar.delete(key);
+            let dv = simd.delete(key);
+            if ds != dv {
+                return Some(mismatch(
+                    format!("removed {ds} copies"),
+                    format!("removed {dv} copies"),
+                ));
+            }
+            let expected = model.delete(key);
+            if (dv > 0) != (expected > 0) {
+                return Some(DivergenceKind::DeleteMismatch { expected, got: dv });
+            }
+            if expected > 0 {
+                let record = Record::new(*key, *data);
+                match (scalar.insert(record), simd.insert(record)) {
+                    (Ok(()), Ok(())) => model.insert(record),
+                    (Err(_), Err(_)) => {}
+                    (rs, rv) => {
+                        let render = |r: crate::error::Result<()>| match r {
+                            Ok(()) => "insert accepted".to_string(),
+                            Err(e) => format!("insert refused ({e})"),
+                        };
+                        return Some(mismatch(render(rs), render(rv)));
+                    }
+                }
+            }
+        }
+        Op::Search(k) => {
+            let os = scalar.search(k);
+            let ov = simd.search(k);
+            if os != ov {
+                return Some(mismatch(render_outcome(&os), render_outcome(&ov)));
+            }
+            let expected = model.expected(k);
+            // Twins are equal at this point; judging one judges both.
+            let got = ov.hit.map(|h| h.data);
+            if !expected.admits(got) {
+                return Some(DivergenceKind::SearchMismatch {
+                    model_matches: expected.matches,
+                    accepted: expected.accepted,
+                    got,
+                });
+            }
+        }
+        Op::Reconfigure { key_bits } => {
+            if let Some((s, v)) = build_kernel_pair(case, *key_bits) {
+                *scalar = s;
+                *simd = v;
+                *model = ReferenceModel::new(*key_bits);
+                seed_model(model, &case.preload);
+            }
+        }
+    }
+    // The twins replayed identical mutations; their record counts (when
+    // reported) must track exactly, and emptiness must match the model.
+    let (sr, vr) = (scalar.occupancy().records, simd.occupancy().records);
+    if sr != vr {
+        return Some(mismatch(
+            format!("{sr:?} stored copies"),
+            format!("{vr:?} stored copies"),
+        ));
+    }
+    if let Some(engine_records) = vr {
+        if (engine_records == 0) != model.is_empty() {
+            return Some(DivergenceKind::EmptinessMismatch {
+                model_len: model.len(),
+                engine_records,
+            });
+        }
+    }
+    None
+}
+
+/// Replays `ops` against a scalar-kernel twin and a SIMD-kernel twin of
+/// the same engine in lockstep with the model; `None` means full
+/// agreement (vacuously so when the case does not support `key_bits`).
+/// When the host's active kernel is already scalar the twins coincide
+/// and the replay degenerates to [`replay`] with strict search equality.
+#[must_use]
+pub fn replay_kernel_pair(case: &EngineCase, key_bits: u32, ops: &[Op]) -> Option<Divergence> {
+    let (mut scalar, mut simd) = build_kernel_pair(case, key_bits)?;
+    let mut model = ReferenceModel::new(key_bits);
+    seed_model(&mut model, &case.preload);
+    let kernel_name = kernel::active_kernel().name();
+    for (op_index, op) in ops.iter().enumerate() {
+        if let Some(kind) =
+            apply_kernel_pair(case, &mut scalar, &mut simd, &mut model, op, kernel_name)
+        {
+            return Some(Divergence { op_index, kind });
+        }
+    }
+    None
+}
+
+/// Runs one engine's scalar/SIMD twin pair against one stream: replay,
+/// minimize on divergence, and package the report. The report's engine
+/// name is `<case name>+kernel` so kernel-differential cells are
+/// distinguishable from the plain engine-vs-model cells in fixtures and
+/// fuzz matrices.
+#[must_use]
+pub fn run_kernel_case(
+    case: &EngineCase,
+    scenario: &str,
+    seed: u64,
+    key_bits: u32,
+    ops: &[Op],
+    minimize_budget: usize,
+) -> Option<DivergenceReport> {
+    let first = replay_kernel_pair(case, key_bits, ops)?;
+    let repro = minimize_by(ops, first.op_index, minimize_budget, &|candidate| {
+        replay_kernel_pair(case, key_bits, candidate).is_some()
+    });
+    let detail = replay_kernel_pair(case, key_bits, &repro)
+        .map_or_else(|| first.kind.to_string(), |d| d.kind.to_string());
+    Some(DivergenceReport {
+        engine: format!("{}+kernel", case.name),
         scenario: scenario.to_string(),
         seed,
         key_bits,
@@ -517,5 +757,45 @@ mod tests {
         };
         let d = replay(&case, 16, &[ins(1, 1)]).expect("refusal must diverge");
         assert!(matches!(d.kind, DivergenceKind::InsertRefused { .. }));
+    }
+
+    #[test]
+    fn kernel_pair_agrees_on_faithful_engine() {
+        let _guard = crate::kernel::test_force_lock();
+        let case = lossy_case(u64::MAX); // drops nothing: both twins faithful
+        let ops = vec![ins(1, 10), ins(2, 20), find(1), find(2), find(3)];
+        assert!(replay_kernel_pair(&case, 16, &ops).is_none());
+    }
+
+    #[test]
+    fn kernel_pair_detects_kernel_dependent_loss() {
+        let _guard = crate::kernel::test_force_lock();
+        if kernel::active_kernel() == Kernel::Scalar {
+            // Scalar-only host, the portable build, or a
+            // `CA_RAM_KERNEL=scalar` run: the twins coincide and a
+            // kernel-dependent bug cannot manifest.
+            return;
+        }
+        // A twin built under a non-scalar kernel silently drops every
+        // record — the differential must catch the twins disagreeing.
+        let case = EngineCase {
+            name: "kernel-dependent".into(),
+            must_fit: false,
+            build: Box::new(|bits| {
+                let lossy = kernel::active_kernel() != Kernel::Scalar;
+                Some(Box::new(Lossy {
+                    records: Vec::new(),
+                    drop_modulus: if lossy { 1 } else { u64::MAX },
+                    bits,
+                }) as Box<dyn SearchEngine>)
+            }),
+            preload: Vec::new(),
+        };
+        let ops = vec![ins(1, 10), find(1)];
+        let report = run_kernel_case(&case, "unit", 0, 16, &ops, 100).expect("twins must disagree");
+        assert_eq!(report.engine, "kernel-dependent+kernel");
+        assert!(report.detail.starts_with("kernel:"), "{}", report.detail);
+        // The minimized repro still reproduces through the public entry.
+        assert!(replay_kernel_pair(&case, 16, &report.repro).is_some());
     }
 }

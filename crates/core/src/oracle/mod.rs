@@ -31,7 +31,10 @@ pub mod diff;
 pub mod gen;
 pub mod model;
 
-pub use diff::{replay, run_case, Divergence, DivergenceKind, DivergenceReport, EngineCase};
+pub use diff::{
+    replay, replay_kernel_pair, run_case, run_kernel_case, Divergence, DivergenceKind,
+    DivergenceReport, EngineCase,
+};
 pub use gen::{standard_scenarios, OpStreamGen, Profile, Scenario};
 pub use model::{Expected, ReferenceModel};
 

@@ -10,7 +10,7 @@
 use crate::array::MemoryArray;
 use crate::key::SearchKey;
 use crate::layout::{Record, RecordLayout};
-use crate::matchproc::{MatchProcessorBank, RowMatch};
+use crate::matchproc::{wins_tie_break, MatchProcessorBank, RowMatch};
 
 /// Per-row auxiliary field (Sec. 3.1: overflow status and slot occupancy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +85,36 @@ impl CaRamSlice {
     #[must_use]
     pub fn array(&self) -> &MemoryArray {
         &self.array
+    }
+
+    /// The compare kernel this slice's match processors captured at
+    /// construction (see [`crate::kernel`]).
+    #[must_use]
+    pub fn kernel(&self) -> crate::kernel::Kernel {
+        self.bank.kernel()
+    }
+
+    /// Hints the prefetcher to pull `row` into cache ahead of a
+    /// [`CaRamSlice::search_bucket`] on it. Advisory; out-of-range rows
+    /// are ignored.
+    #[inline]
+    pub fn prefetch_row(&self, row: u64) {
+        self.array.prefetch_row(row);
+        // The auxiliary word (valid bitmap + reach) is read before the row
+        // words on every search; pull its line in with the same hint.
+        self.prefetch_aux(row);
+    }
+
+    /// Hints the prefetcher at just the auxiliary word of `row` — enough
+    /// for the empty-row early-out of [`CaRamSlice::search_bucket`], at a
+    /// single line of prefetch traffic. Out-of-range rows are ignored.
+    #[inline]
+    pub fn prefetch_aux(&self, row: u64) {
+        if let Ok(i) = usize::try_from(row) {
+            if let Some(aux) = self.aux.get(i) {
+                crate::array::prefetch_ref(aux);
+            }
+        }
     }
 
     /// Mutable RAM-mode view. Writing through this view does **not** update
@@ -257,7 +287,10 @@ impl CaRamSlice {
         Self::best_of_vector(&self.bank, words, m.match_vector)
     }
 
-    /// Picks the max-care record among the set bits of `match_vector`.
+    /// Picks the max-care record among the set bits of `match_vector`,
+    /// via the one shared [`wins_tie_break`] predicate (slots are visited
+    /// in ascending order, so on equal care the lowest slot keeps its
+    /// seat).
     fn best_of_vector(
         bank: &MatchProcessorBank,
         words: &[u64],
@@ -268,10 +301,7 @@ impl CaRamSlice {
             let slot = match_vector.trailing_zeros();
             match_vector &= match_vector - 1;
             let record = bank.extract(words, slot);
-            if best
-                .as_ref()
-                .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
-            {
+            if wins_tie_break(&record, best.as_ref().map(|(_, b)| b)) {
                 best = Some((slot, record));
             }
         }
@@ -280,13 +310,19 @@ impl CaRamSlice {
 
     /// Fetch + match + extract: the winning `(slot, record)` of `row`.
     #[must_use]
+    #[inline]
     pub fn search_bucket(&self, row: u64, search: &SearchKey) -> Option<(u32, Record)> {
-        self.bank.search_row(
-            self.array.row(row),
-            self.aux(row).valid,
-            self.slots_per_row,
-            search,
-        )
+        let valid = self.aux(row).valid;
+        if valid == 0 {
+            // An empty row cannot fire a match line; skip the row fetch
+            // entirely. Matters for horizontal arrangements, where a miss
+            // walks every slice of the logical bucket and the later
+            // slices are usually empty.
+            debug_assert_eq!(search.bits(), self.layout.key_bits());
+            return None;
+        }
+        self.bank
+            .search_row(self.array.row(row), valid, self.slots_per_row, search)
     }
 
     /// Decode-all reference version of [`CaRamSlice::search_bucket`]: every

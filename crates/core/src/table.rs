@@ -20,6 +20,7 @@ use crate::error::{CaRamError, Result};
 use crate::index::{buckets_for_masked_search_into, BucketList, IndexGenerator};
 use crate::key::SearchKey;
 use crate::layout::{Record, RecordLayout};
+use crate::matchproc::wins_tie_break;
 use crate::probe::ProbePolicy;
 use crate::slice::CaRamSlice;
 use crate::stats::{
@@ -206,6 +207,10 @@ impl OverflowStore {
 pub struct CaRamTable {
     config: TableConfig,
     index: Box<dyn IndexGenerator>,
+    /// `index.consumed_bits()`, cached at construction: the per-search
+    /// home computation branches on it, and caching spares a virtual call
+    /// per key on the hot path.
+    index_consumed: Option<u128>,
     slices: Vec<CaRamSlice>,
     horizontal: u32,
     rows_per_slice: u64,
@@ -282,6 +287,7 @@ impl CaRamTable {
         Ok(Self {
             slots_per_bucket: slots_per_slice_row * horizontal,
             config,
+            index_consumed: index.consumed_bits(),
             index,
             slices,
             horizontal,
@@ -375,9 +381,12 @@ impl CaRamTable {
 
     fn split_bucket(&self, bucket: u64) -> (u32, u64) {
         debug_assert!(bucket < self.logical_buckets);
+        // `rows_per_slice` is always `1 << rows_log2`, so the split is a
+        // shift/mask instead of a 64-bit division — this runs once per
+        // probed bucket on the search hot path.
         #[allow(clippy::cast_possible_truncation)]
-        let v = (bucket / self.rows_per_slice) as u32;
-        (v, bucket % self.rows_per_slice)
+        let v = (bucket >> self.config.rows_log2) as u32;
+        (v, bucket & (self.rows_per_slice - 1))
     }
 
     fn slice_of(&self, v: u32, h: u32) -> usize {
@@ -389,6 +398,33 @@ impl CaRamTable {
     fn reach(&self, bucket: u64) -> u32 {
         let (v, row) = self.split_bucket(bucket);
         self.slices[self.slice_of(v, 0)].aux(row).reach
+    }
+
+    /// Hints the prefetcher at the rows backing logical `bucket`. Row
+    /// *data* is pulled for the first horizontal slice only — the slice
+    /// searched first, and on priority-ordered buckets usually the only
+    /// one searched; past that the prefetch outruns the compare. The
+    /// *auxiliary* word of every slice is pulled, though: a miss walks
+    /// all of them (each usually answering `valid == 0`), and they are
+    /// one cache line each.
+    #[inline]
+    fn prefetch_bucket(&self, bucket: u64) {
+        let (v, row) = self.split_bucket(bucket);
+        for h in 0..self.horizontal {
+            let slice = &self.slices[self.slice_of(v, h)];
+            if h < 1 {
+                slice.prefetch_row(row);
+            } else {
+                slice.prefetch_aux(row);
+            }
+        }
+    }
+
+    /// The compare kernel this table's match processors captured at
+    /// construction (see [`crate::kernel`]).
+    #[must_use]
+    pub fn kernel(&self) -> crate::kernel::Kernel {
+        self.slices[0].kernel()
     }
 
     fn raise_reach(&mut self, bucket: u64, reach: u32) {
@@ -504,6 +540,13 @@ impl CaRamTable {
     /// priority (slot) order. One parallel memory access.
     fn search_logical_bucket(&self, bucket: u64, key: &SearchKey) -> Option<(u32, Record)> {
         let (v, row) = self.split_bucket(bucket);
+        self.search_split_bucket(v, row, key)
+    }
+
+    /// [`CaRamTable::search_logical_bucket`] with the bucket already split
+    /// into its vertical slice group and physical row — the probe loop
+    /// splits once and shares the result with the reach lookup.
+    fn search_split_bucket(&self, v: u32, row: u64, key: &SearchKey) -> Option<(u32, Record)> {
         for h in 0..self.horizontal {
             if let Some((slot, record)) = self.slices[self.slice_of(v, h)].search_bucket(row, key) {
                 return Some((h * self.slots_per_slice_row + slot, record));
@@ -519,15 +562,17 @@ impl CaRamTable {
     /// max-care record wins (lowest slice/slot on ties).
     fn search_logical_bucket_full(&self, bucket: u64, key: &SearchKey) -> Option<(u32, Record)> {
         let (v, row) = self.split_bucket(bucket);
+        self.search_split_bucket_full(v, row, key)
+    }
+
+    /// Pre-split twin of [`CaRamTable::search_logical_bucket_full`].
+    fn search_split_bucket_full(&self, v: u32, row: u64, key: &SearchKey) -> Option<(u32, Record)> {
         let mut best: Option<(u32, Record)> = None;
         for h in 0..self.horizontal {
             if let Some((slot, record)) =
                 self.slices[self.slice_of(v, h)].search_bucket_best(row, key)
             {
-                if best
-                    .as_ref()
-                    .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
-                {
+                if wins_tie_break(&record, best.as_ref().map(|(_, b)| b)) {
                     best = Some((h * self.slots_per_slice_row + slot, record));
                 }
             }
@@ -539,6 +584,15 @@ impl CaRamTable {
     /// With no don't-care hash bits (the common lookup) this performs no
     /// heap allocation.
     fn home_buckets_into(&self, key: &SearchKey, out: &mut BucketList) {
+        // Unmasked keys (and generators that consume no key bits) have
+        // exactly one home; the cached `consumed_bits` keeps this common
+        // path at a single virtual call (the hash itself).
+        if key.dont_care() == 0 || self.index_consumed.is_none() {
+            out.clear();
+            out.push(self.index.index(key.value()));
+            out.map_mod(self.logical_buckets);
+            return;
+        }
         buckets_for_masked_search_into(key, self.index.as_ref(), out);
         out.map_mod(self.logical_buckets);
         out.sort_dedup();
@@ -728,11 +782,17 @@ impl CaRamTable {
     /// access: zero AMAL cost).
     fn search_overflow(&self, homes: &[u64], key: &SearchKey) -> Option<Record> {
         match self.overflow.as_ref()? {
-            OverflowStore::Associative { records, .. } => records
-                .iter()
-                .filter(|r| r.key.matches(key))
-                .max_by_key(|r| r.key.care_count())
-                .copied(),
+            OverflowStore::Associative { records, .. } => {
+                // Same earliest-wins tie-break as every bucket path (a
+                // `max_by_key` here would keep the *last* max instead).
+                let mut best: Option<Record> = None;
+                for r in records.iter().filter(|r| r.key.matches(key)) {
+                    if wins_tie_break(r, best.as_ref()) {
+                        best = Some(*r);
+                    }
+                }
+                best
+            }
             OverflowStore::Victim { slice } => {
                 let rows = slice.rows();
                 let mut best: Option<Record> = None;
@@ -742,10 +802,7 @@ impl CaRamTable {
                     for step in 0..=u64::from(reach) {
                         let row = (vhome + step) % rows;
                         if let Some((_, r)) = slice.search_bucket(row, key) {
-                            if best
-                                .as_ref()
-                                .is_none_or(|b| r.key.care_count() > b.key.care_count())
-                            {
+                            if wins_tie_break(&r, best.as_ref()) {
                                 best = Some(r);
                             }
                         }
@@ -986,22 +1043,50 @@ impl CaRamTable {
         }
         // Computed once; reused below for the overflow-area probe.
         self.home_buckets_into(key, homes);
+        self.probe_homes(key, homes)
+    }
+
+    /// The probe chain over an already-computed home set. Factored out of
+    /// [`CaRamTable::search_with_scratch`] so the batched paths hash each
+    /// key exactly once: the batch loop computes key `i + 1`'s homes (and
+    /// prefetches its rows) while key `i` is compared, then hands the list
+    /// here untouched.
+    fn probe_homes(&self, key: &SearchKey, homes: &BucketList) -> SearchOutcome {
         let mut accesses = 0u32;
         let mut best: Option<Hit> = None;
         for &home in homes.as_slice() {
-            let reach = self.reach(home);
+            // The home bucket's split serves both the reach lookup and
+            // rung 0's search — reach-0 chains (the common case) split
+            // exactly once per probed home.
+            let (home_v, home_row) = self.split_bucket(home);
+            let reach = self.slices[self.slice_of(home_v, 0)].aux(home_row).reach;
             for step in 0..=reach {
-                let bucket = self
-                    .config
-                    .probe
-                    .bucket_at(home, step, self.logical_buckets);
+                let (bucket, v, row) = if step == 0 {
+                    (home, home_v, home_row)
+                } else {
+                    let b = self
+                        .config
+                        .probe
+                        .bucket_at(home, step, self.logical_buckets);
+                    let (v, r) = self.split_bucket(b);
+                    (b, v, r)
+                };
                 accesses += 1;
+                if step < reach {
+                    // Pull rung k+1's rows toward L1 while rung k is
+                    // compared (prefetch distance: one probe rung).
+                    self.prefetch_bucket(self.config.probe.bucket_at(
+                        home,
+                        step + 1,
+                        self.logical_buckets,
+                    ));
+                }
                 // Full-reach mode also compares matches *within* a bucket
                 // (a backfilled slot may outrank an earlier one).
                 let found = if self.full_scan {
-                    self.search_logical_bucket_full(bucket, key)
+                    self.search_split_bucket_full(v, row, key)
                 } else {
-                    self.search_logical_bucket(bucket, key)
+                    self.search_split_bucket(v, row, key)
                 };
                 if let Some((slot, record)) = found {
                     let hit = Hit {
@@ -1012,10 +1097,7 @@ impl CaRamTable {
                     };
                     // Across multiple probed homes (masked search keys) and
                     // full-reach scans, prefer the most specific match.
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| record.key.care_count() > b.record.key.care_count())
-                    {
+                    if wins_tie_break(&record, best.as_ref().map(|b| &b.record)) {
                         best = Some(hit);
                     }
                     if !self.full_scan {
@@ -1026,10 +1108,7 @@ impl CaRamTable {
         }
         if self.overflow.is_some() {
             if let Some(r) = self.search_overflow(homes.as_slice(), key) {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| r.key.care_count() > b.record.key.care_count())
-                {
+                if wins_tie_break(&r, best.as_ref().map(|b| &b.record)) {
                     best = Some(Hit {
                         bucket: 0,
                         slot: 0,
@@ -1079,6 +1158,13 @@ impl CaRamTable {
                     .bucket_at(home, step, self.logical_buckets);
                 accesses += 1;
                 max_step = max_step.max(step);
+                if step < reach {
+                    self.prefetch_bucket(self.config.probe.bucket_at(
+                        home,
+                        step + 1,
+                        self.logical_buckets,
+                    ));
+                }
                 let found = if self.full_scan {
                     self.search_logical_bucket_full(bucket, key)
                 } else {
@@ -1091,10 +1177,7 @@ impl CaRamTable {
                         record,
                         from_overflow: false,
                     };
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| record.key.care_count() > b.record.key.care_count())
-                    {
+                    if wins_tie_break(&record, best.as_ref().map(|b| &b.record)) {
                         best = Some(hit);
                         winning_step = step;
                     }
@@ -1106,10 +1189,7 @@ impl CaRamTable {
         }
         if self.overflow.is_some() {
             if let Some(r) = self.search_overflow(homes.as_slice(), key) {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| r.key.care_count() > b.record.key.care_count())
-                {
+                if wins_tie_break(&r, best.as_ref().map(|b| &b.record)) {
                     best = Some(Hit {
                         bucket: 0,
                         slot: 0,
@@ -1161,6 +1241,13 @@ impl CaRamTable {
                     .bucket_at(home, step, self.logical_buckets);
                 accesses += 1;
                 max_step = max_step.max(step);
+                if step < reach {
+                    self.prefetch_bucket(self.config.probe.bucket_at(
+                        home,
+                        step + 1,
+                        self.logical_buckets,
+                    ));
+                }
                 sink.stage(Stage::RowFetch, u64::from(self.slots_per_bucket));
                 if let Some((slot, record)) = self.search_logical_bucket_deep(bucket, key, sink) {
                     let hit = Hit {
@@ -1169,10 +1256,7 @@ impl CaRamTable {
                         record,
                         from_overflow: false,
                     };
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| record.key.care_count() > b.record.key.care_count())
-                    {
+                    if wins_tie_break(&record, best.as_ref().map(|b| &b.record)) {
                         best = Some(hit);
                         winning_step = step;
                     }
@@ -1185,10 +1269,7 @@ impl CaRamTable {
         if self.overflow.is_some() {
             sink.stage(Stage::OverflowProbe, self.overflow_count() as u64);
             if let Some(r) = self.search_overflow(homes.as_slice(), key) {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| r.key.care_count() > b.record.key.care_count())
-                {
+                if wins_tie_break(&r, best.as_ref().map(|b| &b.record)) {
                     best = Some(Hit {
                         bucket: 0,
                         slot: 0,
@@ -1240,10 +1321,7 @@ impl CaRamTable {
             sink.stage(Stage::Match, u64::from(m.match_count()));
             if self.full_scan {
                 if let Some((slot, record)) = self.slices[s].search_bucket_best(row, key) {
-                    if found
-                        .as_ref()
-                        .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
-                    {
+                    if wins_tie_break(&record, found.as_ref().map(|(_, b)| b)) {
                         found = Some((h * self.slots_per_slice_row + slot, record));
                     }
                 }
@@ -1289,10 +1367,7 @@ impl CaRamTable {
                         record,
                         from_overflow: false,
                     };
-                    if best
-                        .as_ref()
-                        .is_none_or(|b| record.key.care_count() > b.record.key.care_count())
-                    {
+                    if wins_tie_break(&record, best.as_ref().map(|b| &b.record)) {
                         best = Some(hit);
                     }
                     if !self.full_scan {
@@ -1304,10 +1379,7 @@ impl CaRamTable {
         if self.overflow.is_some() {
             let homes = self.home_buckets(key);
             if let Some(r) = self.search_overflow(&homes, key) {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| r.key.care_count() > b.record.key.care_count())
-                {
+                if wins_tie_break(&r, best.as_ref().map(|b| &b.record)) {
                     best = Some(Hit {
                         bucket: 0,
                         slot: 0,
@@ -1353,10 +1425,7 @@ impl CaRamTable {
             if let Some((slot, record)) =
                 self.slices[self.slice_of(v, h)].search_bucket_baseline_best(row, key)
             {
-                if best
-                    .as_ref()
-                    .is_none_or(|(_, b)| record.key.care_count() > b.key.care_count())
-                {
+                if wins_tie_break(&record, best.as_ref().map(|(_, b)| b)) {
                     best = Some((h * self.slots_per_slice_row + slot, record));
                 }
             }
@@ -1371,10 +1440,46 @@ impl CaRamTable {
     /// to `self.search(&keys[i])`.
     #[must_use]
     pub fn search_batch(&self, keys: &[SearchKey]) -> Vec<SearchOutcome> {
-        let mut homes = BucketList::new();
-        keys.iter()
-            .map(|key| self.search_with_scratch(key, &mut homes))
-            .collect()
+        let mut out = Vec::with_capacity(keys.len());
+        self.search_batch_into(keys, |o| out.push(o));
+        out
+    }
+
+    /// Pipelined batch core shared by the serial and sharded batch paths:
+    /// each key is hashed exactly once, one key ahead of its compare. While
+    /// key `i`'s probe chain occupies the execution ports, key `i + 1`'s
+    /// home buckets are computed into the spare scratch list and its first
+    /// home's rows and auxiliary words are prefetched; the two lists then
+    /// swap, so the hash work doubles as the prefetch address computation.
+    /// Outcomes are emitted in key order, bit-identical to serial
+    /// [`CaRamTable::search`] calls. Public so callers that fold or stream
+    /// outcomes (benchmarks, aggregating scans) can skip materializing the
+    /// `Vec<SearchOutcome>` that [`CaRamTable::search_batch`] builds.
+    pub fn search_batch_into(&self, keys: &[SearchKey], mut emit: impl FnMut(SearchOutcome)) {
+        if self.sink.is_some() {
+            // Traced searches hash inside the traced twins so telemetry
+            // sees every stage; no hash-ahead pipelining there.
+            let mut homes = BucketList::new();
+            for key in keys {
+                emit(self.search_with_scratch(key, &mut homes));
+            }
+            return;
+        }
+        let mut cur = BucketList::new();
+        let mut next = BucketList::new();
+        if let Some(first) = keys.first() {
+            self.home_buckets_into(first, &mut cur);
+        }
+        for i in 0..keys.len() {
+            if let Some(nk) = keys.get(i + 1) {
+                self.home_buckets_into(nk, &mut next);
+                if let Some(&home) = next.as_slice().first() {
+                    self.prefetch_bucket(home);
+                }
+            }
+            emit(self.probe_homes(&keys[i], &cur));
+            std::mem::swap(&mut cur, &mut next);
+        }
     }
 
     /// Parallel [`CaRamTable::search_batch`]: shards `keys` into contiguous
@@ -1426,13 +1531,12 @@ impl CaRamTable {
             for (key_chunk, out_chunk) in keys.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
                 let shared = &shared;
                 scope.spawn(move || {
-                    let mut homes = BucketList::new();
                     let mut local = SearchStats::new();
-                    for (key, out) in key_chunk.iter().zip(out_chunk.iter_mut()) {
-                        let outcome = self.search_with_scratch(key, &mut homes);
+                    let mut out = out_chunk.iter_mut();
+                    self.search_batch_into(key_chunk, |outcome| {
                         local.record(outcome.hit.is_some(), outcome.memory_accesses);
-                        *out = outcome;
-                    }
+                        *out.next().expect("one outcome slot per key") = outcome;
+                    });
                     shared.merge(&local);
                 });
             }
@@ -1612,10 +1716,10 @@ impl crate::engine::SearchEngine for CaRamTable {
 
     fn search_batch_into(&self, keys: &[SearchKey], out: &mut Vec<crate::engine::EngineOutcome>) {
         out.clear();
-        let mut homes = BucketList::new();
-        out.extend(keys.iter().map(|key| {
-            crate::engine::EngineOutcome::from(self.search_with_scratch(key, &mut homes))
-        }));
+        out.reserve(keys.len());
+        CaRamTable::search_batch_into(self, keys, |o| {
+            out.push(crate::engine::EngineOutcome::from(o));
+        });
     }
 
     fn search_batch_parallel_stats(
