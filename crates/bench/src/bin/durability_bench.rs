@@ -1,0 +1,396 @@
+//! Durability overhead and recovery benchmark: prices the write-ahead
+//! log against the in-memory baseline and measures how fast a table
+//! comes back after a crash.
+//!
+//! Method: the same insert stream runs through (a) a plain heap-backed
+//! [`ca_ram_core::table::CaRamTable`] (the baseline the paper's substrate
+//! assumes), (b) a [`DurableTable`] committing per operation, and (c)
+//! durable tables
+//! group-committing every N operations — the shard drain's batching
+//! discipline — under both `SyncPolicy::Flush` and `SyncPolicy::Sync`.
+//! The batch=256 Flush table is then used to time the two recovery
+//! paths: a pure WAL-tail replay and a checkpoint-then-snapshot-restore
+//! cycle. A bounded crash-injection sweep (every record boundary plus a
+//! torn intra-record sample) rides along so the bench doubles as a
+//! durability smoke test, and the search path is re-measured through the
+//! durable wrapper to show the read side stays on the heap hot path.
+//!
+//! Usage: `durability_bench [--records N] [--lookups N] [--seed N]
+//! [--out PATH] [--smoke]`
+//!
+//! `--smoke` shrinks the workload to CI scale and turns the sanity
+//! gates (recovered contents, bounded batched-write overhead, read-path
+//! parity, a green crash sweep) into hard failures.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use ca_ram_bench::fleet::durable_spec;
+use ca_ram_bench::{ensure, exact_match_workload, write_text_atomic, Cli, Result};
+use ca_ram_core::engine::SearchEngine;
+use ca_ram_core::key::{SearchKey, TernaryKey};
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::oracle::Op;
+use ca_ram_core::probe::ProbePolicy;
+use ca_ram_core::storage::durable::unique_temp_dir;
+use ca_ram_core::storage::{
+    crash_sweep, CrashSweepOptions, CutGranularity, DurableOptions, DurableTable, IndexSpec,
+    SyncPolicy, TableSpec,
+};
+use ca_ram_core::table::{Arrangement, OverflowPolicy, TableConfig};
+
+/// Record slots per table row (matches `serve_bench`'s shard geometry).
+const SLOTS_PER_ROW: u32 = 8;
+
+/// A table spec sized so `records` binary 64-bit keys insert without
+/// exhausting the probe sequence (3x headroom over a uniform split).
+fn sized_spec(records: usize) -> TableSpec {
+    let layout = RecordLayout::new(64, false, 64);
+    let buckets = (records * 3).div_ceil(SLOTS_PER_ROW as usize).max(16);
+    let rows_log2 = buckets.next_power_of_two().trailing_zeros();
+    TableSpec {
+        config: TableConfig {
+            rows_log2,
+            row_bits: SLOTS_PER_ROW * layout.slot_bits(),
+            layout,
+            arrangement: Arrangement::Horizontal(1),
+            probe: ProbePolicy::Linear,
+            overflow: OverflowPolicy::Probe {
+                max_steps: u32::MAX,
+            },
+        },
+        index: IndexSpec::RangeSelect {
+            low: 0,
+            count: rows_log2,
+        },
+    }
+}
+
+/// One write-mode measurement.
+struct Mode {
+    name: &'static str,
+    sync: &'static str,
+    commit_batch: usize,
+    inserts_per_sec: f64,
+    /// Throughput relative to the heap baseline (1.0 = free durability).
+    vs_heap: f64,
+}
+
+/// Inserts `pairs` into a fresh durable table at `dir`, committing every
+/// `batch` operations, and returns (inserts/s, the table).
+#[allow(clippy::cast_precision_loss)]
+fn durable_insert_rate(
+    dir: &Path,
+    spec: &TableSpec,
+    opts: DurableOptions,
+    batch: usize,
+    pairs: &[(u64, u64)],
+) -> Result<(f64, DurableTable)> {
+    let mut table = DurableTable::create(dir, spec, opts)?;
+    let start = Instant::now();
+    for (i, &(key, value)) in pairs.iter().enumerate() {
+        table.insert(Record::new(TernaryKey::binary(u128::from(key), 64), value))?;
+        if batch > 0 && (i + 1) % batch == 0 {
+            table.commit()?;
+        }
+    }
+    table.commit()?;
+    Ok((pairs.len() as f64 / start.elapsed().as_secs_f64(), table))
+}
+
+/// Measures `search_batch_into` throughput (keys/s) over `probe`.
+#[allow(clippy::cast_precision_loss)]
+fn search_rate(engine: &dyn SearchEngine, probe: &[SearchKey]) -> f64 {
+    let mut outcomes = Vec::new();
+    let start = Instant::now();
+    let mut searched = 0usize;
+    while searched < 200_000 || start.elapsed().as_millis() < 50 {
+        engine.search_batch_into(probe, &mut outcomes);
+        searched += probe.len();
+    }
+    searched as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The op stream the crash-injection smoke sweeps: interleaved inserts,
+/// deletes, and updates over 32-bit keys, dense enough that every cut
+/// boundary lands between operations with visible effects.
+fn crash_stream() -> Vec<Op> {
+    let bits = 32u32;
+    let mut ops = Vec::new();
+    for i in 0..120u64 {
+        let key = TernaryKey::binary(u128::from(i * 3 + 1), bits);
+        ops.push(Op::Insert(Record::new(key, i)));
+        if i % 5 == 4 {
+            let victim = TernaryKey::binary(u128::from((i - 2) * 3 + 1), bits);
+            ops.push(Op::Delete(victim));
+        }
+        if i % 7 == 6 {
+            ops.push(Op::Update {
+                key: TernaryKey::binary(u128::from((i - 1) * 3 + 1), bits),
+                data: i ^ 0xDEAD,
+            });
+        }
+    }
+    ops
+}
+
+struct TempDirs(Vec<PathBuf>);
+
+impl TempDirs {
+    fn next(&mut self, tag: &str) -> PathBuf {
+        let dir = unique_temp_dir(tag);
+        self.0.push(dir.clone());
+        dir
+    }
+}
+
+impl Drop for TempDirs {
+    fn drop(&mut self) {
+        for dir in &self.0 {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines, clippy::cast_precision_loss)]
+fn main() -> Result<()> {
+    let cli = Cli::from_env();
+    let smoke = cli.flag("smoke");
+    let records = cli.parse("records", if smoke { 4_000 } else { 20_000 })?;
+    let lookups = cli.parse("lookups", if smoke { 4_000 } else { 20_000 })?;
+    let seed = cli.parse("seed", 0xD07Au64)?;
+    let out = cli.parse("out", "BENCH_durability.json".to_string())?;
+    ensure(records >= 512, "--records must be >= 512")?;
+
+    let spec = sized_spec(records);
+    let workload = exact_match_workload(records, lookups, seed);
+    let probe: Vec<SearchKey> = workload
+        .trace
+        .iter()
+        .map(|&i| SearchKey::new(u128::from(workload.keys[i]), 64))
+        .collect();
+    let mut dirs = TempDirs(Vec::new());
+
+    println!("durability_bench: {records} records, seed {seed:#x}");
+
+    // -- Baseline: the heap-backed table the paper's substrate assumes.
+    let mut heap = spec.build()?;
+    let heap_rate = {
+        let start = Instant::now();
+        for &(key, value) in &workload.pairs {
+            heap.insert(Record::new(TernaryKey::binary(u128::from(key), 64), value))?;
+        }
+        workload.pairs.len() as f64 / start.elapsed().as_secs_f64()
+    };
+    println!("heap insert: {heap_rate:.0}/s");
+
+    // -- Durable write modes. Sync mode pays an fsync per commit, so it
+    //    only runs group-committed; per-op fsync is priced by wal tests.
+    let flush = DurableOptions {
+        sync: SyncPolicy::Flush,
+        auto_commit: false,
+        ..DurableOptions::default()
+    };
+    let sync = DurableOptions {
+        sync: SyncPolicy::Sync,
+        ..flush.clone()
+    };
+    let mut modes: Vec<Mode> = vec![Mode {
+        name: "heap",
+        sync: "none",
+        commit_batch: 0,
+        inserts_per_sec: heap_rate,
+        vs_heap: 1.0,
+    }];
+    let mut keep: Option<(PathBuf, DurableTable)> = None;
+    let plan: &[(&'static str, &'static str, DurableOptions, usize)] = &[
+        ("durable-per-op", "flush", flush.clone(), 1),
+        ("durable-batch-64", "flush", flush.clone(), 64),
+        ("durable-batch-256", "flush", flush.clone(), 256),
+        ("durable-batch-256-fsync", "sync", sync, 256),
+    ];
+    for (name, sync_name, opts, batch) in plan.iter().cloned() {
+        let dir = dirs.next(name);
+        let (rate, table) = durable_insert_rate(&dir, &spec, opts, batch, &workload.pairs)?;
+        println!(
+            "{name}: {rate:.0}/s ({:.1}% of heap)",
+            rate / heap_rate * 100.0
+        );
+        modes.push(Mode {
+            name,
+            sync: sync_name,
+            commit_batch: batch,
+            inserts_per_sec: rate,
+            vs_heap: rate / heap_rate,
+        });
+        if name == "durable-batch-256" {
+            keep = Some((dir, table));
+        }
+    }
+    let (dur_dir, dur_table) = keep.expect("batch-256 mode ran");
+
+    // -- Read path: searches through the durable wrapper delegate to the
+    //    same in-memory table, so throughput must match the heap engine.
+    let heap_search = search_rate(&heap, &probe);
+    let durable_search = search_rate(&dur_table, &probe);
+    let search_ratio = durable_search / heap_search.max(1e-9);
+    println!(
+        "search: heap {heap_search:.0} keys/s, durable {durable_search:.0} keys/s \
+         (ratio {search_ratio:.2})"
+    );
+
+    // -- Recovery path A: drop the writer and replay the full WAL tail.
+    drop(dur_table);
+    let replay_start = Instant::now();
+    let mut reopened = DurableTable::open(&dur_dir, flush.clone())?;
+    let replay_secs = replay_start.elapsed().as_secs_f64();
+    let replayed = reopened.recovery().replayed_records;
+    let wal_replay_per_sec = replayed as f64 / replay_secs.max(1e-9);
+    ensure(
+        reopened.records().len() == workload.pairs.len(),
+        "WAL replay lost records",
+    )?;
+    println!("recovery (WAL replay): {replayed} records in {replay_secs:.3}s");
+
+    // -- Checkpoint, then recovery path B: snapshot restore.
+    let ckpt_start = Instant::now();
+    reopened.checkpoint()?;
+    let checkpoint_secs = ckpt_start.elapsed().as_secs_f64();
+    let snapshot_bytes: u64 = std::fs::read_dir(&dur_dir)
+        .map(|it| {
+            it.filter_map(std::result::Result::ok)
+                .filter(|e| {
+                    e.path()
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("snap-"))
+                })
+                .filter_map(|e| e.metadata().ok().map(|m| m.len()))
+                .sum()
+        })
+        .unwrap_or(0);
+    drop(reopened);
+    let restore_start = Instant::now();
+    let restored = DurableTable::open(&dur_dir, flush)?;
+    let restore_secs = restore_start.elapsed().as_secs_f64();
+    let snap_records = restored.recovery().snapshot_records;
+    let snapshot_restore_per_sec = snap_records as f64 / restore_secs.max(1e-9);
+    ensure(
+        restored.records().len() == workload.pairs.len(),
+        "snapshot restore lost records",
+    )?;
+    println!(
+        "checkpoint: {checkpoint_secs:.3}s ({snapshot_bytes} snapshot bytes); \
+         recovery (snapshot restore): {snap_records} records in {restore_secs:.3}s"
+    );
+    drop(restored);
+
+    // -- Optional: file-backed arrays (mmap superblock path), rebuilt and
+    //    flushed through a checkpoint.
+    #[cfg(feature = "mmap")]
+    let file_arrays_rate = {
+        let dir = dirs.next("durable-file-arrays");
+        let opts = DurableOptions {
+            sync: SyncPolicy::Flush,
+            auto_commit: false,
+            file_arrays: true,
+            ..DurableOptions::default()
+        };
+        let (rate, mut table) = durable_insert_rate(&dir, &spec, opts, 256, &workload.pairs)?;
+        table.checkpoint()?;
+        println!(
+            "durable-file-arrays (batch 256 + checkpoint flush): {rate:.0}/s \
+             ({:.1}% of heap)",
+            rate / heap_rate * 100.0
+        );
+        rate
+    };
+    #[cfg(not(feature = "mmap"))]
+    let file_arrays_rate = 0.0f64;
+
+    // -- Crash-injection smoke: every record boundary of a mixed stream,
+    //    with a mid-stream checkpoint, must recover to the model.
+    let ops = crash_stream();
+    let sweep = crash_sweep(
+        "durability_bench",
+        &|bits| durable_spec(bits, 26),
+        32,
+        &ops,
+        &CrashSweepOptions {
+            granularity: CutGranularity::Records { intra_samples: 1 },
+            max_ops: ops.len(),
+            checkpoint_at: Some(ops.len() / 2),
+            probes_per_cut: 8,
+        },
+    )?;
+    println!(
+        "crash sweep: {} cuts ({} torn), {} probes — all recovered to the model",
+        sweep.cuts_tested, sweep.torn_cuts, sweep.probes_checked
+    );
+
+    // -- Smoke gates: contents already checked above; here the bounds.
+    if smoke {
+        let batched = modes
+            .iter()
+            .find(|m| m.name == "durable-batch-256")
+            .expect("mode ran");
+        ensure(
+            batched.vs_heap >= 0.15,
+            "group-committed durable inserts fell below 15% of heap throughput",
+        )?;
+        ensure(
+            search_ratio >= 0.5,
+            "durable search path must stay on the heap hot path",
+        )?;
+        ensure(sweep.cuts_tested > 0, "crash sweep tested no cuts")?;
+        ensure(sweep.torn_cuts > 0, "crash sweep never tore a record")?;
+        println!(
+            "smoke gates passed (batched overhead {:.2}x heap, search ratio {search_ratio:.2})",
+            batched.vs_heap
+        );
+    }
+
+    // -- Report.
+    let mut json = String::from("{\n  \"benchmark\": \"durability\",\n");
+    let _ = write!(
+        json,
+        "  \"records\": {records},\n  \"seed\": {seed},\n  \
+         \"heap_inserts_per_sec\": {heap_rate:.1},\n"
+    );
+    json.push_str("  \"modes\": [\n");
+    for (i, m) in modes.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"sync\": \"{}\", \"commit_batch\": {}, \
+             \"inserts_per_sec\": {:.1}, \"vs_heap\": {:.4}}}{}",
+            m.name,
+            m.sync,
+            m.commit_batch,
+            m.inserts_per_sec,
+            m.vs_heap,
+            if i + 1 == modes.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        "  \"file_arrays_inserts_per_sec\": {file_arrays_rate:.1},\n  \
+         \"search\": {{\"heap_keys_per_sec\": {heap_search:.1}, \
+         \"durable_keys_per_sec\": {durable_search:.1}, \"ratio\": {search_ratio:.4}}},\n  \
+         \"checkpoint\": {{\"elapsed_ms\": {:.2}, \"snapshot_bytes\": {snapshot_bytes}}},\n  \
+         \"recovery\": {{\"wal_replay_records_per_sec\": {wal_replay_per_sec:.1}, \
+         \"snapshot_restore_records_per_sec\": {snapshot_restore_per_sec:.1}}},\n  \
+         \"crash_sweep\": {{\"ops_logged\": {}, \"cuts_tested\": {}, \"torn_cuts\": {}, \
+         \"probes_checked\": {}}}\n",
+        checkpoint_secs * 1e3,
+        sweep.ops_logged,
+        sweep.cuts_tested,
+        sweep.torn_cuts,
+        sweep.probes_checked,
+    );
+    json.push_str("}\n");
+    write_text_atomic(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -21,19 +21,29 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ca_ram_bench::fleet::{fleet_for, fleet_names};
+use ca_ram_bench::fleet::{durable_spec, fleet_for, fleet_names};
 use ca_ram_bench::{write_text_atomic, BenchError, Cli, Result};
 use ca_ram_core::oracle::{run_case, run_kernel_case, standard_scenarios, OpStreamGen, Profile};
+use ca_ram_core::storage::{crash_sweep, CrashSweepOptions, CutGranularity};
 
 /// Replays the harness caps minimization at, bounding worst-case runtime.
 const MINIMIZE_BUDGET: usize = 400;
+
+/// Stream-prefix length for the per-scenario crash-injection cell; a
+/// checkpoint is injected halfway so the sweep covers snapshot-plus-tail
+/// recovery, and the cuts land in the post-checkpoint segment.
+const CRASH_SWEEP_OPS: usize = 300;
+
+/// The synthetic engine name the crash-injection cells report under
+/// (selectable with `--engine`, like any fleet engine).
+const CRASH_ENGINE: &str = "ca-ram/durable+crash";
 
 /// The matrix floor for an unfiltered run: every cell must be at least
 /// visited (checked or reported skipped). Bump this when scenarios or
 /// engines are added, so an accidental fleet or scenario regression
 /// (a gating typo silently dropping cells) fails CI instead of shrinking
 /// coverage quietly.
-const MIN_UNFILTERED_CELLS: usize = 373;
+const MIN_UNFILTERED_CELLS: usize = 463;
 
 /// Validates a `--scenario`/`--engine` substring filter against the known
 /// names: a filter matching nothing is a typo, reported with the full
@@ -109,7 +119,8 @@ fn main() -> Result<()> {
         .map(|s| s.name.clone())
         .collect();
     check_filter("scenario", scenario_filter.as_deref(), &scenario_names)?;
-    let engine_names: Vec<String> = fleet_names().iter().map(ToString::to_string).collect();
+    let mut engine_names: Vec<String> = fleet_names().iter().map(ToString::to_string).collect();
+    engine_names.push(CRASH_ENGINE.to_string());
     check_filter("engine", engine_filter.as_deref(), &engine_names)?;
 
     let started = Instant::now();
@@ -180,6 +191,67 @@ fn main() -> Result<()> {
                     ops,
                     report,
                 );
+            }
+        }
+        // Durability crash-injection cell: replay a bounded prefix of the
+        // same stream through a DurableTable, then cut its WAL at every
+        // record boundary (plus an intra-record sample, which models a
+        // torn write) and require recovery at each cut to match the
+        // serially-replayed reference model.
+        let wanted = engine_filter
+            .as_deref()
+            .is_none_or(|f| CRASH_ENGINE.contains(f));
+        if sc.profile != Profile::SearchOnly
+            && wanted
+            && durable_spec(sc.key_bits, sc.hash_lo).is_some()
+        {
+            if started.elapsed().as_millis() >= u128::from(time_box_ms) {
+                skipped += 1;
+                cells.push(Cell {
+                    scenario: sc.name.clone(),
+                    engine: CRASH_ENGINE.to_string(),
+                    ops: 0,
+                    status: "skipped",
+                    detail: "time box expired".to_string(),
+                });
+            } else {
+                let hash_lo = sc.hash_lo;
+                let spec_for = move |bits| durable_spec(bits, hash_lo);
+                let sweep = crash_sweep(
+                    &sc.name,
+                    &spec_for,
+                    sc.key_bits,
+                    &stream,
+                    &CrashSweepOptions {
+                        granularity: CutGranularity::Records { intra_samples: 1 },
+                        max_ops: CRASH_SWEEP_OPS,
+                        checkpoint_at: Some(CRASH_SWEEP_OPS / 2),
+                        probes_per_cut: 4,
+                    },
+                );
+                match sweep {
+                    Ok(rep) => cells.push(Cell {
+                        scenario: sc.name.clone(),
+                        engine: CRASH_ENGINE.to_string(),
+                        ops: rep.ops_logged,
+                        status: "ok",
+                        detail: format!(
+                            "{} cuts ({} torn), {} probes",
+                            rep.cuts_tested, rep.torn_cuts, rep.probes_checked
+                        ),
+                    }),
+                    Err(e) => {
+                        divergences += 1;
+                        println!("CRASH DIVERGENCE: {} on {} — {e}", CRASH_ENGINE, sc.name);
+                        cells.push(Cell {
+                            scenario: sc.name.clone(),
+                            engine: CRASH_ENGINE.to_string(),
+                            ops: CRASH_SWEEP_OPS,
+                            status: "divergence",
+                            detail: e.to_string(),
+                        });
+                    }
+                }
             }
         }
     }

@@ -8,7 +8,7 @@
 //! Usage: `table2 [--prefixes N] [--seed S]`
 
 use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
-use ca_ram_bench::{bgp_config, rule, write_text, Cli, Result};
+use ca_ram_bench::{bgp_config, rule, write_text_atomic, Cli, Result};
 use ca_ram_workloads::bgp::generate;
 use ca_ram_workloads::prefix::Ipv4Prefix;
 use ca_ram_workloads::trace::{frequencies, AccessPattern};
@@ -96,7 +96,7 @@ fn main() -> Result<()> {
         ));
     }
     if let Some(path) = cli.value("csv") {
-        write_text(path, &csv)?;
+        write_text_atomic(path, &csv)?;
         println!("(wrote {path})");
     }
     rule(96);

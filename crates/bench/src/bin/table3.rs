@@ -9,7 +9,7 @@
 //! Usage: `table3 [--entries N] [--seed S]`
 
 use ca_ram_bench::designs::{build_trigram_table, load_trigrams, trigram_designs};
-use ca_ram_bench::{rule, trigram_config, write_text, Cli, Result};
+use ca_ram_bench::{rule, trigram_config, write_text_atomic, Cli, Result};
 use ca_ram_workloads::trigram::generate;
 
 fn main() -> Result<()> {
@@ -61,7 +61,7 @@ fn main() -> Result<()> {
         ));
     }
     if let Some(path) = cli.value("csv") {
-        write_text(path, &csv)?;
+        write_text_atomic(path, &csv)?;
         println!("(wrote {path})");
     }
     rule(82);

@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use ca_ram_bench::designs::{build_ip_table, ip_designs, load_prefixes};
 use ca_ram_bench::driver::member_trace;
-use ca_ram_bench::{ensure, rule, write_text, BenchError, Cli, ExactMatchWorkload, Result};
+use ca_ram_bench::{ensure, rule, write_text_atomic, BenchError, Cli, ExactMatchWorkload, Result};
 use ca_ram_cam::{BankedTcam, BinaryCam, PreclassifiedCam, PrecomputedBcam, SortedTcam, Tcam};
 use ca_ram_core::controller::{simulate_with_sink, QueueModelConfig};
 use ca_ram_core::engine::{EngineOutcome, SearchEngine};
@@ -395,8 +395,8 @@ fn main() -> Result<()> {
     let prom = to_prometheus(&registry);
     let series = validate_prometheus(&prom)
         .unwrap_or_else(|e| panic!("generated Prometheus export failed validation: {e}"));
-    write_text(&json_path, &json)?;
-    write_text(&prom_path, &prom)?;
+    write_text_atomic(&json_path, &json)?;
+    write_text_atomic(&prom_path, &prom)?;
     println!("validated {scopes} scopes ({series} Prometheus histogram series)");
     println!("(wrote {json_path} and {prom_path})");
     Ok(())

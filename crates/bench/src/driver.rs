@@ -19,7 +19,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-use crate::cli::{write_text, Result};
+use crate::cli::{write_text_atomic, Result};
 
 /// The paper's AS1103 prefix count; asking for exactly this many prefixes
 /// selects the calibrated snapshot configuration.
@@ -323,7 +323,7 @@ impl SearchReport {
     ///
     /// Returns [`crate::BenchError::Io`] when the write fails.
     pub fn write(&self, path: &str) -> Result<()> {
-        write_text(path, &self.to_json())
+        write_text_atomic(path, &self.to_json())
     }
 }
 

@@ -20,6 +20,7 @@ use ca_ram_core::key::{SearchKey, TernaryKey};
 use ca_ram_core::layout::{Record, RecordLayout};
 use ca_ram_core::oracle::{EngineCase, Profile, Scenario};
 use ca_ram_core::probe::ProbePolicy;
+use ca_ram_core::storage::{DurableOptions, DurableTable, IndexSpec, TableSpec, TempDurableTable};
 use ca_ram_core::subsystem::{CaRamSubsystem, DatabaseId};
 use ca_ram_core::table::{Arrangement, CaRamTable, OverflowPolicy, TableConfig};
 use ca_ram_service::ServiceEngine;
@@ -112,6 +113,121 @@ pub fn ca_ram_table(
 
 fn boxed(engine: impl SearchEngine + 'static) -> Box<dyn SearchEngine> {
     Box::new(engine)
+}
+
+/// The fleet geometry of [`ca_ram_table`] as a serializable [`TableSpec`],
+/// for durable engines (whose recovery path rebuilds the table from the
+/// spec). `None` when the index range does not fit inside the key.
+#[must_use]
+pub fn durable_spec(bits: u32, hash_lo: u32) -> Option<TableSpec> {
+    let layout = RecordLayout::new(bits, true, 32);
+    let buckets = 1u64 << ROWS_LOG2;
+    let index_bits = buckets.next_power_of_two().trailing_zeros();
+    if hash_lo + index_bits > bits {
+        return None;
+    }
+    Some(TableSpec {
+        config: TableConfig {
+            rows_log2: ROWS_LOG2,
+            row_bits: SLOTS_PER_ROW * layout.slot_bits(),
+            layout,
+            arrangement: Arrangement::Horizontal(1),
+            probe: ProbePolicy::Linear,
+            overflow: EXHAUSTIVE,
+        },
+        index: IndexSpec::RangeSelect {
+            low: hash_lo,
+            count: index_bits,
+        },
+    })
+}
+
+/// A [`DurableTable`] in a temp directory as a fleet engine: every oracle
+/// op crosses the write-ahead log. With `reopen_every > 0` the engine
+/// additionally drops its handle and crash-recovers from disk every N
+/// mutations, so the differential sweep checks the recovery path itself
+/// mid-stream, against live state no fixture could anticipate.
+pub struct DurableEngine {
+    name: &'static str,
+    inner: TempDurableTable,
+    reopen_every: u32,
+    mutations: u32,
+}
+
+impl DurableEngine {
+    /// Builds the engine at the fleet geometry, or `None` where
+    /// [`durable_spec`] declines the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch directory for the temp table cannot be
+    /// created — a fleet environment failure, not a recoverable case.
+    #[must_use]
+    pub fn build(
+        name: &'static str,
+        bits: u32,
+        hash_lo: u32,
+        reopen_every: u32,
+    ) -> Option<Box<dyn SearchEngine>> {
+        let spec = durable_spec(bits, hash_lo)?;
+        let inner = TempDurableTable::create("fleet", &spec, DurableOptions::default())
+            .expect("temp durable table");
+        Some(boxed(Self {
+            name,
+            inner,
+            reopen_every,
+            mutations: 0,
+        }))
+    }
+
+    fn after_mutation(&mut self) {
+        self.mutations += 1;
+        if self.reopen_every > 0 && self.mutations.is_multiple_of(self.reopen_every) {
+            self.inner
+                .reopen()
+                .expect("durable recovery mid-stream must succeed");
+        }
+    }
+}
+
+impl SearchEngine for DurableEngine {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn key_bits(&self) -> u32 {
+        SearchEngine::key_bits(self.inner.get())
+    }
+
+    fn search(&self, key: &SearchKey) -> EngineOutcome {
+        SearchEngine::search(self.inner.get(), key)
+    }
+
+    fn insert(&mut self, record: Record) -> CoreResult<()> {
+        let res = DurableTable::insert(self.inner.get_mut(), record);
+        self.after_mutation();
+        res
+    }
+
+    fn insert_sorted(&mut self, record: Record) -> CoreResult<()> {
+        let res = DurableTable::insert_sorted(self.inner.get_mut(), record);
+        self.after_mutation();
+        res
+    }
+
+    fn delete(&mut self, key: &TernaryKey) -> u32 {
+        let n = SearchEngine::delete(self.inner.get_mut(), key);
+        self.after_mutation();
+        n
+    }
+
+    fn occupancy(&self) -> EngineReport {
+        SearchEngine::occupancy(self.inner.get())
+    }
+
+    fn commit(&mut self) -> CoreResult<()> {
+        DurableTable::commit(self.inner.get_mut())
+    }
 }
 
 struct Entry {
@@ -316,6 +432,26 @@ fn entries(sc: &Scenario, preload: &[Record]) -> Vec<Entry> {
             }),
         },
         Entry {
+            // The durability wrapper in write-ahead mode: every mutation
+            // crosses the WAL (logged, committed) before the next op, so
+            // the sweep checks that journaling never changes an answer.
+            name: "ca-ram/durable",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(move |bits| DurableEngine::build("ca-ram/durable", bits, hash_lo, 0)),
+        },
+        Entry {
+            // Same, plus a full close-and-crash-recover cycle from disk
+            // every 32 mutations — the recovery path differentially
+            // checked mid-stream on live state.
+            name: "ca-ram/durable-reopen",
+            must_fit: true,
+            profiles: CHURN_LPM_FULL,
+            build: Box::new(move |bits| {
+                DurableEngine::build("ca-ram/durable-reopen", bits, hash_lo, 32)
+            }),
+        },
+        Entry {
             name: "tcam",
             must_fit: true,
             profiles: CHURN_LPM_BUILD,
@@ -467,6 +603,8 @@ mod tests {
                 "ca-ram/linear-v3",
                 "ca-ram/subsystem",
                 "ca-ram/service",
+                "ca-ram/durable",
+                "ca-ram/durable-reopen",
                 "sorted-tcam",
             ]
         );
@@ -480,7 +618,7 @@ mod tests {
             .find(|s| s.name == "nearest-match-64b")
             .expect("scenario exists");
         let fleet = fleet_for(&sc, &[]);
-        assert_eq!(fleet.len(), 12, "nearest-match fleet changed");
+        assert_eq!(fleet.len(), 14, "nearest-match fleet changed");
         for c in &fleet {
             assert!((c.build)(sc.key_bits).is_some(), "{} declined", c.name);
         }

@@ -1,0 +1,128 @@
+//! Durability regression suite: the pinned crash fixture swept at every
+//! byte boundary, the fleet replay of that fixture, and the engine
+//! conformance contract instantiated on *recovered* durable tables.
+
+use ca_ram_bench::fleet::{durable_spec, fleet_for};
+use ca_ram_core::engine::conformance::{check_engine, check_loaded, Probe};
+use ca_ram_core::key::SearchKey;
+use ca_ram_core::oracle::{parse_stream, replay, standard_scenarios, Op};
+use ca_ram_core::storage::{
+    crash_sweep, CrashSweepOptions, CutGranularity, DurableOptions, TempDurableTable,
+};
+
+const FIXTURE: &str = include_str!("fixtures/durability_crash_32b.ops");
+
+fn fixture_ops() -> Vec<Op> {
+    parse_stream(FIXTURE).expect("fixture must parse")
+}
+
+/// Every byte offset of the fixture's WAL is a recoverable crash point:
+/// the sweep cuts the log after each op (and at every byte in between),
+/// reopens, and diffs the recovered table against the reference model.
+#[test]
+fn pinned_fixture_survives_byte_exhaustive_crash_sweep() {
+    let ops = fixture_ops();
+    let report = crash_sweep(
+        "durability_crash_32b",
+        &|bits| durable_spec(bits, 0),
+        32,
+        &ops,
+        &CrashSweepOptions {
+            granularity: CutGranularity::Bytes,
+            ..CrashSweepOptions::default()
+        },
+    )
+    .expect("every cut of the pinned fixture must recover to the model");
+    assert!(report.ops_logged >= 5, "fixture logs its mutations");
+    assert!(
+        report.cuts_tested > report.ops_logged,
+        "byte granularity must test intra-frame cuts"
+    );
+    assert!(report.torn_cuts > 0, "some cuts land inside a frame");
+}
+
+/// The same sweep with a checkpoint injected mid-stream: cuts then land
+/// in the post-snapshot segment, exercising snapshot-plus-tail recovery.
+#[test]
+fn pinned_fixture_survives_checkpointed_crash_sweep() {
+    let ops = fixture_ops();
+    crash_sweep(
+        "durability_crash_32b_ckpt",
+        &|bits| durable_spec(bits, 0),
+        32,
+        &ops,
+        &CrashSweepOptions {
+            granularity: CutGranularity::Bytes,
+            checkpoint_at: Some(3),
+            ..CrashSweepOptions::default()
+        },
+    )
+    .expect("checkpointed recovery must also match the model at every cut");
+}
+
+/// The fixture also replays divergence-free through every engine fielded
+/// for its scenario, durable ones included (the `oracle_fixtures`
+/// discipline: a durability fixture must not regress any other design).
+#[test]
+fn fixture_replays_clean_across_the_fleet() {
+    let scenario = standard_scenarios()
+        .into_iter()
+        .find(|s| s.name == "exact-churn-32b")
+        .expect("scenario exists");
+    let ops = fixture_ops();
+    let fleet = fleet_for(&scenario, &[]);
+    assert!(
+        fleet.iter().any(|c| c.name == "ca-ram/durable"),
+        "the durable engine must be fielded for the fixture's scenario"
+    );
+    for case in &fleet {
+        if let Some(d) = replay(case, scenario.key_bits, &ops) {
+            panic!(
+                "durability_crash_32b.ops: {} diverged at op {}: {}",
+                case.name, d.op_index, d.kind
+            );
+        }
+    }
+}
+
+/// Full engine conformance (insert→search→batch≡serial→delete) on a
+/// durable table that has already been through a crash-recovery cycle:
+/// the recovered writer must honor the same contract as a fresh engine.
+#[test]
+fn recovered_durable_table_passes_engine_conformance() {
+    let spec = durable_spec(32, 0).expect("32-bit fleet geometry");
+    let mut table = TempDurableTable::create("conformance", &spec, DurableOptions::default())
+        .expect("create durable table");
+    // Cycle through recovery while empty, then run the mutable contract.
+    table.reopen().expect("recover the empty table");
+    let probes: Vec<Probe> = (0..48u64)
+        .map(|i| Probe::exact(u128::from(i) * 5 + 1, 32, i))
+        .collect();
+    let misses: Vec<SearchKey> = (0..16u64)
+        .map(|i| SearchKey::new(u128::from(i) * 5 + 3, 32))
+        .collect();
+    check_engine(table.get_mut(), &probes, &misses);
+}
+
+/// The loaded-engine contract on a table recovered *with* its contents:
+/// insert, commit, crash-recover, then every probe must still hit and
+/// batch/parallel search must stay bit-identical to serial.
+#[test]
+fn recovered_durable_table_passes_loaded_conformance() {
+    let spec = durable_spec(32, 0).expect("32-bit fleet geometry");
+    let mut table =
+        TempDurableTable::create("loaded_conformance", &spec, DurableOptions::default())
+            .expect("create durable table");
+    let probes: Vec<Probe> = (0..48u64)
+        .map(|i| Probe::exact(u128::from(i) * 7 + 2, 32, i))
+        .collect();
+    let misses: Vec<SearchKey> = (0..16u64)
+        .map(|i| SearchKey::new(u128::from(i) * 7 + 4, 32))
+        .collect();
+    for p in &probes {
+        table.get_mut().insert(p.record).expect("insert");
+    }
+    table.get_mut().commit().expect("commit");
+    table.reopen().expect("recover the loaded table");
+    check_loaded(table.get(), &probes, &misses);
+}

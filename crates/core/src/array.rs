@@ -14,6 +14,9 @@
 //! Sec. 3.2 address map is unchanged.
 
 use crate::error::{CaRamError, Result};
+#[cfg(feature = "storage")]
+use crate::storage::mapped::MappedArray;
+use crate::storage::StorageBackend;
 
 /// One 64-byte line of backing store; the alignment guarantees every row
 /// (and the vector itself) starts on a cache-line boundary.
@@ -50,8 +53,56 @@ fn prefetch_line(p: *const u8) {
     let _ = p;
 }
 
+/// Where the array's words physically live (see [`StorageBackend`]).
+#[derive(Debug)]
+enum Store {
+    /// Cache-line-aligned heap memory — the zero-cost default.
+    Heap(Vec<CacheLine>),
+    /// An mmap'd (or buffered, off-Linux) file region.
+    #[cfg(feature = "storage")]
+    Mapped(MappedArray),
+}
+
+impl Store {
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match self {
+            // SAFETY: `CacheLine` is `repr(C)` over `[u64; 8]`, so the
+            // vector is one contiguous, properly aligned run of `8 * len`
+            // words.
+            Store::Heap(data) => unsafe {
+                core::slice::from_raw_parts(
+                    data.as_ptr().cast::<u64>(),
+                    data.len() * WORDS_PER_LINE as usize,
+                )
+            },
+            #[cfg(feature = "storage")]
+            Store::Mapped(m) => m.words(),
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match self {
+            // SAFETY: as in `words`; the borrow is exclusive.
+            Store::Heap(data) => unsafe {
+                core::slice::from_raw_parts_mut(
+                    data.as_mut_ptr().cast::<u64>(),
+                    data.len() * WORDS_PER_LINE as usize,
+                )
+            },
+            #[cfg(feature = "storage")]
+            Store::Mapped(m) => m.words_mut(),
+        }
+    }
+}
+
 /// A `rows × row_bits` bit-accurate memory array.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Words live on the heap by default, or in a file region when built with
+/// [`MemoryArray::with_backend`]. Cloning a file-backed array detaches it:
+/// the clone is an ordinary heap array holding the same words.
+#[derive(Debug)]
 pub struct MemoryArray {
     rows: u64,
     row_bits: u32,
@@ -59,10 +110,50 @@ pub struct MemoryArray {
     /// Physical words per row: `row_words` rounded up to a whole number
     /// of cache lines. The pad words are never exposed and stay zero.
     stride_words: u32,
-    data: Vec<CacheLine>,
+    store: Store,
 }
 
+impl Clone for MemoryArray {
+    fn clone(&self) -> Self {
+        match &self.store {
+            Store::Heap(data) => Self {
+                rows: self.rows,
+                row_bits: self.row_bits,
+                row_words: self.row_words,
+                stride_words: self.stride_words,
+                store: Store::Heap(data.clone()),
+            },
+            #[cfg(feature = "storage")]
+            Store::Mapped(_) => {
+                let mut copy = Self::new(self.rows, self.row_bits);
+                copy.store.words_mut().copy_from_slice(self.store.words());
+                copy
+            }
+        }
+    }
+}
+
+impl PartialEq for MemoryArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.row_bits == other.row_bits
+            && self.store.words() == other.store.words()
+    }
+}
+
+impl Eq for MemoryArray {}
+
 impl MemoryArray {
+    fn geometry(rows: u64, row_bits: u32) -> (u32, u32, usize) {
+        assert!(rows > 0, "array needs at least one row");
+        assert!(row_bits > 0, "rows need at least one bit");
+        let row_words = row_bits.div_ceil(64);
+        let stride_words = row_words.next_multiple_of(WORDS_PER_LINE);
+        let lines = usize::try_from(rows * u64::from(stride_words / WORDS_PER_LINE))
+            .expect("array size exceeds the address space");
+        (row_words, stride_words, lines)
+    }
+
     /// Allocates a zeroed array of `rows` rows of `row_bits` bits each.
     ///
     /// # Panics
@@ -70,18 +161,76 @@ impl MemoryArray {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(rows: u64, row_bits: u32) -> Self {
-        assert!(rows > 0, "array needs at least one row");
-        assert!(row_bits > 0, "rows need at least one bit");
-        let row_words = row_bits.div_ceil(64);
-        let stride_words = row_words.next_multiple_of(WORDS_PER_LINE);
-        let lines = usize::try_from(rows * u64::from(stride_words / WORDS_PER_LINE))
-            .expect("array size exceeds the address space");
+        let (row_words, stride_words, lines) = Self::geometry(rows, row_bits);
         Self {
             rows,
             row_bits,
             row_words,
             stride_words,
-            data: vec![CacheLine([0; 8]); lines],
+            store: Store::Heap(vec![CacheLine([0; 8]); lines]),
+        }
+    }
+
+    /// Builds an array whose words live on the given backend. The heap
+    /// backend is identical to [`MemoryArray::new`]; the file backend
+    /// opens (or creates) the backing file, preserving any words already
+    /// flushed there — geometry is validated against the file's
+    /// superblock.
+    ///
+    /// # Errors
+    ///
+    /// For [`StorageBackend::File`]: any
+    /// [`CaRamError::Durability`] error from
+    /// [`MappedArray::open`], or a typed `Unsupported` error when built
+    /// without the `storage` feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_backend(rows: u64, row_bits: u32, backend: &StorageBackend) -> Result<Self> {
+        match backend {
+            StorageBackend::Heap => Ok(Self::new(rows, row_bits)),
+            #[cfg(feature = "storage")]
+            StorageBackend::File { path } => {
+                let (row_words, stride_words, lines) = Self::geometry(rows, row_bits);
+                let data_words = lines * WORDS_PER_LINE as usize;
+                let mapped = MappedArray::open(path, rows, row_bits, stride_words, data_words)?;
+                Ok(Self {
+                    rows,
+                    row_bits,
+                    row_words,
+                    stride_words,
+                    store: Store::Mapped(mapped),
+                })
+            }
+            #[cfg(not(feature = "storage"))]
+            StorageBackend::File { .. } => Err(CaRamError::Durability {
+                kind: crate::error::DurabilityErrorKind::Unsupported,
+                detail: "file-backed arrays need the `storage` cargo feature".into(),
+            }),
+        }
+    }
+
+    /// Writes file-backed words durably to disk; a no-op for heap arrays.
+    ///
+    /// # Errors
+    ///
+    /// [`CaRamError::Durability`] when the backing store's sync fails.
+    pub fn flush(&mut self) -> Result<()> {
+        match &mut self.store {
+            Store::Heap(_) => Ok(()),
+            #[cfg(feature = "storage")]
+            Store::Mapped(m) => m.flush(),
+        }
+    }
+
+    /// True when the words live in a file region rather than on the heap.
+    #[must_use]
+    pub fn is_file_backed(&self) -> bool {
+        match &self.store {
+            Store::Heap(_) => false,
+            #[cfg(feature = "storage")]
+            Store::Mapped(_) => true,
         }
     }
 
@@ -113,26 +262,13 @@ impl MemoryArray {
     /// The backing store viewed as words (including row padding).
     #[inline]
     fn words(&self) -> &[u64] {
-        // SAFETY: `CacheLine` is `repr(C)` over `[u64; 8]`, so the vector
-        // is one contiguous, properly aligned run of `8 * len` words.
-        unsafe {
-            core::slice::from_raw_parts(
-                self.data.as_ptr().cast::<u64>(),
-                self.data.len() * WORDS_PER_LINE as usize,
-            )
-        }
+        self.store.words()
     }
 
     /// Mutable view of the backing store as words (including padding).
     #[inline]
     fn words_mut(&mut self) -> &mut [u64] {
-        // SAFETY: as in `words`; the borrow is exclusive.
-        unsafe {
-            core::slice::from_raw_parts_mut(
-                self.data.as_mut_ptr().cast::<u64>(),
-                self.data.len() * WORDS_PER_LINE as usize,
-            )
-        }
+        self.store.words_mut()
     }
 
     fn row_range(&self, row: u64) -> core::ops::Range<usize> {
@@ -176,11 +312,14 @@ impl MemoryArray {
             return;
         }
         let lines_per_row = (self.stride_words / WORDS_PER_LINE) as usize;
-        let Ok(base) = usize::try_from(row * u64::from(self.stride_words / WORDS_PER_LINE)) else {
+        let Ok(base) = usize::try_from(row * u64::from(self.stride_words)) else {
             return;
         };
+        let words = self.words();
         for line in 0..lines_per_row.min(8) {
-            prefetch_line(core::ptr::from_ref(&self.data[base + line]).cast::<u8>());
+            prefetch_line(
+                core::ptr::from_ref(&words[base + line * WORDS_PER_LINE as usize]).cast::<u8>(),
+            );
         }
     }
 
@@ -226,7 +365,7 @@ impl MemoryArray {
 
     /// Zeroes the whole array (a hardware-style bulk clear).
     pub fn clear(&mut self) {
-        self.data.fill(CacheLine([0; 8]));
+        self.words_mut().fill(0);
     }
 }
 
@@ -334,5 +473,39 @@ mod tests {
     fn row_out_of_range_panics() {
         let a = MemoryArray::new(9, 64);
         let _ = a.row(9);
+    }
+
+    #[test]
+    fn heap_backend_matches_new() {
+        let a = MemoryArray::new(4, 130);
+        let b = MemoryArray::with_backend(4, 130, &StorageBackend::Heap).expect("heap backend");
+        assert_eq!(a, b);
+        assert!(!b.is_file_backed());
+    }
+
+    #[cfg(feature = "storage")]
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("ca_ram_array_backend_{}.arr", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let backend = StorageBackend::file(&path);
+        {
+            let mut a = MemoryArray::with_backend(3, 130, &backend).expect("create");
+            assert!(a.is_file_backed());
+            a.row_mut(1)[0] = 0xFEED;
+            a.write_word(5, 99).unwrap();
+            a.flush().expect("flush");
+            // Cloning detaches to the heap with identical words.
+            let c = a.clone();
+            assert!(!c.is_file_backed());
+            assert_eq!(c, a);
+        }
+        {
+            let a = MemoryArray::with_backend(3, 130, &backend).expect("reopen");
+            assert_eq!(a.row(1)[0], 0xFEED);
+            assert_eq!(a.read_word(5).unwrap(), 99);
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -140,6 +140,20 @@ pub trait SearchEngine: Send + Sync {
     /// Current occupancy.
     fn occupancy(&self) -> EngineReport;
 
+    /// Makes every mutation accepted so far durable, for backends that
+    /// buffer writes (group commit). The default is a no-op: purely
+    /// in-memory engines are always "durable" to their own lifetime, so
+    /// callers can commit unconditionally after a write batch.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::CaRamError::Durability`] when a durable backend
+    /// fails to persist the batch; the batch's effects on answers remain
+    /// visible in memory, but their durability is not guaranteed.
+    fn commit(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// Looks up a batch of keys serially.
     ///
     /// Provided method; backends with an allocation-free inherent batch path

@@ -42,6 +42,52 @@ pub enum CaRamError {
     /// The engine does not support this operation (e.g. inserting into a
     /// statically built software index).
     Unsupported(&'static str),
+    /// A durability operation failed (see [`crate::storage`]). The kind
+    /// classifies the failure so callers can distinguish, say, a torn file
+    /// from a geometry mismatch; the detail names the offending file or
+    /// record.
+    Durability {
+        /// Failure class.
+        kind: DurabilityErrorKind,
+        /// Human-readable specifics (path, offset, expected/got values).
+        detail: String,
+    },
+}
+
+/// Classification of [`CaRamError::Durability`] failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DurabilityErrorKind {
+    /// The operating system refused a file operation.
+    Io,
+    /// A checksum, magic number, or framing invariant failed somewhere a
+    /// crash cannot legally leave it (e.g. mid-log, a superblock).
+    Corrupt,
+    /// The on-disk format version is not one this build understands.
+    FormatVersion,
+    /// The on-disk geometry disagrees with the expected configuration.
+    GeometryMismatch,
+    /// The storage backend is unavailable on this build or target (e.g.
+    /// mmap without the `storage` feature).
+    Unsupported,
+    /// WAL replay could not re-apply a logged operation to the rebuilt
+    /// table (the log and the geometry disagree about capacity).
+    ReplayFailed,
+}
+
+impl DurabilityErrorKind {
+    /// Stable lowercase name, for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DurabilityErrorKind::Io => "io",
+            DurabilityErrorKind::Corrupt => "corrupt",
+            DurabilityErrorKind::FormatVersion => "format-version",
+            DurabilityErrorKind::GeometryMismatch => "geometry-mismatch",
+            DurabilityErrorKind::Unsupported => "unsupported",
+            DurabilityErrorKind::ReplayFailed => "replay-failed",
+        }
+    }
 }
 
 impl fmt::Display for CaRamError {
@@ -71,6 +117,9 @@ impl fmt::Display for CaRamError {
                 write!(f, "device full ({capacity} entries)")
             }
             CaRamError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+            CaRamError::Durability { kind, detail } => {
+                write!(f, "durability failure ({}): {detail}", kind.name())
+            }
         }
     }
 }
@@ -110,6 +159,29 @@ mod tests {
         assert!(CaRamError::Unsupported("insert")
             .to_string()
             .contains("insert"));
+        let e = CaRamError::Durability {
+            kind: DurabilityErrorKind::Corrupt,
+            detail: "wal-00000001.log offset 64".into(),
+        };
+        assert!(e.to_string().contains("corrupt"));
+        assert!(e.to_string().contains("wal-00000001.log"));
+    }
+
+    #[test]
+    fn durability_kind_names_are_distinct() {
+        let kinds = [
+            DurabilityErrorKind::Io,
+            DurabilityErrorKind::Corrupt,
+            DurabilityErrorKind::FormatVersion,
+            DurabilityErrorKind::GeometryMismatch,
+            DurabilityErrorKind::Unsupported,
+            DurabilityErrorKind::ReplayFailed,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! * [`pattern`] — the pattern compiler: high-level match patterns
 //!   (exact / prefix / range / masked multi-field / nearest-match)
 //!   lowered onto concrete table configurations, entries, and
-//!   multi-probe query plans.
+//!   multi-probe query plans;
+//! * [`storage`] — durability: pluggable heap/mmap storage backends
+//!   under the bit-packed array, a CRC-framed write-ahead log with
+//!   group commit and checkpointing, and crash recovery verified by
+//!   cutting the log at every byte and diffing against the oracle.
 //!
 //! ## Example
 //!
@@ -78,6 +82,7 @@ pub mod pattern;
 pub mod probe;
 pub mod slice;
 pub mod stats;
+pub mod storage;
 pub mod subsystem;
 pub mod table;
 pub mod telemetry;

@@ -11,6 +11,7 @@ use crate::array::MemoryArray;
 use crate::key::SearchKey;
 use crate::layout::{Record, RecordLayout};
 use crate::matchproc::{wins_tie_break, MatchProcessorBank, RowMatch};
+use crate::storage::StorageBackend;
 
 /// Per-row auxiliary field (Sec. 3.1: overflow status and slot occupancy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +42,31 @@ impl CaRamSlice {
     /// row holds more than 128 slots (the auxiliary bitmap width).
     #[must_use]
     pub fn new(rows_log2: u32, row_bits: u32, layout: RecordLayout) -> Self {
+        Self::with_backend(rows_log2, row_bits, layout, &StorageBackend::Heap)
+            .expect("heap backend cannot fail")
+    }
+
+    /// Creates a slice whose memory array lives on the given storage
+    /// backend (see [`MemoryArray::with_backend`]). The auxiliary fields
+    /// (validity bitmaps, reach) always live on the heap: the durable
+    /// source of truth for occupancy is the write-ahead log, not the
+    /// array file.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::error::CaRamError::Durability`] error from opening the
+    /// backing file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_log2` exceeds 40, if a row holds no slots, or if a
+    /// row holds more than 128 slots (the auxiliary bitmap width).
+    pub fn with_backend(
+        rows_log2: u32,
+        row_bits: u32,
+        layout: RecordLayout,
+        backend: &StorageBackend,
+    ) -> crate::error::Result<Self> {
         assert!(rows_log2 <= 40, "2^{rows_log2} rows is beyond any device");
         let rows = 1u64 << rows_log2;
         let slots_per_row = layout.slots_per_row(row_bits);
@@ -48,13 +74,23 @@ impl CaRamSlice {
             slots_per_row <= 128,
             "{slots_per_row} slots per row exceeds the 128-slot auxiliary bitmap"
         );
-        Self {
+        Ok(Self {
             layout,
-            array: MemoryArray::new(rows, row_bits),
+            array: MemoryArray::with_backend(rows, row_bits, backend)?,
             aux: vec![AuxField::default(); usize::try_from(rows).expect("checked above")],
             bank: MatchProcessorBank::new(layout),
             slots_per_row,
-        }
+        })
+    }
+
+    /// Flushes a file-backed array durably to disk; a no-op on the heap
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::error::CaRamError::Durability`] error from the sync.
+    pub fn flush(&mut self) -> crate::error::Result<()> {
+        self.array.flush()
     }
 
     /// Number of rows (buckets).

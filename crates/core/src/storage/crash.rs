@@ -1,0 +1,516 @@
+//! Crash injection for the durability subsystem, verified by the
+//! differential oracle.
+//!
+//! [`crash_sweep`] runs an op stream against a [`DurableTable`] (the
+//! *golden* run), recording after each logged operation exactly how many
+//! bytes of the write-ahead log its commit produced. It then simulates a
+//! crash at every chosen byte offset of the live WAL segment: copy the
+//! table directory, truncate the segment at the cut, reopen through crash
+//! recovery, and require the recovered table to equal a
+//! [`ReferenceModel`] advanced over precisely the operations whose frames
+//! survived the cut — both as an exact logical record list and through
+//! sampled searches checked with [`crate::oracle::Expected::admits`].
+//!
+//! A cut landing inside a frame models a torn final write: recovery must
+//! keep the valid prefix and drop the tail. A cut at a frame boundary
+//! models a clean crash: nothing may be lost. Both are asserted for every
+//! cut, making the durability contract ("committed means recoverable")
+//! machine-checked at byte granularity.
+//!
+//! The sweep disables size-based segment rotation so that each logged
+//! operation's frames land in one segment and its commit mark is a plain
+//! byte offset (rotation itself is covered by the WAL unit tests and the
+//! [`DurableTable`] tests); rotation still happens at checkpoints, which
+//! the sweep can inject mid-stream to cover snapshot-plus-tail recovery.
+
+use std::path::{Path, PathBuf};
+
+use super::durable::{unique_temp_dir, DurableOptions, DurableTable};
+use super::wal::SyncPolicy;
+use super::{dur_err, io_err, TableSpec};
+use crate::engine::SearchEngine;
+use crate::error::{CaRamError, DurabilityErrorKind, Result};
+use crate::key::{SearchKey, TernaryKey};
+use crate::layout::Record;
+use crate::oracle::{Op, ReferenceModel};
+
+/// How densely the WAL is cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutGranularity {
+    /// Every byte offset of the live segment — exhaustive, for fixtures
+    /// and short streams.
+    Bytes,
+    /// Every record boundary, plus this many evenly spaced cuts strictly
+    /// inside each record's frame bytes — the fuzz-cell setting.
+    Records {
+        /// Intra-record cuts per gap between consecutive boundaries.
+        intra_samples: u32,
+    },
+}
+
+/// Tuning for one [`crash_sweep`] run.
+#[derive(Debug, Clone)]
+pub struct CrashSweepOptions {
+    /// Cut density.
+    pub granularity: CutGranularity,
+    /// Upper bound on ops taken from the stream.
+    pub max_ops: usize,
+    /// Inject a checkpoint after this many logged operations, so the
+    /// sweep also exercises snapshot-plus-tail recovery.
+    pub checkpoint_at: Option<usize>,
+    /// Sampled searches per cut (on top of the exact record-list check).
+    pub probes_per_cut: usize,
+}
+
+impl Default for CrashSweepOptions {
+    fn default() -> Self {
+        Self {
+            granularity: CutGranularity::Records { intra_samples: 1 },
+            max_ops: usize::MAX,
+            checkpoint_at: None,
+            probes_per_cut: 8,
+        }
+    }
+}
+
+/// What a completed sweep covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashSweepReport {
+    /// Operations the golden run logged to the WAL.
+    pub ops_logged: usize,
+    /// Crash points injected (each one recovered and verified).
+    pub cuts_tested: usize,
+    /// Cuts that landed mid-frame (recovery reported a torn tail).
+    pub torn_cuts: usize,
+    /// Sampled searches checked across all cuts.
+    pub probes_checked: usize,
+    /// Bytes in the live WAL segment that was swept.
+    pub segment_bytes: u64,
+}
+
+/// The model-side effect of one logged WAL record (what replay will do).
+#[derive(Debug, Clone)]
+enum Effect {
+    Insert(Record),
+    Delete(TernaryKey),
+    Update { key: TernaryKey, data: u64 },
+    Reconfigure(u32),
+}
+
+impl Effect {
+    fn apply(&self, model: &mut ReferenceModel) {
+        match self {
+            Effect::Insert(r) => model.insert(*r),
+            Effect::Delete(k) => {
+                model.delete(k);
+            }
+            Effect::Update { key, data } => {
+                if model.delete(key) > 0 {
+                    model.insert(Record::new(*key, *data));
+                }
+            }
+            Effect::Reconfigure(bits) => *model = ReferenceModel::new(*bits),
+        }
+    }
+}
+
+/// Removes a directory tree when dropped — sweep dirs never outlive the
+/// sweep, pass or fail.
+struct DirGuard(PathBuf);
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sweep_err(tag: &str, cut: u64, detail: &str) -> CaRamError {
+    dur_err(
+        DurabilityErrorKind::ReplayFailed,
+        format!("crash sweep {tag}: cut at byte {cut}: {detail}"),
+    )
+}
+
+fn op_bits(op: &Op) -> Option<u32> {
+    match op {
+        Op::Insert(r) | Op::InsertSorted(r) => Some(r.key.bits()),
+        Op::Delete(k) | Op::Update { key: k, .. } => Some(k.bits()),
+        Op::Search(k) => Some(k.bits()),
+        Op::Reconfigure { .. } => None,
+    }
+}
+
+fn is_durability(e: &CaRamError) -> bool {
+    matches!(e, CaRamError::Durability { .. })
+}
+
+/// Copies the golden directory into `scratch`, truncating the live
+/// segment file to `cut` bytes.
+fn stage_crash(golden: &Path, scratch: &Path, segment_name: &str, cut: u64) -> Result<()> {
+    std::fs::create_dir_all(scratch).map_err(|e| io_err("create dir", scratch, &e))?;
+    let entries = std::fs::read_dir(golden).map_err(|e| io_err("read dir", golden, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read dir entry in", golden, &e))?;
+        let name = entry.file_name();
+        let from = entry.path();
+        let to = scratch.join(&name);
+        if name.to_string_lossy() == segment_name {
+            let bytes = std::fs::read(&from).map_err(|e| io_err("read", &from, &e))?;
+            let keep = usize::try_from(cut).unwrap_or(usize::MAX).min(bytes.len());
+            std::fs::write(&to, &bytes[..keep]).map_err(|e| io_err("write", &to, &e))?;
+        } else {
+            std::fs::copy(&from, &to).map_err(|e| io_err("copy", &from, &e))?;
+        }
+    }
+    Ok(())
+}
+
+/// Verifies one recovered table against the model: exact logical record
+/// list, then sampled searches. Returns probes checked.
+fn verify_recovered(
+    tag: &str,
+    cut: u64,
+    recovered: &DurableTable,
+    model: &ReferenceModel,
+    probes: usize,
+) -> Result<usize> {
+    let got = recovered.records();
+    let want = model.records();
+    if got != want {
+        let at = got
+            .iter()
+            .zip(want.iter())
+            .position(|(g, w)| g != w)
+            .unwrap_or(got.len().min(want.len()));
+        return Err(sweep_err(
+            tag,
+            cut,
+            &format!(
+                "recovered {} records, expected {}; first difference at index {at} \
+                 (got {:?}, want {:?})",
+                got.len(),
+                want.len(),
+                got.get(at),
+                want.get(at)
+            ),
+        ));
+    }
+    let bits = model.key_bits();
+    let mut keys: Vec<SearchKey> = Vec::with_capacity(probes);
+    if probes > 0 {
+        let recs = model.records();
+        let step = (recs.len() / probes.max(1)).max(1);
+        keys.extend(
+            recs.iter()
+                .step_by(step)
+                .take(probes.saturating_sub(2))
+                .map(|r| SearchKey::new(r.key.value(), bits)),
+        );
+        // Two fixed probes that usually miss, so the empty-answer side of
+        // `admits` is exercised too.
+        keys.push(SearchKey::new(0, bits));
+        let all_ones = if bits == 128 {
+            u128::MAX
+        } else {
+            (1 << bits) - 1
+        };
+        keys.push(SearchKey::new(all_ones, bits));
+    }
+    for key in &keys {
+        let expected = model.expected(key);
+        let hit = SearchEngine::search(recovered, key).hit.map(|h| h.data);
+        if !expected.admits(hit) {
+            return Err(sweep_err(
+                tag,
+                cut,
+                &format!(
+                    "search {key:?} answered {hit:?}, model accepts {:x?} \
+                     ({} match(es))",
+                    expected.accepted, expected.matches
+                ),
+            ));
+        }
+    }
+    Ok(keys.len())
+}
+
+/// Runs the crash-injection sweep described in the module docs.
+///
+/// `spec_for` maps a key width to a table spec (`None` skips
+/// [`Op::Reconfigure`] ops at unsupported widths, mirroring the
+/// differential harness); the golden table is built from
+/// `spec_for(key_bits)`. Ops at a width other than the current one are
+/// skipped on both sides, also mirroring the harness.
+///
+/// # Errors
+///
+/// [`CaRamError::Durability`] with kind `ReplayFailed` naming the first
+/// failing cut offset and what diverged; any error from the golden run or
+/// a recovery (a recovery *error* at any cut is itself a sweep failure —
+/// every crash point must be recoverable).
+///
+/// # Panics
+///
+/// Panics if `spec_for` returns `None` for the initial `key_bits`.
+#[allow(clippy::too_many_lines)]
+pub fn crash_sweep(
+    tag: &str,
+    spec_for: &dyn Fn(u32) -> Option<TableSpec>,
+    key_bits: u32,
+    ops: &[Op],
+    options: &CrashSweepOptions,
+) -> Result<CrashSweepReport> {
+    let spec = spec_for(key_bits).expect("initial key width must be supported");
+    let golden_dir = unique_temp_dir(&format!("crash_{tag}_golden"));
+    let _golden_guard = DirGuard(golden_dir.clone());
+    let durable_opts = DurableOptions {
+        sync: SyncPolicy::Flush,
+        // No size-based rotation: each op's commit mark is a plain byte
+        // offset in one segment (see the module docs).
+        segment_limit: u64::MAX,
+        checkpoint_every: None,
+        auto_commit: true,
+        file_arrays: false,
+    };
+    let mut table = DurableTable::create(&golden_dir, &spec, durable_opts.clone())?;
+
+    // Golden run: apply ops, recording the model-side effect and the
+    // (segment, committed-bytes) mark of everything that was logged.
+    let mut logged: Vec<(Effect, u64, u64)> = Vec::new();
+    let mut cur_bits = key_bits;
+    let mark = |t: &DurableTable| (t.wal_segment(), t.wal_committed_bytes());
+    for op in ops.iter().take(options.max_ops) {
+        if op_bits(op).is_some_and(|b| b != cur_bits) {
+            continue;
+        }
+        let effect = match op {
+            Op::Insert(r) => match table.insert(*r) {
+                Ok(()) => Some(Effect::Insert(*r)),
+                Err(e) if is_durability(&e) => return Err(e),
+                Err(_) => None, // refused insert: nothing applied or logged
+            },
+            Op::InsertSorted(r) => match table.insert_sorted(*r) {
+                Ok(()) => Some(Effect::Insert(*r)),
+                Err(e) if is_durability(&e) => return Err(e),
+                Err(_) => None,
+            },
+            Op::Delete(k) => {
+                table.delete(k)?;
+                Some(Effect::Delete(*k))
+            }
+            Op::Update { key, data } => match table.update(key, *data) {
+                Ok(_) => Some(Effect::Update {
+                    key: *key,
+                    data: *data,
+                }),
+                Err(e) if is_durability(&e) => return Err(e),
+                // Reinsert refused: the delete half happened and was logged.
+                Err(_) => Some(Effect::Delete(*key)),
+            },
+            Op::Search(_) => None, // searches are not logged
+            Op::Reconfigure { key_bits } => match spec_for(*key_bits) {
+                Some(new_spec) => {
+                    table.reconfigure(&new_spec)?;
+                    cur_bits = *key_bits;
+                    Some(Effect::Reconfigure(*key_bits))
+                }
+                None => None,
+            },
+        };
+        if let Some(effect) = effect {
+            let (seg, bytes) = mark(&table);
+            logged.push((effect, seg, bytes));
+            if options.checkpoint_at == Some(logged.len()) {
+                table.checkpoint()?;
+            }
+        }
+    }
+    table.commit()?;
+    let live_segment = table.wal_segment();
+    let segment_len = table.wal_committed_bytes();
+    let segment_name = format!("wal-{live_segment:08}.log");
+    drop(table);
+
+    // Cut points within the live segment, ascending and deduplicated.
+    let mut cuts: Vec<u64> = match options.granularity {
+        CutGranularity::Bytes => (0..=segment_len).collect(),
+        CutGranularity::Records { intra_samples } => {
+            let mut boundaries: Vec<u64> = vec![0, super::wal::SEGMENT_HEADER_BYTES];
+            boundaries.extend(
+                logged
+                    .iter()
+                    .filter(|(_, seg, _)| *seg == live_segment)
+                    .map(|(_, _, bytes)| *bytes),
+            );
+            boundaries.push(segment_len);
+            boundaries.sort_unstable();
+            boundaries.dedup();
+            let mut cuts = Vec::new();
+            for pair in boundaries.windows(2) {
+                cuts.push(pair[0]);
+                let gap = pair[1] - pair[0];
+                for s in 1..=u64::from(intra_samples) {
+                    let inner = pair[0] + gap * s / (u64::from(intra_samples) + 1);
+                    if inner > pair[0] && inner < pair[1] {
+                        cuts.push(inner);
+                    }
+                }
+            }
+            cuts.push(segment_len);
+            cuts
+        }
+    };
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    // Walk cuts in order, advancing the expected model incrementally.
+    let mut model = ReferenceModel::new(key_bits);
+    let mut cursor = 0usize;
+    let mut report = CrashSweepReport {
+        ops_logged: logged.len(),
+        segment_bytes: segment_len,
+        ..CrashSweepReport::default()
+    };
+    let scratch = unique_temp_dir(&format!("crash_{tag}_cut"));
+    let _scratch_guard = DirGuard(scratch.clone());
+    for &cut in &cuts {
+        while cursor < logged.len() {
+            let (effect, seg, bytes) = &logged[cursor];
+            if (*seg, *bytes) <= (live_segment, cut) {
+                effect.apply(&mut model);
+                cursor += 1;
+            } else {
+                break;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+        stage_crash(&golden_dir, &scratch, &segment_name, cut)?;
+        let recovered = DurableTable::open(&scratch, durable_opts.clone())
+            .map_err(|e| sweep_err(tag, cut, &format!("recovery failed: {e}")))?;
+        if recovered.recovery().torn_tail {
+            report.torn_cuts += 1;
+        }
+        report.probes_checked +=
+            verify_recovered(tag, cut, &recovered, &model, options.probes_per_cut)?;
+        report.cuts_tested += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::RecordLayout;
+    use crate::probe::ProbePolicy;
+    use crate::storage::IndexSpec;
+    use crate::table::{Arrangement, OverflowPolicy, TableConfig};
+
+    fn spec_for(key_bits: u32) -> Option<TableSpec> {
+        if !(8..=128).contains(&key_bits) {
+            return None;
+        }
+        Some(TableSpec {
+            config: TableConfig {
+                rows_log2: 4,
+                row_bits: 1024,
+                layout: RecordLayout::new(key_bits, true, 32),
+                arrangement: Arrangement::Horizontal(1),
+                probe: ProbePolicy::Linear,
+                overflow: OverflowPolicy::Probe {
+                    max_steps: u32::MAX,
+                },
+            },
+            index: IndexSpec::RangeSelect {
+                low: key_bits - 4,
+                count: 4,
+            },
+        })
+    }
+
+    fn mixed_stream() -> Vec<Op> {
+        let mut ops = Vec::new();
+        for i in 0..12u64 {
+            ops.push(Op::Insert(Record::new(
+                TernaryKey::binary(u128::from(i) << 2, 32),
+                i,
+            )));
+        }
+        ops.push(Op::InsertSorted(Record::new(
+            TernaryKey::ternary(0x0A00, 0x00FF, 32),
+            100,
+        )));
+        ops.push(Op::Delete(TernaryKey::binary(4, 32)));
+        ops.push(Op::Update {
+            key: TernaryKey::binary(8, 32),
+            data: 999,
+        });
+        ops.push(Op::Search(SearchKey::new(8, 32)));
+        for i in 20..26u64 {
+            ops.push(Op::Insert(Record::new(
+                TernaryKey::binary(u128::from(i), 32),
+                i,
+            )));
+        }
+        ops
+    }
+
+    #[test]
+    fn byte_exhaustive_sweep_passes() {
+        let report = crash_sweep(
+            "unit-bytes",
+            &spec_for,
+            32,
+            &mixed_stream(),
+            &CrashSweepOptions {
+                granularity: CutGranularity::Bytes,
+                ..CrashSweepOptions::default()
+            },
+        )
+        .expect("sweep");
+        assert_eq!(report.ops_logged, 21);
+        assert_eq!(report.cuts_tested as u64, report.segment_bytes + 1);
+        // Almost every byte offset lands mid-frame.
+        assert!(report.torn_cuts > report.cuts_tested / 2);
+        assert!(report.probes_checked > 0);
+    }
+
+    #[test]
+    fn record_boundary_sweep_with_checkpoint_passes() {
+        let report = crash_sweep(
+            "unit-ckpt",
+            &spec_for,
+            32,
+            &mixed_stream(),
+            &CrashSweepOptions {
+                granularity: CutGranularity::Records { intra_samples: 2 },
+                checkpoint_at: Some(8),
+                ..CrashSweepOptions::default()
+            },
+        )
+        .expect("sweep");
+        assert_eq!(report.ops_logged, 21);
+        // 13 post-checkpoint ops live in the swept segment: at least one
+        // cut per boundary plus the intra samples.
+        assert!(report.cuts_tested >= 14, "cuts: {}", report.cuts_tested);
+        assert!(report.torn_cuts > 0);
+    }
+
+    #[test]
+    fn reconfigure_mid_stream_is_swept() {
+        let mut ops = mixed_stream();
+        ops.push(Op::Reconfigure { key_bits: 64 });
+        ops.push(Op::Insert(Record::new(TernaryKey::binary(0xFEED, 64), 5)));
+        // Stale-width op after the reconfigure: skipped on both sides.
+        ops.push(Op::Insert(Record::new(TernaryKey::binary(7, 32), 7)));
+        ops.push(Op::Delete(TernaryKey::binary(0xFEED, 64)));
+        let report = crash_sweep(
+            "unit-reconf",
+            &spec_for,
+            32,
+            &ops,
+            &CrashSweepOptions::default(),
+        )
+        .expect("sweep");
+        assert_eq!(report.ops_logged, 24);
+    }
+}

@@ -1,0 +1,563 @@
+//! File-backed array storage: an mmap'd, page-aligned region with a
+//! checksummed superblock recording the array geometry.
+//!
+//! The workspace deliberately has no external dependencies, so on Linux
+//! `x86_64`/`aarch64` the mapping is made with raw `mmap`/`msync`/`munmap`
+//! syscalls via inline assembly; every other target (and Miri) falls back
+//! to a buffered file region — same on-disk format, same API, the words
+//! simply live in a heap buffer that [`MappedArray::flush`] writes back.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! offset 0      magic "CARAMARR" (8 bytes)
+//! offset 8      format version  (u32)
+//! offset 12     rows            (u64)
+//! offset 20     row_bits        (u32)
+//! offset 24     stride_words    (u32)
+//! offset 28     CRC-32 of bytes 0..28 (u32)
+//! offset 32..4096   zero padding (superblock is one page)
+//! offset 4096   data: rows × stride_words × 8 bytes of packed words
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use super::{corrupt, crc32, dur_err, io_err, put_u32, put_u64, ByteReader, FORMAT_VERSION};
+use crate::error::{DurabilityErrorKind, Result};
+
+/// Size of the superblock page; the data region starts here, so the words
+/// are page-aligned both in the file and in the mapping.
+pub const SUPERBLOCK_BYTES: u64 = 4096;
+
+const MAGIC: &[u8; 8] = b"CARAMARR";
+const SUPERBLOCK_USED: usize = 32;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    not(miri)
+))]
+mod sys {
+    //! Raw Linux memory-mapping syscalls. No libc in the workspace, so the
+    //! three calls the backend needs are issued directly.
+
+    const PROT_READ_WRITE: usize = 0x3;
+    const MAP_SHARED: usize = 0x1;
+    const MS_SYNC: usize = 0x4;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const MMAP: usize = 9;
+        pub const MUNMAP: usize = 11;
+        pub const MSYNC: usize = 26;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const MMAP: usize = 222;
+        pub const MUNMAP: usize = 215;
+        pub const MSYNC: usize = 227;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::many_single_char_names)]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    #[allow(clippy::many_single_char_names)]
+    unsafe fn syscall6(
+        n: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack)
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> Result<usize, i32> {
+        if (-4095..0).contains(&ret) {
+            #[allow(clippy::cast_possible_truncation)] // range-checked above
+            Err(-(ret as i32))
+        } else {
+            #[allow(clippy::cast_sign_loss)] // non-negative after the check
+            Ok(ret as usize)
+        }
+    }
+
+    /// Maps `len` bytes of `fd` read/write, shared, at offset 0.
+    pub unsafe fn mmap(len: usize, fd: i32) -> Result<*mut u8, i32> {
+        #[allow(clippy::cast_sign_loss)] // the kernel reads it back as an fd
+        let fd_arg = fd as usize;
+        check(syscall6(
+            nr::MMAP,
+            0,
+            len,
+            PROT_READ_WRITE,
+            MAP_SHARED,
+            fd_arg,
+            0,
+        ))
+        .map(|addr| addr as *mut u8)
+    }
+
+    /// Synchronously writes the mapped range back to the file.
+    pub unsafe fn msync(ptr: *mut u8, len: usize) -> Result<(), i32> {
+        check(syscall6(nr::MSYNC, ptr as usize, len, MS_SYNC, 0, 0, 0)).map(|_| ())
+    }
+
+    /// Unmaps the range.
+    pub unsafe fn munmap(ptr: *mut u8, len: usize) -> Result<(), i32> {
+        check(syscall6(nr::MUNMAP, ptr as usize, len, 0, 0, 0, 0)).map(|_| ())
+    }
+}
+
+#[derive(Debug)]
+enum MapStore {
+    /// A live shared mapping of the whole file; words start at
+    /// `SUPERBLOCK_BYTES` into the mapping.
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(miri)
+    ))]
+    Mmap { base: *mut u8, map_len: usize },
+    /// Portable fallback: the words live in a heap buffer read from the
+    /// file; `flush` writes them back. Kept compiled (not cfg'd out) on
+    /// mmap targets too so the fallback cannot rot unchecked.
+    #[allow(dead_code)]
+    Buffered { file: File, words: Vec<u64> },
+}
+
+/// A file-backed word array with a checksummed superblock. Geometry is
+/// fixed at creation; reopening with different geometry is a typed
+/// [`DurabilityErrorKind::GeometryMismatch`] error.
+#[derive(Debug)]
+pub struct MappedArray {
+    path: PathBuf,
+    rows: u64,
+    row_bits: u32,
+    stride_words: u32,
+    data_words: usize,
+    store: MapStore,
+}
+
+// SAFETY: the mapping (or buffer) is uniquely owned by this struct for its
+// whole lifetime — aliasing is governed by &/&mut borrows exactly as for a
+// Vec, so moving or sharing the owner across threads is sound.
+unsafe impl Send for MappedArray {}
+unsafe impl Sync for MappedArray {}
+
+fn encode_superblock(rows: u64, row_bits: u32, stride_words: u32) -> Vec<u8> {
+    let mut sb = Vec::with_capacity(SUPERBLOCK_USED);
+    sb.extend_from_slice(MAGIC);
+    put_u32(&mut sb, FORMAT_VERSION);
+    put_u64(&mut sb, rows);
+    put_u32(&mut sb, row_bits);
+    put_u32(&mut sb, stride_words);
+    let crc = crc32(&sb);
+    put_u32(&mut sb, crc);
+    sb
+}
+
+fn check_superblock(
+    path: &Path,
+    sb: &[u8],
+    rows: u64,
+    row_bits: u32,
+    stride_words: u32,
+) -> Result<()> {
+    let name = path.display();
+    if sb.len() < SUPERBLOCK_USED {
+        return Err(corrupt(format!("{name}: superblock truncated")));
+    }
+    if &sb[..8] != MAGIC {
+        return Err(corrupt(format!("{name}: bad array magic")));
+    }
+    let stored_crc = u32::from_le_bytes(sb[28..32].try_into().unwrap());
+    if crc32(&sb[..28]) != stored_crc {
+        return Err(corrupt(format!("{name}: superblock checksum mismatch")));
+    }
+    let mut r = ByteReader::new(&sb[8..28], "array superblock");
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(dur_err(
+            DurabilityErrorKind::FormatVersion,
+            format!("{name}: array format version {version}, this build reads {FORMAT_VERSION}"),
+        ));
+    }
+    let (f_rows, f_row_bits, f_stride) = (r.u64()?, r.u32()?, r.u32()?);
+    if (f_rows, f_row_bits, f_stride) != (rows, row_bits, stride_words) {
+        return Err(dur_err(
+            DurabilityErrorKind::GeometryMismatch,
+            format!(
+                "{name}: file holds {f_rows} rows x {f_row_bits} bits (stride {f_stride}), \
+                 expected {rows} x {row_bits} (stride {stride_words})"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+impl MappedArray {
+    /// Opens (or creates) the backing file for an array of `rows` rows of
+    /// `row_bits` bits laid out at `stride_words` words per row, holding
+    /// `data_words` words in total.
+    ///
+    /// A fresh file is sized and given a superblock; an existing file's
+    /// superblock and length are validated against the requested geometry.
+    /// Existing words are preserved — this is what makes a mapped slice
+    /// survive a restart.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityErrorKind::Io`] on file errors,
+    /// [`DurabilityErrorKind::Corrupt`] on a damaged superblock,
+    /// [`DurabilityErrorKind::FormatVersion`] /
+    /// [`DurabilityErrorKind::GeometryMismatch`] when the file disagrees
+    /// with the requested shape.
+    pub fn open(
+        path: &Path,
+        rows: u64,
+        row_bits: u32,
+        stride_words: u32,
+        data_words: usize,
+    ) -> Result<Self> {
+        let data_bytes = (data_words as u64) * 8;
+        let expect_len = SUPERBLOCK_BYTES + data_bytes;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err("open", path, &e))?;
+        let len = file.metadata().map_err(|e| io_err("stat", path, &e))?.len();
+        if len == 0 {
+            // Fresh file: size it, write the superblock, and make both
+            // durable before handing out the mapping.
+            file.set_len(expect_len)
+                .map_err(|e| io_err("size", path, &e))?;
+            file.write_all(&encode_superblock(rows, row_bits, stride_words))
+                .map_err(|e| io_err("write superblock to", path, &e))?;
+            file.sync_all().map_err(|e| io_err("sync", path, &e))?;
+        } else {
+            if len != expect_len {
+                return Err(dur_err(
+                    DurabilityErrorKind::GeometryMismatch,
+                    format!(
+                        "{}: file is {len} bytes, geometry needs {expect_len}",
+                        path.display()
+                    ),
+                ));
+            }
+            let mut sb = [0u8; SUPERBLOCK_USED];
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| io_err("seek", path, &e))?;
+            file.read_exact(&mut sb)
+                .map_err(|e| io_err("read superblock from", path, &e))?;
+            check_superblock(path, &sb, rows, row_bits, stride_words)?;
+        }
+        let store = Self::map_store(path, file, expect_len, data_words)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            rows,
+            row_bits,
+            stride_words,
+            data_words,
+            store,
+        })
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(miri)
+    ))]
+    fn map_store(path: &Path, file: File, expect_len: u64, _data_words: usize) -> Result<MapStore> {
+        use std::os::fd::AsRawFd;
+        let map_len = usize::try_from(expect_len).map_err(|_| {
+            dur_err(
+                DurabilityErrorKind::Unsupported,
+                format!("{}: file larger than the address space", path.display()),
+            )
+        })?;
+        // SAFETY: mapping a file we own read/write, shared, full length;
+        // the fd stays open in `file` for the mapping's lifetime (and the
+        // kernel keeps mappings alive past close regardless).
+        let base = unsafe { sys::mmap(map_len, file.as_raw_fd()) }.map_err(|errno| {
+            dur_err(
+                DurabilityErrorKind::Io,
+                format!("mmap {} failed (errno {errno})", path.display()),
+            )
+        })?;
+        // POSIX keeps a mapping alive after its fd closes, so the handle
+        // can be dropped here; msync/munmap operate on the address range.
+        drop(file);
+        Ok(MapStore::Mmap { base, map_len })
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        not(miri)
+    )))]
+    fn map_store(
+        path: &Path,
+        mut file: File,
+        _expect_len: u64,
+        data_words: usize,
+    ) -> Result<MapStore> {
+        let mut bytes = vec![0u8; data_words * 8];
+        file.seek(SeekFrom::Start(SUPERBLOCK_BYTES))
+            .map_err(|e| io_err("seek", path, &e))?;
+        file.read_exact(&mut bytes)
+            .map_err(|e| io_err("read data from", path, &e))?;
+        let words = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(MapStore::Buffered { file, words })
+    }
+
+    /// The backing file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Row count the file was opened with.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Row width in bits.
+    #[must_use]
+    pub fn row_bits(&self) -> u32 {
+        self.row_bits
+    }
+
+    /// Words per row in the file layout.
+    #[must_use]
+    pub fn stride_words(&self) -> u32 {
+        self.stride_words
+    }
+
+    /// The packed words, read-only.
+    #[must_use]
+    // The data region starts one page in (`SUPERBLOCK_BYTES` = 4096, well
+    // within usize), so the cast to `*const u64` stays aligned.
+    #[allow(clippy::cast_ptr_alignment, clippy::cast_possible_truncation)]
+    pub fn words(&self) -> &[u64] {
+        match &self.store {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64"),
+                not(miri)
+            ))]
+            MapStore::Mmap { base, .. } => {
+                // SAFETY: the mapping covers SUPERBLOCK_BYTES + data_words*8
+                // bytes, the data region is page-aligned (so u64-aligned),
+                // and &self guarantees no live &mut.
+                unsafe {
+                    core::slice::from_raw_parts(
+                        base.add(SUPERBLOCK_BYTES as usize).cast::<u64>(),
+                        self.data_words,
+                    )
+                }
+            }
+            MapStore::Buffered { words, .. } => words,
+        }
+    }
+
+    /// The packed words, writable. Changes reach the file on
+    /// [`Self::flush`] (or, for the mmap store, whenever the kernel
+    /// writes back — `flush` is what makes it durable).
+    #[must_use]
+    // Same alignment/size argument as `words`.
+    #[allow(clippy::cast_ptr_alignment, clippy::cast_possible_truncation)]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.store {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64"),
+                not(miri)
+            ))]
+            MapStore::Mmap { base, .. } => {
+                // SAFETY: as in `words`, and &mut self guarantees exclusivity.
+                unsafe {
+                    core::slice::from_raw_parts_mut(
+                        base.add(SUPERBLOCK_BYTES as usize).cast::<u64>(),
+                        self.data_words,
+                    )
+                }
+            }
+            MapStore::Buffered { words, .. } => words,
+        }
+    }
+
+    /// Writes the words back to the file and waits for the device: `msync`
+    /// on the mapped store, a rewrite plus `fdatasync` on the buffered one.
+    /// After `flush` returns, a crash loses nothing from this array.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityErrorKind::Io`] when the write-back or sync fails.
+    pub fn flush(&mut self) -> Result<()> {
+        match &mut self.store {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64"),
+                not(miri)
+            ))]
+            MapStore::Mmap { base, map_len } => {
+                // SAFETY: syncing the exact range we mapped.
+                unsafe { sys::msync(*base, *map_len) }.map_err(|errno| {
+                    dur_err(
+                        DurabilityErrorKind::Io,
+                        format!("msync {} failed (errno {errno})", self.path.display()),
+                    )
+                })
+            }
+            MapStore::Buffered { file, words } => {
+                let mut bytes = Vec::with_capacity(words.len() * 8);
+                for w in words.iter() {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
+                file.seek(SeekFrom::Start(SUPERBLOCK_BYTES))
+                    .map_err(|e| io_err("seek", &self.path, &e))?;
+                file.write_all(&bytes)
+                    .map_err(|e| io_err("write data to", &self.path, &e))?;
+                file.sync_data().map_err(|e| io_err("sync", &self.path, &e))
+            }
+        }
+    }
+}
+
+impl Drop for MappedArray {
+    fn drop(&mut self) {
+        match &mut self.store {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64"),
+                not(miri)
+            ))]
+            MapStore::Mmap { base, map_len } => {
+                // SAFETY: unmapping the exact range we mapped; the struct
+                // is being dropped so no views outlive this.
+                let _ = unsafe { sys::munmap(*base, *map_len) };
+            }
+            MapStore::Buffered { .. } => {
+                // Best-effort write-back; explicit flush() is the durable
+                // contract, so errors here are deliberately swallowed.
+                let _ = self.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "ca_ram_mapped_{tag}_{}_{n}.arr",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let path = temp_file("roundtrip");
+        {
+            let mut arr = MappedArray::open(&path, 8, 512, 8, 64).expect("create");
+            assert!(arr.words().iter().all(|&w| w == 0));
+            arr.words_mut()[0] = 0xDEAD_BEEF_0123_4567;
+            arr.words_mut()[63] = 42;
+            arr.flush().expect("flush");
+        }
+        {
+            let arr = MappedArray::open(&path, 8, 512, 8, 64).expect("reopen");
+            assert_eq!(arr.words()[0], 0xDEAD_BEEF_0123_4567);
+            assert_eq!(arr.words()[63], 42);
+            assert_eq!(arr.words()[1], 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn geometry_mismatch_is_typed() {
+        let path = temp_file("geom");
+        MappedArray::open(&path, 8, 512, 8, 64).expect("create");
+        let err = MappedArray::open(&path, 16, 512, 8, 128).expect_err("mismatch");
+        match err {
+            crate::error::CaRamError::Durability { kind, .. } => {
+                assert_eq!(kind, DurabilityErrorKind::GeometryMismatch);
+            }
+            other => panic!("expected durability error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_superblock_is_typed() {
+        let path = temp_file("corrupt");
+        MappedArray::open(&path, 4, 256, 4, 16).expect("create");
+        // Flip a byte inside the checksummed region.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[10] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+        let err = MappedArray::open(&path, 4, 256, 4, 16).expect_err("corrupt");
+        match err {
+            crate::error::CaRamError::Durability { kind, .. } => {
+                assert_eq!(kind, DurabilityErrorKind::Corrupt);
+            }
+            other => panic!("expected durability error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -26,7 +26,9 @@ use crate::slice::CaRamSlice;
 use crate::stats::{
     AtomicSearchStats, LoadReport, OccupancyHistogram, PlacementStats, SearchStats,
 };
+use crate::storage::StorageBackend;
 use crate::telemetry::trace::{ProbeSummary, Stage, TelemetrySink};
+use std::path::Path;
 use std::sync::Arc;
 
 /// How slices are composed into one logical table (Sec. 3.2).
@@ -254,6 +256,55 @@ impl CaRamTable {
     /// the logical bucket space, or if the layout key width disagrees with
     /// the generator's expectations implied by the configuration.
     pub fn new(config: TableConfig, index: Box<dyn IndexGenerator>) -> Result<Self> {
+        Self::build(config, index, None)
+    }
+
+    /// Builds an empty table whose slice arrays are file-backed under
+    /// `dir` (`slice-<i>.arr`, plus `victim.arr` for a victim-slice
+    /// overflow area), so the packed words page to disk instead of the
+    /// heap. Occupancy metadata stays in memory: reopening an existing
+    /// directory reattaches the words but the table must be repopulated
+    /// (or recovered through [`crate::storage::DurableTable`], whose WAL
+    /// is the durable source of truth).
+    ///
+    /// # Errors
+    ///
+    /// [`CaRamError::BadConfig`] as for [`CaRamTable::new`], or any
+    /// [`CaRamError::Durability`] error from opening the backing files
+    /// (including `Unsupported` without the `storage` feature).
+    pub fn with_storage_dir(
+        config: TableConfig,
+        index: Box<dyn IndexGenerator>,
+        dir: &Path,
+    ) -> Result<Self> {
+        Self::build(config, index, Some(dir))
+    }
+
+    /// Flushes every file-backed slice array durably to disk; a no-op for
+    /// heap-backed tables.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CaRamError::Durability`] error from the syncs.
+    pub fn flush_storage(&mut self) -> Result<()> {
+        for slice in &mut self.slices {
+            slice.flush()?;
+        }
+        if let Some(OverflowStore::Victim { slice }) = &mut self.overflow {
+            slice.flush()?;
+        }
+        Ok(())
+    }
+
+    fn build(
+        config: TableConfig,
+        index: Box<dyn IndexGenerator>,
+        storage_dir: Option<&Path>,
+    ) -> Result<Self> {
+        let slice_backend = |name: String| match storage_dir {
+            None => StorageBackend::Heap,
+            Some(dir) => StorageBackend::file(dir.join(name)),
+        };
         let (horizontal, vertical) = config.arrangement.factors();
         let rows_per_slice = 1u64 << config.rows_log2;
         let logical_buckets = rows_per_slice * u64::from(vertical);
@@ -267,8 +318,15 @@ impl CaRamTable {
         let slots_per_slice_row = config.layout.slots_per_row(config.row_bits);
         let slice_count = config.arrangement.slice_count();
         let slices = (0..slice_count)
-            .map(|_| CaRamSlice::new(config.rows_log2, config.row_bits, config.layout))
-            .collect();
+            .map(|i| {
+                CaRamSlice::with_backend(
+                    config.rows_log2,
+                    config.row_bits,
+                    config.layout,
+                    &slice_backend(format!("slice-{i}.arr")),
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
         let overflow = match config.overflow {
             OverflowPolicy::ParallelArea { capacity } => Some(OverflowStore::Associative {
                 records: Vec::new(),
@@ -278,7 +336,12 @@ impl CaRamTable {
                 rows_log2,
                 row_bits,
             } => Some(OverflowStore::Victim {
-                slice: CaRamSlice::new(rows_log2, row_bits, config.layout),
+                slice: CaRamSlice::with_backend(
+                    rows_log2,
+                    row_bits,
+                    config.layout,
+                    &slice_backend("victim.arr".to_string()),
+                )?,
             }),
             OverflowPolicy::Probe { .. } => None,
         };
@@ -324,6 +387,28 @@ impl CaRamTable {
     #[must_use]
     pub fn telemetry_sink(&self) -> Option<Arc<dyn TelemetrySink>> {
         self.sink.clone()
+    }
+
+    /// The configuration the table was built with.
+    #[must_use]
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// Whether searches scan the full reach instead of stopping at the
+    /// first match (set permanently by the first delete; see the field
+    /// docs).
+    #[must_use]
+    pub fn full_scan(&self) -> bool {
+        self.full_scan
+    }
+
+    /// Forces full-reach scanning, as if a delete had occurred. Recovery
+    /// uses this: a restored table whose physical placement may differ
+    /// from the original (sorted inserts, pre-crash deletes) must pick the
+    /// maximum-care match rather than trust first-match order.
+    pub fn force_full_scan(&mut self) {
+        self.full_scan = true;
     }
 
     /// Number of logical buckets (`M`).

@@ -1,0 +1,214 @@
+//! Durability property tests: arbitrary corruption of the on-disk state
+//! — the WAL tail truncated at any byte, or any single bit flipped in
+//! any file — must never panic the recovery path. Recovery either
+//! succeeds, in which case the recovered record list is *exactly* the
+//! state after some prefix of the logged operations (torn-tail
+//! semantics: a frame is applied atomically or not at all), or it fails
+//! with a typed [`CaRamError`].
+//!
+//! This is the adversarial complement to the crash-injection sweep: the
+//! sweep cuts at byte boundaries a real crash can produce, while these
+//! cases also flip bits inside committed frames, the segment header, the
+//! table superblock, and (when a checkpoint ran) the snapshot image —
+//! silent-corruption shapes the CRC framing must convert into clean
+//! refusals rather than undefined behaviour.
+//!
+//! [`CaRamError`]: ca_ram_core::error::CaRamError
+
+use std::path::{Path, PathBuf};
+
+use ca_ram_core::key::TernaryKey;
+use ca_ram_core::layout::{Record, RecordLayout};
+use ca_ram_core::probe::ProbePolicy;
+use ca_ram_core::storage::durable::unique_temp_dir;
+use ca_ram_core::storage::{DurableOptions, DurableTable, IndexSpec, SyncPolicy, TableSpec};
+use ca_ram_core::table::{Arrangement, OverflowPolicy, TableConfig};
+use proptest::prelude::*;
+
+const KEY_BITS: u32 = 32;
+
+fn spec() -> TableSpec {
+    TableSpec {
+        config: TableConfig {
+            rows_log2: 4,
+            row_bits: 1024,
+            layout: RecordLayout::new(KEY_BITS, true, 32),
+            arrangement: Arrangement::Horizontal(1),
+            probe: ProbePolicy::Linear,
+            overflow: OverflowPolicy::Probe {
+                max_steps: u32::MAX,
+            },
+        },
+        index: IndexSpec::RangeSelect {
+            low: KEY_BITS - 4,
+            count: 4,
+        },
+    }
+}
+
+fn opts() -> DurableOptions {
+    DurableOptions {
+        sync: SyncPolicy::Flush,
+        auto_commit: false,
+        ..DurableOptions::default()
+    }
+}
+
+/// Removes the scratch directory when a case finishes (pass or fail —
+/// a failing case's diagnostics are in the proptest report, not the dir).
+struct DirGuard(PathBuf);
+
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The logical state (value, data per record, in insertion order) after
+/// applying one more op to `state`.
+fn apply(state: &mut Vec<(u128, u64)>, op: &LoggedOp) {
+    match *op {
+        LoggedOp::Insert(value, data) => state.push((value, data)),
+        LoggedOp::Delete(value) => state.retain(|&(v, _)| v != value),
+    }
+}
+
+enum LoggedOp {
+    Insert(u128, u64),
+    Delete(u128),
+}
+
+/// Lists every regular file under `dir` (the superblock, WAL segments,
+/// snapshots), sorted for determinism.
+fn files_in(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("scratch dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    files
+}
+
+/// Builds a durable table from generated ops (committing every
+/// `commit_every`, optionally checkpointing once), corrupts one file as
+/// directed, and checks the recovery contract.
+#[allow(clippy::cast_possible_truncation)]
+fn check_corruption(
+    raw_ops: &[(u8, u16)],
+    commit_every: usize,
+    checkpoint_mid: bool,
+    file_sel: usize,
+    mutation_sel: u8,
+    pos_sel: usize,
+) -> Result<(), TestCaseError> {
+    let dir = unique_temp_dir("proptest_dur");
+    let _guard = DirGuard(dir.clone());
+    let mut table =
+        DurableTable::create(&dir, &spec(), opts()).expect("create in fresh scratch dir");
+
+    // Replay the generated ops, tracking the state after every logged op:
+    // any of these prefixes is a legal recovery outcome.
+    let mut live: Vec<u128> = Vec::new();
+    let mut state: Vec<(u128, u64)> = Vec::new();
+    let mut states: Vec<Vec<(u128, u64)>> = vec![state.clone()];
+    for (i, &(kind, v)) in raw_ops.iter().enumerate() {
+        let op = if kind % 4 == 3 && !live.is_empty() {
+            let victim = live[usize::from(v) % live.len()];
+            live.retain(|&x| x != victim);
+            LoggedOp::Delete(victim)
+        } else {
+            // Distinct by construction: the op index rides the high bits.
+            let value = (u128::try_from(i).unwrap() << 16) | u128::from(v);
+            live.push(value);
+            LoggedOp::Insert(value, u64::from(v))
+        };
+        match op {
+            LoggedOp::Insert(value, data) => {
+                table
+                    .insert(Record::new(TernaryKey::binary(value, KEY_BITS), data))
+                    .expect("table sized for the op budget");
+            }
+            LoggedOp::Delete(value) => {
+                table
+                    .delete(&TernaryKey::binary(value, KEY_BITS))
+                    .expect("delete logs cleanly");
+            }
+        }
+        apply(&mut state, &op);
+        states.push(state.clone());
+        if (i + 1) % commit_every == 0 {
+            table.commit().expect("commit");
+        }
+        if checkpoint_mid && i == raw_ops.len() / 2 {
+            table.checkpoint().expect("checkpoint");
+        }
+    }
+    table.commit().expect("final commit");
+    drop(table);
+
+    // Corrupt one file: truncate at an arbitrary byte or flip one bit.
+    let files = files_in(&dir);
+    let target = &files[file_sel % files.len()];
+    let mut bytes = std::fs::read(target).expect("read target");
+    let verb = if mutation_sel % 2 == 0 || bytes.is_empty() {
+        let cut = pos_sel % (bytes.len() + 1);
+        bytes.truncate(cut);
+        format!("truncate to {cut}")
+    } else {
+        let pos = pos_sel % bytes.len();
+        bytes[pos] ^= 1 << (mutation_sel % 8);
+        format!("flip bit {} of byte {pos}", mutation_sel % 8)
+    };
+    std::fs::write(target, &bytes).expect("write corrupted file");
+
+    // The contract: no panic ever; Ok implies an exact op-prefix state.
+    match DurableTable::open(&dir, opts()) {
+        Ok(recovered) => {
+            let got: Vec<(u128, u64)> = recovered
+                .records()
+                .iter()
+                .map(|r| (r.key.value(), r.data))
+                .collect();
+            prop_assert!(
+                states.contains(&got),
+                "after {verb} of {:?}, recovered {} records matching no op prefix",
+                target.file_name(),
+                got.len()
+            );
+        }
+        Err(_typed) => {} // A clean refusal is always acceptable.
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// WAL-only lifetimes: commits but no checkpoint, so the corruption
+    /// lands in the superblock or the single live segment.
+    #[test]
+    fn corrupted_wal_recovers_a_prefix_or_fails_typed(
+        raw_ops in prop::collection::vec((any::<u8>(), any::<u16>()), 1..48),
+        commit_every in 1usize..8,
+        file_sel in any::<usize>(),
+        mutation_sel in any::<u8>(),
+        pos_sel in any::<usize>(),
+    ) {
+        check_corruption(&raw_ops, commit_every, false, file_sel, mutation_sel, pos_sel)?;
+    }
+
+    /// Checkpointed lifetimes: a snapshot image and a post-checkpoint
+    /// segment both exist, so the corruption can hit either recovery
+    /// source.
+    #[test]
+    fn corrupted_checkpoint_state_recovers_a_prefix_or_fails_typed(
+        raw_ops in prop::collection::vec((any::<u8>(), any::<u16>()), 8..48),
+        commit_every in 1usize..8,
+        file_sel in any::<usize>(),
+        mutation_sel in any::<u8>(),
+        pos_sel in any::<usize>(),
+    ) {
+        check_corruption(&raw_ops, commit_every, true, file_sel, mutation_sel, pos_sel)?;
+    }
+}

@@ -214,6 +214,9 @@ struct Scratch {
     /// Probe index per (item, key), flattened in `live` order.
     key_of: Vec<u32>,
     seen: HashMap<SearchKey, u32>,
+    /// Writes applied this drain, awaiting the group commit before their
+    /// replies are delivered (ack-after-commit).
+    writes: Vec<FinishedWrite>,
 }
 
 impl Scratch {
@@ -226,8 +229,16 @@ impl Scratch {
             outcomes: Vec::with_capacity(batch_max),
             key_of: Vec::with_capacity(batch_max),
             seen: HashMap::new(),
+            writes: Vec::new(),
         }
     }
+}
+
+/// A write whose engine mutation has been applied but whose reply is held
+/// back until the drain's single group commit succeeds.
+struct FinishedWrite {
+    request: PendingRequest,
+    reply: ServiceReply,
 }
 
 /// One shard: a lock-free bounded MPSC ring in front of an exclusively
@@ -583,7 +594,7 @@ impl Shard {
                     if !scratch.run.is_empty() {
                         self.serve_search_run(scratch, picked_up, deep_telemetry, coalesce);
                     }
-                    self.serve_write(request, picked_up, deep_telemetry);
+                    self.serve_write(scratch, request, picked_up, deep_telemetry);
                 }
                 RingEntry::Single(request) => scratch.run.push(SearchItem::Single(request)),
                 RingEntry::Batch(sub) => scratch.run.push(SearchItem::Sub(sub)),
@@ -593,6 +604,7 @@ impl Shard {
         if !scratch.run.is_empty() {
             self.serve_search_run(scratch, picked_up, deep_telemetry, coalesce);
         }
+        self.complete_writes(scratch, picked_up);
     }
 
     /// One consecutive run of searches: shed expired deadlines, optionally
@@ -789,7 +801,16 @@ impl Shard {
     }
 
     /// One write, applied in admission order by the engine-owning worker.
-    fn serve_write(&self, mut request: PendingRequest, picked_up: Instant, deep_telemetry: bool) {
+    /// The engine mutation happens here (so later searches in the same
+    /// drain observe it), but the reply is parked in `scratch.writes`
+    /// until [`Shard::complete_writes`] runs the drain's group commit.
+    fn serve_write(
+        &self,
+        scratch: &mut Scratch,
+        mut request: PendingRequest,
+        picked_up: Instant,
+        deep_telemetry: bool,
+    ) {
         if request.deadline.is_some_and(|d| d <= picked_up) {
             ShardStats::bump(&self.stats.shed_deadline, 1);
             self.tracer.event(FlightEventKind::ShedDeadline, 1, 0);
@@ -838,18 +859,40 @@ impl Shard {
         } else {
             ShardStats::bump(&self.stats.telemetry_shed, 1);
         }
-        let total_us = request
-            .enqueued
-            .elapsed()
-            .as_micros()
-            .min(u128::from(u64::MAX));
-        #[allow(clippy::cast_possible_truncation)]
-        self.tracer.latency_us.record(total_us as u64);
-        let trace = request.trace.take();
-        request.complete(reply, picked_up, false);
-        if let Some(mut t) = trace {
-            t.record(SpanStage::Completed);
-            self.tracer.finish(*t);
+        scratch.writes.push(FinishedWrite { request, reply });
+    }
+
+    /// The drain's group commit: one durability barrier for every write
+    /// applied since the last drain, then their replies. A single
+    /// `commit` covers the whole batch — on a plain in-memory engine it is
+    /// a no-op, on a durable engine it is one WAL write (and optional
+    /// fsync) amortized over the batch.
+    fn complete_writes(&self, scratch: &mut Scratch, picked_up: Instant) {
+        if scratch.writes.is_empty() {
+            return;
+        }
+        // SAFETY: this is the shard worker thread, the engine's sole owner.
+        let committed = unsafe { self.engine.write(|engine| engine.commit()) };
+        for FinishedWrite { mut request, reply } in scratch.writes.drain(..) {
+            let reply = match (&committed, reply) {
+                // An insert the engine accepted but the backend failed to
+                // persist must not be acked as durable.
+                (Err(e), ServiceReply::Insert(Ok(()))) => ServiceReply::Insert(Err(e.clone())),
+                (_, reply) => reply,
+            };
+            let total_us = request
+                .enqueued
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX));
+            #[allow(clippy::cast_possible_truncation)]
+            self.tracer.latency_us.record(total_us as u64);
+            let trace = request.trace.take();
+            request.complete(reply, picked_up, false);
+            if let Some(mut t) = trace {
+                t.record(SpanStage::Completed);
+                self.tracer.finish(*t);
+            }
         }
     }
 }
